@@ -1,0 +1,162 @@
+// Ablation bench for the design choices DESIGN.md calls out, measured at
+// the SIM_API level where the semantics are crisp:
+//   (a) preemption granularity (the system-clock quantum of SIM_Wait),
+//   (b) service call atomicity on/off,
+//   (c) delayed dispatching on/off,
+//   (d) Gantt recording host overhead.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "sim/sim.hpp"
+#include "sysc/sysc.hpp"
+
+using namespace rtk;
+using sysc::Time;
+
+namespace {
+
+/// Average latency from "hi becomes ready at a mid-quantum offset" to
+/// "hi executes", while a low-priority task is busy.
+double preemption_latency_us(sim::SimApi::Config cfg, bool ready_inside_service,
+                             int rounds = 20) {
+    sysc::Kernel k;
+    sim::PriorityPreemptiveScheduler sched;
+    sim::SimApi api(sched, cfg);
+    Time total{};
+    int samples = 0;
+    Time ready_at;
+    auto& lo = api.SIM_CreateThread("lo", sim::ThreadKind::task, 20, [&] {
+        for (;;) {
+            if (ready_inside_service) {
+                sim::SimApi::ServiceGuard svc(api);
+                api.SIM_Wait(Time::ms(4), sim::ExecContext::service_call);
+            } else {
+                api.SIM_Wait(Time::ms(4), sim::ExecContext::task);
+            }
+        }
+    });
+    auto& hi = api.SIM_CreateThread("hi", sim::ThreadKind::task, 1, [&] {
+        total += sysc::now() - ready_at;
+        ++samples;
+    });
+    api.SIM_StartThread(lo);
+    k.spawn("driver", [&] {
+        for (int i = 0; i < rounds; ++i) {
+            // Offsets sweep the quantum so the average is representative.
+            sysc::wait(Time::ms(4) + Time::us(137 * (static_cast<unsigned>(i) % 7)));
+            ready_at = sysc::now();
+            api.SIM_StartThread(hi);
+            sysc::wait(Time::ms(2));
+        }
+    });
+    k.run_until(Time::ms(200 * static_cast<unsigned>(rounds) / 10));
+    return samples > 0 ? total.to_us() / samples : -1.0;
+}
+
+/// Latency from "ISR wakes hi" to "hi executes" under delayed dispatching
+/// on/off, with the handler continuing for `tail_us` after the wake.
+double delayed_dispatch_latency_us(bool delayed, std::uint64_t tail_us) {
+    sysc::Kernel k;
+    sim::PriorityPreemptiveScheduler sched;
+    sim::SimApi::Config cfg;
+    cfg.delayed_dispatching = delayed;
+    sim::SimApi api(sched, cfg);
+    Time woke_at, ran_at;
+    auto& lo = api.SIM_CreateThread("lo", sim::ThreadKind::task, 20, [&] {
+        api.SIM_Wait(Time::ms(50), sim::ExecContext::task);
+    });
+    auto& hi = api.SIM_CreateThread("hi", sim::ThreadKind::task, 1, [&] {
+        ran_at = sysc::now();
+    });
+    auto& isr = api.SIM_CreateThread("isr", sim::ThreadKind::interrupt_handler, -10, [&] {
+        api.SIM_Wait(Time::us(100), sim::ExecContext::handler);
+        woke_at = sysc::now();
+        api.SIM_StartThread(hi);
+        api.SIM_Wait(Time::us(tail_us), sim::ExecContext::handler);
+    });
+    api.SIM_StartThread(lo);
+    k.spawn("driver", [&] {
+        sysc::wait(Time::us(1500));
+        api.SIM_RaiseInterrupt(isr);
+    });
+    k.run_until(Time::ms(60));
+    return (ran_at - woke_at).to_us();
+}
+
+/// Host wall time of a fixed busy workload, to expose recording overhead.
+double host_wall_ms(bool record_gantt) {
+    sysc::Kernel k;
+    sim::PriorityPreemptiveScheduler sched;
+    sim::SimApi::Config cfg;
+    cfg.quantum = Time::us(100);  // many slices -> many segments
+    cfg.record_gantt = record_gantt;
+    sim::SimApi api(sched, cfg);
+    auto& t = api.SIM_CreateThread("busy", sim::ThreadKind::task, 5, [&] {
+        for (int i = 0; i < 20; ++i) {
+            api.SIM_Wait(Time::ms(25), sim::ExecContext::task);
+            api.SIM_Wait(Time::ms(25), sim::ExecContext::bfm_access);
+        }
+    });
+    api.SIM_StartThread(t);
+    bench::WallClock wall;
+    k.run();
+    return wall.seconds() * 1e3;
+}
+
+}  // namespace
+
+int main() {
+    std::puts("Ablation: SIM_API design choices (DESIGN.md sec. 5)\n");
+
+    // (a) preemption granularity sweep
+    std::puts("(a) preemption granularity -- quantum vs preemption latency:");
+    bench::Table ta({"quantum (tick)", "avg preemption latency [us]"});
+    for (std::uint64_t q_us : {250u, 500u, 1000u, 2000u, 4000u}) {
+        sim::SimApi::Config cfg;
+        cfg.quantum = Time::us(q_us);
+        ta.add_row({std::to_string(q_us) + " us",
+                    bench::fmt(preemption_latency_us(cfg, false), 0)});
+    }
+    ta.print();
+    std::puts("  -> latency tracks ~quantum/2: the system-clock granularity of");
+    std::puts("     the paper is the accuracy knob of SIM_Wait preemption points.\n");
+
+    // (b) service call atomicity
+    std::puts("(b) service call atomicity (readiness arrives inside a 4 ms service):");
+    bench::Table tb({"atomicity", "avg preemption latency [us]"});
+    for (bool atomic : {true, false}) {
+        sim::SimApi::Config cfg;
+        cfg.service_call_atomicity = atomic;
+        tb.add_row({atomic ? "on (paper)" : "off (ablated)",
+                    bench::fmt(preemption_latency_us(cfg, true), 0)});
+    }
+    tb.print();
+    std::puts("  -> with atomicity the switch waits for the service-call boundary");
+    std::puts("     (continuity guarantee); ablated, it lands on the next quantum.\n");
+
+    // (c) delayed dispatching
+    std::puts("(c) delayed dispatching (ISR wakes a task, then runs 900 us more):");
+    bench::Table tc({"delayed dispatching", "wake -> dispatch latency [us]"});
+    for (bool delayed : {true, false}) {
+        tc.add_row({delayed ? "on (paper)" : "off (ablated)",
+                    bench::fmt(delayed_dispatch_latency_us(delayed, 900), 0)});
+    }
+    tc.print();
+    std::puts("  -> both equal the remaining handler time: the postponement the");
+    std::puts("     paper legislates (footnote 1) is *emergent* at RTOS level,");
+    std::puts("     because interrupts are only delivered at preemption points and");
+    std::puts("     the return from a handler is itself a preemption point. A real");
+    std::puts("     kernel needs the explicit rule; the simulation model gets it");
+    std::puts("     for free at system-clock granularity.\n");
+
+    // (d) Gantt recording host overhead
+    std::puts("(d) trace recording host overhead (1 s busy workload, 100 us quantum):");
+    bench::Table td({"gantt recording", "host wall [ms]"});
+    for (bool rec : {true, false}) {
+        td.add_row({rec ? "on" : "off", bench::fmt(host_wall_ms(rec), 1)});
+    }
+    td.print();
+    std::puts("  -> matches the paper's observation that trace displays make");
+    std::puts("     animate-mode co-simulation impractical (step mode instead).");
+    return 0;
+}

@@ -1,0 +1,53 @@
+// Fig 8 reproduction: T-Kernel/DS output listing.
+//
+// Boots the case study, freezes it mid-scenario and dumps the kernel
+// internal state through the T-Kernel/DS reference functions -- tasks
+// with states/priorities/wait factors, every synchronisation object,
+// time-event handlers, interrupt vectors, and the recent task state
+// transition journal.
+#include <cstdio>
+
+#include "app/videogame.hpp"
+#include "tkds/tkds.hpp"
+
+using namespace rtk;
+using sysc::Time;
+
+int main() {
+    std::puts("Fig 8: T-Kernel/DS output listing (sample)\n");
+
+    sysc::Kernel k;
+    tkernel::TKernel tk;
+    bfm::Bfm8051 board(tk.sim());
+    app::VideoGame game(tk, board);
+    app::VideoGame::wire(tk, board);
+    game.install();
+    tk.power_on();
+
+    // Freeze mid-scenario with a keypress in flight.
+    k.run_until(Time::ms(333));
+    board.keypad().press(app::VideoGame::key_right);
+    k.run_for(Time::ms(2));
+
+    std::fputs(tkds::render_listing(tk).c_str(), stdout);
+
+    std::puts("\n--- task state transition journal (last 25) ---");
+    std::fputs(tkds::render_state_journal(tk, 25).c_str(), stdout);
+
+    std::puts("\n--- per-task execution statistics (td_inf_tsk) ---");
+    std::vector<tkernel::ID> ids;
+    tkds::td_lst_tsk(tk, ids);
+    std::printf("%-14s %12s %12s %12s %12s\n", "task", "stime[ms]", "utime[ms]",
+                "btime[ms]", "energy[uJ]");
+    for (tkernel::ID id : ids) {
+        tkds::TD_ITSK info;
+        tkds::TD_RTSK r;
+        if (tkds::td_inf_tsk(tk, id, &info) == tkernel::E_OK &&
+            tkds::td_ref_tsk(tk, id, &r) == tkernel::E_OK) {
+            std::printf("%-14s %12.3f %12.3f %12.3f %12.2f\n", r.name.c_str(),
+                        info.stime.to_ms(), info.utime.to_ms(), info.btime.to_ms(),
+                        info.energy_nj * 1e-3);
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,108 @@
+// Scheduler comparison: the same task set under RTK-Spec I (round
+// robin), RTK-Spec II (priority preemptive) and RTK-Spec TRON -- the
+// three kernels the paper built to validate SIM_API coverage (§4).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "kernels/rtk_spec.hpp"
+#include "tkernel/tkernel.hpp"
+
+using namespace rtk;
+using sysc::Time;
+
+namespace {
+
+struct Row {
+    std::string kernel;
+    Time urgent_done;
+    Time batch_done;
+    std::uint64_t preemptions;
+    std::uint64_t dispatches;
+};
+
+template <typename Os>
+Row run_rtkspec(const char* name) {
+    sysc::Kernel k;
+    Os os;
+    Time urgent_done, batch_done;
+    const int worker = os.create_task("worker", [&] { os.run_for(15); }, 10);
+    const int urgent = os.create_task(
+        "urgent",
+        [&] {
+            os.run_for(5);
+            urgent_done = sysc::now();
+        },
+        1);
+    const int batch = os.create_task(
+        "batch",
+        [&] {
+            os.run_for(15);
+            batch_done = sysc::now();
+        },
+        20);
+    os.power_on();
+    os.start_task(worker);
+    os.start_task(batch);
+    os.start_task(urgent);
+    k.run_until(Time::ms(100));
+    return {name, urgent_done, batch_done, os.sim().total_preemptions(),
+            os.sim().total_dispatches()};
+}
+
+Row run_tron() {
+    sysc::Kernel k;
+    tkernel::TKernel tk;
+    Time urgent_done, batch_done;
+    tk.set_user_main([&] {
+        using namespace tkernel;
+        auto spawn = [&](const char* name, PRI pri, std::function<void()> fn) {
+            T_CTSK ct;
+            ct.name = name;
+            ct.itskpri = pri;
+            ct.task = [fn = std::move(fn)](INT, void*) { fn(); };
+            tk.tk_sta_tsk(tk.tk_cre_tsk(ct), 0);
+        };
+        spawn("worker", 10, [&] {
+            tk.sim().SIM_Wait(Time::ms(15), sim::ExecContext::task);
+        });
+        spawn("batch", 20, [&] {
+            tk.sim().SIM_Wait(Time::ms(15), sim::ExecContext::task);
+            batch_done = sysc::now();
+        });
+        spawn("urgent", 1, [&] {
+            tk.sim().SIM_Wait(Time::ms(5), sim::ExecContext::task);
+            urgent_done = sysc::now();
+        });
+    });
+    tk.power_on();
+    k.run_until(Time::ms(100));
+    return {"RTK-Spec TRON (T-Kernel/OS)", urgent_done, batch_done,
+            tk.sim().total_preemptions(), tk.sim().total_dispatches()};
+}
+
+}  // namespace
+
+int main() {
+    std::puts("Scheduler comparison: identical workload on the paper's three kernels");
+    std::puts("workload: urgent 5 ms (pri 1), worker 15 ms (pri 10), batch 15 ms (pri 20)\n");
+
+    std::vector<Row> rows;
+    rows.push_back(run_rtkspec<kernels::RtkSpec1>("RTK-Spec I (round robin)"));
+    rows.push_back(run_rtkspec<kernels::RtkSpec2>("RTK-Spec II (prio preemptive)"));
+    rows.push_back(run_tron());
+
+    bench::Table t({"kernel", "urgent done [ms]", "batch done [ms]", "preemptions",
+                    "dispatches"});
+    for (const auto& r : rows) {
+        t.add_row({r.kernel, bench::fmt(r.urgent_done.to_ms(), 2),
+                   bench::fmt(r.batch_done.to_ms(), 2), std::to_string(r.preemptions),
+                   std::to_string(r.dispatches)});
+    }
+    t.print();
+
+    std::puts("\nexpected shape: round robin delays the urgent task (fair slicing),");
+    std::puts("the priority-preemptive kernels complete it almost immediately; the");
+    std::puts("TRON kernel adds realistic service-call/dispatch overhead on top of");
+    std::puts("the same SIM_API mechanism.");
+    return 0;
+}

@@ -1,0 +1,72 @@
+// Shared helpers for the paper-reproduction bench binaries: wall-clock
+// timing and aligned table printing in the style of the paper's tables.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace rtk::bench {
+
+class WallClock {
+public:
+    WallClock() : start_(std::chrono::steady_clock::now()) {}
+    double seconds() const {
+        return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             start_)
+            .count();
+    }
+
+private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+/// Minimal fixed-width table printer.
+class Table {
+public:
+    explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+    void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+    void print() const {
+        std::vector<std::size_t> widths(headers_.size());
+        for (std::size_t c = 0; c < headers_.size(); ++c) {
+            widths[c] = headers_[c].size();
+            for (const auto& row : rows_) {
+                if (c < row.size()) {
+                    widths[c] = std::max(widths[c], row[c].size());
+                }
+            }
+        }
+        auto print_row = [&](const std::vector<std::string>& row) {
+            std::fputs("  ", stdout);
+            for (std::size_t c = 0; c < headers_.size(); ++c) {
+                std::printf("%-*s  ", static_cast<int>(widths[c]),
+                            c < row.size() ? row[c].c_str() : "");
+            }
+            std::fputs("\n", stdout);
+        };
+        print_row(headers_);
+        std::size_t total = 2;
+        for (auto w : widths) {
+            total += w + 2;
+        }
+        std::printf("  %s\n", std::string(total, '-').c_str());
+        for (const auto& row : rows_) {
+            print_row(row);
+        }
+    }
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double v, int prec = 2) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+    return buf;
+}
+
+}  // namespace rtk::bench

@@ -1,0 +1,58 @@
+// Building a custom kernel from SIM_API programming constructs -- the
+// paper's central claim (§4): the same library hosts RTK-Spec I (round
+// robin), RTK-Spec II (priority preemptive) and RTK-Spec TRON.
+//
+//   $ ./custom_kernel
+//
+// Runs the identical three-task workload on RTK-Spec I and RTK-Spec II
+// and prints both Gantt charts, making the policy difference visible.
+#include <cstdio>
+
+#include "kernels/rtk_spec.hpp"
+
+using namespace rtk;
+using sysc::Time;
+
+namespace {
+
+template <typename Os>
+void run_workload(const char* title) {
+    sysc::Kernel k;
+    Os os;
+    // Three CPU-bound tasks; under round robin they interleave per time
+    // slice, under priority preemption "urgent" monopolizes the CPU first.
+    const int urgent = os.create_task("urgent", [&] { os.run_for(12); }, 1);
+    const int worker = os.create_task("worker", [&] { os.run_for(12); }, 10);
+    const int batch = os.create_task("batch", [&] { os.run_for(12); }, 20);
+    os.power_on();
+    os.start_task(worker);  // started first: RR runs it first
+    os.start_task(batch);
+    os.start_task(urgent);
+    k.run_until(Time::ms(45));
+
+    std::printf("=== %s (%s) ===\n", title, os.sim().scheduler().policy_name().c_str());
+    std::fputs(os.sim()
+                   .gantt()
+                   .render_ascii(Time::zero(), Time::ms(40), Time::ms(1))
+                   .c_str(),
+               stdout);
+    for (const sim::TThread* t : os.sim().threads()) {
+        if (t->kind() == sim::ThreadKind::task) {
+            std::printf("  %-8s cet=%-8s dispatches=%llu preemptions=%llu\n",
+                        t->name().c_str(), t->token().cet().to_string().c_str(),
+                        static_cast<unsigned long long>(t->dispatch_count()),
+                        static_cast<unsigned long long>(t->preemption_count()));
+        }
+    }
+    std::puts("");
+}
+
+}  // namespace
+
+int main() {
+    run_workload<kernels::RtkSpec1>("RTK-Spec I: time-sliced round robin");
+    run_workload<kernels::RtkSpec2>("RTK-Spec II: priority preemptive");
+    std::puts("Same SIM_API constructs, different external scheduler -- the");
+    std::puts("mechanism/policy split the paper validates with three kernels.");
+    return 0;
+}

@@ -1,0 +1,52 @@
+// T-Monitor-style debug console over the BFM UART, running beside the
+// video game -- the T-Engine debugging experience on the reproduced stack.
+//
+//   $ ./serial_monitor
+//
+// A scripted "host terminal" types commands into the serial line; the
+// monitor task answers through the UART using T-Kernel/DS functions.
+#include <cstdio>
+
+#include "app/monitor.hpp"
+#include "app/videogame.hpp"
+
+using namespace rtk;
+using sysc::Time;
+
+int main() {
+    sysc::Kernel k;
+    tkernel::TKernel tk;
+    bfm::Bfm8051 board(tk.sim());
+
+    app::VideoGame game(tk, board);
+    app::SerialMonitor monitor(tk, board);
+    app::VideoGame::wire(tk, board);
+    tk.set_user_main([&] {
+        game.setup();
+        monitor.setup();
+    });
+    tk.power_on();
+
+    // Host terminal: type commands while the game runs. UART frames at
+    // 9600 baud take ~1 ms per character, so leave time between commands.
+    k.spawn("host_terminal", [&] {
+        sysc::wait(Time::ms(200));
+        monitor.type_line("ver");
+        sysc::wait(Time::ms(400));
+        monitor.type_line("tim");
+        sysc::wait(Time::ms(400));
+        monitor.type_line("stat");
+        sysc::wait(Time::ms(600));
+        monitor.type_line("tsk");
+    });
+
+    k.run_until(Time::sec(4));
+
+    std::puts("=== UART transcript (monitor output) ===");
+    std::fputs(monitor.output().c_str(), stdout);
+    std::printf("\ncommands executed: %llu (unknown: %llu); game frames: %llu\n",
+                static_cast<unsigned long long>(monitor.commands_executed()),
+                static_cast<unsigned long long>(monitor.unknown_commands()),
+                static_cast<unsigned long long>(game.frames_rendered()));
+    return 0;
+}

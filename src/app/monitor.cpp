@@ -1,0 +1,205 @@
+#include "app/monitor.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "sim/stats.hpp"
+#include "tkds/tkds.hpp"
+
+namespace rtk::app {
+
+using namespace tkernel;
+using sim::ExecContext;
+
+namespace {
+constexpr UINT rx_event_bit = 0x1;
+
+std::string trim(const std::string& s) {
+    const auto b = s.find_first_not_of(" \t\r\n");
+    if (b == std::string::npos) {
+        return {};
+    }
+    const auto e = s.find_last_not_of(" \t\r\n");
+    return s.substr(b, e - b + 1);
+}
+}  // namespace
+
+SerialMonitor::SerialMonitor(TKernel& tk, bfm::Bfm8051& bfm)
+    : SerialMonitor(tk, bfm, Config{}) {}
+
+SerialMonitor::SerialMonitor(TKernel& tk, bfm::Bfm8051& bfm, Config cfg)
+    : tk_(tk), bfm_(bfm), cfg_(cfg) {}
+
+void SerialMonitor::setup() {
+    T_CFLG cf;
+    cf.name = "mon_rx";
+    rx_flag_ = tk_.tk_cre_flg(cf);
+
+    // The serial ISR: byte arrived (or TX done) -> wake the monitor task.
+    T_DINT dint;
+    dint.intpri = cfg_.irq_priority;
+    dint.inthdr = [this](void*) {
+        if (bfm_.serial().rx_ready()) {
+            tk_.tk_set_flg(rx_flag_, rx_event_bit);
+        }
+    };
+    // The serial line may already be claimed (e.g. re-setup): ignore E_OBJ.
+    tk_.tk_def_int(cfg_.irq_line, dint);
+
+    T_CTSK ct;
+    ct.name = "T-Monitor";
+    ct.itskpri = cfg_.task_priority;
+    ct.task = [this](INT, void*) { task_body(); };
+    task_ = tk_.tk_cre_tsk(ct);
+    tk_.tk_sta_tsk(task_, 0);
+    print("T-Monitor ready. Type 'help'.\r\n> ");
+}
+
+void SerialMonitor::type_line(const std::string& line) {
+    for (char c : line) {
+        bfm_.serial().feed_rx(static_cast<std::uint8_t>(c));
+    }
+    bfm_.serial().feed_rx('\r');
+}
+
+const std::string& SerialMonitor::output() const {
+    return bfm_.serial().transmitted();
+}
+
+void SerialMonitor::task_body() {
+    for (;;) {
+        UINT ptn = 0;
+        if (tk_.tk_wai_flg(rx_flag_, rx_event_bit, TWF_ORW | TWF_CLR, &ptn,
+                           TMO_FEVR) != E_OK) {
+            return;  // flag deleted: monitor shuts down
+        }
+        // Drain every byte that arrived (ISR coalescing).
+        while (bfm_.serial_poll_ready()) {
+            const char c = static_cast<char>(bfm_.serial_receive());
+            tk_.sim().SIM_WaitUnits(2, ExecContext::task);  // per-byte handling
+            if (c == '\r' || c == '\n') {
+                const std::string line = trim(line_buf_);
+                line_buf_.clear();
+                if (!line.empty()) {
+                    execute(line);
+                }
+                print("> ");
+            } else {
+                line_buf_.push_back(c);
+            }
+        }
+    }
+}
+
+void SerialMonitor::print(const std::string& text) {
+    if (cfg_.echo_to_stdout) {
+        std::fputs(text.c_str(), stdout);
+    }
+    for (char c : text) {
+        // Flow control: poll the transmitter, yielding a tick when busy.
+        while (!bfm_.serial_send(static_cast<std::uint8_t>(c))) {
+            tk_.tk_dly_tsk(1);
+        }
+        // Wait out the frame so back-to-back sends do not overrun. The
+        // UART frame at 9600 baud is ~1.04 ms; one tick polls are fine.
+        while ((bfm_.bus().read_xdata(bfm::Bfm8051::serial_base + 1) & 0x04) != 0) {
+            tk_.tk_dly_tsk(1);
+        }
+    }
+}
+
+void SerialMonitor::execute(const std::string& line) {
+    ++commands_;
+    tk_.sim().SIM_WaitUnits(20, ExecContext::task);  // command dispatch cost
+    std::istringstream in(line);
+    std::string cmd, arg;
+    in >> cmd >> arg;
+    std::string reply;
+    if (cmd == "help") {
+        reply = cmd_help();
+    } else if (cmd == "ver") {
+        reply = cmd_ver();
+    } else if (cmd == "sys") {
+        reply = cmd_sys();
+    } else if (cmd == "tsk") {
+        reply = cmd_tsk();
+    } else if (cmd == "obj") {
+        reply = tkds::render_listing(tk_);
+    } else if (cmd == "tim") {
+        reply = cmd_tim();
+    } else if (cmd == "stat") {
+        reply = cmd_stat();
+    } else if (cmd == "ref" && !arg.empty()) {
+        std::string id_str;
+        in >> id_str;
+        reply = cmd_ref_tsk(id_str.empty() ? arg : id_str);
+    } else {
+        ++unknown_;
+        --commands_;
+        reply = "unknown command: " + cmd + "\r\n";
+    }
+    print(reply);
+}
+
+std::string SerialMonitor::cmd_help() const {
+    return "commands: help ver sys tsk obj tim stat ref tsk <id>\r\n";
+}
+
+std::string SerialMonitor::cmd_ver() const {
+    T_RVER v;
+    tk_.tk_ref_ver(&v);
+    return v.prid + " (" + v.spver + ")\r\n";
+}
+
+std::string SerialMonitor::cmd_sys() const {
+    T_RSYS s;
+    tk_.tk_ref_sys(&s);
+    std::ostringstream out;
+    out << "sysstat=" << s.sysstat << " runtsk=" << s.runtskid << "\r\n";
+    return out.str();
+}
+
+std::string SerialMonitor::cmd_tsk() const {
+    return tkds::render_task_table(tk_);
+}
+
+std::string SerialMonitor::cmd_tim() const {
+    SYSTIM tim = 0, otm = 0;
+    tk_.tk_get_tim(&tim);
+    tk_.tk_get_otm(&otm);
+    std::ostringstream out;
+    out << "systim=" << tim << " ms, otm=" << otm << " ms\r\n";
+    return out.str();
+}
+
+std::string SerialMonitor::cmd_stat() const {
+    const sim::SystemStats s = sim::collect_stats(tk_.sim());
+    std::ostringstream out;
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "load=%.1f%% dispatches=%llu preempt=%llu irq=%llu idle=%s\r\n",
+                  s.cpu_load * 100.0,
+                  static_cast<unsigned long long>(s.dispatches),
+                  static_cast<unsigned long long>(s.preemptions),
+                  static_cast<unsigned long long>(s.interrupts),
+                  s.idle_time.to_string().c_str());
+    out << buf;
+    return out.str();
+}
+
+std::string SerialMonitor::cmd_ref_tsk(const std::string& arg) const {
+    const ID id = std::atoi(arg.c_str());
+    tkds::TD_RTSK r;
+    if (tkds::td_ref_tsk(tk_, id, &r) != E_OK) {
+        return "no such task: " + arg + "\r\n";
+    }
+    std::ostringstream out;
+    out << "task " << id << " '" << r.name << "' pri=" << r.base.tskpri << "("
+        << r.base.tskbpri << ") stat=0x" << std::hex << r.base.tskstat << std::dec
+        << " cet=" << r.cet.to_string() << " dispatches=" << r.dispatches
+        << " cycles=" << r.cycles << "\r\n";
+    return out.str();
+}
+
+}  // namespace rtk::app

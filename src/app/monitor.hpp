@@ -1,0 +1,78 @@
+// SerialMonitor -- a T-Monitor-style debug console on the BFM UART.
+//
+// The T-Engine platform the paper targets ships with T-Monitor, a small
+// ROM monitor reachable over the serial line. This module reproduces that
+// debugging path on top of the reproduced stack: a monitor task sleeps on
+// the serial interrupt, assembles command lines from UART RX bytes, and
+// answers over UART TX using the T-Kernel/DS reference functions.
+//
+// Commands:
+//   help             command summary
+//   ver              kernel identification (tk_ref_ver)
+//   sys              system state (td_ref_sys)
+//   tsk              task table (td_lst_tsk/td_ref_tsk)
+//   obj              full kernel-object listing (Fig 8)
+//   tim              system time / operating time
+//   stat             SIM_API counters + CPU load
+//   ref tsk <id>     one task in detail
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "bfm/bfm8051.hpp"
+#include "tkernel/kernel.hpp"
+
+namespace rtk::app {
+
+class SerialMonitor {
+public:
+    struct Config {
+        tkernel::PRI task_priority = 3;  ///< console reacts promptly
+        unsigned irq_line = bfm::InterruptController::line_serial;
+        tkernel::PRI irq_priority = 1;
+        /// Host-side echo of monitor output to stdout (demo convenience).
+        bool echo_to_stdout = false;
+    };
+
+    SerialMonitor(tkernel::TKernel& tk, bfm::Bfm8051& bfm);
+    SerialMonitor(tkernel::TKernel& tk, bfm::Bfm8051& bfm, Config cfg);
+
+    /// Create & start the monitor task and hook the serial interrupt.
+    /// Must run in task context (call from the user main).
+    void setup();
+
+    /// Testbench helper: type a command line (appends '\r').
+    void type_line(const std::string& line);
+
+    tkernel::ID task_id() const { return task_; }
+    std::uint64_t commands_executed() const { return commands_; }
+    std::uint64_t unknown_commands() const { return unknown_; }
+
+    /// Everything the monitor printed to the UART so far (TX log).
+    const std::string& output() const;
+
+private:
+    void task_body();
+    void execute(const std::string& line);
+    void print(const std::string& text);  ///< TX with flow control
+
+    std::string cmd_help() const;
+    std::string cmd_ver() const;
+    std::string cmd_sys() const;
+    std::string cmd_tsk() const;
+    std::string cmd_tim() const;
+    std::string cmd_stat() const;
+    std::string cmd_ref_tsk(const std::string& arg) const;
+
+    tkernel::TKernel& tk_;
+    bfm::Bfm8051& bfm_;
+    Config cfg_;
+    tkernel::ID task_ = 0;
+    tkernel::ID rx_flag_ = 0;
+    std::string line_buf_;
+    std::uint64_t commands_ = 0;
+    std::uint64_t unknown_ = 0;
+};
+
+}  // namespace rtk::app

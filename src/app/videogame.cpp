@@ -1,0 +1,248 @@
+#include "app/videogame.hpp"
+
+#include <new>
+#include <string>
+
+namespace rtk::app {
+
+using namespace tkernel;
+using sim::ExecContext;
+
+VideoGame::VideoGame(TKernel& tk, bfm::Bfm8051& bfm, GameConfig cfg)
+    : tk_(tk), bfm_(bfm), cfg_(cfg) {}
+
+void VideoGame::wire(TKernel& tk, bfm::Bfm8051& bfm) {
+    tk.attach_tick_source(bfm.rtc().tick_event());
+    bfm.intc().set_sink([&tk](unsigned line, bool) {
+        tk.trigger_interrupt(line);
+    });
+}
+
+void VideoGame::install() {
+    tk_.set_user_main([this] { setup(); });
+}
+
+void VideoGame::setup() {
+    // ---- resources ----
+    T_CMBX cmbx;
+    cmbx.name = "render_mbx";
+    mbx_ = tk_.tk_cre_mbx(cmbx);
+
+    T_CMPF cmpf;
+    cmpf.name = "msg_pool";
+    cmpf.mpfcnt = 4;
+    cmpf.blfsz = sizeof(RenderMsg);
+    mpf_ = tk_.tk_cre_mpf(cmpf);
+
+    T_CFLG cflg;
+    cflg.name = "key_flg";
+    flg_ = tk_.tk_cre_flg(cflg);
+
+    T_CSEM csem;
+    csem.name = "score_sem";
+    csem.isemcnt = 0;
+    sem_ = tk_.tk_cre_sem(csem);
+
+    T_CMTX cmtx;
+    cmtx.name = "paddle_mtx";
+    cmtx.mtxatr = TA_INHERIT;
+    mtx_ = tk_.tk_cre_mtx(cmtx);
+
+    // ---- tasks ----
+    T_CTSK ct;
+    ct.name = "LCD:T1";
+    ct.itskpri = cfg_.pri_lcd;
+    ct.task = [this](INT, void*) { lcd_task_body(); };
+    t1_ = tk_.tk_cre_tsk(ct);
+
+    ct.name = "Keypad:T2";
+    ct.itskpri = cfg_.pri_keypad;
+    ct.task = [this](INT, void*) { keypad_task_body(); };
+    t2_ = tk_.tk_cre_tsk(ct);
+
+    ct.name = "SSD:T3";
+    ct.itskpri = cfg_.pri_ssd;
+    ct.task = [this](INT, void*) { ssd_task_body(); };
+    t3_ = tk_.tk_cre_tsk(ct);
+
+    if (cfg_.spawn_idle_task) {
+        ct.name = "IDLE:T4";
+        ct.itskpri = cfg_.pri_idle;
+        ct.task = [this](INT, void*) { idle_task_body(); };
+        t4_ = tk_.tk_cre_tsk(ct);
+    }
+
+    // ---- handlers ----
+    T_CCYC ccyc;
+    ccyc.name = "Cyclic:H1";
+    ccyc.cyctim = cfg_.physics_period_ms;
+    ccyc.cychdr = [this](void*) { physics_tick(); };
+    h1_ = tk_.tk_cre_cyc(ccyc);
+
+    T_CALM calm;
+    calm.name = "Alarm:H2";
+    calm.almhdr = [this](void*) { round_over(); };
+    h2_ = tk_.tk_cre_alm(calm);
+
+    // ---- keypad interrupt (external /INT0 through the BFM intc) ----
+    T_DINT dint;
+    dint.intpri = 2;
+    dint.inthdr = [this](void*) {
+        ++key_events_;
+        tk_.tk_set_flg(flg_, key_event_bit);
+    };
+    tk_.tk_def_int(bfm::InterruptController::line_ext0, dint);
+
+    // ---- start everything ----
+    tk_.tk_sta_tsk(t1_, 0);
+    tk_.tk_sta_tsk(t2_, 0);
+    tk_.tk_sta_tsk(t3_, 0);
+    if (t4_ != 0) {
+        tk_.tk_sta_tsk(t4_, 0);
+    }
+    tk_.tk_sta_cyc(h1_);
+    tk_.tk_sta_alm(h2_, cfg_.round_time_ms);
+
+    bfm_.lcd_clear();
+    bfm_.ssd_show(0);
+}
+
+// ---- H1: game physics + frame production --------------------------------------
+
+void VideoGame::physics_tick() {
+    tk_.sim().SIM_WaitUnits(8, ExecContext::handler);  // physics computation
+    if (round_over_flag_) {
+        round_over_flag_ = false;
+        ++rounds_;
+        ball_x_ = 3;
+        ball_row_ = 0;
+        ball_dir_ = 1;
+        tk_.tk_sta_alm(h2_, cfg_.round_time_ms);  // next round
+    }
+    ball_x_ += ball_dir_;
+    if (ball_x_ <= 0) {
+        ball_x_ = 0;
+        ball_dir_ = 1;
+    } else if (ball_x_ >= 15) {
+        ball_x_ = 15;
+        ball_dir_ = -1;
+    }
+    ball_row_ ^= 1;
+    if (ball_row_ == 1) {
+        // Ball reaches the paddle row: hit or miss.
+        if (ball_x_ >= paddle_x_ - 1 && ball_x_ <= paddle_x_ + 1) {
+            ++score_;
+            tk_.tk_sig_sem(sem_, 1);
+        } else {
+            ++misses_;
+        }
+    }
+    // Produce a render message from the fixed pool (drop frame if the
+    // pool is exhausted -- handlers must not block).
+    void* blk = nullptr;
+    if (tk_.tk_get_mpf(mpf_, &blk, TMO_POL) != E_OK) {
+        ++dropped_;
+        return;
+    }
+    auto* msg = new (blk) RenderMsg{};
+    msg->ball_x = ball_x_;
+    msg->ball_row = ball_row_;
+    msg->paddle_x = paddle_x_;
+    msg->score = score_;
+    msg->round = rounds_;
+    tk_.tk_snd_mbx(mbx_, msg);
+}
+
+// ---- H2: round timer -------------------------------------------------------------
+
+void VideoGame::round_over() {
+    tk_.sim().SIM_WaitUnits(4, ExecContext::handler);
+    round_over_flag_ = true;
+}
+
+// ---- T1: LCD rendering -------------------------------------------------------------
+
+void VideoGame::draw_frame(const RenderMsg& m) {
+    std::string row0(16, ' ');
+    std::string row1(16, ' ');
+    auto& ball_row = (m.ball_row == 0) ? row0 : row1;
+    ball_row[static_cast<std::size_t>(m.ball_x)] = '*';
+    for (int x = m.paddle_x - 1; x <= m.paddle_x + 1; ++x) {
+        if (x >= 0 && x < 16 && row1[static_cast<std::size_t>(x)] == ' ') {
+            row1[static_cast<std::size_t>(x)] = '=';
+        }
+    }
+    const std::string sc = std::to_string(m.score);
+    row0.replace(16 - sc.size(), sc.size(), sc);
+    bfm_.lcd_print(0, 0, row0);
+    bfm_.lcd_print(1, 0, row1);
+}
+
+void VideoGame::lcd_task_body() {
+    for (;;) {
+        T_MSG* raw = nullptr;
+        if (tk_.tk_rcv_mbx(mbx_, &raw, TMO_FEVR) != E_OK) {
+            return;  // mailbox deleted: end task
+        }
+        auto* msg = static_cast<RenderMsg*>(raw);
+        // Compose the frame (annotated computation), read the paddle
+        // position consistently, then draw through the BFM.
+        tk_.tk_loc_mtx(mtx_, TMO_FEVR);
+        const RenderMsg local = *msg;
+        tk_.tk_unl_mtx(mtx_);
+        tk_.sim().SIM_WaitUnits(cfg_.frame_compose_units, ExecContext::task);
+        draw_frame(local);
+        ++frames_;
+        tk_.tk_rel_mpf(mpf_, msg);
+    }
+}
+
+// ---- T2: keypad input ----------------------------------------------------------------
+
+void VideoGame::keypad_task_body() {
+    for (;;) {
+        UINT ptn = 0;
+        if (tk_.tk_wai_flg(flg_, key_event_bit, TWF_ORW | TWF_CLR, &ptn, TMO_FEVR) !=
+            E_OK) {
+            return;
+        }
+        tk_.sim().SIM_WaitUnits(cfg_.input_units, ExecContext::task);
+        const int key = bfm_.keypad_scan();
+        if (key < 0) {
+            continue;
+        }
+        const unsigned col = static_cast<unsigned>(key) % 4;
+        tk_.tk_loc_mtx(mtx_, TMO_FEVR);
+        if (col == 0 && paddle_x_ > 1) {
+            --paddle_x_;
+        } else if (col == 3 && paddle_x_ < 14) {
+            ++paddle_x_;
+        }
+        tk_.tk_unl_mtx(mtx_);
+    }
+}
+
+// ---- T3: score display -----------------------------------------------------------------
+
+void VideoGame::ssd_task_body() {
+    for (;;) {
+        if (tk_.tk_wai_sem(sem_, 1, TMO_FEVR) != E_OK) {
+            return;
+        }
+        tk_.sim().SIM_WaitUnits(cfg_.score_units, ExecContext::task);
+        bfm_.ssd_show(score_);
+    }
+}
+
+// ---- T4: idle ---------------------------------------------------------------------------
+
+void VideoGame::idle_task_body() {
+    // The classic µ-ITRON idle task: an endless low-priority loop. Its
+    // consumed time/energy shows up in the Fig 7 distribution, exactly as
+    // in the paper's screenshots.
+    for (;;) {
+        tk_.sim().SIM_WaitUnits(250, ExecContext::task);
+    }
+}
+
+}  // namespace rtk::app

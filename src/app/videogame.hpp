@@ -1,0 +1,127 @@
+// The video-game application of the paper's case study (§5.2, Fig 4):
+// "we programmed a video game application that maps into four
+// communicating tasks: {LCD:T1, Key pad:T2, SSD:T3, IDLE:T4} and two
+// handlers {Cyclic:H1, Alarm:H2}".
+//
+// The game is a paddle-and-ball playfield on the 16x2 LCD: the cyclic
+// handler H1 advances the ball every physics tick and posts a render
+// message (allocated from a fixed memory pool) to a mailbox; T1 receives
+// and draws frames through the BFM; the keypad ISR sets an event flag
+// that wakes T2 to scan the matrix and move the paddle (under a mutex);
+// T3 waits on a semaphore signalled per score change and updates the
+// seven-segment display; the alarm handler H2 ends each round; T4 idles
+// at the lowest priority. Together the tasks exercise every T-Kernel
+// synchronisation object class.
+#pragma once
+
+#include <cstdint>
+
+#include "bfm/bfm8051.hpp"
+#include "tkernel/kernel.hpp"
+
+namespace rtk::app {
+
+struct GameConfig {
+    /// H1 period: the game physics tick AND the LCD render rate -- this
+    /// is the "BFM access rate driving a GUI widget" knob of Table 2.
+    tkernel::RELTIM physics_period_ms = 50;
+    /// H2 one-shot round timer.
+    tkernel::RELTIM round_time_ms = 2000;
+    tkernel::PRI pri_keypad = 4;  ///< T2 (most urgent user input)
+    tkernel::PRI pri_lcd = 5;     ///< T1
+    tkernel::PRI pri_ssd = 6;     ///< T3
+    tkernel::PRI pri_idle = 100;  ///< T4
+    /// Annotated computation per rendered frame (work units, task ctx).
+    std::uint64_t frame_compose_units = 60;
+    /// Annotated computation per keypad scan.
+    std::uint64_t input_units = 15;
+    /// Annotated computation per score update.
+    std::uint64_t score_units = 10;
+    bool spawn_idle_task = true;
+};
+
+class VideoGame {
+public:
+    VideoGame(tkernel::TKernel& tk, bfm::Bfm8051& bfm, GameConfig cfg = GameConfig{});
+
+    /// Standard wiring of kernel and BFM (paper Fig 5): RTC drives the
+    /// system tick, interrupt controller delivers into the kernel's
+    /// Interrupt Dispatch. Call before power_on().
+    static void wire(tkernel::TKernel& tk, bfm::Bfm8051& bfm);
+
+    /// Install setup() as the kernel's user main (runs in the init task).
+    void install();
+
+    /// Create & start all tasks, handlers and resources; must run in task
+    /// context (usually via install()).
+    void setup();
+
+    // ---- game state / statistics ----
+    unsigned score() const { return score_; }
+    unsigned misses() const { return misses_; }
+    unsigned rounds() const { return rounds_; }
+    int ball_x() const { return ball_x_; }
+    int paddle_x() const { return paddle_x_; }
+    std::uint64_t frames_rendered() const { return frames_; }
+    std::uint64_t frames_dropped() const { return dropped_; }
+    std::uint64_t key_events() const { return key_events_; }
+
+    // ---- object ids for the debugger / tests ----
+    tkernel::ID lcd_task() const { return t1_; }
+    tkernel::ID keypad_task() const { return t2_; }
+    tkernel::ID ssd_task() const { return t3_; }
+    tkernel::ID idle_task() const { return t4_; }
+    tkernel::ID cyclic_handler() const { return h1_; }
+    tkernel::ID alarm_handler() const { return h2_; }
+    tkernel::ID render_mailbox() const { return mbx_; }
+    tkernel::ID msg_pool() const { return mpf_; }
+    tkernel::ID key_flag() const { return flg_; }
+    tkernel::ID score_sem() const { return sem_; }
+    tkernel::ID paddle_mutex() const { return mtx_; }
+
+    static constexpr unsigned key_left = 0;   ///< any key in column 0
+    static constexpr unsigned key_right = 3;  ///< any key in column 3
+    static constexpr tkernel::UINT key_event_bit = 0x1;
+
+private:
+    struct RenderMsg : tkernel::T_MSG {
+        int ball_x;
+        int ball_row;
+        int paddle_x;
+        unsigned score;
+        unsigned round;
+    };
+
+    void physics_tick();  ///< H1 body
+    void round_over();    ///< H2 body
+    void lcd_task_body();
+    void keypad_task_body();
+    void ssd_task_body();
+    void idle_task_body();
+    void draw_frame(const RenderMsg& m);
+
+    tkernel::TKernel& tk_;
+    bfm::Bfm8051& bfm_;
+    GameConfig cfg_;
+
+    // game state (updated at handler/task level; consistency across
+    // SIM_Wait boundaries is guarded by mtx_ where tasks share it)
+    int ball_x_ = 3;
+    int ball_dir_ = 1;
+    int ball_row_ = 0;
+    int paddle_x_ = 8;
+    unsigned score_ = 0;
+    unsigned misses_ = 0;
+    unsigned rounds_ = 0;
+    bool round_over_flag_ = false;
+
+    std::uint64_t frames_ = 0;
+    std::uint64_t dropped_ = 0;
+    std::uint64_t key_events_ = 0;
+
+    tkernel::ID t1_ = 0, t2_ = 0, t3_ = 0, t4_ = 0;
+    tkernel::ID h1_ = 0, h2_ = 0;
+    tkernel::ID mbx_ = 0, mpf_ = 0, flg_ = 0, sem_ = 0, mtx_ = 0;
+};
+
+}  // namespace rtk::app

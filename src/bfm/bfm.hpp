@@ -1,0 +1,15 @@
+// Umbrella header for rtk::bfm -- the i8051 bus-functional model.
+#pragma once
+
+#include "bfm/bfm8051.hpp"
+#include "bfm/bus.hpp"
+#include "bfm/cost.hpp"
+#include "bfm/device.hpp"
+#include "bfm/intc.hpp"
+#include "bfm/keypad.hpp"
+#include "bfm/lcd.hpp"
+#include "bfm/pio.hpp"
+#include "bfm/rtc.hpp"
+#include "bfm/serial.hpp"
+#include "bfm/ssd.hpp"
+#include "bfm/timer.hpp"

@@ -1,0 +1,98 @@
+// Bfm8051 -- the assembled bus-functional model of the case study
+// (paper §5.1, Fig 5): "the BFM consists of: Real Time Clock driving the
+// kernel Central Module with default timing resolution = 1 ms, Memory
+// controller, Interrupt controller, Serial I/O, and Multiplexed Parallel
+// I/O interface to which several external peripheral devices are
+// connected" -- here an HD44780-style LCD, a 4x4 keypad and a 4-digit
+// seven-segment display.
+//
+// The class also provides the high-level driver calls the application
+// tasks use (paper Fig 4); each consumes its cycle budget through the
+// bus, so BFM access time/energy lands in the calling T-THREAD's token
+// under ExecContext::bfm_access.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "bfm/bus.hpp"
+#include "bfm/intc.hpp"
+#include "bfm/keypad.hpp"
+#include "bfm/lcd.hpp"
+#include "bfm/pio.hpp"
+#include "bfm/rtc.hpp"
+#include "bfm/serial.hpp"
+#include "bfm/ssd.hpp"
+#include "bfm/timer.hpp"
+
+namespace rtk::bfm {
+
+class Bfm8051 {
+public:
+    struct Config {
+        sysc::Time rtc_resolution = sysc::Time::ms(1);
+        unsigned uart_baud = 9600;
+        CycleBudgets budgets{};
+    };
+
+    // XDATA memory map of the case-study board.
+    static constexpr std::uint16_t lcd_base = 0x8000;
+    static constexpr std::uint16_t keypad_base = 0x9000;
+    static constexpr std::uint16_t ssd_base = 0xA000;
+    static constexpr std::uint16_t serial_base = 0xB000;
+    static constexpr std::uint16_t intc_base = 0xC000;
+    static constexpr std::uint16_t rtc_base = 0xD000;
+    static constexpr std::uint16_t timer0_base = 0xE000;
+    static constexpr std::uint16_t timer1_base = 0xE010;
+
+    explicit Bfm8051(sim::SimApi& api);
+    Bfm8051(sim::SimApi& api, Config cfg);
+
+    Bus8051& bus() { return bus_; }
+    RealTimeClock& rtc() { return rtc_; }
+    InterruptController& intc() { return intc_; }
+    SerialIO& serial() { return serial_; }
+    MuxedParallelPort& pio() { return pio_; }
+    Lcd16x2& lcd() { return lcd_; }
+    Keypad4x4& keypad() { return keypad_; }
+    SevenSegmentDisplay& ssd() { return ssd_; }
+    Timer8051& timer0() { return timer0_; }
+    Timer8051& timer1() { return timer1_; }
+
+    // ---- high-level driver calls (cycle-budgeted BFM calls, Fig 4) ----
+    /// Busy-poll then write an LCD command.
+    void lcd_command(std::uint8_t cmd);
+    /// Busy-poll then write one character at the cursor.
+    void lcd_putc(char c);
+    /// Position cursor and write a string (row 0/1, col 0..15).
+    void lcd_print(unsigned row, unsigned col, const std::string& text);
+    void lcd_clear();
+
+    /// Full keypad matrix scan; returns first pressed key or -1.
+    int keypad_scan();
+
+    /// Show a decimal value on the 4-digit display.
+    void ssd_show(unsigned value);
+
+    /// Blocking-free UART send (returns false on overrun).
+    bool serial_send(std::uint8_t byte);
+    bool serial_poll_ready();
+    std::uint8_t serial_receive();
+
+    const Config& config() const { return cfg_; }
+
+private:
+    Config cfg_;
+    Bus8051 bus_;
+    RealTimeClock rtc_;
+    InterruptController intc_;
+    SerialIO serial_;
+    MuxedParallelPort pio_;
+    Lcd16x2 lcd_;
+    Keypad4x4 keypad_;
+    SevenSegmentDisplay ssd_;
+    Timer8051 timer0_;
+    Timer8051 timer1_;
+};
+
+}  // namespace rtk::bfm

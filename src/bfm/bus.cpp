@@ -1,0 +1,82 @@
+#include "bfm/bus.hpp"
+
+#include "sysc/report.hpp"
+
+namespace rtk::bfm {
+
+Bus8051::Bus8051(sim::SimApi& api, CycleBudgets budgets)
+    : api_(api), budgets_(budgets), ram_(xdata_size, 0) {}
+
+void Bus8051::map(std::uint16_t base, std::uint16_t size, Device& dev) {
+    for (const auto& m : mappings_) {
+        const std::uint32_t end_new = static_cast<std::uint32_t>(base) + size;
+        const std::uint32_t end_old = static_cast<std::uint32_t>(m.base) + m.size;
+        if (base < end_old && m.base < end_new) {
+            sysc::report(sysc::Severity::fatal, "bfm",
+                         "device mapping overlap: '" + dev.name() + "' and '" +
+                             m.dev->name() + "'");
+        }
+    }
+    mappings_.push_back({base, size, &dev});
+}
+
+Bus8051::Mapping* Bus8051::find_mapping(std::uint16_t addr) {
+    for (auto& m : mappings_) {
+        if (addr >= m.base && addr < static_cast<std::uint32_t>(m.base) + m.size) {
+            return &m;
+        }
+    }
+    return nullptr;
+}
+
+void Bus8051::consume(std::uint64_t cycles) {
+    cycles_consumed_ += cycles;
+    // Only a registered T-THREAD consumes simulated time; device-internal
+    // or testbench accesses are functionally instantaneous.
+    if (api_.self_or_null() != nullptr) {
+        api_.SIM_WaitUnits(cycles, sim::ExecContext::bfm_access);
+    }
+}
+
+void Bus8051::notify(std::uint16_t addr, bool write, bool device) {
+    ++access_count_;
+    const AccessEvent ev{addr, write, device};
+    for (const auto& fn : listeners_) {
+        fn(ev);
+    }
+}
+
+std::uint8_t Bus8051::read_xdata(std::uint16_t addr) {
+    consume(budgets_.xdata_access);
+    if (Mapping* m = find_mapping(addr)) {
+        notify(addr, false, true);
+        return m->dev->read(static_cast<std::uint16_t>(addr - m->base));
+    }
+    notify(addr, false, false);
+    return ram_[addr];
+}
+
+void Bus8051::write_xdata(std::uint16_t addr, std::uint8_t value) {
+    consume(budgets_.xdata_access);
+    if (Mapping* m = find_mapping(addr)) {
+        notify(addr, true, true);
+        m->dev->write(static_cast<std::uint16_t>(addr - m->base), value);
+        return;
+    }
+    notify(addr, true, false);
+    ram_[addr] = value;
+}
+
+std::uint16_t Bus8051::read_xdata16(std::uint16_t addr) {
+    const std::uint8_t lo = read_xdata(addr);
+    const std::uint8_t hi = read_xdata(static_cast<std::uint16_t>(addr + 1));
+    return static_cast<std::uint16_t>(lo | (hi << 8));
+}
+
+void Bus8051::write_xdata16(std::uint16_t addr, std::uint16_t value) {
+    write_xdata(addr, static_cast<std::uint8_t>(value & 0xff));
+    write_xdata(static_cast<std::uint16_t>(addr + 1),
+                static_cast<std::uint8_t>(value >> 8));
+}
+
+}  // namespace rtk::bfm

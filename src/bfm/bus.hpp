@@ -1,0 +1,76 @@
+// Bus8051 -- the bus-functional model's driver interface (paper §5.1):
+// "A bus functional model ... models the external behavior of a processor
+// with the surrounding H/W ... based on a Driver Model (handshake
+// functions), and represented by BFM calls."
+//
+// Every call consumes its cycle budget in the caller's T-THREAD
+// (ExecContext::bfm_access), performs the functional effect (RAM or
+// memory-mapped device access), and notifies access listeners -- which is
+// how GUI widgets are "driven by BFM accesses" in the Table 2 experiment.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "bfm/cost.hpp"
+#include "bfm/device.hpp"
+#include "sim/sim_api.hpp"
+
+namespace rtk::bfm {
+
+class Bus8051 {
+public:
+    static constexpr std::size_t xdata_size = 0x10000;  ///< 64 KiB MOVX space
+
+    struct AccessEvent {
+        std::uint16_t addr;
+        bool write;
+        bool device;  ///< routed to a mapped device (vs plain XDATA RAM)
+    };
+    using AccessListener = std::function<void(const AccessEvent&)>;
+
+    Bus8051(sim::SimApi& api, CycleBudgets budgets = CycleBudgets{});
+
+    /// Map `dev` into XDATA at [base, base+size). Overlaps are an error.
+    void map(std::uint16_t base, std::uint16_t size, Device& dev);
+
+    // ---- driver-model handshake calls ----
+    std::uint8_t read_xdata(std::uint16_t addr);
+    void write_xdata(std::uint16_t addr, std::uint8_t value);
+    std::uint16_t read_xdata16(std::uint16_t addr);
+    void write_xdata16(std::uint16_t addr, std::uint16_t value);
+
+    void add_access_listener(AccessListener fn) {
+        listeners_.push_back(std::move(fn));
+    }
+
+    // ---- statistics (per-call cycle budgets, Fig 4 table) ----
+    std::uint64_t access_count() const { return access_count_; }
+    std::uint64_t cycles_consumed() const { return cycles_consumed_; }
+    const CycleBudgets& budgets() const { return budgets_; }
+
+    /// Consume `cycles` machine cycles in the calling T-THREAD (exposed
+    /// for composite drivers like the serial port).
+    void consume(std::uint64_t cycles);
+
+private:
+    struct Mapping {
+        std::uint16_t base;
+        std::uint16_t size;
+        Device* dev;
+    };
+    Mapping* find_mapping(std::uint16_t addr);
+    void notify(std::uint16_t addr, bool write, bool device);
+
+    sim::SimApi& api_;
+    CycleBudgets budgets_;
+    std::vector<std::uint8_t> ram_;
+    std::vector<Mapping> mappings_;
+    std::vector<AccessListener> listeners_;
+    std::uint64_t access_count_ = 0;
+    std::uint64_t cycles_consumed_ = 0;
+};
+
+}  // namespace rtk::bfm

@@ -1,0 +1,22 @@
+// Cycle budgets of the BFM driver-model calls (paper §5.1 / Fig 4):
+// "Each BFM Call will be associated with a cycle budget that is based on
+// BFM timing characteristics, and an estimation on the energy consumed
+// during that BFM access."
+//
+// Budgets are in 8051 machine cycles (12 clocks; 1 us at 12 MHz). The
+// energy per cycle comes from the SIM_API cost table's bfm_access context.
+#pragma once
+
+#include <cstdint>
+
+namespace rtk::bfm {
+
+struct CycleBudgets {
+    std::uint64_t sfr_access = 1;     ///< special-function register
+    std::uint64_t xdata_access = 2;   ///< MOVX through the external bus
+    std::uint64_t port_access = 1;    ///< parallel port read/write
+    std::uint64_t device_select = 1;  ///< mux select latch (ALE phase)
+    std::uint64_t serial_access = 2;  ///< SBUF/SCON access
+};
+
+}  // namespace rtk::bfm

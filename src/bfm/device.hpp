@@ -1,0 +1,20 @@
+// Memory-mapped peripheral interface of the BFM ("Driver Model
+// (handshake functions)", paper §5.1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rtk::bfm {
+
+class Device {
+public:
+    virtual ~Device() = default;
+    virtual const std::string& name() const = 0;
+    /// Register read at byte offset within the device window.
+    virtual std::uint8_t read(std::uint16_t offset) = 0;
+    /// Register write at byte offset within the device window.
+    virtual void write(std::uint16_t offset, std::uint8_t value) = 0;
+};
+
+}  // namespace rtk::bfm

@@ -1,0 +1,57 @@
+#include "bfm/intc.hpp"
+
+#include "sysc/report.hpp"
+
+namespace rtk::bfm {
+
+void InterruptController::raise(unsigned line) {
+    if (line >= num_lines) {
+        sysc::report(sysc::Severity::fatal, "intc", "invalid interrupt line");
+    }
+    ++raised_[line];
+    if (!line_enabled(line) || !sink_) {
+        pending_ |= static_cast<std::uint8_t>(1u << line);
+        ++masked_latches_;
+        return;
+    }
+    ++delivered_[line];
+    sink_(line, high_priority(line));
+}
+
+void InterruptController::write_ie(std::uint8_t v) {
+    ie_ = v;
+    deliver_pending();
+}
+
+void InterruptController::deliver_pending() {
+    if (!sink_) {
+        return;
+    }
+    for (unsigned line = 0; line < num_lines; ++line) {
+        const std::uint8_t bit = static_cast<std::uint8_t>(1u << line);
+        if ((pending_ & bit) != 0 && line_enabled(line)) {
+            pending_ = static_cast<std::uint8_t>(pending_ & ~bit);
+            ++delivered_[line];
+            sink_(line, high_priority(line));
+        }
+    }
+}
+
+std::uint8_t InterruptController::read(std::uint16_t offset) {
+    switch (offset) {
+        case 0: return ie_;
+        case 1: return ip_;
+        case 2: return pending_;
+        default: return 0;
+    }
+}
+
+void InterruptController::write(std::uint16_t offset, std::uint8_t value) {
+    switch (offset) {
+        case 0: write_ie(value); break;
+        case 1: write_ip(value); break;
+        default: break;
+    }
+}
+
+}  // namespace rtk::bfm

@@ -1,0 +1,75 @@
+// 8051-style interrupt controller: five sources (INT0, Timer0, INT1,
+// Timer1, Serial), IE register with global enable (EA), IP register with
+// two priority levels, and pending-latch semantics -- an IRQ raised while
+// masked is latched and delivered on unmask.
+//
+// Delivery goes to an injectable sink (the kernel's Interrupt Dispatch
+// module); the kernel-side vector priority encodes the IP level so
+// high-priority IRQs nest into low-priority handlers.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "bfm/device.hpp"
+
+namespace rtk::bfm {
+
+class InterruptController final : public Device {
+public:
+    static constexpr unsigned num_lines = 5;
+    // Canonical 8051 line assignment.
+    static constexpr unsigned line_ext0 = 0;    ///< /INT0 (keypad in the case study)
+    static constexpr unsigned line_timer0 = 1;
+    static constexpr unsigned line_ext1 = 2;
+    static constexpr unsigned line_timer1 = 3;
+    static constexpr unsigned line_serial = 4;
+
+    using Sink = std::function<void(unsigned line, bool high_priority)>;
+
+    InterruptController() = default;
+
+    /// Install the delivery sink (kernel Interrupt Dispatch wiring).
+    void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+    /// Raise interrupt line; masked lines latch as pending.
+    void raise(unsigned line);
+
+    // ---- IE register (bit7 = EA global enable, bit N = line N) ----
+    void write_ie(std::uint8_t v);
+    std::uint8_t read_ie() const { return ie_; }
+    // ---- IP register (bit N set = line N is high priority) ----
+    void write_ip(std::uint8_t v) { ip_ = v; }
+    std::uint8_t read_ip() const { return ip_; }
+
+    bool pending(unsigned line) const { return (pending_ >> line) & 1u; }
+    bool line_enabled(unsigned line) const {
+        return (ie_ & 0x80u) != 0 && ((ie_ >> line) & 1u) != 0;
+    }
+    bool high_priority(unsigned line) const { return ((ip_ >> line) & 1u) != 0; }
+
+    std::uint64_t raised(unsigned line) const { return raised_.at(line); }
+    std::uint64_t delivered(unsigned line) const { return delivered_.at(line); }
+    std::uint64_t masked_latches() const { return masked_latches_; }
+
+    // Device window: 0=IE, 1=IP, 2=pending (read-only).
+    const std::string& name() const override { return name_; }
+    std::uint8_t read(std::uint16_t offset) override;
+    void write(std::uint16_t offset, std::uint8_t value) override;
+
+private:
+    void deliver_pending();
+
+    std::string name_ = "intc";
+    Sink sink_;
+    std::uint8_t ie_ = 0;
+    std::uint8_t ip_ = 0;
+    std::uint8_t pending_ = 0;
+    std::array<std::uint64_t, num_lines> raised_{};
+    std::array<std::uint64_t, num_lines> delivered_{};
+    std::uint64_t masked_latches_ = 0;
+};
+
+}  // namespace rtk::bfm

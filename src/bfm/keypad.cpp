@@ -1,0 +1,76 @@
+#include "bfm/keypad.hpp"
+
+#include "sysc/report.hpp"
+
+namespace rtk::bfm {
+
+Keypad4x4::Keypad4x4(InterruptController* intc) : intc_(intc) {}
+
+void Keypad4x4::press(unsigned key) {
+    if (key >= 16) {
+        sysc::report(sysc::Severity::fatal, "keypad", "invalid key index");
+    }
+    const std::uint16_t bit = static_cast<std::uint16_t>(1u << key);
+    if ((pressed_mask_ & bit) != 0) {
+        return;  // already down
+    }
+    pressed_mask_ |= bit;
+    ++press_count_;
+    if (intc_ != nullptr) {
+        intc_->raise(InterruptController::line_ext0);
+    }
+}
+
+void Keypad4x4::release(unsigned key) {
+    if (key >= 16) {
+        sysc::report(sysc::Severity::fatal, "keypad", "invalid key index");
+    }
+    pressed_mask_ &= static_cast<std::uint16_t>(~(1u << key));
+}
+
+bool Keypad4x4::is_pressed(unsigned key) const {
+    return key < 16 && ((pressed_mask_ >> key) & 1u) != 0;
+}
+
+int Keypad4x4::scan_first_pressed() const {
+    for (unsigned k = 0; k < 16; ++k) {
+        if (is_pressed(k)) {
+            return static_cast<int>(k);
+        }
+    }
+    return -1;
+}
+
+std::uint8_t Keypad4x4::read(std::uint16_t offset) {
+    if (offset == 1) {
+        // Column mask for the strobed rows.
+        std::uint8_t cols = 0;
+        for (unsigned row = 0; row < 4; ++row) {
+            if (((row_strobe_ >> row) & 1u) == 0) {
+                continue;
+            }
+            for (unsigned col = 0; col < 4; ++col) {
+                if (is_pressed(row * 4 + col)) {
+                    cols |= static_cast<std::uint8_t>(1u << col);
+                }
+            }
+        }
+        return cols;
+    }
+    if (offset == 2) {
+        std::uint8_t n = 0;
+        for (unsigned k = 0; k < 16; ++k) {
+            n += is_pressed(k) ? 1 : 0;
+        }
+        return n;
+    }
+    return row_strobe_;
+}
+
+void Keypad4x4::write(std::uint16_t offset, std::uint8_t value) {
+    if (offset == 0) {
+        row_strobe_ = value & 0x0f;
+    }
+}
+
+}  // namespace rtk::bfm

@@ -1,0 +1,48 @@
+// 4x4 matrix keypad peripheral -- the input device of the video-game case
+// study (task T2). The driver strobes a row mask into offset 0 and reads
+// the column mask back from offset 1; a full scan identifies the pressed
+// key. Key events injected by the testbench raise /INT0 through the
+// interrupt controller.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "bfm/device.hpp"
+#include "bfm/intc.hpp"
+
+namespace rtk::bfm {
+
+class Keypad4x4 final : public Device {
+public:
+    explicit Keypad4x4(InterruptController* intc = nullptr);
+
+    /// Keys are numbered 0..15, row-major: key = row*4 + col.
+    void press(unsigned key);
+    void release(unsigned key);
+    bool is_pressed(unsigned key) const;
+    /// Any key currently down?
+    bool any_pressed() const { return pressed_mask_ != 0; }
+
+    /// Full scan as a driver would do it (testing convenience; consumes
+    /// no cycles -- drivers go through the bus). Returns -1 if none.
+    int scan_first_pressed() const;
+
+    std::uint64_t press_count() const { return press_count_; }
+
+    // Device window: 0 = row strobe (w), 1 = column readback (r),
+    // 2 = raw pressed count (r, debug).
+    const std::string& name() const override { return name_; }
+    std::uint8_t read(std::uint16_t offset) override;
+    void write(std::uint16_t offset, std::uint8_t value) override;
+
+private:
+    std::string name_ = "keypad";
+    InterruptController* intc_;
+    std::uint16_t pressed_mask_ = 0;  ///< bit = key index
+    std::uint8_t row_strobe_ = 0;
+    std::uint64_t press_count_ = 0;
+};
+
+}  // namespace rtk::bfm

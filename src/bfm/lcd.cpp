@@ -1,0 +1,96 @@
+#include "bfm/lcd.hpp"
+
+#include <algorithm>
+
+#include "sysc/kernel.hpp"
+
+namespace rtk::bfm {
+
+namespace {
+constexpr auto short_exec = sysc::Time::us(37);
+constexpr auto long_exec = sysc::Time::us(1520);
+
+unsigned ddram_to_index(std::uint8_t addr) {
+    if (addr >= 0x40) {
+        return Lcd16x2::columns + std::min<unsigned>(addr - 0x40, Lcd16x2::columns - 1);
+    }
+    return std::min<unsigned>(addr, Lcd16x2::columns - 1);
+}
+}  // namespace
+
+Lcd16x2::Lcd16x2() {
+    ddram_.fill(' ');
+}
+
+bool Lcd16x2::busy() const {
+    return sysc::Kernel::current().now() < busy_until_;
+}
+
+void Lcd16x2::make_busy(sysc::Time dur) {
+    busy_until_ = sysc::Kernel::current().now() + dur;
+}
+
+void Lcd16x2::execute(std::uint8_t cmd) {
+    if (cmd == cmd_clear) {
+        ddram_.fill(' ');
+        addr_ = 0;
+        ++frame_count_;
+        make_busy(long_exec);
+    } else if (cmd == cmd_home) {
+        addr_ = 0;
+        make_busy(long_exec);
+    } else if (cmd == cmd_display_on) {
+        display_on_ = true;
+        make_busy(short_exec);
+    } else if (cmd == cmd_display_off) {
+        display_on_ = false;
+        make_busy(short_exec);
+    } else if ((cmd & cmd_set_ddram) != 0) {
+        addr_ = cmd & 0x7f;
+        make_busy(short_exec);
+    } else {
+        make_busy(short_exec);  // unimplemented commands still take time
+    }
+}
+
+std::uint8_t Lcd16x2::read(std::uint16_t offset) {
+    if (offset == 0) {
+        // Busy flag in bit 7, current address in bits 0-6.
+        return static_cast<std::uint8_t>((busy() ? 0x80 : 0x00) | (addr_ & 0x7f));
+    }
+    return static_cast<std::uint8_t>(ddram_[ddram_to_index(addr_)]);
+}
+
+void Lcd16x2::write(std::uint16_t offset, std::uint8_t value) {
+    if (busy()) {
+        ++busy_drops_;
+        return;
+    }
+    if (offset == 0) {
+        execute(value);
+        return;
+    }
+    // data write at the cursor, auto-increment (entry mode I/D=1)
+    ddram_[ddram_to_index(addr_)] = static_cast<char>(value);
+    ++data_writes_;
+    if (addr_ == columns - 1) {
+        addr_ = 0x40;  // wrap to row 1
+    } else {
+        ++addr_;
+    }
+    make_busy(short_exec);
+}
+
+std::string Lcd16x2::row_text(unsigned row) const {
+    if (row >= rows) {
+        return {};
+    }
+    return std::string(ddram_.begin() + row * columns,
+                       ddram_.begin() + (row + 1) * columns);
+}
+
+std::string Lcd16x2::text() const {
+    return row_text(0) + "\n" + row_text(1);
+}
+
+}  // namespace rtk::bfm

@@ -1,0 +1,64 @@
+// Character LCD peripheral (HD44780-style 16x2) attached to the
+// multiplexed parallel interface -- the display of the paper's video-game
+// case study (task T1 renders the play field here).
+//
+// Register window: offset 0 = command, offset 1 = data. Command execution
+// keeps the controller busy (clear/home 1.52 ms, others 37 us); writes
+// issued while busy are dropped and counted, so correctly written drivers
+// must poll the busy flag (bit 7 of a command-register read).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "bfm/device.hpp"
+#include "sysc/time.hpp"
+
+namespace rtk::bfm {
+
+class Lcd16x2 final : public Device {
+public:
+    static constexpr unsigned columns = 16;
+    static constexpr unsigned rows = 2;
+
+    Lcd16x2();
+
+    // ---- command set (subset of HD44780) ----
+    static constexpr std::uint8_t cmd_clear = 0x01;
+    static constexpr std::uint8_t cmd_home = 0x02;
+    static constexpr std::uint8_t cmd_display_on = 0x0C;
+    static constexpr std::uint8_t cmd_display_off = 0x08;
+    /// 0x80 | ddram address (row0: 0x00-0x0F, row1: 0x40-0x4F)
+    static constexpr std::uint8_t cmd_set_ddram = 0x80;
+
+    bool busy() const;
+    bool display_on() const { return display_on_; }
+
+    /// Rendered text content, rows joined with '\n'.
+    std::string text() const;
+    std::string row_text(unsigned row) const;
+
+    std::uint64_t writes_while_busy() const { return busy_drops_; }
+    std::uint64_t data_writes() const { return data_writes_; }
+    std::uint64_t frame_count() const { return frame_count_; }  ///< clear count
+
+    const std::string& name() const override { return name_; }
+    std::uint8_t read(std::uint16_t offset) override;
+    void write(std::uint16_t offset, std::uint8_t value) override;
+
+private:
+    void execute(std::uint8_t cmd);
+    void make_busy(sysc::Time dur);
+
+    std::string name_ = "lcd";
+    std::array<char, columns * rows> ddram_{};
+    std::uint8_t addr_ = 0;  ///< ddram cursor
+    bool display_on_ = true;
+    sysc::Time busy_until_{};
+    std::uint64_t busy_drops_ = 0;
+    std::uint64_t data_writes_ = 0;
+    std::uint64_t frame_count_ = 0;
+};
+
+}  // namespace rtk::bfm

@@ -1,0 +1,93 @@
+#include "bfm/serial.hpp"
+
+#include "sysc/kernel.hpp"
+#include "sysc/process.hpp"
+
+namespace rtk::bfm {
+
+SerialIO::SerialIO(unsigned baud, InterruptController* intc)
+    : frame_time_(sysc::Time::ps(static_cast<std::uint64_t>(1e12 * 10.0 / baud))),
+      intc_(intc),
+      tx_done_("serial.tx_done"),
+      rx_kick_("serial.rx_kick") {
+    auto& k = sysc::Kernel::current();
+    tx_proc_ = &k.spawn("bfm.serial.tx", [this] {
+        for (;;) {
+            sysc::wait(tx_done_);
+            tx_busy_ = false;
+            ti_ = true;
+            ++tx_count_;
+            tx_log_.push_back(static_cast<char>(tx_shift_));
+            if (intc_ != nullptr) {
+                intc_->raise(InterruptController::line_serial);
+            }
+        }
+    });
+    rx_proc_ = &k.spawn("bfm.serial.rx", [this] {
+        for (;;) {
+            sysc::wait(rx_kick_);
+            while (!rx_in_.empty()) {
+                sysc::wait(frame_time_);
+                const std::uint8_t byte = rx_in_.front();
+                rx_in_.pop_front();
+                if (ri_) {
+                    ++rx_overruns_;  // SBUF still full: byte lost
+                    continue;
+                }
+                rx_sbuf_ = byte;
+                ri_ = true;
+                ++rx_count_;
+                if (intc_ != nullptr) {
+                    intc_->raise(InterruptController::line_serial);
+                }
+            }
+        }
+    });
+}
+
+SerialIO::~SerialIO() {
+    tx_proc_->kill();
+    rx_proc_->kill();
+}
+
+bool SerialIO::tx(std::uint8_t byte) {
+    if (tx_busy_) {
+        ++tx_overruns_;
+        return false;
+    }
+    tx_busy_ = true;
+    ti_ = false;
+    tx_shift_ = byte;
+    tx_done_.notify(frame_time_);
+    return true;
+}
+
+std::uint8_t SerialIO::rx() {
+    ri_ = false;
+    return rx_sbuf_;
+}
+
+void SerialIO::feed_rx(std::uint8_t byte) {
+    rx_in_.push_back(byte);
+    rx_kick_.notify();
+}
+
+std::uint8_t SerialIO::read(std::uint16_t offset) {
+    switch (offset) {
+        case 0: return rx();
+        case 1:
+            return static_cast<std::uint8_t>((ti_ ? 1 : 0) | (ri_ ? 2 : 0) |
+                                             (tx_busy_ ? 4 : 0));
+        default: return 0;
+    }
+}
+
+void SerialIO::write(std::uint16_t offset, std::uint8_t value) {
+    switch (offset) {
+        case 0: tx(value); break;
+        case 1: ti_ = false; break;  // status write clears TI
+        default: break;
+    }
+}
+
+}  // namespace rtk::bfm

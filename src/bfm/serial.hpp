@@ -1,0 +1,77 @@
+// Serial I/O of the BFM: an 8051 UART in mode 1 (8N1, 10 bits per frame).
+// Transmission occupies the line for one frame time, then sets TI and
+// raises the serial interrupt; received bytes fed by the testbench arrive
+// one frame time later, set RI and raise the interrupt. A single SBUF
+// models the 8051's one-deep buffers, with overrun counting.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "bfm/device.hpp"
+#include "bfm/intc.hpp"
+#include "sysc/event.hpp"
+#include "sysc/time.hpp"
+
+namespace rtk::sysc {
+class Process;
+}
+
+namespace rtk::bfm {
+
+class SerialIO final : public Device {
+public:
+    /// 10 bits per frame at `baud` (mode 1).
+    explicit SerialIO(unsigned baud = 9600, InterruptController* intc = nullptr);
+    ~SerialIO() override;
+
+    // ---- driver API ----
+    bool tx_ready() const { return !tx_busy_; }
+    /// Returns false (and counts an overrun) when the transmitter is busy.
+    bool tx(std::uint8_t byte);
+    bool rx_ready() const { return ri_; }
+    /// Read SBUF; clears RI.
+    std::uint8_t rx();
+
+    bool ti() const { return ti_; }
+    void clear_ti() { ti_ = false; }
+
+    // ---- testbench side ----
+    void feed_rx(std::uint8_t byte);  ///< byte arrives after one frame time
+    const std::string& transmitted() const { return tx_log_; }
+
+    sysc::Time frame_time() const { return frame_time_; }
+    std::uint64_t tx_count() const { return tx_count_; }
+    std::uint64_t rx_count() const { return rx_count_; }
+    std::uint64_t tx_overruns() const { return tx_overruns_; }
+    std::uint64_t rx_overruns() const { return rx_overruns_; }
+
+    // Device window: 0=SBUF (r/w), 1=status (bit0 TI, bit1 RI, bit2 tx_busy).
+    const std::string& name() const override { return name_; }
+    std::uint8_t read(std::uint16_t offset) override;
+    void write(std::uint16_t offset, std::uint8_t value) override;
+
+private:
+    std::string name_ = "serial";
+    sysc::Time frame_time_;
+    InterruptController* intc_;
+
+    bool tx_busy_ = false;
+    bool ti_ = false;
+    bool ri_ = false;
+    std::uint8_t tx_shift_ = 0;
+    std::uint8_t rx_sbuf_ = 0;
+    std::deque<std::uint8_t> rx_in_;
+    sysc::Event tx_done_;
+    sysc::Event rx_kick_;
+    std::string tx_log_;
+    std::uint64_t tx_count_ = 0;
+    std::uint64_t rx_count_ = 0;
+    std::uint64_t tx_overruns_ = 0;
+    std::uint64_t rx_overruns_ = 0;
+    sysc::Process* tx_proc_ = nullptr;
+    sysc::Process* rx_proc_ = nullptr;
+};
+
+}  // namespace rtk::bfm

@@ -1,0 +1,65 @@
+#include "bfm/ssd.hpp"
+
+namespace rtk::bfm {
+
+namespace {
+constexpr std::array<std::uint8_t, 10> patterns = {
+    0x3f, 0x06, 0x5b, 0x4f, 0x66, 0x6d, 0x7d, 0x07, 0x7f, 0x6f,
+};
+}
+
+std::uint8_t SevenSegmentDisplay::encode_digit(unsigned value) {
+    return value < 10 ? patterns[value] : 0;
+}
+
+char SevenSegmentDisplay::decode_segments(std::uint8_t seg) {
+    if (seg == 0) {
+        return ' ';
+    }
+    for (unsigned d = 0; d < 10; ++d) {
+        if (patterns[d] == (seg & 0x7f)) {
+            return static_cast<char>('0' + d);
+        }
+    }
+    return '?';
+}
+
+std::string SevenSegmentDisplay::text() const {
+    std::string out;
+    for (unsigned d = digits; d-- > 0;) {
+        out.push_back(decode_segments(segments_[d]));
+    }
+    return out;
+}
+
+unsigned SevenSegmentDisplay::value() const {
+    unsigned v = 0;
+    for (unsigned d = digits; d-- > 0;) {
+        const char c = decode_segments(segments_[d]);
+        v = v * 10 + (c >= '0' && c <= '9' ? static_cast<unsigned>(c - '0') : 0);
+    }
+    return v;
+}
+
+std::uint8_t SevenSegmentDisplay::read(std::uint16_t offset) {
+    if (offset == 0) {
+        return selected_;
+    }
+    if (offset == 1 && selected_ < digits) {
+        return segments_[selected_];
+    }
+    return 0;
+}
+
+void SevenSegmentDisplay::write(std::uint16_t offset, std::uint8_t value) {
+    if (offset == 0) {
+        selected_ = value & 0x03;
+        return;
+    }
+    if (offset == 1 && selected_ < digits) {
+        segments_[selected_] = value;
+        ++refresh_count_;
+    }
+}
+
+}  // namespace rtk::bfm

@@ -1,0 +1,43 @@
+// Multiplexed 4-digit seven-segment display -- the score display of the
+// video-game case study (task T3). The driver writes a digit-select at
+// offset 0 and a segment pattern at offset 1; the device decodes standard
+// patterns back to characters for the widget/test side.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "bfm/device.hpp"
+
+namespace rtk::bfm {
+
+class SevenSegmentDisplay final : public Device {
+public:
+    static constexpr unsigned digits = 4;
+
+    /// Standard segment encoding (bit0=a .. bit6=g) for '0'..'9'.
+    static std::uint8_t encode_digit(unsigned value);
+    /// Decode a segment pattern to '0'..'9', or '?' if non-standard,
+    /// ' ' if blank.
+    static char decode_segments(std::uint8_t seg);
+
+    /// Display content as text, most significant digit first.
+    std::string text() const;
+    /// Displayed number (treats unknown/blank digits as 0).
+    unsigned value() const;
+
+    std::uint64_t refresh_count() const { return refresh_count_; }
+
+    const std::string& name() const override { return name_; }
+    std::uint8_t read(std::uint16_t offset) override;
+    void write(std::uint16_t offset, std::uint8_t value) override;
+
+private:
+    std::string name_ = "ssd";
+    std::array<std::uint8_t, digits> segments_{};
+    std::uint8_t selected_ = 0;
+    std::uint64_t refresh_count_ = 0;
+};
+
+}  // namespace rtk::bfm

@@ -1,0 +1,140 @@
+#include "bfm/timer.hpp"
+
+#include "sysc/kernel.hpp"
+#include "sysc/process.hpp"
+#include "sysc/report.hpp"
+
+namespace rtk::bfm {
+
+Timer8051::Timer8051(unsigned index, InterruptController* intc,
+                     sysc::Time machine_cycle)
+    : name_("timer" + std::to_string(index)),
+      irq_line_(index == 0 ? InterruptController::line_timer0
+                           : InterruptController::line_timer1),
+      intc_(intc),
+      machine_cycle_(machine_cycle),
+      overflow_ev_(name_ + ".overflow"),
+      control_ev_(name_ + ".control") {
+    if (index > 1) {
+        sysc::report(sysc::Severity::fatal, "timer", "8051 has timers 0 and 1 only");
+    }
+    proc_ = &sysc::Kernel::current().spawn("bfm." + name_, [this] { run_loop(); });
+}
+
+Timer8051::~Timer8051() {
+    proc_->kill();
+}
+
+void Timer8051::run_loop() {
+    for (;;) {
+        while (!running_) {
+            sysc::wait(control_ev_);
+        }
+        const sysc::Time period = overflow_period();
+        // A start/stop/reconfigure during the countdown restarts the wait.
+        if (sysc::wait(period, control_ev_)) {
+            continue;  // control change: re-evaluate
+        }
+        if (!running_) {
+            continue;
+        }
+        tf_ = true;
+        ++overflows_;
+        overflow_ev_.notify();
+        if (intc_ != nullptr) {
+            intc_->raise(irq_line_);
+        }
+    }
+}
+
+sysc::Time Timer8051::overflow_period() const {
+    if (mode_ == Mode::mode2_autoreload) {
+        const std::uint64_t cycles = 256 - (reload_ & 0xff);
+        return machine_cycle_ * (cycles == 0 ? 256 : cycles);
+    }
+    const std::uint64_t cycles = 65536 - reload_;
+    return machine_cycle_ * (cycles == 0 ? 65536 : cycles);
+}
+
+void Timer8051::set_mode(Mode m) {
+    mode_ = m;
+    control_ev_.notify();
+}
+
+void Timer8051::load(std::uint16_t value) {
+    reload_ = value;
+    control_ev_.notify();
+}
+
+void Timer8051::start() {
+    if (!running_) {
+        running_ = true;
+        control_ev_.notify();
+    }
+}
+
+void Timer8051::stop() {
+    if (running_) {
+        running_ = false;
+        control_ev_.notify();
+    }
+}
+
+void Timer8051::configure_period(sysc::Time period) {
+    const std::uint64_t cycles = period / machine_cycle_;
+    if (cycles == 0) {
+        sysc::report(sysc::Severity::fatal, "timer",
+                     "period below one machine cycle");
+    }
+    if (cycles <= 256) {
+        mode_ = Mode::mode2_autoreload;
+        reload_ = static_cast<std::uint16_t>(256 - cycles);
+    } else if (cycles <= 65536) {
+        mode_ = Mode::mode1_16bit;
+        reload_ = static_cast<std::uint16_t>(65536 - cycles);
+    } else {
+        sysc::report(sysc::Severity::fatal, "timer",
+                     "period exceeds the 16-bit timer range");
+    }
+    control_ev_.notify();
+}
+
+std::uint8_t Timer8051::read(std::uint16_t offset) {
+    switch (offset) {
+        case 0: return static_cast<std::uint8_t>(reload_ & 0xff);
+        case 1: return static_cast<std::uint8_t>(reload_ >> 8);
+        case 2:
+            return static_cast<std::uint8_t>(
+                (running_ ? 1 : 0) |
+                (mode_ == Mode::mode2_autoreload ? 4 : 0));
+        case 3: return tf_ ? 1 : 0;
+        default: return 0;
+    }
+}
+
+void Timer8051::write(std::uint16_t offset, std::uint8_t value) {
+    switch (offset) {
+        case 0:
+            reload_ = static_cast<std::uint16_t>((reload_ & 0xff00) | value);
+            control_ev_.notify();
+            break;
+        case 1:
+            reload_ = static_cast<std::uint16_t>((reload_ & 0x00ff) | (value << 8));
+            control_ev_.notify();
+            break;
+        case 2:
+            if ((value & 0x02) != 0) {
+                tf_ = false;
+            }
+            set_mode((value & 0x04) != 0 ? Mode::mode2_autoreload : Mode::mode1_16bit);
+            if ((value & 0x01) != 0) {
+                start();
+            } else {
+                stop();
+            }
+            break;
+        default: break;
+    }
+}
+
+}  // namespace rtk::bfm

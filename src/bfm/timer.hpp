@@ -1,0 +1,86 @@
+// 8051-style timer/counter peripheral (Timer 0 / Timer 1).
+//
+// Models the classic modes used by firmware on the paper's target MCU:
+//   mode 1: 16-bit timer -- counts machine cycles from TH:TL, overflows
+//           after (65536 - reload) cycles, raises the timer IRQ line.
+//   mode 2: 8-bit auto-reload -- overflow every (256 - TH) cycles; the
+//           8051's standard baud/periodic-tick generator.
+// TR (run) starts/stops counting; TF (overflow flag) latches and clears
+// on read-acknowledge, as firmware drivers expect.
+//
+// The simulation is event-driven, not per-cycle: the overflow instant is
+// scheduled from the current count and the machine-cycle period, so the
+// timer costs nothing between overflows.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "bfm/device.hpp"
+#include "bfm/intc.hpp"
+#include "sysc/event.hpp"
+#include "sysc/time.hpp"
+
+namespace rtk::sysc {
+class Process;
+}
+
+namespace rtk::bfm {
+
+class Timer8051 final : public Device {
+public:
+    enum class Mode : std::uint8_t {
+        mode1_16bit = 1,
+        mode2_autoreload = 2,
+    };
+
+    /// `index` selects the interrupt line (0 -> Timer0, 1 -> Timer1).
+    Timer8051(unsigned index, InterruptController* intc = nullptr,
+              sysc::Time machine_cycle = sysc::Time::us(1));
+    ~Timer8051() override;
+
+    // ---- driver API ----
+    void set_mode(Mode m);
+    Mode mode() const { return mode_; }
+    /// Load TH:TL (mode 1) or the auto-reload value TH (mode 2).
+    void load(std::uint16_t value);
+    void start();
+    void stop();
+    bool running() const { return running_; }
+    /// Overflow flag; cleared by acknowledge().
+    bool tf() const { return tf_; }
+    void acknowledge() { tf_ = false; }
+
+    /// Period between overflows for the current configuration.
+    sysc::Time overflow_period() const;
+    std::uint64_t overflow_count() const { return overflows_; }
+    sysc::Event& overflow_event() { return overflow_ev_; }
+
+    /// Configure a periodic rate directly (helper): picks mode 2 when the
+    /// period fits in 256 cycles, else mode 1 with the right reload.
+    void configure_period(sysc::Time period);
+
+    // Device window: 0=TL, 1=TH, 2=control (bit0 TR, bit1 TF ack-on-write,
+    // bit2 mode select: 0 -> mode1, 1 -> mode2), 3=status (bit0 TF).
+    const std::string& name() const override { return name_; }
+    std::uint8_t read(std::uint16_t offset) override;
+    void write(std::uint16_t offset, std::uint8_t value) override;
+
+private:
+    void run_loop();
+
+    std::string name_;
+    unsigned irq_line_;
+    InterruptController* intc_;
+    sysc::Time machine_cycle_;
+    Mode mode_ = Mode::mode1_16bit;
+    std::uint16_t reload_ = 0;
+    bool running_ = false;
+    bool tf_ = false;
+    std::uint64_t overflows_ = 0;
+    sysc::Event overflow_ev_;
+    sysc::Event control_ev_;  ///< wakes the counting process on start/stop
+    sysc::Process* proc_ = nullptr;
+};
+
+}  // namespace rtk::bfm

@@ -1,0 +1,6 @@
+// Umbrella header for rtk::gui -- the headless virtual-prototype widgets.
+#pragma once
+
+#include "gui/frontend.hpp"
+#include "gui/widget.hpp"
+#include "gui/widgets.hpp"

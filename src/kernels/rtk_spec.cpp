@@ -1,0 +1,193 @@
+#include "kernels/rtk_spec.hpp"
+
+#include "sysc/report.hpp"
+
+namespace rtk::kernels {
+
+using sim::ExecContext;
+using sim::ThreadKind;
+
+namespace {
+constexpr sim::Priority tick_priority = -1'000'000;
+}
+
+RtkSpecBase::RtkSpecBase(std::unique_ptr<sim::Scheduler> sched, Config cfg)
+    : cfg_(cfg), sched_(std::move(sched)) {
+    sim::SimApi::Config sc;
+    sc.quantum = cfg_.tick;
+    sc.record_gantt = cfg_.record_gantt;
+    api_ = std::make_unique<sim::SimApi>(*sched_, sc);
+    tick_thread_ = &api_->SIM_CreateThread(
+        "rtkspec.tick", ThreadKind::interrupt_handler, tick_priority, [this] {
+            api_->SIM_WaitUnits(2, ExecContext::handler);
+            timer_tick();
+        });
+}
+
+RtkSpecBase::~RtkSpecBase() {
+    if (ticker_proc_ != nullptr) {
+        ticker_proc_->kill();
+    }
+}
+
+int RtkSpecBase::create_task(std::string name, TaskFn fn, int priority) {
+    auto task = std::make_unique<Task>();
+    Task* p = task.get();
+    p->tid = static_cast<int>(tasks_.size()) + 1;
+    p->name = name;
+    tasks_.push_back(std::move(task));
+    p->thread = &api_->SIM_CreateThread(
+        std::move(name), ThreadKind::task, priority, [this, p, fn = std::move(fn)] {
+            api_->SIM_WaitUnits(cfg_.service_cost_units, ExecContext::startup);
+            fn();
+        });
+    p->thread->set_user_data(p);
+    return p->tid;
+}
+
+RtkSpecBase::Task* RtkSpecBase::find(int tid) {
+    if (tid <= 0 || static_cast<std::size_t>(tid) > tasks_.size()) {
+        sysc::report(sysc::Severity::fatal, "rtkspec", "bad task id");
+    }
+    return tasks_[static_cast<std::size_t>(tid) - 1].get();
+}
+
+int RtkSpecBase::current_task() const {
+    sim::TThread* t = api_->running_task();
+    if (t == nullptr || t->user_data() == nullptr) {
+        return 0;
+    }
+    return static_cast<Task*>(t->user_data())->tid;
+}
+
+void RtkSpecBase::start_task(int tid) {
+    api_->SIM_StartThread(*find(tid)->thread);
+}
+
+void RtkSpecBase::sleep() {
+    // Blocking happens inside the atomic service section: releasing it
+    // first would open a preemption point in which wakeup() could run
+    // before SIM_Sleep and the wake would be lost.
+    sim::SimApi::ServiceGuard svc(*api_);
+    api_->SIM_WaitUnits(cfg_.service_cost_units, ExecContext::service_call);
+    Task* me = static_cast<Task*>(api_->self().user_data());
+    if (me->pending_wakeups > 0) {
+        --me->pending_wakeups;
+        return;
+    }
+    me->sleeping = true;
+    api_->SIM_Sleep();
+}
+
+void RtkSpecBase::wakeup(int tid) {
+    sim::SimApi::ServiceGuard svc(*api_);
+    api_->SIM_WaitUnits(cfg_.service_cost_units, ExecContext::service_call);
+    Task* t = find(tid);
+    if (t->sleeping) {
+        t->sleeping = false;
+        api_->SIM_WakeUp(*t->thread);
+    } else {
+        ++t->pending_wakeups;
+    }
+}
+
+void RtkSpecBase::delay(std::uint64_t ms) {
+    sim::SimApi::ServiceGuard svc(*api_);
+    api_->SIM_WaitUnits(cfg_.service_cost_units, ExecContext::service_call);
+    Task* me = static_cast<Task*>(api_->self().user_data());
+    const std::uint64_t ticks =
+        (sysc::Time::ms(ms) + cfg_.tick - sysc::Time::ps(1)) / cfg_.tick;
+    delay_queue_.emplace(tick_count_ + (ticks == 0 ? 1 : ticks), me->tid);
+    me->sleeping = true;
+    api_->SIM_Sleep();
+}
+
+void RtkSpecBase::run_for(std::uint64_t ms) {
+    api_->SIM_Wait(sysc::Time::ms(ms), ExecContext::task);
+}
+
+int RtkSpecBase::create_sem(int initial) {
+    sems_.push_back(Sem{initial, {}});
+    return static_cast<int>(sems_.size());
+}
+
+void RtkSpecBase::sem_wait(int sid) {
+    sim::SimApi::ServiceGuard svc(*api_);
+    api_->SIM_WaitUnits(cfg_.service_cost_units, ExecContext::service_call);
+    Sem& s = sems_.at(static_cast<std::size_t>(sid) - 1);
+    Task* me = static_cast<Task*>(api_->self().user_data());
+    if (s.count > 0) {
+        --s.count;
+        return;
+    }
+    s.waiters.push_back(me);
+    me->sleeping = true;
+    api_->SIM_Sleep();
+}
+
+void RtkSpecBase::sem_signal(int sid) {
+    sim::SimApi::ServiceGuard svc(*api_);
+    api_->SIM_WaitUnits(cfg_.service_cost_units, ExecContext::service_call);
+    Sem& s = sems_.at(static_cast<std::size_t>(sid) - 1);
+    if (!s.waiters.empty()) {
+        Task* w = s.waiters.front();
+        s.waiters.erase(s.waiters.begin());
+        w->sleeping = false;
+        api_->SIM_WakeUp(*w->thread);
+        return;
+    }
+    ++s.count;
+}
+
+void RtkSpecBase::power_on() {
+    if (powered_) {
+        return;
+    }
+    powered_ = true;
+    ticker_proc_ = &sysc::Kernel::current().spawn("rtkspec.ticker", [this] {
+        for (;;) {
+            sysc::wait(cfg_.tick);
+            api_->SIM_RaiseInterrupt(*tick_thread_);
+        }
+    });
+}
+
+void RtkSpecBase::timer_tick() {
+    ++tick_count_;
+    while (!delay_queue_.empty() && delay_queue_.begin()->first <= tick_count_) {
+        const int tid = delay_queue_.begin()->second;
+        delay_queue_.erase(delay_queue_.begin());
+        Task* t = find(tid);
+        if (t->sleeping) {
+            t->sleeping = false;
+            api_->SIM_WakeUp(*t->thread);
+        }
+    }
+    on_tick();
+}
+
+// ---- RTK-Spec I ---------------------------------------------------------------
+
+RtkSpec1::RtkSpec1(Config cfg, std::uint64_t slice_ticks)
+    : RtkSpecBase(std::make_unique<sim::RoundRobinScheduler>(), cfg),
+      slice_ticks_(slice_ticks == 0 ? 1 : slice_ticks),
+      slice_left_(slice_ticks_) {}
+
+void RtkSpec1::on_tick() {
+    if (--slice_left_ != 0) {
+        return;
+    }
+    slice_left_ = slice_ticks_;
+    // End of slice: the running task goes to the back of the FIFO queue.
+    sim::TThread* run = api_->running_task();
+    if (run != nullptr && api_->scheduler().ready_count() > 0) {
+        api_->SIM_RequestPreempt(*run);
+    }
+}
+
+// ---- RTK-Spec II --------------------------------------------------------------
+
+RtkSpec2::RtkSpec2(Config cfg)
+    : RtkSpecBase(std::make_unique<sim::PriorityPreemptiveScheduler>(), cfg) {}
+
+}  // namespace rtk::kernels

@@ -1,0 +1,117 @@
+// RTK-Spec I and RTK-Spec II -- the two user-defined kernel
+// specifications the paper used to validate SIM_API coverage (§4):
+// "RTK-Spec I (round robin scheduler) and II (priority-based preemptive
+// scheduler), are examples of user defined kernel specifications running
+// on 8051 micro-controllers".
+//
+// Both kernels are deliberately small (create/start/exit, delay,
+// sleep/wakeup, counting semaphores) and are built from exactly the same
+// SIM_API programming constructs as RTK-Spec TRON -- demonstrating the
+// paper's claim that the constructs suffice for arbitrary kernel
+// specifications. RTK-Spec I adds tick-driven time-slice rotation on a
+// round-robin scheduler; RTK-Spec II relies on readiness-driven
+// preemption of the priority scheduler.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/sim.hpp"
+#include "sysc/sysc.hpp"
+
+namespace rtk::kernels {
+
+/// Common substrate of both mini kernels: task table, tick process,
+/// timer queue, delay/sleep/wakeup and counting semaphores.
+class RtkSpecBase {
+public:
+    struct Config {
+        sysc::Time tick = sysc::Time::ms(1);
+        std::uint64_t service_cost_units = 5;
+        bool record_gantt = true;
+    };
+
+    using TaskFn = std::function<void()>;
+
+    virtual ~RtkSpecBase();
+
+    /// Create a task; `priority` is ignored by RTK-Spec I.
+    int create_task(std::string name, TaskFn fn, int priority = 10);
+    void start_task(int tid);
+    void sleep();             ///< current task waits for wakeup()
+    void wakeup(int tid);
+    void delay(std::uint64_t ms);
+    /// Busy-execute for `ms` of annotated task time (preemptible).
+    void run_for(std::uint64_t ms);
+
+    // tiny counting semaphore
+    int create_sem(int initial);
+    void sem_wait(int sid);
+    void sem_signal(int sid);
+
+    /// Start the kernel: spawns the tick process.
+    void power_on();
+
+    sim::SimApi& sim() { return *api_; }
+    const sim::SimApi& sim() const { return *api_; }
+    std::uint64_t tick_count() const { return tick_count_; }
+    int current_task() const;
+
+protected:
+    RtkSpecBase(std::unique_ptr<sim::Scheduler> sched, Config cfg);
+    /// Per-tick policy hook (RTK-Spec I rotates the slice here).
+    virtual void on_tick() {}
+
+    struct Task {
+        int tid;
+        std::string name;
+        sim::TThread* thread;
+        bool sleeping = false;
+        std::uint64_t pending_wakeups = 0;
+    };
+
+    struct Sem {
+        int count = 0;
+        std::vector<Task*> waiters;
+    };
+
+    Task* find(int tid);
+    void timer_tick();
+
+    sysc::Process* ticker_proc_ = nullptr;
+
+    Config cfg_;
+    std::unique_ptr<sim::Scheduler> sched_;
+    std::unique_ptr<sim::SimApi> api_;
+    std::vector<std::unique_ptr<Task>> tasks_;
+    std::vector<Sem> sems_;
+    std::multimap<std::uint64_t, int> delay_queue_;  ///< wake tick -> tid
+    sim::TThread* tick_thread_ = nullptr;
+    std::uint64_t tick_count_ = 0;
+    bool powered_ = false;
+};
+
+/// RTK-Spec I: round-robin with a fixed time slice.
+class RtkSpec1 final : public RtkSpecBase {
+public:
+    explicit RtkSpec1(Config cfg = Config{}, std::uint64_t slice_ticks = 5);
+
+protected:
+    void on_tick() override;
+
+private:
+    std::uint64_t slice_ticks_;
+    std::uint64_t slice_left_;
+};
+
+/// RTK-Spec II: priority-based preemptive (readiness-driven).
+class RtkSpec2 final : public RtkSpecBase {
+public:
+    explicit RtkSpec2(Config cfg = Config{});
+};
+
+}  // namespace rtk::kernels

@@ -1,0 +1,125 @@
+#include "sim/calibrate.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace rtk::sim {
+
+void Calibrator::Fit::add(double modeled, double reference) {
+    if (modeled <= 0.0 || reference <= 0.0) {
+        return;  // degenerate sample carries no information
+    }
+    sum_mm += modeled * modeled;
+    sum_mr += modeled * reference;
+    sum_rel_err += std::abs(reference - modeled) / reference;
+    samples.emplace_back(modeled, reference);
+    ++n;
+}
+
+double Calibrator::Fit::scale() const {
+    return (n == 0 || sum_mm == 0.0) ? 1.0 : sum_mr / sum_mm;
+}
+
+double Calibrator::Fit::error_before() const {
+    return n == 0 ? 0.0 : sum_rel_err / static_cast<double>(n);
+}
+
+double Calibrator::Fit::error_after() const {
+    if (n == 0) {
+        return 0.0;
+    }
+    const double s = scale();
+    double err = 0.0;
+    for (const auto& [m, r] : samples) {
+        err += std::abs(r - s * m) / r;
+    }
+    return err / static_cast<double>(n);
+}
+
+void Calibrator::add_time_sample(ExecContext c, sysc::Time modeled,
+                                 sysc::Time reference) {
+    time_[static_cast<std::size_t>(c)].add(
+        static_cast<double>(modeled.picoseconds()),
+        static_cast<double>(reference.picoseconds()));
+}
+
+void Calibrator::add_energy_sample(ExecContext c, double modeled_nj,
+                                   double reference_nj) {
+    energy_[static_cast<std::size_t>(c)].add(modeled_nj, reference_nj);
+}
+
+double Calibrator::time_scale(ExecContext c) const {
+    return time_[static_cast<std::size_t>(c)].scale();
+}
+
+double Calibrator::energy_scale(ExecContext c) const {
+    return energy_[static_cast<std::size_t>(c)].scale();
+}
+
+std::size_t Calibrator::time_samples(ExecContext c) const {
+    return time_[static_cast<std::size_t>(c)].n;
+}
+
+std::size_t Calibrator::energy_samples(ExecContext c) const {
+    return energy_[static_cast<std::size_t>(c)].n;
+}
+
+double Calibrator::time_error_before(ExecContext c) const {
+    return time_[static_cast<std::size_t>(c)].error_before();
+}
+
+double Calibrator::time_error_after(ExecContext c) const {
+    return time_[static_cast<std::size_t>(c)].error_after();
+}
+
+void Calibrator::apply(CostTable& table) const {
+    for (std::size_t c = 0; c < exec_context_count; ++c) {
+        const auto ctx = static_cast<ExecContext>(c);
+        CostModel m = table.at(ctx);
+        const double ts = time_scale(ctx);
+        m.time_per_unit = sysc::Time::ps(static_cast<std::uint64_t>(
+            static_cast<double>(m.time_per_unit.picoseconds()) * ts + 0.5));
+        m.energy_per_unit_nj *= energy_scale(ctx);
+        table.set(ctx, m);
+    }
+}
+
+std::string Calibrator::report() const {
+    std::ostringstream out;
+    out << "ETM/EEM calibration report (least-squares scale per context)\n";
+    for (std::size_t c = 0; c < exec_context_count; ++c) {
+        const auto ctx = static_cast<ExecContext>(c);
+        const auto& f = time_[c];
+        if (f.n == 0 && energy_[c].n == 0) {
+            continue;
+        }
+        out << "  " << to_string(ctx) << ": ";
+        if (f.n != 0) {
+            char buf[160];
+            std::snprintf(buf, sizeof(buf),
+                          "time x%.3f (%zu samples, err %.1f%% -> %.1f%%)",
+                          f.scale(), f.n, f.error_before() * 100.0,
+                          f.error_after() * 100.0);
+            out << buf;
+        }
+        if (energy_[c].n != 0) {
+            char buf[80];
+            std::snprintf(buf, sizeof(buf), "  energy x%.3f (%zu samples)",
+                          energy_[c].scale(), energy_[c].n);
+            out << buf;
+        }
+        out << "\n";
+    }
+    return out.str();
+}
+
+void Calibrator::reset() {
+    for (auto& f : time_) {
+        f = Fit{};
+    }
+    for (auto& f : energy_) {
+        f = Fit{};
+    }
+}
+
+}  // namespace rtk::sim

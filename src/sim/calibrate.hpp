@@ -1,0 +1,76 @@
+// ETM/EEM calibration -- the paper's stated future work (§5):
+// "By cross profiling or calibration against ISS or T-Engine emulation,
+// for a given supported T-Engine platform based architecture, we can
+// raise the accuracy of co-simulation, and create a virtual prototype of
+// the application running on the synthesis platform."
+//
+// The Calibrator collects (modeled, reference) measurement pairs per
+// execution context -- the reference side coming from an ISS run, target
+// emulation, or hardware profiling -- fits per-context scale factors by
+// least squares through the origin, and rewrites a CostTable so that
+// subsequent simulations track the reference timing/energy.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/cost.hpp"
+#include "sim/types.hpp"
+#include "sysc/time.hpp"
+
+namespace rtk::sim {
+
+class Calibrator {
+public:
+    /// One cross-profiling observation for context `c`: the model said
+    /// `modeled`, the reference platform measured `reference`.
+    void add_time_sample(ExecContext c, sysc::Time modeled, sysc::Time reference);
+    void add_energy_sample(ExecContext c, double modeled_nj, double reference_nj);
+
+    /// Least-squares scale factor (reference / modeled) for context `c`;
+    /// 1.0 when no samples were collected.
+    double time_scale(ExecContext c) const;
+    double energy_scale(ExecContext c) const;
+
+    std::size_t time_samples(ExecContext c) const;
+    std::size_t energy_samples(ExecContext c) const;
+
+    /// Mean relative error of the *modeled* values against the reference
+    /// before calibration, per context (the accuracy gap being closed).
+    double time_error_before(ExecContext c) const;
+    /// ... and the residual error after applying the fitted scale.
+    double time_error_after(ExecContext c) const;
+
+    /// Rewrite `table` in place: each context's time/energy per unit is
+    /// multiplied by the fitted scale factor.
+    void apply(CostTable& table) const;
+
+    /// Human-readable calibration report.
+    std::string report() const;
+
+    void reset();
+
+private:
+    struct Fit {
+        double sum_mm = 0.0;  ///< sum of modeled*modeled
+        double sum_mr = 0.0;  ///< sum of modeled*reference
+        double sum_rel_err = 0.0;
+        double sum_rel_err_post_num = 0.0;  ///< recomputed on demand
+        std::size_t n = 0;
+        // raw samples kept for residual computation
+        std::vector<std::pair<double, double>> samples;  ///< (modeled, ref)
+
+        void add(double modeled, double reference);
+        double scale() const;
+        double error_before() const;
+        double error_after() const;
+    };
+
+    std::array<Fit, exec_context_count> time_{};
+    std::array<Fit, exec_context_count> energy_{};
+};
+
+}  // namespace rtk::sim

@@ -1,0 +1,21 @@
+#include "sim/cost.hpp"
+
+namespace rtk::sim {
+
+CostTable::CostTable() {
+    using sysc::Time;
+    // One work unit == one 8051 machine cycle (12 clocks @ 12 MHz = 1 us).
+    set(ExecContext::startup, {Time::us(1), 50.0});
+    set(ExecContext::service_call, {Time::us(1), 45.0});
+    set(ExecContext::task, {Time::us(1), 50.0});
+    set(ExecContext::handler, {Time::us(1), 50.0});
+    set(ExecContext::bfm_access, {Time::us(1), 65.0});  // external bus drive
+}
+
+void CostTable::scale_energy(double factor) {
+    for (auto& m : models_) {
+        m.energy_per_unit_nj *= factor;
+    }
+}
+
+}  // namespace rtk::sim

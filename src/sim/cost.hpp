@@ -1,0 +1,52 @@
+// Execution Time Model (ETM) and Execution Energy Model (EEM) tables.
+//
+// The paper annotates firing sequences with a-priori estimated execution
+// time ETM(S|T-THREAD) and energy EEM(S|T-THREAD) (§3). A CostTable maps
+// abstract work units ("machine cycles" of the modeled CPU) in a given
+// execution context onto simulated time and consumed energy. The paper's
+// own annotations were estimated (§5); these defaults model an 8051-class
+// MCU at 12 MHz / ~50 mW active power and are fully user-replaceable.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "sim/types.hpp"
+#include "sysc/time.hpp"
+
+namespace rtk::sim {
+
+/// Cost of one work unit in a given execution context.
+struct CostModel {
+    sysc::Time time_per_unit = sysc::Time::us(1);  ///< 8051 @ 12 MHz machine cycle
+    double energy_per_unit_nj = 50.0;              ///< 50 mW * 1 us
+
+    sysc::Time time(std::uint64_t units) const { return time_per_unit * units; }
+    double energy_nj(std::uint64_t units) const {
+        return energy_per_unit_nj * static_cast<double>(units);
+    }
+};
+
+/// ETM/EEM per execution context.
+class CostTable {
+public:
+    /// Default: every context costs one 8051 machine cycle per unit; the
+    /// service-call context is slightly cheaper per unit (tight kernel
+    /// code), BFM access slightly more expensive (external bus cycles).
+    CostTable();
+
+    const CostModel& at(ExecContext c) const {
+        return models_[static_cast<std::size_t>(c)];
+    }
+    CostModel& at(ExecContext c) { return models_[static_cast<std::size_t>(c)]; }
+
+    void set(ExecContext c, CostModel m) { models_[static_cast<std::size_t>(c)] = m; }
+
+    /// Uniform scaling of all energy figures (models DVFS-style what-ifs).
+    void scale_energy(double factor);
+
+private:
+    std::array<CostModel, exec_context_count> models_{};
+};
+
+}  // namespace rtk::sim

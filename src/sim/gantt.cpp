@@ -1,0 +1,117 @@
+#include "sim/gantt.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace rtk::sim {
+
+void GanttRecorder::add_slice(ThreadId tid, const std::string& name, ExecContext ctx,
+                              sysc::Time start, sysc::Time end, double energy_nj) {
+    if (!enabled_ || end <= start) {
+        return;
+    }
+    if (!segments_.empty()) {
+        Segment& last = segments_.back();
+        if (last.tid == tid && last.ctx == ctx && last.end == start) {
+            last.end = end;
+            last.energy_nj += energy_nj;
+            return;
+        }
+    }
+    segments_.push_back({tid, name, ctx, start, end, energy_nj});
+}
+
+void GanttRecorder::add_marker(MarkerKind kind, ThreadId tid, sysc::Time at) {
+    if (!enabled_) {
+        return;
+    }
+    markers_.push_back({kind, tid, at});
+}
+
+std::uint64_t GanttRecorder::marker_count(MarkerKind k) const {
+    std::uint64_t n = 0;
+    for (const auto& m : markers_) {
+        if (m.kind == k) {
+            ++n;
+        }
+    }
+    return n;
+}
+
+sysc::Time GanttRecorder::busy_time(ThreadId tid) const {
+    sysc::Time total{};
+    for (const auto& s : segments_) {
+        if (s.tid == tid) {
+            total += s.end - s.start;
+        }
+    }
+    return total;
+}
+
+sysc::Time GanttRecorder::total_busy_time() const {
+    sysc::Time total{};
+    for (const auto& s : segments_) {
+        total += s.end - s.start;
+    }
+    return total;
+}
+
+std::string GanttRecorder::render_ascii(sysc::Time from, sysc::Time to,
+                                        sysc::Time resolution) const {
+    if (to <= from || resolution.is_zero()) {
+        return {};
+    }
+    const std::size_t cols =
+        static_cast<std::size_t>((to - from + resolution - sysc::Time::ps(1)) / resolution);
+
+    // Collect rows in first-seen order, keyed by thread id.
+    std::map<ThreadId, std::pair<std::string, std::string>> rows;  // tid -> (name, cells)
+    std::size_t name_width = 8;
+    for (const auto& s : segments_) {
+        if (s.end <= from || s.start >= to) {
+            continue;
+        }
+        auto [it, fresh] = rows.try_emplace(s.tid, s.thread_name, std::string(cols, '.'));
+        if (fresh) {
+            name_width = std::max(name_width, s.thread_name.size());
+        }
+        auto& cells = it->second.second;
+        const sysc::Time clipped_start = std::max(s.start, from);
+        const sysc::Time clipped_end = std::min(s.end, to);
+        std::size_t c0 = (clipped_start - from) / resolution;
+        std::size_t c1 = (clipped_end - from + resolution - sysc::Time::ps(1)) / resolution;
+        c1 = std::min(c1, cols);
+        for (std::size_t c = c0; c < c1; ++c) {
+            cells[c] = gantt_glyph(s.ctx);
+        }
+    }
+
+    std::ostringstream out;
+    out << "time: " << from.to_string() << " .. " << to.to_string()
+        << "  (1 col = " << resolution.to_string() << ")\n";
+    for (const auto& [tid, row] : rows) {
+        out << row.first;
+        out << std::string(name_width + 1 - std::min(name_width, row.first.size()), ' ');
+        out << '|' << row.second << "|\n";
+    }
+    return out.str();
+}
+
+std::string GanttRecorder::to_csv() const {
+    std::ostringstream out;
+    out << "tid,name,context,start_ps,end_ps,energy_nj\n";
+    for (const auto& s : segments_) {
+        out << s.tid << ',' << s.thread_name << ',' << to_string(s.ctx) << ','
+            << s.start.picoseconds() << ',' << s.end.picoseconds() << ','
+            << s.energy_nj << '\n';
+    }
+    return out.str();
+}
+
+void GanttRecorder::clear() {
+    segments_.clear();
+    markers_.clear();
+}
+
+}  // namespace rtk::sim

@@ -1,0 +1,82 @@
+// Execution time/energy trace recorder -- the data source behind the
+// paper's Fig 6 "Execution Time/Energy Trace" widget and the SIM_API
+// "debugging option for displaying time GANTT chart" (§4).
+//
+// Records one Segment per contiguous stretch of execution of a T-THREAD
+// in one execution context, plus point markers for dispatches,
+// preemptions and interrupt entry/exit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+#include "sysc/time.hpp"
+
+namespace rtk::sim {
+
+class GanttRecorder {
+public:
+    struct Segment {
+        ThreadId tid = invalid_thread;
+        std::string thread_name;
+        ExecContext ctx = ExecContext::task;
+        sysc::Time start{};
+        sysc::Time end{};
+        double energy_nj = 0.0;
+    };
+
+    enum class MarkerKind : std::uint8_t {
+        dispatch,
+        preemption,
+        interrupt_enter,
+        interrupt_return,
+        sleep,
+        wakeup,
+        exit,
+    };
+
+    struct Marker {
+        MarkerKind kind{};
+        ThreadId tid = invalid_thread;
+        sysc::Time at{};
+    };
+
+    void set_enabled(bool on) { enabled_ = on; }
+    bool enabled() const { return enabled_; }
+
+    /// Record an execution slice; adjacent slices of the same thread and
+    /// context merge into one segment.
+    void add_slice(ThreadId tid, const std::string& name, ExecContext ctx,
+                   sysc::Time start, sysc::Time end, double energy_nj);
+
+    void add_marker(MarkerKind kind, ThreadId tid, sysc::Time at);
+
+    const std::vector<Segment>& segments() const { return segments_; }
+    const std::vector<Marker>& markers() const { return markers_; }
+
+    std::uint64_t marker_count(MarkerKind k) const;
+
+    /// Total recorded busy time (sum of segment lengths) per thread.
+    sysc::Time busy_time(ThreadId tid) const;
+    sysc::Time total_busy_time() const;
+
+    /// ASCII Gantt chart between [from, to), one row per thread, one
+    /// column per `resolution` of simulated time; context glyphs follow
+    /// gantt_glyph() ('#': task, 'o': service call, 'H': handler,
+    /// 'B': BFM access, 'S': startup), '.' is idle.
+    std::string render_ascii(sysc::Time from, sysc::Time to, sysc::Time resolution) const;
+
+    /// CSV export: tid,name,context,start_ps,end_ps,energy_nj
+    std::string to_csv() const;
+
+    void clear();
+
+private:
+    bool enabled_ = true;
+    std::vector<Segment> segments_;
+    std::vector<Marker> markers_;
+};
+
+}  // namespace rtk::sim

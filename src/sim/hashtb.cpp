@@ -1,0 +1,69 @@
+#include "sim/hashtb.hpp"
+
+#include <algorithm>
+
+#include "sim/tthread.hpp"
+#include "sysc/report.hpp"
+
+namespace rtk::sim {
+
+void SimHashTB::insert(ThreadId id, TThread& thread) {
+    auto [it, inserted] = table_.emplace(id, Record{&thread, ThreadState::dormant, {}, 0});
+    if (!inserted) {
+        sysc::report(sysc::Severity::fatal, "hashtb",
+                     "duplicate T-THREAD id " + std::to_string(id));
+    }
+}
+
+void SimHashTB::erase(ThreadId id) {
+    table_.erase(id);
+}
+
+void SimHashTB::update(ThreadId id, ThreadState to, sysc::Time at) {
+    auto it = table_.find(id);
+    if (it == table_.end()) {
+        sysc::report(sysc::Severity::fatal, "hashtb",
+                     "state update for unknown T-THREAD id " + std::to_string(id));
+    }
+    Transition tr{at, id, it->second.state, to};
+    it->second.state = to;
+    it->second.last_change = at;
+    ++it->second.change_count;
+    ++total_transitions_;
+    journal_.push_back(tr);
+    if (journal_.size() > journal_limit_) {
+        journal_.pop_front();
+    }
+}
+
+TThread* SimHashTB::find(ThreadId id) const {
+    auto it = table_.find(id);
+    return it == table_.end() ? nullptr : it->second.thread;
+}
+
+TThread* SimHashTB::find_by_name(const std::string& name) const {
+    for (const auto& [id, rec] : table_) {
+        if (rec.thread->name() == name) {
+            return rec.thread;
+        }
+    }
+    return nullptr;
+}
+
+const SimHashTB::Record* SimHashTB::record(ThreadId id) const {
+    auto it = table_.find(id);
+    return it == table_.end() ? nullptr : &it->second;
+}
+
+std::vector<TThread*> SimHashTB::threads() const {
+    std::vector<TThread*> out;
+    out.reserve(table_.size());
+    for (const auto& [id, rec] : table_) {
+        out.push_back(rec.thread);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const TThread* a, const TThread* b) { return a->id() < b->id(); });
+    return out;
+}
+
+}  // namespace rtk::sim

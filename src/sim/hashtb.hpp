@@ -1,0 +1,65 @@
+// SIM_HashTB -- the thread hash table of the SIM_API library (paper §4):
+// "keeps a record on every T-THREAD created upon startup and gets updated
+// whenever a T-THREAD changes its state". Besides the live records it
+// keeps a bounded journal of state transitions for the debugger widgets
+// and the test suite.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hpp"
+#include "sysc/time.hpp"
+
+namespace rtk::sim {
+
+class TThread;
+
+class SimHashTB {
+public:
+    struct Record {
+        TThread* thread = nullptr;
+        ThreadState state = ThreadState::non_existent;
+        sysc::Time last_change{};
+        std::uint64_t change_count = 0;
+    };
+
+    struct Transition {
+        sysc::Time at{};
+        ThreadId tid = invalid_thread;
+        ThreadState from = ThreadState::non_existent;
+        ThreadState to = ThreadState::non_existent;
+    };
+
+    /// Register a newly created T-THREAD (state dormant).
+    void insert(ThreadId id, TThread& thread);
+
+    /// Remove a deleted T-THREAD.
+    void erase(ThreadId id);
+
+    /// Record a state change at simulation time `at`.
+    void update(ThreadId id, ThreadState to, sysc::Time at);
+
+    TThread* find(ThreadId id) const;
+    TThread* find_by_name(const std::string& name) const;
+    const Record* record(ThreadId id) const;
+
+    std::size_t size() const { return table_.size(); }
+    std::vector<TThread*> threads() const;  ///< sorted by id
+
+    /// Bounded journal of the most recent state transitions.
+    const std::deque<Transition>& journal() const { return journal_; }
+    void set_journal_limit(std::size_t n) { journal_limit_ = n; }
+    std::uint64_t total_transitions() const { return total_transitions_; }
+
+private:
+    std::unordered_map<ThreadId, Record> table_;
+    std::deque<Transition> journal_;
+    std::size_t journal_limit_ = 4096;
+    std::uint64_t total_transitions_ = 0;
+};
+
+}  // namespace rtk::sim

@@ -1,0 +1,44 @@
+// SIM_Stack -- "a stack data structure to model nested interrupts"
+// (paper §4). Holds the chain of execution frames suspended by interrupt
+// entry: the bottom frame is the interrupted task (or nothing, when the
+// CPU was idle), frames above it are interrupt handlers nested by
+// higher-priority IRQs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace rtk::sim {
+
+class TThread;
+
+class SimStack {
+public:
+    void push(TThread& t) {
+        frames_.push_back(&t);
+        high_water_ = std::max(high_water_, frames_.size());
+    }
+
+    TThread& pop() {
+        TThread* t = frames_.back();
+        frames_.pop_back();
+        return *t;
+    }
+
+    TThread* top() const { return frames_.empty() ? nullptr : frames_.back(); }
+    bool empty() const { return frames_.empty(); }
+    std::size_t depth() const { return frames_.size(); }
+
+    /// Deepest nesting observed over the whole run (debug statistic).
+    std::size_t high_water_mark() const { return high_water_; }
+
+    const std::vector<TThread*>& frames() const { return frames_; }
+
+private:
+    std::vector<TThread*> frames_;
+    std::size_t high_water_ = 0;
+};
+
+}  // namespace rtk::sim

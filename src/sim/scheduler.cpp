@@ -1,0 +1,113 @@
+#include "sim/scheduler.hpp"
+
+#include <algorithm>
+
+#include "sim/tthread.hpp"
+#include "sysc/report.hpp"
+
+namespace rtk::sim {
+
+// ---- PriorityPreemptiveScheduler -------------------------------------------
+
+void PriorityPreemptiveScheduler::make_ready(TThread& t) {
+    queues_[t.priority()].push_back(&t);
+}
+
+void PriorityPreemptiveScheduler::remove(TThread& t) {
+    for (auto it = queues_.begin(); it != queues_.end();) {
+        auto& q = it->second;
+        q.erase(std::remove(q.begin(), q.end(), &t), q.end());
+        it = q.empty() ? queues_.erase(it) : std::next(it);
+    }
+}
+
+TThread* PriorityPreemptiveScheduler::pick() {
+    if (queues_.empty()) {
+        return nullptr;
+    }
+    auto it = queues_.begin();  // lowest key == highest priority
+    TThread* t = it->second.front();
+    it->second.pop_front();
+    if (it->second.empty()) {
+        queues_.erase(it);
+    }
+    return t;
+}
+
+TThread* PriorityPreemptiveScheduler::peek() const {
+    return queues_.empty() ? nullptr : queues_.begin()->second.front();
+}
+
+bool PriorityPreemptiveScheduler::should_preempt(const TThread& running) const {
+    const TThread* best = peek();
+    return best != nullptr && best->priority() < running.priority();
+}
+
+void PriorityPreemptiveScheduler::priority_changed(TThread& t) {
+    remove(t);
+    // µ-ITRON chg_pri: the task is moved to the *end* of the ready queue
+    // for its new priority.
+    make_ready(t);
+}
+
+void PriorityPreemptiveScheduler::rotate(Priority prio) {
+    auto it = queues_.find(prio);
+    if (it == queues_.end() || it->second.size() < 2) {
+        return;
+    }
+    it->second.push_back(it->second.front());
+    it->second.pop_front();
+}
+
+std::vector<TThread*> PriorityPreemptiveScheduler::ready_snapshot() const {
+    std::vector<TThread*> out;
+    for (const auto& [prio, q] : queues_) {
+        out.insert(out.end(), q.begin(), q.end());
+    }
+    return out;
+}
+
+std::size_t PriorityPreemptiveScheduler::ready_count() const {
+    std::size_t n = 0;
+    for (const auto& [prio, q] : queues_) {
+        n += q.size();
+    }
+    return n;
+}
+
+// ---- RoundRobinScheduler ----------------------------------------------------
+
+void RoundRobinScheduler::make_ready(TThread& t) {
+    queue_.push_back(&t);
+}
+
+void RoundRobinScheduler::remove(TThread& t) {
+    queue_.erase(std::remove(queue_.begin(), queue_.end(), &t), queue_.end());
+}
+
+TThread* RoundRobinScheduler::pick() {
+    if (queue_.empty()) {
+        return nullptr;
+    }
+    TThread* t = queue_.front();
+    queue_.pop_front();
+    return t;
+}
+
+TThread* RoundRobinScheduler::peek() const {
+    return queue_.empty() ? nullptr : queue_.front();
+}
+
+bool RoundRobinScheduler::should_preempt(const TThread&) const {
+    return false;  // rotation is tick-driven, not readiness-driven
+}
+
+std::vector<TThread*> RoundRobinScheduler::ready_snapshot() const {
+    return {queue_.begin(), queue_.end()};
+}
+
+std::size_t RoundRobinScheduler::ready_count() const {
+    return queue_.size();
+}
+
+}  // namespace rtk::sim

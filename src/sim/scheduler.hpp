@@ -1,0 +1,93 @@
+// External scheduler interface of SIM_API.
+//
+// Paper §4: the library "interacts directly with external schedulers to
+// schedule the next T-THREAD to run" -- the mechanism (granting the CPU,
+// preemption points, token accounting) lives in SimApi, the policy lives
+// behind this interface. The paper validated the split with three
+// kernels: RTK-Spec I (round robin), RTK-Spec II and TRON (priority-based
+// preemptive); both policies are provided here.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace rtk::sim {
+
+class TThread;
+
+class Scheduler {
+public:
+    virtual ~Scheduler() = default;
+
+    virtual std::string policy_name() const = 0;
+
+    /// Enqueue a thread that became READY.
+    virtual void make_ready(TThread& t) = 0;
+
+    /// Remove a thread from the ready structure (blocked/suspended/deleted).
+    virtual void remove(TThread& t) = 0;
+
+    /// Dequeue the next thread to run; nullptr if none is ready.
+    virtual TThread* pick() = 0;
+
+    /// The thread pick() would return, without dequeuing it.
+    virtual TThread* peek() const = 0;
+
+    /// Should `running` be preempted given the current ready set?
+    virtual bool should_preempt(const TThread& running) const = 0;
+
+    /// A ready thread's priority changed; reposition it.
+    virtual void priority_changed(TThread& t) { (void)t; }
+
+    /// Rotate the ready queue of `prio` (µ-ITRON tk_rot_rdq).
+    virtual void rotate(Priority prio) { (void)prio; }
+
+    /// Snapshot for the debugger (T-Kernel/DS listings).
+    virtual std::vector<TThread*> ready_snapshot() const = 0;
+
+    virtual std::size_t ready_count() const = 0;
+};
+
+/// Priority-based preemptive policy (µ-ITRON / T-Kernel): per-priority
+/// FIFO ready queues, smaller priority value runs first; a running thread
+/// is preempted as soon as a strictly higher-priority thread is ready.
+class PriorityPreemptiveScheduler final : public Scheduler {
+public:
+    std::string policy_name() const override { return "priority-preemptive"; }
+    void make_ready(TThread& t) override;
+    void remove(TThread& t) override;
+    TThread* pick() override;
+    TThread* peek() const override;
+    bool should_preempt(const TThread& running) const override;
+    void priority_changed(TThread& t) override;
+    void rotate(Priority prio) override;
+    std::vector<TThread*> ready_snapshot() const override;
+    std::size_t ready_count() const override;
+
+private:
+    std::map<Priority, std::deque<TThread*>> queues_;
+};
+
+/// Round-robin policy (RTK-Spec I): single FIFO queue, no priority
+/// preemption; the kernel's tick handler rotates the slice by calling
+/// SimApi::SIM_RequestPreempt on the running thread.
+class RoundRobinScheduler final : public Scheduler {
+public:
+    std::string policy_name() const override { return "round-robin"; }
+    void make_ready(TThread& t) override;
+    void remove(TThread& t) override;
+    TThread* pick() override;
+    TThread* peek() const override;
+    bool should_preempt(const TThread& running) const override;
+    std::vector<TThread*> ready_snapshot() const override;
+    std::size_t ready_count() const override;
+
+private:
+    std::deque<TThread*> queue_;
+};
+
+}  // namespace rtk::sim

@@ -1,0 +1,15 @@
+// Umbrella header for rtk::sim -- the paper's RTOS modeling constructs:
+// the T-THREAD process model (§3) and the SIM_API library (§4).
+#pragma once
+
+#include "sim/calibrate.hpp"
+#include "sim/cost.hpp"
+#include "sim/gantt.hpp"
+#include "sim/hashtb.hpp"
+#include "sim/intstack.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/sim_api.hpp"
+#include "sim/stats.hpp"
+#include "sim/token.hpp"
+#include "sim/tthread.hpp"
+#include "sim/types.hpp"

@@ -1,0 +1,701 @@
+#include "sim/sim_api.hpp"
+
+#include <algorithm>
+#include <exception>
+
+#include "sysc/kernel.hpp"
+#include "sysc/report.hpp"
+
+namespace rtk::sim {
+
+using sysc::Severity;
+using sysc::Time;
+
+namespace {
+Time sim_now() {
+    return sysc::Kernel::current().now();
+}
+}  // namespace
+
+SimApi::SimApi(Scheduler& scheduler) : SimApi(scheduler, Config{}) {}
+
+SimApi::SimApi(Scheduler& scheduler, Config config)
+    : scheduler_(&scheduler), config_(config) {
+    gantt_.set_enabled(config_.record_gantt);
+}
+
+SimApi::~SimApi() {
+    // Unwind all thread coroutines now, while the TThread objects (which
+    // the suspended stacks reference) are still alive.
+    for (auto& t : owned_) {
+        if (t->proc_ != nullptr) {
+            const_cast<sysc::Process*>(t->proc_)->kill();
+        }
+    }
+}
+
+// ---- creation / registry ----------------------------------------------------
+
+TThread& SimApi::SIM_CreateThread(std::string name, ThreadKind kind, Priority prio,
+                                  TThread::Entry entry) {
+    auto thread = std::unique_ptr<TThread>(
+        new TThread(*this, next_id_++, std::move(name), kind, prio, std::move(entry)));
+    TThread& ref = *thread;
+    owned_.push_back(std::move(thread));
+    hashtb_.insert(ref.id_, ref);
+    ref.proc_ = &sysc::Kernel::current().spawn("tthread." + ref.name_,
+                                               [&ref] { ref.run_body(); });
+    by_process_[ref.proc_] = &ref;
+    return ref;
+}
+
+void SimApi::SIM_DeleteThread(TThread& t) {
+    if (t.state_ != ThreadState::dormant) {
+        sysc::report(Severity::fatal, "sim_api",
+                     "SIM_DeleteThread('" + t.name_ + "'): thread is not DORMANT");
+    }
+    hashtb_.erase(t.id_);
+    by_process_.erase(t.proc_);
+    const_cast<sysc::Process*>(t.proc_)->kill();
+    owned_.erase(std::remove_if(owned_.begin(), owned_.end(),
+                                [&t](const auto& p) { return p.get() == &t; }),
+                 owned_.end());
+}
+
+// ---- state helpers -----------------------------------------------------------
+
+void SimApi::set_state(TThread& t, ThreadState s) {
+    t.state_ = s;
+    hashtb_.update(t.id_, s, sim_now());
+}
+
+void SimApi::account_idle_end() {
+    if (idle_) {
+        idle_accum_ += sim_now() - idle_since_;
+        idle_ = false;
+    }
+}
+
+Time SimApi::idle_time() const {
+    Time total = idle_accum_;
+    if (idle_) {
+        total += sim_now() - idle_since_;
+    }
+    return total;
+}
+
+TThread& SimApi::self() {
+    TThread* t = self_or_null();
+    if (t == nullptr) {
+        sysc::report(Severity::fatal, "sim_api",
+                     "caller is not a registered T-THREAD");
+    }
+    return *t;
+}
+
+TThread* SimApi::self_or_null() {
+    const sysc::Process* p = sysc::Kernel::current().running_process();
+    auto it = by_process_.find(p);
+    return it == by_process_.end() ? nullptr : it->second;
+}
+
+// ---- grant / dispatch machinery ----------------------------------------------
+
+void SimApi::grant(TThread& t, RunEvent reason) {
+    account_idle_end();
+    t.wake_reason_ = reason;
+    t.granted_ = true;
+    t.grant_ev_.notify();
+}
+
+void SimApi::dispatch() {
+    if (dispatch_disabled_ || in_interrupt()) {
+        dispatch_pending_ = true;
+        return;
+    }
+    TThread* next = scheduler_->pick();
+    if (next == nullptr) {
+        running_task_ = nullptr;
+        executing_ = nullptr;
+        // The CPU idles: pending handlers blocked by the previous task's
+        // service atomicity may run now.
+        if (!pending_isrs_.empty()) {
+            TThread* isr = pop_best_pending_isr();
+            gantt_.add_marker(GanttRecorder::MarkerKind::interrupt_enter, isr->id_,
+                              sim_now());
+            launch_isr(*isr);
+            return;
+        }
+        if (!idle_) {
+            idle_ = true;
+            idle_since_ = sim_now();
+        }
+        return;
+    }
+    running_task_ = next;
+    executing_ = next;
+    ++total_dispatches_;
+    ++next->dispatches_;
+    gantt_.add_marker(GanttRecorder::MarkerKind::dispatch, next->id_, sim_now());
+    set_state(*next, ThreadState::running);
+    grant(*next, next->wake_reason_);
+}
+
+void SimApi::on_thread_ready(TThread& t) {
+    (void)t;
+    if (in_interrupt()) {
+        if (config_.delayed_dispatching) {
+            dispatch_pending_ = true;
+        } else if (running_task_ != nullptr &&
+                   scheduler_->should_preempt(*running_task_)) {
+            // Ablation mode: no dedicated delayed-dispatch logic; rely on
+            // the interrupted task's own next preemption point.
+            running_task_->preempt_requested_ = true;
+        } else if (running_task_ == nullptr) {
+            dispatch_pending_ = true;  // idle CPU below the handler
+        }
+        return;
+    }
+    if (running_task_ != nullptr) {
+        if (scheduler_->should_preempt(*running_task_)) {
+            SIM_RequestPreempt(*running_task_);
+        }
+        return;
+    }
+    if (executing_ == nullptr) {
+        dispatch();  // CPU idle: dispatch immediately
+    }
+}
+
+void SimApi::SIM_RequestPreempt(TThread& t) {
+    t.preempt_requested_ = true;
+}
+
+void SimApi::yield_preempted(TThread& t) {
+    ++t.preemptions_;
+    ++total_preemptions_;
+    gantt_.add_marker(GanttRecorder::MarkerKind::preemption, t.id_, sim_now());
+    if (t.suspend_pending_) {
+        t.suspend_pending_ = false;
+        t.wake_reason_ = RunEvent::return_from_preemption;
+        set_state(t, ThreadState::suspended);
+    } else {
+        t.wake_reason_ = RunEvent::return_from_preemption;
+        set_state(t, ThreadState::ready);
+        scheduler_->make_ready(t);
+    }
+    running_task_ = nullptr;
+    executing_ = nullptr;
+    dispatch();
+    t.await_grant();
+}
+
+bool SimApi::interrupts_deliverable_to(const TThread& t) const {
+    if (pending_isrs_.empty()) {
+        return false;
+    }
+    if (config_.service_call_atomicity && t.service_depth_ > 0) {
+        return false;
+    }
+    if (t.is_handler()) {
+        return config_.nested_interrupts &&
+               pending_isrs_.front()->priority() < t.priority();
+    }
+    return true;
+}
+
+bool SimApi::preemption_allowed_for(const TThread& t) const {
+    if (t.is_handler()) {
+        return false;  // handlers run to completion
+    }
+    if (dispatch_disabled_) {
+        return false;
+    }
+    if (config_.service_call_atomicity && t.service_depth_ > 0) {
+        return false;
+    }
+    if (in_interrupt()) {
+        return false;  // handled by delayed dispatching at handler return
+    }
+    return true;
+}
+
+void SimApi::check_preemption_point(TThread& t) {
+    // Interrupts outrank task preemption: deliver every pending handler
+    // that may run in this frame, then consider preemption/suspension.
+    while (interrupts_deliverable_to(t)) {
+        t.interrupt_requested_ = false;
+        TThread* isr = pop_best_pending_isr();
+        ++t.times_interrupted_;
+        stack_.push(t);
+        gantt_.add_marker(GanttRecorder::MarkerKind::interrupt_enter, isr->id_,
+                          sim_now());
+        launch_isr(*isr);
+        t.await_grant();  // returns with Ei once the handler chain is done
+    }
+    if ((t.preempt_requested_ || t.suspend_pending_) && preemption_allowed_for(t)) {
+        t.preempt_requested_ = false;
+        yield_preempted(t);
+    }
+}
+
+// ---- interrupt machinery -------------------------------------------------------
+
+TThread* SimApi::pop_best_pending_isr() {
+    TThread* isr = pending_isrs_.front();
+    pending_isrs_.pop_front();
+    return isr;
+}
+
+void SimApi::launch_isr(TThread& isr) {
+    executing_ = &isr;
+    ++total_interrupts_;
+    ++isr.dispatches_;
+    set_state(isr, ThreadState::running);
+    grant(isr, RunEvent::startup);
+}
+
+void SimApi::SIM_RaiseInterrupt(TThread& isr) {
+    if (!isr.is_handler()) {
+        sysc::report(Severity::fatal, "sim_api",
+                     "SIM_RaiseInterrupt('" + isr.name_ + "'): not a handler thread");
+    }
+    const bool already_queued =
+        std::find(pending_isrs_.begin(), pending_isrs_.end(), &isr) !=
+        pending_isrs_.end();
+    if (isr.state_ != ThreadState::dormant || already_queued) {
+        // Activation while still active/pending: latch one, count overruns
+        // beyond that (a real interrupt controller's pending bit).
+        if (isr.pending_activation_) {
+            ++isr.activation_overruns_;
+        } else {
+            isr.pending_activation_ = true;
+        }
+        return;
+    }
+    // Priority-ordered insertion (stable for equal priorities).
+    auto pos = std::find_if(
+        pending_isrs_.begin(), pending_isrs_.end(),
+        [&isr](const TThread* q) { return isr.priority() < q->priority(); });
+    pending_isrs_.insert(pos, &isr);
+    deliver_pending_interrupts();
+}
+
+void SimApi::deliver_pending_interrupts() {
+    if (pending_isrs_.empty()) {
+        return;
+    }
+    if (executing_ == nullptr) {
+        // Idle CPU: the handler starts at once; nothing to push (the frame
+        // below the handler is "idle").
+        TThread* isr = pop_best_pending_isr();
+        gantt_.add_marker(GanttRecorder::MarkerKind::interrupt_enter, isr->id_,
+                          sim_now());
+        launch_isr(*isr);
+        return;
+    }
+    // Deliverability is evaluated at the executing thread's next
+    // preemption point (paper §4).
+    executing_->interrupt_requested_ = true;
+}
+
+void SimApi::on_handler_exited(TThread& h) {
+    set_state(h, ThreadState::dormant);
+    h.token_.complete_cycle();
+    gantt_.add_marker(GanttRecorder::MarkerKind::interrupt_return, h.id_, sim_now());
+    executing_ = nullptr;
+    if (h.pending_activation_) {
+        h.pending_activation_ = false;
+        auto pos = std::find_if(
+            pending_isrs_.begin(), pending_isrs_.end(),
+            [&h](const TThread* q) { return h.priority() < q->priority(); });
+        pending_isrs_.insert(pos, &h);
+    }
+    // Tail-chain pending handlers allowed to run at this level.
+    if (!pending_isrs_.empty()) {
+        TThread* below = stack_.top();
+        const bool can_chain =
+            below == nullptr || !below->is_handler() ||
+            (config_.nested_interrupts &&
+             pending_isrs_.front()->priority() < below->priority());
+        if (can_chain) {
+            TThread* isr = pop_best_pending_isr();
+            gantt_.add_marker(GanttRecorder::MarkerKind::interrupt_enter, isr->id_,
+                              sim_now());
+            launch_isr(*isr);
+            return;
+        }
+    }
+    if (!stack_.empty()) {
+        TThread& back = stack_.pop();
+        if (back.state_ == ThreadState::dormant) {
+            // Interrupted frame was terminated while we ran.
+            if (running_task_ == &back) {
+                running_task_ = nullptr;
+            }
+            dispatch();
+            return;
+        }
+        const bool outermost_return = stack_.empty() && !back.is_handler();
+        if (outermost_return && dispatch_pending_ && !dispatch_disabled_) {
+            dispatch_pending_ = false;
+            if (scheduler_->should_preempt(back)) {
+                // Delayed dispatching: the postponed preemption fires now.
+                ++back.preemptions_;
+                ++total_preemptions_;
+                gantt_.add_marker(GanttRecorder::MarkerKind::preemption, back.id_,
+                                  sim_now());
+                back.wake_reason_ = RunEvent::return_from_preemption;
+                set_state(back, ThreadState::ready);
+                scheduler_->make_ready(back);
+                running_task_ = nullptr;
+                dispatch();
+                return;
+            }
+        }
+        executing_ = &back;
+        grant(back, RunEvent::return_from_interrupt);
+        return;
+    }
+    // The handler ran over an idle CPU.
+    if (dispatch_pending_ && !dispatch_disabled_) {
+        dispatch_pending_ = false;
+        dispatch();
+        return;
+    }
+    if (!idle_) {
+        idle_ = true;
+        idle_since_ = sim_now();
+    }
+}
+
+// ---- activation / termination ---------------------------------------------------
+
+void SimApi::SIM_StartThread(TThread& t) {
+    if (t.is_handler()) {
+        sysc::report(Severity::fatal, "sim_api",
+                     "SIM_StartThread('" + t.name_ +
+                         "'): handlers are activated via SIM_RaiseInterrupt");
+    }
+    if (t.state_ != ThreadState::dormant) {
+        sysc::report(Severity::fatal, "sim_api",
+                     "SIM_StartThread('" + t.name_ + "'): thread is not DORMANT");
+    }
+    t.wake_reason_ = RunEvent::startup;
+    set_state(t, ThreadState::ready);
+    scheduler_->make_ready(t);
+    on_thread_ready(t);
+}
+
+void SimApi::SIM_Exit() {
+    throw ThreadCycleExit{};
+}
+
+void SimApi::on_thread_exited(TThread& t) {
+    set_state(t, ThreadState::dormant);
+    t.token_.complete_cycle();
+    gantt_.add_marker(GanttRecorder::MarkerKind::exit, t.id_, sim_now());
+    t.preempt_requested_ = false;
+    t.suspend_pending_ = false;
+    t.suspend_count_ = 0;
+    t.service_depth_ = 0;
+    if (running_task_ == &t) {
+        running_task_ = nullptr;
+    }
+    executing_ = nullptr;
+    dispatch();
+}
+
+void SimApi::SIM_Terminate(TThread& t) {
+    if (&t == self_or_null()) {
+        sysc::report(Severity::fatal, "sim_api",
+                     "SIM_Terminate: a thread must end itself with SIM_Exit");
+    }
+    if (t.is_handler() && t.state_ != ThreadState::dormant) {
+        sysc::report(Severity::fatal, "sim_api",
+                     "SIM_Terminate('" + t.name_ + "'): handler is active");
+    }
+    if (t.state_ == ThreadState::dormant) {
+        sysc::report(Severity::warning, "sim_api",
+                     "SIM_Terminate('" + t.name_ + "'): already DORMANT");
+        return;
+    }
+    scheduler_->remove(t);
+    const bool was_executing = (executing_ == &t);
+    if (running_task_ == &t) {
+        running_task_ = nullptr;
+    }
+    if (was_executing) {
+        executing_ = nullptr;
+    }
+    set_state(t, ThreadState::dormant);
+    t.preempt_requested_ = false;
+    t.interrupt_requested_ = false;
+    t.suspend_pending_ = false;
+    t.suspend_count_ = 0;
+    t.service_depth_ = 0;
+    t.granted_ = false;
+    t.current_priority_ = t.base_priority_;
+    // Unwind the coroutine stack (RAII) and arm a fresh firing cycle.
+    by_process_.erase(t.proc_);
+    const_cast<sysc::Process*>(t.proc_)->kill();
+    t.proc_ = &sysc::Kernel::current().spawn("tthread." + t.name_,
+                                             [&t] { t.run_body(); });
+    by_process_[t.proc_] = &t;
+    if (was_executing) {
+        dispatch();
+    }
+}
+
+// ---- sleep / wakeup ---------------------------------------------------------------
+
+void SimApi::SIM_Sleep() {
+    TThread& t = self();
+    if (t.is_handler()) {
+        sysc::report(Severity::fatal, "sim_api",
+                     "SIM_Sleep: handler '" + t.name_ + "' cannot block");
+    }
+    if (executing_ != &t) {
+        sysc::report(Severity::fatal, "sim_api",
+                     "SIM_Sleep: '" + t.name_ + "' is not the executing thread");
+    }
+    gantt_.add_marker(GanttRecorder::MarkerKind::sleep, t.id_, sim_now());
+    t.wake_reason_ = RunEvent::sleep_event;
+    if (t.suspend_pending_) {
+        t.suspend_pending_ = false;
+        set_state(t, ThreadState::waiting_suspended);
+    } else {
+        set_state(t, ThreadState::waiting);
+    }
+    running_task_ = nullptr;
+    executing_ = nullptr;
+    dispatch();
+    t.await_grant();
+    check_preemption_point(t);
+}
+
+void SimApi::SIM_WakeUp(TThread& t) {
+    gantt_.add_marker(GanttRecorder::MarkerKind::wakeup, t.id_, sim_now());
+    // "The waiting task will be notified later, upon the arrival of its
+    // event" (paper §4): expose the Ew arrival for observers/waveforms.
+    t.sleep_ev_.notify();
+    if (t.state_ == ThreadState::waiting) {
+        t.wake_reason_ = RunEvent::sleep_event;
+        set_state(t, ThreadState::ready);
+        scheduler_->make_ready(t);
+        on_thread_ready(t);
+    } else if (t.state_ == ThreadState::waiting_suspended) {
+        t.wake_reason_ = RunEvent::sleep_event;
+        set_state(t, ThreadState::suspended);
+    } else {
+        sysc::report(Severity::warning, "sim_api",
+                     "SIM_WakeUp('" + t.name_ + "'): thread is not WAITING");
+    }
+}
+
+// ---- forced suspension ---------------------------------------------------------------
+
+void SimApi::SIM_Suspend(TThread& t) {
+    switch (t.state_) {
+        case ThreadState::ready:
+            ++t.suspend_count_;
+            scheduler_->remove(t);
+            set_state(t, ThreadState::suspended);
+            break;
+        case ThreadState::waiting:
+            ++t.suspend_count_;
+            set_state(t, ThreadState::waiting_suspended);
+            break;
+        case ThreadState::suspended:
+        case ThreadState::waiting_suspended:
+            ++t.suspend_count_;
+            break;
+        case ThreadState::running:
+            if (&t == self_or_null()) {
+                sysc::report(Severity::fatal, "sim_api",
+                             "SIM_Suspend: a thread cannot suspend itself");
+            }
+            ++t.suspend_count_;
+            t.suspend_pending_ = true;  // honored at the next preemption point
+            break;
+        case ThreadState::dormant:
+        case ThreadState::non_existent:
+            sysc::report(Severity::fatal, "sim_api",
+                         "SIM_Suspend('" + t.name_ + "'): thread is DORMANT");
+    }
+}
+
+void SimApi::SIM_Resume(TThread& t) {
+    if (t.suspend_count_ == 0) {
+        sysc::report(Severity::warning, "sim_api",
+                     "SIM_Resume('" + t.name_ + "'): thread is not suspended");
+        return;
+    }
+    --t.suspend_count_;
+    if (t.suspend_count_ != 0) {
+        return;
+    }
+    if (t.suspend_pending_) {
+        t.suspend_pending_ = false;  // resumed before the suspension landed
+        return;
+    }
+    if (t.state_ == ThreadState::suspended) {
+        set_state(t, ThreadState::ready);
+        scheduler_->make_ready(t);
+        on_thread_ready(t);
+    } else if (t.state_ == ThreadState::waiting_suspended) {
+        set_state(t, ThreadState::waiting);
+    }
+}
+
+// ---- priority ---------------------------------------------------------------------------
+
+void SimApi::SIM_ChangePriority(TThread& t, Priority prio) {
+    t.base_priority_ = prio;
+    SIM_SetCurrentPriority(t, prio);
+}
+
+void SimApi::SIM_SetCurrentPriority(TThread& t, Priority prio) {
+    if (t.current_priority_ == prio) {
+        return;
+    }
+    t.current_priority_ = prio;
+    if (t.state_ == ThreadState::ready) {
+        scheduler_->priority_changed(t);
+    }
+    if (running_task_ != nullptr && scheduler_->should_preempt(*running_task_)) {
+        SIM_RequestPreempt(*running_task_);
+    }
+}
+
+void SimApi::SIM_RotateReadyQueue(Priority prio) {
+    scheduler_->rotate(prio);
+}
+
+// ---- time/energy consumption ------------------------------------------------------------
+
+void SimApi::consume_slice(TThread& t, ExecContext ctx, Time dur, double energy_nj) {
+    const Time end = sim_now();
+    t.token_.consume(ctx, dur, energy_nj);
+    gantt_.add_slice(t.id_, t.name_, ctx, end - dur, end, energy_nj);
+}
+
+void SimApi::SIM_Wait(Time dur, ExecContext ctx) {
+    const CostModel& m = costs_.at(ctx);
+    const double rate_nj_per_ps =
+        m.energy_per_unit_nj / static_cast<double>(m.time_per_unit.picoseconds());
+    SIM_Wait(dur, rate_nj_per_ps * static_cast<double>(dur.picoseconds()), ctx);
+}
+
+void SimApi::SIM_WaitUnits(std::uint64_t units, ExecContext ctx) {
+    const CostModel& m = costs_.at(ctx);
+    SIM_Wait(m.time(units), m.energy_nj(units), ctx);
+}
+
+void SimApi::SIM_Wait(Time dur, double energy_nj, ExecContext ctx) {
+    TThread& t = self();
+    if (executing_ != &t) {
+        sysc::report(Severity::fatal, "sim_api",
+                     "SIM_Wait: '" + t.name_ + "' does not hold the CPU");
+    }
+    if (dur.is_zero()) {
+        check_preemption_point(t);
+        return;
+    }
+    const Time q = config_.quantum;
+    const double rate = energy_nj / static_cast<double>(dur.picoseconds());
+    Time remaining = dur;
+    bool continued = false;
+    while (!remaining.is_zero()) {
+        if (continued) {
+            // Crossed a preemption point and kept the CPU: Ec transition.
+            t.token_.fire(RunEvent::continue_run);
+        }
+        const Time start = sim_now();
+        // Preemption points fall on the global quantum grid ("system clock
+        // simulation granularity", paper §4).
+        Time slice = remaining;
+        if (!q.is_zero()) {
+            const Time boundary = q * (start / q + 1);
+            slice = std::min(remaining, boundary - start);
+        }
+        sysc::wait(slice);
+        consume_slice(t, ctx, slice, rate * static_cast<double>(slice.picoseconds()));
+        remaining -= slice;
+        continued = true;
+        check_preemption_point(t);
+    }
+}
+
+void SimApi::SIM_PreemptionPoint() {
+    check_preemption_point(self());
+}
+
+// ---- service-call atomicity ----------------------------------------------------------------
+
+void SimApi::SIM_EnterService() {
+    ++self().service_depth_;
+}
+
+void SimApi::SIM_ExitService() {
+    TThread& t = self();
+    if (t.service_depth_ == 0) {
+        sysc::report(Severity::fatal, "sim_api",
+                     "SIM_ExitService without matching SIM_EnterService");
+    }
+    --t.service_depth_;
+    if (t.service_depth_ == 0) {
+        // Deferred preemptions/interrupts land at the service boundary.
+        check_preemption_point(t);
+    }
+}
+
+void SimApi::SIM_AbandonService(TThread& t) {
+    if (t.service_depth_ > 0) {
+        --t.service_depth_;
+    }
+}
+
+SimApi::ServiceGuard::~ServiceGuard() {
+    if (thread_ == nullptr) {
+        return;
+    }
+    if (std::uncaught_exceptions() > 0) {
+        api_.SIM_AbandonService(*thread_);  // unwinding: no preemption checks
+    } else {
+        api_.SIM_ExitService();
+    }
+}
+
+// ---- dispatch control ------------------------------------------------------------------------
+
+void SimApi::SIM_DisableDispatch() {
+    dispatch_disabled_ = true;
+}
+
+void SimApi::SIM_EnableDispatch() {
+    if (!dispatch_disabled_) {
+        return;
+    }
+    dispatch_disabled_ = false;
+    if (dispatch_pending_ && !in_interrupt()) {
+        dispatch_pending_ = false;
+        if (running_task_ == nullptr && executing_ == nullptr) {
+            dispatch();
+        } else if (running_task_ != nullptr &&
+                   scheduler_->should_preempt(*running_task_)) {
+            SIM_RequestPreempt(*running_task_);
+        }
+    }
+    // µ-ITRON: enabling dispatch is itself a dispatch point -- a deferred
+    // preemption of the *calling* task fires immediately (subject to the
+    // usual service-atomicity deferral when called from a service call).
+    TThread* self = self_or_null();
+    if (self != nullptr && self == executing_ &&
+        (self->preempt_requested_ || self->suspend_pending_ ||
+         !pending_isrs_.empty())) {
+        check_preemption_point(*self);
+    }
+}
+
+}  // namespace rtk::sim

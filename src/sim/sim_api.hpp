@@ -1,0 +1,239 @@
+// SIM_API -- the simulation library the paper adds on top of SystemC
+// (§4, Table 1): "we extended SystemC simulation engine with a new
+// simulation library ... These APIs will be used as programming
+// constructs from the different modules of an RTOS kernel simulation
+// model to control the T-THREADs operation."
+//
+// Supported dynamics (paper §4): dispatching, delayed dispatching,
+// service call atomicity, preemption at system-clock granularity,
+// interrupts and nested interrupt handling. The library owns the
+// T-THREAD registry (SIM_HashTB), the nested-interrupt stack (SIM_Stack),
+// interacts with an *external* scheduler, and records the Gantt/energy
+// statistics behind the paper's debugging widgets.
+//
+// Naming: the public entry points keep the paper's SIM_* names verbatim;
+// this is the reproduced API surface, fidelity beats house style.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/cost.hpp"
+#include "sim/gantt.hpp"
+#include "sim/hashtb.hpp"
+#include "sim/intstack.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/tthread.hpp"
+#include "sim/types.hpp"
+#include "sysc/time.hpp"
+
+namespace rtk::sim {
+
+/// Thrown by SIM_Exit to unwind the current entry; caught by the
+/// T-THREAD body wrapper (never visible to user code).
+struct ThreadCycleExit {};
+
+class SimApi {
+public:
+    struct Config {
+        /// Preemption granularity: "preemption - with system clock
+        /// simulation granularity" (paper §4). Preemption points fall on
+        /// multiples of this quantum (the kernel system tick).
+        sysc::Time quantum = sysc::Time::ms(1);
+        /// ETM/EEM of one dispatch (context switch); consumed by the
+        /// thread receiving the CPU, attributed to the service context.
+        sysc::Time dispatch_cost{};
+        double dispatch_energy_nj = 0.0;
+        /// "Service Call Atomicity - All system calls issued by the user
+        /// are executed with continuity" (paper §4). Togglable for the
+        /// ablation bench.
+        bool service_call_atomicity = true;
+        /// "Delayed Dispatching - A preemption that takes place within an
+        /// interrupt handler ... is postponed till after the interrupt
+        /// handler returns" (paper §4). Togglable for the ablation bench.
+        bool delayed_dispatching = true;
+        /// Allow higher-priority IRQs to nest into running handlers.
+        bool nested_interrupts = true;
+        /// Record Gantt segments/markers (costs host time; Table 2).
+        bool record_gantt = true;
+    };
+
+    explicit SimApi(Scheduler& scheduler);
+    SimApi(Scheduler& scheduler, Config config);
+    ~SimApi();
+
+    SimApi(const SimApi&) = delete;
+    SimApi& operator=(const SimApi&) = delete;
+
+    // ---- thread creation and registry (SIM_HashTB) ------------------------
+    TThread& SIM_CreateThread(std::string name, ThreadKind kind, Priority prio,
+                              TThread::Entry entry);
+    /// Delete a DORMANT thread (error otherwise).
+    void SIM_DeleteThread(TThread& t);
+    TThread* SIM_Find(ThreadId id) const { return hashtb_.find(id); }
+    TThread* SIM_FindByName(const std::string& name) const {
+        return hashtb_.find_by_name(name);
+    }
+
+    // ---- activation / termination -----------------------------------------
+    /// DORMANT -> READY; the thread's next grant fires Es (startup).
+    void SIM_StartThread(TThread& t);
+    /// Ends the *current* thread's firing cycle (µ-ITRON tk_ext_tsk).
+    [[noreturn]] void SIM_Exit();
+    /// Force any non-executing thread back to DORMANT (tk_ter_tsk): its
+    /// coroutine stack unwinds (RAII) and a fresh cycle is armed.
+    void SIM_Terminate(TThread& t);
+
+    // ---- blocking / wakeup (Ew) --------------------------------------------
+    /// Current thread: RUNNING -> WAITING until SIM_WakeUp (grant Ew).
+    void SIM_Sleep();
+    /// WAITING -> READY (or WAITING-SUSPENDED -> SUSPENDED).
+    void SIM_WakeUp(TThread& t);
+
+    // ---- forced suspension (µ-ITRON tk_sus_tsk) ----------------------------
+    void SIM_Suspend(TThread& t);
+    void SIM_Resume(TThread& t);
+
+    // ---- priority ----------------------------------------------------------
+    /// Change base priority (repositioning in the ready queue).
+    void SIM_ChangePriority(TThread& t, Priority prio);
+    /// Temporarily boost/restore current priority without touching the
+    /// base (mutex priority inheritance / ceiling support).
+    void SIM_SetCurrentPriority(TThread& t, Priority prio);
+    void SIM_RotateReadyQueue(Priority prio);
+
+    // ---- time/energy consumption (the T-THREAD ETM/EEM) --------------------
+    /// Consume simulated execution time in context `ctx`, energy derived
+    /// from the cost table rate; preemption/interruption is checked at
+    /// every quantum boundary crossed (paper: SIM_Wait).
+    void SIM_Wait(sysc::Time dur, ExecContext ctx);
+    /// As above with an explicit EEM annotation for the whole duration.
+    void SIM_Wait(sysc::Time dur, double energy_nj, ExecContext ctx);
+    /// Consume `units` abstract work units via the cost table.
+    void SIM_WaitUnits(std::uint64_t units, ExecContext ctx);
+    /// Zero-length preemption point.
+    void SIM_PreemptionPoint();
+
+    // ---- service call atomicity --------------------------------------------
+    void SIM_EnterService();
+    void SIM_ExitService();
+    /// Leave the atomic section without triggering preemption checks.
+    /// REQUIRED when unwinding a dying/exiting thread: re-entering the
+    /// wait machinery from a destructor during stack unwind would suspend
+    /// a coroutine that is mid-unwind (and terminate the program on the
+    /// next kill).
+    void SIM_AbandonService(TThread& t);
+    /// RAII guard for one atomic service call section; exception-safe:
+    /// during stack unwind (thread kill / SIM_Exit) it abandons the
+    /// section instead of running preemption checks.
+    class ServiceGuard {
+    public:
+        explicit ServiceGuard(SimApi& api) : api_(api), thread_(api.self_or_null()) {
+            if (thread_ != nullptr) {
+                api_.SIM_EnterService();
+            }
+        }
+        ~ServiceGuard();
+        ServiceGuard(const ServiceGuard&) = delete;
+        ServiceGuard& operator=(const ServiceGuard&) = delete;
+
+    private:
+        SimApi& api_;
+        TThread* thread_;
+    };
+
+    // ---- dispatching control ------------------------------------------------
+    /// Disable task dispatching (µ-ITRON tk_dis_dsp); preemptions pend.
+    void SIM_DisableDispatch();
+    void SIM_EnableDispatch();
+    bool dispatch_disabled() const { return dispatch_disabled_; }
+    /// Ask the running thread to yield at its next preemption point
+    /// (used by the round-robin kernels' tick handlers).
+    void SIM_RequestPreempt(TThread& t);
+
+    // ---- interrupts ----------------------------------------------------------
+    /// Queue activation of an interrupt/cyclic/alarm handler thread.
+    /// Deliverable immediately when the CPU is idle; otherwise delivered
+    /// at the executing thread's next preemption point. Higher-priority
+    /// handlers nest into running handlers (SIM_Stack).
+    void SIM_RaiseInterrupt(TThread& isr);
+    bool in_interrupt() const {
+        return executing_ != nullptr && executing_ != running_task_;
+    }
+
+    // ---- introspection --------------------------------------------------------
+    /// Thread in the µ-ITRON RUNNING state (may be interrupted beneath
+    /// handlers); nullptr when the CPU idles.
+    TThread* running_task() const { return running_task_; }
+    /// Thread actually consuming CPU right now (task or handler).
+    TThread* executing() const { return executing_; }
+    /// The T-THREAD hosting the calling sysc process (fatal if none).
+    TThread& self();
+    TThread* self_or_null();
+
+    Scheduler& scheduler() { return *scheduler_; }
+    const SimHashTB& hash_table() const { return hashtb_; }
+    const SimStack& interrupt_stack() const { return stack_; }
+    CostTable& costs() { return costs_; }
+    const CostTable& costs() const { return costs_; }
+    GanttRecorder& gantt() { return gantt_; }
+    const GanttRecorder& gantt() const { return gantt_; }
+    const Config& config() const { return config_; }
+
+    std::uint64_t total_dispatches() const { return total_dispatches_; }
+    std::uint64_t total_preemptions() const { return total_preemptions_; }
+    std::uint64_t total_interrupt_deliveries() const { return total_interrupts_; }
+    sysc::Time idle_time() const;
+
+    std::vector<TThread*> threads() const { return hashtb_.threads(); }
+
+private:
+    friend class TThread;
+
+    // grant/yield machinery
+    void grant(TThread& t, RunEvent reason);
+    void dispatch();
+    void yield_preempted(TThread& t);
+    void check_preemption_point(TThread& t);
+    bool interrupts_deliverable_to(const TThread& t) const;
+    bool preemption_allowed_for(const TThread& t) const;
+    void launch_isr(TThread& isr);
+    void deliver_pending_interrupts();
+    void on_thread_ready(TThread& t);
+    void on_thread_exited(TThread& t);
+    void on_handler_exited(TThread& t);
+    void consume_slice(TThread& t, ExecContext ctx, sysc::Time dur, double energy_nj);
+    void account_idle_end();
+    void set_state(TThread& t, ThreadState s);
+    TThread* pop_best_pending_isr();
+
+    Scheduler* scheduler_;
+    Config config_;
+    CostTable costs_;
+    SimHashTB hashtb_;
+    SimStack stack_;
+    GanttRecorder gantt_;
+
+    std::vector<std::unique_ptr<TThread>> owned_;
+    std::unordered_map<const sysc::Process*, TThread*> by_process_;
+
+    TThread* running_task_ = nullptr;
+    TThread* executing_ = nullptr;
+    std::deque<TThread*> pending_isrs_;
+
+    bool dispatch_disabled_ = false;
+    bool dispatch_pending_ = false;  ///< delayed dispatching flag
+
+    ThreadId next_id_ = 1;
+    std::uint64_t total_dispatches_ = 0;
+    std::uint64_t total_preemptions_ = 0;
+    std::uint64_t total_interrupts_ = 0;
+
+    bool idle_ = true;
+    sysc::Time idle_since_{};
+    sysc::Time idle_accum_{};
+};
+
+}  // namespace rtk::sim

@@ -1,0 +1,100 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "sim/sim_api.hpp"
+#include "sysc/kernel.hpp"
+
+namespace rtk::sim {
+
+sysc::Time BatteryModel::projected_lifespan(double total_cee_nj,
+                                            sysc::Time elapsed) const {
+    if (total_cee_nj <= 0.0 || elapsed.is_zero()) {
+        return sysc::Time::max();
+    }
+    const double avg_power_w = total_cee_nj * 1e-9 / elapsed.to_sec();
+    const double lifespan_sec = capacity_j_ / avg_power_w;
+    if (lifespan_sec >= 1e7) {  // cap at ~115 days to avoid overflow
+        return sysc::Time::max();
+    }
+    return sysc::Time::ps(static_cast<std::uint64_t>(lifespan_sec * 1e12));
+}
+
+std::string BatteryModel::status_bar(double total_cee_nj, std::size_t width) const {
+    const double lvl = level(total_cee_nj);
+    const std::size_t filled = static_cast<std::size_t>(lvl * static_cast<double>(width));
+    std::string bar = "[";
+    bar += std::string(filled, '#');
+    bar += std::string(width - filled, '.');
+    bar += "] ";
+    bar += std::to_string(static_cast<int>(lvl * 100.0));
+    bar += "%";
+    return bar;
+}
+
+SystemStats collect_stats(const SimApi& api) {
+    SystemStats s;
+    s.elapsed = sysc::Kernel::current().now();
+    s.idle_time = api.idle_time();
+    s.dispatches = api.total_dispatches();
+    s.preemptions = api.total_preemptions();
+    s.interrupts = api.total_interrupt_deliveries();
+    for (const TThread* t : api.hash_table().threads()) {
+        DistributionRow row;
+        row.tid = t->id();
+        row.name = t->name();
+        row.cet = t->token().cet();
+        row.cee_nj = t->token().cee_nj();
+        s.total_cet += row.cet;
+        s.total_cee_nj += row.cee_nj;
+        s.rows.push_back(std::move(row));
+    }
+    if (!s.elapsed.is_zero()) {
+        s.cpu_load = s.total_cet.to_sec() / s.elapsed.to_sec();
+    }
+    for (auto& row : s.rows) {
+        row.cet_share = s.total_cet.is_zero()
+                            ? 0.0
+                            : row.cet.to_sec() / s.total_cet.to_sec();
+        row.cee_share = s.total_cee_nj <= 0.0 ? 0.0 : row.cee_nj / s.total_cee_nj;
+    }
+    std::sort(s.rows.begin(), s.rows.end(),
+              [](const DistributionRow& a, const DistributionRow& b) {
+                  return a.cee_nj > b.cee_nj;
+              });
+    return s;
+}
+
+std::string render_distribution(const SystemStats& stats, const BatteryModel& battery) {
+    std::ostringstream out;
+    out << "Consumed Time/Energy Distribution (Fig 7)\n";
+    out << "  elapsed: " << stats.elapsed.to_string()
+        << "  cpu load: " << std::fixed << std::setprecision(1)
+        << stats.cpu_load * 100.0 << "%"
+        << "  idle: " << stats.idle_time.to_string() << "\n";
+    out << std::left << std::setw(14) << "  thread" << std::right << std::setw(12)
+        << "CET[ms]" << std::setw(10) << "CET%" << std::setw(14) << "CEE[mJ]"
+        << std::setw(10) << "CEE%" << "\n";
+    for (const auto& row : stats.rows) {
+        out << "  " << std::left << std::setw(12) << row.name << std::right
+            << std::setw(12) << std::setprecision(3) << row.cet.to_ms()
+            << std::setw(9) << std::setprecision(1) << row.cet_share * 100.0 << "%"
+            << std::setw(14) << std::setprecision(4) << row.cee_nj * 1e-6
+            << std::setw(9) << std::setprecision(1) << row.cee_share * 100.0 << "%\n";
+    }
+    out << "  total CEE: " << std::setprecision(4) << stats.total_cee_nj * 1e-6
+        << " mJ   battery " << battery.status_bar(stats.total_cee_nj);
+    const sysc::Time life = battery.projected_lifespan(stats.total_cee_nj, stats.elapsed);
+    out << "   projected lifespan: ";
+    if (life == sysc::Time::max()) {
+        out << ">115 days";
+    } else {
+        out << std::setprecision(1) << life.to_sec() / 3600.0 << " h";
+    }
+    out << "\n";
+    return out.str();
+}
+
+}  // namespace rtk::sim

@@ -1,0 +1,77 @@
+// Per-thread and system-wide CET/CEE statistics plus the battery model of
+// the paper's Fig 7 "Time/Energy distribution" widget: "a battery of
+// 10-watt-hour was assumed and at run time the consumed execution time
+// (CET) and energy (CEE) were accumulated and distributed over registered
+// T-THREADs and the battery's status bar was updated".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+#include "sysc/time.hpp"
+
+namespace rtk::sim {
+
+class SimApi;
+
+/// Battery whose charge is drained by the accumulated CEE.
+class BatteryModel {
+public:
+    explicit BatteryModel(double capacity_watt_hours = 10.0)
+        : capacity_j_(capacity_watt_hours * 3600.0) {}
+
+    double capacity_j() const { return capacity_j_; }
+
+    double consumed_fraction(double total_cee_nj) const {
+        return total_cee_nj * 1e-9 / capacity_j_;
+    }
+
+    /// Remaining charge in [0,1] given total consumed energy.
+    double level(double total_cee_nj) const {
+        const double f = 1.0 - consumed_fraction(total_cee_nj);
+        return f < 0.0 ? 0.0 : f;
+    }
+
+    /// Projected lifespan at the observed average power draw
+    /// (total_cee over elapsed simulated time).
+    sysc::Time projected_lifespan(double total_cee_nj, sysc::Time elapsed) const;
+
+    /// ASCII status bar, e.g. "[#########i........] 47%".
+    std::string status_bar(double total_cee_nj, std::size_t width = 20) const;
+
+private:
+    double capacity_j_;
+};
+
+/// One row of the Fig 7 distribution table.
+struct DistributionRow {
+    ThreadId tid = invalid_thread;
+    std::string name;
+    sysc::Time cet{};
+    double cee_nj = 0.0;
+    double cet_share = 0.0;  ///< fraction of total busy time
+    double cee_share = 0.0;  ///< fraction of total consumed energy
+};
+
+/// System-wide roll-up computed from the registered T-THREADs.
+struct SystemStats {
+    sysc::Time elapsed{};
+    sysc::Time total_cet{};
+    double total_cee_nj = 0.0;
+    sysc::Time idle_time{};
+    double cpu_load = 0.0;  ///< total_cet / elapsed
+    std::uint64_t dispatches = 0;
+    std::uint64_t preemptions = 0;
+    std::uint64_t interrupts = 0;
+    std::vector<DistributionRow> rows;  ///< sorted by descending CEE
+};
+
+/// Build the distribution report from a SimApi instance.
+SystemStats collect_stats(const SimApi& api);
+
+/// Render the Fig 7-style table (shares, battery bar, lifespan).
+std::string render_distribution(const SystemStats& stats, const BatteryModel& battery);
+
+}  // namespace rtk::sim

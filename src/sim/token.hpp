@@ -1,0 +1,70 @@
+// The Petri-net token of a T-THREAD (paper §3, Fig 2).
+//
+// "A single token K marks the state of the T-THREAD" and "gathers
+// execution time/energy statistics as it propagates" (§4). The token
+// carries:
+//   * the characteristic (firing) vector S-bar -- how many times each
+//     transition class fired,
+//   * the consumed execution time  CET(S|T-THREAD) = sum over cycles of ETM,
+//   * the consumed execution energy CEE(S|T-THREAD) = sum over cycles of EEM,
+// broken down by execution context for the Fig 6 / Fig 7 displays.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "sim/types.hpp"
+#include "sysc/time.hpp"
+
+namespace rtk::sim {
+
+class Token {
+public:
+    /// Record the firing of a transition enabled by event `e`.
+    void fire(RunEvent e) { ++firing_vector_[static_cast<std::size_t>(e)]; }
+
+    /// Accumulate consumed execution time/energy in context `c`.
+    void consume(ExecContext c, sysc::Time dt, double energy_nj) {
+        cet_ += dt;
+        cee_nj_ += energy_nj;
+        cet_by_ctx_[static_cast<std::size_t>(c)] += dt;
+        cee_by_ctx_[static_cast<std::size_t>(c)] += energy_nj;
+    }
+
+    /// A full T-THREAD execution cycle completed (entry returned).
+    void complete_cycle() { ++cycles_; }
+
+    sysc::Time cet() const { return cet_; }              ///< consumed execution time
+    double cee_nj() const { return cee_nj_; }            ///< consumed energy [nJ]
+    double cee_mj() const { return cee_nj_ * 1e-6; }     ///< consumed energy [mJ]
+    std::uint64_t cycles() const { return cycles_; }     ///< completed cycles N
+
+    sysc::Time cet(ExecContext c) const {
+        return cet_by_ctx_[static_cast<std::size_t>(c)];
+    }
+    double cee_nj(ExecContext c) const {
+        return cee_by_ctx_[static_cast<std::size_t>(c)];
+    }
+
+    /// Characteristic vector component: firings enabled by event `e`.
+    std::uint64_t firings(RunEvent e) const {
+        return firing_vector_[static_cast<std::size_t>(e)];
+    }
+    std::uint64_t total_firings() const {
+        std::uint64_t n = 0;
+        for (auto v : firing_vector_) n += v;
+        return n;
+    }
+
+    void reset() { *this = Token{}; }
+
+private:
+    sysc::Time cet_{};
+    double cee_nj_ = 0.0;
+    std::uint64_t cycles_ = 0;
+    std::array<std::uint64_t, run_event_count> firing_vector_{};
+    std::array<sysc::Time, exec_context_count> cet_by_ctx_{};
+    std::array<double, exec_context_count> cee_by_ctx_{};
+};
+
+}  // namespace rtk::sim

@@ -1,0 +1,60 @@
+#include "sim/tthread.hpp"
+
+#include "sim/sim_api.hpp"
+#include "sysc/kernel.hpp"
+
+namespace rtk::sim {
+
+TThread::TThread(SimApi& api, ThreadId id, std::string name, ThreadKind kind,
+                 Priority prio, Entry entry)
+    : api_(api),
+      id_(id),
+      name_(std::move(name)),
+      kind_(kind),
+      base_priority_(prio),
+      current_priority_(prio),
+      entry_(std::move(entry)),
+      grant_ev_(name_ + ".grant"),
+      sleep_ev_(name_ + ".sleep") {}
+
+void TThread::run_body() {
+    // "A T-THREAD is a cyclic object of atomic transitions T with a single
+    // token K marking the state" (paper §3): each iteration is one firing
+    // cycle from the source transition (Es) to the sink.
+    for (;;) {
+        await_grant();
+        try {
+            entry_();
+        } catch (const ThreadCycleExit&) {
+            // SIM_Exit: normal end of this firing cycle.
+        }
+        if (is_handler()) {
+            api_.on_handler_exited(*this);
+        } else {
+            api_.on_thread_exited(*this);
+        }
+    }
+}
+
+RunEvent TThread::await_grant() {
+    // The granted_ flag closes the race between an immediate grant
+    // notification and a body that has not reached its wait yet.
+    while (!granted_) {
+        sysc::wait(grant_ev_);
+    }
+    granted_ = false;
+    token_.fire(wake_reason_);
+    // Context-switch cost (dispatch ETM/EEM) is consumed by the thread
+    // receiving the CPU, attributed to the kernel service context.
+    const auto& cfg = api_.config();
+    if (!cfg.dispatch_cost.is_zero()) {
+        const sysc::Time start = sysc::now();
+        sysc::wait(cfg.dispatch_cost);
+        api_.consume_slice(*this, ExecContext::service_call, cfg.dispatch_cost,
+                           cfg.dispatch_energy_nj);
+        (void)start;
+    }
+    return wake_reason_;
+}
+
+}  // namespace rtk::sim

@@ -1,0 +1,114 @@
+// T-THREAD -- the controllable process model of the paper (§3, Fig 2).
+//
+// "A Task Thread or shortly a T-THREAD process ... was proposed here to
+// capture the real time aspects of an application task or a handler
+// (cyclic, alarm, or external interrupt) in embedded S/W. A T-THREAD is
+// based on SystemC SC_(C)THREAD process running under the supervision of
+// a simulation API library (SIM_API) to simulate the behavior of a
+// synchronized Petri-Net."
+//
+// A T-THREAD is a *cyclic* object: its body waits for a startup grant
+// (Es), runs the user entry once (one firing cycle), reports completion
+// and loops. The CPU is granted exclusively by SimApi through an event;
+// the grant carries the enabling RunEvent, which fires the matching
+// Petri-net transition on the thread's Token.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/token.hpp"
+#include "sim/types.hpp"
+#include "sysc/event.hpp"
+#include "sysc/process.hpp"
+#include "sysc/time.hpp"
+
+namespace rtk::sim {
+
+class SimApi;
+
+class TThread {
+public:
+    using Entry = std::function<void()>;
+
+    ThreadId id() const { return id_; }
+    const std::string& name() const { return name_; }
+    ThreadKind kind() const { return kind_; }
+    bool is_handler() const { return kind_ != ThreadKind::task; }
+
+    /// Current (possibly inherited/ceiling-boosted) priority.
+    Priority priority() const { return current_priority_; }
+    /// Priority assigned at creation / last explicit change.
+    Priority base_priority() const { return base_priority_; }
+
+    ThreadState state() const { return state_; }
+
+    /// The Petri-net token: firing vector, CET, CEE (paper Fig 2).
+    const Token& token() const { return token_; }
+
+    /// Event a sleeping T-THREAD waits for (Ew source, paper §3).
+    sysc::Event& sleep_event() { return sleep_ev_; }
+
+    // ---- per-thread statistics ----
+    std::uint64_t dispatch_count() const { return dispatches_; }
+    std::uint64_t preemption_count() const { return preemptions_; }
+    std::uint64_t times_interrupted() const { return times_interrupted_; }
+    std::uint64_t activation_overruns() const { return activation_overruns_; }
+    std::uint64_t suspend_count() const { return suspend_count_; }
+
+    /// The sysc process currently hosting this T-THREAD.
+    const sysc::Process* process() const { return proc_; }
+
+    /// Opaque slot for the kernel layer built on top (e.g. the T-Kernel
+    /// TCB owning this T-THREAD). Not interpreted by SIM_API.
+    void set_user_data(void* p) { user_data_ = p; }
+    void* user_data() const { return user_data_; }
+
+    TThread(const TThread&) = delete;
+    TThread& operator=(const TThread&) = delete;
+
+private:
+    friend class SimApi;
+
+    TThread(SimApi& api, ThreadId id, std::string name, ThreadKind kind,
+            Priority prio, Entry entry);
+
+    void run_body();
+    /// Block until SimApi grants the CPU; fires the enabling transition.
+    RunEvent await_grant();
+
+    SimApi& api_;
+    ThreadId id_;
+    std::string name_;
+    ThreadKind kind_;
+    Priority base_priority_;
+    Priority current_priority_;
+    Entry entry_;
+    ThreadState state_ = ThreadState::dormant;
+
+    sysc::Process* proc_ = nullptr;
+    sysc::Event grant_ev_;
+    sysc::Event sleep_ev_;
+    bool granted_ = false;
+    RunEvent wake_reason_ = RunEvent::startup;
+
+    // Flags examined at preemption points (paper §4: "checking of
+    // interruption or preemption will be performed within SIM_Wait").
+    bool preempt_requested_ = false;
+    bool interrupt_requested_ = false;
+    bool suspend_pending_ = false;
+    bool pending_activation_ = false;  ///< IRQ raised while handler active
+
+    int service_depth_ = 0;      ///< nesting of atomic service calls
+    std::uint64_t suspend_count_ = 0;  ///< µ-ITRON nested suspend count
+
+    void* user_data_ = nullptr;
+    Token token_;
+    std::uint64_t dispatches_ = 0;
+    std::uint64_t preemptions_ = 0;
+    std::uint64_t times_interrupted_ = 0;
+    std::uint64_t activation_overruns_ = 0;
+};
+
+}  // namespace rtk::sim

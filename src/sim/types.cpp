@@ -1,0 +1,61 @@
+#include "sim/types.hpp"
+
+namespace rtk::sim {
+
+const char* to_string(RunEvent e) {
+    switch (e) {
+        case RunEvent::startup: return "Es";
+        case RunEvent::continue_run: return "Ec";
+        case RunEvent::return_from_preemption: return "Ex";
+        case RunEvent::return_from_interrupt: return "Ei";
+        case RunEvent::sleep_event: return "Ew";
+    }
+    return "?";
+}
+
+const char* to_string(ExecContext c) {
+    switch (c) {
+        case ExecContext::startup: return "startup";
+        case ExecContext::service_call: return "service";
+        case ExecContext::task: return "task";
+        case ExecContext::handler: return "handler";
+        case ExecContext::bfm_access: return "bfm";
+    }
+    return "?";
+}
+
+const char* to_string(ThreadKind k) {
+    switch (k) {
+        case ThreadKind::task: return "task";
+        case ThreadKind::cyclic_handler: return "cyclic";
+        case ThreadKind::alarm_handler: return "alarm";
+        case ThreadKind::interrupt_handler: return "isr";
+    }
+    return "?";
+}
+
+const char* to_string(ThreadState s) {
+    switch (s) {
+        case ThreadState::non_existent: return "NON-EXISTENT";
+        case ThreadState::dormant: return "DORMANT";
+        case ThreadState::ready: return "READY";
+        case ThreadState::running: return "RUNNING";
+        case ThreadState::waiting: return "WAITING";
+        case ThreadState::suspended: return "SUSPENDED";
+        case ThreadState::waiting_suspended: return "WAITING-SUSPENDED";
+    }
+    return "?";
+}
+
+char gantt_glyph(ExecContext c) {
+    switch (c) {
+        case ExecContext::startup: return 'S';
+        case ExecContext::service_call: return 'o';
+        case ExecContext::task: return '#';
+        case ExecContext::handler: return 'H';
+        case ExecContext::bfm_access: return 'B';
+    }
+    return '?';
+}
+
+}  // namespace rtk::sim

@@ -1,0 +1,68 @@
+// Core vocabulary of the T-THREAD process model (paper §3, Fig 2).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace rtk::sim {
+
+/// Identifier of a registered T-THREAD (paper: key into SIM_HashTB).
+using ThreadId = int;
+inline constexpr ThreadId invalid_thread = -1;
+
+/// Task priority; following the µ-ITRON convention, *smaller is higher*.
+using Priority = int;
+
+/// The event classes E = {Es, Ec, Ex, Ei, Ew} of the T-THREAD Petri net
+/// (paper §3). A transition fires when its enabling event occurs.
+enum class RunEvent : std::uint8_t {
+    startup,                 ///< Es -- startup after kernel initialization
+    continue_run,            ///< Ec -- normal continued execution
+    return_from_preemption,  ///< Ex -- granted the CPU back after preemption
+    return_from_interrupt,   ///< Ei -- granted the CPU back after an interrupt
+    sleep_event,             ///< Ew -- the awaited sleep event arrived
+};
+inline constexpr std::size_t run_event_count = 5;
+
+/// Execution contexts transitions are mapped to (paper §3: "at startup, or
+/// within a service call, an application task, a handler, or H/W (BFM)
+/// access"). The Gantt trace of Fig 6 assigns one pattern per context.
+enum class ExecContext : std::uint8_t {
+    startup,       ///< kernel boot / task activation prologue
+    service_call,  ///< inside an OS service call (atomic per paper)
+    task,          ///< application task body (basic blocks)
+    handler,       ///< cyclic / alarm / interrupt handler body
+    bfm_access,    ///< bus-functional-model (H/W) access
+};
+inline constexpr std::size_t exec_context_count = 5;
+
+/// What a T-THREAD models (paper §3: "an application task or a handler
+/// (cyclic, alarm, or external interrupt)").
+enum class ThreadKind : std::uint8_t {
+    task,
+    cyclic_handler,
+    alarm_handler,
+    interrupt_handler,
+};
+
+/// µ-ITRON v4 task states tracked in SIM_HashTB.
+enum class ThreadState : std::uint8_t {
+    non_existent,
+    dormant,
+    ready,
+    running,
+    waiting,
+    suspended,
+    waiting_suspended,
+};
+
+const char* to_string(RunEvent e);
+const char* to_string(ExecContext c);
+const char* to_string(ThreadKind k);
+const char* to_string(ThreadState s);
+
+/// One-letter Gantt pattern per context (Fig 6 uses distinct patterns).
+char gantt_glyph(ExecContext c);
+
+}  // namespace rtk::sim

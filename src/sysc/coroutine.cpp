@@ -1,0 +1,88 @@
+#include "sysc/coroutine.hpp"
+
+#include <cstdint>
+
+#include "sysc/report.hpp"
+
+namespace rtk::sysc {
+
+Coroutine::Coroutine(std::function<void()> body, std::size_t stack_bytes)
+    : body_(std::move(body)),
+      stack_(std::make_unique<char[]>(stack_bytes)),
+      stack_bytes_(stack_bytes) {}
+
+Coroutine::~Coroutine() {
+    if (started_ && !finished_) {
+        kill();
+        try {
+            resume();  // unwind the suspended stack
+        } catch (...) {
+            // Destructors must not throw; the body's exception (if any)
+            // is intentionally dropped during teardown.
+        }
+    }
+}
+
+void Coroutine::trampoline(unsigned hi, unsigned lo) {
+    auto ptr = (static_cast<std::uintptr_t>(hi) << 32) | static_cast<std::uintptr_t>(lo);
+    reinterpret_cast<Coroutine*>(ptr)->run_body();
+    // Returning lets ucontext follow uc_link back to the caller context.
+}
+
+void Coroutine::run_body() {
+    try {
+        if (kill_requested_) {
+            throw CoroutineKilled{};
+        }
+        body_();
+    } catch (const CoroutineKilled&) {
+        // normal kill-unwind
+    } catch (...) {
+        pending_exception_ = std::current_exception();
+    }
+    finished_ = true;
+}
+
+void Coroutine::resume() {
+    if (finished_) {
+        report(Severity::fatal, "coroutine", "resume() on finished coroutine");
+    }
+    if (inside_) {
+        report(Severity::fatal, "coroutine", "resume() from inside the coroutine");
+    }
+    if (!started_) {
+        started_ = true;
+        getcontext(&ctx_);
+        ctx_.uc_stack.ss_sp = stack_.get();
+        ctx_.uc_stack.ss_size = stack_bytes_;
+        ctx_.uc_link = &caller_;
+        auto ptr = reinterpret_cast<std::uintptr_t>(this);
+        makecontext(&ctx_, reinterpret_cast<void (*)()>(&Coroutine::trampoline), 2,
+                    static_cast<unsigned>(ptr >> 32),
+                    static_cast<unsigned>(ptr & 0xffffffffu));
+    }
+    inside_ = true;
+    swapcontext(&caller_, &ctx_);
+    inside_ = false;
+    if (finished_ && pending_exception_) {
+        auto ex = pending_exception_;
+        pending_exception_ = nullptr;
+        std::rethrow_exception(ex);
+    }
+}
+
+void Coroutine::yield() {
+    if (!inside_) {
+        report(Severity::fatal, "coroutine", "yield() outside the coroutine");
+    }
+    swapcontext(&ctx_, &caller_);
+    if (kill_requested_) {
+        throw CoroutineKilled{};
+    }
+}
+
+void Coroutine::kill() {
+    kill_requested_ = true;
+}
+
+}  // namespace rtk::sysc

@@ -1,0 +1,68 @@
+// Stackful coroutine used to implement SC_THREAD-style processes.
+//
+// Built on POSIX ucontext (the same technique as SystemC's QuickThreads
+// package): a T-THREAD must be suspendable from arbitrarily deep call
+// stacks (T-Kernel service call -> SIM_Wait), which stackless C++20
+// coroutines cannot express. Each coroutine owns its stack; destruction
+// of a suspended coroutine unwinds the stack by resuming it with a kill
+// flag, so RAII destructors on the coroutine stack always run.
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <ucontext.h>
+
+namespace rtk::sysc {
+
+/// Exception used to unwind a coroutine stack on kill; user code must let
+/// it propagate (catching and swallowing it is a modelling error).
+struct CoroutineKilled {};
+
+class Coroutine {
+public:
+    static constexpr std::size_t default_stack_bytes = 256 * 1024;
+
+    /// The body runs on the coroutine stack at the first resume().
+    Coroutine(std::function<void()> body, std::size_t stack_bytes = default_stack_bytes);
+
+    /// Unwinds the coroutine stack if still suspended.
+    ~Coroutine();
+
+    Coroutine(const Coroutine&) = delete;
+    Coroutine& operator=(const Coroutine&) = delete;
+
+    /// Transfer control from the caller into the coroutine. Must not be
+    /// called from inside the coroutine itself or after it finished.
+    /// If the body exited with an exception, rethrows it here.
+    void resume();
+
+    /// Transfer control from inside the coroutine back to the caller.
+    /// Throws CoroutineKilled when a kill was requested.
+    void yield();
+
+    /// Request stack unwinding: the next resume() makes yield() (and the
+    /// pending suspension point) throw CoroutineKilled.
+    void kill();
+
+    bool finished() const { return finished_; }
+    bool started() const { return started_; }
+
+private:
+    static void trampoline(unsigned hi, unsigned lo);
+    void run_body();
+
+    std::function<void()> body_;
+    std::unique_ptr<char[]> stack_;
+    std::size_t stack_bytes_;
+    ucontext_t ctx_{};
+    ucontext_t caller_{};
+    bool started_ = false;
+    bool finished_ = false;
+    bool inside_ = false;
+    bool kill_requested_ = false;
+    std::exception_ptr pending_exception_;
+};
+
+}  // namespace rtk::sysc

@@ -1,0 +1,301 @@
+#include "sysc/kernel.hpp"
+
+#include <algorithm>
+
+#include "sysc/report.hpp"
+
+namespace rtk::sysc {
+
+namespace {
+thread_local Kernel* g_current_kernel = nullptr;
+}
+
+Kernel::Kernel() {
+    previous_current_ = g_current_kernel;
+    g_current_kernel = this;
+}
+
+Kernel::~Kernel() {
+    // Kill suspended processes so their coroutine stacks unwind with RAII
+    // intact, then destroy them while the kernel queues (which their event
+    // destructors deregister from) are still alive.
+    for (auto& p : processes_) {
+        try {
+            kill_process(*p);
+        } catch (...) {
+            // teardown: drop exceptions from unwinding bodies
+        }
+    }
+    processes_.clear();
+    g_current_kernel = previous_current_;
+}
+
+Kernel& Kernel::current() {
+    if (g_current_kernel == nullptr) {
+        report(Severity::fatal, "kernel", "no active simulation kernel on this thread");
+    }
+    return *g_current_kernel;
+}
+
+Kernel* Kernel::current_or_null() {
+    return g_current_kernel;
+}
+
+Process& Kernel::spawn(std::string name, std::function<void()> body, SpawnOptions opts) {
+    auto proc = std::unique_ptr<Process>(new Process(
+        *this, std::move(name), std::move(body), opts.stack_bytes, next_process_id_++));
+    Process& ref = *proc;
+    processes_.push_back(std::move(proc));
+    ref.state_ = Process::State::runnable;
+    runnable_.push_back(&ref);
+    return ref;
+}
+
+bool Kernel::idle() const {
+    return runnable_.empty() && delta_queue_.empty() && timed_.empty() &&
+           update_queue_.empty();
+}
+
+Time Kernel::next_activity_at() const {
+    if (!runnable_.empty() || !delta_queue_.empty() || !update_queue_.empty()) {
+        return now_;
+    }
+    for (const auto& [at, entry] : timed_) {
+        Event* e = entry.first;
+        if (e->pending_ == Event::Pending::timed && e->seq_ == entry.second) {
+            return at;
+        }
+    }
+    return Time::max();
+}
+
+Process* Kernel::find_process(const std::string& name) const {
+    for (const auto& p : processes_) {
+        if (p->name() == name) {
+            return p.get();
+        }
+    }
+    return nullptr;
+}
+
+std::vector<Process*> Kernel::processes() const {
+    std::vector<Process*> out;
+    out.reserve(processes_.size());
+    for (const auto& p : processes_) {
+        out.push_back(p.get());
+    }
+    return out;
+}
+
+void Kernel::request_update(UpdateListener& listener) {
+    update_queue_.push_back(&listener);
+}
+
+void Kernel::add_timestep_hook(std::function<void(Time)> hook) {
+    timestep_hooks_.push_back(std::move(hook));
+}
+
+void Kernel::schedule_delta(Event& e) {
+    delta_queue_.push_back(&e);
+}
+
+void Kernel::schedule_timed(Event& e, Time at) {
+    timed_.emplace(at, std::make_pair(&e, e.seq_));
+}
+
+void Kernel::forget_event(Event& e) {
+    delta_queue_.erase(std::remove(delta_queue_.begin(), delta_queue_.end(), &e),
+                       delta_queue_.end());
+    for (auto it = timed_.begin(); it != timed_.end();) {
+        if (it->second.first == &e) {
+            it = timed_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void Kernel::make_runnable(Process& p, Event* cause) {
+    if (p.state_ == Process::State::terminated) {
+        return;
+    }
+    // Deregister from every event in the wait set (or-semantics).
+    for (Event* e : p.waiting_on_) {
+        auto& ws = e->waiters_;
+        ws.erase(std::remove(ws.begin(), ws.end(), &p), ws.end());
+    }
+    p.waiting_on_.clear();
+    p.triggered_by_ = cause;
+    p.state_ = Process::State::runnable;
+    runnable_.push_back(&p);
+}
+
+void Kernel::do_wait(const std::vector<Event*>& events) {
+    Process* p = current_process_;
+    if (p == nullptr) {
+        report(Severity::fatal, "kernel", "wait() outside any simulation process");
+    }
+    if (events.empty()) {
+        report(Severity::fatal, "kernel", "wait() on an empty event set would never wake");
+    }
+    p->waiting_on_ = events;
+    for (Event* e : events) {
+        e->waiters_.push_back(p);
+    }
+    p->state_ = Process::State::waiting;
+    p->coro_.yield();  // throws CoroutineKilled on kill
+}
+
+void Kernel::kill_process(Process& p) {
+    if (p.state_ == Process::State::terminated) {
+        return;
+    }
+    // Deregister from events and the runnable queue.
+    for (Event* e : p.waiting_on_) {
+        auto& ws = e->waiters_;
+        ws.erase(std::remove(ws.begin(), ws.end(), &p), ws.end());
+    }
+    p.waiting_on_.clear();
+    runnable_.erase(std::remove(runnable_.begin(), runnable_.end(), &p), runnable_.end());
+
+    const bool suicide = (current_process_ == &p);
+    p.state_ = Process::State::terminated;
+    p.terminated_ev_.notify_delta();
+    p.coro_.kill();
+    if (suicide) {
+        p.coro_.yield();  // throws CoroutineKilled; never returns
+    }
+    if (p.coro_.started() && !p.coro_.finished()) {
+        Process* saved = current_process_;
+        current_process_ = &p;
+        p.coro_.resume();  // unwind the suspended stack now
+        current_process_ = saved;
+    }
+}
+
+void Kernel::run_process(Process& p) {
+    current_process_ = &p;
+    p.state_ = Process::State::running;
+    try {
+        p.coro_.resume();
+    } catch (...) {
+        // An exception escaped the process body: mark it dead and let the
+        // caller of run() observe the error.
+        p.state_ = Process::State::terminated;
+        p.terminated_ev_.notify_delta();
+        current_process_ = nullptr;
+        throw;
+    }
+    current_process_ = nullptr;
+    if (p.coro_.finished() && p.state_ != Process::State::terminated) {
+        p.state_ = Process::State::terminated;
+        p.terminated_ev_.notify_delta();
+    }
+}
+
+bool Kernel::crunch() {
+    bool any = false;
+    // Evaluate phase: run processes in deterministic FIFO wake order.
+    while (!runnable_.empty()) {
+        Process* p = runnable_.front();
+        runnable_.pop_front();
+        if (p->state_ != Process::State::runnable) {
+            continue;  // killed or re-dispatched since queued
+        }
+        any = true;
+        run_process(*p);
+    }
+    // Update phase (primitive channels).
+    auto updates = std::move(update_queue_);
+    update_queue_.clear();
+    for (UpdateListener* u : updates) {
+        any = true;
+        u->perform_update();
+    }
+    // Delta-notification phase.
+    auto deltas = std::move(delta_queue_);
+    delta_queue_.clear();
+    for (Event* e : deltas) {
+        if (e->pending_ == Event::Pending::delta) {
+            any = true;
+            e->trigger();
+        }
+    }
+    if (any) {
+        ++delta_count_;
+        for (auto& hook : timestep_hooks_) {
+            hook(now_);
+        }
+    }
+    return any;
+}
+
+void Kernel::advance_to(Time t) {
+    now_ = t;
+    // Trigger all fresh timed notifications scheduled exactly at t.
+    auto range_end = timed_.upper_bound(t);
+    std::vector<std::pair<Event*, std::uint64_t>> due;
+    for (auto it = timed_.begin(); it != range_end; ++it) {
+        due.push_back(it->second);
+    }
+    timed_.erase(timed_.begin(), range_end);
+    for (auto& [e, seq] : due) {
+        if (e->pending_ == Event::Pending::timed && e->seq_ == seq) {
+            e->trigger();
+        }
+    }
+}
+
+void Kernel::run_loop(Time limit) {
+    stop_requested_ = false;
+    for (;;) {
+        while (crunch()) {
+            if (stop_requested_) {
+                return;
+            }
+        }
+        if (stop_requested_) {
+            return;
+        }
+        // Advance to the earliest *fresh* timed notification.
+        Time next = Time::max();
+        bool found = false;
+        for (auto it = timed_.begin(); it != timed_.end();) {
+            Event* e = it->second.first;
+            if (e->pending_ == Event::Pending::timed && e->seq_ == it->second.second) {
+                next = it->first;
+                found = true;
+                break;
+            }
+            it = timed_.erase(it);  // stale entry
+        }
+        if (!found || next > limit) {
+            return;
+        }
+        advance_to(next);
+    }
+}
+
+void Kernel::run() {
+    run_loop(Time::max());
+}
+
+void Kernel::run_until(Time t) {
+    if (t < now_) {
+        report(Severity::fatal, "kernel", "run_until() into the past");
+    }
+    run_loop(t);
+    if (!stop_requested_ && t != Time::max()) {
+        now_ = t;  // step semantics: the clock always reaches the step end
+    }
+}
+
+void Kernel::run_for(Time d) {
+    run_until(now_ + d);
+}
+
+bool Kernel::step_delta() {
+    return crunch();
+}
+
+}  // namespace rtk::sysc

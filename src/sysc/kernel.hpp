@@ -1,0 +1,113 @@
+// rtk::sysc::Kernel -- the discrete-event simulation kernel.
+//
+// Implements the SystemC scheduler semantics the reproduced paper relies
+// on: evaluate -> update -> delta-notification cycles, timed notification
+// queue, deterministic FIFO ordering of runnable processes, and stepped
+// execution (run_until / run_for) used for the paper's "step mode".
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sysc/event.hpp"
+#include "sysc/process.hpp"
+#include "sysc/time.hpp"
+
+namespace rtk::sysc {
+
+/// Implemented by primitive channels (signals) that need an update phase.
+class UpdateListener {
+public:
+    virtual ~UpdateListener() = default;
+    virtual void perform_update() = 0;
+};
+
+class Kernel {
+public:
+    Kernel();
+    ~Kernel();
+
+    Kernel(const Kernel&) = delete;
+    Kernel& operator=(const Kernel&) = delete;
+
+    /// The kernel bound to this thread (set for the lifetime of the
+    /// object; nested kernels restore the previous one on destruction).
+    static Kernel& current();
+    static Kernel* current_or_null();
+
+    /// Create a new simulation process; it becomes runnable immediately.
+    Process& spawn(std::string name, std::function<void()> body,
+                   SpawnOptions opts = {});
+
+    /// Run until no activity remains (or stop() is called).
+    void run();
+
+    /// Run all activity with timestamp <= t, then set now() == t.
+    void run_until(Time t);
+
+    /// Run for a further duration d (run_until(now() + d)).
+    void run_for(Time d);
+
+    /// Execute a single delta cycle; returns true if any process ran.
+    bool step_delta();
+
+    /// Request the run loop to return after the current delta cycle.
+    void stop() { stop_requested_ = true; }
+
+    Time now() const { return now_; }
+    std::uint64_t delta_count() const { return delta_count_; }
+    Process* running_process() const { return current_process_; }
+    std::size_t process_count() const { return processes_.size(); }
+
+    /// True when no runnable process, no pending delta/timed notification.
+    bool idle() const;
+
+    /// Time of the earliest pending timed notification, or Time::max().
+    Time next_activity_at() const;
+
+    /// Find a process by name (nullptr if absent); for debug tooling.
+    Process* find_process(const std::string& name) const;
+    std::vector<Process*> processes() const;
+
+    /// Register a primitive channel for the current update phase.
+    void request_update(UpdateListener& listener);
+
+    /// Hook invoked after every completed delta cycle (trace writers).
+    void add_timestep_hook(std::function<void(Time)> hook);
+
+    // ---- internal interface for Event / Process / wait() ----
+    void schedule_delta(Event& e);
+    void schedule_timed(Event& e, Time at);
+    void forget_event(Event& e);
+    void make_runnable(Process& p, Event* cause);
+    void do_wait(const std::vector<Event*>& events);
+    void kill_process(Process& p);
+
+private:
+    void run_loop(Time limit);
+    bool crunch();  ///< one evaluate+update+delta-notify cycle
+    void run_process(Process& p);
+    void advance_to(Time t);
+
+    Time now_{};
+    std::uint64_t delta_count_ = 0;
+    std::uint64_t next_process_id_ = 1;
+    bool stop_requested_ = false;
+
+    std::vector<std::unique_ptr<Process>> processes_;
+    std::deque<Process*> runnable_;
+    std::vector<Event*> delta_queue_;
+    std::multimap<Time, std::pair<Event*, std::uint64_t>> timed_;
+    std::vector<UpdateListener*> update_queue_;
+    std::vector<std::function<void(Time)>> timestep_hooks_;
+
+    Process* current_process_ = nullptr;
+    Kernel* previous_current_ = nullptr;
+};
+
+}  // namespace rtk::sysc

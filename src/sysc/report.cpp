@@ -1,0 +1,49 @@
+#include "sysc/report.hpp"
+
+#include <cstdio>
+#include <utility>
+
+namespace rtk::sysc {
+
+namespace {
+
+void default_handler(Severity sev, std::string_view id, std::string_view msg) {
+    if (sev == Severity::info) {
+        return;  // quiet by default; tests/tools opt in
+    }
+    std::fprintf(stderr, "[rtk-%s] %.*s: %.*s\n", to_string(sev),
+                 static_cast<int>(id.size()), id.data(),
+                 static_cast<int>(msg.size()), msg.data());
+}
+
+ReportHandler& handler_slot() {
+    static ReportHandler handler = default_handler;
+    return handler;
+}
+
+}  // namespace
+
+ReportHandler set_report_handler(ReportHandler handler) {
+    auto prev = std::move(handler_slot());
+    handler_slot() = handler ? std::move(handler) : ReportHandler{default_handler};
+    return prev;
+}
+
+void report(Severity sev, std::string_view id, std::string_view msg) {
+    handler_slot()(sev, id, msg);
+    if (sev == Severity::fatal) {
+        throw SimError(std::string(id) + ": " + std::string(msg));
+    }
+}
+
+const char* to_string(Severity sev) {
+    switch (sev) {
+        case Severity::info: return "info";
+        case Severity::warning: return "warning";
+        case Severity::error: return "error";
+        case Severity::fatal: return "fatal";
+    }
+    return "?";
+}
+
+}  // namespace rtk::sysc

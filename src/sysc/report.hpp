@@ -1,0 +1,34 @@
+// Diagnostic reporting for the simulation library (sc_report analogue).
+//
+// A single process-wide handler receives (severity, id, message). The
+// default handler writes to stderr; `fatal` additionally throws SimError
+// so misuse is never silent. Tests install capturing handlers.
+#pragma once
+
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace rtk::sysc {
+
+enum class Severity { info, warning, error, fatal };
+
+/// Thrown by fatal reports and by kernel-detected misuse.
+class SimError : public std::runtime_error {
+public:
+    explicit SimError(const std::string& what) : std::runtime_error(what) {}
+};
+
+using ReportHandler =
+    std::function<void(Severity, std::string_view id, std::string_view msg)>;
+
+/// Replace the process-wide report handler; returns the previous one.
+ReportHandler set_report_handler(ReportHandler handler);
+
+/// Emit a report. Severity::fatal throws SimError after the handler runs.
+void report(Severity sev, std::string_view id, std::string_view msg);
+
+const char* to_string(Severity sev);
+
+}  // namespace rtk::sysc

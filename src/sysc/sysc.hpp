@@ -1,0 +1,18 @@
+// Umbrella header for the rtk::sysc simulation substrate.
+//
+// rtk::sysc is a from-scratch SystemC-like discrete-event kernel providing
+// exactly the primitives the DATE'05 RTK-Spec TRON paper builds on:
+// SC_THREAD-style stackful processes, events with dynamic sensitivity
+// (immediate / delta / timed notification), delta cycles with an update
+// phase, signals, clocks and VCD tracing.
+#pragma once
+
+#include "sysc/clock.hpp"
+#include "sysc/coroutine.hpp"
+#include "sysc/event.hpp"
+#include "sysc/kernel.hpp"
+#include "sysc/process.hpp"
+#include "sysc/report.hpp"
+#include "sysc/signal.hpp"
+#include "sysc/time.hpp"
+#include "sysc/trace.hpp"

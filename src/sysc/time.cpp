@@ -1,0 +1,24 @@
+#include "sysc/time.hpp"
+
+namespace rtk::sysc {
+
+std::string Time::to_string() const {
+    struct Unit {
+        std::uint64_t scale;
+        const char* suffix;
+    };
+    static constexpr Unit units[] = {
+        {1'000'000'000'000ull, " s"},
+        {1'000'000'000ull, " ms"},
+        {1'000'000ull, " us"},
+        {1'000ull, " ns"},
+    };
+    for (const auto& u : units) {
+        if (ps_ != 0 && ps_ % u.scale == 0) {
+            return std::to_string(ps_ / u.scale) + u.suffix;
+        }
+    }
+    return std::to_string(ps_) + " ps";
+}
+
+}  // namespace rtk::sysc

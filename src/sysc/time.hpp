@@ -1,0 +1,69 @@
+// rtk::sysc::Time -- simulation time with picosecond resolution.
+//
+// Equivalent role to SystemC's sc_time. 64-bit picoseconds gives a
+// simulatable range of ~213 days, far beyond any RTOS co-simulation
+// scenario in the reproduced paper (seconds of simulated time).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace rtk::sysc {
+
+/// Absolute simulation time or duration, stored as integer picoseconds.
+/// Value-semantic, totally ordered, overflow-free for paper-scale runs.
+class Time {
+public:
+    constexpr Time() = default;
+
+    /// Named constructors, SystemC's sc_time(v, SC_NS) style.
+    static constexpr Time ps(std::uint64_t v) { return Time{v}; }
+    static constexpr Time ns(std::uint64_t v) { return Time{v * 1'000ull}; }
+    static constexpr Time us(std::uint64_t v) { return Time{v * 1'000'000ull}; }
+    static constexpr Time ms(std::uint64_t v) { return Time{v * 1'000'000'000ull}; }
+    static constexpr Time sec(std::uint64_t v) { return Time{v * 1'000'000'000'000ull}; }
+
+    static constexpr Time zero() { return Time{}; }
+    static constexpr Time max() { return Time{std::numeric_limits<std::uint64_t>::max()}; }
+
+    constexpr std::uint64_t picoseconds() const { return ps_; }
+
+    constexpr double to_ns() const { return static_cast<double>(ps_) / 1e3; }
+    constexpr double to_us() const { return static_cast<double>(ps_) / 1e6; }
+    constexpr double to_ms() const { return static_cast<double>(ps_) / 1e9; }
+    constexpr double to_sec() const { return static_cast<double>(ps_) / 1e12; }
+
+    constexpr bool is_zero() const { return ps_ == 0; }
+
+    friend constexpr bool operator==(Time a, Time b) { return a.ps_ == b.ps_; }
+    friend constexpr bool operator!=(Time a, Time b) { return a.ps_ != b.ps_; }
+    friend constexpr bool operator<(Time a, Time b) { return a.ps_ < b.ps_; }
+    friend constexpr bool operator<=(Time a, Time b) { return a.ps_ <= b.ps_; }
+    friend constexpr bool operator>(Time a, Time b) { return a.ps_ > b.ps_; }
+    friend constexpr bool operator>=(Time a, Time b) { return a.ps_ >= b.ps_; }
+
+    friend constexpr Time operator+(Time a, Time b) { return Time{a.ps_ + b.ps_}; }
+    /// Saturating subtraction: durations never go negative.
+    friend constexpr Time operator-(Time a, Time b) {
+        return Time{a.ps_ >= b.ps_ ? a.ps_ - b.ps_ : 0};
+    }
+    friend constexpr Time operator*(Time a, std::uint64_t k) { return Time{a.ps_ * k}; }
+    friend constexpr Time operator*(std::uint64_t k, Time a) { return Time{a.ps_ * k}; }
+    friend constexpr Time operator/(Time a, std::uint64_t k) { return Time{a.ps_ / k}; }
+    /// Number of whole periods of b contained in a (b must be non-zero).
+    friend constexpr std::uint64_t operator/(Time a, Time b) { return a.ps_ / b.ps_; }
+    friend constexpr Time operator%(Time a, Time b) { return Time{a.ps_ % b.ps_}; }
+
+    Time& operator+=(Time o) { ps_ += o.ps_; return *this; }
+    Time& operator-=(Time o) { ps_ = (ps_ >= o.ps_) ? ps_ - o.ps_ : 0; return *this; }
+
+    /// Human-readable rendering with the largest exact unit, e.g. "3 ms".
+    std::string to_string() const;
+
+private:
+    constexpr explicit Time(std::uint64_t v) : ps_{v} {}
+    std::uint64_t ps_ = 0;
+};
+
+}  // namespace rtk::sysc

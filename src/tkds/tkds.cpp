@@ -1,0 +1,232 @@
+#include "tkds/tkds.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace rtk::tkds {
+
+using namespace tkernel;
+
+namespace {
+template <typename Registry>
+INT list_ids(const Registry& reg, std::vector<ID>& out) {
+    out = reg.ids();
+    return static_cast<INT>(out.size());
+}
+
+const char* state_str(UINT tskstat) {
+    switch (tskstat) {
+        case TTS_RUN: return "RUN";
+        case TTS_RDY: return "RDY";
+        case TTS_WAI: return "WAI";
+        case TTS_SUS: return "SUS";
+        case TTS_WAS: return "WAS";
+        case TTS_DMT: return "DMT";
+    }
+    return "?";
+}
+}  // namespace
+
+INT td_lst_tsk(const TKernel& k, std::vector<ID>& out) { return list_ids(k.tasks(), out); }
+INT td_lst_sem(const TKernel& k, std::vector<ID>& out) { return list_ids(k.semaphores(), out); }
+INT td_lst_flg(const TKernel& k, std::vector<ID>& out) { return list_ids(k.eventflags(), out); }
+INT td_lst_mbx(const TKernel& k, std::vector<ID>& out) { return list_ids(k.mailboxes(), out); }
+INT td_lst_mtx(const TKernel& k, std::vector<ID>& out) { return list_ids(k.mutexes(), out); }
+INT td_lst_mbf(const TKernel& k, std::vector<ID>& out) { return list_ids(k.message_buffers(), out); }
+INT td_lst_mpf(const TKernel& k, std::vector<ID>& out) { return list_ids(k.fixed_pools(), out); }
+INT td_lst_mpl(const TKernel& k, std::vector<ID>& out) { return list_ids(k.variable_pools(), out); }
+INT td_lst_cyc(const TKernel& k, std::vector<ID>& out) { return list_ids(k.cyclics(), out); }
+INT td_lst_alm(const TKernel& k, std::vector<ID>& out) { return list_ids(k.alarms(), out); }
+
+ER td_ref_tsk(const TKernel& k, ID tskid, TD_RTSK* pk) {
+    if (pk == nullptr) {
+        return E_PAR;
+    }
+    const TCB* t = k.find_task(tskid);
+    if (t == nullptr) {
+        return E_NOEXS;
+    }
+    if (ER er = k.tk_ref_tsk(tskid, &pk->base); er != E_OK) {
+        return er;
+    }
+    pk->name = t->name;
+    pk->cet = t->thread->token().cet();
+    pk->cee_nj = t->thread->token().cee_nj();
+    pk->dispatches = t->thread->dispatch_count();
+    pk->preemptions = t->thread->preemption_count();
+    pk->cycles = t->thread->token().cycles();
+    return E_OK;
+}
+
+ER td_inf_tsk(const TKernel& k, ID tskid, TD_ITSK* pk) {
+    if (pk == nullptr) {
+        return E_PAR;
+    }
+    const TCB* t = k.find_task(tskid);
+    if (t == nullptr) {
+        return E_NOEXS;
+    }
+    const sim::Token& tok = t->thread->token();
+    pk->stime = tok.cet(sim::ExecContext::service_call) + tok.cet(sim::ExecContext::startup);
+    pk->utime = tok.cet(sim::ExecContext::task);
+    pk->btime = tok.cet(sim::ExecContext::bfm_access);
+    pk->energy_nj = tok.cee_nj();
+    return E_OK;
+}
+
+std::string render_task_table(const TKernel& k) {
+    std::ostringstream out;
+    out << "ID    Name          State  Pri(Base)  Wait  WObj  WupCnt  SusCnt  "
+           "CET[ms]    CEE[uJ]\n";
+    std::vector<ID> ids;
+    td_lst_tsk(k, ids);
+    for (ID id : ids) {
+        TD_RTSK r;
+        if (td_ref_tsk(k, id, &r) != E_OK) {
+            continue;
+        }
+        const TCB* t = k.find_task(id);
+        out << std::left << std::setw(6) << id << std::setw(14) << r.name
+            << std::setw(7) << state_str(r.base.tskstat) << std::right << std::setw(4)
+            << r.base.tskpri << "(" << r.base.tskbpri << ")" << std::setw(8)
+            << to_string(t->wait_kind) << std::setw(6) << r.base.wid << std::setw(8)
+            << r.base.wupcnt << std::setw(8) << r.base.suscnt << std::setw(10)
+            << std::fixed << std::setprecision(3) << r.cet.to_ms() << std::setw(11)
+            << std::setprecision(2) << r.cee_nj * 1e-3 << "\n";
+    }
+    return out.str();
+}
+
+std::string render_listing(const TKernel& k) {
+    std::ostringstream out;
+    out << "=== T-Kernel/DS object listing (systim=" << k.systim()
+        << " ms, tick=" << k.tick_count() << ") ===\n";
+    out << "--- tasks ---\n" << render_task_table(k);
+
+    std::vector<ID> ids;
+    if (td_lst_sem(k, ids) > 0) {
+        out << "--- semaphores ---\n";
+        for (ID id : ids) {
+            T_RSEM r;
+            td_ref_sem(k, id, &r);
+            const auto* s = k.semaphores().find(id);
+            out << "  sem " << id << " '" << s->name << "' count=" << r.semcnt
+                << " wtsk=" << r.wtsk << "\n";
+        }
+    }
+    if (td_lst_flg(k, ids) > 0) {
+        out << "--- event flags ---\n";
+        for (ID id : ids) {
+            T_RFLG r;
+            td_ref_flg(k, id, &r);
+            const auto* f = k.eventflags().find(id);
+            out << "  flg " << id << " '" << f->name << "' pattern=0x" << std::hex
+                << r.flgptn << std::dec << " wtsk=" << r.wtsk << "\n";
+        }
+    }
+    if (td_lst_mbx(k, ids) > 0) {
+        out << "--- mailboxes ---\n";
+        for (ID id : ids) {
+            T_RMBX r;
+            td_ref_mbx(k, id, &r);
+            const auto* m = k.mailboxes().find(id);
+            out << "  mbx " << id << " '" << m->name << "' queued=" << m->messages.size()
+                << " wtsk=" << r.wtsk << "\n";
+        }
+    }
+    if (td_lst_mtx(k, ids) > 0) {
+        out << "--- mutexes ---\n";
+        for (ID id : ids) {
+            T_RMTX r;
+            td_ref_mtx(k, id, &r);
+            const auto* m = k.mutexes().find(id);
+            out << "  mtx " << id << " '" << m->name << "' htsk=" << r.htsk
+                << " wtsk=" << r.wtsk << "\n";
+        }
+    }
+    if (td_lst_mbf(k, ids) > 0) {
+        out << "--- message buffers ---\n";
+        for (ID id : ids) {
+            T_RMBF r;
+            td_ref_mbf(k, id, &r);
+            const auto* m = k.message_buffers().find(id);
+            out << "  mbf " << id << " '" << m->name << "' msgs=" << m->messages.size()
+                << " free=" << r.frbufsz << " stsk=" << r.wtsk << " rtsk=" << r.rtsk
+                << "\n";
+        }
+    }
+    if (td_lst_mpf(k, ids) > 0) {
+        out << "--- fixed pools ---\n";
+        for (ID id : ids) {
+            T_RMPF r;
+            td_ref_mpf(k, id, &r);
+            const auto* p = k.fixed_pools().find(id);
+            out << "  mpf " << id << " '" << p->name << "' free=" << r.frbcnt << "/"
+                << p->blkcnt << " wtsk=" << r.wtsk << "\n";
+        }
+    }
+    if (td_lst_mpl(k, ids) > 0) {
+        out << "--- variable pools ---\n";
+        for (ID id : ids) {
+            T_RMPL r;
+            td_ref_mpl(k, id, &r);
+            const auto* p = k.variable_pools().find(id);
+            out << "  mpl " << id << " '" << p->name << "' free=" << r.frsz
+                << " maxblk=" << r.maxsz << " wtsk=" << r.wtsk << "\n";
+        }
+    }
+    if (td_lst_cyc(k, ids) > 0) {
+        out << "--- cyclic handlers ---\n";
+        for (ID id : ids) {
+            T_RCYC r;
+            td_ref_cyc(k, id, &r);
+            const auto* c = k.cyclics().find(id);
+            out << "  cyc " << id << " '" << c->name << "' "
+                << (r.cycstat == TCYC_STA ? "STA" : "STP") << " period=" << c->cyctim
+                << "ms next_in=" << r.lfttim << "ms fired=" << c->activations << "\n";
+        }
+    }
+    if (td_lst_alm(k, ids) > 0) {
+        out << "--- alarm handlers ---\n";
+        for (ID id : ids) {
+            T_RALM r;
+            td_ref_alm(k, id, &r);
+            const auto* a = k.alarms().find(id);
+            out << "  alm " << id << " '" << a->name << "' "
+                << (r.almstat == TALM_STA ? "STA" : "STP") << " fires_in=" << r.lfttim
+                << "ms fired=" << a->activations << "\n";
+        }
+    }
+    if (!k.interrupt_vectors().empty()) {
+        out << "--- interrupt vectors ---\n";
+        for (const auto& [intno, vec] : k.interrupt_vectors()) {
+            out << "  int " << intno << " pri=" << vec.intpri
+                << (vec.enabled ? " enabled" : " disabled")
+                << " delivered=" << vec.deliveries << "\n";
+        }
+    }
+    out << "--- SIM_API ---\n"
+        << "  dispatches=" << k.sim().total_dispatches()
+        << " preemptions=" << k.sim().total_preemptions()
+        << " interrupts=" << k.sim().total_interrupt_deliveries()
+        << " nest_hwm=" << k.sim().interrupt_stack().high_water_mark()
+        << " idle=" << k.sim().idle_time().to_string() << "\n";
+    return out.str();
+}
+
+std::string render_state_journal(const TKernel& k, std::size_t n) {
+    const auto& journal = k.sim().hash_table().journal();
+    std::ostringstream out;
+    out << "time          thread                 from         -> to\n";
+    const std::size_t start = journal.size() > n ? journal.size() - n : 0;
+    for (std::size_t i = start; i < journal.size(); ++i) {
+        const auto& tr = journal[i];
+        const sim::TThread* t = k.sim().hash_table().find(tr.tid);
+        out << std::left << std::setw(14) << tr.at.to_string() << std::setw(22)
+            << (t != nullptr ? t->name() : "<deleted>") << std::setw(13)
+            << sim::to_string(tr.from) << "-> " << sim::to_string(tr.to) << "\n";
+    }
+    return out.str();
+}
+
+}  // namespace rtk::tkds

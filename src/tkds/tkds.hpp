@@ -1,0 +1,101 @@
+// T-Kernel/DS -- debugger support (paper §2: "acts as a debugger that
+// references different resources and kernel internal states").
+//
+// Provides the td_* reference functions over every kernel object class,
+// an object-listing formatter reproducing the Fig 8 output style, and a
+// task state-transition journal view for trace tooling.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tkernel/kernel.hpp"
+
+namespace rtk::tkds {
+
+using tkernel::ER;
+using tkernel::ID;
+using tkernel::INT;
+using tkernel::TKernel;
+
+// ---- extended reference packets -------------------------------------------------
+
+/// td_ref_tsk: everything tk_ref_tsk reports plus identity and the
+/// T-THREAD performance counters (CET/CEE from the token).
+struct TD_RTSK {
+    std::string name;
+    tkernel::T_RTSK base;
+    sysc::Time cet{};
+    double cee_nj = 0.0;
+    std::uint64_t dispatches = 0;
+    std::uint64_t preemptions = 0;
+    std::uint64_t cycles = 0;
+};
+
+/// td_inf_tsk: cumulative execution statistics of one task.
+struct TD_ITSK {
+    sysc::Time stime{};   ///< time consumed in OS services
+    sysc::Time utime{};   ///< time consumed in the task body
+    sysc::Time btime{};   ///< time consumed in BFM (H/W) access
+    double energy_nj = 0.0;
+};
+
+// ---- list functions (return the number of ids written) ----------------------------
+
+INT td_lst_tsk(const TKernel& k, std::vector<ID>& out);
+INT td_lst_sem(const TKernel& k, std::vector<ID>& out);
+INT td_lst_flg(const TKernel& k, std::vector<ID>& out);
+INT td_lst_mbx(const TKernel& k, std::vector<ID>& out);
+INT td_lst_mtx(const TKernel& k, std::vector<ID>& out);
+INT td_lst_mbf(const TKernel& k, std::vector<ID>& out);
+INT td_lst_mpf(const TKernel& k, std::vector<ID>& out);
+INT td_lst_mpl(const TKernel& k, std::vector<ID>& out);
+INT td_lst_cyc(const TKernel& k, std::vector<ID>& out);
+INT td_lst_alm(const TKernel& k, std::vector<ID>& out);
+
+// ---- reference functions -------------------------------------------------------------
+
+ER td_ref_tsk(const TKernel& k, ID tskid, TD_RTSK* pk);
+ER td_inf_tsk(const TKernel& k, ID tskid, TD_ITSK* pk);
+/// The remaining td_ref_* coincide with the tk_ref_* packets.
+inline ER td_ref_sem(const TKernel& k, ID id, tkernel::T_RSEM* pk) {
+    return k.tk_ref_sem(id, pk);
+}
+inline ER td_ref_flg(const TKernel& k, ID id, tkernel::T_RFLG* pk) {
+    return k.tk_ref_flg(id, pk);
+}
+inline ER td_ref_mbx(const TKernel& k, ID id, tkernel::T_RMBX* pk) {
+    return k.tk_ref_mbx(id, pk);
+}
+inline ER td_ref_mtx(const TKernel& k, ID id, tkernel::T_RMTX* pk) {
+    return k.tk_ref_mtx(id, pk);
+}
+inline ER td_ref_mbf(const TKernel& k, ID id, tkernel::T_RMBF* pk) {
+    return k.tk_ref_mbf(id, pk);
+}
+inline ER td_ref_mpf(const TKernel& k, ID id, tkernel::T_RMPF* pk) {
+    return k.tk_ref_mpf(id, pk);
+}
+inline ER td_ref_mpl(const TKernel& k, ID id, tkernel::T_RMPL* pk) {
+    return k.tk_ref_mpl(id, pk);
+}
+inline ER td_ref_cyc(const TKernel& k, ID id, tkernel::T_RCYC* pk) {
+    return k.tk_ref_cyc(id, pk);
+}
+inline ER td_ref_alm(const TKernel& k, ID id, tkernel::T_RALM* pk) {
+    return k.tk_ref_alm(id, pk);
+}
+inline ER td_ref_sys(const TKernel& k, tkernel::T_RSYS* pk) {
+    return k.tk_ref_sys(pk);
+}
+
+// ---- listings (Fig 8 output) -----------------------------------------------------------
+
+/// Task table: id, name, state, priorities, wait factor, counters.
+std::string render_task_table(const TKernel& k);
+/// Full kernel-object dump: tasks + every sync/IPC/pool/time object.
+std::string render_listing(const TKernel& k);
+/// The last `n` task state transitions from the SIM_HashTB journal.
+std::string render_state_journal(const TKernel& k, std::size_t n);
+
+}  // namespace rtk::tkds

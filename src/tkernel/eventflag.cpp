@@ -1,0 +1,130 @@
+// Event flag service calls (tk_cre_flg ... tk_ref_flg).
+#include "tkernel/kernel.hpp"
+
+namespace rtk::tkernel {
+
+namespace {
+/// µ-ITRON release condition for one waiter against `pattern`.
+bool flag_satisfied(UINT pattern, UINT waiptn, UINT wfmode) {
+    if ((wfmode & TWF_ORW) != 0) {
+        return (pattern & waiptn) != 0;
+    }
+    return (pattern & waiptn) == waiptn;  // TWF_ANDW
+}
+}  // namespace
+
+ID TKernel::tk_cre_flg(const T_CFLG& pk) {
+    ServiceSection svc(*this);
+    auto f = std::make_unique<EventFlag>();
+    f->name = pk.name;
+    f->exinf = pk.exinf;
+    f->atr = pk.flgatr;
+    f->pattern = pk.iflgptn;
+    f->queue.set_priority_ordered((pk.flgatr & TA_TPRI) != 0);
+    return flgs_.add(std::move(f));
+}
+
+ER TKernel::tk_del_flg(ID flgid) {
+    ServiceSection svc(*this);
+    EventFlag* f = flgs_.find(flgid);
+    if (f == nullptr) {
+        return flgid <= 0 ? E_ID : E_NOEXS;
+    }
+    flush_waiters(f->queue);
+    flgs_.erase(flgid);
+    return E_OK;
+}
+
+ER TKernel::tk_set_flg(ID flgid, UINT setptn) {
+    ServiceSection svc(*this);
+    EventFlag* f = flgs_.find(flgid);
+    if (f == nullptr) {
+        return flgid <= 0 ? E_ID : E_NOEXS;
+    }
+    f->pattern |= setptn;
+    // Scan waiters in queue order; each released waiter may clear bits,
+    // which can starve the next (µ-ITRON-conformant behaviour).
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (TCB* w : f->queue.snapshot()) {
+            if (!flag_satisfied(f->pattern, w->wai_ptn, w->wfmode)) {
+                continue;
+            }
+            w->ret_ptn = f->pattern;
+            if ((w->wfmode & TWF_CLR) != 0) {
+                f->pattern = 0;
+            } else if ((w->wfmode & TWF_BITCLR) != 0) {
+                f->pattern &= ~w->wai_ptn;
+            }
+            release_wait(*w, E_OK);
+            progress = true;
+            break;  // pattern changed; rescan from the head
+        }
+    }
+    return E_OK;
+}
+
+ER TKernel::tk_clr_flg(ID flgid, UINT clrptn) {
+    ServiceSection svc(*this);
+    EventFlag* f = flgs_.find(flgid);
+    if (f == nullptr) {
+        return flgid <= 0 ? E_ID : E_NOEXS;
+    }
+    f->pattern &= clrptn;
+    return E_OK;
+}
+
+ER TKernel::tk_wai_flg(ID flgid, UINT waiptn, UINT wfmode, UINT* p_flgptn, TMO tmout) {
+    ServiceSection svc(*this);
+    EventFlag* f = flgs_.find(flgid);
+    if (f == nullptr) {
+        return flgid <= 0 ? E_ID : E_NOEXS;
+    }
+    if (waiptn == 0 || p_flgptn == nullptr) {
+        return E_PAR;
+    }
+    if ((f->atr & TA_WMUL) == 0 && !f->queue.empty()) {
+        return E_OBJ;  // TA_WSGL: only one waiter allowed
+    }
+    if (flag_satisfied(f->pattern, waiptn, wfmode)) {
+        *p_flgptn = f->pattern;
+        if ((wfmode & TWF_CLR) != 0) {
+            f->pattern = 0;
+        } else if ((wfmode & TWF_BITCLR) != 0) {
+            f->pattern &= ~waiptn;
+        }
+        return E_OK;
+    }
+    if (tmout == TMO_POL) {
+        return E_TMOUT;
+    }
+    TCB* me = current_tcb();
+    if (me == nullptr) {
+        return E_CTX;
+    }
+    me->wai_ptn = waiptn;
+    me->wfmode = wfmode;
+    const ER er =
+        block_current(*me, WaitKind::eventflag, flgid, &f->queue, tmout, E_TMOUT, svc);
+    if (er == E_OK) {
+        *p_flgptn = me->ret_ptn;
+    }
+    return er;
+}
+
+ER TKernel::tk_ref_flg(ID flgid, T_RFLG* pk) const {
+    if (pk == nullptr) {
+        return E_PAR;
+    }
+    EventFlag* f = flgs_.find(flgid);
+    if (f == nullptr) {
+        return flgid <= 0 ? E_ID : E_NOEXS;
+    }
+    pk->exinf = f->exinf;
+    pk->flgptn = f->pattern;
+    pk->wtsk = f->queue.empty() ? 0 : f->queue.front()->id;
+    return E_OK;
+}
+
+}  // namespace rtk::tkernel

@@ -1,0 +1,84 @@
+// Interrupt management: external interrupt vectors, their handler
+// T-THREADs, and delivery from the Interrupt Dispatch module (Fig 3).
+#include "tkernel/kernel.hpp"
+
+namespace rtk::tkernel {
+
+using sim::ExecContext;
+using sim::ThreadKind;
+
+namespace {
+constexpr sim::Priority external_int_priority_base = -1'000;
+constexpr std::uint64_t isr_entry_cost_units = 2;
+}  // namespace
+
+ER TKernel::tk_def_int(UINT intno, const T_DINT& pk) {
+    ServiceSection svc(*this);
+    if (!pk.inthdr) {
+        return E_PAR;
+    }
+    if (ints_.count(intno) != 0) {
+        return E_OBJ;  // tk_undef_int first
+    }
+    InterruptVector vec;
+    vec.intno = intno;
+    vec.atr = pk.intatr;
+    vec.intpri = pk.intpri;
+    vec.handler = pk.inthdr;
+    auto [it, ok] = ints_.emplace(intno, std::move(vec));
+    InterruptVector* p = &it->second;
+    p->thread = &api_->SIM_CreateThread(
+        "isr" + std::to_string(intno), ThreadKind::interrupt_handler,
+        external_int_priority_base + pk.intpri, [this, p] {
+            api_->SIM_WaitUnits(isr_entry_cost_units, ExecContext::handler);
+            p->handler(reinterpret_cast<void*>(static_cast<std::uintptr_t>(p->intno)));
+        });
+    return E_OK;
+}
+
+ER TKernel::tk_undef_int(UINT intno) {
+    ServiceSection svc(*this);
+    auto it = ints_.find(intno);
+    if (it == ints_.end()) {
+        return E_NOEXS;
+    }
+    if (it->second.thread->state() != sim::ThreadState::dormant) {
+        return E_OBJ;  // handler currently active
+    }
+    api_->SIM_DeleteThread(*it->second.thread);
+    ints_.erase(it);
+    return E_OK;
+}
+
+ER TKernel::trigger_interrupt(UINT intno) {
+    auto it = ints_.find(intno);
+    if (it == ints_.end()) {
+        return E_NOEXS;
+    }
+    if (!it->second.enabled) {
+        return E_OK;  // masked: the edge is lost (modeled controller behaviour)
+    }
+    ++it->second.deliveries;
+    api_->SIM_RaiseInterrupt(*it->second.thread);
+    return E_OK;
+}
+
+ER TKernel::enable_int(UINT intno) {
+    auto it = ints_.find(intno);
+    if (it == ints_.end()) {
+        return E_NOEXS;
+    }
+    it->second.enabled = true;
+    return E_OK;
+}
+
+ER TKernel::disable_int(UINT intno) {
+    auto it = ints_.find(intno);
+    if (it == ints_.end()) {
+        return E_NOEXS;
+    }
+    it->second.enabled = false;
+    return E_OK;
+}
+
+}  // namespace rtk::tkernel

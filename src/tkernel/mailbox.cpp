@@ -1,0 +1,102 @@
+// Mailbox service calls (tk_cre_mbx ... tk_ref_mbx). Messages are passed
+// by reference (T_MSG*), with optional priority ordering (TA_MPRI).
+#include "tkernel/kernel.hpp"
+
+namespace rtk::tkernel {
+
+ID TKernel::tk_cre_mbx(const T_CMBX& pk) {
+    ServiceSection svc(*this);
+    auto m = std::make_unique<Mailbox>();
+    m->name = pk.name;
+    m->exinf = pk.exinf;
+    m->atr = pk.mbxatr;
+    m->queue.set_priority_ordered((pk.mbxatr & TA_TPRI) != 0);
+    return mbxs_.add(std::move(m));
+}
+
+ER TKernel::tk_del_mbx(ID mbxid) {
+    ServiceSection svc(*this);
+    Mailbox* m = mbxs_.find(mbxid);
+    if (m == nullptr) {
+        return mbxid <= 0 ? E_ID : E_NOEXS;
+    }
+    flush_waiters(m->queue);
+    mbxs_.erase(mbxid);
+    return E_OK;
+}
+
+ER TKernel::tk_snd_mbx(ID mbxid, T_MSG* pk_msg) {
+    ServiceSection svc(*this);
+    Mailbox* m = mbxs_.find(mbxid);
+    if (m == nullptr) {
+        return mbxid <= 0 ? E_ID : E_NOEXS;
+    }
+    if (pk_msg == nullptr) {
+        return E_PAR;
+    }
+    // Direct handoff to the first waiting receiver.
+    if (TCB* w = m->queue.front()) {
+        w->msg = pk_msg;
+        release_wait(*w, E_OK);
+        return E_OK;
+    }
+    if ((m->atr & TA_MPRI) != 0) {
+        const PRI pri = static_cast<const T_MSG_PRI*>(pk_msg)->msgpri;
+        auto it = m->messages.begin();
+        for (; it != m->messages.end(); ++it) {
+            if (pri < static_cast<const T_MSG_PRI*>(*it)->msgpri) {
+                break;
+            }
+        }
+        m->messages.insert(it, pk_msg);
+    } else {
+        m->messages.push_back(pk_msg);
+    }
+    return E_OK;
+}
+
+ER TKernel::tk_rcv_mbx(ID mbxid, T_MSG** ppk_msg, TMO tmout) {
+    ServiceSection svc(*this);
+    Mailbox* m = mbxs_.find(mbxid);
+    if (m == nullptr) {
+        return mbxid <= 0 ? E_ID : E_NOEXS;
+    }
+    if (ppk_msg == nullptr) {
+        return E_PAR;
+    }
+    if (!m->messages.empty()) {
+        *ppk_msg = m->messages.front();
+        m->messages.pop_front();
+        return E_OK;
+    }
+    if (tmout == TMO_POL) {
+        return E_TMOUT;
+    }
+    TCB* me = current_tcb();
+    if (me == nullptr) {
+        return E_CTX;
+    }
+    me->msg = nullptr;
+    const ER er =
+        block_current(*me, WaitKind::mailbox, mbxid, &m->queue, tmout, E_TMOUT, svc);
+    if (er == E_OK) {
+        *ppk_msg = static_cast<T_MSG*>(me->msg);
+    }
+    return er;
+}
+
+ER TKernel::tk_ref_mbx(ID mbxid, T_RMBX* pk) const {
+    if (pk == nullptr) {
+        return E_PAR;
+    }
+    Mailbox* m = mbxs_.find(mbxid);
+    if (m == nullptr) {
+        return mbxid <= 0 ? E_ID : E_NOEXS;
+    }
+    pk->exinf = m->exinf;
+    pk->pk_msg = m->messages.empty() ? nullptr : m->messages.front();
+    pk->wtsk = m->queue.empty() ? 0 : m->queue.front()->id;
+    return E_OK;
+}
+
+}  // namespace rtk::tkernel

@@ -1,0 +1,259 @@
+// Memory pool service calls: fixed-size (tk_*_mpf) and variable-size
+// (tk_*_mpl) pools. The variable pool is a first-fit allocator with
+// coalescing free extents; blocked allocators are served strictly in
+// queue order, as µ-ITRON requires.
+#include "tkernel/kernel.hpp"
+
+namespace rtk::tkernel {
+
+namespace {
+constexpr INT mpl_align = 8;
+INT align_up(INT n) {
+    return (n + mpl_align - 1) / mpl_align * mpl_align;
+}
+}  // namespace
+
+// ---- fixed-size pool -----------------------------------------------------------
+
+ID TKernel::tk_cre_mpf(const T_CMPF& pk) {
+    ServiceSection svc(*this);
+    if (pk.mpfcnt <= 0 || pk.blfsz <= 0) {
+        return E_PAR;
+    }
+    auto p = std::make_unique<FixedPool>();
+    p->name = pk.name;
+    p->exinf = pk.exinf;
+    p->atr = pk.mpfatr;
+    p->blkcnt = pk.mpfcnt;
+    p->blksz = pk.blfsz;
+    p->arena.resize(static_cast<std::size_t>(pk.mpfcnt) *
+                    static_cast<std::size_t>(pk.blfsz));
+    p->free_list.reserve(pk.mpfcnt);
+    for (INT i = pk.mpfcnt - 1; i >= 0; --i) {
+        p->free_list.push_back(p->arena.data() +
+                               static_cast<std::size_t>(i) * pk.blfsz);
+    }
+    p->queue.set_priority_ordered((pk.mpfatr & TA_TPRI) != 0);
+    return mpfs_.add(std::move(p));
+}
+
+ER TKernel::tk_del_mpf(ID mpfid) {
+    ServiceSection svc(*this);
+    FixedPool* p = mpfs_.find(mpfid);
+    if (p == nullptr) {
+        return mpfid <= 0 ? E_ID : E_NOEXS;
+    }
+    flush_waiters(p->queue);
+    mpfs_.erase(mpfid);
+    return E_OK;
+}
+
+ER TKernel::tk_get_mpf(ID mpfid, void** p_blf, TMO tmout) {
+    ServiceSection svc(*this);
+    FixedPool* p = mpfs_.find(mpfid);
+    if (p == nullptr) {
+        return mpfid <= 0 ? E_ID : E_NOEXS;
+    }
+    if (p_blf == nullptr) {
+        return E_PAR;
+    }
+    if (p->queue.empty() && !p->free_list.empty()) {
+        *p_blf = p->free_list.back();
+        p->free_list.pop_back();
+        return E_OK;
+    }
+    if (tmout == TMO_POL) {
+        return E_TMOUT;
+    }
+    TCB* me = current_tcb();
+    if (me == nullptr) {
+        return E_CTX;
+    }
+    me->blk = nullptr;
+    const ER er = block_current(*me, WaitKind::mempool_fixed, mpfid, &p->queue,
+                                tmout, E_TMOUT, svc);
+    if (er == E_OK) {
+        *p_blf = me->blk;
+    }
+    return er;
+}
+
+ER TKernel::tk_rel_mpf(ID mpfid, void* blf) {
+    ServiceSection svc(*this);
+    FixedPool* p = mpfs_.find(mpfid);
+    if (p == nullptr) {
+        return mpfid <= 0 ? E_ID : E_NOEXS;
+    }
+    auto* base = p->arena.data();
+    auto* b = static_cast<std::uint8_t*>(blf);
+    const std::ptrdiff_t off = b - base;
+    if (b == nullptr || off < 0 ||
+        off >= static_cast<std::ptrdiff_t>(p->arena.size()) || off % p->blksz != 0) {
+        return E_PAR;
+    }
+    for (void* f : p->free_list) {
+        if (f == blf) {
+            return E_PAR;  // double free
+        }
+    }
+    if (TCB* w = p->queue.front()) {
+        w->blk = blf;  // hand the block straight to the first waiter
+        release_wait(*w, E_OK);
+        return E_OK;
+    }
+    p->free_list.push_back(blf);
+    return E_OK;
+}
+
+ER TKernel::tk_ref_mpf(ID mpfid, T_RMPF* pk) const {
+    if (pk == nullptr) {
+        return E_PAR;
+    }
+    FixedPool* p = mpfs_.find(mpfid);
+    if (p == nullptr) {
+        return mpfid <= 0 ? E_ID : E_NOEXS;
+    }
+    pk->exinf = p->exinf;
+    pk->frbcnt = static_cast<INT>(p->free_list.size());
+    pk->wtsk = p->queue.empty() ? 0 : p->queue.front()->id;
+    return E_OK;
+}
+
+// ---- variable-size pool -----------------------------------------------------------
+
+ID TKernel::tk_cre_mpl(const T_CMPL& pk) {
+    ServiceSection svc(*this);
+    if (pk.mplsz <= 0) {
+        return E_PAR;
+    }
+    auto p = std::make_unique<VariablePool>();
+    p->name = pk.name;
+    p->exinf = pk.exinf;
+    p->atr = pk.mplatr;
+    p->poolsz = align_up(pk.mplsz);
+    p->arena.resize(static_cast<std::size_t>(p->poolsz));
+    p->free_map.emplace(0, p->poolsz);
+    p->queue.set_priority_ordered((pk.mplatr & TA_TPRI) != 0);
+    return mpls_.add(std::move(p));
+}
+
+ER TKernel::tk_del_mpl(ID mplid) {
+    ServiceSection svc(*this);
+    VariablePool* p = mpls_.find(mplid);
+    if (p == nullptr) {
+        return mplid <= 0 ? E_ID : E_NOEXS;
+    }
+    flush_waiters(p->queue);
+    mpls_.erase(mplid);
+    return E_OK;
+}
+
+namespace {
+/// First-fit allocation from the free map; nullptr when nothing fits.
+void* mpl_alloc(VariablePool& p, INT size) {
+    for (auto it = p.free_map.begin(); it != p.free_map.end(); ++it) {
+        if (it->second >= size) {
+            const INT off = it->first;
+            const INT len = it->second;
+            p.free_map.erase(it);
+            if (len > size) {
+                p.free_map.emplace(off + size, len - size);
+            }
+            void* ptr = p.arena.data() + off;
+            p.allocated.emplace(ptr, std::make_pair(off, size));
+            return ptr;
+        }
+    }
+    return nullptr;
+}
+}  // namespace
+
+ER TKernel::tk_get_mpl(ID mplid, INT blksz, void** p_blk, TMO tmout) {
+    ServiceSection svc(*this);
+    VariablePool* p = mpls_.find(mplid);
+    if (p == nullptr) {
+        return mplid <= 0 ? E_ID : E_NOEXS;
+    }
+    if (p_blk == nullptr || blksz <= 0 || blksz > p->poolsz) {
+        return E_PAR;
+    }
+    const INT size = align_up(blksz);
+    if (p->queue.empty()) {
+        if (void* ptr = mpl_alloc(*p, size)) {
+            *p_blk = ptr;
+            return E_OK;
+        }
+    }
+    if (tmout == TMO_POL) {
+        return E_TMOUT;
+    }
+    TCB* me = current_tcb();
+    if (me == nullptr) {
+        return E_CTX;
+    }
+    me->blk = nullptr;
+    me->req_size = size;
+    const ER er = block_current(*me, WaitKind::mempool_var, mplid, &p->queue, tmout,
+                                E_TMOUT, svc);
+    if (er == E_OK) {
+        *p_blk = me->blk;
+    }
+    return er;
+}
+
+ER TKernel::tk_rel_mpl(ID mplid, void* blk) {
+    ServiceSection svc(*this);
+    VariablePool* p = mpls_.find(mplid);
+    if (p == nullptr) {
+        return mplid <= 0 ? E_ID : E_NOEXS;
+    }
+    auto it = p->allocated.find(blk);
+    if (it == p->allocated.end()) {
+        return E_PAR;
+    }
+    auto [off, len] = it->second;
+    p->allocated.erase(it);
+    // Insert and coalesce with neighbours.
+    auto ins = p->free_map.emplace(off, len).first;
+    if (ins != p->free_map.begin()) {
+        auto prev = std::prev(ins);
+        if (prev->first + prev->second == ins->first) {
+            prev->second += ins->second;
+            p->free_map.erase(ins);
+            ins = prev;
+        }
+    }
+    auto next = std::next(ins);
+    if (next != p->free_map.end() && ins->first + ins->second == next->first) {
+        ins->second += next->second;
+        p->free_map.erase(next);
+    }
+    // Serve blocked allocators strictly in queue order.
+    while (TCB* w = p->queue.front()) {
+        void* ptr = mpl_alloc(*p, w->req_size);
+        if (ptr == nullptr) {
+            break;
+        }
+        p->queue.pop_front();
+        w->blk = ptr;
+        release_wait(*w, E_OK);
+    }
+    return E_OK;
+}
+
+ER TKernel::tk_ref_mpl(ID mplid, T_RMPL* pk) const {
+    if (pk == nullptr) {
+        return E_PAR;
+    }
+    VariablePool* p = mpls_.find(mplid);
+    if (p == nullptr) {
+        return mplid <= 0 ? E_ID : E_NOEXS;
+    }
+    pk->exinf = p->exinf;
+    pk->frsz = p->total_free();
+    pk->maxsz = p->largest_free();
+    pk->wtsk = p->queue.empty() ? 0 : p->queue.front()->id;
+    return E_OK;
+}
+
+}  // namespace rtk::tkernel

@@ -1,0 +1,171 @@
+// Message buffer service calls (tk_cre_mbf ... tk_ref_mbf). Messages are
+// copied by value through a bounded byte buffer; senders block when the
+// buffer is full, receivers when it is empty; a zero-sized buffer gives
+// fully synchronous rendezvous.
+#include "tkernel/kernel.hpp"
+
+#include <cstring>
+
+namespace rtk::tkernel {
+
+ID TKernel::tk_cre_mbf(const T_CMBF& pk) {
+    ServiceSection svc(*this);
+    if (pk.bufsz < 0 || pk.maxmsz <= 0) {
+        return E_PAR;
+    }
+    auto m = std::make_unique<MessageBuffer>();
+    m->name = pk.name;
+    m->exinf = pk.exinf;
+    m->atr = pk.mbfatr;
+    m->bufsz = pk.bufsz;
+    m->maxmsz = pk.maxmsz;
+    m->send_queue.set_priority_ordered((pk.mbfatr & TA_TPRI) != 0);
+    // Receive queues are always FIFO in µ-ITRON message buffers.
+    return mbfs_.add(std::move(m));
+}
+
+ER TKernel::tk_del_mbf(ID mbfid) {
+    ServiceSection svc(*this);
+    MessageBuffer* m = mbfs_.find(mbfid);
+    if (m == nullptr) {
+        return mbfid <= 0 ? E_ID : E_NOEXS;
+    }
+    flush_waiters(m->send_queue);
+    flush_waiters(m->recv_queue);
+    mbfs_.erase(mbfid);
+    return E_OK;
+}
+
+void TKernel::mbf_pump(MessageBuffer& m) {
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        // 1. Buffered messages to waiting receivers, in order.
+        while (!m.recv_queue.empty() && !m.messages.empty()) {
+            TCB* r = m.recv_queue.pop_front();
+            auto msg = std::move(m.messages.front());
+            m.messages.pop_front();
+            m.used -= static_cast<INT>(msg.size()) + MessageBuffer::header_bytes;
+            std::memcpy(r->rcv_buf, msg.data(), msg.size());
+            r->rcv_size = static_cast<INT>(msg.size());
+            release_wait(*r, E_OK);
+            progress = true;
+        }
+        // 2. Direct rendezvous: empty buffer, sender and receiver waiting
+        //    (the only path for bufsz == 0).
+        while (m.messages.empty() && !m.recv_queue.empty() && !m.send_queue.empty()) {
+            TCB* s = m.send_queue.pop_front();
+            TCB* r = m.recv_queue.pop_front();
+            std::memcpy(r->rcv_buf, s->snd_buf, static_cast<std::size_t>(s->snd_size));
+            r->rcv_size = s->snd_size;
+            release_wait(*r, E_OK);
+            release_wait(*s, E_OK);
+            progress = true;
+        }
+        // 3. Blocked senders into freed buffer space, strictly in order.
+        while (!m.send_queue.empty() && m.fits(m.send_queue.front()->snd_size)) {
+            TCB* s = m.send_queue.pop_front();
+            const auto* bytes = static_cast<const std::uint8_t*>(s->snd_buf);
+            m.messages.emplace_back(bytes, bytes + s->snd_size);
+            m.used += s->snd_size + MessageBuffer::header_bytes;
+            release_wait(*s, E_OK);
+            progress = true;
+        }
+    }
+}
+
+ER TKernel::tk_snd_mbf(ID mbfid, const void* msg, INT msgsz, TMO tmout) {
+    ServiceSection svc(*this);
+    MessageBuffer* m = mbfs_.find(mbfid);
+    if (m == nullptr) {
+        return mbfid <= 0 ? E_ID : E_NOEXS;
+    }
+    if (msg == nullptr || msgsz <= 0 || msgsz > m->maxmsz) {
+        return E_PAR;
+    }
+    // Direct handoff when a receiver is already waiting and no earlier
+    // sender is queued (preserves message order).
+    if (m->send_queue.empty() && m->messages.empty() && !m->recv_queue.empty()) {
+        TCB* r = m->recv_queue.pop_front();
+        std::memcpy(r->rcv_buf, msg, static_cast<std::size_t>(msgsz));
+        r->rcv_size = msgsz;
+        release_wait(*r, E_OK);
+        return E_OK;
+    }
+    if (m->send_queue.empty() && m->fits(msgsz)) {
+        const auto* bytes = static_cast<const std::uint8_t*>(msg);
+        m->messages.emplace_back(bytes, bytes + msgsz);
+        m->used += msgsz + MessageBuffer::header_bytes;
+        return E_OK;
+    }
+    if (tmout == TMO_POL) {
+        return E_TMOUT;
+    }
+    TCB* me = current_tcb();
+    if (me == nullptr) {
+        return E_CTX;
+    }
+    me->snd_buf = msg;
+    me->snd_size = msgsz;
+    return block_current(*me, WaitKind::msgbuf_snd, mbfid, &m->send_queue, tmout,
+                         E_TMOUT, svc);
+}
+
+INT TKernel::tk_rcv_mbf(ID mbfid, void* msg, TMO tmout) {
+    ServiceSection svc(*this);
+    MessageBuffer* m = mbfs_.find(mbfid);
+    if (m == nullptr) {
+        return mbfid <= 0 ? E_ID : E_NOEXS;
+    }
+    if (msg == nullptr) {
+        return E_PAR;
+    }
+    if (!m->messages.empty()) {
+        auto payload = std::move(m->messages.front());
+        m->messages.pop_front();
+        m->used -= static_cast<INT>(payload.size()) + MessageBuffer::header_bytes;
+        std::memcpy(msg, payload.data(), payload.size());
+        mbf_pump(*m);  // freed space may admit blocked senders
+        return static_cast<INT>(payload.size());
+    }
+    if (!m->send_queue.empty()) {
+        // Zero-capacity rendezvous (or full-of-waiters corner): take the
+        // first queued sender's message directly.
+        TCB* s = m->send_queue.pop_front();
+        std::memcpy(msg, s->snd_buf, static_cast<std::size_t>(s->snd_size));
+        const INT got = s->snd_size;
+        release_wait(*s, E_OK);
+        mbf_pump(*m);
+        return got;
+    }
+    if (tmout == TMO_POL) {
+        return E_TMOUT;
+    }
+    TCB* me = current_tcb();
+    if (me == nullptr) {
+        return E_CTX;
+    }
+    me->rcv_buf = msg;
+    me->rcv_size = 0;
+    const ER er = block_current(*me, WaitKind::msgbuf_rcv, mbfid, &m->recv_queue,
+                                tmout, E_TMOUT, svc);
+    return er == E_OK ? me->rcv_size : er;
+}
+
+ER TKernel::tk_ref_mbf(ID mbfid, T_RMBF* pk) const {
+    if (pk == nullptr) {
+        return E_PAR;
+    }
+    MessageBuffer* m = mbfs_.find(mbfid);
+    if (m == nullptr) {
+        return mbfid <= 0 ? E_ID : E_NOEXS;
+    }
+    pk->exinf = m->exinf;
+    pk->wtsk = m->send_queue.empty() ? 0 : m->send_queue.front()->id;
+    pk->rtsk = m->recv_queue.empty() ? 0 : m->recv_queue.front()->id;
+    pk->msgsz = m->messages.empty() ? 0 : static_cast<INT>(m->messages.front().size());
+    pk->frbufsz = m->free_bytes();
+    return E_OK;
+}
+
+}  // namespace rtk::tkernel

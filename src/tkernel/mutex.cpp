@@ -1,0 +1,196 @@
+// Mutex service calls (tk_cre_mtx ... tk_ref_mtx) with the three µ-ITRON
+// protocols: plain (TA_TFIFO/TA_TPRI), priority inheritance (TA_INHERIT,
+// transitive) and priority ceiling (TA_CEILING).
+#include "tkernel/kernel.hpp"
+
+#include <algorithm>
+
+namespace rtk::tkernel {
+
+namespace {
+ATR protocol(const Mutex& m) {
+    return m.atr & 0x3;
+}
+}  // namespace
+
+ID TKernel::tk_cre_mtx(const T_CMTX& pk) {
+    ServiceSection svc(*this);
+    const ATR proto = pk.mtxatr & 0x3;
+    if (proto == TA_CEILING &&
+        (pk.ceilpri < min_priority || pk.ceilpri > max_priority)) {
+        return E_PAR;
+    }
+    auto m = std::make_unique<Mutex>();
+    m->name = pk.name;
+    m->exinf = pk.exinf;
+    m->atr = pk.mtxatr;
+    m->ceilpri = pk.ceilpri;
+    // Inheritance/ceiling mutexes queue waiters in priority order.
+    m->queue.set_priority_ordered(proto != TA_TFIFO);
+    return mtxs_.add(std::move(m));
+}
+
+ER TKernel::tk_del_mtx(ID mtxid) {
+    ServiceSection svc(*this);
+    Mutex* m = mtxs_.find(mtxid);
+    if (m == nullptr) {
+        return mtxid <= 0 ? E_ID : E_NOEXS;
+    }
+    if (m->owner != nullptr) {
+        auto& held = m->owner->held_mutexes;
+        held.erase(std::remove(held.begin(), held.end(), mtxid), held.end());
+        recompute_priority(*m->owner);
+    }
+    flush_waiters(m->queue);
+    mtxs_.erase(mtxid);
+    return E_OK;
+}
+
+PRI TKernel::highest_waiter_priority(const Mutex& m) const {
+    PRI best = max_priority + 1;
+    for (const TCB* w : m.queue.snapshot()) {
+        best = std::min(best, w->thread->priority());
+    }
+    return best;
+}
+
+void TKernel::recompute_priority(TCB& tcb) {
+    // Effective priority = base, boosted by every held ceiling mutex and by
+    // the highest-priority waiter of every held inheritance mutex.
+    PRI eff = tcb.thread->base_priority();
+    for (ID mid : tcb.held_mutexes) {
+        const Mutex* m = mtxs_.find(mid);
+        if (m == nullptr) {
+            continue;
+        }
+        if (protocol(*m) == TA_CEILING) {
+            eff = std::min(eff, m->ceilpri);
+        } else if (protocol(*m) == TA_INHERIT) {
+            eff = std::min(eff, highest_waiter_priority(*m));
+        }
+    }
+    api_->SIM_SetCurrentPriority(*tcb.thread, eff);
+}
+
+void TKernel::apply_inheritance(Mutex& m) {
+    // Transitive priority inheritance: boost the owner; if the owner is
+    // itself blocked on another inheritance mutex, continue up the chain.
+    Mutex* cur = &m;
+    for (int depth = 0; depth < max_objects_per_class && cur != nullptr; ++depth) {
+        if (protocol(*cur) != TA_INHERIT || cur->owner == nullptr) {
+            return;
+        }
+        TCB* owner = cur->owner;
+        const PRI boost = highest_waiter_priority(*cur);
+        if (boost >= owner->thread->priority()) {
+            return;  // already at least as urgent
+        }
+        api_->SIM_SetCurrentPriority(*owner->thread, boost);
+        if (owner->queue != nullptr) {
+            owner->queue->reposition(*owner);
+        }
+        cur = (owner->wait_kind == WaitKind::mutex) ? mtxs_.find(owner->wait_obj)
+                                                    : nullptr;
+    }
+}
+
+ER TKernel::tk_loc_mtx(ID mtxid, TMO tmout) {
+    ServiceSection svc(*this);
+    Mutex* m = mtxs_.find(mtxid);
+    if (m == nullptr) {
+        return mtxid <= 0 ? E_ID : E_NOEXS;
+    }
+    TCB* me = current_tcb();
+    if (me == nullptr) {
+        return E_CTX;  // mutexes are task-only objects
+    }
+    if (m->owner == me) {
+        return E_ILUSE;  // not recursive
+    }
+    if (protocol(*m) == TA_CEILING &&
+        me->thread->base_priority() < m->ceilpri) {
+        return E_ILUSE;  // base priority exceeds the ceiling
+    }
+    if (m->owner == nullptr) {
+        m->owner = me;
+        me->held_mutexes.push_back(mtxid);
+        if (protocol(*m) == TA_CEILING) {
+            recompute_priority(*me);
+        }
+        return E_OK;
+    }
+    if (tmout == TMO_POL) {
+        return E_TMOUT;
+    }
+    // Enqueue first so the inheritance pass sees the new waiter, then
+    // block. (block_current would enqueue again, so inline its tail.)
+    me->wait_kind = WaitKind::mutex;
+    me->wait_obj = mtxid;
+    me->wait_result = E_OK;
+    me->timeout_result = E_TMOUT;
+    m->queue.enqueue(*me);
+    apply_inheritance(*m);
+    if (tmout != TMO_FEVR) {
+        arm_task_timeout(*me, tmout);
+    }
+    // Block inside the atomic section (see block_current for the rationale).
+    api_->SIM_Sleep();
+    cancel_task_timeout(*me);
+    me->wait_kind = WaitKind::none;
+    me->wait_obj = 0;
+    return me->wait_result;
+}
+
+void TKernel::transfer_mutex(Mutex& m) {
+    TCB* next = m.queue.pop_front();
+    if (next == nullptr) {
+        m.owner = nullptr;
+        return;
+    }
+    m.owner = next;
+    next->held_mutexes.push_back(m.id);
+    release_wait(*next, E_OK);
+    if (protocol(m) == TA_CEILING || protocol(m) == TA_INHERIT) {
+        recompute_priority(*next);
+    }
+}
+
+void TKernel::unlock_mutex_internal(Mutex& m, TCB& owner) {
+    auto& held = owner.held_mutexes;
+    held.erase(std::remove(held.begin(), held.end(), m.id), held.end());
+    recompute_priority(owner);
+    transfer_mutex(m);
+}
+
+ER TKernel::tk_unl_mtx(ID mtxid) {
+    ServiceSection svc(*this);
+    Mutex* m = mtxs_.find(mtxid);
+    if (m == nullptr) {
+        return mtxid <= 0 ? E_ID : E_NOEXS;
+    }
+    TCB* me = current_tcb();
+    if (me == nullptr) {
+        return E_CTX;
+    }
+    if (m->owner != me) {
+        return E_ILUSE;
+    }
+    unlock_mutex_internal(*m, *me);
+    return E_OK;
+}
+
+ER TKernel::tk_ref_mtx(ID mtxid, T_RMTX* pk) const {
+    if (pk == nullptr) {
+        return E_PAR;
+    }
+    Mutex* m = mtxs_.find(mtxid);
+    if (m == nullptr) {
+        return mtxid <= 0 ? E_ID : E_NOEXS;
+    }
+    pk->exinf = m->exinf;
+    pk->htsk = m->owner == nullptr ? 0 : m->owner->id;
+    pk->wtsk = m->queue.empty() ? 0 : m->queue.front()->id;
+    return E_OK;
+}
+
+}  // namespace rtk::tkernel

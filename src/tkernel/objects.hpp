@@ -1,0 +1,197 @@
+// Kernel object classes of the T-Kernel/OS model and the id-indexed
+// registry that owns them. One Registry per object class gives each class
+// its own µ-ITRON id space starting at 1.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "tkernel/tk_types.hpp"
+#include "tkernel/wait_queue.hpp"
+
+namespace rtk::sim {
+class TThread;
+}
+
+namespace rtk::tkernel {
+
+template <typename T>
+class Registry {
+public:
+    /// Returns the new object's id, or E_LIMIT when the class is full.
+    ID add(std::unique_ptr<T> obj) {
+        if (map_.size() >= static_cast<std::size_t>(max_objects_per_class)) {
+            return E_LIMIT;
+        }
+        const ID id = next_id_++;
+        obj->id = id;
+        map_.emplace(id, std::move(obj));
+        return id;
+    }
+
+    T* find(ID id) const {
+        auto it = map_.find(id);
+        return it == map_.end() ? nullptr : it->second.get();
+    }
+
+    bool erase(ID id) { return map_.erase(id) != 0; }
+
+    std::size_t size() const { return map_.size(); }
+
+    std::vector<ID> ids() const {  // ascending
+        std::vector<ID> out;
+        out.reserve(map_.size());
+        for (const auto& [id, obj] : map_) {
+            out.push_back(id);
+        }
+        std::sort(out.begin(), out.end());
+        return out;
+    }
+
+private:
+    std::unordered_map<ID, std::unique_ptr<T>> map_;
+    ID next_id_ = 1;
+};
+
+// ---- synchronisation / communication objects -----------------------------------
+
+struct Semaphore {
+    ID id = 0;
+    std::string name;
+    void* exinf = nullptr;
+    ATR atr = 0;
+    INT count = 0;
+    INT maxsem = 0;
+    WaitQueue queue;
+};
+
+struct EventFlag {
+    ID id = 0;
+    std::string name;
+    void* exinf = nullptr;
+    ATR atr = 0;
+    UINT pattern = 0;
+    WaitQueue queue;
+};
+
+struct Mailbox {
+    ID id = 0;
+    std::string name;
+    void* exinf = nullptr;
+    ATR atr = 0;
+    std::deque<T_MSG*> messages;
+    WaitQueue queue;
+};
+
+struct Mutex {
+    ID id = 0;
+    std::string name;
+    void* exinf = nullptr;
+    ATR atr = 0;
+    PRI ceilpri = min_priority;
+    struct TCB* owner = nullptr;
+    WaitQueue queue;
+};
+
+struct MessageBuffer {
+    ID id = 0;
+    std::string name;
+    void* exinf = nullptr;
+    ATR atr = 0;
+    INT bufsz = 0;
+    INT maxmsz = 0;
+    std::deque<std::vector<std::uint8_t>> messages;  ///< copied-in payloads
+    INT used = 0;                                    ///< bytes used incl. headers
+    WaitQueue send_queue;
+    WaitQueue recv_queue;
+
+    /// Per-message accounting overhead (size header), as a real ring
+    /// buffer implementation would consume.
+    static constexpr INT header_bytes = static_cast<INT>(sizeof(INT));
+    INT free_bytes() const { return bufsz - used; }
+    bool fits(INT msgsz) const { return free_bytes() >= msgsz + header_bytes; }
+};
+
+struct FixedPool {
+    ID id = 0;
+    std::string name;
+    void* exinf = nullptr;
+    ATR atr = 0;
+    INT blkcnt = 0;
+    INT blksz = 0;
+    std::vector<std::uint8_t> arena;
+    std::vector<void*> free_list;
+    WaitQueue queue;
+};
+
+struct VariablePool {
+    ID id = 0;
+    std::string name;
+    void* exinf = nullptr;
+    ATR atr = 0;
+    INT poolsz = 0;
+    std::vector<std::uint8_t> arena;
+    /// Sorted free extents (offset -> length), coalesced on free.
+    std::map<INT, INT> free_map;
+    std::unordered_map<void*, std::pair<INT, INT>> allocated;  ///< ptr -> (off, len)
+    WaitQueue queue;
+
+    INT total_free() const {
+        INT n = 0;
+        for (const auto& [off, len] : free_map) n += len;
+        return n;
+    }
+    INT largest_free() const {
+        INT n = 0;
+        for (const auto& [off, len] : free_map) n = std::max(n, len);
+        return n;
+    }
+};
+
+// ---- time-event handlers ----------------------------------------------------------
+
+struct CyclicHandler {
+    ID id = 0;
+    std::string name;
+    void* exinf = nullptr;
+    ATR atr = 0;
+    HandlerEntry handler;
+    RELTIM cyctim = 1;
+    RELTIM cycphs = 0;
+    bool active = false;
+    SYSTIM next_fire = 0;  ///< absolute system time [ms] of next activation
+    std::uint64_t fire_seq = 0;
+    std::uint64_t activations = 0;
+    sim::TThread* thread = nullptr;
+};
+
+struct AlarmHandler {
+    ID id = 0;
+    std::string name;
+    void* exinf = nullptr;
+    ATR atr = 0;
+    HandlerEntry handler;
+    bool active = false;
+    SYSTIM fire_at = 0;
+    std::uint64_t fire_seq = 0;
+    std::uint64_t activations = 0;
+    sim::TThread* thread = nullptr;
+};
+
+struct InterruptVector {
+    UINT intno = 0;
+    ATR atr = 0;
+    PRI intpri = 1;
+    HandlerEntry handler;
+    bool enabled = true;
+    std::uint64_t deliveries = 0;
+    sim::TThread* thread = nullptr;
+};
+
+}  // namespace rtk::tkernel

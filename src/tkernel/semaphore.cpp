@@ -1,0 +1,113 @@
+// Semaphore service calls (tk_cre_sem ... tk_ref_sem).
+#include "tkernel/kernel.hpp"
+
+namespace rtk::tkernel {
+
+ID TKernel::tk_cre_sem(const T_CSEM& pk) {
+    ServiceSection svc(*this);
+    if (pk.isemcnt < 0 || pk.maxsem <= 0 || pk.isemcnt > pk.maxsem) {
+        return E_PAR;
+    }
+    auto s = std::make_unique<Semaphore>();
+    s->name = pk.name;
+    s->exinf = pk.exinf;
+    s->atr = pk.sematr;
+    s->count = pk.isemcnt;
+    s->maxsem = pk.maxsem;
+    s->queue.set_priority_ordered((pk.sematr & TA_TPRI) != 0);
+    return sems_.add(std::move(s));
+}
+
+ER TKernel::tk_del_sem(ID semid) {
+    ServiceSection svc(*this);
+    Semaphore* s = sems_.find(semid);
+    if (s == nullptr) {
+        return semid <= 0 ? E_ID : E_NOEXS;
+    }
+    flush_waiters(s->queue);
+    sems_.erase(semid);
+    return E_OK;
+}
+
+ER TKernel::tk_sig_sem(ID semid, INT cnt) {
+    ServiceSection svc(*this);
+    Semaphore* s = sems_.find(semid);
+    if (s == nullptr) {
+        return semid <= 0 ? E_ID : E_NOEXS;
+    }
+    if (cnt <= 0) {
+        return E_PAR;
+    }
+    if (s->count > s->maxsem - cnt) {
+        return E_QOVR;
+    }
+    s->count += cnt;
+    // Wake waiters whose request is now satisfiable. TA_FIRST serves the
+    // queue head strictly in order; TA_CNT may satisfy a later (smaller)
+    // request when the head does not fit.
+    if ((s->atr & TA_CNT) != 0) {
+        bool progress = true;
+        while (progress && s->count > 0) {
+            progress = false;
+            for (TCB* w : s->queue.snapshot()) {
+                if (w->req_count <= s->count) {
+                    s->count -= w->req_count;
+                    release_wait(*w, E_OK);
+                    progress = true;
+                    break;
+                }
+            }
+        }
+    } else {
+        while (TCB* w = s->queue.front()) {
+            if (w->req_count > s->count) {
+                break;
+            }
+            s->count -= w->req_count;
+            release_wait(*w, E_OK);
+        }
+    }
+    return E_OK;
+}
+
+ER TKernel::tk_wai_sem(ID semid, INT cnt, TMO tmout) {
+    ServiceSection svc(*this);
+    Semaphore* s = sems_.find(semid);
+    if (s == nullptr) {
+        return semid <= 0 ? E_ID : E_NOEXS;
+    }
+    if (cnt <= 0 || cnt > s->maxsem) {
+        return E_PAR;
+    }
+    // The head of the queue has precedence over a newcomer.
+    if (s->queue.empty() && s->count >= cnt) {
+        s->count -= cnt;
+        return E_OK;
+    }
+    if (tmout == TMO_POL) {
+        return E_TMOUT;
+    }
+    TCB* me = current_tcb();
+    if (me == nullptr) {
+        return E_CTX;  // handlers must not block
+    }
+    me->req_count = cnt;
+    return block_current(*me, WaitKind::semaphore, semid, &s->queue, tmout,
+                         E_TMOUT, svc);
+}
+
+ER TKernel::tk_ref_sem(ID semid, T_RSEM* pk) const {
+    if (pk == nullptr) {
+        return E_PAR;
+    }
+    Semaphore* s = sems_.find(semid);
+    if (s == nullptr) {
+        return semid <= 0 ? E_ID : E_NOEXS;
+    }
+    pk->exinf = s->exinf;
+    pk->semcnt = s->count;
+    pk->wtsk = s->queue.empty() ? 0 : s->queue.front()->id;
+    return E_OK;
+}
+
+}  // namespace rtk::tkernel

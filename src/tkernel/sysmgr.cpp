@@ -1,0 +1,52 @@
+// System management service calls.
+#include "tkernel/kernel.hpp"
+
+namespace rtk::tkernel {
+
+ER TKernel::tk_ref_ver(T_RVER* pk) const {
+    if (pk == nullptr) {
+        return E_PAR;
+    }
+    *pk = T_RVER{};
+    return E_OK;
+}
+
+ER TKernel::tk_ref_sys(T_RSYS* pk) const {
+    if (pk == nullptr) {
+        return E_PAR;
+    }
+    if (in_handler_context()) {
+        pk->sysstat = TSS_INDP;
+    } else if (api_->dispatch_disabled()) {
+        pk->sysstat = TSS_DDSP;
+    } else {
+        pk->sysstat = TSS_TSK;
+    }
+    sim::TThread* run = api_->running_task();
+    pk->runtskid = 0;
+    if (run != nullptr && run->user_data() != nullptr) {
+        pk->runtskid = static_cast<TCB*>(run->user_data())->id;
+    }
+    pk->schedtskid = pk->runtskid;
+    return E_OK;
+}
+
+ER TKernel::tk_dis_dsp() {
+    ServiceSection svc(*this);
+    if (in_handler_context()) {
+        return E_CTX;
+    }
+    api_->SIM_DisableDispatch();
+    return E_OK;
+}
+
+ER TKernel::tk_ena_dsp() {
+    ServiceSection svc(*this);
+    if (in_handler_context()) {
+        return E_CTX;
+    }
+    api_->SIM_EnableDispatch();
+    return E_OK;
+}
+
+}  // namespace rtk::tkernel

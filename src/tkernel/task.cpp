@@ -1,0 +1,425 @@
+// Task management service calls (tk_cre_tsk ... tk_ref_tsk).
+#include "tkernel/kernel.hpp"
+
+namespace rtk::tkernel {
+
+using sim::ExecContext;
+using sim::ThreadKind;
+using sim::ThreadState;
+
+namespace {
+bool valid_priority(PRI p) {
+    return p >= min_priority && p <= max_priority;
+}
+}  // namespace
+
+UINT wait_kind_to_ttw(WaitKind k) {
+    switch (k) {
+        case WaitKind::none: return 0;
+        case WaitKind::sleep: return TTW_SLP;
+        case WaitKind::delay: return TTW_DLY;
+        case WaitKind::semaphore: return TTW_SEM;
+        case WaitKind::eventflag: return TTW_FLG;
+        case WaitKind::mailbox: return TTW_MBX;
+        case WaitKind::mutex: return TTW_MTX;
+        case WaitKind::msgbuf_snd: return TTW_SMBF;
+        case WaitKind::msgbuf_rcv: return TTW_RMBF;
+        case WaitKind::mempool_fixed: return TTW_MPF;
+        case WaitKind::mempool_var: return TTW_MPL;
+    }
+    return 0;
+}
+
+const char* to_string(WaitKind k) {
+    switch (k) {
+        case WaitKind::none: return "-";
+        case WaitKind::sleep: return "SLP";
+        case WaitKind::delay: return "DLY";
+        case WaitKind::semaphore: return "SEM";
+        case WaitKind::eventflag: return "FLG";
+        case WaitKind::mailbox: return "MBX";
+        case WaitKind::mutex: return "MTX";
+        case WaitKind::msgbuf_snd: return "SMBF";
+        case WaitKind::msgbuf_rcv: return "RMBF";
+        case WaitKind::mempool_fixed: return "MPF";
+        case WaitKind::mempool_var: return "MPL";
+    }
+    return "?";
+}
+
+// ---- creation / deletion ------------------------------------------------------
+
+ID TKernel::tk_cre_tsk(const T_CTSK& pk) {
+    ServiceSection svc(*this);
+    if (!pk.task) {
+        return E_PAR;
+    }
+    if (!valid_priority(pk.itskpri)) {
+        return E_PAR;
+    }
+    auto tcb = std::make_unique<TCB>();
+    tcb->name = pk.name;
+    tcb->exinf = pk.exinf;
+    tcb->atr = pk.tskatr;
+    tcb->ipri = pk.itskpri;
+    tcb->stksz = pk.stksz;
+    tcb->entry = pk.task;
+    TCB* p = tcb.get();
+    const ID id = tasks_.add(std::move(tcb));
+    if (id < 0) {
+        return id;  // E_LIMIT
+    }
+    p->thread = &api_->SIM_CreateThread(pk.name, ThreadKind::task, pk.itskpri, [this, p] {
+        // Activation prologue: the startup transition consumes startup-
+        // context ETM (paper: transitions mapped "at startup").
+        api_->SIM_WaitUnits(cfg_.service_cost_units, ExecContext::startup);
+        // RAII cleanup covers normal exit, tk_ext_tsk and termination:
+        // held mutexes are released, queued wakeups cleared.
+        struct ExitCleanup {
+            TKernel& k;
+            TCB& t;
+            ~ExitCleanup() { k.task_cleanup(t); }
+        } guard{*this, *p};
+        p->entry(p->stacd, p->exinf);
+    });
+    p->thread->set_user_data(p);
+    return id;
+}
+
+ER TKernel::tk_del_tsk(ID tskid) {
+    ServiceSection svc(*this);
+    TCB* t = nullptr;
+    if (ER er = check_task_id(tskid, t); er != E_OK) {
+        return er;
+    }
+    if (t == current_tcb()) {
+        return E_OBJ;  // a task cannot delete itself (use tk_exd_tsk)
+    }
+    if (t->thread->state() != ThreadState::dormant) {
+        return E_OBJ;
+    }
+    api_->SIM_DeleteThread(*t->thread);
+    tasks_.erase(t->id);
+    return E_OK;
+}
+
+// ---- activation ------------------------------------------------------------------
+
+ER TKernel::tk_sta_tsk(ID tskid, INT stacd) {
+    ServiceSection svc(*this);
+    TCB* t = nullptr;
+    if (ER er = check_task_id(tskid, t); er != E_OK) {
+        return er;
+    }
+    if (t->thread->state() != ThreadState::dormant) {
+        return E_OBJ;
+    }
+    t->stacd = stacd;
+    t->wakeup_count = 0;
+    // A task always starts at its initial priority (µ-ITRON).
+    api_->SIM_ChangePriority(*t->thread, t->ipri);
+    api_->SIM_StartThread(*t->thread);
+    return E_OK;
+}
+
+void TKernel::tk_ext_tsk() {
+    if (!in_task_context()) {
+        sysc::report(sysc::Severity::fatal, "tkernel",
+                     "tk_ext_tsk called outside task context");
+    }
+    api_->SIM_Exit();
+}
+
+void TKernel::tk_exd_tsk() {
+    TCB* me = current_tcb();
+    if (me == nullptr) {
+        sysc::report(sysc::Severity::fatal, "tkernel",
+                     "tk_exd_tsk called outside task context");
+    }
+    exd_pending_.push_back(me->id);  // reaped by the timer handler
+    api_->SIM_Exit();
+}
+
+ER TKernel::tk_ter_tsk(ID tskid) {
+    ServiceSection svc(*this);
+    TCB* t = nullptr;
+    if (ER er = check_task_id(tskid, t); er != E_OK) {
+        return er;
+    }
+    if (t == current_tcb()) {
+        return E_OBJ;  // self-termination is tk_ext_tsk
+    }
+    if (t->thread->state() == ThreadState::dormant) {
+        return E_OBJ;
+    }
+    cancel_task_timeout(*t);
+    if (t->queue != nullptr) {
+        Mutex* mtx = (t->wait_kind == WaitKind::mutex) ? mtxs_.find(t->wait_obj) : nullptr;
+        t->queue->remove(*t);
+        if (mtx != nullptr && mtx->owner != nullptr) {
+            recompute_priority(*mtx->owner);
+        }
+    }
+    t->wait_kind = WaitKind::none;
+    // SIM_Terminate unwinds the task's coroutine; the ExitCleanup guard on
+    // that stack releases held mutexes on the way out.
+    api_->SIM_Terminate(*t->thread);
+    return E_OK;
+}
+
+void TKernel::task_cleanup(TCB& tcb) {
+    while (!tcb.held_mutexes.empty()) {
+        const ID mid = tcb.held_mutexes.back();
+        Mutex* m = mtxs_.find(mid);
+        if (m == nullptr) {
+            tcb.held_mutexes.pop_back();
+            continue;
+        }
+        unlock_mutex_internal(*m, tcb);
+    }
+    tcb.wakeup_count = 0;
+    cancel_task_timeout(tcb);
+    tcb.wait_kind = WaitKind::none;
+    tcb.wait_obj = 0;
+    // Pending exceptions die with the task instance; the handler
+    // definition itself persists across restarts.
+    tcb.texptn_pending = 0;
+    tcb.in_tex = false;
+}
+
+// ---- priority ----------------------------------------------------------------------
+
+ER TKernel::tk_chg_pri(ID tskid, PRI tskpri) {
+    ServiceSection svc(*this);
+    TCB* t = nullptr;
+    if (ER er = check_task_id(tskid, t); er != E_OK) {
+        return er;
+    }
+    if (t->thread->state() == ThreadState::dormant) {
+        return E_OBJ;
+    }
+    const PRI newpri = (tskpri == 0) ? t->ipri : tskpri;  // TPRI_INI == 0
+    if (!valid_priority(newpri)) {
+        return E_PAR;
+    }
+    // A ceiling-mutex holder/claimant must not exceed any ceiling it uses.
+    for (ID mid : t->held_mutexes) {
+        const Mutex* m = mtxs_.find(mid);
+        if (m != nullptr && (m->atr & 0x3) == TA_CEILING && newpri < m->ceilpri) {
+            return E_ILUSE;
+        }
+    }
+    api_->SIM_ChangePriority(*t->thread, newpri);
+    recompute_priority(*t);
+    // Reposition in a priority-ordered wait queue.
+    if (t->queue != nullptr) {
+        t->queue->reposition(*t);
+        if (t->wait_kind == WaitKind::mutex) {
+            Mutex* m = mtxs_.find(t->wait_obj);
+            if (m != nullptr) {
+                apply_inheritance(*m);
+                if (m->owner != nullptr) {
+                    recompute_priority(*m->owner);
+                }
+            }
+        }
+    }
+    return E_OK;
+}
+
+ER TKernel::tk_rot_rdq(PRI tskpri) {
+    ServiceSection svc(*this);
+    PRI pri = tskpri;
+    if (pri == 0) {  // TPRI_RUN: the running task's priority
+        TCB* me = current_tcb();
+        sim::TThread* run = api_->running_task();
+        if (run != nullptr) {
+            pri = run->priority();
+        } else if (me != nullptr) {
+            pri = me->thread->priority();
+        } else {
+            return E_PAR;
+        }
+    }
+    if (!valid_priority(pri)) {
+        return E_PAR;
+    }
+    api_->SIM_RotateReadyQueue(pri);
+    // µ-ITRON: the *running* task at that priority goes to the back too.
+    sim::TThread* run = api_->running_task();
+    if (run != nullptr && run->priority() == pri) {
+        api_->SIM_RequestPreempt(*run);
+    }
+    return E_OK;
+}
+
+ID TKernel::tk_get_tid() const {
+    TCB* me = current_tcb();
+    return me == nullptr ? 0 : me->id;
+}
+
+// ---- sleep / wakeup ---------------------------------------------------------------
+
+ER TKernel::tk_slp_tsk(TMO tmout) {
+    ServiceSection svc(*this);
+    TCB* me = current_tcb();
+    if (me == nullptr) {
+        return E_CTX;
+    }
+    if (me->wakeup_count > 0) {
+        --me->wakeup_count;
+        return E_OK;
+    }
+    if (tmout == TMO_POL) {
+        return E_TMOUT;
+    }
+    return block_current(*me, WaitKind::sleep, 0, nullptr, tmout, E_TMOUT, svc);
+}
+
+ER TKernel::tk_wup_tsk(ID tskid) {
+    ServiceSection svc(*this);
+    TCB* t = nullptr;
+    if (ER er = check_task_id(tskid, t); er != E_OK) {
+        return er;
+    }
+    if (t == current_tcb()) {
+        return E_OBJ;
+    }
+    if (t->thread->state() == ThreadState::dormant) {
+        return E_OBJ;
+    }
+    if (t->wait_kind == WaitKind::sleep) {
+        release_wait(*t, E_OK);
+        return E_OK;
+    }
+    if (t->wakeup_count >= wakeup_count_limit) {
+        return E_QOVR;
+    }
+    ++t->wakeup_count;
+    return E_OK;
+}
+
+INT TKernel::tk_can_wup(ID tskid) {
+    ServiceSection svc(*this);
+    TCB* t = nullptr;
+    if (ER er = check_task_id(tskid, t); er != E_OK) {
+        return er;
+    }
+    if (t->thread->state() == ThreadState::dormant) {
+        return E_OBJ;
+    }
+    const INT n = static_cast<INT>(t->wakeup_count);
+    t->wakeup_count = 0;
+    return n;
+}
+
+ER TKernel::tk_rel_wai(ID tskid) {
+    ServiceSection svc(*this);
+    TCB* t = nullptr;
+    if (ER er = check_task_id(tskid, t); er != E_OK) {
+        return er;
+    }
+    if (t->wait_kind == WaitKind::none) {
+        return E_OBJ;
+    }
+    Mutex* mtx = (t->wait_kind == WaitKind::mutex) ? mtxs_.find(t->wait_obj) : nullptr;
+    release_wait(*t, E_RLWAI);
+    if (mtx != nullptr && mtx->owner != nullptr) {
+        recompute_priority(*mtx->owner);
+    }
+    return E_OK;
+}
+
+ER TKernel::tk_dly_tsk(RELTIM dlytim) {
+    ServiceSection svc(*this);
+    TCB* me = current_tcb();
+    if (me == nullptr) {
+        return E_CTX;
+    }
+    if (dlytim == 0) {
+        return E_OK;
+    }
+    // tk_dly_tsk returns E_OK when the full delay elapses.
+    return block_current(*me, WaitKind::delay, 0, nullptr,
+                         static_cast<TMO>(dlytim), E_OK, svc);
+}
+
+// ---- forced suspension ---------------------------------------------------------------
+
+ER TKernel::tk_sus_tsk(ID tskid) {
+    ServiceSection svc(*this);
+    TCB* t = nullptr;
+    if (ER er = check_task_id(tskid, t); er != E_OK) {
+        return er;
+    }
+    if (t == current_tcb()) {
+        return E_OBJ;  // T-Kernel forbids suspending the invoking task
+    }
+    const ThreadState st = t->thread->state();
+    if (st == ThreadState::dormant) {
+        return E_OBJ;
+    }
+    if (t->thread->suspend_count() >= wakeup_count_limit) {
+        return E_QOVR;
+    }
+    api_->SIM_Suspend(*t->thread);
+    return E_OK;
+}
+
+ER TKernel::tk_rsm_tsk(ID tskid) {
+    ServiceSection svc(*this);
+    TCB* t = nullptr;
+    if (ER er = check_task_id(tskid, t); er != E_OK) {
+        return er;
+    }
+    if (t->thread->suspend_count() == 0) {
+        return E_OBJ;
+    }
+    api_->SIM_Resume(*t->thread);
+    return E_OK;
+}
+
+ER TKernel::tk_frsm_tsk(ID tskid) {
+    ServiceSection svc(*this);
+    TCB* t = nullptr;
+    if (ER er = check_task_id(tskid, t); er != E_OK) {
+        return er;
+    }
+    if (t->thread->suspend_count() == 0) {
+        return E_OBJ;
+    }
+    while (t->thread->suspend_count() > 0) {
+        api_->SIM_Resume(*t->thread);
+    }
+    return E_OK;
+}
+
+// ---- reference -------------------------------------------------------------------------
+
+ER TKernel::tk_ref_tsk(ID tskid, T_RTSK* pk) const {
+    if (pk == nullptr) {
+        return E_PAR;
+    }
+    TCB* t = nullptr;
+    if (ER er = check_task_id(tskid, t); er != E_OK) {
+        return er;
+    }
+    pk->exinf = t->exinf;
+    pk->tskpri = t->thread->priority();
+    pk->tskbpri = t->thread->base_priority();
+    switch (t->thread->state()) {
+        case ThreadState::running: pk->tskstat = TTS_RUN; break;
+        case ThreadState::ready: pk->tskstat = TTS_RDY; break;
+        case ThreadState::waiting: pk->tskstat = TTS_WAI; break;
+        case ThreadState::suspended: pk->tskstat = TTS_SUS; break;
+        case ThreadState::waiting_suspended: pk->tskstat = TTS_WAS; break;
+        default: pk->tskstat = TTS_DMT; break;
+    }
+    pk->tskwait = wait_kind_to_ttw(t->wait_kind);
+    pk->wid = t->wait_obj;
+    pk->wupcnt = static_cast<INT>(t->wakeup_count);
+    pk->suscnt = static_cast<INT>(t->thread->suspend_count());
+    return E_OK;
+}
+
+}  // namespace rtk::tkernel

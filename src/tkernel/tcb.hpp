@@ -1,0 +1,82 @@
+// Task Control Block of the T-Kernel/OS simulation model.
+//
+// The TCB carries the µ-ITRON-level bookkeeping (wait factor, wakeup
+// queueing, timeout generation, held mutexes); the execution mechanism
+// lives in the wrapped sim::TThread.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/tthread.hpp"
+#include "tkernel/tk_types.hpp"
+
+namespace rtk::tkernel {
+
+class WaitQueue;
+
+/// What a task is blocked on (maps to the TTW_* wait factors).
+enum class WaitKind : std::uint8_t {
+    none,
+    sleep,      ///< tk_slp_tsk
+    delay,      ///< tk_dly_tsk
+    semaphore,  ///< tk_wai_sem
+    eventflag,  ///< tk_wai_flg
+    mailbox,    ///< tk_rcv_mbx
+    mutex,      ///< tk_loc_mtx
+    msgbuf_snd, ///< tk_snd_mbf (buffer full)
+    msgbuf_rcv, ///< tk_rcv_mbf (buffer empty)
+    mempool_fixed,  ///< tk_get_mpf
+    mempool_var,    ///< tk_get_mpl
+};
+
+UINT wait_kind_to_ttw(WaitKind k);
+const char* to_string(WaitKind k);
+
+struct TCB {
+    ID id = 0;
+    std::string name;
+    void* exinf = nullptr;
+    ATR atr = 0;
+    PRI ipri = 1;       ///< initial priority (tk_sta_tsk resets to this)
+    INT stacd = 0;      ///< start code passed by tk_sta_tsk
+    std::size_t stksz = 0;
+    TaskEntry entry;
+    sim::TThread* thread = nullptr;
+
+    // ---- wait bookkeeping ----
+    WaitKind wait_kind = WaitKind::none;
+    ID wait_obj = 0;
+    ER wait_result = E_OK;    ///< filled by the releasing party
+    ER timeout_result = E_TMOUT;  ///< what a timeout stores in wait_result
+    std::uint64_t timer_seq = 0;  ///< invalidates stale timeout entries
+    WaitQueue* queue = nullptr;   ///< wait queue currently enqueued in
+
+    std::uint64_t wakeup_count = 0;  ///< queued tk_wup_tsk requests
+
+    // ---- per-wait payload (valid per wait_kind) ----
+    INT req_count = 0;        ///< semaphore: requested count
+    UINT wai_ptn = 0;         ///< eventflag: awaited pattern
+    UINT wfmode = 0;          ///< eventflag: wait mode
+    UINT ret_ptn = 0;         ///< eventflag: pattern at release
+    T_MSG* msg = nullptr;     ///< mailbox: received message
+    const void* snd_buf = nullptr;  ///< msgbuf send payload
+    INT snd_size = 0;
+    void* rcv_buf = nullptr;  ///< msgbuf receive destination
+    INT rcv_size = 0;         ///< msgbuf: received size (result)
+    void* blk = nullptr;      ///< memory pool: acquired block
+    INT req_size = 0;         ///< variable pool: requested bytes
+
+    std::vector<ID> held_mutexes;  ///< for priority recomputation & cleanup
+
+    // ---- task exception handling (tk_def_tex family) ----
+    TexEntry texhdr;            ///< handler, empty when undefined
+    UINT texptn_pending = 0;    ///< raised-but-undelivered pattern bits
+    bool tex_enabled = false;   ///< tk_ena_tex / tk_dis_tex
+    bool in_tex = false;        ///< handler currently executing (no nesting)
+    std::uint64_t tex_delivered = 0;
+
+    bool exists = true;
+};
+
+}  // namespace rtk::tkernel

@@ -1,0 +1,115 @@
+// Task exception handling (tk_def_tex / tk_ras_tex / tk_ena_tex /
+// tk_dis_tex / tk_ref_tex).
+//
+// Model: raised pattern bits latch in the target's TCB; a waiting target
+// is released from its wait with E_DISWAI. The handler executes in the
+// target task's own context at its next task-level execution point --
+// here, the next service-call boundary (every tk_* call the task makes,
+// and the return from every wait, is such a point). Exception handling is
+// disabled while the handler runs and re-enabled afterwards, per the
+// µ-ITRON/T-Kernel rules; a handler-less or disabled task accumulates
+// pending bits until handling is possible.
+#include "tkernel/kernel.hpp"
+
+namespace rtk::tkernel {
+
+ER TKernel::tk_def_tex(ID tskid, const T_DTEX& pk) {
+    ServiceSection svc(*this);
+    TCB* t = nullptr;
+    if (ER er = check_task_id(tskid, t); er != E_OK) {
+        return er;
+    }
+    t->texhdr = pk.texhdr;
+    t->texptn_pending = 0;
+    t->tex_enabled = static_cast<bool>(pk.texhdr);
+    return E_OK;
+}
+
+ER TKernel::tk_ras_tex(ID tskid, UINT rasptn) {
+    ServiceSection svc(*this);
+    TCB* t = nullptr;
+    if (ER er = check_task_id(tskid, t); er != E_OK) {
+        return er;
+    }
+    if (rasptn == 0) {
+        return E_PAR;
+    }
+    if (!t->texhdr) {
+        return E_OBJ;  // no handler defined
+    }
+    if (t->thread->state() == sim::ThreadState::dormant) {
+        return E_OBJ;
+    }
+    t->texptn_pending |= rasptn;
+    // A waiting target is released so the exception can be handled
+    // promptly (its wait service returns E_DISWAI).
+    if (t->wait_kind != WaitKind::none) {
+        Mutex* mtx = (t->wait_kind == WaitKind::mutex) ? mtxs_.find(t->wait_obj) : nullptr;
+        release_wait(*t, E_DISWAI);
+        if (mtx != nullptr && mtx->owner != nullptr) {
+            recompute_priority(*mtx->owner);
+        }
+    }
+    // Self-raise delivers at this very service boundary.
+    if (t == current_tcb()) {
+        deliver_tex(*t);
+    }
+    return E_OK;
+}
+
+ER TKernel::tk_ena_tex() {
+    ServiceSection svc(*this);
+    TCB* me = current_tcb();
+    if (me == nullptr) {
+        return E_CTX;
+    }
+    if (!me->texhdr) {
+        return E_OBJ;
+    }
+    me->tex_enabled = true;
+    deliver_tex(*me);  // pending bits fire immediately
+    return E_OK;
+}
+
+ER TKernel::tk_dis_tex() {
+    ServiceSection svc(*this);
+    TCB* me = current_tcb();
+    if (me == nullptr) {
+        return E_CTX;
+    }
+    if (!me->texhdr) {
+        return E_OBJ;
+    }
+    me->tex_enabled = false;
+    return E_OK;
+}
+
+ER TKernel::tk_ref_tex(ID tskid, T_RTEX* pk) const {
+    if (pk == nullptr) {
+        return E_PAR;
+    }
+    TCB* t = nullptr;
+    if (ER er = check_task_id(tskid, t); er != E_OK) {
+        return er;
+    }
+    pk->pendtex = t->texptn_pending;
+    pk->texmsk = t->tex_enabled ? 1 : 0;
+    return E_OK;
+}
+
+void TKernel::deliver_tex(TCB& me) {
+    if (me.in_tex || !me.tex_enabled || me.texptn_pending == 0 || !me.texhdr) {
+        return;
+    }
+    // The handler consumes the whole pending pattern atomically and runs
+    // with exception handling disabled (no nesting).
+    const UINT ptn = me.texptn_pending;
+    me.texptn_pending = 0;
+    me.in_tex = true;
+    ++me.tex_delivered;
+    api_->SIM_WaitUnits(cfg_.service_cost_units, sim::ExecContext::service_call);
+    me.texhdr(ptn);
+    me.in_tex = false;
+}
+
+}  // namespace rtk::tkernel

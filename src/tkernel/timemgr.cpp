@@ -1,0 +1,232 @@
+// Time management: system time, cyclic handlers and alarm handlers.
+// Handlers execute as T-THREADs of kind cyclic/alarm, activated through
+// the SIM_API interrupt path from the timer handler, so they enjoy the
+// paper's delayed-dispatching semantics automatically.
+#include "tkernel/kernel.hpp"
+
+namespace rtk::tkernel {
+
+using sim::ExecContext;
+using sim::ThreadKind;
+
+namespace {
+constexpr sim::Priority time_event_priority = -100;
+constexpr std::uint64_t handler_entry_cost_units = 2;
+}  // namespace
+
+// ---- system time ------------------------------------------------------------
+
+ER TKernel::tk_set_tim(SYSTIM tim) {
+    ServiceSection svc(*this);
+    systim_base_ = static_cast<std::int64_t>(tim) - static_cast<std::int64_t>(otm_ms());
+    systim_ = tim;
+    return E_OK;
+}
+
+ER TKernel::tk_get_tim(SYSTIM* tim) const {
+    if (tim == nullptr) {
+        return E_PAR;
+    }
+    *tim = static_cast<SYSTIM>(systim_base_ + static_cast<std::int64_t>(otm_ms()));
+    return E_OK;
+}
+
+ER TKernel::tk_get_otm(SYSTIM* tim) const {
+    if (tim == nullptr) {
+        return E_PAR;
+    }
+    *tim = otm_ms();
+    return E_OK;
+}
+
+// ---- cyclic handlers -----------------------------------------------------------
+
+void TKernel::rearm_cyclic(ID cycid, std::uint64_t seq) {
+    CyclicHandler* c = cycs_.find(cycid);
+    if (c == nullptr || !c->active || c->fire_seq != seq) {
+        return;
+    }
+    schedule_at(c->next_fire, seq, [this, cycid, seq] {
+        CyclicHandler* c2 = cycs_.find(cycid);
+        if (c2 == nullptr || !c2->active || c2->fire_seq != seq) {
+            return;  // stopped/restarted since scheduling
+        }
+        ++c2->activations;
+        api_->SIM_RaiseInterrupt(*c2->thread);
+        c2->next_fire += c2->cyctim;
+        rearm_cyclic(cycid, seq);
+    });
+}
+
+ID TKernel::tk_cre_cyc(const T_CCYC& pk) {
+    ServiceSection svc(*this);
+    if (!pk.cychdr || pk.cyctim == 0) {
+        return E_PAR;
+    }
+    auto c = std::make_unique<CyclicHandler>();
+    c->name = pk.name;
+    c->exinf = pk.exinf;
+    c->atr = pk.cycatr;
+    c->handler = pk.cychdr;
+    c->cyctim = pk.cyctim;
+    c->cycphs = pk.cycphs;
+    CyclicHandler* p = c.get();
+    const ID id = cycs_.add(std::move(c));
+    if (id < 0) {
+        return id;
+    }
+    p->thread = &api_->SIM_CreateThread(
+        pk.name, ThreadKind::cyclic_handler, time_event_priority, [this, p] {
+            api_->SIM_WaitUnits(handler_entry_cost_units, ExecContext::handler);
+            p->handler(p->exinf);
+        });
+    if ((pk.cycatr & TA_STA) != 0) {
+        p->active = true;
+        const RELTIM first =
+            ((pk.cycatr & TA_PHS) != 0 && pk.cycphs != 0) ? pk.cycphs : pk.cyctim;
+        p->next_fire = deadline_otm(first);
+        rearm_cyclic(id, ++p->fire_seq);
+    }
+    return id;
+}
+
+ER TKernel::tk_del_cyc(ID cycid) {
+    ServiceSection svc(*this);
+    CyclicHandler* c = cycs_.find(cycid);
+    if (c == nullptr) {
+        return cycid <= 0 ? E_ID : E_NOEXS;
+    }
+    c->active = false;
+    ++c->fire_seq;
+    api_->SIM_DeleteThread(*c->thread);
+    cycs_.erase(cycid);
+    return E_OK;
+}
+
+ER TKernel::tk_sta_cyc(ID cycid) {
+    ServiceSection svc(*this);
+    CyclicHandler* c = cycs_.find(cycid);
+    if (c == nullptr) {
+        return cycid <= 0 ? E_ID : E_NOEXS;
+    }
+    c->active = true;
+    if ((c->atr & TA_PHS) != 0 && c->next_fire > otm_ms()) {
+        // TA_PHS: restarting keeps the original phase-aligned schedule.
+    } else {
+        c->next_fire = deadline_otm(c->cyctim);
+    }
+    rearm_cyclic(c->id, ++c->fire_seq);
+    return E_OK;
+}
+
+ER TKernel::tk_stp_cyc(ID cycid) {
+    ServiceSection svc(*this);
+    CyclicHandler* c = cycs_.find(cycid);
+    if (c == nullptr) {
+        return cycid <= 0 ? E_ID : E_NOEXS;
+    }
+    c->active = false;
+    ++c->fire_seq;
+    return E_OK;
+}
+
+ER TKernel::tk_ref_cyc(ID cycid, T_RCYC* pk) const {
+    if (pk == nullptr) {
+        return E_PAR;
+    }
+    CyclicHandler* c = cycs_.find(cycid);
+    if (c == nullptr) {
+        return cycid <= 0 ? E_ID : E_NOEXS;
+    }
+    pk->exinf = c->exinf;
+    pk->cycstat = c->active ? TCYC_STA : TCYC_STP;
+    pk->lfttim = (c->active && c->next_fire > otm_ms()) ? c->next_fire - otm_ms() : 0;
+    return E_OK;
+}
+
+// ---- alarm handlers ---------------------------------------------------------------
+
+ID TKernel::tk_cre_alm(const T_CALM& pk) {
+    ServiceSection svc(*this);
+    if (!pk.almhdr) {
+        return E_PAR;
+    }
+    auto a = std::make_unique<AlarmHandler>();
+    a->name = pk.name;
+    a->exinf = pk.exinf;
+    a->atr = pk.almatr;
+    a->handler = pk.almhdr;
+    AlarmHandler* p = a.get();
+    const ID id = alms_.add(std::move(a));
+    if (id < 0) {
+        return id;
+    }
+    p->thread = &api_->SIM_CreateThread(
+        pk.name, ThreadKind::alarm_handler, time_event_priority, [this, p] {
+            api_->SIM_WaitUnits(handler_entry_cost_units, ExecContext::handler);
+            p->handler(p->exinf);
+        });
+    return id;
+}
+
+ER TKernel::tk_del_alm(ID almid) {
+    ServiceSection svc(*this);
+    AlarmHandler* a = alms_.find(almid);
+    if (a == nullptr) {
+        return almid <= 0 ? E_ID : E_NOEXS;
+    }
+    a->active = false;
+    ++a->fire_seq;
+    api_->SIM_DeleteThread(*a->thread);
+    alms_.erase(almid);
+    return E_OK;
+}
+
+ER TKernel::tk_sta_alm(ID almid, RELTIM almtim) {
+    ServiceSection svc(*this);
+    AlarmHandler* a = alms_.find(almid);
+    if (a == nullptr) {
+        return almid <= 0 ? E_ID : E_NOEXS;
+    }
+    a->active = true;
+    a->fire_at = deadline_otm(almtim);
+    const std::uint64_t seq = ++a->fire_seq;
+    const ID id = a->id;
+    schedule_at(a->fire_at, seq, [this, id, seq] {
+        AlarmHandler* a2 = alms_.find(id);
+        if (a2 == nullptr || !a2->active || a2->fire_seq != seq) {
+            return;
+        }
+        a2->active = false;
+        ++a2->activations;
+        api_->SIM_RaiseInterrupt(*a2->thread);
+    });
+    return E_OK;
+}
+
+ER TKernel::tk_stp_alm(ID almid) {
+    ServiceSection svc(*this);
+    AlarmHandler* a = alms_.find(almid);
+    if (a == nullptr) {
+        return almid <= 0 ? E_ID : E_NOEXS;
+    }
+    a->active = false;
+    ++a->fire_seq;
+    return E_OK;
+}
+
+ER TKernel::tk_ref_alm(ID almid, T_RALM* pk) const {
+    if (pk == nullptr) {
+        return E_PAR;
+    }
+    AlarmHandler* a = alms_.find(almid);
+    if (a == nullptr) {
+        return almid <= 0 ? E_ID : E_NOEXS;
+    }
+    pk->exinf = a->exinf;
+    pk->almstat = a->active ? TALM_STA : TALM_STP;
+    pk->lfttim = (a->active && a->fire_at > otm_ms()) ? a->fire_at - otm_ms() : 0;
+    return E_OK;
+}
+
+}  // namespace rtk::tkernel

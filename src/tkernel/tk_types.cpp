@@ -1,0 +1,28 @@
+#include "tkernel/tk_types.hpp"
+
+namespace rtk::tkernel {
+
+const char* er_str(ER er) {
+    switch (er) {
+        case E_OK: return "E_OK";
+        case E_SYS: return "E_SYS";
+        case E_NOSPT: return "E_NOSPT";
+        case E_RSATR: return "E_RSATR";
+        case E_PAR: return "E_PAR";
+        case E_ID: return "E_ID";
+        case E_CTX: return "E_CTX";
+        case E_ILUSE: return "E_ILUSE";
+        case E_NOMEM: return "E_NOMEM";
+        case E_LIMIT: return "E_LIMIT";
+        case E_OBJ: return "E_OBJ";
+        case E_NOEXS: return "E_NOEXS";
+        case E_QOVR: return "E_QOVR";
+        case E_RLWAI: return "E_RLWAI";
+        case E_TMOUT: return "E_TMOUT";
+        case E_DLT: return "E_DLT";
+        case E_DISWAI: return "E_DISWAI";
+        default: return er >= 0 ? "E_OK+" : "E_???";
+    }
+}
+
+}  // namespace rtk::tkernel

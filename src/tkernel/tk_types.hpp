@@ -1,0 +1,305 @@
+// T-Kernel / µ-ITRON v4 data types, error codes, attributes and the
+// creation/reference packet structures of every kernel object class.
+//
+// The names follow the T-Kernel Standard Handbook / µ-ITRON 4.0
+// specification verbatim (tk_*, T_CTSK, E_OK, TA_TPRI, ...): this is the
+// API surface the paper's RTK-Spec TRON models, so spec fidelity beats
+// house naming style.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace rtk::tkernel {
+
+// ---- base types -------------------------------------------------------------
+using ER = int;             ///< error code
+using ID = int;             ///< object id (> 0 when valid)
+using PRI = int;            ///< priority, smaller = higher (1..140)
+using TMO = std::int64_t;   ///< timeout [ms]; TMO_POL / TMO_FEVR special
+using RELTIM = std::uint64_t;  ///< relative time [ms]
+using SYSTIM = std::uint64_t;  ///< system time [ms]
+using ATR = std::uint32_t;  ///< object attribute bits
+using UINT = std::uint32_t;
+using INT = int;
+
+inline constexpr TMO TMO_POL = 0;    ///< polling (fail immediately)
+inline constexpr TMO TMO_FEVR = -1;  ///< wait forever
+
+inline constexpr ID TSK_SELF = 0;
+
+// ---- error codes (T-Kernel numbering) -----------------------------------------
+inline constexpr ER E_OK = 0;
+inline constexpr ER E_SYS = -5;      ///< system error
+inline constexpr ER E_NOSPT = -9;    ///< unsupported function
+inline constexpr ER E_RSATR = -11;   ///< reserved attribute
+inline constexpr ER E_PAR = -17;     ///< parameter error
+inline constexpr ER E_ID = -18;      ///< invalid id number
+inline constexpr ER E_CTX = -25;     ///< context error (e.g. blocking in handler)
+inline constexpr ER E_ILUSE = -28;   ///< illegal service call use
+inline constexpr ER E_NOMEM = -33;   ///< insufficient memory
+inline constexpr ER E_LIMIT = -34;   ///< exceeded system limit
+inline constexpr ER E_OBJ = -41;     ///< object state error
+inline constexpr ER E_NOEXS = -42;   ///< object does not exist
+inline constexpr ER E_QOVR = -43;    ///< queueing overflow
+inline constexpr ER E_RLWAI = -49;   ///< wait released forcibly (tk_rel_wai)
+inline constexpr ER E_TMOUT = -50;   ///< timeout
+inline constexpr ER E_DLT = -51;     ///< waited object deleted
+inline constexpr ER E_DISWAI = -52;  ///< wait disabled
+
+/// Human-readable error mnemonic ("E_TMOUT" etc.).
+const char* er_str(ER er);
+
+// ---- object attributes ----------------------------------------------------------
+inline constexpr ATR TA_TFIFO = 0x00000000;  ///< wait queue in FIFO order
+inline constexpr ATR TA_TPRI = 0x00000001;   ///< wait queue in priority order
+inline constexpr ATR TA_MFIFO = 0x00000000;  ///< mailbox messages in FIFO order
+inline constexpr ATR TA_MPRI = 0x00000002;   ///< mailbox messages in priority order
+inline constexpr ATR TA_FIRST = 0x00000000;  ///< semaphore: wake queue head first
+inline constexpr ATR TA_CNT = 0x00000002;    ///< semaphore: wake any satisfiable waiter
+inline constexpr ATR TA_WSGL = 0x00000000;   ///< event flag: single waiter only
+inline constexpr ATR TA_WMUL = 0x00000008;   ///< event flag: multiple waiters
+inline constexpr ATR TA_INHERIT = 0x00000002;  ///< mutex: priority inheritance
+inline constexpr ATR TA_CEILING = 0x00000003;  ///< mutex: priority ceiling
+inline constexpr ATR TA_HLNG = 0x00000000;   ///< handler written in HLL (always, here)
+inline constexpr ATR TA_RNG0 = 0x00000000;   ///< protection ring (modeled as no-op)
+inline constexpr ATR TA_USERBUF = 0x00000020;///< memory pool: caller-supplied buffer
+inline constexpr ATR TA_STA = 0x00000002;    ///< cyclic handler: start immediately
+inline constexpr ATR TA_PHS = 0x00000004;    ///< cyclic handler: honor initial phase
+
+// ---- event flag wait modes ---------------------------------------------------------
+inline constexpr UINT TWF_ANDW = 0x00000000;   ///< all bits of waiptn required
+inline constexpr UINT TWF_ORW = 0x00000001;    ///< any bit of waiptn suffices
+inline constexpr UINT TWF_CLR = 0x00000010;    ///< clear whole pattern on release
+inline constexpr UINT TWF_BITCLR = 0x00000020; ///< clear only the matched bits
+
+// ---- task states as reported by tk_ref_tsk (T-Kernel encoding) -----------------------
+inline constexpr UINT TTS_RUN = 0x0001;
+inline constexpr UINT TTS_RDY = 0x0002;
+inline constexpr UINT TTS_WAI = 0x0004;
+inline constexpr UINT TTS_SUS = 0x0008;
+inline constexpr UINT TTS_WAS = 0x000c;
+inline constexpr UINT TTS_DMT = 0x0010;
+
+// ---- wait factors for tk_ref_tsk / td_ref_tsk -----------------------------------------
+inline constexpr UINT TTW_SLP = 0x00000001;
+inline constexpr UINT TTW_DLY = 0x00000002;
+inline constexpr UINT TTW_SEM = 0x00000004;
+inline constexpr UINT TTW_FLG = 0x00000008;
+inline constexpr UINT TTW_MBX = 0x00000040;
+inline constexpr UINT TTW_MTX = 0x00000080;
+inline constexpr UINT TTW_SMBF = 0x00000100;
+inline constexpr UINT TTW_RMBF = 0x00000200;
+inline constexpr UINT TTW_MPF = 0x00002000;
+inline constexpr UINT TTW_MPL = 0x00004000;
+
+/// Limits of this kernel build (tk_ref_ver reports them).
+inline constexpr PRI min_priority = 1;    ///< highest urgency
+inline constexpr PRI max_priority = 140;  ///< lowest urgency
+inline constexpr int max_objects_per_class = 1024;
+inline constexpr UINT wakeup_count_limit = 65535;
+
+// ---- creation packets ------------------------------------------------------------------
+
+/// Task entry receives the start code passed to tk_sta_tsk and exinf.
+using TaskEntry = std::function<void(INT stacd, void* exinf)>;
+/// Time-event / interrupt handler entry receives exinf.
+using HandlerEntry = std::function<void(void* exinf)>;
+/// Task exception handler: receives the raised pattern, runs in the
+/// target task's context.
+using TexEntry = std::function<void(UINT texptn)>;
+
+struct T_CTSK {
+    void* exinf = nullptr;
+    ATR tskatr = TA_HLNG;
+    TaskEntry task;
+    PRI itskpri = 1;
+    std::size_t stksz = 4096;  ///< modeled stack budget (host stacks differ)
+    std::string name = "task";
+};
+
+struct T_CSEM {
+    void* exinf = nullptr;
+    ATR sematr = TA_TFIFO | TA_FIRST;
+    INT isemcnt = 0;
+    INT maxsem = 65535;
+    std::string name = "sem";
+};
+
+struct T_CFLG {
+    void* exinf = nullptr;
+    ATR flgatr = TA_TFIFO | TA_WMUL;
+    UINT iflgptn = 0;
+    std::string name = "flg";
+};
+
+/// Mailbox message header (µ-ITRON T_MSG); the payload follows in the
+/// user's derived struct. With TA_MPRI, use T_MSG_PRI.
+struct T_MSG {
+    T_MSG* next = nullptr;  ///< kernel link (owned by the mailbox while queued)
+};
+struct T_MSG_PRI : T_MSG {
+    PRI msgpri = 1;
+};
+
+struct T_CMBX {
+    void* exinf = nullptr;
+    ATR mbxatr = TA_TFIFO | TA_MFIFO;
+    std::string name = "mbx";
+};
+
+struct T_CMTX {
+    void* exinf = nullptr;
+    ATR mtxatr = TA_TFIFO;  ///< or TA_TPRI / TA_INHERIT / TA_CEILING
+    PRI ceilpri = min_priority;
+    std::string name = "mtx";
+};
+
+struct T_CMBF {
+    void* exinf = nullptr;
+    ATR mbfatr = TA_TFIFO;
+    INT bufsz = 1024;   ///< 0 => fully synchronous message buffer
+    INT maxmsz = 128;
+    std::string name = "mbf";
+};
+
+struct T_CMPF {
+    void* exinf = nullptr;
+    ATR mpfatr = TA_TFIFO;
+    INT mpfcnt = 8;   ///< number of blocks
+    INT blfsz = 64;   ///< block size in bytes
+    std::string name = "mpf";
+};
+
+struct T_CMPL {
+    void* exinf = nullptr;
+    ATR mplatr = TA_TFIFO;
+    INT mplsz = 4096;  ///< pool size in bytes
+    std::string name = "mpl";
+};
+
+struct T_CCYC {
+    void* exinf = nullptr;
+    ATR cycatr = TA_HLNG;
+    HandlerEntry cychdr;
+    RELTIM cyctim = 1;  ///< cycle period [ms]
+    RELTIM cycphs = 0;  ///< initial phase [ms]
+    std::string name = "cyc";
+};
+
+struct T_CALM {
+    void* exinf = nullptr;
+    ATR almatr = TA_HLNG;
+    HandlerEntry almhdr;
+    std::string name = "alm";
+};
+
+struct T_DINT {
+    ATR intatr = TA_HLNG;
+    HandlerEntry inthdr;
+    PRI intpri = 1;  ///< interrupt priority (independent of task priorities)
+};
+
+// ---- reference packets --------------------------------------------------------------------
+
+struct T_RTSK {
+    void* exinf = nullptr;
+    PRI tskpri = 0;      ///< current priority
+    PRI tskbpri = 0;     ///< base priority
+    UINT tskstat = 0;    ///< TTS_*
+    UINT tskwait = 0;    ///< TTW_* (valid when TTS_WAI)
+    ID wid = 0;          ///< waited object id
+    INT wupcnt = 0;
+    INT suscnt = 0;
+};
+
+struct T_RSEM {
+    void* exinf = nullptr;
+    ID wtsk = 0;  ///< id of first waiting task (0 if none)
+    INT semcnt = 0;
+};
+
+struct T_RFLG {
+    void* exinf = nullptr;
+    ID wtsk = 0;
+    UINT flgptn = 0;
+};
+
+struct T_RMBX {
+    void* exinf = nullptr;
+    ID wtsk = 0;
+    T_MSG* pk_msg = nullptr;  ///< next message to be received
+};
+
+struct T_RMTX {
+    void* exinf = nullptr;
+    ID htsk = 0;  ///< holding task
+    ID wtsk = 0;
+};
+
+struct T_RMBF {
+    void* exinf = nullptr;
+    ID wtsk = 0;   ///< first task waiting to send
+    ID rtsk = 0;   ///< first task waiting to receive
+    INT msgsz = 0; ///< size of next message
+    INT frbufsz = 0;
+};
+
+struct T_RMPF {
+    void* exinf = nullptr;
+    ID wtsk = 0;
+    INT frbcnt = 0;
+};
+
+struct T_RMPL {
+    void* exinf = nullptr;
+    ID wtsk = 0;
+    INT frsz = 0;    ///< total free
+    INT maxsz = 0;   ///< largest contiguous free block
+};
+
+struct T_RCYC {
+    void* exinf = nullptr;
+    RELTIM lfttim = 0;  ///< time until next activation
+    UINT cycstat = 0;   ///< TCYC_STA / TCYC_STP
+};
+inline constexpr UINT TCYC_STP = 0;
+inline constexpr UINT TCYC_STA = 1;
+
+struct T_RALM {
+    void* exinf = nullptr;
+    RELTIM lfttim = 0;
+    UINT almstat = 0;  ///< TALM_STA / TALM_STP
+};
+inline constexpr UINT TALM_STP = 0;
+inline constexpr UINT TALM_STA = 1;
+
+struct T_RVER {
+    std::string maker = "rtk-spec-tron (DATE'05 reproduction)";
+    std::string prid = "RTK-Spec TRON";
+    std::string spver = "uITRON 4.0 / T-Kernel 1.0 (behavioural model)";
+    int prver_major = 1;
+    int prver_minor = 0;
+};
+
+struct T_DTEX {
+    ATR texatr = TA_HLNG;
+    TexEntry texhdr;
+};
+
+struct T_RTEX {
+    UINT pendtex = 0;  ///< pending exception pattern
+    UINT texmsk = 0;   ///< 1 when exception handling is enabled
+};
+
+struct T_RSYS {
+    INT sysstat = 0;  ///< TSS_*
+    ID runtskid = 0;
+    ID schedtskid = 0;
+};
+inline constexpr INT TSS_TSK = 0;   ///< normal task context
+inline constexpr INT TSS_DDSP = 1;  ///< dispatch disabled
+inline constexpr INT TSS_INDP = 4;  ///< handler (task-independent) context
+
+}  // namespace rtk::tkernel

@@ -1,0 +1,8 @@
+// Umbrella header for rtk::tkernel -- the RTK-Spec TRON kernel model.
+#pragma once
+
+#include "tkernel/kernel.hpp"
+#include "tkernel/objects.hpp"
+#include "tkernel/tcb.hpp"
+#include "tkernel/tk_types.hpp"
+#include "tkernel/wait_queue.hpp"

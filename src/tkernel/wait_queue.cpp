@@ -1,0 +1,59 @@
+#include "tkernel/wait_queue.hpp"
+
+#include <algorithm>
+
+#include "tkernel/tcb.hpp"
+
+namespace rtk::tkernel {
+
+namespace {
+PRI pri_of(const TCB& t) {
+    return t.thread->priority();
+}
+}  // namespace
+
+void WaitQueue::enqueue(TCB& tcb) {
+    if (priority_ordered_) {
+        auto it = std::find_if(tasks_.begin(), tasks_.end(), [&tcb](const TCB* q) {
+            return pri_of(tcb) < pri_of(*q);
+        });
+        tasks_.insert(it, &tcb);
+    } else {
+        tasks_.push_back(&tcb);
+    }
+    tcb.queue = this;
+}
+
+void WaitQueue::remove(TCB& tcb) {
+    tasks_.remove(&tcb);
+    if (tcb.queue == this) {
+        tcb.queue = nullptr;
+    }
+}
+
+void WaitQueue::reposition(TCB& tcb) {
+    if (!priority_ordered_ || !contains(tcb)) {
+        return;
+    }
+    tasks_.remove(&tcb);
+    auto it = std::find_if(tasks_.begin(), tasks_.end(), [&tcb](const TCB* q) {
+        return pri_of(tcb) < pri_of(*q);
+    });
+    tasks_.insert(it, &tcb);
+}
+
+TCB* WaitQueue::pop_front() {
+    if (tasks_.empty()) {
+        return nullptr;
+    }
+    TCB* t = tasks_.front();
+    tasks_.pop_front();
+    t->queue = nullptr;
+    return t;
+}
+
+bool WaitQueue::contains(const TCB& tcb) const {
+    return std::find(tasks_.begin(), tasks_.end(), &tcb) != tasks_.end();
+}
+
+}  // namespace rtk::tkernel

@@ -1,0 +1,45 @@
+// Task wait queue with µ-ITRON ordering semantics: TA_TFIFO appends,
+// TA_TPRI keeps tasks sorted by current priority (FIFO among equals).
+#pragma once
+
+#include <list>
+#include <vector>
+
+#include "tkernel/tk_types.hpp"
+
+namespace rtk::tkernel {
+
+struct TCB;
+
+class WaitQueue {
+public:
+    explicit WaitQueue(bool priority_ordered = false)
+        : priority_ordered_(priority_ordered) {}
+
+    void set_priority_ordered(bool on) { priority_ordered_ = on; }
+    bool priority_ordered() const { return priority_ordered_; }
+
+    /// Enqueue per ordering policy; records the queue in tcb.queue.
+    void enqueue(TCB& tcb);
+
+    /// Remove (no-op if absent); clears tcb.queue.
+    void remove(TCB& tcb);
+
+    /// Re-sort one task after a priority change (TA_TPRI queues).
+    void reposition(TCB& tcb);
+
+    TCB* front() const { return tasks_.empty() ? nullptr : tasks_.front(); }
+    TCB* pop_front();
+
+    bool empty() const { return tasks_.empty(); }
+    std::size_t size() const { return tasks_.size(); }
+    bool contains(const TCB& tcb) const;
+
+    std::vector<TCB*> snapshot() const { return {tasks_.begin(), tasks_.end()}; }
+
+private:
+    bool priority_ordered_;
+    std::list<TCB*> tasks_;
+};
+
+}  // namespace rtk::tkernel

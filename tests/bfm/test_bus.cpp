@@ -1,0 +1,106 @@
+// Bus-functional-model bus tests: cycle budgets, memory controller,
+// device mapping, access listeners.
+#include <gtest/gtest.h>
+
+#include "bfm/bfm.hpp"
+#include "sysc/report.hpp"
+#include "sim/sim.hpp"
+
+namespace rtk::bfm {
+namespace {
+
+using sysc::Time;
+
+class BusTest : public ::testing::Test {
+protected:
+    sysc::Kernel k;
+    sim::PriorityPreemptiveScheduler sched;
+    sim::SimApi api{sched};
+    Bus8051 bus{api};
+};
+
+struct ScratchDevice final : Device {
+    std::string n = "scratch";
+    std::uint8_t regs[16] = {};
+    std::uint16_t last_off = 0;
+    const std::string& name() const override { return n; }
+    std::uint8_t read(std::uint16_t off) override {
+        last_off = off;
+        return regs[off % 16];
+    }
+    void write(std::uint16_t off, std::uint8_t v) override {
+        last_off = off;
+        regs[off % 16] = v;
+    }
+};
+
+TEST_F(BusTest, PlainRamRoundTrip) {
+    bus.write_xdata(0x1234, 0xAB);
+    EXPECT_EQ(bus.read_xdata(0x1234), 0xAB);
+    EXPECT_EQ(bus.read_xdata(0x1235), 0x00);
+}
+
+TEST_F(BusTest, SixteenBitAccessLittleEndian) {
+    bus.write_xdata16(0x2000, 0xBEEF);
+    EXPECT_EQ(bus.read_xdata(0x2000), 0xEF);
+    EXPECT_EQ(bus.read_xdata(0x2001), 0xBE);
+    EXPECT_EQ(bus.read_xdata16(0x2000), 0xBEEF);
+}
+
+TEST_F(BusTest, DeviceWindowRouting) {
+    ScratchDevice dev;
+    bus.map(0x8000, 0x10, dev);
+    bus.write_xdata(0x8003, 0x5A);
+    EXPECT_EQ(dev.regs[3], 0x5A);
+    EXPECT_EQ(dev.last_off, 3);
+    EXPECT_EQ(bus.read_xdata(0x8003), 0x5A);
+    // Below/above the window hits RAM, not the device.
+    bus.write_xdata(0x7FFF, 0x11);
+    bus.write_xdata(0x8010, 0x22);
+    EXPECT_EQ(dev.regs[0], 0x00);
+}
+
+TEST_F(BusTest, OverlappingMappingIsFatal) {
+    ScratchDevice a, b;
+    bus.map(0x8000, 0x10, a);
+    EXPECT_THROW(bus.map(0x8008, 0x10, b), sysc::SimError);
+}
+
+TEST_F(BusTest, CycleBudgetsConsumeTaskTime) {
+    sim::TThread& t = api.SIM_CreateThread("drv", sim::ThreadKind::task, 5, [&] {
+        for (int i = 0; i < 10; ++i) {
+            bus.write_xdata(0x100, 0xFF);  // 2 machine cycles each
+        }
+    });
+    api.SIM_StartThread(t);
+    k.run();
+    EXPECT_EQ(t.token().cet(sim::ExecContext::bfm_access), Time::us(20));
+    EXPECT_EQ(bus.cycles_consumed(), 20u);
+    EXPECT_EQ(bus.access_count(), 10u);
+}
+
+TEST_F(BusTest, TestbenchAccessCostsNoSimTime) {
+    bus.write_xdata(0x100, 1);  // outside any T-THREAD
+    EXPECT_EQ(k.now(), Time::zero());
+    EXPECT_EQ(bus.cycles_consumed(), 2u);  // still counted for Fig 4 stats
+}
+
+TEST_F(BusTest, AccessListenersFire) {
+    ScratchDevice dev;
+    bus.map(0x8000, 0x10, dev);
+    std::vector<Bus8051::AccessEvent> events;
+    bus.add_access_listener([&](const Bus8051::AccessEvent& ev) {
+        events.push_back(ev);
+    });
+    bus.write_xdata(0x8001, 1);
+    bus.read_xdata(0x0042);
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_TRUE(events[0].write);
+    EXPECT_TRUE(events[0].device);
+    EXPECT_EQ(events[0].addr, 0x8001);
+    EXPECT_FALSE(events[1].write);
+    EXPECT_FALSE(events[1].device);
+}
+
+}  // namespace
+}  // namespace rtk::bfm

@@ -1,0 +1,92 @@
+// Interrupt controller tests: IE/IP registers, masking with pending
+// latch, priority reporting.
+#include <gtest/gtest.h>
+
+#include "bfm/bfm.hpp"
+#include "sysc/report.hpp"
+
+namespace rtk::bfm {
+namespace {
+
+class IntcTest : public ::testing::Test {
+protected:
+    sysc::Kernel k;
+    InterruptController intc;
+    std::vector<std::pair<unsigned, bool>> delivered;
+
+    void SetUp() override {
+        intc.set_sink([this](unsigned line, bool hi) {
+            delivered.emplace_back(line, hi);
+        });
+    }
+};
+
+TEST_F(IntcTest, DisabledByDefault) {
+    intc.raise(0);
+    EXPECT_TRUE(delivered.empty());
+    EXPECT_TRUE(intc.pending(0));
+    EXPECT_EQ(intc.masked_latches(), 1u);
+}
+
+TEST_F(IntcTest, GlobalEnableGatesEverything) {
+    intc.write_ie(0x1F);  // lines enabled but EA clear
+    intc.raise(1);
+    EXPECT_TRUE(delivered.empty());
+    intc.write_ie(0x80 | 0x1F);  // EA set: pending delivered now
+    ASSERT_EQ(delivered.size(), 1u);
+    EXPECT_EQ(delivered[0].first, 1u);
+    EXPECT_FALSE(intc.pending(1));
+}
+
+TEST_F(IntcTest, PerLineMasking) {
+    intc.write_ie(0x80 | 0x01);  // only line 0
+    intc.raise(0);
+    intc.raise(2);
+    ASSERT_EQ(delivered.size(), 1u);
+    EXPECT_EQ(delivered[0].first, 0u);
+    EXPECT_TRUE(intc.pending(2));
+}
+
+TEST_F(IntcTest, PriorityBitReported) {
+    intc.write_ie(0x80 | 0x1F);
+    intc.write_ip(1u << 3);
+    intc.raise(3);
+    intc.raise(2);
+    ASSERT_EQ(delivered.size(), 2u);
+    EXPECT_TRUE(delivered[0].second);   // line 3 high priority
+    EXPECT_FALSE(delivered[1].second);  // line 2 low priority
+}
+
+TEST_F(IntcTest, StatisticsPerLine) {
+    intc.write_ie(0x80 | 0x1F);
+    intc.raise(4);
+    intc.raise(4);
+    EXPECT_EQ(intc.raised(4), 2u);
+    EXPECT_EQ(intc.delivered(4), 2u);
+}
+
+TEST_F(IntcTest, RegisterInterface) {
+    intc.write(0, 0x80 | 0x03);  // IE
+    intc.write(1, 0x02);         // IP
+    EXPECT_EQ(intc.read(0), 0x80 | 0x03);
+    EXPECT_EQ(intc.read(1), 0x02);
+    intc.raise(4);  // masked -> pending readable
+    EXPECT_EQ(intc.read(2), 1u << 4);
+}
+
+TEST_F(IntcTest, InvalidLineIsFatal) {
+    EXPECT_THROW(intc.raise(7), sysc::SimError);
+}
+
+TEST_F(IntcTest, LineEnabledQueries) {
+    EXPECT_FALSE(intc.line_enabled(0));
+    intc.write_ie(0x80 | 0x01);
+    EXPECT_TRUE(intc.line_enabled(0));
+    EXPECT_FALSE(intc.line_enabled(1));
+    EXPECT_FALSE(intc.high_priority(0));
+    intc.write_ip(0x01);
+    EXPECT_TRUE(intc.high_priority(0));
+}
+
+}  // namespace
+}  // namespace rtk::bfm

@@ -1,0 +1,124 @@
+// UART (mode 1) tests: frame timing, TI/RI flags, overruns, IRQ wiring.
+#include <gtest/gtest.h>
+
+#include "bfm/bfm.hpp"
+
+namespace rtk::bfm {
+namespace {
+
+using sysc::Time;
+
+class SerialTest : public ::testing::Test {
+protected:
+    sysc::Kernel k;
+};
+
+TEST_F(SerialTest, FrameTimeFromBaud) {
+    SerialIO uart(9600);
+    // 10 bits at 9600 baud = ~1.0417 ms.
+    EXPECT_NEAR(uart.frame_time().to_us(), 1041.7, 1.0);
+}
+
+TEST_F(SerialTest, TransmitTakesOneFrame) {
+    SerialIO uart(9600);
+    k.spawn("drv", [&] {
+        EXPECT_TRUE(uart.tx('A'));
+        EXPECT_FALSE(uart.tx_ready());
+        EXPECT_FALSE(uart.ti());
+    });
+    k.run_until(Time::ms(2));
+    EXPECT_TRUE(uart.tx_ready());
+    EXPECT_TRUE(uart.ti());
+    EXPECT_EQ(uart.transmitted(), "A");
+    EXPECT_EQ(uart.tx_count(), 1u);
+}
+
+TEST_F(SerialTest, TransmitWhileBusyOverruns) {
+    SerialIO uart(9600);
+    k.spawn("drv", [&] {
+        EXPECT_TRUE(uart.tx('A'));
+        EXPECT_FALSE(uart.tx('B'));  // shift register busy
+    });
+    k.run_until(Time::ms(3));
+    EXPECT_EQ(uart.transmitted(), "A");
+    EXPECT_EQ(uart.tx_overruns(), 1u);
+}
+
+TEST_F(SerialTest, BackToBackTransmits) {
+    SerialIO uart(9600);
+    k.spawn("drv", [&] {
+        for (char c : std::string("OK!")) {
+            while (!uart.tx_ready()) {
+                sysc::wait(Time::us(100));
+            }
+            uart.tx(static_cast<std::uint8_t>(c));
+        }
+    });
+    k.run_until(Time::ms(10));
+    EXPECT_EQ(uart.transmitted(), "OK!");
+}
+
+TEST_F(SerialTest, ReceiveArrivesAfterFrameTime) {
+    SerialIO uart(9600);
+    k.spawn("feeder", [&] {
+        sysc::wait(Time::ms(1));
+        uart.feed_rx('x');
+    });
+    k.run_until(Time::ms(1) + Time::us(500));
+    EXPECT_FALSE(uart.rx_ready());  // frame still in flight
+    k.run_until(Time::ms(3));
+    EXPECT_TRUE(uart.rx_ready());
+    EXPECT_EQ(uart.rx(), 'x');
+    EXPECT_FALSE(uart.rx_ready());  // RI cleared by read
+}
+
+TEST_F(SerialTest, RxOverrunWhenBufferNotDrained) {
+    SerialIO uart(9600);
+    k.spawn("feeder", [&] {
+        uart.feed_rx('1');
+        uart.feed_rx('2');  // arrives while '1' still unread
+    });
+    k.run_until(Time::ms(5));
+    EXPECT_EQ(uart.rx_count(), 1u);
+    EXPECT_EQ(uart.rx_overruns(), 1u);
+    EXPECT_EQ(uart.rx(), '1');
+}
+
+TEST_F(SerialTest, InterruptsRaisedOnTiAndRi) {
+    InterruptController intc;
+    std::vector<unsigned> lines;
+    intc.set_sink([&](unsigned line, bool) { lines.push_back(line); });
+    intc.write_ie(0x80 | 0x1F);
+    SerialIO uart(9600, &intc);
+    k.spawn("drv", [&] {
+        uart.tx('A');
+        uart.feed_rx('B');
+    });
+    k.run_until(Time::ms(5));
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_EQ(lines[0], InterruptController::line_serial);
+    EXPECT_EQ(lines[1], InterruptController::line_serial);
+}
+
+TEST_F(SerialTest, DeviceRegisterInterface) {
+    SerialIO uart(9600);
+    k.spawn("drv", [&] {
+        uart.write(0, 'Z');  // SBUF write = tx
+        EXPECT_EQ(uart.read(1) & 0x04, 0x04);  // tx busy bit
+    });
+    k.run_until(Time::ms(2));
+    EXPECT_EQ(uart.transmitted(), "Z");
+    EXPECT_EQ(uart.read(1) & 0x01, 0x01);  // TI set
+    uart.write(1, 0);                      // status write clears TI
+    EXPECT_EQ(uart.read(1) & 0x01, 0x00);
+}
+
+TEST_F(SerialTest, HigherBaudIsFaster) {
+    SerialIO slow(9600);
+    SerialIO fast(115200);
+    EXPECT_GT(slow.frame_time(), fast.frame_time());
+    EXPECT_NEAR(fast.frame_time().to_us(), 86.8, 0.5);
+}
+
+}  // namespace
+}  // namespace rtk::bfm

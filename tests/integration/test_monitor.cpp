@@ -1,0 +1,125 @@
+// SerialMonitor integration tests: UART RX interrupt -> event flag ->
+// monitor task -> T-Kernel/DS -> UART TX with flow control.
+#include <gtest/gtest.h>
+
+#include "app/monitor.hpp"
+#include "app/videogame.hpp"
+
+namespace rtk::app {
+namespace {
+
+using namespace tkernel;
+using sysc::Time;
+
+class MonitorTest : public ::testing::Test {
+protected:
+    sysc::Kernel k;
+    TKernel tk;
+
+    void boot_with_monitor(SerialMonitor& mon) {
+        tk.set_user_main([&] { mon.setup(); });
+        tk.power_on();
+    }
+};
+
+TEST_F(MonitorTest, PrintsBannerOnBoot) {
+    bfm::Bfm8051 board(tk.sim());
+    VideoGame::wire(tk, board);
+    SerialMonitor mon(tk, board);
+    boot_with_monitor(mon);
+    k.run_until(Time::ms(200));
+    EXPECT_NE(mon.output().find("T-Monitor ready"), std::string::npos);
+}
+
+TEST_F(MonitorTest, AnswersVersionCommand) {
+    bfm::Bfm8051 board(tk.sim());
+    VideoGame::wire(tk, board);
+    SerialMonitor mon(tk, board);
+    boot_with_monitor(mon);
+    k.run_until(Time::ms(100));
+    mon.type_line("ver");
+    k.run_until(Time::ms(600));
+    EXPECT_EQ(mon.commands_executed(), 1u);
+    EXPECT_NE(mon.output().find("RTK-Spec TRON"), std::string::npos);
+}
+
+TEST_F(MonitorTest, TaskTableListsLiveTasks) {
+    bfm::Bfm8051 board(tk.sim());
+    VideoGame::wire(tk, board);
+    SerialMonitor mon(tk, board);
+    VideoGame game(tk, board);
+    tk.set_user_main([&] {
+        game.setup();
+        mon.setup();
+    });
+    tk.power_on();
+    k.run_until(Time::ms(100));
+    mon.type_line("tsk");
+    k.run_until(Time::sec(2));
+    EXPECT_NE(mon.output().find("LCD:T1"), std::string::npos);
+    EXPECT_NE(mon.output().find("T-Monitor"), std::string::npos);
+}
+
+TEST_F(MonitorTest, UnknownCommandCounted) {
+    bfm::Bfm8051 board(tk.sim());
+    VideoGame::wire(tk, board);
+    SerialMonitor mon(tk, board);
+    boot_with_monitor(mon);
+    k.run_until(Time::ms(100));
+    mon.type_line("frobnicate");
+    k.run_until(Time::ms(600));
+    EXPECT_EQ(mon.unknown_commands(), 1u);
+    EXPECT_EQ(mon.commands_executed(), 0u);
+    EXPECT_NE(mon.output().find("unknown command"), std::string::npos);
+}
+
+TEST_F(MonitorTest, RefTskInspectsOneTask) {
+    bfm::Bfm8051 board(tk.sim());
+    VideoGame::wire(tk, board);
+    SerialMonitor mon(tk, board);
+    boot_with_monitor(mon);
+    k.run_until(Time::ms(100));
+    mon.type_line("ref tsk 1");  // the init task
+    k.run_until(Time::ms(800));
+    EXPECT_NE(mon.output().find("'init'"), std::string::npos);
+    mon.type_line("ref tsk 99");
+    k.run_until(Time::ms(1600));
+    EXPECT_NE(mon.output().find("no such task"), std::string::npos);
+}
+
+TEST_F(MonitorTest, MultipleCommandsSequence) {
+    bfm::Bfm8051 board(tk.sim());
+    VideoGame::wire(tk, board);
+    SerialMonitor mon(tk, board);
+    boot_with_monitor(mon);
+    k.run_until(Time::ms(100));
+    mon.type_line("help");
+    k.run_until(Time::ms(500));
+    mon.type_line("tim");
+    k.run_until(Time::ms(900));
+    mon.type_line("stat");
+    k.run_until(Time::sec(2));
+    EXPECT_EQ(mon.commands_executed(), 3u);
+    EXPECT_NE(mon.output().find("commands:"), std::string::npos);
+    EXPECT_NE(mon.output().find("systim="), std::string::npos);
+    EXPECT_NE(mon.output().find("load="), std::string::npos);
+}
+
+TEST_F(MonitorTest, SurvivesGarbageInput) {
+    bfm::Bfm8051 board(tk.sim());
+    VideoGame::wire(tk, board);
+    SerialMonitor mon(tk, board);
+    boot_with_monitor(mon);
+    k.run_until(Time::ms(100));
+    // Empty lines, whitespace, long garbage.
+    mon.type_line("");
+    mon.type_line("   ");
+    k.run_until(Time::ms(300));
+    mon.type_line("xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx yyy zzz");
+    k.run_until(Time::sec(2));
+    EXPECT_EQ(mon.commands_executed(), 0u);
+    EXPECT_EQ(mon.unknown_commands(), 1u);
+}
+
+}  // namespace
+}  // namespace rtk::app

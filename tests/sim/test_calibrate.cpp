@@ -1,0 +1,130 @@
+// Calibrator tests -- the paper's future-work cross-profiling path.
+#include <gtest/gtest.h>
+
+#include "sim/sim.hpp"
+#include "sysc/sysc.hpp"
+
+namespace rtk::sim {
+namespace {
+
+using sysc::Time;
+
+TEST(Calibrator, NoSamplesMeansIdentity) {
+    Calibrator c;
+    EXPECT_DOUBLE_EQ(c.time_scale(ExecContext::task), 1.0);
+    EXPECT_DOUBLE_EQ(c.energy_scale(ExecContext::task), 1.0);
+    EXPECT_EQ(c.time_samples(ExecContext::task), 0u);
+}
+
+TEST(Calibrator, ExactScaleRecovered) {
+    // Reference platform is consistently 1.5x slower than the model.
+    Calibrator c;
+    for (int i = 1; i <= 10; ++i) {
+        const auto modeled = Time::us(static_cast<std::uint64_t>(100 * i));
+        c.add_time_sample(ExecContext::task, modeled, modeled * 3 / 2);
+    }
+    EXPECT_NEAR(c.time_scale(ExecContext::task), 1.5, 1e-9);
+    EXPECT_NEAR(c.time_error_before(ExecContext::task), 1.0 / 3.0, 1e-9);
+    EXPECT_NEAR(c.time_error_after(ExecContext::task), 0.0, 1e-9);
+}
+
+TEST(Calibrator, NoisyScaleIsLeastSquares) {
+    Calibrator c;
+    // Reference = 2x modeled +- noise; fit should land close to 2.
+    const double noise[] = {0.95, 1.05, 0.9, 1.1, 1.0};
+    for (int i = 0; i < 5; ++i) {
+        const double m = 100.0 * (i + 1);
+        c.add_time_sample(ExecContext::service_call,
+                          Time::ps(static_cast<std::uint64_t>(m * 1e6)),
+                          Time::ps(static_cast<std::uint64_t>(m * 2.0 * noise[i] * 1e6)));
+    }
+    EXPECT_NEAR(c.time_scale(ExecContext::service_call), 2.0, 0.1);
+    // Residual error after calibration is below the raw error.
+    EXPECT_LT(c.time_error_after(ExecContext::service_call),
+              c.time_error_before(ExecContext::service_call));
+}
+
+TEST(Calibrator, PerContextIndependence) {
+    Calibrator c;
+    c.add_time_sample(ExecContext::task, Time::us(100), Time::us(200));
+    c.add_time_sample(ExecContext::handler, Time::us(100), Time::us(50));
+    EXPECT_NEAR(c.time_scale(ExecContext::task), 2.0, 1e-9);
+    EXPECT_NEAR(c.time_scale(ExecContext::handler), 0.5, 1e-9);
+    EXPECT_DOUBLE_EQ(c.time_scale(ExecContext::bfm_access), 1.0);
+}
+
+TEST(Calibrator, DegenerateSamplesIgnored) {
+    Calibrator c;
+    c.add_time_sample(ExecContext::task, Time::zero(), Time::us(10));
+    c.add_time_sample(ExecContext::task, Time::us(10), Time::zero());
+    EXPECT_EQ(c.time_samples(ExecContext::task), 0u);
+    EXPECT_DOUBLE_EQ(c.time_scale(ExecContext::task), 1.0);
+}
+
+TEST(Calibrator, ApplyRewritesCostTable) {
+    Calibrator c;
+    c.add_time_sample(ExecContext::task, Time::us(100), Time::us(300));
+    c.add_energy_sample(ExecContext::task, 100.0, 50.0);
+    CostTable table;
+    const auto before = table.at(ExecContext::task);
+    c.apply(table);
+    const auto& after = table.at(ExecContext::task);
+    EXPECT_EQ(after.time_per_unit, before.time_per_unit * 3);
+    EXPECT_NEAR(after.energy_per_unit_nj, before.energy_per_unit_nj * 0.5, 1e-9);
+    // Untouched contexts stay identical.
+    EXPECT_EQ(table.at(ExecContext::handler).time_per_unit,
+              CostTable{}.at(ExecContext::handler).time_per_unit);
+}
+
+TEST(Calibrator, ReportNamesCalibratedContexts) {
+    Calibrator c;
+    c.add_time_sample(ExecContext::bfm_access, Time::us(10), Time::us(20));
+    const std::string rep = c.report();
+    EXPECT_NE(rep.find("bfm"), std::string::npos);
+    EXPECT_NE(rep.find("x2.000"), std::string::npos);
+}
+
+TEST(Calibrator, ResetClears) {
+    Calibrator c;
+    c.add_time_sample(ExecContext::task, Time::us(1), Time::us(2));
+    c.reset();
+    EXPECT_EQ(c.time_samples(ExecContext::task), 0u);
+    EXPECT_DOUBLE_EQ(c.time_scale(ExecContext::task), 1.0);
+}
+
+TEST(Calibrator, EndToEndAccuracyImprovement) {
+    // "Reference platform": same workload with a cost table whose task
+    // context is 1.8x slower. Calibrate the fast model against it and
+    // check the simulated CET converges to the reference.
+    auto run_workload = [](const CostTable& costs) {
+        sysc::Kernel k;
+        PriorityPreemptiveScheduler sched;
+        SimApi api(sched);
+        api.costs() = costs;
+        auto& t = api.SIM_CreateThread("w", ThreadKind::task, 5, [&api] {
+            api.SIM_WaitUnits(5000, ExecContext::task);
+        });
+        api.SIM_StartThread(t);
+        k.run();
+        return t.token().cet();
+    };
+
+    CostTable model;                    // default: 1 us/unit
+    CostTable reference = model;
+    reference.at(ExecContext::task).time_per_unit = sysc::Time::ps(1'800'000);
+
+    const Time modeled = run_workload(model);
+    const Time ref = run_workload(reference);
+    EXPECT_LT(modeled, ref);
+
+    Calibrator c;
+    c.add_time_sample(ExecContext::task, modeled, ref);
+    c.apply(model);
+    const Time calibrated = run_workload(model);
+    // Within 0.1% of the reference after one calibration round.
+    const double err = std::abs(calibrated.to_sec() - ref.to_sec()) / ref.to_sec();
+    EXPECT_LT(err, 1e-3);
+}
+
+}  // namespace
+}  // namespace rtk::sim

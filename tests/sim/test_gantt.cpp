@@ -1,0 +1,117 @@
+// Gantt recorder tests (the Fig 6 data source).
+#include <gtest/gtest.h>
+
+#include "sim/sim.hpp"
+#include "sysc/sysc.hpp"
+
+namespace rtk::sim {
+namespace {
+
+using sysc::Time;
+
+TEST(GanttRecorder, MergesAdjacentSlices) {
+    sysc::Kernel k;
+    GanttRecorder g;
+    g.add_slice(1, "t", ExecContext::task, Time::ms(0), Time::ms(1), 10.0);
+    g.add_slice(1, "t", ExecContext::task, Time::ms(1), Time::ms(2), 10.0);
+    ASSERT_EQ(g.segments().size(), 1u);
+    EXPECT_EQ(g.segments()[0].end, Time::ms(2));
+    EXPECT_NEAR(g.segments()[0].energy_nj, 20.0, 1e-9);
+}
+
+TEST(GanttRecorder, DoesNotMergeAcrossContexts) {
+    sysc::Kernel k;
+    GanttRecorder g;
+    g.add_slice(1, "t", ExecContext::task, Time::ms(0), Time::ms(1), 1.0);
+    g.add_slice(1, "t", ExecContext::service_call, Time::ms(1), Time::ms(2), 1.0);
+    EXPECT_EQ(g.segments().size(), 2u);
+}
+
+TEST(GanttRecorder, DoesNotMergeAcrossGaps) {
+    sysc::Kernel k;
+    GanttRecorder g;
+    g.add_slice(1, "t", ExecContext::task, Time::ms(0), Time::ms(1), 1.0);
+    g.add_slice(1, "t", ExecContext::task, Time::ms(2), Time::ms(3), 1.0);
+    EXPECT_EQ(g.segments().size(), 2u);
+}
+
+TEST(GanttRecorder, BusyTimePerThread) {
+    sysc::Kernel k;
+    GanttRecorder g;
+    g.add_slice(1, "a", ExecContext::task, Time::ms(0), Time::ms(2), 0);
+    g.add_slice(2, "b", ExecContext::task, Time::ms(2), Time::ms(3), 0);
+    EXPECT_EQ(g.busy_time(1), Time::ms(2));
+    EXPECT_EQ(g.busy_time(2), Time::ms(1));
+    EXPECT_EQ(g.total_busy_time(), Time::ms(3));
+}
+
+TEST(GanttRecorder, AsciiRenderingShowsContextGlyphs) {
+    sysc::Kernel k;
+    GanttRecorder g;
+    g.add_slice(1, "taskA", ExecContext::task, Time::ms(0), Time::ms(2), 0);
+    g.add_slice(1, "taskA", ExecContext::bfm_access, Time::ms(2), Time::ms(3), 0);
+    g.add_slice(2, "isr", ExecContext::handler, Time::ms(3), Time::ms(4), 0);
+    const std::string chart = g.render_ascii(Time::zero(), Time::ms(4), Time::ms(1));
+    EXPECT_NE(chart.find("taskA"), std::string::npos);
+    EXPECT_NE(chart.find("##B."), std::string::npos);
+    EXPECT_NE(chart.find("...H"), std::string::npos);
+}
+
+TEST(GanttRecorder, CsvExport) {
+    sysc::Kernel k;
+    GanttRecorder g;
+    g.add_slice(1, "t", ExecContext::task, Time::ms(0), Time::ms(1), 42.0);
+    const std::string csv = g.to_csv();
+    EXPECT_NE(csv.find("tid,name,context,start_ps,end_ps,energy_nj"),
+              std::string::npos);
+    EXPECT_NE(csv.find("1,t,task,0,1000000000,42"), std::string::npos);
+}
+
+TEST(GanttRecorder, MarkersCounted) {
+    sysc::Kernel k;
+    GanttRecorder g;
+    g.add_marker(GanttRecorder::MarkerKind::dispatch, 1, Time::ms(1));
+    g.add_marker(GanttRecorder::MarkerKind::dispatch, 2, Time::ms(2));
+    g.add_marker(GanttRecorder::MarkerKind::preemption, 1, Time::ms(3));
+    EXPECT_EQ(g.marker_count(GanttRecorder::MarkerKind::dispatch), 2u);
+    EXPECT_EQ(g.marker_count(GanttRecorder::MarkerKind::preemption), 1u);
+    EXPECT_EQ(g.marker_count(GanttRecorder::MarkerKind::sleep), 0u);
+}
+
+TEST(GanttRecorder, DisabledRecorderIgnoresInput) {
+    sysc::Kernel k;
+    GanttRecorder g;
+    g.set_enabled(false);
+    g.add_slice(1, "t", ExecContext::task, Time::ms(0), Time::ms(1), 1.0);
+    g.add_marker(GanttRecorder::MarkerKind::dispatch, 1, Time::ms(1));
+    EXPECT_TRUE(g.segments().empty());
+    EXPECT_TRUE(g.markers().empty());
+}
+
+TEST(GanttRecorder, ClearResets) {
+    sysc::Kernel k;
+    GanttRecorder g;
+    g.add_slice(1, "t", ExecContext::task, Time::ms(0), Time::ms(1), 1.0);
+    g.clear();
+    EXPECT_TRUE(g.segments().empty());
+}
+
+TEST(GanttRecorder, EndToEndFromSimApi) {
+    sysc::Kernel k;
+    PriorityPreemptiveScheduler sched;
+    SimApi api(sched);
+    TThread& t = api.SIM_CreateThread("worker", ThreadKind::task, 5, [&] {
+        api.SIM_Wait(Time::ms(2), ExecContext::task);
+        api.SIM_Wait(Time::ms(1), ExecContext::bfm_access);
+    });
+    api.SIM_StartThread(t);
+    k.run();
+    const auto& segs = api.gantt().segments();
+    ASSERT_GE(segs.size(), 2u);
+    EXPECT_EQ(api.gantt().busy_time(t.id()), Time::ms(3));
+    EXPECT_EQ(api.gantt().marker_count(GanttRecorder::MarkerKind::dispatch), 1u);
+    EXPECT_EQ(api.gantt().marker_count(GanttRecorder::MarkerKind::exit), 1u);
+}
+
+}  // namespace
+}  // namespace rtk::sim

@@ -1,0 +1,226 @@
+// Interrupt semantics: delivery at preemption points, SIM_Stack nesting,
+// delayed dispatching, tail-chaining, pending-activation latching.
+#include <gtest/gtest.h>
+
+#include "sim/sim.hpp"
+#include "sysc/sysc.hpp"
+
+namespace rtk::sim {
+namespace {
+
+using sysc::Time;
+
+class InterruptTest : public ::testing::Test {
+protected:
+    sysc::Kernel k;
+    PriorityPreemptiveScheduler sched;
+    SimApi api{sched};
+
+    TThread& make_isr(const std::string& name, Priority prio, TThread::Entry body) {
+        return api.SIM_CreateThread(name, ThreadKind::interrupt_handler, prio,
+                                    std::move(body));
+    }
+};
+
+TEST_F(InterruptTest, IdleCpuRunsIsrImmediately) {
+    Time ran_at;
+    TThread& isr = make_isr("isr", -10, [&] { ran_at = sysc::now(); });
+    k.spawn("driver", [&] {
+        sysc::wait(Time::ms(2) + Time::us(300));
+        api.SIM_RaiseInterrupt(isr);
+    });
+    k.run();
+    EXPECT_EQ(ran_at, Time::ms(2) + Time::us(300));  // no quantum wait on idle
+    EXPECT_EQ(isr.token().firings(RunEvent::startup), 1u);
+}
+
+TEST_F(InterruptTest, RunningTaskInterruptedAtQuantumBoundary) {
+    Time isr_at;
+    TThread& task = api.SIM_CreateThread("task", ThreadKind::task, 5, [&] {
+        api.SIM_Wait(Time::ms(5), ExecContext::task);
+    });
+    TThread& isr = make_isr("isr", -10, [&] {
+        isr_at = sysc::now();
+        api.SIM_Wait(Time::us(100), ExecContext::handler);
+    });
+    api.SIM_StartThread(task);
+    k.spawn("driver", [&] {
+        sysc::wait(Time::ms(1) + Time::us(500));
+        api.SIM_RaiseInterrupt(isr);
+    });
+    k.run();
+    EXPECT_EQ(isr_at, Time::ms(2));  // next boundary after 1.5 ms
+    EXPECT_EQ(task.times_interrupted(), 1u);
+    EXPECT_EQ(task.token().firings(RunEvent::return_from_interrupt), 1u);
+    // Task still completes its full 5 ms of work.
+    EXPECT_EQ(task.token().cet(), Time::ms(5));
+}
+
+TEST_F(InterruptTest, NestedInterruptsStackAndReturnInOrder) {
+    std::vector<std::string> log;
+    TThread& lo_isr = make_isr("lo_isr", -10, [&] {
+        log.push_back("lo_enter");
+        api.SIM_Wait(Time::ms(2), ExecContext::handler);
+        log.push_back("lo_exit");
+    });
+    TThread& hi_isr = make_isr("hi_isr", -20, [&] {
+        log.push_back("hi_enter");
+        api.SIM_Wait(Time::us(200), ExecContext::handler);
+        log.push_back("hi_exit");
+    });
+    TThread& task = api.SIM_CreateThread("task", ThreadKind::task, 5, [&] {
+        api.SIM_Wait(Time::ms(6), ExecContext::task);
+    });
+    api.SIM_StartThread(task);
+    k.spawn("driver", [&] {
+        sysc::wait(Time::us(500));
+        api.SIM_RaiseInterrupt(lo_isr);  // delivered at 1 ms
+        sysc::wait(Time::ms(1));         // now 1.5 ms: lo_isr running
+        api.SIM_RaiseInterrupt(hi_isr);  // nests at lo's next quantum point
+    });
+    k.run();
+    ASSERT_EQ(log.size(), 4u);
+    EXPECT_EQ(log[0], "lo_enter");
+    EXPECT_EQ(log[1], "hi_enter");
+    EXPECT_EQ(log[2], "hi_exit");
+    EXPECT_EQ(log[3], "lo_exit");
+    EXPECT_EQ(api.interrupt_stack().high_water_mark(), 2u);
+    EXPECT_EQ(lo_isr.times_interrupted(), 1u);
+}
+
+TEST_F(InterruptTest, LowerPriorityIrqDoesNotNest) {
+    std::vector<std::string> log;
+    TThread& hi_isr = make_isr("hi_isr", -20, [&] {
+        log.push_back("hi_enter");
+        api.SIM_Wait(Time::ms(2), ExecContext::handler);
+        log.push_back("hi_exit");
+    });
+    TThread& lo_isr = make_isr("lo_isr", -10, [&] {
+        log.push_back("lo");
+    });
+    k.spawn("driver", [&] {
+        api.SIM_RaiseInterrupt(hi_isr);
+        sysc::wait(Time::us(500));
+        api.SIM_RaiseInterrupt(lo_isr);  // must wait for hi to finish
+    });
+    k.run();
+    ASSERT_EQ(log.size(), 3u);
+    EXPECT_EQ(log[1], "hi_exit");
+    EXPECT_EQ(log[2], "lo");
+}
+
+TEST_F(InterruptTest, DelayedDispatchingPostponesPreemption) {
+    // ISR wakes a high-priority task; the switch happens only after the
+    // handler returns (paper footnote 1).
+    Time hi_started;
+    Time isr_done;
+    TThread& lo = api.SIM_CreateThread("lo", ThreadKind::task, 10, [&] {
+        api.SIM_Wait(Time::ms(5), ExecContext::task);
+    });
+    TThread& hi = api.SIM_CreateThread("hi", ThreadKind::task, 1, [&] {
+        hi_started = sysc::now();
+    });
+    TThread& isr = make_isr("isr", -10, [&] {
+        api.SIM_Wait(Time::us(400), ExecContext::handler);
+        hi.sleep_event();  // no-op observation
+        api.SIM_StartThread(hi);
+        api.SIM_Wait(Time::us(300), ExecContext::handler);
+        isr_done = sysc::now();
+    });
+    api.SIM_StartThread(lo);
+    k.spawn("driver", [&] {
+        sysc::wait(Time::us(500));
+        api.SIM_RaiseInterrupt(isr);
+    });
+    k.run();
+    // ISR runs 1 ms..1.7 ms; hi must start exactly at handler return.
+    EXPECT_EQ(isr_done, Time::ms(1) + Time::us(700));
+    EXPECT_EQ(hi_started, isr_done);
+    EXPECT_EQ(lo.preemption_count(), 1u);
+}
+
+TEST_F(InterruptTest, PendingActivationLatchedWhileActive) {
+    int runs = 0;
+    TThread& isr = make_isr("isr", -10, [&] {
+        ++runs;
+        api.SIM_Wait(Time::ms(1), ExecContext::handler);
+    });
+    k.spawn("driver", [&] {
+        api.SIM_RaiseInterrupt(isr);
+        sysc::wait(Time::us(100));
+        api.SIM_RaiseInterrupt(isr);  // latched (pending bit)
+        api.SIM_RaiseInterrupt(isr);  // overrun
+    });
+    k.run();
+    EXPECT_EQ(runs, 2);  // original + one latched activation
+    EXPECT_EQ(isr.activation_overruns(), 1u);
+}
+
+TEST_F(InterruptTest, TailChainingRunsPendingBeforeReturn) {
+    std::vector<std::string> log;
+    TThread& a = make_isr("a", -10, [&] {
+        log.push_back("a");
+        api.SIM_Wait(Time::ms(1), ExecContext::handler);
+    });
+    TThread& b = make_isr("b", -11, [&] { log.push_back("b"); });
+    TThread& task = api.SIM_CreateThread("task", ThreadKind::task, 5, [&] {
+        api.SIM_Wait(Time::ms(4), ExecContext::task);
+        log.push_back("task_done");
+    });
+    api.SIM_StartThread(task);
+    k.spawn("driver", [&] {
+        sysc::wait(Time::us(500));
+        api.SIM_RaiseInterrupt(a);
+        sysc::wait(Time::ms(1));  // while a runs (1..2ms), raise b (lower prio number = higher)
+        api.SIM_RaiseInterrupt(b);
+    });
+    k.run();
+    // b nests into a (priority -11 < -10).
+    ASSERT_GE(log.size(), 3u);
+    EXPECT_EQ(log[0], "a");
+    EXPECT_EQ(log[1], "b");
+    EXPECT_EQ(log.back(), "task_done");
+}
+
+TEST_F(InterruptTest, HandlerCannotSleep) {
+    TThread& isr = make_isr("isr", -10, [&] { api.SIM_Sleep(); });
+    k.spawn("driver", [&] { api.SIM_RaiseInterrupt(isr); });
+    EXPECT_THROW(k.run(), sysc::SimError);
+}
+
+TEST_F(InterruptTest, RaiseOnTaskThreadIsFatal) {
+    TThread& t = api.SIM_CreateThread("t", ThreadKind::task, 5, [] {});
+    EXPECT_THROW(api.SIM_RaiseInterrupt(t), sysc::SimError);
+}
+
+TEST_F(InterruptTest, InterruptDuringServiceCallWaitsForExit) {
+    Time isr_at;
+    TThread& task = api.SIM_CreateThread("task", ThreadKind::task, 5, [&] {
+        SimApi::ServiceGuard svc(api);
+        api.SIM_Wait(Time::ms(3), ExecContext::service_call);
+    });
+    TThread& isr = make_isr("isr", -10, [&] { isr_at = sysc::now(); });
+    api.SIM_StartThread(task);
+    k.spawn("driver", [&] {
+        sysc::wait(Time::us(100));
+        api.SIM_RaiseInterrupt(isr);
+    });
+    k.run();
+    EXPECT_EQ(isr_at, Time::ms(3));  // service call atomicity
+}
+
+TEST_F(InterruptTest, InterruptCountersTrack) {
+    TThread& isr = make_isr("isr", -10, [] {});
+    k.spawn("driver", [&] {
+        for (int i = 0; i < 3; ++i) {
+            api.SIM_RaiseInterrupt(isr);
+            sysc::wait(Time::ms(1));
+        }
+    });
+    k.run();
+    EXPECT_EQ(api.total_interrupt_deliveries(), 3u);
+    EXPECT_EQ(isr.token().cycles(), 3u);
+}
+
+}  // namespace
+}  // namespace rtk::sim

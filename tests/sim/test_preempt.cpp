@@ -1,0 +1,235 @@
+// Preemption semantics: quantum-boundary preemption points, service-call
+// atomicity, dispatch disabling, suspension (paper §4).
+#include <gtest/gtest.h>
+
+#include "sim/sim.hpp"
+#include "sysc/sysc.hpp"
+
+namespace rtk::sim {
+namespace {
+
+using sysc::Time;
+
+class PreemptTest : public ::testing::Test {
+protected:
+    sysc::Kernel k;
+    PriorityPreemptiveScheduler sched;
+    SimApi api{sched};
+};
+
+TEST_F(PreemptTest, HigherPriorityPreemptsAtQuantumBoundary) {
+    Time hi_started;
+    TThread& lo = api.SIM_CreateThread("lo", ThreadKind::task, 10, [&] {
+        api.SIM_Wait(Time::ms(10), ExecContext::task);
+    });
+    TThread& hi = api.SIM_CreateThread("hi", ThreadKind::task, 1, [&] {
+        hi_started = sysc::now();
+        api.SIM_Wait(Time::ms(1), ExecContext::task);
+    });
+    api.SIM_StartThread(lo);
+    k.spawn("driver", [&] {
+        sysc::wait(Time::us(300));  // mid-quantum
+        api.SIM_StartThread(hi);
+    });
+    k.run();
+    // Preemption lands on the next 1 ms boundary, not at 300 us.
+    EXPECT_EQ(hi_started, Time::ms(1));
+    EXPECT_EQ(lo.preemption_count(), 1u);
+    EXPECT_EQ(lo.token().firings(RunEvent::return_from_preemption), 1u);
+}
+
+TEST_F(PreemptTest, EqualPriorityDoesNotPreempt) {
+    TThread& a = api.SIM_CreateThread("a", ThreadKind::task, 5, [&] {
+        api.SIM_Wait(Time::ms(5), ExecContext::task);
+    });
+    TThread& b = api.SIM_CreateThread("b", ThreadKind::task, 5, [&] {
+        api.SIM_Wait(Time::ms(5), ExecContext::task);
+    });
+    api.SIM_StartThread(a);
+    api.SIM_StartThread(b);
+    k.run();
+    EXPECT_EQ(a.preemption_count(), 0u);
+    // b runs only after a completes.
+    EXPECT_EQ(b.token().cet(), Time::ms(5));
+    EXPECT_EQ(api.total_dispatches(), 2u);
+}
+
+TEST_F(PreemptTest, PreemptedWorkResumesAndCompletes) {
+    TThread& lo = api.SIM_CreateThread("lo", ThreadKind::task, 10, [&] {
+        api.SIM_Wait(Time::ms(4), ExecContext::task);
+    });
+    TThread& hi = api.SIM_CreateThread("hi", ThreadKind::task, 1, [&] {
+        api.SIM_Wait(Time::ms(2), ExecContext::task);
+    });
+    api.SIM_StartThread(lo);
+    k.spawn("driver", [&] {
+        sysc::wait(Time::ms(1));
+        api.SIM_StartThread(hi);
+    });
+    k.run();
+    EXPECT_EQ(lo.token().cet(), Time::ms(4));
+    EXPECT_EQ(hi.token().cet(), Time::ms(2));
+    // lo: 0-1, preempted 1-3 (hi), resumes 3-6.
+    EXPECT_EQ(k.now(), Time::ms(6));
+}
+
+TEST_F(PreemptTest, ServiceCallAtomicityDefersPreemption) {
+    Time hi_started;
+    TThread& lo = api.SIM_CreateThread("lo", ThreadKind::task, 10, [&] {
+        SimApi::ServiceGuard svc(api);
+        api.SIM_Wait(Time::ms(3), ExecContext::service_call);
+    });
+    TThread& hi = api.SIM_CreateThread("hi", ThreadKind::task, 1, [&] {
+        hi_started = sysc::now();
+    });
+    api.SIM_StartThread(lo);
+    k.spawn("driver", [&] {
+        sysc::wait(Time::us(100));
+        api.SIM_StartThread(hi);
+    });
+    k.run();
+    // The whole service call executes with continuity.
+    EXPECT_EQ(hi_started, Time::ms(3));
+}
+
+TEST_F(PreemptTest, AtomicityOffAllowsMidServicePreemption) {
+    SimApi::Config cfg;
+    cfg.service_call_atomicity = false;
+    PriorityPreemptiveScheduler s2;
+    SimApi api2(s2, cfg);
+    Time hi_started;
+    TThread& lo = api2.SIM_CreateThread("lo", ThreadKind::task, 10, [&] {
+        SimApi::ServiceGuard svc(api2);
+        api2.SIM_Wait(Time::ms(3), ExecContext::service_call);
+    });
+    TThread& hi = api2.SIM_CreateThread("hi", ThreadKind::task, 1, [&] {
+        hi_started = sysc::now();
+    });
+    api2.SIM_StartThread(lo);
+    k.spawn("driver", [&] {
+        sysc::wait(Time::us(100));
+        api2.SIM_StartThread(hi);
+    });
+    k.run();
+    EXPECT_EQ(hi_started, Time::ms(1));  // next quantum boundary
+}
+
+TEST_F(PreemptTest, DispatchDisableDefersPreemption) {
+    Time hi_started;
+    TThread& lo = api.SIM_CreateThread("lo", ThreadKind::task, 10, [&] {
+        api.SIM_DisableDispatch();
+        api.SIM_Wait(Time::ms(3), ExecContext::task);
+        api.SIM_EnableDispatch();
+        api.SIM_Wait(Time::ms(2), ExecContext::task);
+    });
+    TThread& hi = api.SIM_CreateThread("hi", ThreadKind::task, 1, [&] {
+        hi_started = sysc::now();
+    });
+    api.SIM_StartThread(lo);
+    k.spawn("driver", [&] {
+        sysc::wait(Time::ms(1));
+        api.SIM_StartThread(hi);
+    });
+    k.run();
+    EXPECT_EQ(hi_started, Time::ms(3));  // at SIM_EnableDispatch
+    EXPECT_EQ(lo.token().cet(), Time::ms(5));
+}
+
+TEST_F(PreemptTest, SuspendResumeRoundTrip) {
+    TThread& t = api.SIM_CreateThread("t", ThreadKind::task, 5, [&] {
+        api.SIM_Wait(Time::ms(10), ExecContext::task);
+    });
+    api.SIM_StartThread(t);
+    k.spawn("driver", [&] {
+        sysc::wait(Time::ms(2));
+        api.SIM_Suspend(t);  // takes effect at next preemption point
+        sysc::wait(Time::ms(3));
+        EXPECT_EQ(t.state(), ThreadState::suspended);
+        api.SIM_Resume(t);
+    });
+    k.run();
+    EXPECT_EQ(t.token().cet(), Time::ms(10));
+    EXPECT_EQ(t.state(), ThreadState::dormant);
+}
+
+TEST_F(PreemptTest, NestedSuspendCounts) {
+    TThread& t = api.SIM_CreateThread("t", ThreadKind::task, 5, [&] {
+        api.SIM_Sleep();
+    });
+    api.SIM_StartThread(t);
+    k.run_until(Time::ms(1));
+    api.SIM_Suspend(t);
+    api.SIM_Suspend(t);
+    EXPECT_EQ(t.state(), ThreadState::waiting_suspended);
+    EXPECT_EQ(t.suspend_count(), 2u);
+    api.SIM_Resume(t);
+    EXPECT_EQ(t.state(), ThreadState::waiting_suspended);
+    api.SIM_Resume(t);
+    EXPECT_EQ(t.state(), ThreadState::waiting);
+}
+
+TEST_F(PreemptTest, WakeWhileSuspendedYieldsSuspended) {
+    TThread& t = api.SIM_CreateThread("t", ThreadKind::task, 5, [&] {
+        api.SIM_Sleep();
+    });
+    api.SIM_StartThread(t);
+    k.run_until(Time::ms(1));
+    api.SIM_Suspend(t);
+    api.SIM_WakeUp(t);
+    EXPECT_EQ(t.state(), ThreadState::suspended);
+    api.SIM_Resume(t);
+    k.run_for(Time::ms(1));
+    EXPECT_EQ(t.state(), ThreadState::dormant);
+}
+
+TEST_F(PreemptTest, PriorityChangeTriggersPreemption) {
+    Time hi_done;
+    TThread& a = api.SIM_CreateThread("a", ThreadKind::task, 5, [&] {
+        api.SIM_Wait(Time::ms(6), ExecContext::task);
+    });
+    TThread& b = api.SIM_CreateThread("b", ThreadKind::task, 6, [&] {
+        api.SIM_Wait(Time::ms(1), ExecContext::task);
+        hi_done = sysc::now();
+    });
+    api.SIM_StartThread(a);
+    api.SIM_StartThread(b);
+    k.spawn("driver", [&] {
+        sysc::wait(Time::ms(2));
+        api.SIM_ChangePriority(b, 1);  // b now outranks a
+    });
+    k.run();
+    EXPECT_EQ(hi_done, Time::ms(3));
+    EXPECT_EQ(a.preemption_count(), 1u);
+}
+
+TEST_F(PreemptTest, RotateReadyQueueRoundRobins) {
+    std::vector<std::string> order;
+    auto body = [&](const char* name) {
+        return [&order, name, this] {
+            api.SIM_Wait(Time::ms(1), ExecContext::task);
+            order.push_back(name);
+        };
+    };
+    TThread& a = api.SIM_CreateThread("a", ThreadKind::task, 5, body("a"));
+    TThread& b = api.SIM_CreateThread("b", ThreadKind::task, 5, body("b"));
+    TThread& c = api.SIM_CreateThread("c", ThreadKind::task, 5, body("c"));
+    api.SIM_StartThread(a);
+    api.SIM_StartThread(b);
+    api.SIM_StartThread(c);
+    // a runs; rotate moves b behind c in the ready queue.
+    api.SIM_RotateReadyQueue(5);
+    k.run();
+    EXPECT_EQ(order, (std::vector<std::string>{"a", "c", "b"}));
+}
+
+TEST_F(PreemptTest, IdleTimeIsAccounted) {
+    TThread& t = api.SIM_CreateThread("t", ThreadKind::task, 5, [&] {
+        api.SIM_Wait(Time::ms(2), ExecContext::task);
+    });
+    api.SIM_StartThread(t);
+    k.run_until(Time::ms(10));
+    EXPECT_EQ(api.idle_time(), Time::ms(8));
+}
+
+}  // namespace
+}  // namespace rtk::sim

@@ -1,0 +1,147 @@
+// Scheduler policy tests (external schedulers of SIM_API).
+#include <gtest/gtest.h>
+
+#include "sim/sim.hpp"
+#include "sysc/sysc.hpp"
+
+namespace rtk::sim {
+namespace {
+
+using sysc::Time;
+
+class SchedulerPolicyTest : public ::testing::Test {
+protected:
+    sysc::Kernel k;
+};
+
+TEST_F(SchedulerPolicyTest, PrioritySchedulerPicksHighestFirst) {
+    PriorityPreemptiveScheduler s;
+    SimApi api(s);
+    std::vector<std::string> order;
+    auto mk = [&](const char* name, Priority p) -> TThread& {
+        return api.SIM_CreateThread(name, ThreadKind::task, p,
+                                    [&order, name] { order.push_back(name); });
+    };
+    TThread& a = mk("a", 30);
+    TThread& b = mk("b", 10);
+    TThread& c = mk("c", 20);
+    api.SIM_DisableDispatch();
+    api.SIM_StartThread(a);
+    api.SIM_StartThread(b);
+    api.SIM_StartThread(c);
+    api.SIM_EnableDispatch();
+    k.run();
+    EXPECT_EQ(order, (std::vector<std::string>{"b", "c", "a"}));
+}
+
+TEST_F(SchedulerPolicyTest, FifoWithinPriority) {
+    PriorityPreemptiveScheduler s;
+    SimApi api(s);
+    std::vector<std::string> order;
+    auto mk = [&](const char* name) -> TThread& {
+        return api.SIM_CreateThread(name, ThreadKind::task, 5,
+                                    [&order, name] { order.push_back(name); });
+    };
+    TThread& a = mk("x");
+    TThread& b = mk("y");
+    TThread& c = mk("z");
+    api.SIM_DisableDispatch();
+    api.SIM_StartThread(a);
+    api.SIM_StartThread(b);
+    api.SIM_StartThread(c);
+    api.SIM_EnableDispatch();
+    k.run();
+    EXPECT_EQ(order, (std::vector<std::string>{"x", "y", "z"}));
+}
+
+TEST_F(SchedulerPolicyTest, ReadySnapshotAndCounts) {
+    PriorityPreemptiveScheduler s;
+    SimApi api(s);
+    TThread& a = api.SIM_CreateThread("a", ThreadKind::task, 5, [] {});
+    TThread& b = api.SIM_CreateThread("b", ThreadKind::task, 3, [] {});
+    api.SIM_DisableDispatch();
+    api.SIM_StartThread(a);
+    api.SIM_StartThread(b);
+    EXPECT_EQ(s.ready_count(), 2u);
+    auto snap = s.ready_snapshot();
+    ASSERT_EQ(snap.size(), 2u);
+    EXPECT_EQ(snap[0], &b);  // higher priority first
+    EXPECT_EQ(snap[1], &a);
+    api.SIM_EnableDispatch();
+    k.run();
+    EXPECT_EQ(s.ready_count(), 0u);
+}
+
+TEST_F(SchedulerPolicyTest, RemoveTakesThreadOutOfReadyQueue) {
+    PriorityPreemptiveScheduler s;
+    TThread* dummy = nullptr;
+    SimApi api(s);
+    TThread& a = api.SIM_CreateThread("a", ThreadKind::task, 5, [] {});
+    (void)dummy;
+    api.SIM_DisableDispatch();
+    api.SIM_StartThread(a);
+    EXPECT_EQ(s.ready_count(), 1u);
+    s.remove(a);
+    EXPECT_EQ(s.ready_count(), 0u);
+    EXPECT_EQ(s.pick(), nullptr);
+}
+
+TEST_F(SchedulerPolicyTest, RoundRobinIsFifoAcrossPriorities) {
+    RoundRobinScheduler s;
+    SimApi api(s);
+    std::vector<std::string> order;
+    auto mk = [&](const char* name, Priority p) -> TThread& {
+        return api.SIM_CreateThread(name, ThreadKind::task, p,
+                                    [&order, name] { order.push_back(name); });
+    };
+    TThread& a = mk("a", 30);  // priorities ignored
+    TThread& b = mk("b", 1);
+    api.SIM_DisableDispatch();
+    api.SIM_StartThread(a);
+    api.SIM_StartThread(b);
+    api.SIM_EnableDispatch();
+    k.run();
+    EXPECT_EQ(order, (std::vector<std::string>{"a", "b"}));
+    EXPECT_FALSE(s.should_preempt(a));
+}
+
+TEST_F(SchedulerPolicyTest, PolicyNames) {
+    EXPECT_EQ(PriorityPreemptiveScheduler{}.policy_name(), "priority-preemptive");
+    EXPECT_EQ(RoundRobinScheduler{}.policy_name(), "round-robin");
+}
+
+// Property sweep: with N tasks of random-ish priorities, the priority
+// scheduler always runs them in non-decreasing priority order.
+class PriorityOrderSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PriorityOrderSweep, TasksCompleteInPriorityOrder) {
+    sysc::Kernel k;
+    PriorityPreemptiveScheduler s;
+    SimApi api(s);
+    const int n = GetParam();
+    std::vector<Priority> done_order;
+    std::vector<TThread*> threads;
+    for (int i = 0; i < n; ++i) {
+        const Priority p = 1 + (i * 7 + 3) % 50;  // deterministic pseudo-random
+        threads.push_back(&api.SIM_CreateThread(
+            "t" + std::to_string(i), ThreadKind::task, p, [&done_order, p, &api] {
+                api.SIM_Wait(Time::us(100), ExecContext::task);
+                done_order.push_back(p);
+            }));
+    }
+    api.SIM_DisableDispatch();
+    for (auto* t : threads) {
+        api.SIM_StartThread(*t);
+    }
+    api.SIM_EnableDispatch();
+    k.run();
+    ASSERT_EQ(done_order.size(), static_cast<std::size_t>(n));
+    for (std::size_t i = 1; i < done_order.size(); ++i) {
+        EXPECT_LE(done_order[i - 1], done_order[i]);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PriorityOrderSweep, ::testing::Values(2, 5, 13, 40));
+
+}  // namespace
+}  // namespace rtk::sim

@@ -1,0 +1,179 @@
+// SIM_API bookkeeping: hash table journal, interrupt stack, self(),
+// misuse diagnostics.
+#include <gtest/gtest.h>
+
+#include "sim/sim.hpp"
+#include "sysc/sysc.hpp"
+
+namespace rtk::sim {
+namespace {
+
+using sysc::Time;
+
+class SimApiTest : public ::testing::Test {
+protected:
+    sysc::Kernel k;
+    PriorityPreemptiveScheduler sched;
+    SimApi api{sched};
+};
+
+TEST_F(SimApiTest, HashTableJournalRecordsTransitions) {
+    TThread& t = api.SIM_CreateThread("t", ThreadKind::task, 5, [&] {
+        api.SIM_Wait(Time::ms(1), ExecContext::task);
+    });
+    api.SIM_StartThread(t);
+    k.run();
+    const auto& j = api.hash_table().journal();
+    ASSERT_GE(j.size(), 3u);
+    // dormant -> ready -> running -> dormant
+    EXPECT_EQ(j[0].from, ThreadState::dormant);
+    EXPECT_EQ(j[0].to, ThreadState::ready);
+    EXPECT_EQ(j[1].to, ThreadState::running);
+    EXPECT_EQ(j.back().to, ThreadState::dormant);
+    EXPECT_EQ(api.hash_table().total_transitions(), j.size());
+}
+
+TEST_F(SimApiTest, JournalIsBounded) {
+    api.SIM_CreateThread("t", ThreadKind::task, 5, [] {});
+    // Direct journal-limit check without running thousands of cycles.
+    auto& tb = const_cast<SimHashTB&>(api.hash_table());
+    tb.set_journal_limit(10);
+    for (int i = 0; i < 100; ++i) {
+        tb.update(1, i % 2 == 0 ? ThreadState::ready : ThreadState::dormant,
+                  Time::us(static_cast<std::uint64_t>(i)));
+    }
+    EXPECT_EQ(tb.journal().size(), 10u);
+    EXPECT_EQ(tb.total_transitions(), 100u);
+}
+
+TEST_F(SimApiTest, RecordTracksLastChange) {
+    TThread& t = api.SIM_CreateThread("t", ThreadKind::task, 5, [&] {
+        api.SIM_Wait(Time::ms(2), ExecContext::task);
+    });
+    api.SIM_StartThread(t);
+    k.run();
+    const auto* rec = api.hash_table().record(t.id());
+    ASSERT_NE(rec, nullptr);
+    EXPECT_EQ(rec->state, ThreadState::dormant);
+    EXPECT_EQ(rec->last_change, Time::ms(2));
+    EXPECT_GE(rec->change_count, 3u);
+}
+
+TEST_F(SimApiTest, SelfResolvesInsideThread) {
+    TThread* seen = nullptr;
+    TThread& t = api.SIM_CreateThread("t", ThreadKind::task, 5, [&] {
+        seen = &api.self();
+    });
+    api.SIM_StartThread(t);
+    k.run();
+    EXPECT_EQ(seen, &t);
+}
+
+TEST_F(SimApiTest, SelfOutsideThreadIsNull) {
+    EXPECT_EQ(api.self_or_null(), nullptr);
+    bool checked = false;
+    k.spawn("plain", [&] {
+        checked = (api.self_or_null() == nullptr);
+    });
+    k.run();
+    EXPECT_TRUE(checked);
+}
+
+TEST_F(SimApiTest, WaitOutsideThreadIsFatal) {
+    bool threw = false;
+    k.spawn("plain", [&] {
+        try {
+            api.SIM_Wait(Time::ms(1), ExecContext::task);
+        } catch (const sysc::SimError&) {
+            threw = true;
+        }
+    });
+    k.run();
+    EXPECT_TRUE(threw);
+}
+
+TEST_F(SimApiTest, ExitServiceWithoutEnterIsFatal) {
+    bool threw = false;
+    TThread& t = api.SIM_CreateThread("t", ThreadKind::task, 5, [&] {
+        try {
+            api.SIM_ExitService();
+        } catch (const sysc::SimError&) {
+            threw = true;
+        }
+    });
+    api.SIM_StartThread(t);
+    k.run();
+    EXPECT_TRUE(threw);
+}
+
+TEST_F(SimApiTest, InterruptStackStartsEmpty) {
+    EXPECT_TRUE(api.interrupt_stack().empty());
+    EXPECT_EQ(api.interrupt_stack().depth(), 0u);
+    EXPECT_EQ(api.interrupt_stack().top(), nullptr);
+    EXPECT_EQ(api.interrupt_stack().high_water_mark(), 0u);
+}
+
+TEST_F(SimApiTest, DispatchCostIsConsumedPerDispatch) {
+    SimApi::Config cfg;
+    cfg.dispatch_cost = Time::us(10);
+    cfg.dispatch_energy_nj = 100.0;
+    PriorityPreemptiveScheduler s2;
+    SimApi api2(s2, cfg);
+    TThread& t = api2.SIM_CreateThread("t", ThreadKind::task, 5, [&] {
+        api2.SIM_Wait(Time::ms(1), ExecContext::task);
+    });
+    api2.SIM_StartThread(t);
+    k.run();
+    EXPECT_EQ(t.token().cet(ExecContext::service_call), Time::us(10));
+    EXPECT_NEAR(t.token().cee_nj(ExecContext::service_call), 100.0, 1e-9);
+}
+
+TEST_F(SimApiTest, ZeroDurationWaitIsPreemptionPointOnly) {
+    TThread& t = api.SIM_CreateThread("t", ThreadKind::task, 5, [&] {
+        api.SIM_Wait(Time::zero(), ExecContext::task);
+    });
+    api.SIM_StartThread(t);
+    k.run();
+    EXPECT_EQ(t.token().cet(), Time::zero());
+    EXPECT_EQ(k.now(), Time::zero());
+}
+
+TEST_F(SimApiTest, GanttCanBeDisabled) {
+    SimApi::Config cfg;
+    cfg.record_gantt = false;
+    PriorityPreemptiveScheduler s2;
+    SimApi api2(s2, cfg);
+    TThread& t = api2.SIM_CreateThread("t", ThreadKind::task, 5, [&] {
+        api2.SIM_Wait(Time::ms(1), ExecContext::task);
+    });
+    api2.SIM_StartThread(t);
+    k.run();
+    EXPECT_TRUE(api2.gantt().segments().empty());
+    EXPECT_TRUE(api2.gantt().markers().empty());
+}
+
+TEST_F(SimApiTest, ThreadsListSortedById) {
+    api.SIM_CreateThread("a", ThreadKind::task, 5, [] {});
+    api.SIM_CreateThread("b", ThreadKind::task, 5, [] {});
+    api.SIM_CreateThread("c", ThreadKind::task, 5, [] {});
+    auto ts = api.threads();
+    ASSERT_EQ(ts.size(), 3u);
+    EXPECT_LT(ts[0]->id(), ts[1]->id());
+    EXPECT_LT(ts[1]->id(), ts[2]->id());
+}
+
+TEST_F(SimApiTest, TypeToStringCoverage) {
+    EXPECT_STREQ(to_string(RunEvent::startup), "Es");
+    EXPECT_STREQ(to_string(RunEvent::continue_run), "Ec");
+    EXPECT_STREQ(to_string(RunEvent::return_from_preemption), "Ex");
+    EXPECT_STREQ(to_string(RunEvent::return_from_interrupt), "Ei");
+    EXPECT_STREQ(to_string(RunEvent::sleep_event), "Ew");
+    EXPECT_STREQ(to_string(ThreadState::waiting_suspended), "WAITING-SUSPENDED");
+    EXPECT_STREQ(to_string(ThreadKind::cyclic_handler), "cyclic");
+    EXPECT_STREQ(to_string(ExecContext::bfm_access), "bfm");
+    EXPECT_EQ(gantt_glyph(ExecContext::task), '#');
+    EXPECT_EQ(gantt_glyph(ExecContext::service_call), 'o');
+}
+
+}  // namespace
+}  // namespace rtk::sim

@@ -1,0 +1,101 @@
+// Statistics and battery-model tests (the Fig 7 data source).
+#include <gtest/gtest.h>
+
+#include "sim/sim.hpp"
+#include "sysc/sysc.hpp"
+
+namespace rtk::sim {
+namespace {
+
+using sysc::Time;
+
+TEST(BatteryModel, CapacityConversion) {
+    BatteryModel b(10.0);  // 10 Wh = 36 kJ
+    EXPECT_DOUBLE_EQ(b.capacity_j(), 36000.0);
+}
+
+TEST(BatteryModel, LevelDrainsWithEnergy) {
+    BatteryModel b(10.0);
+    EXPECT_DOUBLE_EQ(b.level(0.0), 1.0);
+    // Half the capacity in nJ:
+    const double half_nj = 18000.0 * 1e9;
+    EXPECT_NEAR(b.level(half_nj), 0.5, 1e-9);
+    EXPECT_DOUBLE_EQ(b.level(1e30), 0.0);  // clamps at empty
+}
+
+TEST(BatteryModel, ProjectedLifespan) {
+    BatteryModel b(10.0);
+    // 1 J consumed per simulated second -> 36000 s lifespan.
+    const double cee_nj = 1e9;
+    const Time life = b.projected_lifespan(cee_nj, Time::sec(1));
+    EXPECT_NEAR(life.to_sec(), 36000.0, 1.0);
+}
+
+TEST(BatteryModel, ZeroConsumptionMeansInfiniteLife) {
+    BatteryModel b(10.0);
+    EXPECT_EQ(b.projected_lifespan(0.0, Time::sec(1)), Time::max());
+}
+
+TEST(BatteryModel, StatusBar) {
+    BatteryModel b(10.0);
+    const std::string full = b.status_bar(0.0, 10);
+    EXPECT_NE(full.find("##########"), std::string::npos);
+    EXPECT_NE(full.find("100%"), std::string::npos);
+    const std::string half = b.status_bar(18000.0 * 1e9, 10);
+    EXPECT_NE(half.find("#####....."), std::string::npos);
+}
+
+class StatsTest : public ::testing::Test {
+protected:
+    sysc::Kernel k;
+    PriorityPreemptiveScheduler sched;
+    SimApi api{sched};
+};
+
+TEST_F(StatsTest, CollectAggregatesThreads) {
+    TThread& a = api.SIM_CreateThread("a", ThreadKind::task, 5, [&] {
+        api.SIM_Wait(Time::ms(3), 300.0, ExecContext::task);
+    });
+    TThread& b = api.SIM_CreateThread("b", ThreadKind::task, 6, [&] {
+        api.SIM_Wait(Time::ms(1), 100.0, ExecContext::task);
+    });
+    api.SIM_StartThread(a);
+    api.SIM_StartThread(b);
+    k.run_until(Time::ms(10));
+    SystemStats s = collect_stats(api);
+    EXPECT_EQ(s.elapsed, Time::ms(10));
+    EXPECT_EQ(s.total_cet, Time::ms(4));
+    EXPECT_NEAR(s.total_cee_nj, 400.0, 1e-9);
+    EXPECT_NEAR(s.cpu_load, 0.4, 1e-9);
+    EXPECT_EQ(s.idle_time, Time::ms(6));
+    ASSERT_EQ(s.rows.size(), 2u);
+    // Sorted by descending energy: a first.
+    EXPECT_EQ(s.rows[0].name, "a");
+    EXPECT_NEAR(s.rows[0].cee_share, 0.75, 1e-9);
+    EXPECT_NEAR(s.rows[1].cet_share, 0.25, 1e-9);
+}
+
+TEST_F(StatsTest, RenderDistributionContainsEveryThread) {
+    TThread& a = api.SIM_CreateThread("alpha", ThreadKind::task, 5, [&] {
+        api.SIM_Wait(Time::ms(2), ExecContext::task);
+    });
+    api.SIM_StartThread(a);
+    k.run_until(Time::ms(4));
+    const std::string out = render_distribution(collect_stats(api), BatteryModel(10));
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("battery"), std::string::npos);
+    EXPECT_NE(out.find("lifespan"), std::string::npos);
+    EXPECT_NE(out.find("cpu load"), std::string::npos);
+}
+
+TEST_F(StatsTest, EmptySystemIsWellFormed) {
+    SystemStats s = collect_stats(api);
+    EXPECT_EQ(s.total_cet, Time::zero());
+    EXPECT_EQ(s.rows.size(), 0u);
+    EXPECT_DOUBLE_EQ(s.cpu_load, 0.0);
+    const std::string out = render_distribution(s, BatteryModel(10));
+    EXPECT_FALSE(out.empty());
+}
+
+}  // namespace
+}  // namespace rtk::sim

@@ -1,0 +1,99 @@
+// Unit tests for the Token (Fig 2 accounting object) and the ETM/EEM
+// cost table.
+#include <gtest/gtest.h>
+
+#include "sim/sim.hpp"
+
+namespace rtk::sim {
+namespace {
+
+using sysc::Time;
+
+TEST(Token, StartsEmpty) {
+    Token t;
+    EXPECT_EQ(t.cet(), Time::zero());
+    EXPECT_DOUBLE_EQ(t.cee_nj(), 0.0);
+    EXPECT_EQ(t.cycles(), 0u);
+    EXPECT_EQ(t.total_firings(), 0u);
+}
+
+TEST(Token, ConsumeAccumulatesPerContext) {
+    Token t;
+    t.consume(ExecContext::task, Time::ms(2), 100.0);
+    t.consume(ExecContext::task, Time::ms(1), 50.0);
+    t.consume(ExecContext::bfm_access, Time::us(500), 25.0);
+    EXPECT_EQ(t.cet(), Time::us(3500));
+    EXPECT_EQ(t.cet(ExecContext::task), Time::ms(3));
+    EXPECT_EQ(t.cet(ExecContext::bfm_access), Time::us(500));
+    EXPECT_EQ(t.cet(ExecContext::handler), Time::zero());
+    EXPECT_NEAR(t.cee_nj(), 175.0, 1e-9);
+    EXPECT_NEAR(t.cee_nj(ExecContext::task), 150.0, 1e-9);
+    EXPECT_NEAR(t.cee_mj(), 175.0 * 1e-6, 1e-12);
+}
+
+TEST(Token, FiringVectorPerEvent) {
+    Token t;
+    t.fire(RunEvent::startup);
+    t.fire(RunEvent::continue_run);
+    t.fire(RunEvent::continue_run);
+    t.fire(RunEvent::sleep_event);
+    EXPECT_EQ(t.firings(RunEvent::startup), 1u);
+    EXPECT_EQ(t.firings(RunEvent::continue_run), 2u);
+    EXPECT_EQ(t.firings(RunEvent::sleep_event), 1u);
+    EXPECT_EQ(t.firings(RunEvent::return_from_interrupt), 0u);
+    EXPECT_EQ(t.total_firings(), 4u);
+}
+
+TEST(Token, ResetClearsEverything) {
+    Token t;
+    t.consume(ExecContext::task, Time::ms(1), 10.0);
+    t.fire(RunEvent::startup);
+    t.complete_cycle();
+    t.reset();
+    EXPECT_EQ(t.cet(), Time::zero());
+    EXPECT_EQ(t.cycles(), 0u);
+    EXPECT_EQ(t.total_firings(), 0u);
+}
+
+TEST(CostTable, DefaultsModelAn8051) {
+    CostTable c;
+    EXPECT_EQ(c.at(ExecContext::task).time_per_unit, Time::us(1));
+    EXPECT_GT(c.at(ExecContext::bfm_access).energy_per_unit_nj,
+              c.at(ExecContext::task).energy_per_unit_nj);  // bus costs more
+    EXPECT_LT(c.at(ExecContext::service_call).energy_per_unit_nj,
+              c.at(ExecContext::task).energy_per_unit_nj);
+}
+
+TEST(CostTable, UnitConversions) {
+    CostModel m{Time::us(2), 10.0};
+    EXPECT_EQ(m.time(100), Time::us(200));
+    EXPECT_NEAR(m.energy_nj(100), 1000.0, 1e-9);
+}
+
+TEST(CostTable, SetAndScale) {
+    CostTable c;
+    c.set(ExecContext::handler, {Time::ns(500), 7.0});
+    EXPECT_EQ(c.at(ExecContext::handler).time_per_unit, Time::ns(500));
+    c.scale_energy(2.0);
+    EXPECT_NEAR(c.at(ExecContext::handler).energy_per_unit_nj, 14.0, 1e-9);
+    EXPECT_NEAR(c.at(ExecContext::task).energy_per_unit_nj, 100.0, 1e-9);
+}
+
+TEST(SimStack, PushPopAndHighWater) {
+    SimStack s;
+    EXPECT_TRUE(s.empty());
+    // SimStack stores pointers; any distinct addresses suffice here.
+    TThread* a = reinterpret_cast<TThread*>(0x10);
+    TThread* b = reinterpret_cast<TThread*>(0x20);
+    s.push(*a);
+    s.push(*b);
+    EXPECT_EQ(s.depth(), 2u);
+    EXPECT_EQ(s.top(), b);
+    EXPECT_EQ(&s.pop(), b);
+    EXPECT_EQ(&s.pop(), a);
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.high_water_mark(), 2u);
+}
+
+}  // namespace
+}  // namespace rtk::sim

@@ -1,0 +1,189 @@
+// T-THREAD process-model tests: Petri-net semantics of Fig 2 -- firing
+// vector, token CET/CEE accumulation, cyclic execution.
+#include <gtest/gtest.h>
+
+#include "sim/sim.hpp"
+#include "sysc/sysc.hpp"
+
+namespace rtk::sim {
+namespace {
+
+using sysc::Time;
+
+class TThreadTest : public ::testing::Test {
+protected:
+    sysc::Kernel k;
+    PriorityPreemptiveScheduler sched;
+    SimApi api{sched};
+};
+
+TEST_F(TThreadTest, CreationRegistersInHashTable) {
+    TThread& t = api.SIM_CreateThread("t", ThreadKind::task, 5, [] {});
+    EXPECT_EQ(t.state(), ThreadState::dormant);
+    EXPECT_EQ(api.SIM_Find(t.id()), &t);
+    EXPECT_EQ(api.SIM_FindByName("t"), &t);
+    EXPECT_EQ(api.hash_table().size(), 1u);
+}
+
+TEST_F(TThreadTest, StartupFiresEs) {
+    TThread& t = api.SIM_CreateThread("t", ThreadKind::task, 5, [] {});
+    api.SIM_StartThread(t);
+    k.run_until(Time::ms(1));
+    EXPECT_EQ(t.token().firings(RunEvent::startup), 1u);
+    EXPECT_EQ(t.state(), ThreadState::dormant);  // entry returned
+    EXPECT_EQ(t.token().cycles(), 1u);
+}
+
+TEST_F(TThreadTest, CyclicObjectSupportsRestarts) {
+    int runs = 0;
+    TThread& t = api.SIM_CreateThread("t", ThreadKind::task, 5, [&] { ++runs; });
+    for (int i = 0; i < 3; ++i) {
+        api.SIM_StartThread(t);
+        k.run_for(Time::ms(1));
+    }
+    EXPECT_EQ(runs, 3);
+    EXPECT_EQ(t.token().cycles(), 3u);
+    EXPECT_EQ(t.token().firings(RunEvent::startup), 3u);
+}
+
+TEST_F(TThreadTest, SimWaitConsumesTimeAndEnergy) {
+    TThread& t = api.SIM_CreateThread("t", ThreadKind::task, 5, [&] {
+        api.SIM_Wait(Time::ms(2), 1000.0, ExecContext::task);
+    });
+    api.SIM_StartThread(t);
+    k.run();
+    EXPECT_EQ(t.token().cet(), Time::ms(2));
+    EXPECT_NEAR(t.token().cee_nj(), 1000.0, 1e-6);
+    EXPECT_EQ(t.token().cet(ExecContext::task), Time::ms(2));
+    EXPECT_EQ(t.token().cet(ExecContext::handler), Time::zero());
+}
+
+TEST_F(TThreadTest, EcFiresPerContinuedQuantum) {
+    // 3.5 ms of work with a 1 ms quantum: slices at 1,2,3,3.5 -> 3 continues.
+    TThread& t = api.SIM_CreateThread("t", ThreadKind::task, 5, [&] {
+        api.SIM_Wait(Time::ms(3) + Time::us(500), ExecContext::task);
+    });
+    api.SIM_StartThread(t);
+    k.run();
+    EXPECT_EQ(t.token().firings(RunEvent::continue_run), 3u);
+}
+
+TEST_F(TThreadTest, CostTableDrivesWaitUnits) {
+    api.costs().set(ExecContext::task, {Time::us(2), 10.0});
+    TThread& t = api.SIM_CreateThread("t", ThreadKind::task, 5, [&] {
+        api.SIM_WaitUnits(100, ExecContext::task);
+    });
+    api.SIM_StartThread(t);
+    k.run();
+    EXPECT_EQ(t.token().cet(), Time::us(200));
+    EXPECT_NEAR(t.token().cee_nj(), 1000.0, 1e-6);
+}
+
+TEST_F(TThreadTest, SleepAndWakeupFireEw) {
+    TThread& t = api.SIM_CreateThread("t", ThreadKind::task, 5, [&] {
+        api.SIM_Sleep();
+        api.SIM_Wait(Time::ms(1), ExecContext::task);
+    });
+    api.SIM_StartThread(t);
+    k.run_until(Time::ms(1));
+    EXPECT_EQ(t.state(), ThreadState::waiting);
+    api.SIM_WakeUp(t);
+    k.run();
+    EXPECT_EQ(t.token().firings(RunEvent::sleep_event), 1u);
+    EXPECT_EQ(t.state(), ThreadState::dormant);
+}
+
+TEST_F(TThreadTest, ExitEndsCycleEarly) {
+    bool after_exit = false;
+    TThread& t = api.SIM_CreateThread("t", ThreadKind::task, 5, [&] {
+        api.SIM_Exit();
+        after_exit = true;  // unreachable
+    });
+    api.SIM_StartThread(t);
+    k.run();
+    EXPECT_FALSE(after_exit);
+    EXPECT_EQ(t.token().cycles(), 1u);
+}
+
+TEST_F(TThreadTest, TerminateUnwindsAndRearms) {
+    bool raii_ran = false;
+    TThread& t = api.SIM_CreateThread("t", ThreadKind::task, 5, [&] {
+        struct S {
+            bool* f;
+            ~S() { *f = true; }
+        } s{&raii_ran};
+        api.SIM_Sleep();
+    });
+    api.SIM_StartThread(t);
+    k.run_until(Time::ms(1));
+    EXPECT_EQ(t.state(), ThreadState::waiting);
+    api.SIM_Terminate(t);
+    EXPECT_TRUE(raii_ran);
+    EXPECT_EQ(t.state(), ThreadState::dormant);
+    // The thread must be restartable after termination.
+    api.SIM_StartThread(t);
+    k.run_for(Time::ms(1));
+    EXPECT_EQ(t.token().firings(RunEvent::startup), 2u);
+}
+
+TEST_F(TThreadTest, StartNonDormantIsFatal) {
+    TThread& t = api.SIM_CreateThread("t", ThreadKind::task, 5, [&] {
+        api.SIM_Sleep();
+    });
+    api.SIM_StartThread(t);
+    k.run_until(Time::ms(1));
+    EXPECT_THROW(api.SIM_StartThread(t), sysc::SimError);
+}
+
+TEST_F(TThreadTest, DeleteRequiresDormant) {
+    TThread& t = api.SIM_CreateThread("t", ThreadKind::task, 5, [&] {
+        api.SIM_Sleep();
+    });
+    api.SIM_StartThread(t);
+    k.run_until(Time::ms(1));
+    EXPECT_THROW(api.SIM_DeleteThread(t), sysc::SimError);
+    api.SIM_Terminate(t);
+    const ThreadId id = t.id();
+    api.SIM_DeleteThread(t);
+    EXPECT_EQ(api.SIM_Find(id), nullptr);
+}
+
+TEST_F(TThreadTest, UserDataRoundTrips) {
+    TThread& t = api.SIM_CreateThread("t", ThreadKind::task, 5, [] {});
+    int payload = 0;
+    t.set_user_data(&payload);
+    EXPECT_EQ(t.user_data(), &payload);
+}
+
+TEST_F(TThreadTest, TotalFiringsSumsVector) {
+    TThread& t = api.SIM_CreateThread("t", ThreadKind::task, 5, [&] {
+        api.SIM_Wait(Time::ms(2), ExecContext::task);
+    });
+    api.SIM_StartThread(t);
+    k.run();
+    EXPECT_EQ(t.token().total_firings(),
+              t.token().firings(RunEvent::startup) +
+                  t.token().firings(RunEvent::continue_run));
+}
+
+// Parameterized: CET must equal the requested duration for any mix of
+// quantum-aligned and unaligned waits.
+class WaitSweep : public TThreadTest,
+                  public ::testing::WithParamInterface<std::uint64_t> {};
+
+TEST_P(WaitSweep, CetMatchesRequestedDuration) {
+    const Time dur = Time::us(GetParam());
+    TThread& t = api.SIM_CreateThread("t", ThreadKind::task, 5, [&] {
+        api.SIM_Wait(dur, ExecContext::task);
+    });
+    api.SIM_StartThread(t);
+    k.run();
+    EXPECT_EQ(t.token().cet(), dur);
+}
+
+INSTANTIATE_TEST_SUITE_P(Durations, WaitSweep,
+                         ::testing::Values(1, 10, 999, 1000, 1001, 2500, 10000,
+                                           12345, 100000));
+
+}  // namespace
+}  // namespace rtk::sim

@@ -1,0 +1,167 @@
+// Direct tests of the stackful coroutine (the SC_THREAD substrate).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sysc/coroutine.hpp"
+#include "sysc/report.hpp"
+
+namespace rtk::sysc {
+namespace {
+
+TEST(Coroutine, RunsBodyOnFirstResume) {
+    int state = 0;
+    Coroutine c([&] { state = 1; });
+    EXPECT_FALSE(c.started());
+    c.resume();
+    EXPECT_EQ(state, 1);
+    EXPECT_TRUE(c.finished());
+}
+
+TEST(Coroutine, YieldSuspendsAndResumeContinues) {
+    std::vector<int> log;
+    Coroutine* self = nullptr;
+    Coroutine c([&] {
+        log.push_back(1);
+        self->yield();
+        log.push_back(2);
+        self->yield();
+        log.push_back(3);
+    });
+    self = &c;
+    c.resume();
+    EXPECT_EQ(log, (std::vector<int>{1}));
+    c.resume();
+    EXPECT_EQ(log, (std::vector<int>{1, 2}));
+    EXPECT_FALSE(c.finished());
+    c.resume();
+    EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+    EXPECT_TRUE(c.finished());
+}
+
+TEST(Coroutine, KillUnwindsWithRaii) {
+    bool destroyed = false;
+    Coroutine* self = nullptr;
+    Coroutine c([&] {
+        struct S {
+            bool* f;
+            ~S() { *f = true; }
+        } s{&destroyed};
+        for (;;) {
+            self->yield();
+        }
+    });
+    self = &c;
+    c.resume();
+    EXPECT_FALSE(destroyed);
+    c.kill();
+    c.resume();  // unwind
+    EXPECT_TRUE(destroyed);
+    EXPECT_TRUE(c.finished());
+}
+
+TEST(Coroutine, DestructorUnwindsSuspendedStack) {
+    bool destroyed = false;
+    {
+        auto c = std::make_unique<Coroutine>([&] {
+            struct S {
+                bool* f;
+                ~S() { *f = true; }
+            } s{&destroyed};
+            // Suspended forever; ~Coroutine must unwind.
+            for (;;) {
+                // yield via a captured pointer set below
+            }
+        });
+        // Can't yield without self-reference; use a simpler body instead:
+        c.reset();
+    }
+    // Rebuild with proper self-reference:
+    bool destroyed2 = false;
+    {
+        Coroutine* self = nullptr;
+        auto c = std::make_unique<Coroutine>([&] {
+            struct S {
+                bool* f;
+                ~S() { *f = true; }
+            } s{&destroyed2};
+            for (;;) {
+                self->yield();
+            }
+        });
+        self = c.get();
+        c->resume();
+        EXPECT_FALSE(destroyed2);
+    }
+    EXPECT_TRUE(destroyed2);
+}
+
+TEST(Coroutine, ExceptionFromBodyRethrownAtResume) {
+    Coroutine c([] { throw std::runtime_error("inner"); });
+    EXPECT_THROW(c.resume(), std::runtime_error);
+    EXPECT_TRUE(c.finished());
+}
+
+TEST(Coroutine, ResumeAfterFinishIsFatal) {
+    Coroutine c([] {});
+    c.resume();
+    EXPECT_THROW(c.resume(), SimError);
+}
+
+TEST(Coroutine, KillBeforeStartSkipsBody) {
+    bool ran = false;
+    Coroutine c([&] { ran = true; });
+    c.kill();
+    c.resume();
+    EXPECT_FALSE(ran);
+    EXPECT_TRUE(c.finished());
+}
+
+TEST(Coroutine, DeepStackUsage) {
+    // Recursion deep enough to prove a real stack (not segmented).
+    Coroutine* self = nullptr;
+    long sum = 0;
+    std::function<long(int)> rec = [&](int n) -> long {
+        char pad[512];  // force frame growth
+        pad[0] = static_cast<char>(n);
+        if (n == 0) {
+            self->yield();
+            return pad[0];
+        }
+        return rec(n - 1) + 1;
+    };
+    Coroutine c([&] { sum = rec(200); });
+    self = &c;
+    c.resume();  // runs down to depth 200 and yields
+    EXPECT_EQ(sum, 0);
+    c.resume();
+    EXPECT_EQ(sum, 200);
+}
+
+TEST(Coroutine, ManyCoroutinesInterleaved) {
+    constexpr int n = 32;
+    std::vector<std::unique_ptr<Coroutine>> cs;
+    std::vector<Coroutine*> selves(n, nullptr);
+    std::vector<int> counters(n, 0);
+    for (int i = 0; i < n; ++i) {
+        cs.push_back(std::make_unique<Coroutine>([&counters, &selves, i] {
+            for (int lap = 0; lap < 3; ++lap) {
+                ++counters[static_cast<std::size_t>(i)];
+                selves[static_cast<std::size_t>(i)]->yield();
+            }
+        }));
+        selves[static_cast<std::size_t>(i)] = cs.back().get();
+    }
+    for (int lap = 0; lap < 3; ++lap) {
+        for (auto& c : cs) {
+            c->resume();
+        }
+    }
+    for (int i = 0; i < n; ++i) {
+        EXPECT_EQ(counters[static_cast<std::size_t>(i)], 3);
+    }
+}
+
+}  // namespace
+}  // namespace rtk::sysc

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "sysc/time.hpp"
+
+namespace rtk::sysc {
+namespace {
+
+TEST(Time, DefaultIsZero) {
+    EXPECT_EQ(Time{}.picoseconds(), 0u);
+    EXPECT_TRUE(Time{}.is_zero());
+    EXPECT_EQ(Time::zero(), Time{});
+}
+
+TEST(Time, UnitConstructors) {
+    EXPECT_EQ(Time::ps(7).picoseconds(), 7u);
+    EXPECT_EQ(Time::ns(1).picoseconds(), 1'000u);
+    EXPECT_EQ(Time::us(1).picoseconds(), 1'000'000u);
+    EXPECT_EQ(Time::ms(1).picoseconds(), 1'000'000'000u);
+    EXPECT_EQ(Time::sec(1).picoseconds(), 1'000'000'000'000u);
+}
+
+TEST(Time, Conversions) {
+    EXPECT_DOUBLE_EQ(Time::us(1500).to_ms(), 1.5);
+    EXPECT_DOUBLE_EQ(Time::ms(2500).to_sec(), 2.5);
+    EXPECT_DOUBLE_EQ(Time::ps(1500).to_ns(), 1.5);
+    EXPECT_DOUBLE_EQ(Time::ns(2500).to_us(), 2.5);
+}
+
+TEST(Time, Ordering) {
+    EXPECT_LT(Time::ns(999), Time::us(1));
+    EXPECT_LE(Time::us(1), Time::us(1));
+    EXPECT_GT(Time::ms(1), Time::us(999));
+    EXPECT_GE(Time::ms(1), Time::ms(1));
+    EXPECT_NE(Time::ms(1), Time::us(1));
+}
+
+TEST(Time, Arithmetic) {
+    EXPECT_EQ(Time::ms(1) + Time::us(500), Time::us(1500));
+    EXPECT_EQ(Time::ms(2) - Time::ms(1), Time::ms(1));
+    EXPECT_EQ(Time::us(3) * 4, Time::us(12));
+    EXPECT_EQ(5 * Time::us(2), Time::us(10));
+    EXPECT_EQ(Time::us(10) / 2, Time::us(5));
+}
+
+TEST(Time, SubtractionSaturates) {
+    EXPECT_EQ(Time::ms(1) - Time::ms(2), Time::zero());
+    Time t = Time::us(1);
+    t -= Time::ms(1);
+    EXPECT_TRUE(t.is_zero());
+}
+
+TEST(Time, DivisionByTimeCountsPeriods) {
+    EXPECT_EQ(Time::ms(10) / Time::ms(3), 3u);
+    EXPECT_EQ(Time::ms(9) / Time::ms(3), 3u);
+    EXPECT_EQ(Time::us(1) / Time::ms(1), 0u);
+}
+
+TEST(Time, Modulo) {
+    EXPECT_EQ(Time::ms(10) % Time::ms(3), Time::ms(1));
+    EXPECT_EQ(Time::ms(9) % Time::ms(3), Time::zero());
+}
+
+TEST(Time, CompoundAssignment) {
+    Time t = Time::ms(1);
+    t += Time::ms(2);
+    EXPECT_EQ(t, Time::ms(3));
+    t -= Time::ms(1);
+    EXPECT_EQ(t, Time::ms(2));
+}
+
+TEST(Time, ToStringPicksLargestExactUnit) {
+    EXPECT_EQ(Time::ms(3).to_string(), "3 ms");
+    EXPECT_EQ(Time::us(1500).to_string(), "1500 us");
+    EXPECT_EQ(Time::sec(2).to_string(), "2 s");
+    EXPECT_EQ(Time::ps(42).to_string(), "42 ps");
+    EXPECT_EQ(Time::ns(7).to_string(), "7 ns");
+    EXPECT_EQ(Time::zero().to_string(), "0 ps");
+}
+
+TEST(Time, MaxIsHuge) {
+    EXPECT_GT(Time::max(), Time::sec(1'000'000));
+}
+
+}  // namespace
+}  // namespace rtk::sysc

@@ -1,0 +1,175 @@
+// T-Kernel/DS tests: td_* reference functions and the Fig 8 listing.
+#include <gtest/gtest.h>
+
+#include "tkds/tkds.hpp"
+
+namespace rtk::tkds {
+namespace {
+
+using namespace tkernel;
+using sysc::Time;
+
+class TkdsTest : public ::testing::Test {
+protected:
+    sysc::Kernel k;
+    TKernel tk;
+
+    void boot_and_run(std::function<void()> body, Time horizon = Time::ms(200)) {
+        tk.set_user_main(std::move(body));
+        tk.power_on();
+        k.run_until(horizon);
+    }
+};
+
+TEST_F(TkdsTest, ListFunctionsEnumerateObjects) {
+    boot_and_run([&] {
+        T_CSEM cs;
+        tk.tk_cre_sem(cs);
+        tk.tk_cre_sem(cs);
+        T_CFLG cf;
+        tk.tk_cre_flg(cf);
+        T_CMBX cb;
+        tk.tk_cre_mbx(cb);
+        std::vector<ID> ids;
+        EXPECT_EQ(td_lst_sem(tk, ids), 2);
+        EXPECT_EQ(ids, (std::vector<ID>{1, 2}));
+        EXPECT_EQ(td_lst_flg(tk, ids), 1);
+        EXPECT_EQ(td_lst_mbx(tk, ids), 1);
+        EXPECT_EQ(td_lst_mtx(tk, ids), 0);
+        EXPECT_GE(td_lst_tsk(tk, ids), 1);  // at least the init task
+    });
+}
+
+TEST_F(TkdsTest, RefTskCarriesPerformanceCounters) {
+    ID tid = 0;
+    boot_and_run([&] {
+        T_CTSK ct;
+        ct.name = "worker";
+        ct.itskpri = 5;
+        ct.task = [&](INT, void*) {
+            tk.sim().SIM_Wait(Time::ms(3), sim::ExecContext::task);
+        };
+        tid = tk.tk_cre_tsk(ct);
+        tk.tk_sta_tsk(tid, 0);
+        tk.tk_dly_tsk(20);
+    });
+    TD_RTSK r;
+    ASSERT_EQ(td_ref_tsk(tk, tid, &r), E_OK);
+    EXPECT_EQ(r.name, "worker");
+    EXPECT_GE(r.cet, Time::ms(3));
+    EXPECT_GT(r.cee_nj, 0.0);
+    EXPECT_GE(r.dispatches, 1u);
+    EXPECT_EQ(r.cycles, 1u);
+    EXPECT_EQ(td_ref_tsk(tk, 999, &r), E_NOEXS);
+    EXPECT_EQ(td_ref_tsk(tk, tid, nullptr), E_PAR);
+}
+
+TEST_F(TkdsTest, InfTskSplitsTimeByContext) {
+    ID tid = 0;
+    boot_and_run([&] {
+        T_CTSK ct;
+        ct.name = "worker";
+        ct.itskpri = 5;
+        ct.task = [&](INT, void*) {
+            tk.sim().SIM_Wait(Time::ms(2), sim::ExecContext::task);
+            tk.sim().SIM_Wait(Time::ms(1), sim::ExecContext::bfm_access);
+        };
+        tid = tk.tk_cre_tsk(ct);
+        tk.tk_sta_tsk(tid, 0);
+        tk.tk_dly_tsk(20);
+    });
+    TD_ITSK info;
+    ASSERT_EQ(td_inf_tsk(tk, tid, &info), E_OK);
+    EXPECT_EQ(info.utime, Time::ms(2));
+    EXPECT_EQ(info.btime, Time::ms(1));
+    EXPECT_GT(info.stime, Time::zero());  // startup + service prologue
+}
+
+TEST_F(TkdsTest, TaskTableListsStatesAndWaits) {
+    boot_and_run([&] {
+        T_CSEM cs;
+        ID sem = tk.tk_cre_sem(cs);
+        T_CTSK ct;
+        ct.name = "blocked_guy";
+        ct.itskpri = 5;
+        ct.task = [&](INT, void*) { tk.tk_wai_sem(sem, 1, TMO_FEVR); };
+        tk.tk_sta_tsk(tk.tk_cre_tsk(ct), 0);
+        tk.tk_dly_tsk(5);
+        const std::string table = render_task_table(tk);
+        EXPECT_NE(table.find("blocked_guy"), std::string::npos);
+        EXPECT_NE(table.find("WAI"), std::string::npos);
+        EXPECT_NE(table.find("SEM"), std::string::npos);
+        tk.tk_sig_sem(sem, 1);
+    });
+}
+
+TEST_F(TkdsTest, FullListingCoversEveryObjectClass) {
+    boot_and_run([&] {
+        T_CSEM cs;
+        cs.name = "mysem";
+        tk.tk_cre_sem(cs);
+        T_CFLG cf;
+        cf.name = "myflg";
+        tk.tk_cre_flg(cf);
+        T_CMBX cb;
+        cb.name = "mymbx";
+        tk.tk_cre_mbx(cb);
+        T_CMTX cm;
+        cm.name = "mymtx";
+        tk.tk_cre_mtx(cm);
+        T_CMBF cmb;
+        cmb.name = "mymbf";
+        tk.tk_cre_mbf(cmb);
+        T_CMPF cpf;
+        cpf.name = "mympf";
+        tk.tk_cre_mpf(cpf);
+        T_CMPL cpl;
+        cpl.name = "mympl";
+        tk.tk_cre_mpl(cpl);
+        T_CCYC cc;
+        cc.name = "mycyc";
+        cc.cychdr = [](void*) {};
+        tk.tk_cre_cyc(cc);
+        T_CALM ca;
+        ca.name = "myalm";
+        ca.almhdr = [](void*) {};
+        tk.tk_cre_alm(ca);
+        T_DINT d;
+        d.inthdr = [](void*) {};
+        tk.tk_def_int(2, d);
+
+        const std::string listing = render_listing(tk);
+        for (const char* needle :
+             {"mysem", "myflg", "mymbx", "mymtx", "mymbf", "mympf", "mympl",
+              "mycyc", "myalm", "int 2", "SIM_API", "dispatches="}) {
+            EXPECT_NE(listing.find(needle), std::string::npos) << needle;
+        }
+    });
+}
+
+TEST_F(TkdsTest, StateJournalShowsTransitions) {
+    boot_and_run([&] {
+        T_CTSK ct;
+        ct.name = "hopper";
+        ct.itskpri = 5;
+        ct.task = [&](INT, void*) { tk.tk_dly_tsk(5); };
+        tk.tk_sta_tsk(tk.tk_cre_tsk(ct), 0);
+        tk.tk_dly_tsk(20);
+        const std::string journal = render_state_journal(tk, 50);
+        EXPECT_NE(journal.find("hopper"), std::string::npos);
+        EXPECT_NE(journal.find("READY"), std::string::npos);
+        EXPECT_NE(journal.find("RUNNING"), std::string::npos);
+        EXPECT_NE(journal.find("WAITING"), std::string::npos);
+    });
+}
+
+TEST_F(TkdsTest, RefSysThroughDs) {
+    boot_and_run([&] {
+        T_RSYS s;
+        EXPECT_EQ(td_ref_sys(tk, &s), E_OK);
+        EXPECT_EQ(s.runtskid, tk.tk_get_tid());
+    });
+}
+
+}  // namespace
+}  // namespace rtk::tkds

@@ -1,0 +1,193 @@
+// Event flag service call tests.
+#include <gtest/gtest.h>
+
+#include "tkernel/tkernel.hpp"
+
+namespace rtk::tkernel {
+namespace {
+
+using sysc::Time;
+
+class FlagTest : public ::testing::Test {
+protected:
+    sysc::Kernel k;
+    TKernel tk;
+
+    void boot_and_run(std::function<void()> body, Time horizon = Time::ms(200)) {
+        tk.set_user_main(std::move(body));
+        tk.power_on();
+        k.run_until(horizon);
+    }
+
+    ID spawn_task(const char* name, PRI pri, std::function<void()> fn) {
+        T_CTSK ct;
+        ct.name = name;
+        ct.itskpri = pri;
+        ct.task = [fn = std::move(fn)](INT, void*) { fn(); };
+        const ID tid = tk.tk_cre_tsk(ct);
+        tk.tk_sta_tsk(tid, 0);
+        return tid;
+    }
+};
+
+TEST_F(FlagTest, SetAndPollOrWait) {
+    boot_and_run([&] {
+        T_CFLG cf;
+        cf.iflgptn = 0x3;
+        ID flg = tk.tk_cre_flg(cf);
+        UINT ptn = 0;
+        EXPECT_EQ(tk.tk_wai_flg(flg, 0x1, TWF_ORW, &ptn, TMO_POL), E_OK);
+        EXPECT_EQ(ptn, 0x3u);
+        EXPECT_EQ(tk.tk_wai_flg(flg, 0x4, TWF_ORW, &ptn, TMO_POL), E_TMOUT);
+    });
+}
+
+TEST_F(FlagTest, AndWaitRequiresAllBits) {
+    boot_and_run([&] {
+        T_CFLG cf;
+        ID flg = tk.tk_cre_flg(cf);
+        UINT ptn = 0;
+        tk.tk_set_flg(flg, 0x5);
+        EXPECT_EQ(tk.tk_wai_flg(flg, 0x7, TWF_ANDW, &ptn, TMO_POL), E_TMOUT);
+        tk.tk_set_flg(flg, 0x2);
+        EXPECT_EQ(tk.tk_wai_flg(flg, 0x7, TWF_ANDW, &ptn, TMO_POL), E_OK);
+        EXPECT_EQ(ptn, 0x7u);
+    });
+}
+
+TEST_F(FlagTest, SetWakesBlockedWaiter) {
+    UINT got = 0;
+    ER er = E_SYS;
+    boot_and_run([&] {
+        T_CFLG cf;
+        ID flg = tk.tk_cre_flg(cf);
+        spawn_task("w", 5, [&] { er = tk.tk_wai_flg(flg, 0x10, TWF_ORW, &got, TMO_FEVR); });
+        tk.tk_dly_tsk(5);
+        tk.tk_set_flg(flg, 0x10);
+        tk.tk_dly_tsk(5);
+    });
+    EXPECT_EQ(er, E_OK);
+    EXPECT_EQ(got, 0x10u);
+}
+
+TEST_F(FlagTest, ClrClearsWholePattern) {
+    boot_and_run([&] {
+        T_CFLG cf;
+        ID flg = tk.tk_cre_flg(cf);
+        UINT ptn = 0;
+        tk.tk_set_flg(flg, 0xFF);
+        EXPECT_EQ(tk.tk_wai_flg(flg, 0x1, TWF_ORW | TWF_CLR, &ptn, TMO_POL), E_OK);
+        T_RFLG r;
+        tk.tk_ref_flg(flg, &r);
+        EXPECT_EQ(r.flgptn, 0u);  // TWF_CLR wiped everything
+    });
+}
+
+TEST_F(FlagTest, BitClrClearsOnlyMatchedBits) {
+    boot_and_run([&] {
+        T_CFLG cf;
+        ID flg = tk.tk_cre_flg(cf);
+        UINT ptn = 0;
+        tk.tk_set_flg(flg, 0xFF);
+        EXPECT_EQ(tk.tk_wai_flg(flg, 0x0F, TWF_ANDW | TWF_BITCLR, &ptn, TMO_POL), E_OK);
+        T_RFLG r;
+        tk.tk_ref_flg(flg, &r);
+        EXPECT_EQ(r.flgptn, 0xF0u);
+    });
+}
+
+TEST_F(FlagTest, ClrFlgAndsPattern) {
+    boot_and_run([&] {
+        T_CFLG cf;
+        cf.iflgptn = 0xFF;
+        ID flg = tk.tk_cre_flg(cf);
+        EXPECT_EQ(tk.tk_clr_flg(flg, 0x0F), E_OK);
+        T_RFLG r;
+        tk.tk_ref_flg(flg, &r);
+        EXPECT_EQ(r.flgptn, 0x0Fu);
+    });
+}
+
+TEST_F(FlagTest, MultipleWaitersWithDifferentPatterns) {
+    std::vector<std::string> woke;
+    boot_and_run([&] {
+        T_CFLG cf;
+        cf.flgatr = TA_TFIFO | TA_WMUL;
+        ID flg = tk.tk_cre_flg(cf);
+        UINT p1 = 0, p2 = 0;
+        spawn_task("w1", 5, [&] {
+            tk.tk_wai_flg(flg, 0x1, TWF_ORW, &p1, TMO_FEVR);
+            woke.push_back("w1");
+        });
+        spawn_task("w2", 6, [&] {
+            tk.tk_wai_flg(flg, 0x2, TWF_ORW, &p2, TMO_FEVR);
+            woke.push_back("w2");
+        });
+        tk.tk_dly_tsk(5);
+        tk.tk_set_flg(flg, 0x2);  // only w2's pattern
+        tk.tk_dly_tsk(5);
+        EXPECT_EQ(woke, (std::vector<std::string>{"w2"}));
+        tk.tk_set_flg(flg, 0x1);
+        tk.tk_dly_tsk(5);
+    });
+    EXPECT_EQ(woke, (std::vector<std::string>{"w2", "w1"}));
+}
+
+TEST_F(FlagTest, SingleWaitAttributeRejectsSecondWaiter) {
+    ER second = E_OK;
+    boot_and_run([&] {
+        T_CFLG cf;
+        cf.flgatr = TA_TFIFO | TA_WSGL;
+        ID flg = tk.tk_cre_flg(cf);
+        spawn_task("w1", 5, [&] {
+            UINT p = 0;
+            tk.tk_wai_flg(flg, 0x1, TWF_ORW, &p, TMO_FEVR);
+        });
+        tk.tk_dly_tsk(5);
+        UINT p = 0;
+        second = tk.tk_wai_flg(flg, 0x2, TWF_ORW, &p, 10);
+        tk.tk_set_flg(flg, 0x1);
+    });
+    EXPECT_EQ(second, E_OBJ);
+}
+
+TEST_F(FlagTest, WaitValidatesParameters) {
+    boot_and_run([&] {
+        T_CFLG cf;
+        ID flg = tk.tk_cre_flg(cf);
+        UINT ptn = 0;
+        EXPECT_EQ(tk.tk_wai_flg(flg, 0, TWF_ORW, &ptn, TMO_POL), E_PAR);
+        EXPECT_EQ(tk.tk_wai_flg(flg, 0x1, TWF_ORW, nullptr, TMO_POL), E_PAR);
+        EXPECT_EQ(tk.tk_wai_flg(999, 0x1, TWF_ORW, &ptn, TMO_POL), E_NOEXS);
+    });
+}
+
+TEST_F(FlagTest, TimeoutWhileWaiting) {
+    ER er = E_OK;
+    boot_and_run([&] {
+        T_CFLG cf;
+        ID flg = tk.tk_cre_flg(cf);
+        UINT ptn = 0;
+        er = tk.tk_wai_flg(flg, 0x1, TWF_ORW, &ptn, 10);
+    });
+    EXPECT_EQ(er, E_TMOUT);
+}
+
+TEST_F(FlagTest, DeleteReleasesWaiters) {
+    ER er = E_OK;
+    boot_and_run([&] {
+        T_CFLG cf;
+        ID flg = tk.tk_cre_flg(cf);
+        spawn_task("w", 5, [&] {
+            UINT p = 0;
+            er = tk.tk_wai_flg(flg, 0x1, TWF_ORW, &p, TMO_FEVR);
+        });
+        tk.tk_dly_tsk(5);
+        tk.tk_del_flg(flg);
+        tk.tk_dly_tsk(5);
+    });
+    EXPECT_EQ(er, E_DLT);
+}
+
+}  // namespace
+}  // namespace rtk::tkernel

@@ -1,0 +1,194 @@
+// Mailbox service call tests (reference-passing, TA_MPRI ordering).
+#include <gtest/gtest.h>
+
+#include "tkernel/tkernel.hpp"
+
+namespace rtk::tkernel {
+namespace {
+
+using sysc::Time;
+
+struct IntMsg : T_MSG {
+    int value = 0;
+};
+struct PriMsg : T_MSG_PRI {
+    int value = 0;
+};
+
+class MbxTest : public ::testing::Test {
+protected:
+    sysc::Kernel k;
+    TKernel tk;
+
+    void boot_and_run(std::function<void()> body, Time horizon = Time::ms(200)) {
+        tk.set_user_main(std::move(body));
+        tk.power_on();
+        k.run_until(horizon);
+    }
+
+    ID spawn_task(const char* name, PRI pri, std::function<void()> fn) {
+        T_CTSK ct;
+        ct.name = name;
+        ct.itskpri = pri;
+        ct.task = [fn = std::move(fn)](INT, void*) { fn(); };
+        const ID tid = tk.tk_cre_tsk(ct);
+        tk.tk_sta_tsk(tid, 0);
+        return tid;
+    }
+};
+
+TEST_F(MbxTest, FifoSendReceive) {
+    boot_and_run([&] {
+        T_CMBX cm;
+        ID mbx = tk.tk_cre_mbx(cm);
+        IntMsg a, b;
+        a.value = 1;
+        b.value = 2;
+        tk.tk_snd_mbx(mbx, &a);
+        tk.tk_snd_mbx(mbx, &b);
+        T_MSG* got = nullptr;
+        EXPECT_EQ(tk.tk_rcv_mbx(mbx, &got, TMO_POL), E_OK);
+        EXPECT_EQ(static_cast<IntMsg*>(got)->value, 1);
+        EXPECT_EQ(tk.tk_rcv_mbx(mbx, &got, TMO_POL), E_OK);
+        EXPECT_EQ(static_cast<IntMsg*>(got)->value, 2);
+        EXPECT_EQ(tk.tk_rcv_mbx(mbx, &got, TMO_POL), E_TMOUT);
+    });
+}
+
+TEST_F(MbxTest, PriorityOrderedMessages) {
+    boot_and_run([&] {
+        T_CMBX cm;
+        cm.mbxatr = TA_TFIFO | TA_MPRI;
+        ID mbx = tk.tk_cre_mbx(cm);
+        PriMsg lo, hi, mid;
+        lo.msgpri = 9;
+        lo.value = 9;
+        hi.msgpri = 1;
+        hi.value = 1;
+        mid.msgpri = 5;
+        mid.value = 5;
+        tk.tk_snd_mbx(mbx, &lo);
+        tk.tk_snd_mbx(mbx, &hi);
+        tk.tk_snd_mbx(mbx, &mid);
+        T_MSG* got = nullptr;
+        tk.tk_rcv_mbx(mbx, &got, TMO_POL);
+        EXPECT_EQ(static_cast<PriMsg*>(got)->value, 1);
+        tk.tk_rcv_mbx(mbx, &got, TMO_POL);
+        EXPECT_EQ(static_cast<PriMsg*>(got)->value, 5);
+        tk.tk_rcv_mbx(mbx, &got, TMO_POL);
+        EXPECT_EQ(static_cast<PriMsg*>(got)->value, 9);
+    });
+}
+
+TEST_F(MbxTest, SendWakesBlockedReceiver) {
+    int got_value = 0;
+    boot_and_run([&] {
+        T_CMBX cm;
+        ID mbx = tk.tk_cre_mbx(cm);
+        spawn_task("rx", 5, [&] {
+            T_MSG* got = nullptr;
+            if (tk.tk_rcv_mbx(mbx, &got, TMO_FEVR) == E_OK) {
+                got_value = static_cast<IntMsg*>(got)->value;
+            }
+        });
+        tk.tk_dly_tsk(5);
+        static IntMsg m;
+        m.value = 77;
+        tk.tk_snd_mbx(mbx, &m);
+        tk.tk_dly_tsk(5);
+    });
+    EXPECT_EQ(got_value, 77);
+}
+
+TEST_F(MbxTest, ReceiveTimeout) {
+    ER er = E_OK;
+    boot_and_run([&] {
+        T_CMBX cm;
+        ID mbx = tk.tk_cre_mbx(cm);
+        T_MSG* got = nullptr;
+        er = tk.tk_rcv_mbx(mbx, &got, 10);
+    });
+    EXPECT_EQ(er, E_TMOUT);
+}
+
+TEST_F(MbxTest, ParameterValidation) {
+    boot_and_run([&] {
+        T_CMBX cm;
+        ID mbx = tk.tk_cre_mbx(cm);
+        EXPECT_EQ(tk.tk_snd_mbx(mbx, nullptr), E_PAR);
+        T_MSG* got = nullptr;
+        EXPECT_EQ(tk.tk_rcv_mbx(mbx, nullptr, TMO_POL), E_PAR);
+        EXPECT_EQ(tk.tk_snd_mbx(777, &*std::make_unique<IntMsg>()), E_NOEXS);
+        EXPECT_EQ(tk.tk_rcv_mbx(-3, &got, TMO_POL), E_ID);
+    });
+}
+
+TEST_F(MbxTest, DeleteReleasesReceivers) {
+    ER er = E_OK;
+    boot_and_run([&] {
+        T_CMBX cm;
+        ID mbx = tk.tk_cre_mbx(cm);
+        spawn_task("rx", 5, [&] {
+            T_MSG* got = nullptr;
+            er = tk.tk_rcv_mbx(mbx, &got, TMO_FEVR);
+        });
+        tk.tk_dly_tsk(5);
+        tk.tk_del_mbx(mbx);
+        tk.tk_dly_tsk(5);
+    });
+    EXPECT_EQ(er, E_DLT);
+}
+
+TEST_F(MbxTest, RefReportsNextMessageAndWaiter) {
+    boot_and_run([&] {
+        T_CMBX cm;
+        ID mbx = tk.tk_cre_mbx(cm);
+        static IntMsg m;
+        m.value = 5;
+        tk.tk_snd_mbx(mbx, &m);
+        T_RMBX r;
+        ASSERT_EQ(tk.tk_ref_mbx(mbx, &r), E_OK);
+        EXPECT_EQ(r.pk_msg, &m);
+        EXPECT_EQ(r.wtsk, 0);
+    });
+}
+
+TEST_F(MbxTest, ProducerConsumerPipeline) {
+    // Stress ordering: producer sends 50 messages, consumer receives all
+    // in order despite blocking. NB: the id lives in the *test* scope --
+    // task bodies outlive the init task's stack frame.
+    std::vector<int> received;
+    ID mbx = 0;
+    boot_and_run(
+        [&] {
+            T_CMBX cm;
+            mbx = tk.tk_cre_mbx(cm);
+            static std::array<IntMsg, 50> msgs;
+            spawn_task("consumer", 5, [&] {
+                for (int i = 0; i < 50; ++i) {
+                    T_MSG* got = nullptr;
+                    if (tk.tk_rcv_mbx(mbx, &got, TMO_FEVR) != E_OK) {
+                        return;
+                    }
+                    received.push_back(static_cast<IntMsg*>(got)->value);
+                }
+            });
+            spawn_task("producer", 6, [&] {
+                for (int i = 0; i < 50; ++i) {
+                    msgs[static_cast<std::size_t>(i)].value = i;
+                    tk.tk_snd_mbx(mbx, &msgs[static_cast<std::size_t>(i)]);
+                    if (i % 7 == 0) {
+                        tk.tk_dly_tsk(1);
+                    }
+                }
+            });
+        },
+        Time::ms(500));
+    ASSERT_EQ(received.size(), 50u);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_EQ(received[static_cast<std::size_t>(i)], i);
+    }
+}
+
+}  // namespace
+}  // namespace rtk::tkernel

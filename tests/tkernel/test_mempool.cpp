@@ -1,0 +1,234 @@
+// Memory pool tests: fixed-size and variable-size pools, exhaustion,
+// waiter handoff, coalescing, double-free detection.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tkernel/tkernel.hpp"
+
+namespace rtk::tkernel {
+namespace {
+
+using sysc::Time;
+
+class PoolTest : public ::testing::Test {
+protected:
+    sysc::Kernel k;
+    TKernel tk;
+
+    void boot_and_run(std::function<void()> body, Time horizon = Time::ms(300)) {
+        tk.set_user_main(std::move(body));
+        tk.power_on();
+        k.run_until(horizon);
+    }
+
+    ID spawn_task(const char* name, PRI pri, std::function<void()> fn) {
+        T_CTSK ct;
+        ct.name = name;
+        ct.itskpri = pri;
+        ct.task = [fn = std::move(fn)](INT, void*) { fn(); };
+        const ID tid = tk.tk_cre_tsk(ct);
+        tk.tk_sta_tsk(tid, 0);
+        return tid;
+    }
+};
+
+TEST_F(PoolTest, FixedPoolAllocAndFree) {
+    boot_and_run([&] {
+        T_CMPF cm;
+        cm.mpfcnt = 3;
+        cm.blfsz = 32;
+        ID mpf = tk.tk_cre_mpf(cm);
+        std::set<void*> blocks;
+        for (int i = 0; i < 3; ++i) {
+            void* b = nullptr;
+            EXPECT_EQ(tk.tk_get_mpf(mpf, &b, TMO_POL), E_OK);
+            EXPECT_NE(b, nullptr);
+            blocks.insert(b);
+        }
+        EXPECT_EQ(blocks.size(), 3u);  // all distinct
+        void* extra = nullptr;
+        EXPECT_EQ(tk.tk_get_mpf(mpf, &extra, TMO_POL), E_TMOUT);  // exhausted
+        for (void* b : blocks) {
+            EXPECT_EQ(tk.tk_rel_mpf(mpf, b), E_OK);
+        }
+        T_RMPF r;
+        tk.tk_ref_mpf(mpf, &r);
+        EXPECT_EQ(r.frbcnt, 3);
+    });
+}
+
+TEST_F(PoolTest, FixedPoolRejectsBadPointers) {
+    boot_and_run([&] {
+        T_CMPF cm;
+        cm.mpfcnt = 2;
+        cm.blfsz = 16;
+        ID mpf = tk.tk_cre_mpf(cm);
+        void* b = nullptr;
+        tk.tk_get_mpf(mpf, &b, TMO_POL);
+        int local = 0;
+        EXPECT_EQ(tk.tk_rel_mpf(mpf, &local), E_PAR);  // foreign pointer
+        EXPECT_EQ(tk.tk_rel_mpf(mpf, static_cast<char*>(b) + 1), E_PAR);  // misaligned
+        EXPECT_EQ(tk.tk_rel_mpf(mpf, b), E_OK);
+        EXPECT_EQ(tk.tk_rel_mpf(mpf, b), E_PAR);  // double free
+    });
+}
+
+TEST_F(PoolTest, FixedPoolWaiterGetsBlockOnRelease) {
+    void* got = nullptr;
+    boot_and_run([&] {
+        T_CMPF cm;
+        cm.mpfcnt = 1;
+        cm.blfsz = 16;
+        ID mpf = tk.tk_cre_mpf(cm);
+        void* held = nullptr;
+        tk.tk_get_mpf(mpf, &held, TMO_POL);
+        spawn_task("w", 5, [&] { tk.tk_get_mpf(mpf, &got, TMO_FEVR); });
+        tk.tk_dly_tsk(10);
+        EXPECT_EQ(got, nullptr);
+        tk.tk_rel_mpf(mpf, held);  // handed straight to the waiter
+        tk.tk_dly_tsk(5);
+    });
+    EXPECT_NE(got, nullptr);
+}
+
+TEST_F(PoolTest, VariablePoolFirstFitAndRef) {
+    boot_and_run([&] {
+        T_CMPL cm;
+        cm.mplsz = 1024;
+        ID mpl = tk.tk_cre_mpl(cm);
+        void* a = nullptr;
+        void* b = nullptr;
+        EXPECT_EQ(tk.tk_get_mpl(mpl, 100, &a, TMO_POL), E_OK);
+        EXPECT_EQ(tk.tk_get_mpl(mpl, 200, &b, TMO_POL), E_OK);
+        T_RMPL r;
+        tk.tk_ref_mpl(mpl, &r);
+        // 100 -> 104, 200 -> 200 after 8-byte alignment.
+        EXPECT_EQ(r.frsz, 1024 - 104 - 200);
+        EXPECT_EQ(tk.tk_rel_mpl(mpl, a), E_OK);
+        EXPECT_EQ(tk.tk_rel_mpl(mpl, b), E_OK);
+        tk.tk_ref_mpl(mpl, &r);
+        EXPECT_EQ(r.frsz, 1024);
+        EXPECT_EQ(r.maxsz, 1024);  // coalesced back into one extent
+    });
+}
+
+TEST_F(PoolTest, VariablePoolCoalescesFragments) {
+    boot_and_run([&] {
+        T_CMPL cm;
+        cm.mplsz = 512;
+        ID mpl = tk.tk_cre_mpl(cm);
+        void* p[4] = {};
+        for (auto& ptr : p) {
+            ASSERT_EQ(tk.tk_get_mpl(mpl, 64, &ptr, TMO_POL), E_OK);
+        }
+        // Free out of order: 1, 3, 0, 2 -- must fully coalesce.
+        tk.tk_rel_mpl(mpl, p[1]);
+        tk.tk_rel_mpl(mpl, p[3]);
+        tk.tk_rel_mpl(mpl, p[0]);
+        tk.tk_rel_mpl(mpl, p[2]);
+        T_RMPL r;
+        tk.tk_ref_mpl(mpl, &r);
+        EXPECT_EQ(r.maxsz, 512);
+    });
+}
+
+TEST_F(PoolTest, VariablePoolExhaustionAndWaiters) {
+    ER er = E_SYS;
+    boot_and_run([&] {
+        T_CMPL cm;
+        cm.mplsz = 256;
+        ID mpl = tk.tk_cre_mpl(cm);
+        void* big = nullptr;
+        EXPECT_EQ(tk.tk_get_mpl(mpl, 256, &big, TMO_POL), E_OK);
+        void* more = nullptr;
+        EXPECT_EQ(tk.tk_get_mpl(mpl, 8, &more, TMO_POL), E_TMOUT);
+        spawn_task("w", 5, [&] {
+            void* blk = nullptr;
+            er = tk.tk_get_mpl(mpl, 128, &blk, TMO_FEVR);
+        });
+        tk.tk_dly_tsk(10);
+        tk.tk_rel_mpl(mpl, big);
+        tk.tk_dly_tsk(5);
+    });
+    EXPECT_EQ(er, E_OK);
+}
+
+TEST_F(PoolTest, VariablePoolRejectsBadRequests) {
+    boot_and_run([&] {
+        T_CMPL cm;
+        cm.mplsz = 128;
+        ID mpl = tk.tk_cre_mpl(cm);
+        void* b = nullptr;
+        EXPECT_EQ(tk.tk_get_mpl(mpl, 0, &b, TMO_POL), E_PAR);
+        EXPECT_EQ(tk.tk_get_mpl(mpl, 4096, &b, TMO_POL), E_PAR);
+        EXPECT_EQ(tk.tk_get_mpl(mpl, 8, nullptr, TMO_POL), E_PAR);
+        int local;
+        EXPECT_EQ(tk.tk_rel_mpl(mpl, &local), E_PAR);
+    });
+}
+
+TEST_F(PoolTest, StrictQueueOrderForVariableWaiters) {
+    // First waiter wants a big block; a later small request must not
+    // starve it (strict µ-ITRON queue order).
+    std::vector<std::string> order;
+    boot_and_run([&] {
+        T_CMPL cm;
+        cm.mplsz = 256;
+        ID mpl = tk.tk_cre_mpl(cm);
+        void* all = nullptr;
+        tk.tk_get_mpl(mpl, 256, &all, TMO_POL);
+        spawn_task("big", 5, [&] {
+            void* b = nullptr;
+            tk.tk_get_mpl(mpl, 200, &b, TMO_FEVR);
+            order.push_back("big");
+        });
+        spawn_task("small", 6, [&] {
+            tk.tk_dly_tsk(2);
+            void* b = nullptr;
+            tk.tk_get_mpl(mpl, 8, &b, TMO_FEVR);
+            order.push_back("small");
+        });
+        tk.tk_dly_tsk(10);
+        tk.tk_rel_mpl(mpl, all);  // big first, then small
+        tk.tk_dly_tsk(10);
+    });
+    EXPECT_EQ(order, (std::vector<std::string>{"big", "small"}));
+}
+
+TEST_F(PoolTest, DeleteReleasesWaiters) {
+    ER er = E_OK;
+    boot_and_run([&] {
+        T_CMPF cm;
+        cm.mpfcnt = 1;
+        cm.blfsz = 8;
+        ID mpf = tk.tk_cre_mpf(cm);
+        void* held = nullptr;
+        tk.tk_get_mpf(mpf, &held, TMO_POL);
+        spawn_task("w", 5, [&] {
+            void* b = nullptr;
+            er = tk.tk_get_mpf(mpf, &b, TMO_FEVR);
+        });
+        tk.tk_dly_tsk(5);
+        tk.tk_del_mpf(mpf);
+        tk.tk_dly_tsk(5);
+    });
+    EXPECT_EQ(er, E_DLT);
+}
+
+TEST_F(PoolTest, CreateValidation) {
+    boot_and_run([&] {
+        T_CMPF cf;
+        cf.mpfcnt = 0;
+        EXPECT_EQ(tk.tk_cre_mpf(cf), E_PAR);
+        cf.mpfcnt = 1;
+        cf.blfsz = -1;
+        EXPECT_EQ(tk.tk_cre_mpf(cf), E_PAR);
+        T_CMPL cl;
+        cl.mplsz = 0;
+        EXPECT_EQ(tk.tk_cre_mpl(cl), E_PAR);
+    });
+}
+
+}  // namespace
+}  // namespace rtk::tkernel

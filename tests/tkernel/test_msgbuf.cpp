@@ -1,0 +1,220 @@
+// Message buffer service call tests: copy semantics, blocking send on a
+// full buffer, zero-capacity rendezvous.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "tkernel/tkernel.hpp"
+
+namespace rtk::tkernel {
+namespace {
+
+using sysc::Time;
+
+class MbfTest : public ::testing::Test {
+protected:
+    sysc::Kernel k;
+    TKernel tk;
+
+    void boot_and_run(std::function<void()> body, Time horizon = Time::ms(300)) {
+        tk.set_user_main(std::move(body));
+        tk.power_on();
+        k.run_until(horizon);
+    }
+
+    ID spawn_task(const char* name, PRI pri, std::function<void()> fn) {
+        T_CTSK ct;
+        ct.name = name;
+        ct.itskpri = pri;
+        ct.task = [fn = std::move(fn)](INT, void*) { fn(); };
+        const ID tid = tk.tk_cre_tsk(ct);
+        tk.tk_sta_tsk(tid, 0);
+        return tid;
+    }
+};
+
+TEST_F(MbfTest, CopyInCopyOut) {
+    boot_and_run([&] {
+        T_CMBF cm;
+        cm.bufsz = 256;
+        cm.maxmsz = 64;
+        ID mbf = tk.tk_cre_mbf(cm);
+        const char msg[] = "hello";
+        EXPECT_EQ(tk.tk_snd_mbf(mbf, msg, sizeof(msg), TMO_POL), E_OK);
+        char buf[64] = {};
+        EXPECT_EQ(tk.tk_rcv_mbf(mbf, buf, TMO_POL), static_cast<INT>(sizeof(msg)));
+        EXPECT_STREQ(buf, "hello");
+    });
+}
+
+TEST_F(MbfTest, MessageBoundariesPreserved) {
+    boot_and_run([&] {
+        T_CMBF cm;
+        ID mbf = tk.tk_cre_mbf(cm);
+        const char a[] = "aa";
+        const char b[] = "bbbb";
+        tk.tk_snd_mbf(mbf, a, 2, TMO_POL);
+        tk.tk_snd_mbf(mbf, b, 4, TMO_POL);
+        char buf[16] = {};
+        EXPECT_EQ(tk.tk_rcv_mbf(mbf, buf, TMO_POL), 2);
+        EXPECT_EQ(tk.tk_rcv_mbf(mbf, buf, TMO_POL), 4);
+    });
+}
+
+TEST_F(MbfTest, OversizeMessageRejected) {
+    boot_and_run([&] {
+        T_CMBF cm;
+        cm.maxmsz = 8;
+        ID mbf = tk.tk_cre_mbf(cm);
+        char big[16] = {};
+        EXPECT_EQ(tk.tk_snd_mbf(mbf, big, 16, TMO_POL), E_PAR);
+        EXPECT_EQ(tk.tk_snd_mbf(mbf, big, 0, TMO_POL), E_PAR);
+        EXPECT_EQ(tk.tk_snd_mbf(mbf, nullptr, 4, TMO_POL), E_PAR);
+    });
+}
+
+TEST_F(MbfTest, SenderBlocksWhenFullThenProceeds) {
+    ER send_er = E_SYS;
+    Time sent_at;
+    boot_and_run([&] {
+        T_CMBF cm;
+        cm.bufsz = 16;  // fits one 8-byte message + header
+        cm.maxmsz = 8;
+        ID mbf = tk.tk_cre_mbf(cm);
+        const char m[8] = "0123456";
+        EXPECT_EQ(tk.tk_snd_mbf(mbf, m, 8, TMO_POL), E_OK);
+        EXPECT_EQ(tk.tk_snd_mbf(mbf, m, 8, TMO_POL), E_TMOUT);  // full
+        spawn_task("sender", 5, [&] {
+            const char m2[8] = "xxxxxxx";
+            send_er = tk.tk_snd_mbf(mbf, m2, 8, TMO_FEVR);  // blocks
+            sent_at = sysc::now();
+        });
+        tk.tk_dly_tsk(20);
+        char buf[8];
+        tk.tk_rcv_mbf(mbf, buf, TMO_POL);  // frees space -> sender unblocks
+        tk.tk_dly_tsk(5);
+    });
+    EXPECT_EQ(send_er, E_OK);
+    EXPECT_GE(sent_at, Time::ms(20));
+}
+
+TEST_F(MbfTest, ReceiverBlocksUntilSend) {
+    INT got = 0;
+    char buf[32] = {};
+    boot_and_run([&] {
+        T_CMBF cm;
+        ID mbf = tk.tk_cre_mbf(cm);
+        spawn_task("rx", 5, [&] { got = tk.tk_rcv_mbf(mbf, buf, TMO_FEVR); });
+        tk.tk_dly_tsk(10);
+        const char m[] = "late";
+        tk.tk_snd_mbf(mbf, m, 5, TMO_POL);
+        tk.tk_dly_tsk(5);
+    });
+    EXPECT_EQ(got, 5);
+    EXPECT_STREQ(buf, "late");
+}
+
+TEST_F(MbfTest, ZeroCapacityRendezvous) {
+    // bufsz == 0: the sender must block until a receiver arrives.
+    Time send_done, recv_done;
+    boot_and_run([&] {
+        T_CMBF cm;
+        cm.bufsz = 0;
+        cm.maxmsz = 16;
+        ID mbf = tk.tk_cre_mbf(cm);
+        spawn_task("tx", 5, [&] {
+            const char m[] = "sync";
+            EXPECT_EQ(tk.tk_snd_mbf(mbf, m, 5, TMO_FEVR), E_OK);
+            send_done = sysc::now();
+        });
+        spawn_task("rx", 6, [&] {
+            tk.tk_dly_tsk(25);
+            char buf[16];
+            EXPECT_EQ(tk.tk_rcv_mbf(mbf, buf, TMO_FEVR), 5);
+            recv_done = sysc::now();
+        });
+        tk.tk_dly_tsk(60);
+    });
+    EXPECT_GE(send_done, Time::ms(25));  // sender waited for the receiver
+    EXPECT_GE(recv_done, Time::ms(25));
+}
+
+TEST_F(MbfTest, SendOrderPreservedThroughBlockedSenders) {
+    std::vector<int> received;
+    ID mbf = 0;  // test scope: task bodies outlive the init task's frame
+    boot_and_run(
+        [&] {
+            T_CMBF cm;
+            cm.bufsz = 24;
+            cm.maxmsz = 8;
+            mbf = tk.tk_cre_mbf(cm);
+            spawn_task("tx", 6, [&] {
+                for (int i = 0; i < 8; ++i) {
+                    tk.tk_snd_mbf(mbf, &i, sizeof(i), TMO_FEVR);
+                }
+            });
+            spawn_task("rx", 5, [&] {
+                tk.tk_dly_tsk(10);
+                for (int i = 0; i < 8; ++i) {
+                    int v = -1;
+                    if (tk.tk_rcv_mbf(mbf, &v, TMO_FEVR) == static_cast<INT>(sizeof(v))) {
+                        received.push_back(v);
+                    }
+                    tk.tk_dly_tsk(1);
+                }
+            });
+        },
+        Time::ms(500));
+    ASSERT_EQ(received.size(), 8u);
+    for (int i = 0; i < 8; ++i) {
+        EXPECT_EQ(received[static_cast<std::size_t>(i)], i);
+    }
+}
+
+TEST_F(MbfTest, RefReportsState) {
+    boot_and_run([&] {
+        T_CMBF cm;
+        cm.bufsz = 64;
+        cm.maxmsz = 16;
+        ID mbf = tk.tk_cre_mbf(cm);
+        const char m[] = "abc";
+        tk.tk_snd_mbf(mbf, m, 4, TMO_POL);
+        T_RMBF r;
+        ASSERT_EQ(tk.tk_ref_mbf(mbf, &r), E_OK);
+        EXPECT_EQ(r.msgsz, 4);
+        EXPECT_EQ(r.frbufsz, 64 - 4 - MessageBuffer::header_bytes);
+        EXPECT_EQ(r.wtsk, 0);
+        EXPECT_EQ(r.rtsk, 0);
+    });
+}
+
+TEST_F(MbfTest, DeleteReleasesBothQueues) {
+    ER rx_er = E_OK, tx_er = E_OK;
+    boot_and_run([&] {
+        // rx blocks on an empty buffer; tx blocks on a *zero-capacity*
+        // buffer with no receiver -- deletion must release both with E_DLT.
+        T_CMBF cm;
+        cm.bufsz = 64;
+        cm.maxmsz = 8;
+        ID mbf_rx = tk.tk_cre_mbf(cm);
+        cm.bufsz = 0;
+        ID mbf_tx = tk.tk_cre_mbf(cm);
+        spawn_task("rx", 5, [&] {
+            char buf[8];
+            rx_er = tk.tk_rcv_mbf(mbf_rx, buf, TMO_FEVR);
+        });
+        spawn_task("tx", 6, [&] {
+            const char m[] = "x";
+            tx_er = tk.tk_snd_mbf(mbf_tx, m, 1, TMO_FEVR);
+        });
+        tk.tk_dly_tsk(10);
+        tk.tk_del_mbf(mbf_rx);
+        tk.tk_del_mbf(mbf_tx);
+        tk.tk_dly_tsk(10);
+    });
+    EXPECT_EQ(rx_er, E_DLT);
+    EXPECT_EQ(tx_er, E_DLT);
+}
+
+}  // namespace
+}  // namespace rtk::tkernel

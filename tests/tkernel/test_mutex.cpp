@@ -1,0 +1,327 @@
+// Mutex service call tests: plain locking, priority inheritance
+// (including transitive chains), priority ceiling, cleanup on exit.
+#include <gtest/gtest.h>
+
+#include "tkernel/tkernel.hpp"
+
+namespace rtk::tkernel {
+namespace {
+
+using sysc::Time;
+
+class MutexTest : public ::testing::Test {
+protected:
+    sysc::Kernel k;
+    TKernel tk;
+
+    void boot_and_run(std::function<void()> body, Time horizon = Time::ms(300)) {
+        tk.set_user_main(std::move(body));
+        tk.power_on();
+        k.run_until(horizon);
+    }
+
+    ID spawn_task(const char* name, PRI pri, std::function<void()> fn) {
+        T_CTSK ct;
+        ct.name = name;
+        ct.itskpri = pri;
+        ct.task = [fn = std::move(fn)](INT, void*) { fn(); };
+        const ID tid = tk.tk_cre_tsk(ct);
+        tk.tk_sta_tsk(tid, 0);
+        return tid;
+    }
+
+    PRI current_priority(ID tid) {
+        T_RTSK r;
+        tk.tk_ref_tsk(tid, &r);
+        return r.tskpri;
+    }
+};
+
+TEST_F(MutexTest, BasicLockUnlock) {
+    boot_and_run([&] {
+        T_CMTX cm;
+        ID mtx = tk.tk_cre_mtx(cm);
+        EXPECT_EQ(tk.tk_loc_mtx(mtx, TMO_FEVR), E_OK);
+        T_RMTX r;
+        tk.tk_ref_mtx(mtx, &r);
+        EXPECT_EQ(r.htsk, tk.tk_get_tid());
+        EXPECT_EQ(tk.tk_unl_mtx(mtx), E_OK);
+        tk.tk_ref_mtx(mtx, &r);
+        EXPECT_EQ(r.htsk, 0);
+    });
+}
+
+TEST_F(MutexTest, NotRecursive) {
+    boot_and_run([&] {
+        T_CMTX cm;
+        ID mtx = tk.tk_cre_mtx(cm);
+        tk.tk_loc_mtx(mtx, TMO_FEVR);
+        EXPECT_EQ(tk.tk_loc_mtx(mtx, TMO_FEVR), E_ILUSE);
+        tk.tk_unl_mtx(mtx);
+    });
+}
+
+TEST_F(MutexTest, UnlockByNonOwnerIsIllegal) {
+    boot_and_run([&] {
+        T_CMTX cm;
+        ID mtx = tk.tk_cre_mtx(cm);
+        spawn_task("owner", 5, [&] {
+            tk.tk_loc_mtx(mtx, TMO_FEVR);
+            tk.tk_slp_tsk(TMO_FEVR);
+        });
+        tk.tk_dly_tsk(5);
+        EXPECT_EQ(tk.tk_unl_mtx(mtx), E_ILUSE);
+    });
+}
+
+TEST_F(MutexTest, ContendedLockTransfersToWaiter) {
+    std::vector<std::string> order;
+    boot_and_run([&] {
+        T_CMTX cm;
+        ID mtx = tk.tk_cre_mtx(cm);
+        spawn_task("first", 5, [&] {
+            tk.tk_loc_mtx(mtx, TMO_FEVR);
+            order.push_back("first_locked");
+            tk.tk_dly_tsk(20);
+            tk.tk_unl_mtx(mtx);
+            order.push_back("first_unlocked");
+        });
+        spawn_task("second", 6, [&] {
+            tk.tk_dly_tsk(5);
+            tk.tk_loc_mtx(mtx, TMO_FEVR);
+            order.push_back("second_locked");
+            tk.tk_unl_mtx(mtx);
+        });
+        tk.tk_dly_tsk(60);
+    });
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], "first_locked");
+    EXPECT_EQ(order[1], "first_unlocked");
+    EXPECT_EQ(order[2], "second_locked");
+}
+
+TEST_F(MutexTest, LockTimeout) {
+    ER er = E_OK;
+    boot_and_run([&] {
+        T_CMTX cm;
+        ID mtx = tk.tk_cre_mtx(cm);
+        spawn_task("owner", 5, [&] {
+            tk.tk_loc_mtx(mtx, TMO_FEVR);
+            tk.tk_slp_tsk(TMO_FEVR);
+        });
+        tk.tk_dly_tsk(5);
+        er = tk.tk_loc_mtx(mtx, 10);
+    });
+    EXPECT_EQ(er, E_TMOUT);
+}
+
+TEST_F(MutexTest, PollFailsFast) {
+    boot_and_run([&] {
+        T_CMTX cm;
+        ID mtx = tk.tk_cre_mtx(cm);
+        spawn_task("owner", 5, [&] {
+            tk.tk_loc_mtx(mtx, TMO_FEVR);
+            tk.tk_slp_tsk(TMO_FEVR);
+        });
+        tk.tk_dly_tsk(5);
+        EXPECT_EQ(tk.tk_loc_mtx(mtx, TMO_POL), E_TMOUT);
+    });
+}
+
+TEST_F(MutexTest, PriorityInheritanceBoostsOwner) {
+    PRI owner_pri_during = 0;
+    ID owner_tid = 0;
+    boot_and_run([&] {
+        T_CMTX cm;
+        cm.mtxatr = TA_INHERIT;
+        ID mtx = tk.tk_cre_mtx(cm);
+        owner_tid = spawn_task("owner", 20, [&] {
+            tk.tk_loc_mtx(mtx, TMO_FEVR);
+            tk.tk_dly_tsk(30);
+            tk.tk_unl_mtx(mtx);
+            tk.tk_slp_tsk(TMO_FEVR);
+        });
+        spawn_task("hi", 3, [&] {
+            tk.tk_dly_tsk(5);
+            tk.tk_loc_mtx(mtx, TMO_FEVR);  // blocks; owner inherits pri 3
+            tk.tk_unl_mtx(mtx);
+        });
+        tk.tk_dly_tsk(15);
+        owner_pri_during = current_priority(owner_tid);
+        tk.tk_dly_tsk(40);
+    });
+    EXPECT_EQ(owner_pri_during, 3);
+    // After unlock, the owner's priority deflates to its base.
+    EXPECT_EQ(current_priority(owner_tid), 20);
+}
+
+TEST_F(MutexTest, TransitiveInheritanceChain) {
+    // hi blocks on m2 owned by mid; mid blocks on m1 owned by low.
+    // low must inherit hi's priority through the chain.
+    ID low_tid = 0;
+    PRI low_pri_during = 0;
+    boot_and_run([&] {
+        T_CMTX cm;
+        cm.mtxatr = TA_INHERIT;
+        ID m1 = tk.tk_cre_mtx(cm);
+        ID m2 = tk.tk_cre_mtx(cm);
+        low_tid = spawn_task("low", 30, [&] {
+            tk.tk_loc_mtx(m1, TMO_FEVR);
+            tk.tk_dly_tsk(40);
+            tk.tk_unl_mtx(m1);
+            tk.tk_slp_tsk(TMO_FEVR);
+        });
+        spawn_task("mid", 20, [&] {
+            tk.tk_dly_tsk(5);
+            tk.tk_loc_mtx(m2, TMO_FEVR);
+            tk.tk_loc_mtx(m1, TMO_FEVR);  // blocks on low
+            tk.tk_unl_mtx(m1);
+            tk.tk_unl_mtx(m2);
+            tk.tk_slp_tsk(TMO_FEVR);
+        });
+        spawn_task("hi", 2, [&] {
+            tk.tk_dly_tsk(10);
+            tk.tk_loc_mtx(m2, TMO_FEVR);  // blocks on mid -> chain boost
+            tk.tk_unl_mtx(m2);
+        });
+        tk.tk_dly_tsk(20);
+        low_pri_during = current_priority(low_tid);
+        tk.tk_dly_tsk(60);
+    });
+    EXPECT_EQ(low_pri_during, 2);
+}
+
+TEST_F(MutexTest, CeilingProtocolBoostsOnLock) {
+    ID t = 0;
+    PRI during = 0;
+    boot_and_run([&] {
+        T_CMTX cm;
+        cm.mtxatr = TA_CEILING;
+        cm.ceilpri = 3;
+        ID mtx = tk.tk_cre_mtx(cm);
+        t = spawn_task("t", 15, [&] {
+            tk.tk_loc_mtx(mtx, TMO_FEVR);
+            tk.tk_dly_tsk(20);
+            tk.tk_unl_mtx(mtx);
+            tk.tk_slp_tsk(TMO_FEVR);
+        });
+        tk.tk_dly_tsk(10);
+        during = current_priority(t);
+        tk.tk_dly_tsk(30);
+    });
+    EXPECT_EQ(during, 3);
+    EXPECT_EQ(current_priority(t), 15);
+}
+
+TEST_F(MutexTest, CeilingViolationIsIllegal) {
+    boot_and_run([&] {
+        T_CMTX cm;
+        cm.mtxatr = TA_CEILING;
+        cm.ceilpri = 10;
+        ID mtx = tk.tk_cre_mtx(cm);
+        ER er = E_OK;
+        spawn_task("urgent", 2, [&] {
+            er = tk.tk_loc_mtx(mtx, TMO_FEVR);  // base 2 beats ceiling 10
+        });
+        tk.tk_dly_tsk(5);
+        EXPECT_EQ(er, E_ILUSE);
+    });
+}
+
+TEST_F(MutexTest, ChgPriAboveCeilingOfHeldMutexIsIllegal) {
+    boot_and_run([&] {
+        T_CMTX cm;
+        cm.mtxatr = TA_CEILING;
+        cm.ceilpri = 5;
+        ID mtx = tk.tk_cre_mtx(cm);
+        ID t = spawn_task("t", 15, [&] {
+            tk.tk_loc_mtx(mtx, TMO_FEVR);
+            tk.tk_dly_tsk(30);
+            tk.tk_unl_mtx(mtx);
+        });
+        tk.tk_dly_tsk(5);
+        EXPECT_EQ(tk.tk_chg_pri(t, 2), E_ILUSE);
+        EXPECT_EQ(tk.tk_chg_pri(t, 8), E_OK);
+        tk.tk_dly_tsk(40);
+    });
+}
+
+TEST_F(MutexTest, TaskExitReleasesHeldMutexes) {
+    ER waiter_er = E_SYS;
+    boot_and_run([&] {
+        T_CMTX cm;
+        ID mtx = tk.tk_cre_mtx(cm);
+        spawn_task("holder", 5, [&] {
+            tk.tk_loc_mtx(mtx, TMO_FEVR);
+            tk.tk_dly_tsk(10);
+            // exits while holding the mutex
+        });
+        spawn_task("waiter", 6, [&] {
+            tk.tk_dly_tsk(2);
+            waiter_er = tk.tk_loc_mtx(mtx, TMO_FEVR);
+        });
+        tk.tk_dly_tsk(50);
+    });
+    EXPECT_EQ(waiter_er, E_OK);  // released on holder exit
+}
+
+TEST_F(MutexTest, TerminationReleasesHeldMutexes) {
+    ER waiter_er = E_SYS;
+    boot_and_run([&] {
+        T_CMTX cm;
+        ID mtx = tk.tk_cre_mtx(cm);
+        ID holder = spawn_task("holder", 5, [&] {
+            tk.tk_loc_mtx(mtx, TMO_FEVR);
+            tk.tk_slp_tsk(TMO_FEVR);
+        });
+        spawn_task("waiter", 6, [&] {
+            tk.tk_dly_tsk(2);
+            waiter_er = tk.tk_loc_mtx(mtx, TMO_FEVR);
+        });
+        tk.tk_dly_tsk(10);
+        tk.tk_ter_tsk(holder);
+        tk.tk_dly_tsk(10);
+    });
+    EXPECT_EQ(waiter_er, E_OK);
+}
+
+TEST_F(MutexTest, TimeoutDeflatesInheritedPriority) {
+    ID owner = 0;
+    PRI after_timeout = 0;
+    boot_and_run([&] {
+        T_CMTX cm;
+        cm.mtxatr = TA_INHERIT;
+        ID mtx = tk.tk_cre_mtx(cm);
+        owner = spawn_task("owner", 20, [&] {
+            tk.tk_loc_mtx(mtx, TMO_FEVR);
+            tk.tk_dly_tsk(60);
+            tk.tk_unl_mtx(mtx);
+            tk.tk_slp_tsk(TMO_FEVR);
+        });
+        spawn_task("hi", 3, [&] {
+            tk.tk_dly_tsk(5);
+            tk.tk_loc_mtx(mtx, 10);  // will time out at ~15 ms
+        });
+        tk.tk_dly_tsk(30);
+        after_timeout = current_priority(owner);
+        tk.tk_dly_tsk(60);
+    });
+    EXPECT_EQ(after_timeout, 20);  // boost removed with the waiter
+}
+
+TEST_F(MutexTest, HandlerContextIsRejected) {
+    ER er = E_OK;
+    boot_and_run([&] {
+        T_CMTX cm;
+        ID mtx = tk.tk_cre_mtx(cm);
+        T_CALM ca;
+        ca.almhdr = [&](void*) { er = tk.tk_loc_mtx(mtx, TMO_FEVR); };
+        ID alm = tk.tk_cre_alm(ca);
+        tk.tk_sta_alm(alm, 5);
+        tk.tk_dly_tsk(20);
+    });
+    EXPECT_EQ(er, E_CTX);
+}
+
+}  // namespace
+}  // namespace rtk::tkernel

@@ -1,0 +1,222 @@
+// Semaphore service call tests.
+#include <gtest/gtest.h>
+
+#include "tkernel/tkernel.hpp"
+
+namespace rtk::tkernel {
+namespace {
+
+using sysc::Time;
+
+class SemTest : public ::testing::Test {
+protected:
+    sysc::Kernel k;
+    TKernel tk;
+
+    void boot_and_run(std::function<void()> body, Time horizon = Time::ms(200)) {
+        tk.set_user_main(std::move(body));
+        tk.power_on();
+        k.run_until(horizon);
+    }
+
+    ID spawn_task(const char* name, PRI pri, std::function<void()> fn) {
+        T_CTSK ct;
+        ct.name = name;
+        ct.itskpri = pri;
+        ct.task = [fn = std::move(fn)](INT, void*) { fn(); };
+        const ID tid = tk.tk_cre_tsk(ct);
+        tk.tk_sta_tsk(tid, 0);
+        return tid;
+    }
+};
+
+TEST_F(SemTest, CreateValidates) {
+    boot_and_run([&] {
+        T_CSEM cs;
+        cs.isemcnt = -1;
+        EXPECT_EQ(tk.tk_cre_sem(cs), E_PAR);
+        cs.isemcnt = 5;
+        cs.maxsem = 3;
+        EXPECT_EQ(tk.tk_cre_sem(cs), E_PAR);
+        cs.maxsem = 10;
+        EXPECT_GT(tk.tk_cre_sem(cs), 0);
+    });
+}
+
+TEST_F(SemTest, PollSucceedsWhenAvailable) {
+    boot_and_run([&] {
+        T_CSEM cs;
+        cs.isemcnt = 2;
+        ID sem = tk.tk_cre_sem(cs);
+        EXPECT_EQ(tk.tk_wai_sem(sem, 2, TMO_POL), E_OK);
+        EXPECT_EQ(tk.tk_wai_sem(sem, 1, TMO_POL), E_TMOUT);
+        T_RSEM r;
+        tk.tk_ref_sem(sem, &r);
+        EXPECT_EQ(r.semcnt, 0);
+    });
+}
+
+TEST_F(SemTest, SignalWakesWaiter) {
+    ER er = E_SYS;
+    Time woke;
+    boot_and_run([&] {
+        T_CSEM cs;
+        ID sem = tk.tk_cre_sem(cs);
+        spawn_task("waiter", 5, [&] {
+            er = tk.tk_wai_sem(sem, 1, TMO_FEVR);
+            woke = sysc::now();
+        });
+        tk.tk_dly_tsk(10);
+        tk.tk_sig_sem(sem, 1);
+    });
+    EXPECT_EQ(er, E_OK);
+    EXPECT_GE(woke, Time::ms(10));
+}
+
+TEST_F(SemTest, WaitTimeout) {
+    ER er = E_OK;
+    boot_and_run([&] {
+        T_CSEM cs;
+        ID sem = tk.tk_cre_sem(cs);
+        er = tk.tk_wai_sem(sem, 1, 15);
+    });
+    EXPECT_EQ(er, E_TMOUT);
+}
+
+TEST_F(SemTest, CountingSemantics) {
+    boot_and_run([&] {
+        T_CSEM cs;
+        cs.isemcnt = 0;
+        ID sem = tk.tk_cre_sem(cs);
+        tk.tk_sig_sem(sem, 3);
+        EXPECT_EQ(tk.tk_wai_sem(sem, 2, TMO_POL), E_OK);
+        EXPECT_EQ(tk.tk_wai_sem(sem, 2, TMO_POL), E_TMOUT);
+        EXPECT_EQ(tk.tk_wai_sem(sem, 1, TMO_POL), E_OK);
+    });
+}
+
+TEST_F(SemTest, QueueOverflow) {
+    boot_and_run([&] {
+        T_CSEM cs;
+        cs.isemcnt = 0;
+        cs.maxsem = 2;
+        ID sem = tk.tk_cre_sem(cs);
+        EXPECT_EQ(tk.tk_sig_sem(sem, 2), E_OK);
+        EXPECT_EQ(tk.tk_sig_sem(sem, 1), E_QOVR);
+        EXPECT_EQ(tk.tk_sig_sem(sem, 0), E_PAR);
+    });
+}
+
+TEST_F(SemTest, TaFirstBlocksBehindBigRequest) {
+    // TA_FIRST: a small request behind a blocked big one must wait.
+    std::vector<std::string> order;
+    boot_and_run([&] {
+        T_CSEM cs;
+        cs.sematr = TA_TFIFO | TA_FIRST;
+        cs.isemcnt = 0;
+        cs.maxsem = 10;
+        ID sem = tk.tk_cre_sem(cs);
+        spawn_task("big", 5, [&] {
+            tk.tk_wai_sem(sem, 3, TMO_FEVR);
+            order.push_back("big");
+        });
+        spawn_task("small", 6, [&] {
+            tk.tk_wai_sem(sem, 1, TMO_FEVR);
+            order.push_back("small");
+        });
+        tk.tk_dly_tsk(10);
+        tk.tk_sig_sem(sem, 1);  // not enough for big; small must NOT jump
+        tk.tk_dly_tsk(10);
+        EXPECT_TRUE(order.empty());
+        tk.tk_sig_sem(sem, 3);  // big (3) then small (1)
+        tk.tk_dly_tsk(10);
+    });
+    EXPECT_EQ(order, (std::vector<std::string>{"big", "small"}));
+}
+
+TEST_F(SemTest, TaCntServesSatisfiableWaiter) {
+    std::vector<std::string> order;
+    boot_and_run([&] {
+        T_CSEM cs;
+        cs.sematr = TA_TFIFO | TA_CNT;
+        cs.isemcnt = 0;
+        cs.maxsem = 10;
+        ID sem = tk.tk_cre_sem(cs);
+        spawn_task("big", 5, [&] {
+            tk.tk_wai_sem(sem, 3, TMO_FEVR);
+            order.push_back("big");
+        });
+        spawn_task("small", 6, [&] {
+            tk.tk_wai_sem(sem, 1, TMO_FEVR);
+            order.push_back("small");
+        });
+        tk.tk_dly_tsk(10);
+        tk.tk_sig_sem(sem, 1);  // TA_CNT: small is served although queued second
+        tk.tk_dly_tsk(10);
+    });
+    EXPECT_EQ(order, (std::vector<std::string>{"small"}));
+}
+
+TEST_F(SemTest, PriorityOrderedQueue) {
+    std::vector<std::string> order;
+    boot_and_run([&] {
+        T_CSEM cs;
+        cs.sematr = TA_TPRI | TA_FIRST;
+        ID sem = tk.tk_cre_sem(cs);
+        spawn_task("lopri", 20, [&] {
+            tk.tk_wai_sem(sem, 1, TMO_FEVR);
+            order.push_back("lopri");
+        });
+        tk.tk_dly_tsk(5);
+        spawn_task("hipri", 5, [&] {
+            tk.tk_wai_sem(sem, 1, TMO_FEVR);
+            order.push_back("hipri");
+        });
+        tk.tk_dly_tsk(5);
+        tk.tk_sig_sem(sem, 1);  // hipri queued later but served first
+        tk.tk_dly_tsk(5);
+        tk.tk_sig_sem(sem, 1);
+        tk.tk_dly_tsk(5);
+    });
+    EXPECT_EQ(order, (std::vector<std::string>{"hipri", "lopri"}));
+}
+
+TEST_F(SemTest, DeleteReleasesWaitersWithEDlt) {
+    ER er = E_OK;
+    boot_and_run([&] {
+        T_CSEM cs;
+        ID sem = tk.tk_cre_sem(cs);
+        spawn_task("w", 5, [&] { er = tk.tk_wai_sem(sem, 1, TMO_FEVR); });
+        tk.tk_dly_tsk(5);
+        EXPECT_EQ(tk.tk_del_sem(sem), E_OK);
+        tk.tk_dly_tsk(5);
+        T_RSEM r;
+        EXPECT_EQ(tk.tk_ref_sem(sem, &r), E_NOEXS);
+    });
+    EXPECT_EQ(er, E_DLT);
+}
+
+TEST_F(SemTest, BadIds) {
+    boot_and_run([&] {
+        EXPECT_EQ(tk.tk_sig_sem(-1, 1), E_ID);
+        EXPECT_EQ(tk.tk_sig_sem(12345, 1), E_NOEXS);
+        EXPECT_EQ(tk.tk_wai_sem(0, 1, TMO_POL), E_ID);
+        EXPECT_EQ(tk.tk_del_sem(12345), E_NOEXS);
+    });
+}
+
+TEST_F(SemTest, RefReportsFirstWaiter) {
+    boot_and_run([&] {
+        T_CSEM cs;
+        ID sem = tk.tk_cre_sem(cs);
+        ID w = spawn_task("w", 5, [&] { tk.tk_wai_sem(sem, 1, TMO_FEVR); });
+        tk.tk_dly_tsk(5);
+        T_RSEM r;
+        ASSERT_EQ(tk.tk_ref_sem(sem, &r), E_OK);
+        EXPECT_EQ(r.wtsk, w);
+        tk.tk_sig_sem(sem, 1);
+    });
+}
+
+}  // namespace
+}  // namespace rtk::tkernel

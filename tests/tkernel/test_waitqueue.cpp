@@ -1,0 +1,103 @@
+// WaitQueue unit tests: FIFO vs priority ordering, repositioning.
+#include <gtest/gtest.h>
+
+#include "sim/sim.hpp"
+#include "tkernel/tkernel.hpp"
+
+namespace rtk::tkernel {
+namespace {
+
+class WaitQueueTest : public ::testing::Test {
+protected:
+    sysc::Kernel k;
+    sim::PriorityPreemptiveScheduler sched;
+    sim::SimApi api{sched};
+
+    TCB make(const char* name, PRI pri) {
+        TCB t;
+        t.name = name;
+        t.thread = &api.SIM_CreateThread(name, sim::ThreadKind::task, pri, [] {});
+        return t;
+    }
+};
+
+TEST_F(WaitQueueTest, FifoOrder) {
+    WaitQueue q(false);
+    TCB a = make("a", 5), b = make("b", 1), c = make("c", 9);
+    q.enqueue(a);
+    q.enqueue(b);
+    q.enqueue(c);
+    EXPECT_EQ(q.size(), 3u);
+    EXPECT_EQ(q.pop_front(), &a);  // insertion order, priorities ignored
+    EXPECT_EQ(q.pop_front(), &b);
+    EXPECT_EQ(q.pop_front(), &c);
+    EXPECT_EQ(q.pop_front(), nullptr);
+}
+
+TEST_F(WaitQueueTest, PriorityOrderWithFifoTieBreak) {
+    WaitQueue q(true);
+    TCB a = make("a", 5), b = make("b", 1), c = make("c", 5), d = make("d", 9);
+    q.enqueue(a);
+    q.enqueue(b);
+    q.enqueue(c);
+    q.enqueue(d);
+    EXPECT_EQ(q.pop_front(), &b);  // highest priority
+    EXPECT_EQ(q.pop_front(), &a);  // FIFO among equals (a before c)
+    EXPECT_EQ(q.pop_front(), &c);
+    EXPECT_EQ(q.pop_front(), &d);
+}
+
+TEST_F(WaitQueueTest, EnqueueSetsBackPointer) {
+    WaitQueue q(false);
+    TCB a = make("a", 5);
+    q.enqueue(a);
+    EXPECT_EQ(a.queue, &q);
+    q.remove(a);
+    EXPECT_EQ(a.queue, nullptr);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST_F(WaitQueueTest, RemoveAbsentIsNoop) {
+    WaitQueue q(false);
+    TCB a = make("a", 5);
+    q.remove(a);  // never enqueued
+    EXPECT_TRUE(q.empty());
+}
+
+TEST_F(WaitQueueTest, RepositionAfterPriorityChange) {
+    WaitQueue q(true);
+    TCB a = make("a", 5), b = make("b", 10);
+    q.enqueue(a);
+    q.enqueue(b);
+    EXPECT_EQ(q.front(), &a);
+    // Boost b above a (the thread's current priority drives ordering).
+    api.SIM_SetCurrentPriority(*b.thread, 1);
+    q.reposition(b);
+    EXPECT_EQ(q.front(), &b);
+}
+
+TEST_F(WaitQueueTest, RepositionOnFifoQueueIsNoop) {
+    WaitQueue q(false);
+    TCB a = make("a", 5), b = make("b", 10);
+    q.enqueue(a);
+    q.enqueue(b);
+    api.SIM_SetCurrentPriority(*b.thread, 1);
+    q.reposition(b);
+    EXPECT_EQ(q.front(), &a);  // FIFO queues never reorder
+}
+
+TEST_F(WaitQueueTest, SnapshotAndContains) {
+    WaitQueue q(true);
+    TCB a = make("a", 3), b = make("b", 7);
+    q.enqueue(b);
+    q.enqueue(a);
+    EXPECT_TRUE(q.contains(a));
+    auto snap = q.snapshot();
+    ASSERT_EQ(snap.size(), 2u);
+    EXPECT_EQ(snap[0], &a);
+    q.remove(a);
+    EXPECT_FALSE(q.contains(a));
+}
+
+}  // namespace
+}  // namespace rtk::tkernel
