@@ -1,5 +1,6 @@
 #include "app/monitor.hpp"
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>

@@ -1,5 +1,7 @@
 #include "bfm/bfm8051.hpp"
 
+#include <cstdint>
+
 namespace rtk::bfm {
 
 namespace {

@@ -12,6 +12,7 @@
 // under ExecContext::bfm_access.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 

@@ -1,5 +1,7 @@
 #include "bfm/intc.hpp"
 
+#include <cstdint>
+
 #include "sysc/report.hpp"
 
 namespace rtk::bfm {

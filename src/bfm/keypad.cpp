@@ -1,5 +1,7 @@
 #include "bfm/keypad.hpp"
 
+#include <cstdint>
+
 #include "sysc/report.hpp"
 
 namespace rtk::bfm {

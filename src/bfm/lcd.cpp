@@ -1,6 +1,7 @@
 #include "bfm/lcd.hpp"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "sysc/kernel.hpp"
 

@@ -1,5 +1,7 @@
 #include "bfm/pio.hpp"
 
+#include <cstdint>
+
 #include "sysc/report.hpp"
 
 namespace rtk::bfm {

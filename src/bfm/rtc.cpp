@@ -1,5 +1,7 @@
 #include "bfm/rtc.hpp"
 
+#include <cstdint>
+
 #include "sysc/kernel.hpp"
 #include "sysc/process.hpp"
 

@@ -1,5 +1,7 @@
 #include "bfm/serial.hpp"
 
+#include <cstdint>
+
 #include "sysc/kernel.hpp"
 #include "sysc/process.hpp"
 

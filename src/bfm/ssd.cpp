@@ -1,5 +1,7 @@
 #include "bfm/ssd.hpp"
 
+#include <cstdint>
+
 namespace rtk::bfm {
 
 namespace {

@@ -1,5 +1,7 @@
 #include "bfm/timer.hpp"
 
+#include <cstdint>
+
 #include "sysc/kernel.hpp"
 #include "sysc/process.hpp"
 #include "sysc/report.hpp"

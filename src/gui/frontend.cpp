@@ -1,5 +1,6 @@
 #include "gui/frontend.hpp"
 
+#include <cstdint>
 #include <sstream>
 
 #include "sysc/kernel.hpp"

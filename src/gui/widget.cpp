@@ -1,5 +1,7 @@
 #include "gui/widget.hpp"
 
+#include <cstdint>
+
 #include "sysc/kernel.hpp"
 
 namespace rtk::gui {

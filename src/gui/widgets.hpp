@@ -4,6 +4,7 @@
 // (Fig 7), and a waveform probe (Fig 4).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 

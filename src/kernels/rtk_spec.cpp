@@ -1,5 +1,8 @@
 #include "kernels/rtk_spec.hpp"
 
+#include <cstddef>
+#include <cstdint>
+
 #include "sysc/report.hpp"
 
 namespace rtk::kernels {

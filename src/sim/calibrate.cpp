@@ -1,6 +1,8 @@
 #include "sim/calibrate.hpp"
 
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
 #include <sstream>
 
 namespace rtk::sim {

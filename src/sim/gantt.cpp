@@ -1,6 +1,8 @@
 #include "sim/gantt.hpp"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
 #include <map>
 #include <sstream>
 

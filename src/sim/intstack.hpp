@@ -5,6 +5,7 @@
 // higher-priority IRQs.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <vector>
 

@@ -1,6 +1,7 @@
 #include "sim/scheduler.hpp"
 
 #include <algorithm>
+#include <cstddef>
 
 #include "sim/tthread.hpp"
 #include "sysc/report.hpp"

@@ -1,6 +1,7 @@
 #include "sim/sim_api.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <exception>
 
 #include "sysc/kernel.hpp"

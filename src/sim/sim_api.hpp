@@ -15,6 +15,7 @@
 // this is the reproduced API surface, fidelity beats house style.
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <string>

@@ -1,6 +1,8 @@
 #include "sim/stats.hpp"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
 #include <iomanip>
 #include <sstream>
 

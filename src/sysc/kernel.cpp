@@ -1,6 +1,7 @@
 #include "sysc/kernel.hpp"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "sysc/report.hpp"
 

@@ -1,6 +1,8 @@
 #include "sysc/process.hpp"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
 
 #include "sysc/kernel.hpp"
 #include "sysc/report.hpp"

@@ -1,5 +1,7 @@
 #include "sysc/time.hpp"
 
+#include <cstdint>
+
 namespace rtk::sysc {
 
 std::string Time::to_string() const {

@@ -1,5 +1,9 @@
 #include "sysc/trace.hpp"
 
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
 #include "sysc/kernel.hpp"
 #include "sysc/report.hpp"
 

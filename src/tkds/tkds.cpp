@@ -1,5 +1,6 @@
 #include "tkds/tkds.hpp"
 
+#include <cstddef>
 #include <iomanip>
 #include <sstream>
 

@@ -6,6 +6,7 @@
 // task state-transition journal view for trace tooling.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 

@@ -2,6 +2,8 @@
 // T-THREADs, and delivery from the Interrupt Dispatch module (Fig 3).
 #include "tkernel/kernel.hpp"
 
+#include <cstdint>
+
 namespace rtk::tkernel {
 
 using sim::ExecContext;

@@ -3,6 +3,7 @@
 // plumbing, blocking/release helpers and the timer machinery.
 #include "tkernel/kernel.hpp"
 
+#include <cstdint>
 #include <exception>
 
 #include "sysc/report.hpp"

@@ -16,6 +16,7 @@
 // Dispatch processes.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>

@@ -4,6 +4,9 @@
 // queue order, as µ-ITRON requires.
 #include "tkernel/kernel.hpp"
 
+#include <cstddef>
+#include <cstdint>
+
 namespace rtk::tkernel {
 
 namespace {

@@ -4,6 +4,8 @@
 // fully synchronous rendezvous.
 #include "tkernel/kernel.hpp"
 
+#include <cstddef>
+#include <cstdint>
 #include <cstring>
 
 namespace rtk::tkernel {

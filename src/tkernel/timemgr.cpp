@@ -4,6 +4,8 @@
 // paper's delayed-dispatching semantics automatically.
 #include "tkernel/kernel.hpp"
 
+#include <cstdint>
+
 namespace rtk::tkernel {
 
 using sim::ExecContext;

@@ -1,0 +1,163 @@
+// SIM_HashTB tests -- the T-THREAD registry of the SIM_API library
+// (paper §4): insert/lookup/collision/erase plus the transition journal.
+#include <gtest/gtest.h>
+
+#include "sim/sim.hpp"
+#include "sysc/sysc.hpp"
+
+namespace rtk::sim {
+namespace {
+
+using sysc::Time;
+
+/// Creates real T-THREADs through SimApi (their constructor is private)
+/// and exercises a standalone SimHashTB with them.
+class HashTbTest : public ::testing::Test {
+protected:
+    TThread& make_thread(const std::string& name) {
+        return api.SIM_CreateThread(name, ThreadKind::task, 5, [] {});
+    }
+
+    sysc::Kernel kernel;
+    PriorityPreemptiveScheduler sched;
+    SimApi api{sched};
+    SimHashTB tb;
+};
+
+TEST_F(HashTbTest, InsertAndFind) {
+    TThread& a = make_thread("a");
+    TThread& b = make_thread("b");
+    tb.insert(100, a);
+    tb.insert(200, b);
+    EXPECT_EQ(tb.size(), 2u);
+    EXPECT_EQ(tb.find(100), &a);
+    EXPECT_EQ(tb.find(200), &b);
+    EXPECT_EQ(tb.find(300), nullptr);
+}
+
+TEST_F(HashTbTest, FindByName) {
+    TThread& a = make_thread("worker");
+    tb.insert(1, a);
+    EXPECT_EQ(tb.find_by_name("worker"), &a);
+    EXPECT_EQ(tb.find_by_name("nope"), nullptr);
+}
+
+TEST_F(HashTbTest, InsertStartsDormantWithEmptyHistory) {
+    TThread& a = make_thread("a");
+    tb.insert(7, a);
+    const SimHashTB::Record* rec = tb.record(7);
+    ASSERT_NE(rec, nullptr);
+    EXPECT_EQ(rec->thread, &a);
+    EXPECT_EQ(rec->state, ThreadState::dormant);
+    EXPECT_EQ(rec->change_count, 0u);
+    EXPECT_EQ(tb.record(8), nullptr);
+}
+
+TEST_F(HashTbTest, DuplicateIdCollisionIsFatal) {
+    TThread& a = make_thread("a");
+    TThread& b = make_thread("b");
+    tb.insert(1, a);
+    EXPECT_THROW(tb.insert(1, b), sysc::SimError);
+}
+
+TEST_F(HashTbTest, EraseRemovesRecord) {
+    TThread& a = make_thread("a");
+    tb.insert(1, a);
+    tb.erase(1);
+    EXPECT_EQ(tb.size(), 0u);
+    EXPECT_EQ(tb.find(1), nullptr);
+    EXPECT_EQ(tb.record(1), nullptr);
+    tb.erase(1);  // erasing a missing id is a no-op
+}
+
+TEST_F(HashTbTest, EraseThenReinsertSameId) {
+    TThread& a = make_thread("a");
+    TThread& b = make_thread("b");
+    tb.insert(1, a);
+    tb.erase(1);
+    tb.insert(1, b);
+    EXPECT_EQ(tb.find(1), &b);
+}
+
+TEST_F(HashTbTest, UpdateTracksStateTimeAndCount) {
+    TThread& a = make_thread("a");
+    tb.insert(1, a);
+    tb.update(1, ThreadState::ready, Time::us(10));
+    tb.update(1, ThreadState::running, Time::us(25));
+    const SimHashTB::Record* rec = tb.record(1);
+    ASSERT_NE(rec, nullptr);
+    EXPECT_EQ(rec->state, ThreadState::running);
+    EXPECT_EQ(rec->last_change, Time::us(25));
+    EXPECT_EQ(rec->change_count, 2u);
+    EXPECT_EQ(tb.total_transitions(), 2u);
+}
+
+TEST_F(HashTbTest, UpdateUnknownIdIsFatal) {
+    EXPECT_THROW(tb.update(42, ThreadState::ready, Time::zero()), sysc::SimError);
+}
+
+TEST_F(HashTbTest, JournalRecordsTransitionEdges) {
+    TThread& a = make_thread("a");
+    tb.insert(1, a);
+    tb.update(1, ThreadState::ready, Time::us(1));
+    tb.update(1, ThreadState::running, Time::us(2));
+    ASSERT_EQ(tb.journal().size(), 2u);
+    const auto& first = tb.journal().front();
+    EXPECT_EQ(first.tid, 1);
+    EXPECT_EQ(first.from, ThreadState::dormant);
+    EXPECT_EQ(first.to, ThreadState::ready);
+    EXPECT_EQ(first.at, Time::us(1));
+    const auto& second = tb.journal().back();
+    EXPECT_EQ(second.from, ThreadState::ready);
+    EXPECT_EQ(second.to, ThreadState::running);
+}
+
+TEST_F(HashTbTest, JournalIsBounded) {
+    TThread& a = make_thread("a");
+    tb.insert(1, a);
+    tb.set_journal_limit(4);
+    for (int i = 0; i < 10; ++i) {
+        tb.update(1, i % 2 ? ThreadState::ready : ThreadState::running,
+                  Time::us(i));
+    }
+    EXPECT_EQ(tb.journal().size(), 4u);
+    EXPECT_EQ(tb.total_transitions(), 10u);
+    // Oldest entries dropped: the surviving window is the last 4 updates.
+    EXPECT_EQ(tb.journal().front().at, Time::us(6));
+    EXPECT_EQ(tb.journal().back().at, Time::us(9));
+}
+
+TEST_F(HashTbTest, ThreadsSortedById) {
+    TThread& a = make_thread("a");
+    TThread& b = make_thread("b");
+    TThread& c = make_thread("c");
+    // Insert in shuffled key order; threads() must come back sorted by id.
+    tb.insert(30, c);
+    tb.insert(10, a);
+    tb.insert(20, b);
+    // Registry ids (10/20/30) are independent of SimApi ids, so sort by
+    // the TThread's own id, which SIM_CreateThread assigned in order.
+    std::vector<TThread*> got = tb.threads();
+    ASSERT_EQ(got.size(), 3u);
+    EXPECT_EQ(got[0], &a);
+    EXPECT_EQ(got[1], &b);
+    EXPECT_EQ(got[2], &c);
+}
+
+TEST_F(HashTbTest, SimApiKeepsItsHashTableCurrent) {
+    TThread& t = api.SIM_CreateThread("job", ThreadKind::task, 3,
+                                      [this] { api.SIM_Wait(Time::ms(1), ExecContext::task); });
+    const SimHashTB& live = api.hash_table();
+    EXPECT_EQ(live.find(t.id()), &t);
+    EXPECT_EQ(live.record(t.id())->state, ThreadState::dormant);
+    api.SIM_StartThread(t);
+    kernel.run();
+    EXPECT_EQ(live.record(t.id())->state, ThreadState::dormant);  // cycle done
+    EXPECT_GE(live.total_transitions(), 3u);  // ready -> running -> dormant
+    const ThreadId id = t.id();  // SIM_DeleteThread destroys t
+    api.SIM_DeleteThread(t);
+    EXPECT_EQ(live.find(id), nullptr);
+}
+
+}  // namespace
+}  // namespace rtk::sim
