@@ -100,7 +100,7 @@ void RtkSpecBase::delay(std::uint64_t ms) {
     Task* me = static_cast<Task*>(api_->self().user_data());
     const std::uint64_t ticks =
         (sysc::Time::ms(ms) + cfg_.tick - sysc::Time::ps(1)) / cfg_.tick;
-    delay_queue_.emplace(tick_count_ + (ticks == 0 ? 1 : ticks), me->tid);
+    delay_queue_.schedule(tick_count_ + (ticks == 0 ? 1 : ticks), me->tid);
     me->sleeping = true;
     api_->SIM_Sleep();
 }
@@ -157,9 +157,8 @@ void RtkSpecBase::power_on() {
 
 void RtkSpecBase::timer_tick() {
     ++tick_count_;
-    while (!delay_queue_.empty() && delay_queue_.begin()->first <= tick_count_) {
-        const int tid = delay_queue_.begin()->second;
-        delay_queue_.erase(delay_queue_.begin());
+    while (!delay_queue_.empty() && delay_queue_.next_at() <= tick_count_) {
+        const int tid = delay_queue_.pop();
         Task* t = find(tid);
         if (t->sleeping) {
             t->sleeping = false;

@@ -15,7 +15,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -89,7 +88,7 @@ protected:
     std::unique_ptr<sim::SimApi> api_;
     std::vector<std::unique_ptr<Task>> tasks_;
     std::vector<Sem> sems_;
-    std::multimap<std::uint64_t, int> delay_queue_;  ///< wake tick -> tid
+    sim::TimerQueue<std::uint64_t, int> delay_queue_;  ///< wake tick -> tid
     sim::TThread* tick_thread_ = nullptr;
     std::uint64_t tick_count_ = 0;
     bool powered_ = false;

@@ -1,0 +1,66 @@
+#include "sim/ready_queue.hpp"
+
+#include "sim/tthread.hpp"
+#include "sysc/report.hpp"
+
+namespace rtk::sim {
+
+void ReadyList::push_back(TThread& t, Priority bucket) {
+    ReadyNode& n = t.ready_node();
+    if (n.linked) {
+        sysc::report(sysc::Severity::fatal, "scheduler",
+                     "ready-queue corruption: '" + t.name() +
+                         "' enqueued while already linked");
+    }
+    n.prev = tail_;
+    n.next = nullptr;
+    n.bucket = bucket;
+    n.linked = true;
+    if (tail_ != nullptr) {
+        tail_->ready_node().next = &t;
+    } else {
+        head_ = &t;
+    }
+    tail_ = &t;
+    ++size_;
+}
+
+void ReadyList::unlink(TThread& t) {
+    ReadyNode& n = t.ready_node();
+    if (n.prev != nullptr) {
+        n.prev->ready_node().next = n.next;
+    } else {
+        head_ = n.next;
+    }
+    if (n.next != nullptr) {
+        n.next->ready_node().prev = n.prev;
+    } else {
+        tail_ = n.prev;
+    }
+    n.prev = nullptr;
+    n.next = nullptr;
+    n.linked = false;
+    --size_;
+}
+
+TThread* ReadyList::pop_front() {
+    TThread* t = head_;
+    if (t != nullptr) {
+        unlink(*t);
+    }
+    return t;
+}
+
+void ReadyList::rotate() {
+    if (size_ < 2) {
+        return;
+    }
+    TThread* t = pop_front();
+    push_back(*t, t->ready_node().bucket);
+}
+
+TThread* ReadyList::next(const TThread& t) {
+    return t.ready_node().next;
+}
+
+}  // namespace rtk::sim

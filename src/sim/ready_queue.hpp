@@ -1,0 +1,68 @@
+// Intrusive ready-queue machinery of the external schedulers.
+//
+// Real kernels keep the scheduling fast path allocation-free by threading
+// the ready lists through the task control blocks themselves (eChronos,
+// µC/OS-II); the same shape is used here: every TThread embeds one
+// ReadyNode, and a ReadyList is a FIFO of TThreads linked through that
+// node. All operations are O(1).
+//
+// Lifetime rules (enforced by SIM_API):
+//   - A TThread is linked into at most one ReadyList at a time -- the
+//     thread's state is READY exactly while it is linked.
+//   - The owning Scheduler must unlink the thread before it blocks,
+//     suspends or terminates; SIM_DeleteThread requires DORMANT, so a
+//     TThread is never destroyed while linked.
+//   - ReadyNode fields are owned by the Scheduler; no other layer may
+//     touch them.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/types.hpp"
+
+namespace rtk::sim {
+
+class TThread;
+
+/// Intrusive doubly-linked ready-queue hook embedded in every TThread.
+struct ReadyNode {
+    TThread* prev = nullptr;
+    TThread* next = nullptr;
+    /// Priority bucket the thread was enqueued under (the scheduler keys
+    /// its removal on this, not on the thread's -- possibly already
+    /// changed -- current priority). Valid only while linked.
+    Priority bucket = 0;
+    bool linked = false;
+};
+
+/// Intrusive FIFO of TThreads threaded through TThread::ready_node().
+/// push/pop/unlink/rotate are O(1); no memory is allocated.
+class ReadyList {
+public:
+    bool empty() const { return head_ == nullptr; }
+    std::size_t size() const { return size_; }
+    TThread* front() const { return head_; }
+
+    /// Append `t` and stamp its node with `bucket`. Fatal if `t` is
+    /// already linked (single-list invariant violation).
+    void push_back(TThread& t, Priority bucket);
+
+    /// Unlink `t` from this list (caller checked membership via the node).
+    void unlink(TThread& t);
+
+    /// Detach and return the head (nullptr when empty).
+    TThread* pop_front();
+
+    /// Move the head to the tail (µ-ITRON tk_rot_rdq); no-op below 2.
+    void rotate();
+
+    /// Successor of `t` in list order (iteration helper for snapshots).
+    static TThread* next(const TThread& t);
+
+private:
+    TThread* head_ = nullptr;
+    TThread* tail_ = nullptr;
+    std::size_t size_ = 0;
+};
+
+}  // namespace rtk::sim

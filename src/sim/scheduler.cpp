@@ -1,7 +1,7 @@
 #include "sim/scheduler.hpp"
 
-#include <algorithm>
-#include <cstddef>
+#include <bit>
+#include <string>
 
 #include "sim/tthread.hpp"
 #include "sysc/report.hpp"
@@ -10,33 +10,64 @@ namespace rtk::sim {
 
 // ---- PriorityPreemptiveScheduler -------------------------------------------
 
+std::size_t PriorityPreemptiveScheduler::bucket_of(Priority p) {
+    if (p < 0 || p >= priority_levels) {
+        sysc::report(sysc::Severity::fatal, "scheduler",
+                     "task priority " + std::to_string(p) +
+                         " outside the schedulable range [0, " +
+                         std::to_string(priority_levels) + ")");
+    }
+    return static_cast<std::size_t>(p);
+}
+
+std::size_t PriorityPreemptiveScheduler::first_ready_bucket() const {
+    for (std::size_t w = 0; w < words; ++w) {
+        if (bitmap_[w] != 0) {
+            return w * 64 + static_cast<std::size_t>(std::countr_zero(bitmap_[w]));
+        }
+    }
+    return priority_levels;
+}
+
 void PriorityPreemptiveScheduler::make_ready(TThread& t) {
-    queues_[t.priority()].push_back(&t);
+    const std::size_t b = bucket_of(t.priority());
+    queues_[b].push_back(t, static_cast<Priority>(b));
+    bitmap_[b / 64] |= std::uint64_t{1} << (b % 64);
+    ++count_;
 }
 
 void PriorityPreemptiveScheduler::remove(TThread& t) {
-    for (auto it = queues_.begin(); it != queues_.end();) {
-        auto& q = it->second;
-        q.erase(std::remove(q.begin(), q.end(), &t), q.end());
-        it = q.empty() ? queues_.erase(it) : std::next(it);
+    const ReadyNode& n = t.ready_node();
+    if (!n.linked) {
+        return;  // not in the ready structure: no-op, as before
     }
+    // Unlink from the bucket recorded at enqueue time -- the thread's
+    // current priority may already have changed (priority_changed()
+    // relies on exactly this).
+    const std::size_t b = static_cast<std::size_t>(n.bucket);
+    queues_[b].unlink(t);
+    if (queues_[b].empty()) {
+        bitmap_[b / 64] &= ~(std::uint64_t{1} << (b % 64));
+    }
+    --count_;
 }
 
 TThread* PriorityPreemptiveScheduler::pick() {
-    if (queues_.empty()) {
+    const std::size_t b = first_ready_bucket();
+    if (b == priority_levels) {
         return nullptr;
     }
-    auto it = queues_.begin();  // lowest key == highest priority
-    TThread* t = it->second.front();
-    it->second.pop_front();
-    if (it->second.empty()) {
-        queues_.erase(it);
+    TThread* t = queues_[b].pop_front();
+    if (queues_[b].empty()) {
+        bitmap_[b / 64] &= ~(std::uint64_t{1} << (b % 64));
     }
+    --count_;
     return t;
 }
 
 TThread* PriorityPreemptiveScheduler::peek() const {
-    return queues_.empty() ? nullptr : queues_.begin()->second.front();
+    const std::size_t b = first_ready_bucket();
+    return b == priority_levels ? nullptr : queues_[b].front();
 }
 
 bool PriorityPreemptiveScheduler::should_preempt(const TThread& running) const {
@@ -52,63 +83,65 @@ void PriorityPreemptiveScheduler::priority_changed(TThread& t) {
 }
 
 void PriorityPreemptiveScheduler::rotate(Priority prio) {
-    auto it = queues_.find(prio);
-    if (it == queues_.end() || it->second.size() < 2) {
-        return;
+    if (prio < 0 || prio >= priority_levels) {
+        return;  // nothing schedulable at that priority
     }
-    it->second.push_back(it->second.front());
-    it->second.pop_front();
+    queues_[static_cast<std::size_t>(prio)].rotate();
 }
 
 std::vector<TThread*> PriorityPreemptiveScheduler::ready_snapshot() const {
     std::vector<TThread*> out;
-    for (const auto& [prio, q] : queues_) {
-        out.insert(out.end(), q.begin(), q.end());
+    out.reserve(count_);
+    for (std::size_t w = 0; w < words; ++w) {
+        for (std::uint64_t bits = bitmap_[w]; bits != 0; bits &= bits - 1) {
+            const std::size_t b =
+                w * 64 + static_cast<std::size_t>(std::countr_zero(bits));
+            for (TThread* t = queues_[b].front(); t != nullptr;
+                 t = ReadyList::next(*t)) {
+                out.push_back(t);
+            }
+        }
     }
     return out;
-}
-
-std::size_t PriorityPreemptiveScheduler::ready_count() const {
-    std::size_t n = 0;
-    for (const auto& [prio, q] : queues_) {
-        n += q.size();
-    }
-    return n;
 }
 
 // ---- RoundRobinScheduler ----------------------------------------------------
 
 void RoundRobinScheduler::make_ready(TThread& t) {
-    queue_.push_back(&t);
+    queue_.push_back(t, 0);
 }
 
 void RoundRobinScheduler::remove(TThread& t) {
-    queue_.erase(std::remove(queue_.begin(), queue_.end(), &t), queue_.end());
+    if (t.ready_node().linked) {
+        queue_.unlink(t);
+    }
 }
 
 TThread* RoundRobinScheduler::pick() {
-    if (queue_.empty()) {
-        return nullptr;
-    }
-    TThread* t = queue_.front();
-    queue_.pop_front();
-    return t;
+    return queue_.pop_front();
 }
 
 TThread* RoundRobinScheduler::peek() const {
-    return queue_.empty() ? nullptr : queue_.front();
+    return queue_.front();
 }
 
 bool RoundRobinScheduler::should_preempt(const TThread&) const {
     return false;  // rotation is tick-driven, not readiness-driven
 }
 
-std::vector<TThread*> RoundRobinScheduler::ready_snapshot() const {
-    return {queue_.begin(), queue_.end()};
+void RoundRobinScheduler::rotate(Priority) {
+    // The policy has a single FIFO across all priorities, so tk_rot_rdq
+    // rotates the whole queue (the RTK-Spec I slice rotation).
+    queue_.rotate();
 }
 
-std::size_t RoundRobinScheduler::ready_count() const {
-    return queue_.size();
+std::vector<TThread*> RoundRobinScheduler::ready_snapshot() const {
+    std::vector<TThread*> out;
+    out.reserve(queue_.size());
+    for (TThread* t = queue_.front(); t != nullptr; t = ReadyList::next(*t)) {
+        out.push_back(t);
+    }
+    return out;
 }
 
 }  // namespace rtk::sim

@@ -6,13 +6,21 @@
 // behind this interface. The paper validated the split with three
 // kernels: RTK-Spec I (round robin), RTK-Spec II and TRON (priority-based
 // preemptive); both policies are provided here.
+//
+// Both implementations run on the intrusive ReadyList threaded through
+// TThread::ready_node() (sim/ready_queue.hpp): make_ready / remove /
+// pick / rotate are O(1) and allocation-free, and the priority policy
+// finds the highest ready priority with a find-first-set scan over a
+// fixed bitmap instead of walking per-priority containers.
 #pragma once
 
-#include <deque>
-#include <map>
+#include <array>
+#include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "sim/ready_queue.hpp"
 #include "sim/types.hpp"
 
 namespace rtk::sim {
@@ -55,8 +63,17 @@ public:
 /// Priority-based preemptive policy (µ-ITRON / T-Kernel): per-priority
 /// FIFO ready queues, smaller priority value runs first; a running thread
 /// is preempted as soon as a strictly higher-priority thread is ready.
+///
+/// O(1) everywhere: a fixed array of intrusive FIFO queues (one per
+/// priority level) plus a 256-bit occupancy bitmap; pick()/peek() locate
+/// the highest occupied level with find-first-set over four 64-bit words.
 class PriorityPreemptiveScheduler final : public Scheduler {
 public:
+    /// Task priorities must lie in [0, priority_levels); this covers the
+    /// µ-ITRON/T-Kernel range 1..140 with headroom. (Handler threads use
+    /// negative priorities but never enter a ready queue.)
+    static constexpr Priority priority_levels = 256;
+
     std::string policy_name() const override { return "priority-preemptive"; }
     void make_ready(TThread& t) override;
     void remove(TThread& t) override;
@@ -66,15 +83,26 @@ public:
     void priority_changed(TThread& t) override;
     void rotate(Priority prio) override;
     std::vector<TThread*> ready_snapshot() const override;
-    std::size_t ready_count() const override;
+    std::size_t ready_count() const override { return count_; }
 
 private:
-    std::map<Priority, std::deque<TThread*>> queues_;
+    static constexpr std::size_t words = priority_levels / 64;
+
+    /// Validated bucket index for `p` (fatal on out-of-range priorities).
+    static std::size_t bucket_of(Priority p);
+    /// Index of the lowest set bit across the bitmap, or priority_levels.
+    std::size_t first_ready_bucket() const;
+
+    std::array<ReadyList, priority_levels> queues_;
+    std::array<std::uint64_t, words> bitmap_{};
+    std::size_t count_ = 0;
 };
 
-/// Round-robin policy (RTK-Spec I): single FIFO queue, no priority
-/// preemption; the kernel's tick handler rotates the slice by calling
-/// SimApi::SIM_RequestPreempt on the running thread.
+/// Round-robin policy (RTK-Spec I): single intrusive FIFO queue, no
+/// priority preemption; the kernel's tick handler rotates the slice by
+/// calling SimApi::SIM_RequestPreempt on the running thread. rotate()
+/// cycles the single queue regardless of the requested priority (the
+/// policy has no per-priority queues).
 class RoundRobinScheduler final : public Scheduler {
 public:
     std::string policy_name() const override { return "round-robin"; }
@@ -83,11 +111,12 @@ public:
     TThread* pick() override;
     TThread* peek() const override;
     bool should_preempt(const TThread& running) const override;
+    void rotate(Priority prio) override;
     std::vector<TThread*> ready_snapshot() const override;
-    std::size_t ready_count() const override;
+    std::size_t ready_count() const override { return queue_.size(); }
 
 private:
-    std::deque<TThread*> queue_;
+    ReadyList queue_;
 };
 
 }  // namespace rtk::sim

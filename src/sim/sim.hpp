@@ -7,9 +7,11 @@
 #include "sim/gantt.hpp"
 #include "sim/hashtb.hpp"
 #include "sim/intstack.hpp"
+#include "sim/ready_queue.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/sim_api.hpp"
 #include "sim/stats.hpp"
+#include "sim/timer_queue.hpp"
 #include "sim/token.hpp"
 #include "sim/tthread.hpp"
 #include "sim/types.hpp"

@@ -1,0 +1,88 @@
+// Binary min-heap timer queue keyed by (deadline, insertion order).
+//
+// Replaces the std::multimap timer queues of the kernel layers: schedule
+// and pop are O(log n) on a flat vector (no per-entry node allocation),
+// and the secondary insertion-order key reproduces the multimap's
+// deterministic FIFO ordering among entries with equal deadlines exactly.
+// Cancellation stays lazy: callers invalidate entries with their own
+// sequence counters and drop stale ones at fire time, as before.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace rtk::sim {
+
+template <typename TimeT, typename PayloadT>
+class TimerQueue {
+public:
+    bool empty() const { return heap_.empty(); }
+    std::size_t size() const { return heap_.size(); }
+
+    /// Deadline of the earliest entry (valid only when !empty()).
+    const TimeT& next_at() const { return heap_.front().at; }
+
+    void schedule(TimeT at, PayloadT payload) {
+        heap_.push_back(Node{std::move(at), next_order_++, std::move(payload)});
+        sift_up(heap_.size() - 1);
+    }
+
+    /// Detach and return the earliest entry's payload.
+    PayloadT pop() {
+        Node top = std::move(heap_.front());
+        heap_.front() = std::move(heap_.back());
+        heap_.pop_back();
+        if (!heap_.empty()) {
+            sift_down(0);
+        }
+        return std::move(top.payload);
+    }
+
+private:
+    struct Node {
+        TimeT at;
+        std::uint64_t order;
+        PayloadT payload;
+
+        bool before(const Node& o) const {
+            return at < o.at || (!(o.at < at) && order < o.order);
+        }
+    };
+
+    void sift_up(std::size_t i) {
+        while (i > 0) {
+            const std::size_t parent = (i - 1) / 2;
+            if (!heap_[i].before(heap_[parent])) {
+                break;
+            }
+            std::swap(heap_[i], heap_[parent]);
+            i = parent;
+        }
+    }
+
+    void sift_down(std::size_t i) {
+        for (;;) {
+            std::size_t best = i;
+            const std::size_t l = 2 * i + 1;
+            const std::size_t r = 2 * i + 2;
+            if (l < heap_.size() && heap_[l].before(heap_[best])) {
+                best = l;
+            }
+            if (r < heap_.size() && heap_[r].before(heap_[best])) {
+                best = r;
+            }
+            if (best == i) {
+                return;
+            }
+            std::swap(heap_[i], heap_[best]);
+            i = best;
+        }
+    }
+
+    std::vector<Node> heap_;
+    std::uint64_t next_order_ = 0;
+};
+
+}  // namespace rtk::sim

@@ -18,6 +18,7 @@
 #include <functional>
 #include <string>
 
+#include "sim/ready_queue.hpp"
 #include "sim/token.hpp"
 #include "sim/types.hpp"
 #include "sysc/event.hpp"
@@ -65,6 +66,12 @@ public:
     void set_user_data(void* p) { user_data_ = p; }
     void* user_data() const { return user_data_; }
 
+    /// Intrusive ready-queue hook, owned by the external Scheduler: it is
+    /// linked exactly while the thread is READY (see sim/ready_queue.hpp
+    /// for the lifetime rules). Other layers must not touch it.
+    ReadyNode& ready_node() { return ready_node_; }
+    const ReadyNode& ready_node() const { return ready_node_; }
+
     TThread(const TThread&) = delete;
     TThread& operator=(const TThread&) = delete;
 
@@ -104,6 +111,7 @@ private:
     std::uint64_t suspend_count_ = 0;  ///< µ-ITRON nested suspend count
 
     void* user_data_ = nullptr;
+    ReadyNode ready_node_;
     Token token_;
     std::uint64_t dispatches_ = 0;
     std::uint64_t preemptions_ = 0;

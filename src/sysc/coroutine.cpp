@@ -4,12 +4,52 @@
 
 #include "sysc/report.hpp"
 
+// AddressSanitizer cannot follow ucontext stack switches on its own; the
+// fiber annotations below tell it when execution moves between the host
+// stack and a coroutine stack (otherwise every switch looks like a wild
+// stack access and the sanitizer CI job drowns in false positives).
+#if defined(__SANITIZE_ADDRESS__)
+#define RTK_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define RTK_ASAN_FIBERS 1
+#endif
+#endif
+
+#ifdef RTK_ASAN_FIBERS
+#include <sanitizer/common_interface_defs.h>
+#endif
+
 namespace rtk::sysc {
 
+namespace {
+
+inline void asan_start_switch(void** fake_stack_save, const void* bottom,
+                              std::size_t size) {
+#ifdef RTK_ASAN_FIBERS
+    __sanitizer_start_switch_fiber(fake_stack_save, bottom, size);
+#else
+    (void)fake_stack_save;
+    (void)bottom;
+    (void)size;
+#endif
+}
+
+inline void asan_finish_switch(void* fake_stack_save, const void** bottom_old,
+                               std::size_t* size_old) {
+#ifdef RTK_ASAN_FIBERS
+    __sanitizer_finish_switch_fiber(fake_stack_save, bottom_old, size_old);
+#else
+    (void)fake_stack_save;
+    (void)bottom_old;
+    (void)size_old;
+#endif
+}
+
+}  // namespace
+
 Coroutine::Coroutine(std::function<void()> body, std::size_t stack_bytes)
-    : body_(std::move(body)),
-      stack_(std::make_unique<char[]>(stack_bytes)),
-      stack_bytes_(stack_bytes) {}
+    : body_(std::move(body)), stack_bytes_(stack_bytes) {}
 
 Coroutine::~Coroutine() {
     if (started_ && !finished_) {
@@ -25,11 +65,18 @@ Coroutine::~Coroutine() {
 
 void Coroutine::trampoline(unsigned hi, unsigned lo) {
     auto ptr = (static_cast<std::uintptr_t>(hi) << 32) | static_cast<std::uintptr_t>(lo);
-    reinterpret_cast<Coroutine*>(ptr)->run_body();
+    auto* c = reinterpret_cast<Coroutine*>(ptr);
+    c->run_body();
+    // The coroutine stack dies here: a null fake-stack handle tells ASan
+    // to release it before uc_link switches back to the caller context.
+    asan_start_switch(nullptr, c->asan_caller_bottom_, c->asan_caller_size_);
     // Returning lets ucontext follow uc_link back to the caller context.
 }
 
 void Coroutine::run_body() {
+    // First instants on the coroutine stack: complete the switch ASan saw
+    // begin in resume(), learning the caller's stack bounds on the way.
+    asan_finish_switch(asan_coro_fake_, &asan_caller_bottom_, &asan_caller_size_);
     try {
         if (kill_requested_) {
             throw CoroutineKilled{};
@@ -52,6 +99,10 @@ void Coroutine::resume() {
     }
     if (!started_) {
         started_ = true;
+        // The stack is allocated on first entry, not at construction, so
+        // processes that never run (mass-created tasks in large-N
+        // scenarios) cost no stack memory.
+        stack_ = std::unique_ptr<char[]>(new char[stack_bytes_]);
         getcontext(&ctx_);
         ctx_.uc_stack.ss_sp = stack_.get();
         ctx_.uc_stack.ss_size = stack_bytes_;
@@ -62,7 +113,9 @@ void Coroutine::resume() {
                     static_cast<unsigned>(ptr & 0xffffffffu));
     }
     inside_ = true;
+    asan_start_switch(&asan_caller_fake_, stack_.get(), stack_bytes_);
     swapcontext(&caller_, &ctx_);
+    asan_finish_switch(asan_caller_fake_, nullptr, nullptr);
     inside_ = false;
     if (finished_ && pending_exception_) {
         auto ex = pending_exception_;
@@ -75,7 +128,11 @@ void Coroutine::yield() {
     if (!inside_) {
         report(Severity::fatal, "coroutine", "yield() outside the coroutine");
     }
+    asan_start_switch(&asan_coro_fake_, asan_caller_bottom_, asan_caller_size_);
     swapcontext(&ctx_, &caller_);
+    // Back on the coroutine stack; the resumer may be a different host
+    // stack than last time, so refresh the recorded caller bounds.
+    asan_finish_switch(asan_coro_fake_, &asan_caller_bottom_, &asan_caller_size_);
     if (kill_requested_) {
         throw CoroutineKilled{};
     }

@@ -24,7 +24,8 @@ class Coroutine {
 public:
     static constexpr std::size_t default_stack_bytes = 256 * 1024;
 
-    /// The body runs on the coroutine stack at the first resume().
+    /// The stack is allocated and the body entered at the first resume();
+    /// a coroutine that is never resumed costs no stack memory.
     Coroutine(std::function<void()> body, std::size_t stack_bytes = default_stack_bytes);
 
     /// Unwinds the coroutine stack if still suspended.
@@ -56,6 +57,13 @@ private:
     std::function<void()> body_;
     std::unique_ptr<char[]> stack_;
     std::size_t stack_bytes_;
+    // ASan fiber-annotation bookkeeping (idle in non-sanitized builds):
+    // fake-stack handles for each side of a switch plus the bounds of the
+    // stack that last resumed us (needed to annotate the switch back).
+    void* asan_caller_fake_ = nullptr;
+    void* asan_coro_fake_ = nullptr;
+    const void* asan_caller_bottom_ = nullptr;
+    std::size_t asan_caller_size_ = 0;
     ucontext_t ctx_{};
     ucontext_t caller_{};
     bool started_ = false;

@@ -35,7 +35,6 @@ void Event::notify_delta() {
     }
     cancel();
     pending_ = Pending::delta;
-    ++seq_;
     kernel_->schedule_delta(*this);
 }
 
@@ -54,13 +53,14 @@ void Event::notify(Time delay) {
     cancel();
     pending_ = Pending::timed;
     pending_at_ = at;
-    ++seq_;
     kernel_->schedule_timed(*this, at);
 }
 
 void Event::cancel() {
+    // Lazy cancellation: clearing pending_ marks any queued kernel entry
+    // (delta slot or timed-heap slot) stale; the kernel drops it when it
+    // surfaces, or reuses the timed slot on the next notify(Time).
     pending_ = Pending::none;
-    ++seq_;  // invalidates queued kernel entries
 }
 
 void Event::trigger() {

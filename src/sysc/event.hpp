@@ -6,6 +6,7 @@
 // first, modules owning events inside -- satisfies this naturally).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -60,12 +61,20 @@ private:
     /// Wake every waiting process (used by the kernel at trigger time).
     void trigger();
 
+    /// "Not in the kernel's timed heap" sentinel for timed_index_.
+    static constexpr std::size_t timed_npos = static_cast<std::size_t>(-1);
+
     Kernel* kernel_;
     std::string name_;
     std::vector<Process*> waiters_;
     Pending pending_ = Pending::none;
     Time pending_at_{};
-    std::uint64_t seq_ = 0;  // staleness guard for queued notifications
+    // Kernel-owned O(1) membership bookkeeping: slot in the kernel's
+    // indexed timed-event heap (timed_npos when absent; an event has at
+    // most one heap entry, repositioned in place on re-notification), and
+    // whether the event is queued for the current delta-notify phase.
+    std::size_t timed_index_ = timed_npos;
+    bool in_delta_queue_ = false;
 };
 
 }  // namespace rtk::sysc

@@ -48,26 +48,95 @@ Process& Kernel::spawn(std::string name, std::function<void()> body, SpawnOption
     Process& ref = *proc;
     processes_.push_back(std::move(proc));
     ref.state_ = Process::State::runnable;
+    ref.in_runnable_ = true;
     runnable_.push_back(&ref);
     return ref;
 }
 
 bool Kernel::idle() const {
-    return runnable_.empty() && delta_queue_.empty() && timed_.empty() &&
-           update_queue_.empty();
+    return runnable_.empty() && delta_queue_.empty() && update_queue_.empty() &&
+           first_fresh_timed() == nullptr;
 }
 
 Time Kernel::next_activity_at() const {
     if (!runnable_.empty() || !delta_queue_.empty() || !update_queue_.empty()) {
         return now_;
     }
-    for (const auto& [at, entry] : timed_) {
-        Event* e = entry.first;
-        if (e->pending_ == Event::Pending::timed && e->seq_ == entry.second) {
-            return at;
+    const TimedEntry* top = first_fresh_timed();
+    return top == nullptr ? Time::max() : top->at;
+}
+
+// ---- timed-event heap -------------------------------------------------------
+//
+// Indexed binary min-heap keyed by (time, insertion order): push and
+// index-removal are O(log n), the earliest-entry lookup is O(1). Every
+// Event holds at most one slot (Event::timed_index_); re-notification
+// repositions that slot in place, and cancellation stays lazy (the seq /
+// pending flags on the event mark the slot stale) until the entry
+// surfaces at the top or the event dies.
+
+bool Kernel::timed_before(const TimedEntry& a, const TimedEntry& b) {
+    return a.at < b.at || (a.at == b.at && a.order < b.order);
+}
+
+void Kernel::timed_set_index(std::size_t i) const {
+    timed_[i].event->timed_index_ = i;
+}
+
+void Kernel::timed_sift_up(std::size_t i) const {
+    while (i > 0) {
+        const std::size_t parent = (i - 1) / 2;
+        if (!timed_before(timed_[i], timed_[parent])) {
+            break;
         }
+        std::swap(timed_[i], timed_[parent]);
+        timed_set_index(i);
+        timed_set_index(parent);
+        i = parent;
     }
-    return Time::max();
+}
+
+void Kernel::timed_sift_down(std::size_t i) const {
+    for (;;) {
+        std::size_t best = i;
+        const std::size_t l = 2 * i + 1;
+        const std::size_t r = 2 * i + 2;
+        if (l < timed_.size() && timed_before(timed_[l], timed_[best])) {
+            best = l;
+        }
+        if (r < timed_.size() && timed_before(timed_[r], timed_[best])) {
+            best = r;
+        }
+        if (best == i) {
+            return;
+        }
+        std::swap(timed_[i], timed_[best]);
+        timed_set_index(i);
+        timed_set_index(best);
+        i = best;
+    }
+}
+
+void Kernel::timed_erase_at(std::size_t i) const {
+    timed_[i].event->timed_index_ = Event::timed_npos;
+    const std::size_t last = timed_.size() - 1;
+    if (i != last) {
+        timed_[i] = timed_[last];
+        timed_set_index(i);
+        timed_.pop_back();
+        timed_sift_down(i);
+        timed_sift_up(i);
+    } else {
+        timed_.pop_back();
+    }
+}
+
+const Kernel::TimedEntry* Kernel::first_fresh_timed() const {
+    while (!timed_.empty() &&
+           timed_.front().event->pending_ != Event::Pending::timed) {
+        timed_erase_at(0);  // stale: cancelled or superseded notification
+    }
+    return timed_.empty() ? nullptr : &timed_.front();
 }
 
 Process* Kernel::find_process(const std::string& name) const {
@@ -97,22 +166,40 @@ void Kernel::add_timestep_hook(std::function<void(Time)> hook) {
 }
 
 void Kernel::schedule_delta(Event& e) {
+    if (e.in_delta_queue_) {
+        return;  // a single queue slot serves any number of re-notifies
+    }
+    e.in_delta_queue_ = true;
     delta_queue_.push_back(&e);
 }
 
 void Kernel::schedule_timed(Event& e, Time at) {
-    timed_.emplace(at, std::make_pair(&e, e.seq_));
+    if (e.timed_index_ == Event::timed_npos) {
+        timed_.push_back(TimedEntry{at, timed_order_++, &e});
+        e.timed_index_ = timed_.size() - 1;
+        timed_sift_up(timed_.size() - 1);
+        return;
+    }
+    // Reposition the event's existing slot (fresh insertion order keeps
+    // FIFO-among-equal-times identical to scheduling a new entry).
+    const std::size_t i = e.timed_index_;
+    timed_[i].at = at;
+    timed_[i].order = timed_order_++;
+    timed_sift_down(i);
+    timed_sift_up(i);
 }
 
 void Kernel::forget_event(Event& e) {
-    delta_queue_.erase(std::remove(delta_queue_.begin(), delta_queue_.end(), &e),
-                       delta_queue_.end());
-    for (auto it = timed_.begin(); it != timed_.end();) {
-        if (it->second.first == &e) {
-            it = timed_.erase(it);
-        } else {
-            ++it;
-        }
+    // Destructor-only path. Membership flags make the common case (event
+    // not queued anywhere) O(1); the delta scan runs only for an event
+    // dying with a delta notification in flight.
+    if (e.in_delta_queue_) {
+        delta_queue_.erase(std::remove(delta_queue_.begin(), delta_queue_.end(), &e),
+                           delta_queue_.end());
+        e.in_delta_queue_ = false;
+    }
+    if (e.timed_index_ != Event::timed_npos) {
+        timed_erase_at(e.timed_index_);
     }
 }
 
@@ -128,7 +215,10 @@ void Kernel::make_runnable(Process& p, Event* cause) {
     p.waiting_on_.clear();
     p.triggered_by_ = cause;
     p.state_ = Process::State::runnable;
-    runnable_.push_back(&p);
+    if (!p.in_runnable_) {
+        p.in_runnable_ = true;
+        runnable_.push_back(&p);
+    }
 }
 
 void Kernel::do_wait(const std::vector<Event*>& events) {
@@ -151,13 +241,19 @@ void Kernel::kill_process(Process& p) {
     if (p.state_ == Process::State::terminated) {
         return;
     }
-    // Deregister from events and the runnable queue.
+    // Deregister from events and the runnable queue. The queue scan runs
+    // only when the process is actually queued (O(1) membership flag) so
+    // the idle()/next_activity_at() observers never see the dead entry.
     for (Event* e : p.waiting_on_) {
         auto& ws = e->waiters_;
         ws.erase(std::remove(ws.begin(), ws.end(), &p), ws.end());
     }
     p.waiting_on_.clear();
-    runnable_.erase(std::remove(runnable_.begin(), runnable_.end(), &p), runnable_.end());
+    if (p.in_runnable_) {
+        runnable_.erase(std::remove(runnable_.begin(), runnable_.end(), &p),
+                        runnable_.end());
+        p.in_runnable_ = false;
+    }
 
     const bool suicide = (current_process_ == &p);
     p.state_ = Process::State::terminated;
@@ -200,6 +296,7 @@ bool Kernel::crunch() {
     while (!runnable_.empty()) {
         Process* p = runnable_.front();
         runnable_.pop_front();
+        p->in_runnable_ = false;
         if (p->state_ != Process::State::runnable) {
             continue;  // killed or re-dispatched since queued
         }
@@ -217,6 +314,7 @@ bool Kernel::crunch() {
     auto deltas = std::move(delta_queue_);
     delta_queue_.clear();
     for (Event* e : deltas) {
+        e->in_delta_queue_ = false;  // re-notifies from trigger() re-queue
         if (e->pending_ == Event::Pending::delta) {
             any = true;
             e->trigger();
@@ -233,15 +331,17 @@ bool Kernel::crunch() {
 
 void Kernel::advance_to(Time t) {
     now_ = t;
-    // Trigger all fresh timed notifications scheduled exactly at t.
-    auto range_end = timed_.upper_bound(t);
-    std::vector<std::pair<Event*, std::uint64_t>> due;
-    for (auto it = timed_.begin(); it != range_end; ++it) {
-        due.push_back(it->second);
+    // Detach every entry due at <= t in (time, order) heap order, then
+    // trigger the fresh ones. An event with pending_ == timed always has
+    // its single heap slot at pending_at_, so the pending flag alone
+    // distinguishes fresh entries from lazily-cancelled ones.
+    std::vector<Event*> due;
+    while (!timed_.empty() && !(t < timed_.front().at)) {
+        due.push_back(timed_.front().event);
+        timed_erase_at(0);
     }
-    timed_.erase(timed_.begin(), range_end);
-    for (auto& [e, seq] : due) {
-        if (e->pending_ == Event::Pending::timed && e->seq_ == seq) {
+    for (Event* e : due) {
+        if (e->pending_ == Event::Pending::timed) {
             e->trigger();
         }
     }
@@ -259,21 +359,11 @@ void Kernel::run_loop(Time limit) {
             return;
         }
         // Advance to the earliest *fresh* timed notification.
-        Time next = Time::max();
-        bool found = false;
-        for (auto it = timed_.begin(); it != timed_.end();) {
-            Event* e = it->second.first;
-            if (e->pending_ == Event::Pending::timed && e->seq_ == it->second.second) {
-                next = it->first;
-                found = true;
-                break;
-            }
-            it = timed_.erase(it);  // stale entry
-        }
-        if (!found || next > limit) {
+        const TimedEntry* top = first_fresh_timed();
+        if (top == nullptr || top->at > limit) {
             return;
         }
-        advance_to(next);
+        advance_to(top->at);
     }
 }
 

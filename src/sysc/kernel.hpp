@@ -6,10 +6,10 @@
 // execution (run_until / run_for) used for the paper's "step mode".
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -89,20 +89,43 @@ public:
     void kill_process(Process& p);
 
 private:
+    /// One slot of the indexed binary min-heap holding timed
+    /// notifications, ordered by (at, order) -- `order` reproduces the
+    /// deterministic FIFO among equal timestamps. Each Event owns at most
+    /// one slot and tracks it in Event::timed_index_, so rescheduling
+    /// repositions in place and ~Event removes its entry in O(log n).
+    struct TimedEntry {
+        Time at;
+        std::uint64_t order;
+        Event* event;
+    };
+
     void run_loop(Time limit);
     bool crunch();  ///< one evaluate+update+delta-notify cycle
     void run_process(Process& p);
     void advance_to(Time t);
 
+    // ---- timed-heap plumbing (operates on the mutable timed_) ----
+    static bool timed_before(const TimedEntry& a, const TimedEntry& b);
+    void timed_set_index(std::size_t i) const;
+    void timed_sift_up(std::size_t i) const;
+    void timed_sift_down(std::size_t i) const;
+    void timed_erase_at(std::size_t i) const;
+    /// Drop stale top entries (cancelled / superseded notifications) and
+    /// return the earliest fresh one, or nullptr. Logically const: stale
+    /// entries are invisible to all observers.
+    const TimedEntry* first_fresh_timed() const;
+
     Time now_{};
     std::uint64_t delta_count_ = 0;
     std::uint64_t next_process_id_ = 1;
+    std::uint64_t timed_order_ = 0;
     bool stop_requested_ = false;
 
     std::vector<std::unique_ptr<Process>> processes_;
     std::deque<Process*> runnable_;
     std::vector<Event*> delta_queue_;
-    std::multimap<Time, std::pair<Event*, std::uint64_t>> timed_;
+    mutable std::vector<TimedEntry> timed_;  ///< indexed binary min-heap
     std::vector<UpdateListener*> update_queue_;
     std::vector<std::function<void(Time)>> timestep_hooks_;
 

@@ -62,6 +62,7 @@ private:
     std::uint64_t id_;
     Coroutine coro_;
     State state_ = State::created;
+    bool in_runnable_ = false;  ///< queued in the kernel's evaluate queue
     std::vector<Event*> waiting_on_;
     Event* triggered_by_ = nullptr;
     Event timeout_ev_;     ///< private event backing timed waits

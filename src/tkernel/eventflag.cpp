@@ -43,14 +43,14 @@ ER TKernel::tk_set_flg(ID flgid, UINT setptn) {
     }
     f->pattern |= setptn;
     // Scan waiters in queue order; each released waiter may clear bits,
-    // which can starve the next (µ-ITRON-conformant behaviour).
-    bool progress = true;
-    while (progress) {
-        progress = false;
-        for (TCB* w : f->queue.snapshot()) {
-            if (!flag_satisfied(f->pattern, w->wai_ptn, w->wfmode)) {
-                continue;
-            }
+    // which can starve the next (µ-ITRON-conformant behaviour). A single
+    // forward pass matches the historical rescan-from-head: the pattern
+    // only loses bits after a release, so an already-passed waiter that
+    // was unsatisfied cannot become satisfied within this call.
+    TCB* w = f->queue.front();
+    while (w != nullptr) {
+        TCB* nxt = f->queue.next_of(*w);
+        if (flag_satisfied(f->pattern, w->wai_ptn, w->wfmode)) {
             w->ret_ptn = f->pattern;
             if ((w->wfmode & TWF_CLR) != 0) {
                 f->pattern = 0;
@@ -58,9 +58,8 @@ ER TKernel::tk_set_flg(ID flgid, UINT setptn) {
                 f->pattern &= ~w->wai_ptn;
             }
             release_wait(*w, E_OK);
-            progress = true;
-            break;  // pattern changed; rescan from the head
         }
+        w = nxt;
     }
     return E_OK;
 }

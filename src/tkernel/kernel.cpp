@@ -256,7 +256,7 @@ SYSTIM TKernel::deadline_otm(RELTIM ms) const {
 }
 
 void TKernel::schedule_at(SYSTIM when_ms, std::uint64_t seq, std::function<void()> fire) {
-    timer_queue_.emplace(when_ms, TimerEntry{seq, std::move(fire)});
+    timer_queue_.schedule(when_ms, TimerEntry{seq, std::move(fire)});
 }
 
 void TKernel::arm_task_timeout(TCB& tcb, TMO tmout) {
@@ -292,9 +292,8 @@ void TKernel::timer_handler() {
     ++tick_count_;
     systim_ = static_cast<SYSTIM>(systim_base_ + static_cast<std::int64_t>(otm_ms()));
     const SYSTIM now = otm_ms();
-    while (!timer_queue_.empty() && timer_queue_.begin()->first <= now) {
-        auto entry = std::move(timer_queue_.begin()->second);
-        timer_queue_.erase(timer_queue_.begin());
+    while (!timer_queue_.empty() && timer_queue_.next_at() <= now) {
+        TimerEntry entry = timer_queue_.pop();
         entry.fire();
     }
     // Deferred deletion of tasks that called tk_exd_tsk.

@@ -304,8 +304,6 @@ private:
     void mbf_pump(MessageBuffer& m);
 
     Config cfg_;
-    std::unique_ptr<sim::PriorityPreemptiveScheduler> sched_;
-    std::unique_ptr<sim::SimApi> api_;
 
     Registry<TCB> tasks_;
     Registry<Semaphore> sems_;
@@ -319,9 +317,11 @@ private:
     Registry<AlarmHandler> alms_;
     std::map<UINT, InterruptVector> ints_;
 
-    // timer queue keyed by absolute system time [ms]
-    std::multimap<SYSTIM, TimerEntry> timer_queue_;
-    std::uint64_t timer_seq_gen_ = 1;
+    // Timer queue keyed by absolute system time [ms]: a binary min-heap
+    // whose (time, insertion order) key preserves FIFO firing among
+    // entries due on the same tick; stale entries are dropped at fire
+    // time by the per-object sequence counters captured in `fire`.
+    sim::TimerQueue<SYSTIM, TimerEntry> timer_queue_;
 
     SYSTIM systim_ = 0;               ///< settable system time [ms]
     std::int64_t systim_base_ = 0;    ///< systim = base + operating time
@@ -335,6 +335,14 @@ private:
     ID init_task_id_ = 0;
     bool booted_ = false;
     bool boot_scheduled_ = false;
+
+    // Declared last so member destruction unwinds SIM_API (and with it
+    // every task coroutine) FIRST: the ExitCleanup guards on those stacks
+    // run task_cleanup, which touches the TCBs and the mutex registry
+    // above. sched_ precedes api_ because the unwinding tasks still call
+    // into the scheduler. Do not reorder.
+    std::unique_ptr<sim::PriorityPreemptiveScheduler> sched_;
+    std::unique_ptr<sim::SimApi> api_;
 };
 
 }  // namespace rtk::tkernel

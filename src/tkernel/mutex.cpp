@@ -47,8 +47,10 @@ ER TKernel::tk_del_mtx(ID mtxid) {
 }
 
 PRI TKernel::highest_waiter_priority(const Mutex& m) const {
+    // TA_TPRI queues keep the highest-priority waiter at the head; for
+    // TA_TFIFO (no inheritance/ceiling protocol) the walk is unordered.
     PRI best = max_priority + 1;
-    for (const TCB* w : m.queue.snapshot()) {
+    for (const TCB* w = m.queue.front(); w != nullptr; w = m.queue.next_of(*w)) {
         best = std::min(best, w->thread->priority());
     }
     return best;

@@ -46,17 +46,17 @@ ER TKernel::tk_sig_sem(ID semid, INT cnt) {
     // queue head strictly in order; TA_CNT may satisfy a later (smaller)
     // request when the head does not fit.
     if ((s->atr & TA_CNT) != 0) {
-        bool progress = true;
-        while (progress && s->count > 0) {
-            progress = false;
-            for (TCB* w : s->queue.snapshot()) {
-                if (w->req_count <= s->count) {
-                    s->count -= w->req_count;
-                    release_wait(*w, E_OK);
-                    progress = true;
-                    break;
-                }
+        // Single forward pass. Equivalent to rescanning from the head
+        // after every release: the count only shrinks, so a waiter that
+        // did not fit when passed cannot fit later in the same signal.
+        TCB* w = s->queue.front();
+        while (w != nullptr && s->count > 0) {
+            TCB* nxt = s->queue.next_of(*w);
+            if (w->req_count <= s->count) {
+                s->count -= w->req_count;
+                release_wait(*w, E_OK);
             }
+            w = nxt;
         }
     } else {
         while (TCB* w = s->queue.front()) {

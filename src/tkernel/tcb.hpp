@@ -51,6 +51,11 @@ struct TCB {
     ER timeout_result = E_TMOUT;  ///< what a timeout stores in wait_result
     std::uint64_t timer_seq = 0;  ///< invalidates stale timeout entries
     WaitQueue* queue = nullptr;   ///< wait queue currently enqueued in
+    // Intrusive wait-queue links, owned by *queue while it is non-null
+    // (a task waits on at most one queue). See wait_queue.hpp for the
+    // lifetime rules; no code outside WaitQueue may touch these.
+    TCB* wq_prev = nullptr;
+    TCB* wq_next = nullptr;
 
     std::uint64_t wakeup_count = 0;  ///< queued tk_wup_tsk requests
 

@@ -1,7 +1,6 @@
 #include "tkernel/wait_queue.hpp"
 
-#include <algorithm>
-
+#include "sysc/report.hpp"
 #include "tkernel/tcb.hpp"
 
 namespace rtk::tkernel {
@@ -12,48 +11,111 @@ PRI pri_of(const TCB& t) {
 }
 }  // namespace
 
-void WaitQueue::enqueue(TCB& tcb) {
-    if (priority_ordered_) {
-        auto it = std::find_if(tasks_.begin(), tasks_.end(), [&tcb](const TCB* q) {
-            return pri_of(tcb) < pri_of(*q);
-        });
-        tasks_.insert(it, &tcb);
+void WaitQueue::insert_before(TCB& tcb, TCB* pos) {
+    if (pos == nullptr) {  // append
+        tcb.wq_prev = tail_;
+        tcb.wq_next = nullptr;
+        if (tail_ != nullptr) {
+            tail_->wq_next = &tcb;
+        } else {
+            head_ = &tcb;
+        }
+        tail_ = &tcb;
     } else {
-        tasks_.push_back(&tcb);
+        tcb.wq_prev = pos->wq_prev;
+        tcb.wq_next = pos;
+        if (pos->wq_prev != nullptr) {
+            pos->wq_prev->wq_next = &tcb;
+        } else {
+            head_ = &tcb;
+        }
+        pos->wq_prev = &tcb;
+    }
+    ++size_;
+}
+
+void WaitQueue::insert_sorted(TCB& tcb) {
+    // Walk back from the tail past strictly lower-priority waiters: the
+    // insert lands after the last waiter with priority <= ours, i.e.
+    // priority order with FIFO among equals. Cost is bounded by the
+    // number of lower-priority waiters, not the queue length.
+    TCB* pos = tail_;
+    while (pos != nullptr && pri_of(*pos) > pri_of(tcb)) {
+        pos = pos->wq_prev;
+    }
+    insert_before(tcb, pos == nullptr ? head_ : pos->wq_next);
+}
+
+void WaitQueue::unlink(TCB& tcb) {
+    if (tcb.wq_prev != nullptr) {
+        tcb.wq_prev->wq_next = tcb.wq_next;
+    } else {
+        head_ = tcb.wq_next;
+    }
+    if (tcb.wq_next != nullptr) {
+        tcb.wq_next->wq_prev = tcb.wq_prev;
+    } else {
+        tail_ = tcb.wq_prev;
+    }
+    tcb.wq_prev = nullptr;
+    tcb.wq_next = nullptr;
+    --size_;
+}
+
+void WaitQueue::enqueue(TCB& tcb) {
+    if (tcb.queue != nullptr) {
+        sysc::report(sysc::Severity::fatal, "wait_queue",
+                     "wait-queue corruption: task '" + tcb.name +
+                         "' enqueued while already waiting on a queue");
+    }
+    if (priority_ordered_) {
+        insert_sorted(tcb);
+    } else {
+        insert_before(tcb, nullptr);
     }
     tcb.queue = this;
 }
 
 void WaitQueue::remove(TCB& tcb) {
-    tasks_.remove(&tcb);
-    if (tcb.queue == this) {
-        tcb.queue = nullptr;
+    if (tcb.queue != this) {
+        return;
     }
+    unlink(tcb);
+    tcb.queue = nullptr;
 }
 
 void WaitQueue::reposition(TCB& tcb) {
-    if (!priority_ordered_ || !contains(tcb)) {
+    if (!priority_ordered_ || tcb.queue != this) {
         return;
     }
-    tasks_.remove(&tcb);
-    auto it = std::find_if(tasks_.begin(), tasks_.end(), [&tcb](const TCB* q) {
-        return pri_of(tcb) < pri_of(*q);
-    });
-    tasks_.insert(it, &tcb);
+    unlink(tcb);
+    insert_sorted(tcb);
 }
 
 TCB* WaitQueue::pop_front() {
-    if (tasks_.empty()) {
-        return nullptr;
+    TCB* t = head_;
+    if (t != nullptr) {
+        unlink(*t);
+        t->queue = nullptr;
     }
-    TCB* t = tasks_.front();
-    tasks_.pop_front();
-    t->queue = nullptr;
     return t;
 }
 
 bool WaitQueue::contains(const TCB& tcb) const {
-    return std::find(tasks_.begin(), tasks_.end(), &tcb) != tasks_.end();
+    return tcb.queue == this;
+}
+
+TCB* WaitQueue::next_of(const TCB& tcb) const {
+    return tcb.queue == this ? tcb.wq_next : nullptr;
+}
+
+std::vector<TCB*> WaitQueue::snapshot() const {
+    std::vector<TCB*> out;
+    out.reserve(size_);
+    for (TCB* t = head_; t != nullptr; t = t->wq_next) {
+        out.push_back(t);
+    }
+    return out;
 }
 
 }  // namespace rtk::tkernel

@@ -1,8 +1,17 @@
 // Task wait queue with µ-ITRON ordering semantics: TA_TFIFO appends,
 // TA_TPRI keeps tasks sorted by current priority (FIFO among equals).
+//
+// The queue is intrusive: it is threaded through TCB::wq_prev/wq_next,
+// with TCB::queue doubling as the O(1) membership marker. remove() and
+// contains() are O(1); a TA_TPRI insert walks from the tail past the
+// lower-priority waiters only. Lifetime rules: a task is linked into at
+// most one wait queue at a time (enforced by the kernel's blocking
+// paths), the link fields are owned by that queue while tcb.queue is
+// non-null, and a TCB must be removed before it is destroyed (task
+// deletion requires DORMANT, which implies not waiting).
 #pragma once
 
-#include <list>
+#include <cstddef>
 #include <vector>
 
 #include "tkernel/tk_types.hpp"
@@ -28,18 +37,30 @@ public:
     /// Re-sort one task after a priority change (TA_TPRI queues).
     void reposition(TCB& tcb);
 
-    TCB* front() const { return tasks_.empty() ? nullptr : tasks_.front(); }
+    TCB* front() const { return head_; }
     TCB* pop_front();
 
-    bool empty() const { return tasks_.empty(); }
-    std::size_t size() const { return tasks_.size(); }
+    bool empty() const { return head_ == nullptr; }
+    std::size_t size() const { return size_; }
     bool contains(const TCB& tcb) const;
 
-    std::vector<TCB*> snapshot() const { return {tasks_.begin(), tasks_.end()}; }
+    /// Successor of a queued task in queue order (iteration helper;
+    /// capture it before releasing `tcb` when walking and waking).
+    TCB* next_of(const TCB& tcb) const;
+
+    std::vector<TCB*> snapshot() const;
 
 private:
+    /// Insert before `pos` (nullptr == append at the tail).
+    void insert_before(TCB& tcb, TCB* pos);
+    /// Priority-ordered insert: FIFO among equal priorities.
+    void insert_sorted(TCB& tcb);
+    void unlink(TCB& tcb);
+
     bool priority_ordered_;
-    std::list<TCB*> tasks_;
+    TCB* head_ = nullptr;
+    TCB* tail_ = nullptr;
+    std::size_t size_ = 0;
 };
 
 }  // namespace rtk::tkernel

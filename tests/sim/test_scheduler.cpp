@@ -1,6 +1,10 @@
 // Scheduler policy tests (external schedulers of SIM_API).
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+#include <vector>
+
 #include "sim/sim.hpp"
 #include "sysc/sysc.hpp"
 
@@ -142,6 +146,207 @@ TEST_P(PriorityOrderSweep, TasksCompleteInPriorityOrder) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Sizes, PriorityOrderSweep, ::testing::Values(2, 5, 13, 40));
+
+// ---- ordering invariants, pinned across both policies ----------------------
+//
+// These drive the Scheduler objects directly (make_ready/pick/remove/
+// rotate on threads that never execute) so the intrusive refactor stays
+// pinned to the seed container semantics: FIFO within priority, tk_rot_rdq
+// rotation, chg_pri tail-requeue.
+
+enum class Policy { priority, round_robin };
+
+class SchedulerInvariantTest : public ::testing::TestWithParam<Policy> {
+protected:
+    SchedulerInvariantTest() {
+        if (GetParam() == Policy::priority) {
+            sched_ = std::make_unique<PriorityPreemptiveScheduler>();
+        } else {
+            sched_ = std::make_unique<RoundRobinScheduler>();
+        }
+        api_ = std::make_unique<SimApi>(*sched_);
+    }
+
+    TThread& mk(const std::string& name, Priority p) {
+        return api_->SIM_CreateThread(name, ThreadKind::task, p, [] {});
+    }
+
+    std::vector<TThread*> drain() {
+        std::vector<TThread*> out;
+        while (TThread* t = sched_->pick()) {
+            out.push_back(t);
+        }
+        return out;
+    }
+
+    sysc::Kernel k_;
+    std::unique_ptr<Scheduler> sched_;
+    std::unique_ptr<SimApi> api_;
+};
+
+TEST_P(SchedulerInvariantTest, FifoWithinOnePriorityAcrossInterleavedOps) {
+    TThread& a = mk("a", 5);
+    TThread& b = mk("b", 5);
+    TThread& c = mk("c", 5);
+    sched_->make_ready(a);
+    sched_->make_ready(b);
+    EXPECT_EQ(sched_->pick(), &a);   // a leaves the head...
+    sched_->make_ready(c);
+    sched_->make_ready(a);           // ...and re-queues behind c
+    EXPECT_EQ(drain(), (std::vector<TThread*>{&b, &c, &a}));
+}
+
+TEST_P(SchedulerInvariantTest, RotateMovesHeadToTail) {
+    TThread& a = mk("a", 5);
+    TThread& b = mk("b", 5);
+    TThread& c = mk("c", 5);
+    sched_->make_ready(a);
+    sched_->make_ready(b);
+    sched_->make_ready(c);
+    sched_->rotate(5);
+    EXPECT_EQ(drain(), (std::vector<TThread*>{&b, &c, &a}));
+}
+
+TEST_P(SchedulerInvariantTest, RotateOfSingletonOrAbsentQueueIsNoop) {
+    TThread& a = mk("a", 5);
+    sched_->make_ready(a);
+    sched_->rotate(5);    // one element: unchanged
+    sched_->rotate(9);    // empty level: no-op
+    sched_->rotate(-3);   // out of range: no-op
+    EXPECT_EQ(drain(), (std::vector<TThread*>{&a}));
+}
+
+TEST_P(SchedulerInvariantTest, RemoveFromMiddlePreservesNeighbourOrder) {
+    TThread& a = mk("a", 5);
+    TThread& b = mk("b", 5);
+    TThread& c = mk("c", 5);
+    TThread& d = mk("d", 5);
+    sched_->make_ready(a);
+    sched_->make_ready(b);
+    sched_->make_ready(c);
+    sched_->make_ready(d);
+    sched_->remove(b);
+    sched_->remove(d);
+    EXPECT_EQ(sched_->ready_count(), 2u);
+    EXPECT_EQ(drain(), (std::vector<TThread*>{&a, &c}));
+    sched_->remove(a);  // absent: no-op, as before the refactor
+    EXPECT_EQ(sched_->ready_count(), 0u);
+}
+
+TEST_P(SchedulerInvariantTest, PeekMatchesPickWithoutDequeuing) {
+    TThread& a = mk("a", 7);
+    TThread& b = mk("b", 4);
+    sched_->make_ready(a);
+    sched_->make_ready(b);
+    TThread* peeked = sched_->peek();
+    EXPECT_EQ(sched_->ready_count(), 2u);
+    EXPECT_EQ(sched_->pick(), peeked);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, SchedulerInvariantTest,
+                         ::testing::Values(Policy::priority, Policy::round_robin),
+                         [](const auto& param_info) {
+                             return param_info.param == Policy::priority
+                                        ? "PriorityPreemptive"
+                                        : "RoundRobin";
+                         });
+
+// ---- priority-policy-specific invariants -----------------------------------
+
+TEST_F(SchedulerPolicyTest, ChangedPriorityRequeuesAtTailOfNewLevel) {
+    PriorityPreemptiveScheduler s;
+    SimApi api(s);
+    TThread& a = api.SIM_CreateThread("a", ThreadKind::task, 5, [] {});
+    TThread& b = api.SIM_CreateThread("b", ThreadKind::task, 5, [] {});
+    TThread& c = api.SIM_CreateThread("c", ThreadKind::task, 9, [] {});
+    s.make_ready(a);
+    s.make_ready(b);
+    s.make_ready(c);
+    // µ-ITRON chg_pri: c joins priority 5 at the *end* of that queue.
+    api.SIM_SetCurrentPriority(c, 5);  // dormant: updates priority only
+    s.priority_changed(c);
+    EXPECT_EQ(s.pick(), &a);
+    EXPECT_EQ(s.pick(), &b);
+    EXPECT_EQ(s.pick(), &c);
+    // And a same-level change also tail-requeues (a behind b).
+    s.make_ready(a);
+    s.make_ready(b);
+    s.priority_changed(a);
+    EXPECT_EQ(s.pick(), &b);
+    EXPECT_EQ(s.pick(), &a);
+}
+
+TEST_F(SchedulerPolicyTest, RotateAffectsOnlyTheNamedPriorityLevel) {
+    PriorityPreemptiveScheduler s;
+    SimApi api(s);
+    TThread& hi1 = api.SIM_CreateThread("hi1", ThreadKind::task, 3, [] {});
+    TThread& hi2 = api.SIM_CreateThread("hi2", ThreadKind::task, 3, [] {});
+    TThread& lo1 = api.SIM_CreateThread("lo1", ThreadKind::task, 8, [] {});
+    TThread& lo2 = api.SIM_CreateThread("lo2", ThreadKind::task, 8, [] {});
+    s.make_ready(hi1);
+    s.make_ready(hi2);
+    s.make_ready(lo1);
+    s.make_ready(lo2);
+    s.rotate(8);
+    EXPECT_EQ(s.pick(), &hi1);
+    EXPECT_EQ(s.pick(), &hi2);
+    EXPECT_EQ(s.pick(), &lo2);  // rotated
+    EXPECT_EQ(s.pick(), &lo1);
+}
+
+// tk_rot_rdq under the RTK-Spec I (round-robin) policy must rotate the
+// slice instead of silently no-opping (the seed inherited the base-class
+// stub; pinned here via SIM_RotateReadyQueue).
+TEST_F(SchedulerPolicyTest, RoundRobinRotateViaSimApi) {
+    RoundRobinScheduler s;
+    SimApi api(s);
+    TThread& a = api.SIM_CreateThread("a", ThreadKind::task, 10, [] {});
+    TThread& b = api.SIM_CreateThread("b", ThreadKind::task, 20, [] {});
+    TThread& c = api.SIM_CreateThread("c", ThreadKind::task, 30, [] {});
+    s.make_ready(a);
+    s.make_ready(b);
+    s.make_ready(c);
+    api.SIM_RotateReadyQueue(10);
+    EXPECT_EQ(s.pick(), &b);
+    EXPECT_EQ(s.pick(), &c);
+    EXPECT_EQ(s.pick(), &a);
+}
+
+// Mass make_ready/pick with interleaved removes at scale: the intrusive
+// structures must keep exact FIFO-within-priority order when hundreds of
+// threads churn (regression net for node-linking bugs).
+TEST_F(SchedulerPolicyTest, LargePopulationKeepsDeterministicOrder) {
+    PriorityPreemptiveScheduler s;
+    SimApi api(s);
+    constexpr int n = 512;
+    std::vector<TThread*> threads;
+    threads.reserve(n);
+    for (int i = 0; i < n; ++i) {
+        threads.push_back(&api.SIM_CreateThread("t" + std::to_string(i),
+                                                ThreadKind::task, 1 + (i % 7), [] {}));
+    }
+    for (auto* t : threads) {
+        s.make_ready(*t);
+    }
+    for (int i = 0; i < n; i += 3) {
+        s.remove(*threads[static_cast<std::size_t>(i)]);
+    }
+    // Expected: ascending priority, FIFO (creation order) within a level,
+    // skipping the removed ones.
+    std::vector<TThread*> expected;
+    for (int p = 1; p <= 7; ++p) {
+        for (int i = 0; i < n; ++i) {
+            if (1 + (i % 7) == p && i % 3 != 0) {
+                expected.push_back(threads[static_cast<std::size_t>(i)]);
+            }
+        }
+    }
+    std::vector<TThread*> got;
+    while (TThread* t = s.pick()) {
+        got.push_back(t);
+    }
+    EXPECT_EQ(got, expected);
+}
 
 }  // namespace
 }  // namespace rtk::sim

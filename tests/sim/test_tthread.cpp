@@ -124,6 +124,10 @@ TEST_F(TThreadTest, TerminateUnwindsAndRearms) {
     api.SIM_StartThread(t);
     k.run_for(Time::ms(1));
     EXPECT_EQ(t.token().firings(RunEvent::startup), 2u);
+    // Unwind the second cycle while this frame (which its S references)
+    // is still alive; leaving it to fixture teardown would run ~S after
+    // raii_ran's frame is gone (a use-after-return ASan catches).
+    api.SIM_Terminate(t);
 }
 
 TEST_F(TThreadTest, StartNonDormantIsFatal) {

@@ -1,5 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
 #include "sysc/sysc.hpp"
 
 namespace rtk::sysc {
@@ -114,6 +119,82 @@ TEST_F(KernelTest, TimestepHooksRunAfterDeltas) {
     k.spawn("p", [] { wait(Time::ms(1)); });
     k.run();
     EXPECT_GE(hooks, 2);  // initial delta + wake at 1 ms
+}
+
+// ---- timed-queue determinism (indexed min-heap) ----------------------------
+
+TEST_F(KernelTest, EqualTimestampNotificationsTriggerInNotifyOrder) {
+    // The heap's (time, order) key must reproduce the multimap's FIFO
+    // among equal timestamps: processes wake in notification order.
+    std::vector<int> order;
+    std::vector<std::unique_ptr<Event>> events;
+    for (int i = 0; i < 8; ++i) {
+        events.push_back(std::make_unique<Event>("e" + std::to_string(i)));
+        Event* e = events.back().get();
+        k.spawn("w" + std::to_string(i), [&order, e, i] {
+            wait(*e);
+            order.push_back(i);
+        });
+    }
+    // Notify in a scrambled order; all at the same instant.
+    const int scrambled[] = {5, 2, 7, 0, 3, 6, 1, 4};
+    for (int i : scrambled) {
+        events[static_cast<std::size_t>(i)]->notify(Time::ms(2));
+    }
+    k.run();
+    EXPECT_EQ(order, (std::vector<int>{5, 2, 7, 0, 3, 6, 1, 4}));
+}
+
+TEST_F(KernelTest, CancelledTimedNotificationNeverFiresAndClearsActivity) {
+    Event e("e");
+    bool fired = false;
+    k.spawn("w", [&] {
+        wait(e);
+        fired = true;
+    });
+    k.run_until(Time::us(1));  // let the process block on the event
+    e.notify(Time::ms(2));
+    e.cancel();
+    EXPECT_EQ(k.next_activity_at(), Time::max());  // stale entry pruned
+    EXPECT_TRUE(k.idle());
+    k.run_until(Time::ms(10));
+    EXPECT_FALSE(fired);
+}
+
+TEST_F(KernelTest, RenotifyAfterCancelReusesTheSlotAtTheNewTime) {
+    Event e("e");
+    Time fired_at;
+    k.spawn("w", [&] {
+        wait(e);
+        fired_at = now();
+    });
+    e.notify(Time::ms(2));
+    e.cancel();
+    e.notify(Time::ms(7));  // later than the cancelled one: must win
+    k.run();
+    EXPECT_EQ(fired_at, Time::ms(7));
+    EXPECT_EQ(k.now(), Time::ms(7));
+}
+
+TEST_F(KernelTest, ManyTimedNotificationsFireInTimestampOrder) {
+    std::vector<int> fired;
+    std::vector<std::unique_ptr<Event>> events;
+    // Deterministically shuffled deadlines 1..32 ms.
+    for (int i = 0; i < 32; ++i) {
+        events.push_back(std::make_unique<Event>("e" + std::to_string(i)));
+        Event* e = events.back().get();
+        const int ms = 1 + (i * 11) % 32;
+        k.spawn("w" + std::to_string(i), [&fired, e, ms] {
+            wait(*e);
+            fired.push_back(ms);
+        });
+        e->notify(Time::ms(static_cast<std::uint64_t>(ms)));
+    }
+    k.run();
+    ASSERT_EQ(fired.size(), 32u);
+    for (std::size_t i = 1; i < fired.size(); ++i) {
+        EXPECT_LT(fired[i - 1], fired[i]);
+    }
 }
 
 TEST_F(KernelTest, DestructionWithLiveProcessesIsClean) {

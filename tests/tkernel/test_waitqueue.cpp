@@ -99,5 +99,104 @@ TEST_F(WaitQueueTest, SnapshotAndContains) {
     EXPECT_FALSE(q.contains(a));
 }
 
+// ---- intrusive-node invariants ---------------------------------------------
+
+TEST_F(WaitQueueTest, RemoveFromMiddleRelinksNeighbours) {
+    WaitQueue q(false);
+    TCB a = make("a", 5), b = make("b", 5), c = make("c", 5);
+    q.enqueue(a);
+    q.enqueue(b);
+    q.enqueue(c);
+    q.remove(b);
+    EXPECT_EQ(b.queue, nullptr);
+    EXPECT_EQ(b.wq_prev, nullptr);
+    EXPECT_EQ(b.wq_next, nullptr);
+    EXPECT_EQ(q.size(), 2u);
+    EXPECT_EQ(q.pop_front(), &a);
+    EXPECT_EQ(q.pop_front(), &c);
+    // A removed task can re-enter cleanly.
+    q.enqueue(b);
+    EXPECT_EQ(q.front(), &b);
+    EXPECT_TRUE(q.contains(b));
+}
+
+TEST_F(WaitQueueTest, RepositionKeepsFifoAmongEquals) {
+    WaitQueue q(true);
+    TCB a = make("a", 5), b = make("b", 5), c = make("c", 9);
+    q.enqueue(a);
+    q.enqueue(b);
+    q.enqueue(c);
+    // c moves to priority 5: it must land *behind* the equal-priority
+    // waiters already queued (reposition == remove + sorted re-insert).
+    api.SIM_SetCurrentPriority(*c.thread, 5);
+    q.reposition(c);
+    EXPECT_EQ(q.pop_front(), &a);
+    EXPECT_EQ(q.pop_front(), &b);
+    EXPECT_EQ(q.pop_front(), &c);
+}
+
+TEST_F(WaitQueueTest, RepositionToWorsePriorityMovesPastEquals) {
+    WaitQueue q(true);
+    TCB a = make("a", 1), b = make("b", 5), c = make("c", 9);
+    q.enqueue(a);
+    q.enqueue(b);
+    q.enqueue(c);
+    api.SIM_SetCurrentPriority(*a.thread, 9);
+    q.reposition(a);
+    EXPECT_EQ(q.pop_front(), &b);
+    EXPECT_EQ(q.pop_front(), &c);  // FIFO among the now-equal 9s
+    EXPECT_EQ(q.pop_front(), &a);
+}
+
+TEST_F(WaitQueueTest, RepositionOfAbsentTaskIsNoop) {
+    WaitQueue q(true);
+    TCB a = make("a", 5), b = make("b", 9);
+    q.enqueue(b);
+    q.reposition(a);  // never enqueued here
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_EQ(q.front(), &b);
+}
+
+TEST_F(WaitQueueTest, NextOfWalksQueueOrder) {
+    WaitQueue q(true);
+    TCB a = make("a", 5), b = make("b", 1), c = make("c", 5);
+    q.enqueue(a);
+    q.enqueue(b);
+    q.enqueue(c);
+    std::vector<const TCB*> seen;
+    for (const TCB* w = q.front(); w != nullptr; w = q.next_of(*w)) {
+        seen.push_back(w);
+    }
+    EXPECT_EQ(seen, (std::vector<const TCB*>{&b, &a, &c}));
+    EXPECT_EQ(q.next_of(c), nullptr);
+    // next_of on a task queued elsewhere (or nowhere) yields nullptr.
+    TCB d = make("d", 2);
+    EXPECT_EQ(q.next_of(d), nullptr);
+}
+
+TEST_F(WaitQueueTest, PriorityInsertWalksOnlyLowerPriorityTail) {
+    // Behavioural pin for the sorted-insert position with many waiters:
+    // equal priorities stay strictly FIFO even at the boundaries.
+    WaitQueue q(true);
+    std::vector<TCB> tcbs;
+    tcbs.reserve(9);
+    for (int i = 0; i < 9; ++i) {
+        tcbs.push_back(make(("t" + std::to_string(i)).c_str(), 1 + (i % 3) * 4));
+    }
+    for (auto& t : tcbs) {
+        q.enqueue(t);
+    }
+    std::vector<PRI> pris;
+    std::vector<const TCB*> order;
+    for (const TCB* w = q.front(); w != nullptr; w = q.next_of(*w)) {
+        pris.push_back(w->thread->priority());
+        order.push_back(w);
+    }
+    EXPECT_EQ(pris, (std::vector<PRI>{1, 1, 1, 5, 5, 5, 9, 9, 9}));
+    EXPECT_EQ(order, (std::vector<const TCB*>{&tcbs[0], &tcbs[3], &tcbs[6],
+                                              &tcbs[1], &tcbs[4], &tcbs[7],
+                                              &tcbs[2], &tcbs[5], &tcbs[8]}));
+}
+
 }  // namespace
 }  // namespace rtk::tkernel
