@@ -21,7 +21,7 @@ double preemption_latency_us(sim::SimApi::Config cfg, bool ready_inside_service,
                              int rounds = 20) {
     sysc::Kernel k;
     sim::PriorityPreemptiveScheduler sched;
-    sim::SimApi api(sched, cfg);
+    sim::SimApi api{k, sched, cfg};
     Time total{};
     int samples = 0;
     Time ready_at;
@@ -60,7 +60,7 @@ double delayed_dispatch_latency_us(bool delayed, std::uint64_t tail_us) {
     sim::PriorityPreemptiveScheduler sched;
     sim::SimApi::Config cfg;
     cfg.delayed_dispatching = delayed;
-    sim::SimApi api(sched, cfg);
+    sim::SimApi api{k, sched, cfg};
     Time woke_at, ran_at;
     auto& lo = api.SIM_CreateThread("lo", sim::ThreadKind::task, 20, [&] {
         api.SIM_Wait(Time::ms(50), sim::ExecContext::task);
@@ -90,7 +90,7 @@ double host_wall_ms(bool record_gantt) {
     sim::SimApi::Config cfg;
     cfg.quantum = Time::us(100);  // many slices -> many segments
     cfg.record_gantt = record_gantt;
-    sim::SimApi api(sched, cfg);
+    sim::SimApi api{k, sched, cfg};
     auto& t = api.SIM_CreateThread("busy", sim::ThreadKind::task, 5, [&] {
         for (int i = 0; i < 20; ++i) {
             api.SIM_Wait(Time::ms(25), sim::ExecContext::task);

@@ -1,0 +1,304 @@
+// Batch scenario throughput -- the design-space-exploration payoff of the
+// context-explicit API: one binary sweeps N distinct kernel-configuration
+// x workload scenarios, serially and across a host thread pool (one
+// isolated rtk::Simulation per scenario), and verifies the parallel run
+// is bit-identical to the serial one (per-scenario behaviour
+// fingerprints).
+//
+//   $ ./bench_batch_scenarios [scenarios] [threads]
+//
+// Emits BENCH_batch_throughput.json: both batch reports plus the
+// speedup summary. Exits non-zero on any scenario failure or any
+// serial-vs-parallel fingerprint mismatch; the speedup itself is
+// reported, not asserted (it is bounded by the machine's core count).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "harness/harness.hpp"
+#include "tkernel/tkernel.hpp"
+
+using namespace rtk;
+using namespace rtk::harness;
+using namespace rtk::tkernel;
+using sysc::Time;
+
+namespace {
+
+// ---- workloads --------------------------------------------------------------
+//
+// Each builder wires a deterministic workload (all randomness from the
+// spec seed) into the Simulation's user main. Counters live in the
+// T-Kernel objects and the SIM_API Gantt/stat recorders, which is what
+// the fingerprint digests.
+
+void pipeline_workload(Simulation& sim, const ScenarioSpec& spec) {
+    TKernel& tk = sim.os();
+    std::mt19937_64 rng(spec.seed);
+    const int stages = 2 + static_cast<int>(rng() % 3);       // 2..4
+    const int items = 60 + static_cast<int>(rng() % 40);      // 60..99
+    const RELTIM produce_ms = 1 + static_cast<RELTIM>(rng() % 3);
+    const std::uint64_t work_units = 40 + rng() % 200;
+    sim.set_user_main([&tk, stages, items, produce_ms, work_units] {
+        std::vector<ID> sems(static_cast<std::size_t>(stages));
+        for (auto& s : sems) {
+            T_CSEM cs;
+            cs.name = "stage";
+            s = tk.tk_cre_sem(cs);
+        }
+        // Producer feeds stage 0; stage i forwards to i+1.
+        T_CTSK prod;
+        prod.name = "producer";
+        prod.itskpri = 10;
+        prod.task = [&tk, sems, items, produce_ms](INT, void*) {
+            for (int i = 0; i < items; ++i) {
+                tk.tk_dly_tsk(produce_ms);
+                tk.tk_sig_sem(sems[0], 1);
+            }
+        };
+        tk.tk_sta_tsk(tk.tk_cre_tsk(prod), 0);
+        for (int s = 0; s < stages; ++s) {
+            T_CTSK st;
+            st.name = "stage" + std::to_string(s);
+            st.itskpri = static_cast<PRI>(5 + s);
+            st.task = [&tk, sems, s, stages, items, work_units](INT, void*) {
+                for (int i = 0; i < items; ++i) {
+                    if (tk.tk_wai_sem(sems[static_cast<std::size_t>(s)], 1,
+                                      TMO_FEVR) != E_OK) {
+                        return;
+                    }
+                    tk.sim().SIM_WaitUnits(work_units, sim::ExecContext::task);
+                    if (s + 1 < stages) {
+                        tk.tk_sig_sem(sems[static_cast<std::size_t>(s) + 1], 1);
+                    }
+                }
+            };
+            tk.tk_sta_tsk(tk.tk_cre_tsk(st), 0);
+        }
+    });
+}
+
+void eventflag_workload(Simulation& sim, const ScenarioSpec& spec) {
+    TKernel& tk = sim.os();
+    std::mt19937_64 rng(spec.seed);
+    const int waiters = 2 + static_cast<int>(rng() % 4);  // 2..5
+    const RELTIM period_ms = 2 + static_cast<RELTIM>(rng() % 5);
+    const std::uint64_t work_units = 30 + rng() % 150;
+    sim.set_user_main([&tk, waiters, period_ms, work_units] {
+        T_CFLG cf;
+        cf.name = "burst";
+        const ID flg = tk.tk_cre_flg(cf);
+        for (int w = 0; w < waiters; ++w) {
+            T_CTSK wt;
+            wt.name = "waiter" + std::to_string(w);
+            wt.itskpri = static_cast<PRI>(4 + w);
+            const UINT bit = 1u << w;
+            wt.task = [&tk, flg, bit, work_units](INT, void*) {
+                for (;;) {
+                    UINT got = 0;
+                    if (tk.tk_wai_flg(flg, bit, TWF_ANDW | TWF_BITCLR, &got,
+                                      TMO_FEVR) != E_OK) {
+                        return;
+                    }
+                    tk.sim().SIM_WaitUnits(work_units, sim::ExecContext::task);
+                }
+            };
+            tk.tk_sta_tsk(tk.tk_cre_tsk(wt), 0);
+        }
+        // Cyclic handler broadcasts one bit per activation, round robin.
+        T_CCYC cc;
+        cc.name = "burst_src";
+        cc.cyctim = period_ms;
+        cc.cycphs = period_ms;
+        cc.cycatr = TA_STA;
+        auto counter = std::make_shared<unsigned>(0);
+        cc.cychdr = [&tk, flg, waiters, counter](void*) {
+            tk.tk_set_flg(flg, 1u << (*counter % static_cast<unsigned>(waiters)));
+            ++*counter;
+        };
+        tk.tk_cre_cyc(cc);
+    });
+}
+
+void mutex_workload(Simulation& sim, const ScenarioSpec& spec) {
+    TKernel& tk = sim.os();
+    std::mt19937_64 rng(spec.seed);
+    const int tasks = 3 + static_cast<int>(rng() % 3);  // 3..5
+    const std::uint64_t hold_units = 80 + rng() % 300;
+    const RELTIM think_ms = 1 + static_cast<RELTIM>(rng() % 4);
+    sim.set_user_main([&tk, tasks, hold_units, think_ms] {
+        T_CMTX cm;
+        cm.name = "bus";
+        cm.mtxatr = TA_INHERIT;
+        const ID mtx = tk.tk_cre_mtx(cm);
+        for (int t = 0; t < tasks; ++t) {
+            T_CTSK ct;
+            ct.name = "contender" + std::to_string(t);
+            ct.itskpri = static_cast<PRI>(3 + 2 * t);
+            ct.task = [&tk, mtx, hold_units, think_ms](INT, void*) {
+                for (int round = 0; round < 60; ++round) {
+                    tk.tk_dly_tsk(think_ms);
+                    if (tk.tk_loc_mtx(mtx, TMO_FEVR) != E_OK) {
+                        return;
+                    }
+                    tk.sim().SIM_WaitUnits(hold_units, sim::ExecContext::task);
+                    tk.tk_unl_mtx(mtx);
+                }
+            };
+            tk.tk_sta_tsk(tk.tk_cre_tsk(ct), 0);
+        }
+    });
+}
+
+void timer_workload(Simulation& sim, const ScenarioSpec& spec) {
+    TKernel& tk = sim.os();
+    std::mt19937_64 rng(spec.seed);
+    const RELTIM cyc_ms = 3 + static_cast<RELTIM>(rng() % 6);
+    const RELTIM alarm_ms = 20 + static_cast<RELTIM>(rng() % 40);
+    const std::uint64_t work_units = 50 + rng() % 250;
+    sim.set_user_main([&tk, cyc_ms, alarm_ms, work_units] {
+        T_CSEM cs;
+        cs.name = "tick_work";
+        const ID sem = tk.tk_cre_sem(cs);
+        T_CTSK ct;
+        ct.name = "tick_worker";
+        ct.itskpri = 6;
+        ct.task = [&tk, sem, work_units](INT, void*) {
+            for (;;) {
+                if (tk.tk_wai_sem(sem, 1, TMO_FEVR) != E_OK) {
+                    return;
+                }
+                tk.sim().SIM_WaitUnits(work_units, sim::ExecContext::task);
+            }
+        };
+        const ID worker = tk.tk_cre_tsk(ct);
+        tk.tk_sta_tsk(worker, 0);
+        T_CCYC cc;
+        cc.name = "pacer";
+        cc.cyctim = cyc_ms;
+        cc.cycphs = cyc_ms;
+        cc.cycatr = TA_STA;
+        cc.cychdr = [&tk, sem](void*) { tk.tk_sig_sem(sem, 1); };
+        tk.tk_cre_cyc(cc);
+        T_CALM ca;
+        ca.name = "boost";
+        ca.almhdr = [&tk, worker](void*) { tk.tk_chg_pri(worker, 2); };
+        const ID alm = tk.tk_cre_alm(ca);
+        tk.tk_sta_alm(alm, alarm_ms);
+    });
+}
+
+// ---- spec generation --------------------------------------------------------
+
+std::vector<ScenarioSpec> make_specs(std::size_t count) {
+    using Builder = void (*)(Simulation&, const ScenarioSpec&);
+    struct Kind {
+        const char* name;
+        Builder build;
+    };
+    static constexpr Kind kinds[] = {
+        {"pipeline", &pipeline_workload},
+        {"eventflag", &eventflag_workload},
+        {"mutex", &mutex_workload},
+        {"timers", &timer_workload},
+    };
+    std::vector<ScenarioSpec> specs;
+    specs.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        const Kind& kind = kinds[i % std::size(kinds)];
+        ScenarioSpec s;
+        s.seed = 1000 + i;
+        s.name = std::string(kind.name) + "/" + std::to_string(s.seed);
+        s.workload = kind.build;
+        s.duration = Time::ms(400 + 40 * static_cast<std::uint64_t>(i % 5));
+        // Sweep the kernel configuration space alongside the workloads.
+        s.config.tick = (i % 3 == 0) ? Time::us(500) : Time::ms(1);
+        s.config.dispatch_cost = (i % 2 == 0) ? Time::us(8) : Time::zero();
+        s.config.service_call_atomicity = (i % 4) != 1;
+        s.config.delayed_dispatching = (i % 4) != 2;
+        s.check = [](Simulation& sim, const ScenarioSpec&) {
+            // Every scenario must actually schedule work.
+            return sim.sim().total_dispatches() > 0;
+        };
+        specs.push_back(std::move(s));
+    }
+    return specs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const std::size_t scenarios =
+        argc > 1 ? static_cast<std::size_t>(std::strtoul(argv[1], nullptr, 10)) : 64;
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    const unsigned workers = argc > 2
+                                 ? static_cast<unsigned>(std::atoi(argv[2]))
+                                 : std::max(4u, std::min(hw, 8u));
+
+    std::printf("Batch scenario throughput: %zu scenarios, %u worker threads "
+                "(%u hardware threads)\n\n",
+                scenarios, workers, hw);
+    const std::vector<ScenarioSpec> specs = make_specs(scenarios);
+
+    ScenarioRunner serial(ScenarioRunner::Options{1});
+    const BatchReport serial_report = serial.run(specs);
+
+    ScenarioRunner pool(ScenarioRunner::Options{workers});
+    const BatchReport parallel_report = pool.run(specs);
+
+    // Determinism: scenario i must be bit-identical no matter which worker
+    // thread ran it.
+    std::size_t mismatches = 0;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (serial_report.results[i].fingerprint !=
+            parallel_report.results[i].fingerprint) {
+            ++mismatches;
+            std::printf("  DETERMINISM MISMATCH: %s\n",
+                        specs[i].name.c_str());
+        }
+    }
+
+    const double speedup = parallel_report.wall_seconds > 0.0
+                               ? serial_report.wall_seconds /
+                                     parallel_report.wall_seconds
+                               : 0.0;
+
+    bench::Table table({"mode", "threads", "wall [s]", "scn/s", "passed"});
+    table.add_row({"serial", "1", bench::fmt(serial_report.wall_seconds),
+                   bench::fmt(serial_report.scenarios_per_second()),
+                   std::to_string(serial_report.passed()) + "/" +
+                       std::to_string(specs.size())});
+    table.add_row({"parallel", std::to_string(parallel_report.threads),
+                   bench::fmt(parallel_report.wall_seconds),
+                   bench::fmt(parallel_report.scenarios_per_second()),
+                   std::to_string(parallel_report.passed()) + "/" +
+                       std::to_string(specs.size())});
+    table.print();
+    std::printf("\n  speedup: %.2fx over serial (%u hardware threads); "
+                "fingerprint mismatches: %zu\n",
+                speedup, hw, mismatches);
+
+    {
+        std::ofstream out("BENCH_batch_throughput.json");
+        out << "{\n  \"bench\": \"batch_scenarios\",\n"
+            << "  \"scenarios\": " << specs.size() << ",\n"
+            << "  \"hardware_concurrency\": " << hw << ",\n"
+            << "  \"workers\": " << parallel_report.threads << ",\n"
+            << "  \"speedup\": " << speedup << ",\n"
+            << "  \"deterministic\": " << (mismatches == 0 ? "true" : "false")
+            << ",\n"
+            << "  \"serial\": " << serial_report.to_json()
+            << "  ,\n  \"parallel\": " << parallel_report.to_json() << "}\n";
+    }
+    std::puts("\n  wrote BENCH_batch_throughput.json");
+
+    const bool ok = mismatches == 0 && serial_report.all_passed() &&
+                    parallel_report.all_passed();
+    return ok ? 0 : 1;
+}

@@ -24,7 +24,7 @@ struct ContextCet {
 
 ContextCet run_game(const sim::CostTable& costs, unsigned sim_ms) {
     sysc::Kernel k;
-    tkernel::TKernel tk;
+    tkernel::TKernel tk{k};
     tk.sim().costs() = costs;
     bfm::Bfm8051 board(tk.sim());
     app::VideoGame game(tk, board);

@@ -19,7 +19,7 @@ int main() {
 
     sysc::Kernel k;
     sim::PriorityPreemptiveScheduler sched;
-    sim::SimApi api(sched);
+    sim::SimApi api{k, sched};
 
     // The observed thread: works, sleeps, works again.
     auto& subject = api.SIM_CreateThread("subject", sim::ThreadKind::task, 10, [&] {

@@ -41,7 +41,7 @@ int main() {
     std::puts("Fig 3: kernel dynamics -- latencies of the central module\n");
 
     sysc::Kernel k;
-    TKernel tk;
+    TKernel tk{k};
     Latency wakeup_to_run;   // tk_wup_tsk -> task executing (same priority domain)
     Latency preempt_latency; // higher-pri ready -> running (quantum bound)
     Latency irq_latency;     // trigger_interrupt -> ISR body

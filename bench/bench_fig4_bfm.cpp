@@ -21,7 +21,7 @@ int main() {
 
     sysc::Kernel k;
     sim::PriorityPreemptiveScheduler sched;
-    sim::SimApi api(sched);
+    sim::SimApi api{k, sched};
     bfm::Bfm8051 board(api);
 
     sysc::TraceFile vcd("fig4_bfm.vcd");

@@ -17,7 +17,7 @@ int main() {
     std::puts("Fig 6: Execution Time/Energy Trace (step mode)\n");
 
     sysc::Kernel k;
-    tkernel::TKernel tk;
+    tkernel::TKernel tk{k};
     bfm::Bfm8051 board(tk.sim());
     app::GameConfig gc;
     gc.physics_period_ms = 20;  // busier trace
@@ -32,7 +32,7 @@ int main() {
     // Scripted keypresses create interrupt activity in the window.
     gui::KeypadWidget pad(board.keypad());
     fe.add(pad);
-    pad.play_script({{Time::ms(105), app::VideoGame::key_right, true},
+    pad.play_script(k, {{Time::ms(105), app::VideoGame::key_right, true},
                      {Time::ms(125), app::VideoGame::key_right, false},
                      {Time::ms(143), app::VideoGame::key_left, true},
                      {Time::ms(160), app::VideoGame::key_left, false}});

@@ -19,7 +19,7 @@ int main() {
     std::puts("Fig 7: Consumed Time/Energy Distribution (animate mode)\n");
 
     sysc::Kernel k;
-    tkernel::TKernel tk;
+    tkernel::TKernel tk{k};
     bfm::Bfm8051 board(tk.sim());
     app::VideoGame game(tk, board);
     app::VideoGame::wire(tk, board);
@@ -28,7 +28,7 @@ int main() {
     gui::Frontend fe(gui::Mode::animate);
     gui::EnergyDistributionWidget widget(tk.sim(), 10.0);  // 10 Wh battery
     fe.add(widget);
-    fe.animate(widget, Time::ms(500));
+    fe.animate(k, widget, Time::ms(500));
 
     tk.power_on();
     k.run_until(Time::sec(3));

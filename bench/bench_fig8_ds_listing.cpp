@@ -17,7 +17,7 @@ int main() {
     std::puts("Fig 8: T-Kernel/DS output listing (sample)\n");
 
     sysc::Kernel k;
-    tkernel::TKernel tk;
+    tkernel::TKernel tk{k};
     bfm::Bfm8051 board(tk.sim());
     app::VideoGame game(tk, board);
     app::VideoGame::wire(tk, board);

@@ -27,7 +27,7 @@ struct Row {
 template <typename Os>
 Row run_rtkspec(const char* name) {
     sysc::Kernel k;
-    Os os;
+    Os os(k);
     Time urgent_done, batch_done;
     const int worker = os.create_task("worker", [&] { os.run_for(15); }, 10);
     const int urgent = os.create_task(
@@ -55,7 +55,7 @@ Row run_rtkspec(const char* name) {
 
 Row run_tron() {
     sysc::Kernel k;
-    tkernel::TKernel tk;
+    tkernel::TKernel tk{k};
     Time urgent_done, batch_done;
     tk.set_user_main([&] {
         using namespace tkernel;
@@ -102,7 +102,7 @@ struct ScalePoint {
 
 ScalePoint run_scaling(sim::Scheduler& s, const char* policy, int n) {
     sysc::Kernel k;
-    sim::SimApi api(s);
+    sim::SimApi api{k, s};
     std::vector<sim::TThread*> threads;
     threads.reserve(static_cast<std::size_t>(n));
     for (int i = 0; i < n; ++i) {

@@ -58,7 +58,7 @@ BENCHMARK(BM_CoroutineContextSwitch);
 void BM_TimedWaitQuantum(benchmark::State& state) {
     sysc::Kernel k;
     sim::PriorityPreemptiveScheduler sched;
-    sim::SimApi api(sched);
+    sim::SimApi api{k, sched};
     auto& t = api.SIM_CreateThread("t", sim::ThreadKind::task, 5, [&] {
         for (;;) {
             api.SIM_Wait(Time::ms(1), sim::ExecContext::task);
@@ -73,7 +73,7 @@ BENCHMARK(BM_TimedWaitQuantum);
 
 void BM_ServiceCallOverhead(benchmark::State& state) {
     sysc::Kernel k;
-    tkernel::TKernel tk;
+    tkernel::TKernel tk{k};
     tkernel::ID sem = 0;
     tk.set_user_main([&] {
         tkernel::T_CSEM cs;
@@ -96,7 +96,7 @@ void BM_FullKernelTick(benchmark::State& state) {
     // Cost of one system tick: Thread Dispatch -> tick ISR -> timer
     // handler, with an idle task set.
     sysc::Kernel k;
-    tkernel::TKernel tk;
+    tkernel::TKernel tk{k};
     tk.set_user_main([&] {
         tkernel::T_CTSK ct;
         ct.name = "idle";
@@ -120,7 +120,7 @@ BENCHMARK(BM_FullKernelTick);
 void BM_InterruptDelivery(benchmark::State& state) {
     sysc::Kernel k;
     sim::PriorityPreemptiveScheduler sched;
-    sim::SimApi api(sched);
+    sim::SimApi api{k, sched};
     auto& isr = api.SIM_CreateThread("isr", sim::ThreadKind::interrupt_handler,
                                      -10, [] {});
     for (auto _ : state) {

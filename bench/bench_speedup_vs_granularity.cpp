@@ -25,7 +25,7 @@ double run_wall_s(sysc::Time quantum, unsigned sim_ms) {
     tkernel::TKernel::Config cfg;
     cfg.tick = quantum;
     cfg.record_gantt = false;  // isolate engine cost from trace cost
-    tkernel::TKernel tk(cfg);
+    tkernel::TKernel tk{k, cfg};
     bfm::Bfm8051 board(tk.sim());
     app::VideoGame game(tk, board);
     app::VideoGame::wire(tk, board);

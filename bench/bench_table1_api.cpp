@@ -22,7 +22,7 @@ template <typename Setup>
 double measure_ns(int iters, Setup setup) {
     sysc::Kernel k;
     sim::PriorityPreemptiveScheduler sched;
-    sim::SimApi api(sched);
+    sim::SimApi api{k, sched};
     auto loop = setup(k, api, iters);
     bench::WallClock wall;
     loop();

@@ -38,7 +38,7 @@ struct RunResult {
 /// `widget_period_ms` (0 = GUI disabled).
 RunResult run_cosim(unsigned widget_period_ms, std::uint64_t gui_cost_iters) {
     sysc::Kernel k;
-    tkernel::TKernel tk;
+    tkernel::TKernel tk{k};
     bfm::Bfm8051 board(tk.sim());
     app::GameConfig gc;
     gc.physics_period_ms = physics_period_ms;

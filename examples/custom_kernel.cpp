@@ -18,7 +18,7 @@ namespace {
 template <typename Os>
 void run_workload(const char* title) {
     sysc::Kernel k;
-    Os os;
+    Os os(k);  // context-explicit: the mini kernel is built on `k`
     // Three CPU-bound tasks; under round robin they interleave per time
     // slice, under priority preemption "urgent" monopolizes the CPU first.
     const int urgent = os.create_task("urgent", [&] { os.run_for(12); }, 1);

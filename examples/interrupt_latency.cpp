@@ -9,6 +9,7 @@
 // (delayed dispatching) at handler return.
 #include <cstdio>
 
+#include "harness/simulation.hpp"
 #include "tkernel/tkernel.hpp"
 
 using namespace rtk;
@@ -22,8 +23,8 @@ void stamp(const char* what) {
 }  // namespace
 
 int main() {
-    sysc::Kernel k;
-    TKernel tk;
+    Simulation sim;
+    TKernel& tk = sim.os();
 
     tk.set_user_main([&] {
         T_CSEM cs;
@@ -80,10 +81,10 @@ int main() {
         tk.tk_sta_tsk(tk.tk_cre_tsk(bg), 0);
     });
 
-    tk.power_on();
+    sim.power_on();
 
     // Fire interrupts from the "hardware" side.
-    k.spawn("board", [&] {
+    sim.kernel().spawn("board", [&] {
         sysc::wait(Time::ms(5) + Time::us(500));
         stamp("board: raising IRQ#0 (mid-quantum; delivered at next tick)");
         tk.trigger_interrupt(0);
@@ -92,7 +93,7 @@ int main() {
         tk.trigger_interrupt(1);
     });
 
-    k.run_until(Time::ms(40));
+    sim.run_until(Time::ms(40));
 
     std::printf("\nSIM_API totals: dispatches=%llu preemptions=%llu interrupts=%llu "
                 "nesting high-water=%zu\n",

@@ -3,10 +3,12 @@
 //
 //   $ ./quickstart
 //
-// Walks through the core API: kernel construction, user main, task
-// creation, a semaphore, timed sleep, and the Gantt/statistics output.
+// Walks through the core API: the Simulation context handle, user main,
+// task creation, a semaphore, timed sleep, and the Gantt/statistics
+// output.
 #include <cstdio>
 
+#include "harness/simulation.hpp"
 #include "tkds/tkds.hpp"
 #include "tkernel/tkernel.hpp"
 
@@ -14,10 +16,11 @@ using namespace rtk;
 using namespace rtk::tkernel;
 
 int main() {
-    // 1. The simulation substrate (SystemC-equivalent kernel)...
-    sysc::Kernel sim_kernel;
-    // 2. ...and the RTOS kernel model on top of it.
-    TKernel tk;
+    // 1. One Simulation = one complete co-simulation context: the
+    //    SystemC-equivalent kernel plus the RTOS kernel model on top.
+    //    Any number of these may coexist (even on worker threads).
+    Simulation sim;
+    TKernel& tk = sim.os();
 
     ID sem = 0;
 
@@ -58,8 +61,8 @@ int main() {
     });
 
     // 4. Release the reset and simulate 50 ms.
-    tk.power_on();
-    sim_kernel.run_until(sysc::Time::ms(50));
+    sim.power_on();
+    sim.run_until(sysc::Time::ms(50));
 
     // 5. Inspect the run: Gantt chart and per-task statistics.
     std::puts("\nExecution trace (# task, o service call, '.' idle):");

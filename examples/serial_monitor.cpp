@@ -9,13 +9,14 @@
 
 #include "app/monitor.hpp"
 #include "app/videogame.hpp"
+#include "harness/simulation.hpp"
 
 using namespace rtk;
 using sysc::Time;
 
 int main() {
-    sysc::Kernel k;
-    tkernel::TKernel tk;
+    Simulation sim;
+    tkernel::TKernel& tk = sim.os();
     bfm::Bfm8051 board(tk.sim());
 
     app::VideoGame game(tk, board);
@@ -25,11 +26,11 @@ int main() {
         game.setup();
         monitor.setup();
     });
-    tk.power_on();
+    sim.power_on();
 
     // Host terminal: type commands while the game runs. UART frames at
     // 9600 baud take ~1 ms per character, so leave time between commands.
-    k.spawn("host_terminal", [&] {
+    sim.kernel().spawn("host_terminal", [&] {
         sysc::wait(Time::ms(200));
         monitor.type_line("ver");
         sysc::wait(Time::ms(400));
@@ -40,7 +41,7 @@ int main() {
         monitor.type_line("tsk");
     });
 
-    k.run_until(Time::sec(4));
+    sim.run_until(Time::sec(4));
 
     std::puts("=== UART transcript (monitor output) ===");
     std::fputs(monitor.output().c_str(), stdout);

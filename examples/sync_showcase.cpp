@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "harness/simulation.hpp"
 #include "tkds/tkds.hpp"
 #include "tkernel/tkernel.hpp"
 
@@ -20,8 +21,8 @@ void stamp(const char* what) {
 }  // namespace
 
 int main() {
-    sysc::Kernel k;
-    TKernel tk;
+    Simulation sim;
+    TKernel& tk = sim.os();
 
     tk.set_user_main([&] {
         // ---- event flags: split-phase start signal ----
@@ -105,8 +106,8 @@ int main() {
         tk.tk_set_flg(flg, 0x1);
     });
 
-    tk.power_on();
-    k.run_until(Time::ms(60));
+    sim.power_on();
+    sim.run_until(Time::ms(60));
 
     std::puts("\nFinal kernel object state:");
     std::fputs(tkds::render_listing(tk).c_str(), stdout);

@@ -13,6 +13,7 @@
 
 #include "app/videogame.hpp"
 #include "gui/gui.hpp"
+#include "harness/simulation.hpp"
 #include "tkds/tkds.hpp"
 
 using namespace rtk;
@@ -21,8 +22,8 @@ using sysc::Time;
 int main(int argc, char** argv) {
     const unsigned seconds = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 2;
 
-    sysc::Kernel k;
-    tkernel::TKernel tk;
+    Simulation sim;
+    tkernel::TKernel& tk = sim.os();
     bfm::Bfm8051 board(tk.sim());
 
     app::VideoGame game(tk, board);
@@ -41,7 +42,7 @@ int main(int argc, char** argv) {
     fe.add(energy_w);
     fe.drive_from_bus(board.bus(), bfm::Bfm8051::lcd_base, 0x10, lcd_w);
     fe.drive_from_bus(board.bus(), bfm::Bfm8051::ssd_base, 0x10, ssd_w);
-    fe.animate(energy_w, Time::ms(250));
+    fe.animate(sim.kernel(), energy_w, Time::ms(250));
 
     // Scripted player: nudge the paddle left/right through the match.
     std::vector<gui::KeypadWidget::ScriptEvent> script;
@@ -52,10 +53,10 @@ int main(int argc, char** argv) {
         script.push_back({base + Time::ms(600), app::VideoGame::key_left, true});
         script.push_back({base + Time::ms(660), app::VideoGame::key_left, false});
     }
-    pad_w.play_script(std::move(script));
+    pad_w.play_script(sim.kernel(), std::move(script));
 
-    tk.power_on();
-    k.run_until(Time::sec(seconds));
+    sim.power_on();
+    sim.run_until(Time::sec(seconds));
 
     std::printf("=== virtual system prototype after %u s ===\n", seconds);
     std::fputs(fe.render_all().c_str(), stdout);

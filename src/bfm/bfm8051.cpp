@@ -16,11 +16,12 @@ Bfm8051::Bfm8051(sim::SimApi& api) : Bfm8051(api, Config{}) {}
 Bfm8051::Bfm8051(sim::SimApi& api, Config cfg)
     : cfg_(cfg),
       bus_(api, cfg.budgets),
-      rtc_(cfg.rtc_resolution),
-      serial_(cfg.uart_baud, &intc_),
+      rtc_(api.kernel(), cfg.rtc_resolution),
+      serial_(api.kernel(), cfg.uart_baud, &intc_),
+      lcd_(api.kernel()),
       keypad_(&intc_),
-      timer0_(0, &intc_),
-      timer1_(1, &intc_) {
+      timer0_(api.kernel(), 0, &intc_),
+      timer1_(api.kernel(), 1, &intc_) {
     // Memory controller view: devices in XDATA space.
     bus_.map(lcd_base, 0x10, lcd_);
     bus_.map(keypad_base, 0x10, keypad_);

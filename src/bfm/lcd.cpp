@@ -19,16 +19,18 @@ unsigned ddram_to_index(std::uint8_t addr) {
 }
 }  // namespace
 
-Lcd16x2::Lcd16x2() {
+Lcd16x2::Lcd16x2() : Lcd16x2(sysc::Kernel::current()) {}
+
+Lcd16x2::Lcd16x2(sysc::Kernel& kernel) : kernel_(&kernel) {
     ddram_.fill(' ');
 }
 
 bool Lcd16x2::busy() const {
-    return sysc::Kernel::current().now() < busy_until_;
+    return kernel_->now() < busy_until_;
 }
 
 void Lcd16x2::make_busy(sysc::Time dur) {
-    busy_until_ = sysc::Kernel::current().now() + dur;
+    busy_until_ = kernel_->now() + dur;
 }
 
 void Lcd16x2::execute(std::uint8_t cmd) {

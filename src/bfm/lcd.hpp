@@ -15,6 +15,10 @@
 #include "bfm/device.hpp"
 #include "sysc/time.hpp"
 
+namespace rtk::sysc {
+class Kernel;
+}
+
 namespace rtk::bfm {
 
 class Lcd16x2 final : public Device {
@@ -22,6 +26,9 @@ public:
     static constexpr unsigned columns = 16;
     static constexpr unsigned rows = 2;
 
+    /// Context-explicit form: busy-flag timing reads `kernel`'s clock.
+    explicit Lcd16x2(sysc::Kernel& kernel);
+    [[deprecated("pass the sysc::Kernel explicitly: Lcd16x2(kernel)")]]
     Lcd16x2();
 
     // ---- command set (subset of HD44780) ----
@@ -51,6 +58,7 @@ private:
     void execute(std::uint8_t cmd);
     void make_busy(sysc::Time dur);
 
+    sysc::Kernel* kernel_;
     std::string name_ = "lcd";
     std::array<char, columns * rows> ddram_{};
     std::uint8_t addr_ = 0;  ///< ddram cursor

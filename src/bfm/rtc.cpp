@@ -8,8 +8,11 @@
 namespace rtk::bfm {
 
 RealTimeClock::RealTimeClock(sysc::Time resolution)
-    : resolution_(resolution), tick_("rtc.tick") {
-    proc_ = &sysc::Kernel::current().spawn("bfm.rtc", [this] {
+    : RealTimeClock(sysc::Kernel::current(), resolution) {}
+
+RealTimeClock::RealTimeClock(sysc::Kernel& kernel, sysc::Time resolution)
+    : resolution_(resolution), tick_(kernel, "rtc.tick") {
+    proc_ = &kernel.spawn("bfm.rtc", [this] {
         for (;;) {
             sysc::wait(resolution_);
             ++count_;

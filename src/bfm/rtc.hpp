@@ -19,6 +19,10 @@ namespace rtk::bfm {
 
 class RealTimeClock final : public Device {
 public:
+    /// Context-explicit form: tick process and event live on `kernel`.
+    explicit RealTimeClock(sysc::Kernel& kernel,
+                           sysc::Time resolution = sysc::Time::ms(1));
+    [[deprecated("pass the sysc::Kernel explicitly: RealTimeClock(kernel, ...)")]]
     explicit RealTimeClock(sysc::Time resolution = sysc::Time::ms(1));
     ~RealTimeClock() override;
 

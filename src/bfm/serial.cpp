@@ -8,11 +8,13 @@
 namespace rtk::bfm {
 
 SerialIO::SerialIO(unsigned baud, InterruptController* intc)
+    : SerialIO(sysc::Kernel::current(), baud, intc) {}
+
+SerialIO::SerialIO(sysc::Kernel& k, unsigned baud, InterruptController* intc)
     : frame_time_(sysc::Time::ps(static_cast<std::uint64_t>(1e12 * 10.0 / baud))),
       intc_(intc),
-      tx_done_("serial.tx_done"),
-      rx_kick_("serial.rx_kick") {
-    auto& k = sysc::Kernel::current();
+      tx_done_(k, "serial.tx_done"),
+      rx_kick_(k, "serial.rx_kick") {
     tx_proc_ = &k.spawn("bfm.serial.tx", [this] {
         for (;;) {
             sysc::wait(tx_done_);

@@ -23,6 +23,10 @@ namespace rtk::bfm {
 class SerialIO final : public Device {
 public:
     /// 10 bits per frame at `baud` (mode 1).
+    /// Context-explicit form: TX/RX processes and events live on `kernel`.
+    explicit SerialIO(sysc::Kernel& kernel, unsigned baud = 9600,
+                      InterruptController* intc = nullptr);
+    [[deprecated("pass the sysc::Kernel explicitly: SerialIO(kernel, baud, ...)")]]
     explicit SerialIO(unsigned baud = 9600, InterruptController* intc = nullptr);
     ~SerialIO() override;
 

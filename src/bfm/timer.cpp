@@ -10,17 +10,21 @@ namespace rtk::bfm {
 
 Timer8051::Timer8051(unsigned index, InterruptController* intc,
                      sysc::Time machine_cycle)
+    : Timer8051(sysc::Kernel::current(), index, intc, machine_cycle) {}
+
+Timer8051::Timer8051(sysc::Kernel& kernel, unsigned index, InterruptController* intc,
+                     sysc::Time machine_cycle)
     : name_("timer" + std::to_string(index)),
       irq_line_(index == 0 ? InterruptController::line_timer0
                            : InterruptController::line_timer1),
       intc_(intc),
       machine_cycle_(machine_cycle),
-      overflow_ev_(name_ + ".overflow"),
-      control_ev_(name_ + ".control") {
+      overflow_ev_(kernel, name_ + ".overflow"),
+      control_ev_(kernel, name_ + ".control") {
     if (index > 1) {
         sysc::report(sysc::Severity::fatal, "timer", "8051 has timers 0 and 1 only");
     }
-    proc_ = &sysc::Kernel::current().spawn("bfm." + name_, [this] { run_loop(); });
+    proc_ = &kernel.spawn("bfm." + name_, [this] { run_loop(); });
 }
 
 Timer8051::~Timer8051() {

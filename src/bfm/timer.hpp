@@ -35,8 +35,13 @@ public:
     };
 
     /// `index` selects the interrupt line (0 -> Timer0, 1 -> Timer1).
-    Timer8051(unsigned index, InterruptController* intc = nullptr,
+    /// Context-explicit form: counting process and events live on `kernel`.
+    Timer8051(sysc::Kernel& kernel, unsigned index,
+              InterruptController* intc = nullptr,
               sysc::Time machine_cycle = sysc::Time::us(1));
+    [[deprecated("pass the sysc::Kernel explicitly: Timer8051(kernel, index, ...)")]]
+    explicit Timer8051(unsigned index, InterruptController* intc = nullptr,
+                       sysc::Time machine_cycle = sysc::Time::us(1));
     ~Timer8051() override;
 
     // ---- driver API ----

@@ -28,12 +28,16 @@ Frontend::~Frontend() {
 }
 
 void Frontend::animate(Widget& w, sysc::Time period) {
+    animate(sysc::Kernel::current(), w, period);
+}
+
+void Frontend::animate(sysc::Kernel& kernel, Widget& w, sysc::Time period) {
     if (!w.available_in(mode_)) {
         return;
     }
     Widget* wp = &w;
     animators_.push_back(
-        &sysc::Kernel::current().spawn("gui.animate." + w.name(), [wp, period] {
+        &kernel.spawn("gui.animate." + w.name(), [wp, period] {
             for (;;) {
                 sysc::wait(period);
                 wp->refresh();

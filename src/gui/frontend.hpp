@@ -29,7 +29,10 @@ public:
     void drive_from_bus(bfm::Bus8051& bus, std::uint16_t base, std::uint16_t size,
                         Widget& w);
 
-    /// Animate-mode refresh of `w` every `period` of simulated time.
+    /// Animate-mode refresh of `w` every `period` of simulated time; the
+    /// refresh process is spawned on `kernel`.
+    void animate(sysc::Kernel& kernel, Widget& w, sysc::Time period);
+    /// Ambient-context form: animates on the thread's current kernel.
     void animate(Widget& w, sysc::Time period);
 
     /// Text dump of every mode-available widget.

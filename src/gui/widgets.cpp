@@ -30,7 +30,11 @@ KeypadWidget::~KeypadWidget() {
 }
 
 void KeypadWidget::play_script(std::vector<ScriptEvent> script) {
-    script_proc_ = &sysc::Kernel::current().spawn(
+    play_script(sysc::Kernel::current(), std::move(script));
+}
+
+void KeypadWidget::play_script(sysc::Kernel& kernel, std::vector<ScriptEvent> script) {
+    script_proc_ = &kernel.spawn(
         "gui.keypad.script", [this, script = std::move(script)] {
             sysc::Time last{};
             for (const auto& ev : script) {

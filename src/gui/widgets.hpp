@@ -53,7 +53,10 @@ public:
         : Widget("keypad", host_cost), pad_(pad) {}
     ~KeypadWidget() override;
 
-    /// Inject a scripted scenario: a spawned process replays the events.
+    /// Inject a scripted scenario: a process spawned on `kernel` replays
+    /// the events.
+    void play_script(sysc::Kernel& kernel, std::vector<ScriptEvent> script);
+    /// Ambient-context form: replays on the thread's current kernel.
     void play_script(std::vector<ScriptEvent> script);
 
     std::string render() override;

@@ -1,0 +1,7 @@
+// Umbrella header for the rtk harness layer: the context-explicit
+// Simulation handle plus the declarative batch scenario runner.
+#pragma once
+
+#include "harness/runner.hpp"      // IWYU pragma: export
+#include "harness/scenario.hpp"   // IWYU pragma: export
+#include "harness/simulation.hpp" // IWYU pragma: export

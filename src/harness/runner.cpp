@@ -1,0 +1,178 @@
+#include "harness/runner.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+namespace rtk::harness {
+
+// ---- BatchReport ------------------------------------------------------------
+
+std::size_t BatchReport::passed() const {
+    std::size_t n = 0;
+    for (const auto& r : results) {
+        n += r.passed ? 1 : 0;
+    }
+    return n;
+}
+
+std::size_t BatchReport::failed() const {
+    return results.size() - passed();
+}
+
+double BatchReport::scenarios_per_second() const {
+    return wall_seconds > 0.0 ? static_cast<double>(results.size()) / wall_seconds
+                              : 0.0;
+}
+
+double BatchReport::total_host_seconds() const {
+    double s = 0.0;
+    for (const auto& r : results) {
+        s += r.host_seconds;
+    }
+    return s;
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+std::string fmt_double(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6f", v);
+    return buf;
+}
+
+std::string fmt_hex64(std::uint64_t v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "0x%016llx", static_cast<unsigned long long>(v));
+    return buf;
+}
+
+}  // namespace
+
+std::string BatchReport::to_json() const {
+    std::ostringstream out;
+    out << "{\n  \"batch\": {\n"
+        << "    \"scenarios\": " << results.size() << ",\n"
+        << "    \"threads\": " << threads << ",\n"
+        << "    \"passed\": " << passed() << ",\n"
+        << "    \"failed\": " << failed() << ",\n"
+        << "    \"wall_seconds\": " << fmt_double(wall_seconds) << ",\n"
+        << "    \"total_host_seconds\": " << fmt_double(total_host_seconds()) << ",\n"
+        << "    \"scenarios_per_second\": " << fmt_double(scenarios_per_second())
+        << "\n  },\n  \"results\": [";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const ScenarioResult& r = results[i];
+        out << (i == 0 ? "\n" : ",\n");
+        out << "    {\"name\": \"" << json_escape(r.name) << "\""
+            << ", \"seed\": " << r.seed
+            << ", \"passed\": " << (r.passed ? "true" : "false")
+            << ", \"error\": \"" << json_escape(r.error) << "\""
+            << ", \"sim_time_ms\": " << fmt_double(r.sim_time.to_ms())
+            << ", \"host_seconds\": " << fmt_double(r.host_seconds)
+            << ", \"dispatches\": " << r.stats.dispatches
+            << ", \"preemptions\": " << r.stats.preemptions
+            << ", \"interrupts\": " << r.stats.interrupts
+            << ", \"cpu_load\": " << fmt_double(r.stats.cpu_load)
+            << ", \"total_cet_ms\": " << fmt_double(r.stats.total_cet.to_ms())
+            << ", \"total_cee_mj\": " << fmt_double(r.stats.total_cee_nj * 1e-6)
+            << ", \"gantt_segments\": " << r.gantt_segments
+            << ", \"gantt_markers\": " << r.gantt_markers
+            << ", \"fingerprint\": \"" << fmt_hex64(r.fingerprint) << "\"}";
+    }
+    out << "\n  ]\n}\n";
+    return out.str();
+}
+
+bool BatchReport::write_json(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) {
+        return false;
+    }
+    out << to_json();
+    return static_cast<bool>(out);
+}
+
+// ---- ScenarioRunner ---------------------------------------------------------
+
+unsigned ScenarioRunner::effective_threads(std::size_t n) const {
+    unsigned t = opts_.threads;
+    if (t == 0) {
+        t = std::thread::hardware_concurrency();
+        if (t == 0) {
+            t = 1;
+        }
+    }
+    if (n < t) {
+        t = n == 0 ? 1 : static_cast<unsigned>(n);
+    }
+    return t;
+}
+
+BatchReport ScenarioRunner::run(const std::vector<ScenarioSpec>& specs) const {
+    BatchReport report;
+    report.results.resize(specs.size());
+    report.threads = effective_threads(specs.size());
+    const auto start = std::chrono::steady_clock::now();
+
+    if (report.threads <= 1) {
+        for (std::size_t i = 0; i < specs.size(); ++i) {
+            report.results[i] = run_scenario(specs[i]);
+        }
+    } else {
+        // Work-stealing by atomic index: scenario i may run on any worker,
+        // but lands in results[i]; no two workers ever share a slot or a
+        // Simulation, so the only cross-thread traffic is the index.
+        std::atomic<std::size_t> next{0};
+        auto worker = [&specs, &report, &next] {
+            for (;;) {
+                const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= specs.size()) {
+                    return;
+                }
+                report.results[i] = run_scenario(specs[i]);
+            }
+        };
+        std::vector<std::thread> pool;
+        pool.reserve(report.threads);
+        for (unsigned t = 0; t < report.threads; ++t) {
+            pool.emplace_back(worker);
+        }
+        for (auto& t : pool) {
+            t.join();
+        }
+    }
+
+    report.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    return report;
+}
+
+}  // namespace rtk::harness

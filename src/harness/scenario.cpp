@@ -1,0 +1,130 @@
+#include "harness/scenario.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <memory>
+
+#include "sim/gantt.hpp"
+#include "sim/sim_api.hpp"
+#include "sysc/report.hpp"
+#include "sysc/trace.hpp"
+
+namespace rtk::harness {
+
+namespace {
+
+// 64-bit FNV-1a; the digest order is fixed so fingerprints are stable
+// across runs, threads and (within one build) processes.
+class Fnv1a {
+public:
+    void mix(std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            hash_ ^= (v >> (8 * i)) & 0xffu;
+            hash_ *= 0x100000001b3ull;
+        }
+    }
+    void mix_double(double d) {
+        std::uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(d));
+        std::memcpy(&bits, &d, sizeof(bits));
+        mix(bits);
+    }
+    void mix_string(const std::string& s) {
+        mix(s.size());
+        for (char c : s) {
+            hash_ ^= static_cast<unsigned char>(c);
+            hash_ *= 0x100000001b3ull;
+        }
+    }
+    std::uint64_t value() const { return hash_; }
+
+private:
+    std::uint64_t hash_ = 0xcbf29ce484222325ull;
+};
+
+}  // namespace
+
+std::uint64_t fingerprint_simulation(const Simulation& sim) {
+    Fnv1a h;
+    h.mix(sim.now().picoseconds());
+    const sim::SimApi& api = sim.sim();
+    h.mix(api.total_dispatches());
+    h.mix(api.total_preemptions());
+    h.mix(api.total_interrupt_deliveries());
+    h.mix(api.idle_time().picoseconds());
+    h.mix(sim.os().systim());
+    h.mix(sim.os().tick_count());
+    for (const rtk::sim::TThread* t : api.hash_table().threads()) {
+        h.mix(static_cast<std::uint64_t>(t->id()));
+        h.mix_string(t->name());
+        h.mix(t->token().cet().picoseconds());
+        h.mix_double(t->token().cee_nj());
+        h.mix(t->dispatch_count());
+        h.mix(t->preemption_count());
+        h.mix(t->times_interrupted());
+    }
+    const rtk::sim::GanttRecorder& g = api.gantt();
+    h.mix(g.segments().size());
+    for (const auto& s : g.segments()) {
+        h.mix(static_cast<std::uint64_t>(s.tid));
+        h.mix(static_cast<std::uint64_t>(s.ctx));
+        h.mix(s.start.picoseconds());
+        h.mix(s.end.picoseconds());
+        h.mix_double(s.energy_nj);
+    }
+    h.mix(g.markers().size());
+    for (const auto& m : g.markers()) {
+        h.mix(static_cast<std::uint64_t>(m.kind));
+        h.mix(static_cast<std::uint64_t>(m.tid));
+        h.mix(m.at.picoseconds());
+    }
+    return h.value();
+}
+
+ScenarioResult run_scenario(const ScenarioSpec& spec) {
+    ScenarioResult r;
+    r.name = spec.name;
+    r.seed = spec.seed;
+    const auto host_start = std::chrono::steady_clock::now();
+    try {
+        Simulation sim(spec.config);
+        if (!spec.vcd_path.empty()) {
+            auto trace = std::make_shared<sysc::TraceFile>(sim.kernel(), spec.vcd_path);
+            tkernel::TKernel* os = &sim.os();
+            trace->trace_value("systim", 32,
+                               [os] { return static_cast<std::uint64_t>(os->systim()); });
+            trace->trace_value("tick_count", 32, [os] { return os->tick_count(); });
+            sim::SimApi* api = &sim.sim();
+            trace->trace_value("running_task", 16, [api] {
+                const rtk::sim::TThread* t = api->running_task();
+                return t == nullptr ? 0ull : static_cast<std::uint64_t>(t->id());
+            });
+            sim.retain(std::move(trace));
+        }
+        if (spec.workload) {
+            spec.workload(sim, spec);
+        }
+        sim.power_on();
+        sim.run_until(spec.duration);
+        r.sim_time = sim.now();
+        r.stats = sim.stats();
+        r.gantt_segments = sim.sim().gantt().segments().size();
+        r.gantt_markers = sim.sim().gantt().markers().size();
+        r.fingerprint = fingerprint_simulation(sim);
+        if (spec.check && !spec.check(sim, spec)) {
+            r.error = "check predicate failed";
+        } else {
+            r.passed = true;
+        }
+    } catch (const std::exception& e) {  // includes sysc::SimError
+        r.error = e.what();
+    } catch (...) {
+        r.error = "unknown exception";
+    }
+    r.host_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - host_start)
+            .count();
+    return r;
+}
+
+}  // namespace rtk::harness

@@ -1,0 +1,73 @@
+// Declarative scenario descriptions for batch design-space exploration.
+//
+// A ScenarioSpec is everything needed to reproduce one co-simulation run:
+// the kernel Config, a workload builder, a duration and a seed. Running a
+// spec (run_scenario) constructs a fresh rtk::Simulation, lets the
+// workload wire tasks/resources/devices, boots, simulates for `duration`
+// and distills the run into a ScenarioResult -- including a 64-bit
+// fingerprint over the observable behaviour (stats + Gantt trace) used by
+// the determinism suite to assert that serial and parallel execution of
+// the same spec are bit-identical.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "harness/simulation.hpp"
+#include "sim/stats.hpp"
+#include "sysc/time.hpp"
+
+namespace rtk::harness {
+
+struct ScenarioSpec {
+    /// Scenario name; also keys the per-scenario entry in BatchReport.
+    std::string name;
+    /// Kernel configuration under test (tick, costs, semantic toggles).
+    Simulation::Config config{};
+    /// Free parameter for workload randomization; identical (spec, seed)
+    /// pairs must produce bit-identical runs.
+    std::uint64_t seed = 0;
+    /// Simulated time to run after power-on.
+    sysc::Time duration = sysc::Time::ms(100);
+    /// Builds the workload: called on the freshly constructed Simulation
+    /// before power_on() -- typically installs the user main (task and
+    /// resource creation) and may attach BFM devices via sim.retain().
+    std::function<void(Simulation&, const ScenarioSpec&)> workload;
+    /// Optional pass/fail predicate evaluated after the run; a scenario
+    /// without one passes unless the simulation itself errors.
+    std::function<bool(Simulation&, const ScenarioSpec&)> check;
+    /// When non-empty, a VCD trace of kernel activity (system time, tick
+    /// count, running task) is written here during the run.
+    std::string vcd_path;
+};
+
+struct ScenarioResult {
+    std::string name;
+    std::uint64_t seed = 0;
+    bool passed = false;
+    /// Failure detail: check-predicate failure or the SimError message.
+    std::string error;
+    /// Simulated time reached and host wall-clock cost of the run.
+    sysc::Time sim_time{};
+    double host_seconds = 0.0;
+    /// System-wide roll-up at end of run (CET/CEE distribution, counters).
+    sim::SystemStats stats;
+    /// Gantt summary: recorded execution segments and point markers.
+    std::uint64_t gantt_segments = 0;
+    std::uint64_t gantt_markers = 0;
+    /// FNV-1a digest over the observable behaviour (sim time, counters,
+    /// per-thread CET/CEE, full Gantt trace). Equal specs must yield
+    /// equal fingerprints regardless of host threading.
+    std::uint64_t fingerprint = 0;
+};
+
+/// Run one scenario to completion in a fresh, isolated Simulation.
+/// Never throws: simulation errors are captured into the result.
+ScenarioResult run_scenario(const ScenarioSpec& spec);
+
+/// The behaviour digest used by ScenarioResult::fingerprint (exposed for
+/// tests that want to fingerprint a hand-driven Simulation).
+std::uint64_t fingerprint_simulation(const Simulation& sim);
+
+}  // namespace rtk::harness

@@ -1,0 +1,84 @@
+// rtk::Simulation -- the context handle of one complete co-simulation:
+// a sysc::Kernel (discrete-event substrate) plus the RTK-Spec TRON
+// T-Kernel model (which owns its SIM_API + scheduler stack) built on it.
+//
+// The handle is what makes the reproduction multi-instance: nothing in it
+// touches process-wide state, so any number of Simulations may coexist --
+// nested in one thread, or one per worker thread for host-parallel
+// scenario sweeps (see harness/runner.hpp). Construction wires the layers
+// together explicitly; the deprecated ambient-context constructors of the
+// individual layers are not involved.
+//
+//   rtk::Simulation sim;                      // or Simulation(config)
+//   sim.set_user_main([&] { ...tk_cre_tsk... });
+//   sim.power_on();
+//   sim.run_for(sysc::Time::ms(50));
+//   auto stats = sim.stats();
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/stats.hpp"
+#include "sysc/kernel.hpp"
+#include "sysc/time.hpp"
+#include "tkernel/kernel.hpp"
+
+namespace rtk {
+
+class Simulation {
+public:
+    using Config = tkernel::TKernel::Config;
+
+    Simulation() : Simulation(Config{}) {}
+    explicit Simulation(const Config& cfg) : os_(kernel_, cfg) {}
+    ~Simulation() {
+        // Retained objects die in reverse retention order (a vector's own
+        // destructor would destroy front-to-back), before os_/kernel_.
+        while (!retained_.empty()) {
+            retained_.pop_back();
+        }
+    }
+
+    Simulation(const Simulation&) = delete;
+    Simulation& operator=(const Simulation&) = delete;
+
+    // ---- the owned stack ---------------------------------------------------
+    /// The discrete-event kernel: pass it to BFM devices, traces, events.
+    sysc::Kernel& kernel() { return kernel_; }
+    const sysc::Kernel& kernel() const { return kernel_; }
+    /// The T-Kernel/OS model (tk_* service calls).
+    tkernel::TKernel& os() { return os_; }
+    const tkernel::TKernel& os() const { return os_; }
+    /// The SIM_API layer underneath the T-Kernel (Gantt, counters, costs).
+    sim::SimApi& sim() { return os_.sim(); }
+    const sim::SimApi& sim() const { return os_.sim(); }
+
+    // ---- boot & run --------------------------------------------------------
+    void set_user_main(std::function<void()> usermain) {
+        os_.set_user_main(std::move(usermain));
+    }
+    void power_on() { os_.power_on(); }
+    void run() { kernel_.run(); }
+    void run_until(sysc::Time t) { kernel_.run_until(t); }
+    void run_for(sysc::Time d) { kernel_.run_for(d); }
+    sysc::Time now() const { return kernel_.now(); }
+
+    // ---- inspection --------------------------------------------------------
+    sim::SystemStats stats() const { return sim::collect_stats(os_.sim()); }
+
+    /// Keep an auxiliary object (TraceFile, BFM board, widget, ...) alive
+    /// for the lifetime of this simulation; destroyed in reverse order of
+    /// retention, before the kernel stack.
+    void retain(std::shared_ptr<void> obj) { retained_.push_back(std::move(obj)); }
+
+private:
+    sysc::Kernel kernel_;
+    tkernel::TKernel os_;
+    // Declared last so it is destroyed first: retained objects may own
+    // processes/events on kernel_ and reference os_. Do not reorder.
+    std::vector<std::shared_ptr<void>> retained_;
+};
+
+}  // namespace rtk

@@ -14,12 +14,13 @@ namespace {
 constexpr sim::Priority tick_priority = -1'000'000;
 }
 
-RtkSpecBase::RtkSpecBase(std::unique_ptr<sim::Scheduler> sched, Config cfg)
-    : cfg_(cfg), sched_(std::move(sched)) {
+RtkSpecBase::RtkSpecBase(sysc::Kernel& kernel, std::unique_ptr<sim::Scheduler> sched,
+                         Config cfg)
+    : kernel_(&kernel), cfg_(cfg), sched_(std::move(sched)) {
     sim::SimApi::Config sc;
     sc.quantum = cfg_.tick;
     sc.record_gantt = cfg_.record_gantt;
-    api_ = std::make_unique<sim::SimApi>(*sched_, sc);
+    api_ = std::make_unique<sim::SimApi>(kernel, *sched_, sc);
     tick_thread_ = &api_->SIM_CreateThread(
         "rtkspec.tick", ThreadKind::interrupt_handler, tick_priority, [this] {
             api_->SIM_WaitUnits(2, ExecContext::handler);
@@ -147,7 +148,7 @@ void RtkSpecBase::power_on() {
         return;
     }
     powered_ = true;
-    ticker_proc_ = &sysc::Kernel::current().spawn("rtkspec.ticker", [this] {
+    ticker_proc_ = &kernel_->spawn("rtkspec.ticker", [this] {
         for (;;) {
             sysc::wait(cfg_.tick);
             api_->SIM_RaiseInterrupt(*tick_thread_);
@@ -170,10 +171,22 @@ void RtkSpecBase::timer_tick() {
 
 // ---- RTK-Spec I ---------------------------------------------------------------
 
-RtkSpec1::RtkSpec1(Config cfg, std::uint64_t slice_ticks)
-    : RtkSpecBase(std::make_unique<sim::RoundRobinScheduler>(), cfg),
+RtkSpec1::RtkSpec1(sysc::Kernel& kernel, Config cfg, std::uint64_t slice_ticks)
+    : RtkSpecBase(kernel, std::make_unique<sim::RoundRobinScheduler>(), cfg),
       slice_ticks_(slice_ticks == 0 ? 1 : slice_ticks),
       slice_left_(slice_ticks_) {}
+
+#if defined(__GNUC__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+RtkSpec1::RtkSpec1(Config cfg, std::uint64_t slice_ticks)
+    : RtkSpec1(sysc::Kernel::current(), cfg, slice_ticks) {}
+
+RtkSpec2::RtkSpec2(Config cfg) : RtkSpec2(sysc::Kernel::current(), cfg) {}
+#if defined(__GNUC__)
+#pragma GCC diagnostic pop
+#endif
 
 void RtkSpec1::on_tick() {
     if (--slice_left_ != 0) {
@@ -189,7 +202,7 @@ void RtkSpec1::on_tick() {
 
 // ---- RTK-Spec II --------------------------------------------------------------
 
-RtkSpec2::RtkSpec2(Config cfg)
-    : RtkSpecBase(std::make_unique<sim::PriorityPreemptiveScheduler>(), cfg) {}
+RtkSpec2::RtkSpec2(sysc::Kernel& kernel, Config cfg)
+    : RtkSpecBase(kernel, std::make_unique<sim::PriorityPreemptiveScheduler>(), cfg) {}
 
 }  // namespace rtk::kernels

@@ -61,7 +61,8 @@ public:
     int current_task() const;
 
 protected:
-    RtkSpecBase(std::unique_ptr<sim::Scheduler> sched, Config cfg);
+    RtkSpecBase(sysc::Kernel& kernel, std::unique_ptr<sim::Scheduler> sched,
+                Config cfg);
     /// Per-tick policy hook (RTK-Spec I rotates the slice here).
     virtual void on_tick() {}
 
@@ -83,6 +84,7 @@ protected:
 
     sysc::Process* ticker_proc_ = nullptr;
 
+    sysc::Kernel* kernel_;
     Config cfg_;
     std::unique_ptr<sim::Scheduler> sched_;
     std::unique_ptr<sim::SimApi> api_;
@@ -97,6 +99,9 @@ protected:
 /// RTK-Spec I: round-robin with a fixed time slice.
 class RtkSpec1 final : public RtkSpecBase {
 public:
+    explicit RtkSpec1(sysc::Kernel& kernel, Config cfg = Config{},
+                      std::uint64_t slice_ticks = 5);
+    [[deprecated("pass the sysc::Kernel explicitly: RtkSpec1(kernel, ...)")]]
     explicit RtkSpec1(Config cfg = Config{}, std::uint64_t slice_ticks = 5);
 
 protected:
@@ -110,6 +115,8 @@ private:
 /// RTK-Spec II: priority-based preemptive (readiness-driven).
 class RtkSpec2 final : public RtkSpecBase {
 public:
+    explicit RtkSpec2(sysc::Kernel& kernel, Config cfg = Config{});
+    [[deprecated("pass the sysc::Kernel explicitly: RtkSpec2(kernel, ...)")]]
     explicit RtkSpec2(Config cfg = Config{});
 };
 

@@ -12,18 +12,31 @@ namespace rtk::sim {
 using sysc::Severity;
 using sysc::Time;
 
-namespace {
-Time sim_now() {
-    return sysc::Kernel::current().now();
+Time SimApi::now_() const {
+    return kernel_->now();
 }
-}  // namespace
 
-SimApi::SimApi(Scheduler& scheduler) : SimApi(scheduler, Config{}) {}
+SimApi::SimApi(sysc::Kernel& kernel, Scheduler& scheduler)
+    : SimApi(kernel, scheduler, Config{}) {}
 
-SimApi::SimApi(Scheduler& scheduler, Config config)
-    : scheduler_(&scheduler), config_(config) {
+SimApi::SimApi(sysc::Kernel& kernel, Scheduler& scheduler, Config config)
+    : kernel_(&kernel), scheduler_(&scheduler), config_(config) {
     gantt_.set_enabled(config_.record_gantt);
 }
+
+// Deprecated ambient-context shims (kept for one migration PR).
+#if defined(__GNUC__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+SimApi::SimApi(Scheduler& scheduler)
+    : SimApi(sysc::Kernel::current(), scheduler, Config{}) {}
+
+SimApi::SimApi(Scheduler& scheduler, Config config)
+    : SimApi(sysc::Kernel::current(), scheduler, config) {}
+#if defined(__GNUC__)
+#pragma GCC diagnostic pop
+#endif
 
 SimApi::~SimApi() {
     // Unwind all thread coroutines now, while the TThread objects (which
@@ -44,8 +57,7 @@ TThread& SimApi::SIM_CreateThread(std::string name, ThreadKind kind, Priority pr
     TThread& ref = *thread;
     owned_.push_back(std::move(thread));
     hashtb_.insert(ref.id_, ref);
-    ref.proc_ = &sysc::Kernel::current().spawn("tthread." + ref.name_,
-                                               [&ref] { ref.run_body(); });
+    ref.proc_ = &kernel_->spawn("tthread." + ref.name_, [&ref] { ref.run_body(); });
     by_process_[ref.proc_] = &ref;
     return ref;
 }
@@ -67,12 +79,12 @@ void SimApi::SIM_DeleteThread(TThread& t) {
 
 void SimApi::set_state(TThread& t, ThreadState s) {
     t.state_ = s;
-    hashtb_.update(t.id_, s, sim_now());
+    hashtb_.update(t.id_, s, now_());
 }
 
 void SimApi::account_idle_end() {
     if (idle_) {
-        idle_accum_ += sim_now() - idle_since_;
+        idle_accum_ += now_() - idle_since_;
         idle_ = false;
     }
 }
@@ -80,7 +92,7 @@ void SimApi::account_idle_end() {
 Time SimApi::idle_time() const {
     Time total = idle_accum_;
     if (idle_) {
-        total += sim_now() - idle_since_;
+        total += now_() - idle_since_;
     }
     return total;
 }
@@ -95,7 +107,7 @@ TThread& SimApi::self() {
 }
 
 TThread* SimApi::self_or_null() {
-    const sysc::Process* p = sysc::Kernel::current().running_process();
+    const sysc::Process* p = kernel_->running_process();
     auto it = by_process_.find(p);
     return it == by_process_.end() ? nullptr : it->second;
 }
@@ -123,13 +135,13 @@ void SimApi::dispatch() {
         if (!pending_isrs_.empty()) {
             TThread* isr = pop_best_pending_isr();
             gantt_.add_marker(GanttRecorder::MarkerKind::interrupt_enter, isr->id_,
-                              sim_now());
+                              now_());
             launch_isr(*isr);
             return;
         }
         if (!idle_) {
             idle_ = true;
-            idle_since_ = sim_now();
+            idle_since_ = now_();
         }
         return;
     }
@@ -137,7 +149,7 @@ void SimApi::dispatch() {
     executing_ = next;
     ++total_dispatches_;
     ++next->dispatches_;
-    gantt_.add_marker(GanttRecorder::MarkerKind::dispatch, next->id_, sim_now());
+    gantt_.add_marker(GanttRecorder::MarkerKind::dispatch, next->id_, now_());
     set_state(*next, ThreadState::running);
     grant(*next, next->wake_reason_);
 }
@@ -175,7 +187,7 @@ void SimApi::SIM_RequestPreempt(TThread& t) {
 void SimApi::yield_preempted(TThread& t) {
     ++t.preemptions_;
     ++total_preemptions_;
-    gantt_.add_marker(GanttRecorder::MarkerKind::preemption, t.id_, sim_now());
+    gantt_.add_marker(GanttRecorder::MarkerKind::preemption, t.id_, now_());
     if (t.suspend_pending_) {
         t.suspend_pending_ = false;
         t.wake_reason_ = RunEvent::return_from_preemption;
@@ -230,7 +242,7 @@ void SimApi::check_preemption_point(TThread& t) {
         ++t.times_interrupted_;
         stack_.push(t);
         gantt_.add_marker(GanttRecorder::MarkerKind::interrupt_enter, isr->id_,
-                          sim_now());
+                          now_());
         launch_isr(*isr);
         t.await_grant();  // returns with Ei once the handler chain is done
     }
@@ -291,7 +303,7 @@ void SimApi::deliver_pending_interrupts() {
         // below the handler is "idle").
         TThread* isr = pop_best_pending_isr();
         gantt_.add_marker(GanttRecorder::MarkerKind::interrupt_enter, isr->id_,
-                          sim_now());
+                          now_());
         launch_isr(*isr);
         return;
     }
@@ -303,7 +315,7 @@ void SimApi::deliver_pending_interrupts() {
 void SimApi::on_handler_exited(TThread& h) {
     set_state(h, ThreadState::dormant);
     h.token_.complete_cycle();
-    gantt_.add_marker(GanttRecorder::MarkerKind::interrupt_return, h.id_, sim_now());
+    gantt_.add_marker(GanttRecorder::MarkerKind::interrupt_return, h.id_, now_());
     executing_ = nullptr;
     if (h.pending_activation_) {
         h.pending_activation_ = false;
@@ -322,7 +334,7 @@ void SimApi::on_handler_exited(TThread& h) {
         if (can_chain) {
             TThread* isr = pop_best_pending_isr();
             gantt_.add_marker(GanttRecorder::MarkerKind::interrupt_enter, isr->id_,
-                              sim_now());
+                              now_());
             launch_isr(*isr);
             return;
         }
@@ -345,7 +357,7 @@ void SimApi::on_handler_exited(TThread& h) {
                 ++back.preemptions_;
                 ++total_preemptions_;
                 gantt_.add_marker(GanttRecorder::MarkerKind::preemption, back.id_,
-                                  sim_now());
+                                  now_());
                 back.wake_reason_ = RunEvent::return_from_preemption;
                 set_state(back, ThreadState::ready);
                 scheduler_->make_ready(back);
@@ -366,7 +378,7 @@ void SimApi::on_handler_exited(TThread& h) {
     }
     if (!idle_) {
         idle_ = true;
-        idle_since_ = sim_now();
+        idle_since_ = now_();
     }
 }
 
@@ -395,7 +407,7 @@ void SimApi::SIM_Exit() {
 void SimApi::on_thread_exited(TThread& t) {
     set_state(t, ThreadState::dormant);
     t.token_.complete_cycle();
-    gantt_.add_marker(GanttRecorder::MarkerKind::exit, t.id_, sim_now());
+    gantt_.add_marker(GanttRecorder::MarkerKind::exit, t.id_, now_());
     t.preempt_requested_ = false;
     t.suspend_pending_ = false;
     t.suspend_count_ = 0;
@@ -440,8 +452,7 @@ void SimApi::SIM_Terminate(TThread& t) {
     // Unwind the coroutine stack (RAII) and arm a fresh firing cycle.
     by_process_.erase(t.proc_);
     const_cast<sysc::Process*>(t.proc_)->kill();
-    t.proc_ = &sysc::Kernel::current().spawn("tthread." + t.name_,
-                                             [&t] { t.run_body(); });
+    t.proc_ = &kernel_->spawn("tthread." + t.name_, [&t] { t.run_body(); });
     by_process_[t.proc_] = &t;
     if (was_executing) {
         dispatch();
@@ -460,7 +471,7 @@ void SimApi::SIM_Sleep() {
         sysc::report(Severity::fatal, "sim_api",
                      "SIM_Sleep: '" + t.name_ + "' is not the executing thread");
     }
-    gantt_.add_marker(GanttRecorder::MarkerKind::sleep, t.id_, sim_now());
+    gantt_.add_marker(GanttRecorder::MarkerKind::sleep, t.id_, now_());
     t.wake_reason_ = RunEvent::sleep_event;
     if (t.suspend_pending_) {
         t.suspend_pending_ = false;
@@ -476,7 +487,7 @@ void SimApi::SIM_Sleep() {
 }
 
 void SimApi::SIM_WakeUp(TThread& t) {
-    gantt_.add_marker(GanttRecorder::MarkerKind::wakeup, t.id_, sim_now());
+    gantt_.add_marker(GanttRecorder::MarkerKind::wakeup, t.id_, now_());
     // "The waiting task will be notified later, upon the arrival of its
     // event" (paper §4): expose the Ew arrival for observers/waveforms.
     t.sleep_ev_.notify();
@@ -576,7 +587,7 @@ void SimApi::SIM_RotateReadyQueue(Priority prio) {
 // ---- time/energy consumption ------------------------------------------------------------
 
 void SimApi::consume_slice(TThread& t, ExecContext ctx, Time dur, double energy_nj) {
-    const Time end = sim_now();
+    const Time end = now_();
     t.token_.consume(ctx, dur, energy_nj);
     gantt_.add_slice(t.id_, t.name_, ctx, end - dur, end, energy_nj);
 }
@@ -612,7 +623,7 @@ void SimApi::SIM_Wait(Time dur, double energy_nj, ExecContext ctx) {
             // Crossed a preemption point and kept the CPU: Ec transition.
             t.token_.fire(RunEvent::continue_run);
         }
-        const Time start = sim_now();
+        const Time start = now_();
         // Preemption points fall on the global quantum grid ("system clock
         // simulation granularity", paper §4).
         Time slice = remaining;

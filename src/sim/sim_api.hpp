@@ -30,6 +30,10 @@
 #include "sim/types.hpp"
 #include "sysc/time.hpp"
 
+namespace rtk::sysc {
+class Kernel;
+}
+
 namespace rtk::sim {
 
 /// Thrown by SIM_Exit to unwind the current entry; caught by the
@@ -61,7 +65,19 @@ public:
         bool record_gantt = true;
     };
 
+    /// Context-explicit construction: every T-THREAD process, grant event
+    /// and time query of this instance lives on `kernel`. This is the one
+    /// constructor new code should use; several SimApi stacks may coexist
+    /// (one per sysc::Kernel), including on different host threads.
+    SimApi(sysc::Kernel& kernel, Scheduler& scheduler);
+    SimApi(sysc::Kernel& kernel, Scheduler& scheduler, Config config);
+
+    /// Deprecated ambient-context shims: bind to the thread's current
+    /// kernel at construction time.
+    [[deprecated("pass the sysc::Kernel explicitly: SimApi(kernel, scheduler)")]]
     explicit SimApi(Scheduler& scheduler);
+    [[deprecated(
+        "pass the sysc::Kernel explicitly: SimApi(kernel, scheduler, config)")]]
     SimApi(Scheduler& scheduler, Config config);
     ~SimApi();
 
@@ -174,6 +190,10 @@ public:
     TThread& self();
     TThread* self_or_null();
 
+    /// The simulation kernel this instance is bound to.
+    sysc::Kernel& kernel() { return *kernel_; }
+    const sysc::Kernel& kernel() const { return *kernel_; }
+
     Scheduler& scheduler() { return *scheduler_; }
     const SimHashTB& hash_table() const { return hashtb_; }
     const SimStack& interrupt_stack() const { return stack_; }
@@ -209,7 +229,9 @@ private:
     void account_idle_end();
     void set_state(TThread& t, ThreadState s);
     TThread* pop_best_pending_isr();
+    sysc::Time now_() const;
 
+    sysc::Kernel* kernel_;
     Scheduler* scheduler_;
     Config config_;
     CostTable costs_;

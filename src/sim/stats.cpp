@@ -38,7 +38,7 @@ std::string BatteryModel::status_bar(double total_cee_nj, std::size_t width) con
 
 SystemStats collect_stats(const SimApi& api) {
     SystemStats s;
-    s.elapsed = sysc::Kernel::current().now();
+    s.elapsed = api.kernel().now();
     s.idle_time = api.idle_time();
     s.dispatches = api.total_dispatches();
     s.preemptions = api.total_preemptions();

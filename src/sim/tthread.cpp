@@ -14,8 +14,8 @@ TThread::TThread(SimApi& api, ThreadId id, std::string name, ThreadKind kind,
       base_priority_(prio),
       current_priority_(prio),
       entry_(std::move(entry)),
-      grant_ev_(name_ + ".grant"),
-      sleep_ev_(name_ + ".sleep") {}
+      grant_ev_(api.kernel(), name_ + ".grant"),
+      sleep_ev_(api.kernel(), name_ + ".sleep") {}
 
 void TThread::run_body() {
     // "A T-THREAD is a cyclic object of atomic transitions T with a single
@@ -48,7 +48,7 @@ RunEvent TThread::await_grant() {
     // receiving the CPU, attributed to the kernel service context.
     const auto& cfg = api_.config();
     if (!cfg.dispatch_cost.is_zero()) {
-        const sysc::Time start = sysc::now();
+        const sysc::Time start = api_.kernel().now();
         sysc::wait(cfg.dispatch_cost);
         api_.consume_slice(*this, ExecContext::service_call, cfg.dispatch_cost,
                            cfg.dispatch_energy_nj);

@@ -11,10 +11,14 @@ Clock::~Clock() {
 }
 
 Clock::Clock(std::string name, Time period, unsigned duty_percent, Time start_delay)
+    : Clock(Kernel::current(), std::move(name), period, duty_percent, start_delay) {}
+
+Clock::Clock(Kernel& kernel, std::string name, Time period, unsigned duty_percent,
+             Time start_delay)
     : name_(std::move(name)),
       period_(period),
       start_delay_(start_delay),
-      sig_(name_) {
+      sig_(kernel, name_) {
     if (period.is_zero()) {
         report(Severity::fatal, "clock", "clock '" + name_ + "' with zero period");
     }
@@ -23,7 +27,7 @@ Clock::Clock(std::string name, Time period, unsigned duty_percent, Time start_de
     }
     high_time_ = period * duty_percent / 100;
     low_time_ = period - high_time_;
-    proc_ = &Kernel::current().spawn(name_ + ".gen", [this] {
+    proc_ = &kernel.spawn(name_ + ".gen", [this] {
         if (!start_delay_.is_zero()) {
             wait(start_delay_);
         }

@@ -18,6 +18,9 @@ public:
     /// duty_percent is the high fraction in percent (1..99).
     Clock(std::string name, Time period, unsigned duty_percent = 50,
           Time start_delay = Time::zero());
+    /// Context-explicit form: generator process and signal live on `kernel`.
+    Clock(Kernel& kernel, std::string name, Time period, unsigned duty_percent = 50,
+          Time start_delay = Time::zero());
     ~Clock();
 
     Clock(const Clock&) = delete;

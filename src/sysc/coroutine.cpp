@@ -20,6 +20,22 @@
 #include <sanitizer/common_interface_defs.h>
 #endif
 
+// ThreadSanitizer likewise needs to be told about stack switches, via its
+// fiber API -- without it every coroutine switch scrambles TSan's per-
+// thread shadow state and the multi-threaded harness suite drowns in
+// false positives.
+#if defined(__SANITIZE_THREAD__)
+#define RTK_TSAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define RTK_TSAN_FIBERS 1
+#endif
+#endif
+
+#ifdef RTK_TSAN_FIBERS
+#include <sanitizer/tsan_interface.h>
+#endif
+
 namespace rtk::sysc {
 
 namespace {
@@ -46,6 +62,42 @@ inline void asan_finish_switch(void* fake_stack_save, const void** bottom_old,
 #endif
 }
 
+inline void* tsan_create_fiber() {
+#ifdef RTK_TSAN_FIBERS
+    return __tsan_create_fiber(0);
+#else
+    return nullptr;
+#endif
+}
+
+inline void tsan_destroy_fiber(void* fiber) {
+#ifdef RTK_TSAN_FIBERS
+    if (fiber != nullptr) {
+        __tsan_destroy_fiber(fiber);
+    }
+#else
+    (void)fiber;
+#endif
+}
+
+inline void* tsan_current_fiber() {
+#ifdef RTK_TSAN_FIBERS
+    return __tsan_get_current_fiber();
+#else
+    return nullptr;
+#endif
+}
+
+inline void tsan_switch_fiber(void* fiber) {
+#ifdef RTK_TSAN_FIBERS
+    if (fiber != nullptr) {
+        __tsan_switch_to_fiber(fiber, 0);
+    }
+#else
+    (void)fiber;
+#endif
+}
+
 }  // namespace
 
 Coroutine::Coroutine(std::function<void()> body, std::size_t stack_bytes)
@@ -61,6 +113,7 @@ Coroutine::~Coroutine() {
             // is intentionally dropped during teardown.
         }
     }
+    tsan_destroy_fiber(tsan_fiber_);
 }
 
 void Coroutine::trampoline(unsigned hi, unsigned lo) {
@@ -69,6 +122,10 @@ void Coroutine::trampoline(unsigned hi, unsigned lo) {
     c->run_body();
     // The coroutine stack dies here: a null fake-stack handle tells ASan
     // to release it before uc_link switches back to the caller context.
+    // TSan stays on the coroutine's fiber across the uc_link return --
+    // the pending function-exit events of this frame and of the caller's
+    // swapcontext must pop from the fiber's shadow stack where their
+    // entries were pushed; resume() switches the fiber back afterwards.
     asan_start_switch(nullptr, c->asan_caller_bottom_, c->asan_caller_size_);
     // Returning lets ucontext follow uc_link back to the caller context.
 }
@@ -111,11 +168,19 @@ void Coroutine::resume() {
         makecontext(&ctx_, reinterpret_cast<void (*)()>(&Coroutine::trampoline), 2,
                     static_cast<unsigned>(ptr >> 32),
                     static_cast<unsigned>(ptr & 0xffffffffu));
+        tsan_fiber_ = tsan_create_fiber();
     }
     inside_ = true;
     asan_start_switch(&asan_caller_fake_, stack_.get(), stack_bytes_);
+    tsan_caller_fiber_ = tsan_current_fiber();
+    tsan_switch_fiber(tsan_fiber_);
     swapcontext(&caller_, &ctx_);
     asan_finish_switch(asan_caller_fake_, nullptr, nullptr);
+    if (finished_) {
+        // Came back through uc_link (no annotation on that path): leave
+        // the dead coroutine's fiber now that its shadow stack is drained.
+        tsan_switch_fiber(tsan_caller_fiber_);
+    }
     inside_ = false;
     if (finished_ && pending_exception_) {
         auto ex = pending_exception_;
@@ -129,6 +194,7 @@ void Coroutine::yield() {
         report(Severity::fatal, "coroutine", "yield() outside the coroutine");
     }
     asan_start_switch(&asan_coro_fake_, asan_caller_bottom_, asan_caller_size_);
+    tsan_switch_fiber(tsan_caller_fiber_);
     swapcontext(&ctx_, &caller_);
     // Back on the coroutine stack; the resumer may be a different host
     // stack than last time, so refresh the recorded caller bounds.

@@ -64,6 +64,12 @@ private:
     void* asan_coro_fake_ = nullptr;
     const void* asan_caller_bottom_ = nullptr;
     std::size_t asan_caller_size_ = 0;
+    // TSan fiber-annotation bookkeeping (idle in non-sanitized builds):
+    // the coroutine's TSan fiber and the fiber of whoever last resumed it
+    // (to annotate the switch back; the resumer may change between
+    // suspensions when kernels run on different host threads).
+    void* tsan_fiber_ = nullptr;
+    void* tsan_caller_fiber_ = nullptr;
     ucontext_t ctx_{};
     ucontext_t caller_{};
     bool started_ = false;

@@ -10,6 +10,9 @@ namespace rtk::sysc {
 
 Event::Event(std::string name) : kernel_(&Kernel::current()), name_(std::move(name)) {}
 
+Event::Event(Kernel& kernel, std::string name)
+    : kernel_(&kernel), name_(std::move(name)) {}
+
 Event::~Event() {
     if (!waiters_.empty()) {
         report(Severity::warning, "event",

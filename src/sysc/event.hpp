@@ -22,6 +22,9 @@ class Event {
 public:
     /// Binds to the currently active Kernel (fatal if none).
     explicit Event(std::string name = {});
+    /// Context-explicit form: binds to `kernel` regardless of what is
+    /// currently active on this thread.
+    explicit Event(Kernel& kernel, std::string name = {});
     ~Event();
 
     Event(const Event&) = delete;

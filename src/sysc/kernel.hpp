@@ -35,10 +35,33 @@ public:
     Kernel(const Kernel&) = delete;
     Kernel& operator=(const Kernel&) = delete;
 
-    /// The kernel bound to this thread (set for the lifetime of the
-    /// object; nested kernels restore the previous one on destruction).
+    /// The kernel context of the calling thread. While a kernel executes
+    /// (run()/run_until()/step_delta()/spawn()/teardown) it is bound here,
+    /// so model code running inside the simulation always resolves to the
+    /// kernel that is driving it -- even with several kernels alive on one
+    /// thread. Outside execution this is the most recently constructed
+    /// live kernel of the thread (construction-nesting order). Kernels are
+    /// strictly thread-local: other threads' kernels are never visible.
+    ///
+    /// Prefer passing the kernel explicitly (every layer above sysc takes
+    /// a Kernel& now); this ambient accessor exists for code executing
+    /// inside simulation processes, where the context is unambiguous.
     static Kernel& current();
     static Kernel* current_or_null();
+
+    /// RAII binding of a kernel as the thread's execution context; used
+    /// internally around every entry into the simulation and available to
+    /// harnesses that call ambient-context code outside a run.
+    class Bind {
+    public:
+        explicit Bind(Kernel& k);
+        ~Bind();
+        Bind(const Bind&) = delete;
+        Bind& operator=(const Bind&) = delete;
+
+    private:
+        Kernel* prev_;
+    };
 
     /// Create a new simulation process; it becomes runnable immediately.
     Process& spawn(std::string name, std::function<void()> body,
@@ -130,7 +153,9 @@ private:
     std::vector<std::function<void(Time)>> timestep_hooks_;
 
     Process* current_process_ = nullptr;
-    Kernel* previous_current_ = nullptr;
+    /// Next-older link in the owning thread's construction-nesting chain
+    /// (see current()); unlinked order-independently on destruction.
+    Kernel* chain_prev_ = nullptr;
 };
 
 }  // namespace rtk::sysc

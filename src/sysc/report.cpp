@@ -17,7 +17,10 @@ void default_handler(Severity sev, std::string_view id, std::string_view msg) {
 }
 
 ReportHandler& handler_slot() {
-    static ReportHandler handler = default_handler;
+    // Thread-local so concurrent simulations (one kernel stack per worker
+    // thread) neither race on the slot nor capture each other's reports;
+    // a handler installed by a test only sees its own thread's kernels.
+    thread_local ReportHandler handler = default_handler;
     return handler;
 }
 

@@ -1,8 +1,9 @@
 // Diagnostic reporting for the simulation library (sc_report analogue).
 //
-// A single process-wide handler receives (severity, id, message). The
-// default handler writes to stderr; `fatal` additionally throws SimError
-// so misuse is never silent. Tests install capturing handlers.
+// One handler per thread receives (severity, id, message) -- thread-local
+// so concurrent simulations on worker threads are isolated. The default
+// handler writes to stderr; `fatal` additionally throws SimError so
+// misuse is never silent. Tests install capturing handlers.
 #pragma once
 
 #include <functional>
@@ -23,7 +24,7 @@ public:
 using ReportHandler =
     std::function<void(Severity, std::string_view id, std::string_view msg)>;
 
-/// Replace the process-wide report handler; returns the previous one.
+/// Replace the calling thread's report handler; returns the previous one.
 ReportHandler set_report_handler(ReportHandler handler);
 
 /// Emit a report. Severity::fatal throws SimError after the handler runs.

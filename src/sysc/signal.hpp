@@ -20,13 +20,18 @@ class Signal : public UpdateListener {
 
 public:
     explicit Signal(std::string name, T init = T{})
-        : kernel_(&Kernel::current()),
+        : Signal(Kernel::current(), std::move(name), init) {}
+
+    /// Context-explicit form: binds the signal (and its edge events) to
+    /// `kernel` regardless of what is currently active on this thread.
+    Signal(Kernel& kernel, std::string name, T init = T{})
+        : kernel_(&kernel),
           name_(std::move(name)),
           cur_(init),
           next_(init),
-          changed_(name_ + ".changed"),
-          posedge_(name_ + ".pos"),
-          negedge_(name_ + ".neg") {}
+          changed_(kernel, name_ + ".changed"),
+          posedge_(kernel, name_ + ".pos"),
+          negedge_(kernel, name_ + ".neg") {}
 
     Signal(const Signal&) = delete;
     Signal& operator=(const Signal&) = delete;

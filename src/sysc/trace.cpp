@@ -10,11 +10,14 @@
 namespace rtk::sysc {
 
 TraceFile::TraceFile(std::string path, Time timescale)
-    : path_(std::move(path)), out_(path_), timescale_(timescale) {
+    : TraceFile(Kernel::current(), std::move(path), timescale) {}
+
+TraceFile::TraceFile(Kernel& kernel, std::string path, Time timescale)
+    : kernel_(&kernel), path_(std::move(path)), out_(path_), timescale_(timescale) {
     if (!out_) {
         report(Severity::fatal, "trace", "cannot open VCD file '" + path_ + "'");
     }
-    Kernel::current().add_timestep_hook([this](Time t) { on_timestep(t); });
+    kernel.add_timestep_hook([this](Time t) { on_timestep(t); });
 }
 
 TraceFile::~TraceFile() {
@@ -98,7 +101,7 @@ void TraceFile::on_timestep(Time t) {
 }
 
 void TraceFile::sample_now() {
-    on_timestep(Kernel::current().now());
+    on_timestep(kernel_->now());
 }
 
 void TraceFile::flush() {

@@ -21,7 +21,10 @@ namespace rtk::sysc {
 class TraceFile {
 public:
     /// Creates/truncates `path`; timescale fixes the VCD time unit.
+    /// Samples after every delta cycle of the currently active kernel.
     explicit TraceFile(std::string path, Time timescale = Time::ns(1));
+    /// Context-explicit form: samples the delta cycles of `kernel`.
+    TraceFile(Kernel& kernel, std::string path, Time timescale = Time::ns(1));
     ~TraceFile();
 
     TraceFile(const TraceFile&) = delete;
@@ -71,6 +74,7 @@ private:
     void emit(const Channel& c, std::uint64_t v);
     static std::string id_code(std::size_t index);
 
+    Kernel* kernel_;
     std::string path_;
     std::ofstream out_;
     Time timescale_;

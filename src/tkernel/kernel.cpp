@@ -22,9 +22,22 @@ constexpr sim::Priority external_int_priority_base = -1'000;
 constexpr sim::Priority time_event_priority = -100;
 }  // namespace
 
-TKernel::TKernel() : TKernel(Config{}) {}
+// Deprecated ambient-context shims (kept for one migration PR).
+#if defined(__GNUC__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+TKernel::TKernel() : TKernel(sysc::Kernel::current(), Config{}) {}
 
-TKernel::TKernel(Config cfg) : cfg_(cfg) {
+TKernel::TKernel(Config cfg) : TKernel(sysc::Kernel::current(), cfg) {}
+#if defined(__GNUC__)
+#pragma GCC diagnostic pop
+#endif
+
+TKernel::TKernel(sysc::Kernel& sysc_kernel) : TKernel(sysc_kernel, Config{}) {}
+
+TKernel::TKernel(sysc::Kernel& sysc_kernel, Config cfg)
+    : sysc_(&sysc_kernel), cfg_(cfg) {
     sim::SimApi::Config sc;
     sc.quantum = cfg_.tick;
     sc.dispatch_cost = cfg_.dispatch_cost;
@@ -34,7 +47,7 @@ TKernel::TKernel(Config cfg) : cfg_(cfg) {
     sc.nested_interrupts = cfg_.nested_interrupts;
     sc.record_gantt = cfg_.record_gantt;
     sched_ = std::make_unique<sim::PriorityPreemptiveScheduler>();
-    api_ = std::make_unique<sim::SimApi>(*sched_, sc);
+    api_ = std::make_unique<sim::SimApi>(*sysc_, *sched_, sc);
 
     // The tick handler T-THREAD: "Thread Dispatch activates the timer
     // handler inside the T-Kernel/OS" (paper Fig 3).
@@ -66,7 +79,7 @@ void TKernel::power_on() {
         return;
     }
     boot_scheduled_ = true;
-    auto& k = sysc::Kernel::current();
+    auto& k = *sysc_;
     // Boot module: "responsible for kernel startup sequence upon receiving
     // H/W reset, i.e. initializing the kernel internal state and starting
     // the initialization task, that will consequently call the user main
@@ -105,7 +118,7 @@ void TKernel::attach_tick_source(sysc::Event& tick) {
 
 void TKernel::attach_reset(sysc::Event& reset_release) {
     central_procs_.push_back(
-        &sysc::Kernel::current().spawn("tkernel.reset_wire", [this, &reset_release] {
+        &sysc_->spawn("tkernel.reset_wire", [this, &reset_release] {
             sysc::wait(reset_release);
             power_on();
         }));
@@ -115,7 +128,7 @@ void TKernel::attach_interrupt_line(sysc::Event& irq, UINT intno) {
     // Interrupt Dispatch module: "identifies and responds to external
     // interrupts by calling a simulation API to notify their dedicated
     // interrupt service routines" (paper Fig 3).
-    central_procs_.push_back(&sysc::Kernel::current().spawn(
+    central_procs_.push_back(&sysc_->spawn(
         "tkernel.int_dispatch." + std::to_string(intno), [this, &irq, intno] {
             for (;;) {
                 sysc::wait(irq);

@@ -54,8 +54,17 @@ public:
         bool record_gantt = true;
     };
 
-    /// Builds the kernel model on the current sysc::Kernel.
+    /// Context-explicit construction: builds the kernel model on `sysc`.
+    /// Several TKernel stacks may coexist, one per sysc::Kernel, including
+    /// on different host threads (see rtk::Simulation in src/harness).
+    explicit TKernel(sysc::Kernel& sysc_kernel);
+    TKernel(sysc::Kernel& sysc_kernel, Config cfg);
+
+    /// Deprecated ambient-context shims: build on the thread's current
+    /// sysc::Kernel.
+    [[deprecated("pass the sysc::Kernel explicitly: TKernel(kernel)")]]
     TKernel();
+    [[deprecated("pass the sysc::Kernel explicitly: TKernel(kernel, cfg)")]]
     explicit TKernel(Config cfg);
     ~TKernel();
 
@@ -210,6 +219,9 @@ public:
     ER tk_ena_dsp();
 
     // ---- introspection for T-Kernel/DS, tests and benches -------------------
+    /// The simulation kernel this model is built on.
+    sysc::Kernel& kernel() { return *sysc_; }
+    const sysc::Kernel& kernel() const { return *sysc_; }
     sim::SimApi& sim() { return *api_; }
     const sim::SimApi& sim() const { return *api_; }
     const Config& config() const { return cfg_; }
@@ -303,6 +315,7 @@ private:
     // ---- msgbuf helpers ----
     void mbf_pump(MessageBuffer& m);
 
+    sysc::Kernel* sysc_;
     Config cfg_;
 
     Registry<TCB> tasks_;

@@ -15,7 +15,7 @@ class BusTest : public ::testing::Test {
 protected:
     sysc::Kernel k;
     sim::PriorityPreemptiveScheduler sched;
-    sim::SimApi api{sched};
+    sim::SimApi api{k, sched};
     Bus8051 bus{api};
 };
 

@@ -17,14 +17,14 @@ protected:
 };
 
 TEST_F(DeviceTest, LcdStartsBlank) {
-    Lcd16x2 lcd;
+    Lcd16x2 lcd{k};
     EXPECT_EQ(lcd.row_text(0), std::string(16, ' '));
     EXPECT_EQ(lcd.row_text(1), std::string(16, ' '));
     EXPECT_FALSE(lcd.busy());
 }
 
 TEST_F(DeviceTest, LcdWritesAdvanceCursor) {
-    Lcd16x2 lcd;
+    Lcd16x2 lcd{k};
     k.spawn("drv", [&] {
         for (char c : std::string("HI")) {
             while (lcd.busy()) {
@@ -39,7 +39,7 @@ TEST_F(DeviceTest, LcdWritesAdvanceCursor) {
 }
 
 TEST_F(DeviceTest, LcdBusyDropsHastyWrites) {
-    Lcd16x2 lcd;
+    Lcd16x2 lcd{k};
     k.spawn("drv", [&] {
         lcd.write(1, 'A');  // makes controller busy for 37 us
         lcd.write(1, 'B');  // dropped: still busy
@@ -52,7 +52,7 @@ TEST_F(DeviceTest, LcdBusyDropsHastyWrites) {
 }
 
 TEST_F(DeviceTest, LcdClearTakesLongAndCountsFrames) {
-    Lcd16x2 lcd;
+    Lcd16x2 lcd{k};
     k.spawn("drv", [&] {
         lcd.write(1, 'X');
         sysc::wait(Time::us(50));
@@ -69,7 +69,7 @@ TEST_F(DeviceTest, LcdClearTakesLongAndCountsFrames) {
 }
 
 TEST_F(DeviceTest, LcdSetDdramAddressesSecondRow) {
-    Lcd16x2 lcd;
+    Lcd16x2 lcd{k};
     k.spawn("drv", [&] {
         lcd.write(0, Lcd16x2::cmd_set_ddram | 0x42);  // row 1, col 2
         sysc::wait(Time::us(50));
@@ -80,7 +80,7 @@ TEST_F(DeviceTest, LcdSetDdramAddressesSecondRow) {
 }
 
 TEST_F(DeviceTest, LcdRowWrapAfterColumn15) {
-    Lcd16x2 lcd;
+    Lcd16x2 lcd{k};
     k.spawn("drv", [&] {
         lcd.write(0, Lcd16x2::cmd_set_ddram | 0x0F);  // last col of row 0
         sysc::wait(Time::us(50));
@@ -146,7 +146,7 @@ TEST_F(DeviceTest, SsdMultiplexedDigits) {
 }
 
 TEST_F(DeviceTest, RtcTicksAndCounts) {
-    RealTimeClock rtc(Time::ms(1));
+    RealTimeClock rtc(k, Time::ms(1));
     int ticks_seen = 0;
     k.spawn("watch", [&] {
         for (int i = 0; i < 5; ++i) {
@@ -165,7 +165,7 @@ TEST_F(DeviceTest, RtcTicksAndCounts) {
 
 TEST_F(DeviceTest, MuxedPortRoutesBySelect) {
     MuxedParallelPort pio;
-    Lcd16x2 lcd;
+    Lcd16x2 lcd{k};
     SevenSegmentDisplay ssd;
     pio.attach(1, lcd);
     pio.attach(3, ssd);
@@ -186,7 +186,7 @@ TEST_F(DeviceTest, MuxedPortRoutesBySelect) {
 
 TEST_F(DeviceTest, MuxedPortDoubleAttachIsFatal) {
     MuxedParallelPort pio;
-    Lcd16x2 a;
+    Lcd16x2 a{k};
     SevenSegmentDisplay b;
     pio.attach(1, a);
     EXPECT_THROW(pio.attach(1, b), sysc::SimError);
@@ -194,7 +194,7 @@ TEST_F(DeviceTest, MuxedPortDoubleAttachIsFatal) {
 
 TEST_F(DeviceTest, Bfm8051HighLevelDrivers) {
     sim::PriorityPreemptiveScheduler sched;
-    sim::SimApi api(sched);
+    sim::SimApi api{k, sched};
     Bfm8051 bfm(api);
     sim::TThread& t = api.SIM_CreateThread("drv", sim::ThreadKind::task, 5, [&] {
         bfm.lcd_print(0, 0, "SCORE");
@@ -210,7 +210,7 @@ TEST_F(DeviceTest, Bfm8051HighLevelDrivers) {
 
 TEST_F(DeviceTest, Bfm8051KeypadScanFindsKey) {
     sim::PriorityPreemptiveScheduler sched;
-    sim::SimApi api(sched);
+    sim::SimApi api{k, sched};
     Bfm8051 bfm(api);
     bfm.keypad().press(11);
     int found = -2;

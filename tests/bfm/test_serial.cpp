@@ -14,13 +14,13 @@ protected:
 };
 
 TEST_F(SerialTest, FrameTimeFromBaud) {
-    SerialIO uart(9600);
+    SerialIO uart{k, 9600};
     // 10 bits at 9600 baud = ~1.0417 ms.
     EXPECT_NEAR(uart.frame_time().to_us(), 1041.7, 1.0);
 }
 
 TEST_F(SerialTest, TransmitTakesOneFrame) {
-    SerialIO uart(9600);
+    SerialIO uart{k, 9600};
     k.spawn("drv", [&] {
         EXPECT_TRUE(uart.tx('A'));
         EXPECT_FALSE(uart.tx_ready());
@@ -34,7 +34,7 @@ TEST_F(SerialTest, TransmitTakesOneFrame) {
 }
 
 TEST_F(SerialTest, TransmitWhileBusyOverruns) {
-    SerialIO uart(9600);
+    SerialIO uart{k, 9600};
     k.spawn("drv", [&] {
         EXPECT_TRUE(uart.tx('A'));
         EXPECT_FALSE(uart.tx('B'));  // shift register busy
@@ -45,7 +45,7 @@ TEST_F(SerialTest, TransmitWhileBusyOverruns) {
 }
 
 TEST_F(SerialTest, BackToBackTransmits) {
-    SerialIO uart(9600);
+    SerialIO uart{k, 9600};
     k.spawn("drv", [&] {
         for (char c : std::string("OK!")) {
             while (!uart.tx_ready()) {
@@ -59,7 +59,7 @@ TEST_F(SerialTest, BackToBackTransmits) {
 }
 
 TEST_F(SerialTest, ReceiveArrivesAfterFrameTime) {
-    SerialIO uart(9600);
+    SerialIO uart{k, 9600};
     k.spawn("feeder", [&] {
         sysc::wait(Time::ms(1));
         uart.feed_rx('x');
@@ -73,7 +73,7 @@ TEST_F(SerialTest, ReceiveArrivesAfterFrameTime) {
 }
 
 TEST_F(SerialTest, RxOverrunWhenBufferNotDrained) {
-    SerialIO uart(9600);
+    SerialIO uart{k, 9600};
     k.spawn("feeder", [&] {
         uart.feed_rx('1');
         uart.feed_rx('2');  // arrives while '1' still unread
@@ -89,7 +89,7 @@ TEST_F(SerialTest, InterruptsRaisedOnTiAndRi) {
     std::vector<unsigned> lines;
     intc.set_sink([&](unsigned line, bool) { lines.push_back(line); });
     intc.write_ie(0x80 | 0x1F);
-    SerialIO uart(9600, &intc);
+    SerialIO uart{k, 9600, &intc};
     k.spawn("drv", [&] {
         uart.tx('A');
         uart.feed_rx('B');
@@ -101,7 +101,7 @@ TEST_F(SerialTest, InterruptsRaisedOnTiAndRi) {
 }
 
 TEST_F(SerialTest, DeviceRegisterInterface) {
-    SerialIO uart(9600);
+    SerialIO uart{k, 9600};
     k.spawn("drv", [&] {
         uart.write(0, 'Z');  // SBUF write = tx
         EXPECT_EQ(uart.read(1) & 0x04, 0x04);  // tx busy bit
@@ -114,8 +114,8 @@ TEST_F(SerialTest, DeviceRegisterInterface) {
 }
 
 TEST_F(SerialTest, HigherBaudIsFaster) {
-    SerialIO slow(9600);
-    SerialIO fast(115200);
+    SerialIO slow{k, 9600};
+    SerialIO fast{k, 115200};
     EXPECT_GT(slow.frame_time(), fast.frame_time());
     EXPECT_NEAR(fast.frame_time().to_us(), 86.8, 0.5);
 }

@@ -16,7 +16,7 @@ protected:
 };
 
 TEST_F(TimerTest, Mode2AutoReloadPeriod) {
-    Timer8051 t(0);
+    Timer8051 t{k, 0};
     t.set_mode(Timer8051::Mode::mode2_autoreload);
     t.load(256 - 100);  // overflow every 100 machine cycles = 100 us
     EXPECT_EQ(t.overflow_period(), Time::us(100));
@@ -29,7 +29,7 @@ TEST_F(TimerTest, Mode2AutoReloadPeriod) {
 }
 
 TEST_F(TimerTest, Mode1SixteenBitPeriod) {
-    Timer8051 t(0);
+    Timer8051 t{k, 0};
     t.set_mode(Timer8051::Mode::mode1_16bit);
     t.load(65536 - 5000);  // 5000 cycles = 5 ms
     EXPECT_EQ(t.overflow_period(), Time::ms(5));
@@ -39,7 +39,7 @@ TEST_F(TimerTest, Mode1SixteenBitPeriod) {
 }
 
 TEST_F(TimerTest, StopHaltsCounting) {
-    Timer8051 t(0);
+    Timer8051 t{k, 0};
     t.configure_period(Time::us(500));
     t.start();
     k.run_until(Time::ms(2));
@@ -54,7 +54,7 @@ TEST_F(TimerTest, StopHaltsCounting) {
 }
 
 TEST_F(TimerTest, ConfigurePeriodPicksMode) {
-    Timer8051 t(0);
+    Timer8051 t{k, 0};
     t.configure_period(Time::us(200));  // fits 8-bit auto-reload
     EXPECT_EQ(t.mode(), Timer8051::Mode::mode2_autoreload);
     EXPECT_EQ(t.overflow_period(), Time::us(200));
@@ -70,8 +70,8 @@ TEST_F(TimerTest, OverflowRaisesInterruptLine) {
     std::vector<unsigned> lines;
     intc.set_sink([&](unsigned line, bool) { lines.push_back(line); });
     intc.write_ie(0x80 | 0x1F);
-    Timer8051 t0(0, &intc);
-    Timer8051 t1(1, &intc);
+    Timer8051 t0{k, 0, &intc};
+    Timer8051 t1{k, 1, &intc};
     t0.configure_period(Time::ms(1));
     t1.configure_period(Time::ms(2));
     t0.start();
@@ -86,7 +86,7 @@ TEST_F(TimerTest, OverflowRaisesInterruptLine) {
 }
 
 TEST_F(TimerTest, OverflowEventObservable) {
-    Timer8051 t(0);
+    Timer8051 t{k, 0};
     t.configure_period(Time::us(250));
     t.start();
     int seen = 0;
@@ -101,7 +101,7 @@ TEST_F(TimerTest, OverflowEventObservable) {
 }
 
 TEST_F(TimerTest, RegisterInterface) {
-    Timer8051 t(0);
+    Timer8051 t{k, 0};
     // TH:TL loads through the window; control starts in mode 2.
     t.write(0, 0x9C);  // TL
     t.write(1, 0xFF);  // TH (ignored in mode 2 period computation uses low byte)
@@ -116,7 +116,7 @@ TEST_F(TimerTest, RegisterInterface) {
 }
 
 TEST_F(TimerTest, ReconfigureWhileRunningRestartsCountdown) {
-    Timer8051 t(0);
+    Timer8051 t{k, 0};
     t.configure_period(Time::ms(4));
     t.start();
     k.run_until(Time::ms(2));
@@ -128,13 +128,13 @@ TEST_F(TimerTest, ReconfigureWhileRunningRestartsCountdown) {
 }
 
 TEST_F(TimerTest, InvalidIndexIsFatal) {
-    EXPECT_THROW(Timer8051 t(2), sysc::SimError);
+    EXPECT_THROW(Timer8051 t(k, 2), sysc::SimError);
 }
 
 TEST_F(TimerTest, DriverStyleKernelTickFromTimer) {
     // Firmware pattern: timer0 as an OS tick source via the intc.
     sim::PriorityPreemptiveScheduler sched;
-    sim::SimApi api(sched);
+    sim::SimApi api{k, sched};
     Bfm8051 board(api);
     int ticks = 0;
     board.intc().set_sink([&](unsigned line, bool) {

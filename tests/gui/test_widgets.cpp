@@ -25,7 +25,7 @@ class WidgetTest : public ::testing::Test {
 protected:
     sysc::Kernel k;
     sim::PriorityPreemptiveScheduler sched;
-    sim::SimApi api{sched};
+    sim::SimApi api{k, sched};
 };
 
 struct CountingWidget final : Widget {
@@ -90,7 +90,7 @@ TEST_F(WidgetTest, SsdAndKeypadWidgets) {
 TEST_F(WidgetTest, KeypadScriptInjectsEvents) {
     bfm::Bfm8051 board(api);
     KeypadWidget kw(board.keypad());
-    kw.play_script({{Time::ms(5), 2, true}, {Time::ms(10), 2, false}});
+    kw.play_script(k, {{Time::ms(5), 2, true}, {Time::ms(10), 2, false}});
     k.run_until(Time::ms(7));
     EXPECT_TRUE(board.keypad().is_pressed(2));
     k.run_until(Time::ms(12));
@@ -141,7 +141,7 @@ TEST_F(WidgetTest, AnimatePeriodicRefresh) {
     Frontend fe(Mode::animate);
     EnergyDistributionWidget ew(api);
     fe.add(ew);
-    fe.animate(ew, Time::ms(10));
+    fe.animate(k, ew, Time::ms(10));
     k.run_until(Time::ms(55));
     EXPECT_EQ(ew.refresh_count(), 5u);
     EXPECT_NE(ew.last_rendering().find("battery"), std::string::npos);

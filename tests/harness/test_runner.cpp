@@ -1,0 +1,111 @@
+// ScenarioRunner / BatchReport behaviour: ordering, error capture,
+// aggregation and the JSON export shape.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/harness.hpp"
+#include "sysc/report.hpp"
+#include "tkernel/tkernel.hpp"
+
+namespace rtk::harness {
+namespace {
+
+using sysc::Time;
+
+ScenarioSpec trivial_spec(const std::string& name) {
+    ScenarioSpec s;
+    s.name = name;
+    s.duration = Time::ms(5);
+    s.workload = [](Simulation& sim, const ScenarioSpec&) {
+        sim.set_user_main([] {});
+    };
+    return s;
+}
+
+TEST(ScenarioRunner, EmptyBatch) {
+    const BatchReport r = ScenarioRunner().run({});
+    EXPECT_TRUE(r.results.empty());
+    EXPECT_TRUE(r.all_passed());
+    EXPECT_EQ(r.failed(), 0u);
+}
+
+TEST(ScenarioRunner, ResultsStayInSpecOrder) {
+    std::vector<ScenarioSpec> specs;
+    for (int i = 0; i < 12; ++i) {
+        specs.push_back(trivial_spec("s" + std::to_string(i)));
+    }
+    const BatchReport r = ScenarioRunner(ScenarioRunner::Options{3}).run(specs);
+    ASSERT_EQ(r.results.size(), specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        EXPECT_EQ(r.results[i].name, specs[i].name);
+        EXPECT_TRUE(r.results[i].passed) << r.results[i].error;
+    }
+}
+
+TEST(ScenarioRunner, CheckFailureIsCapturedNotThrown) {
+    ScenarioSpec bad = trivial_spec("failing");
+    bad.check = [](Simulation&, const ScenarioSpec&) { return false; };
+    const BatchReport r = ScenarioRunner().run({trivial_spec("good"), bad});
+    EXPECT_TRUE(r.results[0].passed);
+    EXPECT_FALSE(r.results[1].passed);
+    EXPECT_EQ(r.results[1].error, "check predicate failed");
+    EXPECT_EQ(r.passed(), 1u);
+    EXPECT_EQ(r.failed(), 1u);
+    EXPECT_FALSE(r.all_passed());
+}
+
+TEST(ScenarioRunner, SimErrorIsCapturedIntoTheResult) {
+    ScenarioSpec bad = trivial_spec("fatal");
+    bad.workload = [](Simulation&, const ScenarioSpec&) {
+        sysc::report(sysc::Severity::fatal, "test", "intentional scenario failure");
+    };
+    const BatchReport r = ScenarioRunner().run({bad});
+    ASSERT_EQ(r.results.size(), 1u);
+    EXPECT_FALSE(r.results[0].passed);
+    EXPECT_NE(r.results[0].error.find("intentional"), std::string::npos);
+}
+
+TEST(ScenarioRunner, EffectiveThreadsClampsToBatchSize) {
+    ScenarioRunner r(ScenarioRunner::Options{8});
+    EXPECT_EQ(r.effective_threads(3), 3u);
+    EXPECT_EQ(r.effective_threads(100), 8u);
+    EXPECT_EQ(r.effective_threads(0), 1u);
+    ScenarioRunner serial(ScenarioRunner::Options{1});
+    EXPECT_EQ(serial.effective_threads(100), 1u);
+}
+
+TEST(BatchReport, JsonContainsSchemaFields) {
+    std::vector<ScenarioSpec> specs = {trivial_spec("alpha"), trivial_spec("beta")};
+    const BatchReport r = ScenarioRunner(ScenarioRunner::Options{2}).run(specs);
+    const std::string json = r.to_json();
+    for (const char* key :
+         {"\"batch\"", "\"scenarios\": 2", "\"threads\": 2", "\"passed\": 2",
+          "\"failed\": 0", "\"wall_seconds\"", "\"scenarios_per_second\"",
+          "\"results\"", "\"name\": \"alpha\"", "\"name\": \"beta\"",
+          "\"fingerprint\": \"0x", "\"dispatches\"", "\"sim_time_ms\"",
+          "\"total_cet_ms\"", "\"gantt_segments\""}) {
+        EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
+    }
+    // Names with quotes/backslashes are escaped.
+    ScenarioSpec odd = trivial_spec("we\"ird\\name");
+    const BatchReport r2 = ScenarioRunner().run({odd});
+    EXPECT_NE(r2.to_json().find("we\\\"ird\\\\name"), std::string::npos);
+}
+
+TEST(BatchReport, WriteJsonRoundTripsToDisk) {
+    const BatchReport r = ScenarioRunner().run({trivial_spec("disk")});
+    const std::string path = "batch_report_test.json";
+    ASSERT_TRUE(r.write_json(path));
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    EXPECT_EQ(ss.str(), r.to_json());
+}
+
+}  // namespace
+}  // namespace rtk::harness

@@ -18,7 +18,7 @@ using sysc::Time;
 
 TEST(CosimTest, RtcDrivesKernelTick) {
     sysc::Kernel k;
-    TKernel tk;
+    TKernel tk{k};
     bfm::Bfm8051 bfm(tk.sim());
     tk.attach_tick_source(bfm.rtc().tick_event());
     tk.set_user_main([] {});
@@ -33,7 +33,7 @@ TEST(CosimTest, RtcDrivesKernelTick) {
 
 TEST(CosimTest, BfmInterruptReachesKernelHandler) {
     sysc::Kernel k;
-    TKernel tk;
+    TKernel tk{k};
     bfm::Bfm8051 bfm(tk.sim());
     bfm.intc().set_sink([&tk](unsigned line, bool) { tk.trigger_interrupt(line); });
     int hits = 0;
@@ -51,7 +51,7 @@ TEST(CosimTest, BfmInterruptReachesKernelHandler) {
 
 TEST(CosimTest, WidgetsRefreshAtBfmAccessRate) {
     sysc::Kernel k;
-    TKernel tk;
+    TKernel tk{k};
     bfm::Bfm8051 bfm(tk.sim());
     app::GameConfig cfg;
     cfg.physics_period_ms = 20;
@@ -76,7 +76,7 @@ TEST(CosimTest, WaveformProbesBfmSignals) {
     {
         sysc::Kernel k;
         sim::PriorityPreemptiveScheduler sched;
-        sim::SimApi api(sched);
+        sim::SimApi api{k, sched};
         bfm::Bfm8051 bfm(api);
         sysc::TraceFile tf(path);
         tf.trace(bfm.pio().p0(), "P0");
@@ -108,7 +108,7 @@ TEST(CosimTest, StepModeGanttMatchesAnimateModeAccounting) {
     // must produce identical simulated results.
     auto run = [](bool step) {
         sysc::Kernel k;
-        TKernel tk;
+        TKernel tk{k};
         bfm::Bfm8051 bfm(tk.sim());
         app::VideoGame game(tk, bfm);
         app::VideoGame::wire(tk, bfm);
@@ -130,7 +130,7 @@ TEST(CosimTest, StepModeGanttMatchesAnimateModeAccounting) {
 
 TEST(CosimTest, SerialLoopToHost) {
     sysc::Kernel k;
-    TKernel tk;
+    TKernel tk{k};
     bfm::Bfm8051 bfm(tk.sim());
     tk.set_user_main([&] {
         // Send a status string over the UART, polling TI via the BFM.

@@ -14,7 +14,7 @@ using sysc::Time;
 class MonitorTest : public ::testing::Test {
 protected:
     sysc::Kernel k;
-    TKernel tk;
+    TKernel tk{k};
 
     void boot_with_monitor(SerialMonitor& mon) {
         tk.set_user_main([&] { mon.setup(); });

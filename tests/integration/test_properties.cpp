@@ -43,7 +43,7 @@ TEST_P(PropertyTest, RandomScenarioInvariants) {
     Rng rng(seed);
 
     sysc::Kernel k;
-    TKernel tk;
+    TKernel tk{k};
     const int n_tasks = 3 + static_cast<int>(rng.below(4));
     std::uint64_t signals = 0;
     std::uint64_t releases = 0;
@@ -136,7 +136,7 @@ TEST_P(PreemptionLatencySweep, PreemptionAlwaysWithinOneQuantum) {
     // granularity guarantee).
     const std::uint64_t offset_us = GetParam();
     sysc::Kernel k;
-    TKernel tk;
+    TKernel tk{k};
     Time hi_ready, hi_started;
     tk.set_user_main([&] {
         T_CTSK lo;
@@ -173,7 +173,7 @@ TEST_P(TickSweep, KernelWorksAtDifferentTickRates) {
     sysc::Kernel k;
     TKernel::Config cfg;
     cfg.tick = Time::us(tick_us);
-    TKernel tk(cfg);
+    TKernel tk{k, cfg};
     int laps = 0;
     tk.set_user_main([&] {
         for (int i = 0; i < 5; ++i) {

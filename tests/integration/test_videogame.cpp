@@ -14,7 +14,7 @@ using sysc::Time;
 class GameTest : public ::testing::Test {
 protected:
     sysc::Kernel k;
-    TKernel tk;
+    TKernel tk{k};
 };
 
 TEST_F(GameTest, RunsAndRendersFrames) {
@@ -132,7 +132,7 @@ TEST_F(GameTest, DeterministicReplay) {
     // Two identical runs produce identical results (no hidden host state).
     auto run_once = [](unsigned& score, std::uint64_t& frames, unsigned& misses) {
         sysc::Kernel k2;
-        TKernel tk2;
+        TKernel tk2{k2};
         bfm::Bfm8051 bfm2(tk2.sim());
         VideoGame game2(tk2, bfm2);
         VideoGame::wire(tk2, bfm2);

@@ -11,7 +11,7 @@ using sysc::Time;
 
 TEST(RtkSpec1, TimeSliceRotationSharesCpuFairly) {
     sysc::Kernel k;
-    RtkSpec1 os(RtkSpecBase::Config{}, 5);  // 5 ms slice
+    RtkSpec1 os(k, RtkSpecBase::Config{}, 5);  // 5 ms slice
     int t1 = os.create_task("a", [&] { os.run_for(50); });
     int t2 = os.create_task("b", [&] { os.run_for(50); });
     os.power_on();
@@ -33,7 +33,7 @@ TEST(RtkSpec1, TimeSliceRotationSharesCpuFairly) {
 
 TEST(RtkSpec1, SliceLengthControlsPreemptionCount) {
     sysc::Kernel k;
-    RtkSpec1 os(RtkSpecBase::Config{}, 10);
+    RtkSpec1 os(k, RtkSpecBase::Config{}, 10);
     int t1 = os.create_task("a", [&] { os.run_for(40); });
     int t2 = os.create_task("b", [&] { os.run_for(40); });
     os.power_on();
@@ -48,7 +48,7 @@ TEST(RtkSpec1, SliceLengthControlsPreemptionCount) {
 
 TEST(RtkSpec1, DelayWakesAfterRequestedTime) {
     sysc::Kernel k;
-    RtkSpec1 os;
+    RtkSpec1 os(k);
     Time woke;
     int t = os.create_task("sleeper", [&] {
         os.delay(25);
@@ -63,7 +63,7 @@ TEST(RtkSpec1, DelayWakesAfterRequestedTime) {
 
 TEST(RtkSpec1, SleepWakeup) {
     sysc::Kernel k;
-    RtkSpec1 os;
+    RtkSpec1 os(k);
     std::vector<int> log;
     int t1 = os.create_task("sleeper", [&] {
         log.push_back(1);
@@ -84,7 +84,7 @@ TEST(RtkSpec1, SleepWakeup) {
 
 TEST(RtkSpec1, SemaphoreProducerConsumer) {
     sysc::Kernel k;
-    RtkSpec1 os;
+    RtkSpec1 os(k);
     int sem = os.create_sem(0);
     int consumed = 0;
     int t1 = os.create_task("consumer", [&] {
@@ -108,7 +108,7 @@ TEST(RtkSpec1, SemaphoreProducerConsumer) {
 
 TEST(RtkSpec2, PriorityPreemption) {
     sysc::Kernel k;
-    RtkSpec2 os;
+    RtkSpec2 os(k);
     Time hi_done;
     int lo = os.create_task("lo", [&] { os.run_for(20); }, 10);
     int hi = os.create_task(
@@ -132,7 +132,7 @@ TEST(RtkSpec2, PriorityPreemption) {
 
 TEST(RtkSpec2, NoRotationWithoutPriorityDifference) {
     sysc::Kernel k;
-    RtkSpec2 os;
+    RtkSpec2 os(k);
     int a = os.create_task("a", [&] { os.run_for(10); }, 5);
     int b = os.create_task("b", [&] { os.run_for(10); }, 5);
     os.power_on();
@@ -149,9 +149,9 @@ TEST(RtkSpecBoth, SameApiDifferentPolicy) {
         sysc::Kernel k;
         std::unique_ptr<RtkSpecBase> os;
         if (which == 0) {
-            os = std::make_unique<RtkSpec1>();
+            os = std::make_unique<RtkSpec1>(k);
         } else {
-            os = std::make_unique<RtkSpec2>();
+            os = std::make_unique<RtkSpec2>(k);
         }
         int done = 0;
         int t = os->create_task("t", [&] {

@@ -99,7 +99,7 @@ TEST(Calibrator, EndToEndAccuracyImprovement) {
     auto run_workload = [](const CostTable& costs) {
         sysc::Kernel k;
         PriorityPreemptiveScheduler sched;
-        SimApi api(sched);
+        SimApi api{k, sched};
         api.costs() = costs;
         auto& t = api.SIM_CreateThread("w", ThreadKind::task, 5, [&api] {
             api.SIM_WaitUnits(5000, ExecContext::task);

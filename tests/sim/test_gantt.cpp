@@ -99,7 +99,7 @@ TEST(GanttRecorder, ClearResets) {
 TEST(GanttRecorder, EndToEndFromSimApi) {
     sysc::Kernel k;
     PriorityPreemptiveScheduler sched;
-    SimApi api(sched);
+    SimApi api{k, sched};
     TThread& t = api.SIM_CreateThread("worker", ThreadKind::task, 5, [&] {
         api.SIM_Wait(Time::ms(2), ExecContext::task);
         api.SIM_Wait(Time::ms(1), ExecContext::bfm_access);

@@ -64,7 +64,7 @@ ScenarioOutput run_three_task_scenario() {
         ".vcd";
     sysc::Kernel kernel;
     PriorityPreemptiveScheduler sched;
-    SimApi api(sched);
+    SimApi api{kernel, sched};
 
     sysc::Signal<std::uint8_t> active("active_task", 0);
     {

@@ -20,7 +20,7 @@ protected:
 
     sysc::Kernel kernel;
     PriorityPreemptiveScheduler sched;
-    SimApi api{sched};
+    SimApi api{kernel, sched};
     SimHashTB tb;
 };
 

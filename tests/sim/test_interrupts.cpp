@@ -14,7 +14,7 @@ class InterruptTest : public ::testing::Test {
 protected:
     sysc::Kernel k;
     PriorityPreemptiveScheduler sched;
-    SimApi api{sched};
+    SimApi api{k, sched};
 
     TThread& make_isr(const std::string& name, Priority prio, TThread::Entry body) {
         return api.SIM_CreateThread(name, ThreadKind::interrupt_handler, prio,

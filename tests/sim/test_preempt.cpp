@@ -14,7 +14,7 @@ class PreemptTest : public ::testing::Test {
 protected:
     sysc::Kernel k;
     PriorityPreemptiveScheduler sched;
-    SimApi api{sched};
+    SimApi api{k, sched};
 };
 
 TEST_F(PreemptTest, HigherPriorityPreemptsAtQuantumBoundary) {
@@ -96,7 +96,7 @@ TEST_F(PreemptTest, AtomicityOffAllowsMidServicePreemption) {
     SimApi::Config cfg;
     cfg.service_call_atomicity = false;
     PriorityPreemptiveScheduler s2;
-    SimApi api2(s2, cfg);
+    SimApi api2{k, s2, cfg};
     Time hi_started;
     TThread& lo = api2.SIM_CreateThread("lo", ThreadKind::task, 10, [&] {
         SimApi::ServiceGuard svc(api2);

@@ -20,7 +20,7 @@ protected:
 
 TEST_F(SchedulerPolicyTest, PrioritySchedulerPicksHighestFirst) {
     PriorityPreemptiveScheduler s;
-    SimApi api(s);
+    SimApi api{k, s};
     std::vector<std::string> order;
     auto mk = [&](const char* name, Priority p) -> TThread& {
         return api.SIM_CreateThread(name, ThreadKind::task, p,
@@ -40,7 +40,7 @@ TEST_F(SchedulerPolicyTest, PrioritySchedulerPicksHighestFirst) {
 
 TEST_F(SchedulerPolicyTest, FifoWithinPriority) {
     PriorityPreemptiveScheduler s;
-    SimApi api(s);
+    SimApi api{k, s};
     std::vector<std::string> order;
     auto mk = [&](const char* name) -> TThread& {
         return api.SIM_CreateThread(name, ThreadKind::task, 5,
@@ -60,7 +60,7 @@ TEST_F(SchedulerPolicyTest, FifoWithinPriority) {
 
 TEST_F(SchedulerPolicyTest, ReadySnapshotAndCounts) {
     PriorityPreemptiveScheduler s;
-    SimApi api(s);
+    SimApi api{k, s};
     TThread& a = api.SIM_CreateThread("a", ThreadKind::task, 5, [] {});
     TThread& b = api.SIM_CreateThread("b", ThreadKind::task, 3, [] {});
     api.SIM_DisableDispatch();
@@ -79,7 +79,7 @@ TEST_F(SchedulerPolicyTest, ReadySnapshotAndCounts) {
 TEST_F(SchedulerPolicyTest, RemoveTakesThreadOutOfReadyQueue) {
     PriorityPreemptiveScheduler s;
     TThread* dummy = nullptr;
-    SimApi api(s);
+    SimApi api{k, s};
     TThread& a = api.SIM_CreateThread("a", ThreadKind::task, 5, [] {});
     (void)dummy;
     api.SIM_DisableDispatch();
@@ -92,7 +92,7 @@ TEST_F(SchedulerPolicyTest, RemoveTakesThreadOutOfReadyQueue) {
 
 TEST_F(SchedulerPolicyTest, RoundRobinIsFifoAcrossPriorities) {
     RoundRobinScheduler s;
-    SimApi api(s);
+    SimApi api{k, s};
     std::vector<std::string> order;
     auto mk = [&](const char* name, Priority p) -> TThread& {
         return api.SIM_CreateThread(name, ThreadKind::task, p,
@@ -121,7 +121,7 @@ class PriorityOrderSweep : public ::testing::TestWithParam<int> {};
 TEST_P(PriorityOrderSweep, TasksCompleteInPriorityOrder) {
     sysc::Kernel k;
     PriorityPreemptiveScheduler s;
-    SimApi api(s);
+    SimApi api{k, s};
     const int n = GetParam();
     std::vector<Priority> done_order;
     std::vector<TThread*> threads;
@@ -255,7 +255,7 @@ INSTANTIATE_TEST_SUITE_P(Policies, SchedulerInvariantTest,
 
 TEST_F(SchedulerPolicyTest, ChangedPriorityRequeuesAtTailOfNewLevel) {
     PriorityPreemptiveScheduler s;
-    SimApi api(s);
+    SimApi api{k, s};
     TThread& a = api.SIM_CreateThread("a", ThreadKind::task, 5, [] {});
     TThread& b = api.SIM_CreateThread("b", ThreadKind::task, 5, [] {});
     TThread& c = api.SIM_CreateThread("c", ThreadKind::task, 9, [] {});
@@ -278,7 +278,7 @@ TEST_F(SchedulerPolicyTest, ChangedPriorityRequeuesAtTailOfNewLevel) {
 
 TEST_F(SchedulerPolicyTest, RotateAffectsOnlyTheNamedPriorityLevel) {
     PriorityPreemptiveScheduler s;
-    SimApi api(s);
+    SimApi api{k, s};
     TThread& hi1 = api.SIM_CreateThread("hi1", ThreadKind::task, 3, [] {});
     TThread& hi2 = api.SIM_CreateThread("hi2", ThreadKind::task, 3, [] {});
     TThread& lo1 = api.SIM_CreateThread("lo1", ThreadKind::task, 8, [] {});
@@ -299,7 +299,7 @@ TEST_F(SchedulerPolicyTest, RotateAffectsOnlyTheNamedPriorityLevel) {
 // stub; pinned here via SIM_RotateReadyQueue).
 TEST_F(SchedulerPolicyTest, RoundRobinRotateViaSimApi) {
     RoundRobinScheduler s;
-    SimApi api(s);
+    SimApi api{k, s};
     TThread& a = api.SIM_CreateThread("a", ThreadKind::task, 10, [] {});
     TThread& b = api.SIM_CreateThread("b", ThreadKind::task, 20, [] {});
     TThread& c = api.SIM_CreateThread("c", ThreadKind::task, 30, [] {});
@@ -317,7 +317,7 @@ TEST_F(SchedulerPolicyTest, RoundRobinRotateViaSimApi) {
 // threads churn (regression net for node-linking bugs).
 TEST_F(SchedulerPolicyTest, LargePopulationKeepsDeterministicOrder) {
     PriorityPreemptiveScheduler s;
-    SimApi api(s);
+    SimApi api{k, s};
     constexpr int n = 512;
     std::vector<TThread*> threads;
     threads.reserve(n);

@@ -14,7 +14,7 @@ class SimApiTest : public ::testing::Test {
 protected:
     sysc::Kernel k;
     PriorityPreemptiveScheduler sched;
-    SimApi api{sched};
+    SimApi api{k, sched};
 };
 
 TEST_F(SimApiTest, HashTableJournalRecordsTransitions) {
@@ -118,7 +118,7 @@ TEST_F(SimApiTest, DispatchCostIsConsumedPerDispatch) {
     cfg.dispatch_cost = Time::us(10);
     cfg.dispatch_energy_nj = 100.0;
     PriorityPreemptiveScheduler s2;
-    SimApi api2(s2, cfg);
+    SimApi api2{k, s2, cfg};
     TThread& t = api2.SIM_CreateThread("t", ThreadKind::task, 5, [&] {
         api2.SIM_Wait(Time::ms(1), ExecContext::task);
     });
@@ -142,7 +142,7 @@ TEST_F(SimApiTest, GanttCanBeDisabled) {
     SimApi::Config cfg;
     cfg.record_gantt = false;
     PriorityPreemptiveScheduler s2;
-    SimApi api2(s2, cfg);
+    SimApi api2{k, s2, cfg};
     TThread& t = api2.SIM_CreateThread("t", ThreadKind::task, 5, [&] {
         api2.SIM_Wait(Time::ms(1), ExecContext::task);
     });

@@ -49,7 +49,7 @@ class StatsTest : public ::testing::Test {
 protected:
     sysc::Kernel k;
     PriorityPreemptiveScheduler sched;
-    SimApi api{sched};
+    SimApi api{k, sched};
 };
 
 TEST_F(StatsTest, CollectAggregatesThreads) {

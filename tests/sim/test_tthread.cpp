@@ -14,7 +14,7 @@ class TThreadTest : public ::testing::Test {
 protected:
     sysc::Kernel k;
     PriorityPreemptiveScheduler sched;
-    SimApi api{sched};
+    SimApi api{k, sched};
 };
 
 TEST_F(TThreadTest, CreationRegistersInHashTable) {

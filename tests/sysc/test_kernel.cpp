@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "sysc/sysc.hpp"
@@ -216,6 +217,84 @@ TEST_F(KernelTest, DestructionWithLiveProcessesIsClean) {
     e.reset();      // event dies first (waiter deregistered with a warning)
     inner.reset();  // then the kernel; must not crash
     SUCCEED();
+}
+
+// ---- multi-instance lifecycle (context-explicit API) ------------------------
+
+TEST_F(KernelTest, OutOfOrderDestructionKeepsCurrentCoherent) {
+    // Regression: the destructor used to restore its construction-time
+    // predecessor unconditionally, so destroying kernels in non-LIFO order
+    // left current() pointing at a dead kernel.
+    auto k1 = std::make_unique<Kernel>();
+    auto k2 = std::make_unique<Kernel>();
+    auto k3 = std::make_unique<Kernel>();
+    EXPECT_EQ(Kernel::current_or_null(), k3.get());
+    k2.reset();  // middle of the chain
+    EXPECT_EQ(Kernel::current_or_null(), k3.get());
+    k3.reset();  // head: falls back past the unlinked middle
+    EXPECT_EQ(Kernel::current_or_null(), k1.get());
+    k1.reset();
+    EXPECT_EQ(Kernel::current_or_null(), &k);  // the fixture kernel again
+}
+
+TEST_F(KernelTest, DestroyingOldestFirstKeepsNewestCurrent) {
+    auto k1 = std::make_unique<Kernel>();
+    auto k2 = std::make_unique<Kernel>();
+    k1.reset();
+    EXPECT_EQ(Kernel::current_or_null(), k2.get());
+    // The survivor still works: events and processes bind to it.
+    bool ran = false;
+    Event e(*k2, "e");
+    k2->spawn("w", [&] {
+        wait(e);
+        ran = true;
+    });
+    e.notify(Time::ms(1));
+    k2->run();
+    EXPECT_TRUE(ran);
+}
+
+TEST_F(KernelTest, RunBindsTheExecutingKernelAsCurrent) {
+    // Two live kernels on one thread: while `older` runs, ambient-context
+    // code inside its processes must resolve to it, not to the most
+    // recently constructed kernel.
+    Kernel newer;
+    EXPECT_EQ(&Kernel::current(), &newer);
+    const Kernel* seen = nullptr;
+    k.spawn("probe", [&] {
+        wait(Time::ms(1));
+        seen = &Kernel::current();
+    });
+    k.run_until(Time::ms(2));
+    EXPECT_EQ(seen, &k);
+    EXPECT_EQ(&Kernel::current(), &newer);  // binding restored after run
+}
+
+TEST_F(KernelTest, SpawnBindsTheOwningKernel) {
+    Kernel newer;
+    // Spawning on `k` while `newer` is the ambient kernel: the process
+    // and its internal events must belong to `k`.
+    bool ran = false;
+    k.spawn("w", [&] {
+        wait(Time::ms(1));
+        ran = true;
+    });
+    k.run_until(Time::ms(2));
+    EXPECT_TRUE(ran);
+    EXPECT_TRUE(newer.idle());
+    EXPECT_EQ(newer.process_count(), 0u);
+}
+
+TEST(KernelLifecycleDeathTest, CrossThreadDestructionIsFatal) {
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(
+        {
+            Kernel* stray = nullptr;
+            std::thread t([&stray] { stray = new Kernel(); });
+            t.join();
+            delete stray;  // not on this thread's chain: must abort
+        },
+        "different thread");
 }
 
 }  // namespace

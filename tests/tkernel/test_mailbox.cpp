@@ -18,7 +18,7 @@ struct PriMsg : T_MSG_PRI {
 class MbxTest : public ::testing::Test {
 protected:
     sysc::Kernel k;
-    TKernel tk;
+    TKernel tk{k};
 
     void boot_and_run(std::function<void()> body, Time horizon = Time::ms(200)) {
         tk.set_user_main(std::move(body));

@@ -12,7 +12,7 @@ using sysc::Time;
 class MutexTest : public ::testing::Test {
 protected:
     sysc::Kernel k;
-    TKernel tk;
+    TKernel tk{k};
 
     void boot_and_run(std::function<void()> body, Time horizon = Time::ms(300)) {
         tk.set_user_main(std::move(body));

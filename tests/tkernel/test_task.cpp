@@ -11,7 +11,7 @@ using sysc::Time;
 class TaskTest : public ::testing::Test {
 protected:
     sysc::Kernel k;
-    TKernel tk;
+    TKernel tk{k};
 
     /// Run `body` inside the init task after boot.
     void boot_and_run(std::function<void()> body, Time horizon = Time::ms(100)) {

@@ -11,7 +11,7 @@ class WaitQueueTest : public ::testing::Test {
 protected:
     sysc::Kernel k;
     sim::PriorityPreemptiveScheduler sched;
-    sim::SimApi api{sched};
+    sim::SimApi api{k, sched};
 
     TCB make(const char* name, PRI pri) {
         TCB t;
