@@ -1,0 +1,77 @@
+// Fuzz-campaign throughput: how many oracle-checked, differentially
+// replayed scenarios per second the discovery engine sustains -- the
+// metric that decides how much of the scenario space a CI budget buys.
+//
+//   $ ./bench_fuzz_throughput [seeds] [threads]
+//
+// Runs one campaign (seeds x 2 policies, serial + parallel legs, every
+// run under the InvariantOracle) and emits BENCH_fuzz_throughput.json.
+// Exits non-zero on any invariant violation, fingerprint mismatch or
+// simulation error: the bench doubles as a wide fuzz sweep.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "bench_util.hpp"
+#include "harness/harness.hpp"
+
+using namespace rtk::harness::fuzz;
+namespace bench = rtk::bench;
+
+int main(int argc, char** argv) {
+    const std::size_t seeds =
+        argc > 1 ? static_cast<std::size_t>(std::strtoul(argv[1], nullptr, 10))
+                 : 150;
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    const unsigned workers = argc > 2 ? static_cast<unsigned>(std::atoi(argv[2]))
+                                      : std::max(4u, std::min(hw, 8u));
+
+    FuzzOptions opts;
+    opts.base_seed = 970001;  // disjoint from the fuzz-smoke block
+    opts.num_seeds = seeds;
+    opts.both_policies = true;
+    opts.parallel_threads = workers;
+    opts.minimize = true;
+    opts.repro_dir = ".";
+
+    std::printf("Fuzz throughput: %zu seeds x 2 policies, %u workers "
+                "(%u hardware threads)\n\n",
+                seeds, workers, hw);
+    const FuzzReport report = run_fuzz_campaign(opts);
+
+    bench::Table table({"metric", "value"});
+    table.add_row({"scenarios", std::to_string(report.scenarios)});
+    table.add_row({"simulation runs", std::to_string(report.runs)});
+    table.add_row({"oracle events", std::to_string(report.oracle_events)});
+    table.add_row({"wall [s]", bench::fmt(report.wall_seconds)});
+    table.add_row({"scenarios/s", bench::fmt(report.scenarios_per_second())});
+    table.add_row({"violations", std::to_string(report.violations)});
+    table.add_row({"mismatches", std::to_string(report.mismatches)});
+    table.add_row({"sim errors", std::to_string(report.sim_errors)});
+    table.print();
+
+    {
+        std::ofstream out("BENCH_fuzz_throughput.json");
+        out << "{\n  \"bench\": \"fuzz_throughput\",\n"
+            << "  \"seeds\": " << seeds << ",\n"
+            << "  \"hardware_concurrency\": " << hw << ",\n"
+            << "  \"workers\": " << workers << ",\n"
+            << "  \"wall_seconds\": " << report.wall_seconds << ",\n"
+            << "  \"scenarios_per_second\": " << report.scenarios_per_second()
+            << ",\n"
+            << "  \"campaign\": " << report.to_json() << "}\n";
+    }
+    std::puts("\n  wrote BENCH_fuzz_throughput.json");
+
+    if (!report.ok()) {
+        for (const FuzzFailure& f : report.failures) {
+            std::printf("  FAILURE seed %llu (%s): %s\n",
+                        static_cast<unsigned long long>(f.seed), f.kind.c_str(),
+                        f.detail.substr(0, 200).c_str());
+        }
+        return 1;
+    }
+    return 0;
+}

@@ -19,8 +19,6 @@ unsigned ddram_to_index(std::uint8_t addr) {
 }
 }  // namespace
 
-Lcd16x2::Lcd16x2() : Lcd16x2(sysc::Kernel::current()) {}
-
 Lcd16x2::Lcd16x2(sysc::Kernel& kernel) : kernel_(&kernel) {
     ddram_.fill(' ');
 }

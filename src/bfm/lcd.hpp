@@ -28,8 +28,6 @@ public:
 
     /// Context-explicit form: busy-flag timing reads `kernel`'s clock.
     explicit Lcd16x2(sysc::Kernel& kernel);
-    [[deprecated("pass the sysc::Kernel explicitly: Lcd16x2(kernel)")]]
-    Lcd16x2();
 
     // ---- command set (subset of HD44780) ----
     static constexpr std::uint8_t cmd_clear = 0x01;

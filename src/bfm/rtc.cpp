@@ -7,9 +7,6 @@
 
 namespace rtk::bfm {
 
-RealTimeClock::RealTimeClock(sysc::Time resolution)
-    : RealTimeClock(sysc::Kernel::current(), resolution) {}
-
 RealTimeClock::RealTimeClock(sysc::Kernel& kernel, sysc::Time resolution)
     : resolution_(resolution), tick_(kernel, "rtc.tick") {
     proc_ = &kernel.spawn("bfm.rtc", [this] {

@@ -22,8 +22,6 @@ public:
     /// Context-explicit form: tick process and event live on `kernel`.
     explicit RealTimeClock(sysc::Kernel& kernel,
                            sysc::Time resolution = sysc::Time::ms(1));
-    [[deprecated("pass the sysc::Kernel explicitly: RealTimeClock(kernel, ...)")]]
-    explicit RealTimeClock(sysc::Time resolution = sysc::Time::ms(1));
     ~RealTimeClock() override;
 
     sysc::Event& tick_event() { return tick_; }

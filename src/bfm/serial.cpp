@@ -7,9 +7,6 @@
 
 namespace rtk::bfm {
 
-SerialIO::SerialIO(unsigned baud, InterruptController* intc)
-    : SerialIO(sysc::Kernel::current(), baud, intc) {}
-
 SerialIO::SerialIO(sysc::Kernel& k, unsigned baud, InterruptController* intc)
     : frame_time_(sysc::Time::ps(static_cast<std::uint64_t>(1e12 * 10.0 / baud))),
       intc_(intc),

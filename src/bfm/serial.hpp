@@ -26,8 +26,6 @@ public:
     /// Context-explicit form: TX/RX processes and events live on `kernel`.
     explicit SerialIO(sysc::Kernel& kernel, unsigned baud = 9600,
                       InterruptController* intc = nullptr);
-    [[deprecated("pass the sysc::Kernel explicitly: SerialIO(kernel, baud, ...)")]]
-    explicit SerialIO(unsigned baud = 9600, InterruptController* intc = nullptr);
     ~SerialIO() override;
 
     // ---- driver API ----

@@ -8,10 +8,6 @@
 
 namespace rtk::bfm {
 
-Timer8051::Timer8051(unsigned index, InterruptController* intc,
-                     sysc::Time machine_cycle)
-    : Timer8051(sysc::Kernel::current(), index, intc, machine_cycle) {}
-
 Timer8051::Timer8051(sysc::Kernel& kernel, unsigned index, InterruptController* intc,
                      sysc::Time machine_cycle)
     : name_("timer" + std::to_string(index)),

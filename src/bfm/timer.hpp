@@ -39,9 +39,6 @@ public:
     Timer8051(sysc::Kernel& kernel, unsigned index,
               InterruptController* intc = nullptr,
               sysc::Time machine_cycle = sysc::Time::us(1));
-    [[deprecated("pass the sysc::Kernel explicitly: Timer8051(kernel, index, ...)")]]
-    explicit Timer8051(unsigned index, InterruptController* intc = nullptr,
-                       sysc::Time machine_cycle = sysc::Time::us(1));
     ~Timer8051() override;
 
     // ---- driver API ----

@@ -1,0 +1,1003 @@
+#include "harness/fuzz.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "harness/runner.hpp"
+#include "harness/simulation.hpp"
+#include "tkernel/tkernel.hpp"
+
+namespace rtk::harness::fuzz {
+
+using namespace rtk::tkernel;
+using sim::ExecContext;
+using sysc::Time;
+
+// ============================================================================
+// Spec interpreter
+// ============================================================================
+
+namespace {
+
+TMO to_tmo(std::int32_t t) {
+    return t < 0 ? TMO_FEVR : static_cast<TMO>(t);
+}
+
+/// Per-simulation interpreter state. Created fresh by the workload of
+/// each run so identical specs replay identically.
+struct Runtime {
+    TKernel* tk = nullptr;
+    std::shared_ptr<const FuzzSpec> spec;
+
+    std::vector<ID> tasks, sems, flgs, mtxs, mbxs, mbfs, mpfs, mpls, cycs, alms;
+    std::vector<UINT> intvecs;
+
+    struct MbxPool {
+        std::vector<std::unique_ptr<T_MSG_PRI>> nodes;
+        std::vector<T_MSG_PRI*> free;
+    };
+    std::vector<MbxPool> mbx_pools;
+
+    struct TaskRt {
+        std::vector<std::pair<std::size_t, void*>> mpf_held;
+        std::vector<std::pair<std::size_t, void*>> mpl_held;
+        std::vector<std::uint8_t> snd_buf;
+        std::vector<std::uint8_t> rcv_buf;
+    };
+    std::vector<TaskRt> task_rt;
+
+    bool task_idx_ok(std::int32_t i) const {
+        return i >= 0 && static_cast<std::size_t>(i) < tasks.size();
+    }
+};
+
+template <typename Vec>
+bool idx_ok(const Vec& v, std::int32_t i) {
+    return i >= 0 && static_cast<std::size_t>(i) < v.size();
+}
+
+/// Execute one op. `self` is the invoking task's spec index, -1 in
+/// handler context. Handlers never block: their timeouts collapse to
+/// TMO_POL and task-state ops (held blocks, message nodes) are skipped.
+void exec_op(Runtime& rt, int self, const FuzzOp& op, bool handler) {
+    TKernel& tk = *rt.tk;
+    const ExecContext ctx = handler ? ExecContext::handler : ExecContext::task;
+    const auto tmo = [&](std::int32_t t) { return handler ? TMO_POL : to_tmo(t); };
+    switch (op.kind) {
+        case OpKind::compute: {
+            const std::uint64_t units =
+                static_cast<std::uint64_t>(std::clamp(op.a, 1, 5000));
+            tk.sim().SIM_WaitUnits(units, ctx);
+            return;
+        }
+        case OpKind::delay:
+            if (!handler) {
+                tk.tk_dly_tsk(static_cast<RELTIM>(std::clamp(op.a, 1, 50)));
+            }
+            return;
+        case OpKind::sleep:
+            if (!handler) {
+                tk.tk_slp_tsk(to_tmo(op.a));
+            }
+            return;
+        case OpKind::wakeup:
+            if (rt.task_idx_ok(op.a)) {
+                tk.tk_wup_tsk(rt.tasks[static_cast<std::size_t>(op.a)]);
+            }
+            return;
+        case OpKind::can_wup:
+            if (rt.task_idx_ok(op.a)) {
+                tk.tk_can_wup(rt.tasks[static_cast<std::size_t>(op.a)]);
+            }
+            return;
+        case OpKind::rel_wai:
+            if (rt.task_idx_ok(op.a)) {
+                tk.tk_rel_wai(rt.tasks[static_cast<std::size_t>(op.a)]);
+            }
+            return;
+        case OpKind::suspend:
+            if (rt.task_idx_ok(op.a)) {
+                tk.tk_sus_tsk(rt.tasks[static_cast<std::size_t>(op.a)]);
+            }
+            return;
+        case OpKind::resume:
+            if (rt.task_idx_ok(op.a)) {
+                tk.tk_rsm_tsk(rt.tasks[static_cast<std::size_t>(op.a)]);
+            }
+            return;
+        case OpKind::frsm:
+            if (rt.task_idx_ok(op.a)) {
+                tk.tk_frsm_tsk(rt.tasks[static_cast<std::size_t>(op.a)]);
+            }
+            return;
+        case OpKind::chg_pri:
+            if (rt.task_idx_ok(op.a)) {
+                tk.tk_chg_pri(rt.tasks[static_cast<std::size_t>(op.a)],
+                              std::clamp(op.b, 0, max_priority));
+            }
+            return;
+        case OpKind::rot_rdq:
+            tk.tk_rot_rdq(std::clamp(op.a, 0, max_priority));
+            return;
+        case OpKind::sta_tsk:
+            if (rt.task_idx_ok(op.a)) {
+                tk.tk_sta_tsk(rt.tasks[static_cast<std::size_t>(op.a)], op.b);
+            }
+            return;
+        case OpKind::ter_tsk:
+            if (rt.task_idx_ok(op.a)) {
+                tk.tk_ter_tsk(rt.tasks[static_cast<std::size_t>(op.a)]);
+            }
+            return;
+        case OpKind::ext_tsk:
+            if (!handler) {
+                tk.tk_ext_tsk();  // does not return
+            }
+            return;
+        case OpKind::sem_wait:
+            if (idx_ok(rt.sems, op.a)) {
+                tk.tk_wai_sem(rt.sems[static_cast<std::size_t>(op.a)],
+                              std::clamp(op.b, 1, 1 << 16), tmo(op.c));
+            }
+            return;
+        case OpKind::sem_signal:
+            if (idx_ok(rt.sems, op.a)) {
+                tk.tk_sig_sem(rt.sems[static_cast<std::size_t>(op.a)],
+                              std::clamp(op.b, 1, 1 << 16));
+            }
+            return;
+        case OpKind::flg_set:
+            if (idx_ok(rt.flgs, op.a)) {
+                tk.tk_set_flg(rt.flgs[static_cast<std::size_t>(op.a)],
+                              static_cast<UINT>(op.b));
+            }
+            return;
+        case OpKind::flg_clr:
+            if (idx_ok(rt.flgs, op.a)) {
+                tk.tk_clr_flg(rt.flgs[static_cast<std::size_t>(op.a)],
+                              static_cast<UINT>(op.b));
+            }
+            return;
+        case OpKind::flg_wait:
+            if (idx_ok(rt.flgs, op.a)) {
+                static constexpr UINT modes[6] = {
+                    TWF_ANDW,           TWF_ORW,
+                    TWF_ANDW | TWF_CLR, TWF_ORW | TWF_CLR,
+                    TWF_ANDW | TWF_BITCLR, TWF_ORW | TWF_BITCLR,
+                };
+                UINT got = 0;
+                tk.tk_wai_flg(rt.flgs[static_cast<std::size_t>(op.a)],
+                              static_cast<UINT>(op.b == 0 ? 1 : op.b),
+                              modes[static_cast<std::size_t>(std::clamp(op.c, 0, 5))],
+                              &got, tmo(op.d));
+            }
+            return;
+        case OpKind::mtx_lock:
+            if (idx_ok(rt.mtxs, op.a)) {
+                tk.tk_loc_mtx(rt.mtxs[static_cast<std::size_t>(op.a)], tmo(op.b));
+            }
+            return;
+        case OpKind::mtx_unlock:
+            if (idx_ok(rt.mtxs, op.a)) {
+                tk.tk_unl_mtx(rt.mtxs[static_cast<std::size_t>(op.a)]);
+            }
+            return;
+        case OpKind::mbx_send:
+            if (idx_ok(rt.mbxs, op.a)) {
+                auto& pool = rt.mbx_pools[static_cast<std::size_t>(op.a)];
+                if (!pool.free.empty()) {
+                    T_MSG_PRI* node = pool.free.back();
+                    pool.free.pop_back();
+                    node->msgpri = std::clamp(op.b, 1, max_priority);
+                    tk.tk_snd_mbx(rt.mbxs[static_cast<std::size_t>(op.a)], node);
+                }
+            }
+            return;
+        case OpKind::mbx_recv:
+            if (!handler && self >= 0 && idx_ok(rt.mbxs, op.a)) {
+                T_MSG* msg = nullptr;
+                if (tk.tk_rcv_mbx(rt.mbxs[static_cast<std::size_t>(op.a)], &msg,
+                                  tmo(op.b)) == E_OK &&
+                    msg != nullptr) {
+                    rt.mbx_pools[static_cast<std::size_t>(op.a)].free.push_back(
+                        static_cast<T_MSG_PRI*>(msg));
+                }
+            }
+            return;
+        case OpKind::mbf_send:
+            if (!handler && self >= 0 && idx_ok(rt.mbfs, op.a)) {
+                auto& buf = rt.task_rt[static_cast<std::size_t>(self)].snd_buf;
+                const INT sz =
+                    std::clamp(op.b, 1, static_cast<INT>(buf.size()));
+                tk.tk_snd_mbf(rt.mbfs[static_cast<std::size_t>(op.a)], buf.data(),
+                              sz, tmo(op.c));
+            }
+            return;
+        case OpKind::mbf_recv:
+            if (!handler && self >= 0 && idx_ok(rt.mbfs, op.a)) {
+                auto& buf = rt.task_rt[static_cast<std::size_t>(self)].rcv_buf;
+                tk.tk_rcv_mbf(rt.mbfs[static_cast<std::size_t>(op.a)], buf.data(),
+                              tmo(op.b));
+            }
+            return;
+        case OpKind::mpf_get:
+            if (!handler && self >= 0 && idx_ok(rt.mpfs, op.a)) {
+                void* blk = nullptr;
+                if (tk.tk_get_mpf(rt.mpfs[static_cast<std::size_t>(op.a)], &blk,
+                                  tmo(op.b)) == E_OK) {
+                    rt.task_rt[static_cast<std::size_t>(self)].mpf_held.emplace_back(
+                        static_cast<std::size_t>(op.a), blk);
+                }
+            }
+            return;
+        case OpKind::mpf_rel:
+            if (!handler && self >= 0 && idx_ok(rt.mpfs, op.a)) {
+                auto& held = rt.task_rt[static_cast<std::size_t>(self)].mpf_held;
+                auto it = std::find_if(held.begin(), held.end(), [&](const auto& h) {
+                    return h.first == static_cast<std::size_t>(op.a);
+                });
+                if (it != held.end()) {
+                    tk.tk_rel_mpf(rt.mpfs[it->first], it->second);
+                    held.erase(it);
+                }
+            }
+            return;
+        case OpKind::mpl_get:
+            if (!handler && self >= 0 && idx_ok(rt.mpls, op.a)) {
+                void* blk = nullptr;
+                if (tk.tk_get_mpl(rt.mpls[static_cast<std::size_t>(op.a)],
+                                  std::clamp(op.b, 1, 4096), &blk,
+                                  tmo(op.c)) == E_OK) {
+                    rt.task_rt[static_cast<std::size_t>(self)].mpl_held.emplace_back(
+                        static_cast<std::size_t>(op.a), blk);
+                }
+            }
+            return;
+        case OpKind::mpl_rel:
+            if (!handler && self >= 0 && idx_ok(rt.mpls, op.a)) {
+                auto& held = rt.task_rt[static_cast<std::size_t>(self)].mpl_held;
+                auto it = std::find_if(held.begin(), held.end(), [&](const auto& h) {
+                    return h.first == static_cast<std::size_t>(op.a);
+                });
+                if (it != held.end()) {
+                    tk.tk_rel_mpl(rt.mpls[it->first], it->second);
+                    held.erase(it);
+                }
+            }
+            return;
+        case OpKind::cyc_start:
+            if (idx_ok(rt.cycs, op.a)) {
+                tk.tk_sta_cyc(rt.cycs[static_cast<std::size_t>(op.a)]);
+            }
+            return;
+        case OpKind::cyc_stop:
+            if (idx_ok(rt.cycs, op.a)) {
+                tk.tk_stp_cyc(rt.cycs[static_cast<std::size_t>(op.a)]);
+            }
+            return;
+        case OpKind::alm_start:
+            if (idx_ok(rt.alms, op.a)) {
+                tk.tk_sta_alm(rt.alms[static_cast<std::size_t>(op.a)],
+                              static_cast<RELTIM>(std::clamp(op.b, 1, 200)));
+            }
+            return;
+        case OpKind::alm_stop:
+            if (idx_ok(rt.alms, op.a)) {
+                tk.tk_stp_alm(rt.alms[static_cast<std::size_t>(op.a)]);
+            }
+            return;
+        case OpKind::raise_int:
+            if (idx_ok(rt.intvecs, op.a)) {
+                tk.trigger_interrupt(rt.intvecs[static_cast<std::size_t>(op.a)]);
+            }
+            return;
+        case OpKind::dsp_block: {
+            // µ-ITRON critical section: dispatch disabled around a burst
+            // of work (E_CTX from handlers, harmlessly).
+            if (tk.tk_dis_dsp() == E_OK) {
+                tk.sim().SIM_WaitUnits(
+                    static_cast<std::uint64_t>(std::clamp(op.a, 1, 500)), ctx);
+                tk.tk_ena_dsp();
+            }
+            return;
+        }
+        case OpKind::ras_tex:
+            if (rt.task_idx_ok(op.a)) {
+                tk.tk_ras_tex(rt.tasks[static_cast<std::size_t>(op.a)],
+                              static_cast<UINT>(op.b == 0 ? 1 : op.b));
+            }
+            return;
+        case OpKind::ref_poll: {
+            switch (std::clamp(op.a, 0, 7)) {
+                case 0: {
+                    T_RSYS r;
+                    tk.tk_ref_sys(&r);
+                    return;
+                }
+                case 1: {
+                    if (!rt.tasks.empty()) {
+                        T_RTSK r;
+                        tk.tk_ref_tsk(rt.tasks.front(), &r);
+                    }
+                    return;
+                }
+                case 2: {
+                    if (!rt.sems.empty()) {
+                        T_RSEM r;
+                        tk.tk_ref_sem(rt.sems.front(), &r);
+                    }
+                    return;
+                }
+                case 3: {
+                    if (!rt.flgs.empty()) {
+                        T_RFLG r;
+                        tk.tk_ref_flg(rt.flgs.front(), &r);
+                    }
+                    return;
+                }
+                case 4: {
+                    if (!rt.mtxs.empty()) {
+                        T_RMTX r;
+                        tk.tk_ref_mtx(rt.mtxs.front(), &r);
+                    }
+                    return;
+                }
+                case 5: {
+                    if (!rt.mbfs.empty()) {
+                        T_RMBF r;
+                        tk.tk_ref_mbf(rt.mbfs.front(), &r);
+                    }
+                    return;
+                }
+                case 6: {
+                    SYSTIM t = 0;
+                    tk.tk_get_tim(&t);
+                    tk.tk_get_otm(&t);
+                    return;
+                }
+                default: {
+                    T_RVER r;
+                    tk.tk_ref_ver(&r);
+                    return;
+                }
+            }
+        }
+    }
+}
+
+void run_program(const std::shared_ptr<Runtime>& rt, int self,
+                 const std::vector<FuzzOp>& ops, bool handler) {
+    for (const FuzzOp& op : ops) {
+        exec_op(*rt, self, op, handler);
+    }
+}
+
+/// The user main: builds the whole object population and starts every
+/// task. Runs inside the init task after boot.
+void setup_workload(const std::shared_ptr<Runtime>& rt) {
+    TKernel& tk = *rt->tk;
+    const FuzzSpec& spec = *rt->spec;
+
+    for (std::size_t i = 0; i < spec.sems.size(); ++i) {
+        const SemSpec& s = spec.sems[i];
+        T_CSEM cs;
+        cs.name = "fz_sem" + std::to_string(i);
+        cs.isemcnt = std::clamp(s.init, 0, 1 << 16);
+        cs.maxsem = std::clamp(s.max, std::max(1, cs.isemcnt), 1 << 16);
+        cs.sematr = (s.tpri ? TA_TPRI : TA_TFIFO) | (s.cnt_order ? TA_CNT : TA_FIRST);
+        rt->sems.push_back(tk.tk_cre_sem(cs));
+    }
+    for (std::size_t i = 0; i < spec.flgs.size(); ++i) {
+        const FlgSpec& f = spec.flgs[i];
+        T_CFLG cf;
+        cf.name = "fz_flg" + std::to_string(i);
+        cf.iflgptn = f.init;
+        cf.flgatr = (f.tpri ? TA_TPRI : TA_TFIFO) | (f.wmul ? TA_WMUL : TA_WSGL);
+        rt->flgs.push_back(tk.tk_cre_flg(cf));
+    }
+    for (std::size_t i = 0; i < spec.mtxs.size(); ++i) {
+        const MtxSpec& m = spec.mtxs[i];
+        T_CMTX cm;
+        cm.name = "fz_mtx" + std::to_string(i);
+        cm.mtxatr = static_cast<ATR>(std::clamp(m.proto, 0, 3));
+        cm.ceilpri = std::clamp(m.ceil, min_priority, max_priority);
+        rt->mtxs.push_back(tk.tk_cre_mtx(cm));
+    }
+    for (std::size_t i = 0; i < spec.mbxs.size(); ++i) {
+        const MbxSpec& m = spec.mbxs[i];
+        T_CMBX cm;
+        cm.name = "fz_mbx" + std::to_string(i);
+        cm.mbxatr = (m.tpri ? TA_TPRI : TA_TFIFO) | (m.mpri ? TA_MPRI : TA_MFIFO);
+        rt->mbxs.push_back(tk.tk_cre_mbx(cm));
+        Runtime::MbxPool pool;
+        const int nodes = std::clamp(m.nodes, 1, 64);
+        for (int n = 0; n < nodes; ++n) {
+            pool.nodes.push_back(std::make_unique<T_MSG_PRI>());
+            pool.free.push_back(pool.nodes.back().get());
+        }
+        rt->mbx_pools.push_back(std::move(pool));
+    }
+    for (std::size_t i = 0; i < spec.mbfs.size(); ++i) {
+        const MbfSpec& m = spec.mbfs[i];
+        T_CMBF cm;
+        cm.name = "fz_mbf" + std::to_string(i);
+        cm.bufsz = std::clamp(m.bufsz, 0, 1 << 16);
+        cm.maxmsz = std::clamp(m.maxmsz, 1, 1 << 12);
+        cm.mbfatr = m.tpri ? TA_TPRI : TA_TFIFO;
+        rt->mbfs.push_back(tk.tk_cre_mbf(cm));
+    }
+    for (std::size_t i = 0; i < spec.mpfs.size(); ++i) {
+        const MpfSpec& m = spec.mpfs[i];
+        T_CMPF cm;
+        cm.name = "fz_mpf" + std::to_string(i);
+        cm.mpfcnt = std::clamp(m.cnt, 1, 256);
+        cm.blfsz = std::clamp(m.blksz, 1, 1 << 12);
+        cm.mpfatr = m.tpri ? TA_TPRI : TA_TFIFO;
+        rt->mpfs.push_back(tk.tk_cre_mpf(cm));
+    }
+    for (std::size_t i = 0; i < spec.mpls.size(); ++i) {
+        const MplSpec& m = spec.mpls[i];
+        T_CMPL cm;
+        cm.name = "fz_mpl" + std::to_string(i);
+        cm.mplsz = std::clamp(m.size, 8, 1 << 16);
+        cm.mplatr = m.tpri ? TA_TPRI : TA_TFIFO;
+        rt->mpls.push_back(tk.tk_cre_mpl(cm));
+    }
+
+    // Buffer capacity for message-buffer sends/receives.
+    INT max_msz = 1;
+    for (const MbfSpec& m : spec.mbfs) {
+        max_msz = std::max(max_msz, std::clamp(m.maxmsz, 1, 1 << 12));
+    }
+    rt->task_rt.resize(spec.tasks.size());
+    for (std::size_t i = 0; i < spec.tasks.size(); ++i) {
+        auto& trt = rt->task_rt[i];
+        trt.snd_buf.assign(static_cast<std::size_t>(max_msz), 0);
+        for (std::size_t b = 0; b < trt.snd_buf.size(); ++b) {
+            trt.snd_buf[b] = static_cast<std::uint8_t>(0x40u + i + b);
+        }
+        trt.rcv_buf.assign(static_cast<std::size_t>(max_msz), 0);
+    }
+
+    for (std::size_t i = 0; i < spec.tasks.size(); ++i) {
+        const TaskSpec& t = spec.tasks[i];
+        T_CTSK ct;
+        ct.name = "fz_task" + std::to_string(i);
+        ct.itskpri = std::clamp(t.pri, min_priority, max_priority);
+        const int self = static_cast<int>(i);
+        ct.task = [rt, self](INT, void*) {
+            for (;;) {
+                rt->tk->sim().SIM_WaitUnits(
+                    static_cast<std::uint64_t>(
+                        std::clamp(rt->spec->iter_units, 1, 1000)),
+                    ExecContext::task);
+                run_program(rt, self,
+                            rt->spec->tasks[static_cast<std::size_t>(self)].ops,
+                            /*handler=*/false);
+            }
+        };
+        const ID tid = tk.tk_cre_tsk(ct);
+        rt->tasks.push_back(tid);
+        if (t.tex && tid > 0) {
+            T_DTEX dt;
+            dt.texhdr = [rt](UINT) {
+                rt->tk->sim().SIM_WaitUnits(5, ExecContext::service_call);
+            };
+            tk.tk_def_tex(tid, dt);
+        }
+    }
+    for (ID tid : rt->tasks) {
+        if (tid > 0) {
+            tk.tk_sta_tsk(tid, 0);
+        }
+    }
+
+    for (std::size_t i = 0; i < spec.cycs.size(); ++i) {
+        const CycSpec& c = spec.cycs[i];
+        T_CCYC cc;
+        cc.name = "fz_cyc" + std::to_string(i);
+        cc.cyctim = static_cast<RELTIM>(std::clamp(c.period_ms, 1, 1000));
+        cc.cycphs = static_cast<RELTIM>(std::clamp(c.phase_ms, 0, 1000));
+        cc.cycatr = (c.autostart ? TA_STA : 0u) | (c.phs ? TA_PHS : 0u);
+        const std::size_t idx = i;
+        cc.cychdr = [rt, idx](void*) {
+            run_program(rt, -1, rt->spec->cycs[idx].ops, /*handler=*/true);
+        };
+        rt->cycs.push_back(tk.tk_cre_cyc(cc));
+    }
+    for (std::size_t i = 0; i < spec.alms.size(); ++i) {
+        const AlmSpec& a = spec.alms[i];
+        T_CALM ca;
+        ca.name = "fz_alm" + std::to_string(i);
+        const std::size_t idx = i;
+        ca.almhdr = [rt, idx](void*) {
+            run_program(rt, -1, rt->spec->alms[idx].ops, /*handler=*/true);
+        };
+        const ID aid = tk.tk_cre_alm(ca);
+        rt->alms.push_back(aid);
+        if (a.start_ms > 0 && aid > 0) {
+            tk.tk_sta_alm(aid, static_cast<RELTIM>(std::clamp(a.start_ms, 1, 1000)));
+        }
+    }
+    for (std::size_t i = 0; i < spec.ints.size(); ++i) {
+        const IntSpec& v = spec.ints[i];
+        const UINT intno = 100 + static_cast<UINT>(i);
+        T_DINT di;
+        di.intpri = std::clamp(v.pri, 1, 8);
+        const std::size_t idx = i;
+        di.inthdr = [rt, idx](void*) {
+            run_program(rt, -1, rt->spec->ints[idx].ops, /*handler=*/true);
+        };
+        tk.tk_def_int(intno, di);
+        rt->intvecs.push_back(intno);
+    }
+}
+
+}  // namespace
+
+// ============================================================================
+// Scenario construction
+// ============================================================================
+
+BuiltScenario build_scenario(const FuzzSpec& spec, bool with_oracle) {
+    BuiltScenario built;
+    built.oracle = std::make_shared<OracleReport>();
+    auto spec_ptr = std::make_shared<const FuzzSpec>(spec);
+    // Slot shared between workload (which creates the oracle inside the
+    // simulation) and the check predicate (which harvests it). Weak: the
+    // Simulation's retain() is the owning reference, so the oracle dies
+    // (and detaches) before the kernel stack it observes.
+    auto oracle_slot = std::make_shared<std::weak_ptr<InvariantOracle>>();
+
+    ScenarioSpec& sc = built.scenario;
+    sc.name = spec.scenario_name();
+    sc.seed = spec.seed;
+    sc.duration = Time::us(static_cast<std::uint64_t>(spec.duration_ms) * 1000);
+    sc.config.tick = Time::us(spec.tick_us);
+    sc.config.policy = spec.round_robin ? TKernel::SchedPolicy::round_robin
+                                        : TKernel::SchedPolicy::priority_preemptive;
+    sc.workload = [spec_ptr, oracle_slot, with_oracle](Simulation& sim,
+                                                       const ScenarioSpec&) {
+        auto rt = std::make_shared<Runtime>();
+        rt->tk = &sim.os();
+        rt->spec = spec_ptr;
+        sim.set_user_main([rt] { setup_workload(rt); });
+        sim.retain(rt);
+        if (with_oracle) {
+            auto oracle = std::make_shared<InvariantOracle>(sim.os());
+            sim.retain(oracle);
+            *oracle_slot = oracle;
+        }
+    };
+    std::shared_ptr<OracleReport> report = built.oracle;
+    sc.check = [oracle_slot, report](Simulation&, const ScenarioSpec&) {
+        std::shared_ptr<InvariantOracle> oracle = oracle_slot->lock();
+        if (oracle == nullptr) {
+            return true;
+        }
+        oracle->final_check();
+        report->ran = true;
+        report->events = oracle->events_seen();
+        report->violation_count = oracle->violation_count();
+        report->violations = oracle->violations();
+        return oracle->ok();
+    };
+    return built;
+}
+
+// ============================================================================
+// Differential execution
+// ============================================================================
+
+const char* SpecVerdict::kind() const {
+    if (sim_error) {
+        return "sim-error";
+    }
+    if (violation_count > 0) {
+        return "invariant";
+    }
+    if (mismatch) {
+        return "mismatch";
+    }
+    return "ok";
+}
+
+std::string SpecVerdict::detail() const {
+    if (sim_error) {
+        return error;
+    }
+    if (violation_count > 0) {
+        std::string d;
+        for (const std::string& v : violations) {
+            if (!d.empty()) {
+                d += "; ";
+            }
+            d += v;
+        }
+        return d;
+    }
+    if (mismatch) {
+        char buf[96];
+        std::snprintf(buf, sizeof(buf),
+                      "serial fingerprint 0x%016llx != parallel 0x%016llx",
+                      static_cast<unsigned long long>(serial_fingerprint),
+                      static_cast<unsigned long long>(parallel_fingerprint));
+        return buf;
+    }
+    return "";
+}
+
+namespace {
+
+void absorb_leg(SpecVerdict& v, const ScenarioResult& r, const OracleReport& o) {
+    if (!r.passed && o.violation_count == 0 && !r.error.empty() &&
+        r.error != check_failed_error) {
+        v.sim_error = true;
+        if (v.error.empty()) {
+            v.error = r.error;
+        }
+    }
+    v.violation_count += o.violation_count;
+    for (const std::string& s : o.violations) {
+        if (v.violations.size() < 32) {
+            v.violations.push_back(s);
+        }
+    }
+}
+
+}  // namespace
+
+SpecVerdict run_spec_differential(const FuzzSpec& spec) {
+    SpecVerdict v;
+
+    BuiltScenario serial = build_scenario(spec);
+    const ScenarioResult rs = run_scenario(serial.scenario);
+    v.serial_fingerprint = rs.fingerprint;
+    absorb_leg(v, rs, *serial.oracle);
+
+    // Parallel leg: same spec executed by a worker thread of the batch
+    // runner (thread pool of 2 so the scenario really migrates off the
+    // calling thread).
+    BuiltScenario par = build_scenario(spec);
+    const BatchReport pr =
+        ScenarioRunner(ScenarioRunner::Options{2}).run({par.scenario});
+    v.parallel_fingerprint = pr.results.at(0).fingerprint;
+    absorb_leg(v, pr.results.at(0), *par.oracle);
+
+    v.mismatch = v.serial_fingerprint != v.parallel_fingerprint;
+    return v;
+}
+
+// ============================================================================
+// Minimization
+// ============================================================================
+
+namespace {
+
+enum class RefClass { none, task, sem, flg, mtx, mbx, mbf, mpf, mpl, cyc, alm, intv };
+
+RefClass ref_class(OpKind k) {
+    switch (k) {
+        case OpKind::wakeup:
+        case OpKind::can_wup:
+        case OpKind::rel_wai:
+        case OpKind::suspend:
+        case OpKind::resume:
+        case OpKind::frsm:
+        case OpKind::chg_pri:
+        case OpKind::sta_tsk:
+        case OpKind::ter_tsk:
+        case OpKind::ras_tex:
+            return RefClass::task;
+        case OpKind::sem_wait:
+        case OpKind::sem_signal:
+            return RefClass::sem;
+        case OpKind::flg_set:
+        case OpKind::flg_clr:
+        case OpKind::flg_wait:
+            return RefClass::flg;
+        case OpKind::mtx_lock:
+        case OpKind::mtx_unlock:
+            return RefClass::mtx;
+        case OpKind::mbx_send:
+        case OpKind::mbx_recv:
+            return RefClass::mbx;
+        case OpKind::mbf_send:
+        case OpKind::mbf_recv:
+            return RefClass::mbf;
+        case OpKind::mpf_get:
+        case OpKind::mpf_rel:
+            return RefClass::mpf;
+        case OpKind::mpl_get:
+        case OpKind::mpl_rel:
+            return RefClass::mpl;
+        case OpKind::cyc_start:
+        case OpKind::cyc_stop:
+            return RefClass::cyc;
+        case OpKind::alm_start:
+        case OpKind::alm_stop:
+            return RefClass::alm;
+        case OpKind::raise_int:
+            return RefClass::intv;
+        default:
+            return RefClass::none;
+    }
+}
+
+/// After removing instance `idx` of `cls`, drop ops that referenced it
+/// and shift higher indices down.
+void remap_ops(std::vector<FuzzOp>& ops, RefClass cls, std::int32_t idx) {
+    std::vector<FuzzOp> out;
+    out.reserve(ops.size());
+    for (FuzzOp op : ops) {
+        if (ref_class(op.kind) == cls) {
+            if (op.a == idx) {
+                continue;
+            }
+            if (op.a > idx) {
+                --op.a;
+            }
+        }
+        out.push_back(op);
+    }
+    ops = std::move(out);
+}
+
+void remap_spec(FuzzSpec& spec, RefClass cls, std::int32_t idx) {
+    for (TaskSpec& t : spec.tasks) {
+        remap_ops(t.ops, cls, idx);
+    }
+    for (CycSpec& c : spec.cycs) {
+        remap_ops(c.ops, cls, idx);
+    }
+    for (AlmSpec& a : spec.alms) {
+        remap_ops(a.ops, cls, idx);
+    }
+    for (IntSpec& v : spec.ints) {
+        remap_ops(v.ops, cls, idx);
+    }
+}
+
+template <typename T>
+FuzzSpec without(const FuzzSpec& spec, std::vector<T> FuzzSpec::*member,
+                 RefClass cls, std::size_t idx) {
+    FuzzSpec s = spec;
+    auto& vec = s.*member;
+    vec.erase(vec.begin() + static_cast<std::ptrdiff_t>(idx));
+    remap_spec(s, cls, static_cast<std::int32_t>(idx));
+    return s;
+}
+
+}  // namespace
+
+FuzzSpec minimize_spec(const FuzzSpec& spec, int budget) {
+    FuzzSpec best = spec;
+    int runs = 0;
+    const auto still_fails = [&runs, budget](const FuzzSpec& candidate) {
+        if (runs >= budget) {
+            return false;
+        }
+        ++runs;
+        return !run_spec_differential(candidate).ok();
+    };
+    if (!still_fails(best)) {
+        return best;  // flaky or budget 0: keep the original
+    }
+
+    bool changed = true;
+    while (changed && runs < budget) {
+        changed = false;
+
+        // 1. Whole structural units, largest first.
+        const auto try_drop = [&](auto member, RefClass cls, std::size_t count,
+                                  std::size_t keep_at_least) {
+            for (std::size_t i = count; i-- > 0 && runs < budget;) {
+                if ((best.*member).size() <= keep_at_least) {
+                    return;
+                }
+                FuzzSpec candidate = without(best, member, cls, i);
+                if (still_fails(candidate)) {
+                    best = std::move(candidate);
+                    changed = true;
+                }
+            }
+        };
+        try_drop(&FuzzSpec::tasks, RefClass::task, best.tasks.size(), 1);
+        try_drop(&FuzzSpec::cycs, RefClass::cyc, best.cycs.size(), 0);
+        try_drop(&FuzzSpec::alms, RefClass::alm, best.alms.size(), 0);
+        try_drop(&FuzzSpec::ints, RefClass::intv, best.ints.size(), 0);
+        try_drop(&FuzzSpec::sems, RefClass::sem, best.sems.size(), 0);
+        try_drop(&FuzzSpec::flgs, RefClass::flg, best.flgs.size(), 0);
+        try_drop(&FuzzSpec::mtxs, RefClass::mtx, best.mtxs.size(), 0);
+        try_drop(&FuzzSpec::mbxs, RefClass::mbx, best.mbxs.size(), 0);
+        try_drop(&FuzzSpec::mbfs, RefClass::mbf, best.mbfs.size(), 0);
+        try_drop(&FuzzSpec::mpfs, RefClass::mpf, best.mpfs.size(), 0);
+        try_drop(&FuzzSpec::mpls, RefClass::mpl, best.mpls.size(), 0);
+
+        // 2. Individual ops from task programs (back to front).
+        for (std::size_t t = 0; t < best.tasks.size() && runs < budget; ++t) {
+            for (std::size_t j = best.tasks[t].ops.size(); j-- > 0 && runs < budget;) {
+                FuzzSpec candidate = best;
+                auto& ops = candidate.tasks[t].ops;
+                ops.erase(ops.begin() + static_cast<std::ptrdiff_t>(j));
+                if (still_fails(candidate)) {
+                    best = std::move(candidate);
+                    changed = true;
+                }
+            }
+        }
+        // 3. Shorter run.
+        if (runs < budget && best.duration_ms > 10) {
+            FuzzSpec candidate = best;
+            candidate.duration_ms /= 2;
+            if (still_fails(candidate)) {
+                best = std::move(candidate);
+                changed = true;
+            }
+        }
+    }
+    return best;
+}
+
+// ============================================================================
+// Repro files
+// ============================================================================
+
+std::string make_repro_json(const FuzzSpec& spec, const std::string& kind,
+                            const std::string& detail, bool minimized) {
+    Json j = Json::object();
+    j.set("rtk_fuzz_repro", Json::number(1));
+    j.set("seed", Json::number(spec.seed));
+    j.set("minimized", Json::boolean(minimized));
+    Json f = Json::object();
+    f.set("kind", Json::string(kind));
+    f.set("detail", Json::string(detail));
+    j.set("failure", std::move(f));
+    j.set("spec", spec.to_json());
+    return j.dump(2) + "\n";
+}
+
+bool parse_repro_json(const std::string& text, FuzzSpec& out, std::string* error) {
+    Json j;
+    if (!Json::parse(text, j, error)) {
+        return false;
+    }
+    const Json& spec_node = j.has("spec") ? j.at("spec") : j;
+    return FuzzSpec::from_json(spec_node, out, error);
+}
+
+// ============================================================================
+// Campaign
+// ============================================================================
+
+std::string FuzzReport::to_json() const {
+    Json j = Json::object();
+    j.set("scenarios", Json::number(scenarios));
+    j.set("runs", Json::number(runs));
+    j.set("oracle_events", Json::number(oracle_events));
+    j.set("mismatches", Json::number(mismatches));
+    j.set("violations", Json::number(violations));
+    j.set("sim_errors", Json::number(sim_errors));
+    j.set("ok", Json::boolean(ok()));
+    Json fails = Json::array();
+    for (const FuzzFailure& f : failures) {
+        Json o = Json::object();
+        o.set("seed", Json::number(f.seed));
+        o.set("scenario", Json::string(f.scenario));
+        o.set("kind", Json::string(f.kind));
+        o.set("detail", Json::string(f.detail));
+        o.set("repro_path", Json::string(f.repro_path));
+        fails.push(std::move(o));
+    }
+    j.set("failures", std::move(fails));
+    return j.dump(2) + "\n";
+}
+
+FuzzReport run_fuzz_campaign(const FuzzOptions& opts) {
+    const auto start = std::chrono::steady_clock::now();
+    FuzzReport report;
+
+    // Generate the scenario block: every seed, under one or both policies.
+    std::vector<FuzzSpec> specs;
+    for (std::size_t i = 0; i < opts.num_seeds; ++i) {
+        FuzzSpec spec = generate_spec(opts.base_seed + i, opts.params);
+        if (opts.both_policies) {
+            spec.round_robin = false;
+            specs.push_back(spec);
+            spec.round_robin = true;
+            specs.push_back(spec);
+        } else {
+            specs.push_back(std::move(spec));
+        }
+    }
+    report.scenarios = specs.size();
+
+    // Serial leg.
+    std::vector<BuiltScenario> serial;
+    serial.reserve(specs.size());
+    std::vector<ScenarioSpec> serial_specs;
+    serial_specs.reserve(specs.size());
+    for (const FuzzSpec& s : specs) {
+        serial.push_back(build_scenario(s));
+        serial_specs.push_back(serial.back().scenario);
+    }
+    const BatchReport serial_report =
+        ScenarioRunner(ScenarioRunner::Options{1}).run(serial_specs);
+
+    // Parallel leg (fresh oracle slots).
+    unsigned threads = opts.parallel_threads;
+    if (threads == 0) {
+        threads = std::max(2u, std::min(std::thread::hardware_concurrency(), 8u));
+    }
+    std::vector<BuiltScenario> parallel;
+    parallel.reserve(specs.size());
+    std::vector<ScenarioSpec> parallel_specs;
+    parallel_specs.reserve(specs.size());
+    for (const FuzzSpec& s : specs) {
+        parallel.push_back(build_scenario(s));
+        parallel_specs.push_back(parallel.back().scenario);
+    }
+    const BatchReport parallel_report =
+        ScenarioRunner(ScenarioRunner::Options{threads}).run(parallel_specs);
+
+    report.runs = 2 * specs.size();
+
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        SpecVerdict v;
+        v.serial_fingerprint = serial_report.results[i].fingerprint;
+        v.parallel_fingerprint = parallel_report.results[i].fingerprint;
+        absorb_leg(v, serial_report.results[i], *serial[i].oracle);
+        absorb_leg(v, parallel_report.results[i], *parallel[i].oracle);
+        v.mismatch = v.serial_fingerprint != v.parallel_fingerprint;
+        report.oracle_events += serial[i].oracle->events;
+        if (v.ok()) {
+            continue;
+        }
+        if (v.sim_error) {
+            ++report.sim_errors;
+        }
+        report.violations += v.violation_count;
+        if (v.mismatch) {
+            ++report.mismatches;
+        }
+
+        FuzzFailure fail;
+        fail.seed = specs[i].seed;
+        fail.scenario = specs[i].scenario_name();
+        fail.kind = v.kind();
+        fail.detail = v.detail();
+        FuzzSpec repro_spec = specs[i];
+        bool minimized = false;
+        if (opts.minimize) {
+            FuzzSpec smaller = minimize_spec(specs[i]);
+            minimized = !(smaller == specs[i]);
+            repro_spec = std::move(smaller);
+        }
+        fail.repro_json = make_repro_json(repro_spec, fail.kind, fail.detail,
+                                          minimized);
+        if (!opts.repro_dir.empty()) {
+            fail.repro_path = opts.repro_dir + "/repro_seed" +
+                              std::to_string(specs[i].seed) +
+                              (specs[i].round_robin ? "_rr" : "_pp") + ".json";
+            std::ofstream out(fail.repro_path);
+            if (out) {
+                out << fail.repro_json;
+            } else {
+                fail.repro_path.clear();
+            }
+        }
+        report.failures.push_back(std::move(fail));
+    }
+
+    report.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    return report;
+}
+
+}  // namespace rtk::harness::fuzz

@@ -1,0 +1,602 @@
+#include "harness/fuzz_oracle.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace rtk::harness::fuzz {
+
+using sim::ThreadKind;
+using sim::ThreadState;
+using sim::TThread;
+using namespace rtk::tkernel;
+
+namespace {
+
+ATR mutex_protocol(const Mutex& m) {
+    return m.atr & 0x3;
+}
+
+/// Replica of the kernel's eventflag release condition (eventflag.cpp).
+bool flag_satisfied(UINT pattern, UINT waiptn, UINT wfmode) {
+    if ((wfmode & TWF_ORW) != 0) {
+        return (pattern & waiptn) != 0;
+    }
+    return (pattern & waiptn) == waiptn;
+}
+
+std::string fmt_at(sysc::Time at) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.6f ms", at.to_ms());
+    return buf;
+}
+
+std::string thread_tag(const TThread& t) {
+    return "'" + t.name() + "'(#" + std::to_string(t.id()) + ")";
+}
+
+bool legal_transition(ThreadState from, ThreadState to) {
+    switch (from) {
+        case ThreadState::non_existent:
+            return to == ThreadState::dormant;
+        case ThreadState::dormant:
+            // Tasks start READY; handlers are launched straight to RUNNING.
+            return to == ThreadState::ready || to == ThreadState::running;
+        case ThreadState::ready:
+            return to == ThreadState::running || to == ThreadState::suspended ||
+                   to == ThreadState::dormant;
+        case ThreadState::running:
+            return to == ThreadState::ready || to == ThreadState::waiting ||
+                   to == ThreadState::waiting_suspended ||
+                   to == ThreadState::suspended || to == ThreadState::dormant;
+        case ThreadState::waiting:
+            return to == ThreadState::ready || to == ThreadState::waiting_suspended ||
+                   to == ThreadState::dormant;
+        case ThreadState::suspended:
+            return to == ThreadState::ready || to == ThreadState::dormant;
+        case ThreadState::waiting_suspended:
+            return to == ThreadState::waiting || to == ThreadState::suspended ||
+                   to == ThreadState::dormant;
+    }
+    return false;
+}
+
+}  // namespace
+
+InvariantOracle::InvariantOracle(TKernel& os, Options opts)
+    : os_(&os), opts_(opts) {
+    if (os_->config().policy != TKernel::SchedPolicy::priority_preemptive) {
+        opts_.priority_dispatch = false;  // D1 is a priority-policy law
+    }
+    os_->sim().set_observer(this);
+    attached_ = true;
+}
+
+InvariantOracle::~InvariantOracle() {
+    detach();
+}
+
+void InvariantOracle::detach() {
+    if (attached_) {
+        if (os_->sim().observer() == this) {
+            os_->sim().set_observer(nullptr);
+        }
+        attached_ = false;
+    }
+}
+
+void InvariantOracle::violate(const char* rule, const std::string& detail,
+                              sysc::Time at) {
+    ++violation_count_;
+    if (violations_.size() < opts_.max_recorded) {
+        violations_.push_back(std::string("[") + rule + "] " + detail + " @ " +
+                              fmt_at(at));
+    }
+}
+
+std::string InvariantOracle::summary() const {
+    std::string out;
+    for (const std::string& v : violations_) {
+        if (!out.empty()) {
+            out += "; ";
+        }
+        out += v;
+    }
+    if (violation_count_ > violations_.size()) {
+        out += "; (+" + std::to_string(violation_count_ - violations_.size()) +
+               " more)";
+    }
+    return out;
+}
+
+void InvariantOracle::note_time(sysc::Time at) {
+    ++events_;
+    if (at < last_time_) {
+        violate("T1", "event time went backwards (" + fmt_at(at) + " after " +
+                          fmt_at(last_time_) + ")",
+                at);
+    }
+    last_time_ = at;
+}
+
+// ---- event checks -----------------------------------------------------------
+
+void InvariantOracle::check_transition(const TThread& t, ThreadState from,
+                                       ThreadState to, sysc::Time at) {
+    auto it = last_state_.find(t.id());
+    if (it != last_state_.end() && it->second != from) {
+        violate("T2", thread_tag(t) + " transition from " +
+                          sim::to_string(from) + " but last observed state was " +
+                          sim::to_string(it->second),
+                at);
+    }
+    if (!legal_transition(from, to)) {
+        violate("T2", thread_tag(t) + " illegal transition " +
+                          sim::to_string(from) + " -> " + sim::to_string(to),
+                at);
+    }
+    last_state_[t.id()] = to;
+}
+
+void InvariantOracle::on_state_change(const TThread& t, ThreadState from,
+                                      ThreadState to, sysc::Time at) {
+    note_time(at);
+    check_transition(t, from, to, at);
+}
+
+void InvariantOracle::on_dispatch(const TThread& t, sysc::Time at) {
+    note_time(at);
+    if (t.kind() != ThreadKind::task) {
+        violate("D1", "dispatched thread " + thread_tag(t) + " is not a task", at);
+    }
+    if (opts_.priority_dispatch) {
+        for (const TThread* other : os_->sim().hash_table().threads()) {
+            if (other != &t && other->kind() == ThreadKind::task &&
+                other->state() == ThreadState::ready &&
+                other->priority() < t.priority()) {
+                violate("D1", "dispatched " + thread_tag(t) + " (pri " +
+                                  std::to_string(t.priority()) + ") while " +
+                                  thread_tag(*other) + " (pri " +
+                                  std::to_string(other->priority()) + ") is READY",
+                        at);
+            }
+        }
+    }
+    if (opts_.structural) {
+        structural_scan(at);
+    }
+}
+
+void InvariantOracle::on_preemption(const TThread& t, sysc::Time at) {
+    note_time(at);
+    (void)t;
+}
+
+void InvariantOracle::on_interrupt_enter(const TThread& isr, sysc::Time at) {
+    note_time(at);
+    if (isr.kind() == ThreadKind::task) {
+        violate("T2", "task " + thread_tag(isr) + " entered as interrupt handler",
+                at);
+    }
+}
+
+void InvariantOracle::on_interrupt_return(const TThread& isr, sysc::Time at) {
+    note_time(at);
+    (void)isr;
+}
+
+void InvariantOracle::on_wakeup(const TThread& t, sysc::Time at) {
+    note_time(at);
+    (void)t;
+}
+
+void InvariantOracle::on_idle(sysc::Time at) {
+    note_time(at);
+    for (const TThread* t : os_->sim().hash_table().threads()) {
+        if (t->kind() == ThreadKind::task && t->state() == ThreadState::ready) {
+            violate("D2", "CPU idles while " + thread_tag(*t) + " is READY", at);
+        }
+    }
+    if (opts_.structural) {
+        structural_scan(at);
+    }
+}
+
+void InvariantOracle::final_check() {
+    structural_scan(last_time_);
+}
+
+// ---- structural scans -------------------------------------------------------
+
+void InvariantOracle::structural_scan(sysc::Time at) {
+    scan_tasks(at);
+    scan_sync_objects(at);
+    scan_mutexes(at);
+}
+
+void InvariantOracle::scan_tasks(sysc::Time at) {
+    // T3: at most one RUNNING task-kind thread, and it is running_task().
+    const TThread* running = nullptr;
+    for (const TThread* t : os_->sim().hash_table().threads()) {
+        if (t->kind() == ThreadKind::task) {
+            if (t->state() == ThreadState::running) {
+                if (running != nullptr) {
+                    violate("T3", "both " + thread_tag(*running) + " and " +
+                                      thread_tag(*t) + " are RUNNING",
+                            at);
+                }
+                running = t;
+            }
+            // T4: scheduler membership <=> READY.
+            if (t->ready_node().linked != (t->state() == ThreadState::ready)) {
+                violate("T4", thread_tag(*t) + " is " + sim::to_string(t->state()) +
+                                  (t->ready_node().linked
+                                       ? " but linked in the ready structure"
+                                       : " but missing from the ready structure"),
+                        at);
+            }
+        } else {
+            // Handlers only ever rest DORMANT or execute RUNNING.
+            if (t->state() != ThreadState::dormant &&
+                t->state() != ThreadState::running) {
+                violate("T2", "handler " + thread_tag(*t) + " in state " +
+                                  sim::to_string(t->state()),
+                        at);
+            }
+            if (t->ready_node().linked) {
+                violate("T4", "handler " + thread_tag(*t) + " in ready structure",
+                        at);
+            }
+        }
+    }
+    if (os_->sim().running_task() != running) {
+        violate("T3", std::string("running_task() disagrees with thread states (") +
+                          (running != nullptr ? thread_tag(*running)
+                                              : std::string("none")) +
+                          " observed)",
+                at);
+    }
+
+    // W2 per task: wait bookkeeping is consistent both ways.
+    for (ID tid : os_->tasks().ids()) {
+        const TCB* tcb = os_->tasks().find(tid);
+        if (tcb == nullptr || tcb->thread == nullptr) {
+            violate("W2", "task id " + std::to_string(tid) + " has no thread", at);
+            continue;
+        }
+        const ThreadState st = tcb->thread->state();
+        const bool waiting_state =
+            st == ThreadState::waiting || st == ThreadState::waiting_suspended;
+        if (waiting_state && tcb->wait_kind == WaitKind::none) {
+            violate("W2", "task " + tcb->name + " is " + sim::to_string(st) +
+                              " without a wait factor",
+                    at);
+        }
+        if (!waiting_state && tcb->wait_kind != WaitKind::none) {
+            violate("W2", "task " + tcb->name + " has wait factor " +
+                              to_string(tcb->wait_kind) + " in state " +
+                              sim::to_string(st),
+                    at);
+        }
+        // Wait factor <-> queue membership and object identity.
+        const WaitQueue* expected_queue = nullptr;
+        switch (tcb->wait_kind) {
+            case WaitKind::none:
+            case WaitKind::sleep:
+            case WaitKind::delay:
+                break;
+            case WaitKind::semaphore: {
+                const Semaphore* o = os_->semaphores().find(tcb->wait_obj);
+                expected_queue = o != nullptr ? &o->queue : nullptr;
+                break;
+            }
+            case WaitKind::eventflag: {
+                const EventFlag* o = os_->eventflags().find(tcb->wait_obj);
+                expected_queue = o != nullptr ? &o->queue : nullptr;
+                break;
+            }
+            case WaitKind::mailbox: {
+                const Mailbox* o = os_->mailboxes().find(tcb->wait_obj);
+                expected_queue = o != nullptr ? &o->queue : nullptr;
+                break;
+            }
+            case WaitKind::mutex: {
+                const Mutex* o = os_->mutexes().find(tcb->wait_obj);
+                expected_queue = o != nullptr ? &o->queue : nullptr;
+                break;
+            }
+            case WaitKind::msgbuf_snd: {
+                const MessageBuffer* o = os_->message_buffers().find(tcb->wait_obj);
+                expected_queue = o != nullptr ? &o->send_queue : nullptr;
+                break;
+            }
+            case WaitKind::msgbuf_rcv: {
+                const MessageBuffer* o = os_->message_buffers().find(tcb->wait_obj);
+                expected_queue = o != nullptr ? &o->recv_queue : nullptr;
+                break;
+            }
+            case WaitKind::mempool_fixed: {
+                const FixedPool* o = os_->fixed_pools().find(tcb->wait_obj);
+                expected_queue = o != nullptr ? &o->queue : nullptr;
+                break;
+            }
+            case WaitKind::mempool_var: {
+                const VariablePool* o = os_->variable_pools().find(tcb->wait_obj);
+                expected_queue = o != nullptr ? &o->queue : nullptr;
+                break;
+            }
+        }
+        const bool queue_kind = tcb->wait_kind != WaitKind::none &&
+                                tcb->wait_kind != WaitKind::sleep &&
+                                tcb->wait_kind != WaitKind::delay;
+        if (queue_kind) {
+            if (expected_queue == nullptr) {
+                violate("W2", "task " + tcb->name + " waits on " +
+                                  to_string(tcb->wait_kind) + " id " +
+                                  std::to_string(tcb->wait_obj) +
+                                  " which does not exist",
+                        at);
+            } else if (tcb->queue != expected_queue ||
+                       !expected_queue->contains(*tcb)) {
+                violate("W2", "task " + tcb->name +
+                                  " wait-queue link does not match its wait factor",
+                        at);
+            }
+        } else if (tcb->queue != nullptr) {
+            violate("W2", "task " + tcb->name + " linked in a wait queue with " +
+                              std::string(to_string(tcb->wait_kind)) +
+                              " wait factor",
+                    at);
+        }
+    }
+}
+
+void InvariantOracle::scan_queue(const WaitQueue& q, WaitKind kind, ID obj,
+                                 const char* what, sysc::Time at) {
+    PRI prev = min_priority - 1;
+    for (const TCB* w : q.snapshot()) {
+        if (w->wait_kind != kind || w->wait_obj != obj) {
+            violate("W2", std::string(what) + " " + std::to_string(obj) +
+                              " queues task " + w->name + " whose wait factor is " +
+                              to_string(w->wait_kind) + " id " +
+                              std::to_string(w->wait_obj),
+                    at);
+        }
+        if (q.priority_ordered()) {
+            const PRI p = w->thread->priority();
+            if (p < prev) {
+                violate("W1", std::string(what) + " " + std::to_string(obj) +
+                                  " TA_TPRI queue out of order (" + w->name +
+                                  " pri " + std::to_string(p) + " after pri " +
+                                  std::to_string(prev) + ")",
+                        at);
+            }
+            prev = p;
+        }
+    }
+}
+
+void InvariantOracle::scan_sync_objects(sysc::Time at) {
+    for (ID id : os_->semaphores().ids()) {
+        const Semaphore* s = os_->semaphores().find(id);
+        scan_queue(s->queue, WaitKind::semaphore, id, "semaphore", at);
+        if (s->count < 0 || s->count > s->maxsem) {
+            violate("L1", "semaphore " + std::to_string(id) + " count " +
+                              std::to_string(s->count) + " outside [0, " +
+                              std::to_string(s->maxsem) + "]",
+                    at);
+        }
+        if ((s->atr & TA_CNT) != 0) {
+            for (const TCB* w : s->queue.snapshot()) {
+                if (w->req_count <= s->count) {
+                    violate("L1", "semaphore " + std::to_string(id) +
+                                      " (TA_CNT) holds count " +
+                                      std::to_string(s->count) + " while " +
+                                      w->name + " waits for " +
+                                      std::to_string(w->req_count),
+                            at);
+                }
+            }
+        } else if (const TCB* w = s->queue.front()) {
+            if (w->req_count <= s->count) {
+                violate("L1", "semaphore " + std::to_string(id) + " holds count " +
+                                  std::to_string(s->count) + " while head waiter " +
+                                  w->name + " requests " +
+                                  std::to_string(w->req_count),
+                        at);
+            }
+        }
+    }
+
+    for (ID id : os_->eventflags().ids()) {
+        const EventFlag* f = os_->eventflags().find(id);
+        scan_queue(f->queue, WaitKind::eventflag, id, "eventflag", at);
+        if ((f->atr & TA_WMUL) == 0 && f->queue.size() > 1) {
+            violate("W2", "eventflag " + std::to_string(id) +
+                              " (TA_WSGL) has multiple waiters",
+                    at);
+        }
+        for (const TCB* w : f->queue.snapshot()) {
+            if (flag_satisfied(f->pattern, w->wai_ptn, w->wfmode)) {
+                violate("L1", "eventflag " + std::to_string(id) + " pattern 0x" +
+                                  std::to_string(f->pattern) +
+                                  " satisfies queued waiter " + w->name,
+                        at);
+            }
+        }
+    }
+
+    for (ID id : os_->mailboxes().ids()) {
+        const Mailbox* m = os_->mailboxes().find(id);
+        scan_queue(m->queue, WaitKind::mailbox, id, "mailbox", at);
+        if (!m->messages.empty() && !m->queue.empty()) {
+            violate("L1", "mailbox " + std::to_string(id) +
+                              " has queued messages and waiting receivers",
+                    at);
+        }
+        if ((m->atr & TA_MPRI) != 0) {
+            PRI prev = min_priority - 1;
+            for (const T_MSG* msg : m->messages) {
+                const PRI p = static_cast<const T_MSG_PRI*>(msg)->msgpri;
+                if (p < prev) {
+                    violate("B1", "mailbox " + std::to_string(id) +
+                                      " TA_MPRI message order broken",
+                            at);
+                }
+                prev = p;
+            }
+        }
+    }
+
+    for (ID id : os_->message_buffers().ids()) {
+        const MessageBuffer* m = os_->message_buffers().find(id);
+        scan_queue(m->send_queue, WaitKind::msgbuf_snd, id, "msgbuf(send)", at);
+        scan_queue(m->recv_queue, WaitKind::msgbuf_rcv, id, "msgbuf(recv)", at);
+        INT used = 0;
+        for (const auto& payload : m->messages) {
+            used += static_cast<INT>(payload.size()) + MessageBuffer::header_bytes;
+        }
+        if (used != m->used || m->used < 0 || m->used > m->bufsz) {
+            violate("B1", "msgbuf " + std::to_string(id) + " byte accounting " +
+                              std::to_string(m->used) + " != recomputed " +
+                              std::to_string(used) + " (bufsz " +
+                              std::to_string(m->bufsz) + ")",
+                    at);
+        }
+        if (!m->recv_queue.empty() && !m->messages.empty()) {
+            violate("L1", "msgbuf " + std::to_string(id) +
+                              " buffers messages while receivers wait",
+                    at);
+        }
+        if (!m->recv_queue.empty() && !m->send_queue.empty() &&
+            m->messages.empty()) {
+            violate("L1", "msgbuf " + std::to_string(id) +
+                              " missed a sender/receiver rendezvous",
+                    at);
+        }
+        if (const TCB* s = m->send_queue.front()) {
+            if (m->fits(s->snd_size)) {
+                violate("L1", "msgbuf " + std::to_string(id) + " has space for " +
+                                  s->name + "'s blocked " +
+                                  std::to_string(s->snd_size) + "-byte send",
+                        at);
+            }
+        }
+    }
+
+    for (ID id : os_->fixed_pools().ids()) {
+        const FixedPool* p = os_->fixed_pools().find(id);
+        scan_queue(p->queue, WaitKind::mempool_fixed, id, "fixed pool", at);
+        if (p->free_list.size() > static_cast<std::size_t>(p->blkcnt)) {
+            violate("B1", "fixed pool " + std::to_string(id) + " free list (" +
+                              std::to_string(p->free_list.size()) +
+                              ") exceeds block count",
+                    at);
+        }
+        if (!p->queue.empty() && !p->free_list.empty()) {
+            violate("L1", "fixed pool " + std::to_string(id) +
+                              " has free blocks and waiters",
+                    at);
+        }
+    }
+
+    for (ID id : os_->variable_pools().ids()) {
+        const VariablePool* p = os_->variable_pools().find(id);
+        scan_queue(p->queue, WaitKind::mempool_var, id, "variable pool", at);
+        // Free/allocated extents must exactly tile the arena.
+        INT covered = p->total_free();
+        for (const auto& [ptr, extent] : p->allocated) {
+            covered += extent.second;
+        }
+        if (covered != p->poolsz) {
+            violate("B1", "variable pool " + std::to_string(id) +
+                              " free+allocated bytes " + std::to_string(covered) +
+                              " != pool size " + std::to_string(p->poolsz),
+                    at);
+        }
+        if (const TCB* w = p->queue.front()) {
+            if (w->req_size <= p->largest_free()) {
+                violate("L1", "variable pool " + std::to_string(id) +
+                                  " could satisfy head waiter " + w->name + " (" +
+                                  std::to_string(w->req_size) + " <= " +
+                                  std::to_string(p->largest_free()) + " free)",
+                        at);
+            }
+        }
+    }
+}
+
+void InvariantOracle::scan_mutexes(sysc::Time at) {
+    // M1: ownership cross-consistency.
+    for (ID id : os_->mutexes().ids()) {
+        const Mutex* m = os_->mutexes().find(id);
+        scan_queue(m->queue, WaitKind::mutex, id, "mutex", at);
+        if (m->owner != nullptr) {
+            const TCB* owner = m->owner;
+            if (std::find(owner->held_mutexes.begin(), owner->held_mutexes.end(),
+                          id) == owner->held_mutexes.end()) {
+                violate("M1", "mutex " + std::to_string(id) + " owner " +
+                                  owner->name + " does not list it as held",
+                        at);
+            }
+            if (owner->thread->state() == ThreadState::dormant) {
+                violate("M1", "mutex " + std::to_string(id) +
+                                  " owned by DORMANT task " + owner->name,
+                        at);
+            }
+            if (m->queue.contains(*owner)) {
+                violate("M1", "mutex " + std::to_string(id) + " owner " +
+                                  owner->name + " queued on its own mutex",
+                        at);
+            }
+        } else if (!m->queue.empty()) {
+            violate("M1", "mutex " + std::to_string(id) +
+                              " has waiters but no owner",
+                    at);
+        }
+    }
+
+    // M2: the priority law, task by task.
+    for (ID tid : os_->tasks().ids()) {
+        const TCB* tcb = os_->tasks().find(tid);
+        if (tcb == nullptr || tcb->thread == nullptr ||
+            tcb->thread->state() == ThreadState::dormant) {
+            continue;
+        }
+        PRI expected = tcb->thread->base_priority();
+        bool resolvable = true;
+        for (ID mid : tcb->held_mutexes) {
+            const Mutex* m = os_->mutexes().find(mid);
+            if (m == nullptr) {
+                violate("M1", "task " + tcb->name + " holds deleted mutex " +
+                                  std::to_string(mid),
+                        at);
+                resolvable = false;
+                continue;
+            }
+            if (m->owner != tcb) {
+                violate("M1", "task " + tcb->name + " lists mutex " +
+                                  std::to_string(mid) + " it does not own",
+                        at);
+                resolvable = false;
+                continue;
+            }
+            if (mutex_protocol(*m) == TA_CEILING) {
+                expected = std::min(expected, m->ceilpri);
+            } else if (mutex_protocol(*m) == TA_INHERIT) {
+                for (const TCB* w : m->queue.snapshot()) {
+                    expected = std::min(expected, w->thread->priority());
+                }
+            }
+        }
+        if (resolvable && tcb->thread->priority() != expected) {
+            violate("M2", "task " + tcb->name + " current priority " +
+                              std::to_string(tcb->thread->priority()) +
+                              " != expected " + std::to_string(expected) +
+                              " (base " +
+                              std::to_string(tcb->thread->base_priority()) + ")",
+                    at);
+        }
+    }
+}
+
+}  // namespace rtk::harness::fuzz

@@ -1,0 +1,112 @@
+// InvariantOracle -- an online checker of kernel laws, attached to the
+// SIM_API observation stream (sim/observer.hpp) of one simulation.
+//
+// The oracle is non-intrusive: it never calls a mutating kernel entry
+// point, it only reads the T-Kernel registries and SIM_API introspection
+// at well-defined quiescent points (task dispatch, CPU idle, end of
+// run). Checked laws:
+//
+//   T1  simulation time is monotone across the event stream
+//   T2  thread state transitions follow the µ-ITRON state machine
+//   T3  at most one task-kind thread is RUNNING; running_task() agrees
+//   T4  a task is linked in the scheduler's ready structure iff READY
+//   D1  a dispatch picks the highest-priority READY task (priority
+//       policy only; round robin is FIFO by design)
+//   D2  the CPU never idles while a task is READY
+//   W1  priority-ordered wait queues are sorted by current priority
+//   W2  wait bookkeeping is consistent both ways: queued TCB <-> wait
+//       kind/object id/queue membership; WAITING implies a wait factor
+//   L1  no lost wakeup: no semaphore/eventflag/mempool/message-buffer
+//       waiter whose release condition currently holds
+//   M1  mutex ownership is consistent (owner <-> held_mutexes, owner
+//       not DORMANT, owner not queued on its own mutex)
+//   M2  inheritance/ceiling priority law: every live task's current
+//       priority equals base boosted by its held mutexes
+//   B1  message buffer byte accounting and mailbox/message order laws
+//
+// Violations are recorded as human-readable strings (first N kept, all
+// counted); the fuzz driver dumps them into repro JSON.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/observer.hpp"
+#include "tkernel/kernel.hpp"
+
+namespace rtk::harness::fuzz {
+
+class InvariantOracle final : public sim::SimObserver {
+public:
+    struct Options {
+        /// Check D1 (needs a priority-preemptive scheduler underneath).
+        bool priority_dispatch = true;
+        /// Run the structural registry scans (W/L/M/B rules) at each
+        /// quiescent point, not just at final_check().
+        bool structural = true;
+        std::size_t max_recorded = 32;
+    };
+
+    /// Subscribes to `os`'s SIM_API stream on construction.
+    explicit InvariantOracle(tkernel::TKernel& os)
+        : InvariantOracle(os, Options{}) {}
+    InvariantOracle(tkernel::TKernel& os, Options opts);
+    ~InvariantOracle() override;
+
+    InvariantOracle(const InvariantOracle&) = delete;
+    InvariantOracle& operator=(const InvariantOracle&) = delete;
+
+    /// Stop observing (idempotent; also done by the destructor).
+    void detach();
+
+    /// Run the structural scan once more; call after the simulation
+    /// finished to validate the final state.
+    void final_check();
+
+    bool ok() const { return violation_count_ == 0; }
+    std::uint64_t violation_count() const { return violation_count_; }
+    const std::vector<std::string>& violations() const { return violations_; }
+    std::uint64_t events_seen() const { return events_; }
+
+    /// One line per recorded violation (empty string when ok()).
+    std::string summary() const;
+
+    // ---- SimObserver ----
+    void on_state_change(const sim::TThread& t, sim::ThreadState from,
+                         sim::ThreadState to, sysc::Time at) override;
+    void on_dispatch(const sim::TThread& t, sysc::Time at) override;
+    void on_preemption(const sim::TThread& t, sysc::Time at) override;
+    void on_interrupt_enter(const sim::TThread& isr, sysc::Time at) override;
+    void on_interrupt_return(const sim::TThread& isr, sysc::Time at) override;
+    void on_wakeup(const sim::TThread& t, sysc::Time at) override;
+    void on_idle(sysc::Time at) override;
+
+private:
+    void violate(const char* rule, const std::string& detail, sysc::Time at);
+    void note_time(sysc::Time at);
+
+    void check_transition(const sim::TThread& t, sim::ThreadState from,
+                          sim::ThreadState to, sysc::Time at);
+    void structural_scan(sysc::Time at);
+
+    // individual structural rules (see header comment)
+    void scan_tasks(sysc::Time at);
+    void scan_queue(const tkernel::WaitQueue& q, tkernel::WaitKind kind,
+                    tkernel::ID obj, const char* what, sysc::Time at);
+    void scan_sync_objects(sysc::Time at);
+    void scan_mutexes(sysc::Time at);
+
+    tkernel::TKernel* os_;
+    Options opts_;
+    bool attached_ = false;
+
+    std::uint64_t events_ = 0;
+    std::uint64_t violation_count_ = 0;
+    std::vector<std::string> violations_;
+    sysc::Time last_time_{};
+    std::unordered_map<sim::ThreadId, sim::ThreadState> last_state_;
+};
+
+}  // namespace rtk::harness::fuzz

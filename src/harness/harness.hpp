@@ -1,7 +1,9 @@
 // Umbrella header for the rtk harness layer: the context-explicit
-// Simulation handle plus the declarative batch scenario runner.
+// Simulation handle, the declarative batch scenario runner and the
+// property-based scenario fuzzer.
 #pragma once
 
+#include "harness/fuzz.hpp"       // IWYU pragma: export
 #include "harness/runner.hpp"      // IWYU pragma: export
 #include "harness/scenario.hpp"   // IWYU pragma: export
 #include "harness/simulation.hpp" // IWYU pragma: export

@@ -112,7 +112,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
         r.gantt_markers = sim.sim().gantt().markers().size();
         r.fingerprint = fingerprint_simulation(sim);
         if (spec.check && !spec.check(sim, spec)) {
-            r.error = "check predicate failed";
+            r.error = check_failed_error;
         } else {
             r.passed = true;
         }

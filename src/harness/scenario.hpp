@@ -20,6 +20,10 @@
 
 namespace rtk::harness {
 
+/// ScenarioResult::error value set when the check predicate returns
+/// false (as opposed to a simulation error's exception message).
+inline constexpr const char* check_failed_error = "check predicate failed";
+
 struct ScenarioSpec {
     /// Scenario name; also keys the per-scenario entry in BatchReport.
     std::string name;

@@ -6,8 +6,8 @@
 // touches process-wide state, so any number of Simulations may coexist --
 // nested in one thread, or one per worker thread for host-parallel
 // scenario sweeps (see harness/runner.hpp). Construction wires the layers
-// together explicitly; the deprecated ambient-context constructors of the
-// individual layers are not involved.
+// together explicitly -- every layer takes its sysc::Kernel as a
+// constructor argument.
 //
 //   rtk::Simulation sim;                      // or Simulation(config)
 //   sim.set_user_main([&] { ...tk_cre_tsk... });

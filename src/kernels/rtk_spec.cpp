@@ -176,18 +176,6 @@ RtkSpec1::RtkSpec1(sysc::Kernel& kernel, Config cfg, std::uint64_t slice_ticks)
       slice_ticks_(slice_ticks == 0 ? 1 : slice_ticks),
       slice_left_(slice_ticks_) {}
 
-#if defined(__GNUC__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-RtkSpec1::RtkSpec1(Config cfg, std::uint64_t slice_ticks)
-    : RtkSpec1(sysc::Kernel::current(), cfg, slice_ticks) {}
-
-RtkSpec2::RtkSpec2(Config cfg) : RtkSpec2(sysc::Kernel::current(), cfg) {}
-#if defined(__GNUC__)
-#pragma GCC diagnostic pop
-#endif
-
 void RtkSpec1::on_tick() {
     if (--slice_left_ != 0) {
         return;

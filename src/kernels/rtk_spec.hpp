@@ -101,8 +101,6 @@ class RtkSpec1 final : public RtkSpecBase {
 public:
     explicit RtkSpec1(sysc::Kernel& kernel, Config cfg = Config{},
                       std::uint64_t slice_ticks = 5);
-    [[deprecated("pass the sysc::Kernel explicitly: RtkSpec1(kernel, ...)")]]
-    explicit RtkSpec1(Config cfg = Config{}, std::uint64_t slice_ticks = 5);
 
 protected:
     void on_tick() override;
@@ -116,8 +114,6 @@ private:
 class RtkSpec2 final : public RtkSpecBase {
 public:
     explicit RtkSpec2(sysc::Kernel& kernel, Config cfg = Config{});
-    [[deprecated("pass the sysc::Kernel explicitly: RtkSpec2(kernel, ...)")]]
-    explicit RtkSpec2(Config cfg = Config{});
 };
 
 }  // namespace rtk::kernels

@@ -1,0 +1,57 @@
+// Non-intrusive observation of the SIM_API event stream.
+//
+// A SimObserver receives every scheduling-relevant event of one SimApi
+// instance as it happens: state transitions of each T-THREAD, task
+// dispatches, preemptions, interrupt entry/return, and CPU-idle
+// transitions. The stream is a superset of the Gantt marker trace and is
+// what external checkers (the rtk::fuzz invariant oracle in src/harness)
+// subscribe to -- kernel laws are validated from the outside, the way
+// NISTT-style non-intrusive tracing observes a real target.
+//
+// Callbacks run synchronously inside the simulation kernel, between two
+// deterministic simulation steps. Observers must treat the SimApi (and
+// any kernel model built on it) as read-only: calling a mutating SIM_*
+// or tk_* entry point from a callback is undefined behaviour.
+#pragma once
+
+#include "sim/types.hpp"
+#include "sysc/time.hpp"
+
+namespace rtk::sim {
+
+class TThread;
+
+class SimObserver {
+public:
+    virtual ~SimObserver() = default;
+
+    /// `t` moved between µ-ITRON states (hashtb bookkeeping updated first).
+    virtual void on_state_change(const TThread& t, ThreadState from, ThreadState to,
+                                 sysc::Time at) {
+        (void)t; (void)from; (void)to; (void)at;
+    }
+
+    /// The scheduler granted the CPU to task `t` (already RUNNING).
+    virtual void on_dispatch(const TThread& t, sysc::Time at) { (void)t; (void)at; }
+
+    /// Task `t` lost the CPU to a higher-priority / rotated competitor.
+    virtual void on_preemption(const TThread& t, sysc::Time at) { (void)t; (void)at; }
+
+    /// Handler `isr` starts executing (possibly nested over another one).
+    virtual void on_interrupt_enter(const TThread& isr, sysc::Time at) {
+        (void)isr; (void)at;
+    }
+
+    /// Handler `isr` finished its activation.
+    virtual void on_interrupt_return(const TThread& isr, sysc::Time at) {
+        (void)isr; (void)at;
+    }
+
+    /// A wakeup (Ew) was delivered to `t`.
+    virtual void on_wakeup(const TThread& t, sysc::Time at) { (void)t; (void)at; }
+
+    /// The CPU went idle: no task is runnable, no handler is pending.
+    virtual void on_idle(sysc::Time at) { (void)at; }
+};
+
+}  // namespace rtk::sim

@@ -24,20 +24,6 @@ SimApi::SimApi(sysc::Kernel& kernel, Scheduler& scheduler, Config config)
     gantt_.set_enabled(config_.record_gantt);
 }
 
-// Deprecated ambient-context shims (kept for one migration PR).
-#if defined(__GNUC__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-SimApi::SimApi(Scheduler& scheduler)
-    : SimApi(sysc::Kernel::current(), scheduler, Config{}) {}
-
-SimApi::SimApi(Scheduler& scheduler, Config config)
-    : SimApi(sysc::Kernel::current(), scheduler, config) {}
-#if defined(__GNUC__)
-#pragma GCC diagnostic pop
-#endif
-
 SimApi::~SimApi() {
     // Unwind all thread coroutines now, while the TThread objects (which
     // the suspended stacks reference) are still alive.
@@ -78,8 +64,12 @@ void SimApi::SIM_DeleteThread(TThread& t) {
 // ---- state helpers -----------------------------------------------------------
 
 void SimApi::set_state(TThread& t, ThreadState s) {
+    const ThreadState from = t.state_;
     t.state_ = s;
     hashtb_.update(t.id_, s, now_());
+    if (observer_ != nullptr && from != s) {
+        observer_->on_state_change(t, from, s, now_());
+    }
 }
 
 void SimApi::account_idle_end() {
@@ -142,6 +132,9 @@ void SimApi::dispatch() {
         if (!idle_) {
             idle_ = true;
             idle_since_ = now_();
+            if (observer_ != nullptr) {
+                observer_->on_idle(now_());
+            }
         }
         return;
     }
@@ -151,6 +144,9 @@ void SimApi::dispatch() {
     ++next->dispatches_;
     gantt_.add_marker(GanttRecorder::MarkerKind::dispatch, next->id_, now_());
     set_state(*next, ThreadState::running);
+    if (observer_ != nullptr) {
+        observer_->on_dispatch(*next, now_());
+    }
     grant(*next, next->wake_reason_);
 }
 
@@ -188,6 +184,9 @@ void SimApi::yield_preempted(TThread& t) {
     ++t.preemptions_;
     ++total_preemptions_;
     gantt_.add_marker(GanttRecorder::MarkerKind::preemption, t.id_, now_());
+    if (observer_ != nullptr) {
+        observer_->on_preemption(t, now_());
+    }
     if (t.suspend_pending_) {
         t.suspend_pending_ = false;
         t.wake_reason_ = RunEvent::return_from_preemption;
@@ -265,6 +264,9 @@ void SimApi::launch_isr(TThread& isr) {
     ++total_interrupts_;
     ++isr.dispatches_;
     set_state(isr, ThreadState::running);
+    if (observer_ != nullptr) {
+        observer_->on_interrupt_enter(isr, now_());
+    }
     grant(isr, RunEvent::startup);
 }
 
@@ -316,6 +318,9 @@ void SimApi::on_handler_exited(TThread& h) {
     set_state(h, ThreadState::dormant);
     h.token_.complete_cycle();
     gantt_.add_marker(GanttRecorder::MarkerKind::interrupt_return, h.id_, now_());
+    if (observer_ != nullptr) {
+        observer_->on_interrupt_return(h, now_());
+    }
     executing_ = nullptr;
     if (h.pending_activation_) {
         h.pending_activation_ = false;
@@ -358,6 +363,9 @@ void SimApi::on_handler_exited(TThread& h) {
                 ++total_preemptions_;
                 gantt_.add_marker(GanttRecorder::MarkerKind::preemption, back.id_,
                                   now_());
+                if (observer_ != nullptr) {
+                    observer_->on_preemption(back, now_());
+                }
                 back.wake_reason_ = RunEvent::return_from_preemption;
                 set_state(back, ThreadState::ready);
                 scheduler_->make_ready(back);
@@ -379,6 +387,9 @@ void SimApi::on_handler_exited(TThread& h) {
     if (!idle_) {
         idle_ = true;
         idle_since_ = now_();
+        if (observer_ != nullptr) {
+            observer_->on_idle(now_());
+        }
     }
 }
 
@@ -488,6 +499,9 @@ void SimApi::SIM_Sleep() {
 
 void SimApi::SIM_WakeUp(TThread& t) {
     gantt_.add_marker(GanttRecorder::MarkerKind::wakeup, t.id_, now_());
+    if (observer_ != nullptr) {
+        observer_->on_wakeup(t, now_());
+    }
     // "The waiting task will be notified later, upon the arrival of its
     // event" (paper §4): expose the Ew arrival for observers/waveforms.
     t.sleep_ev_.notify();
@@ -668,7 +682,7 @@ void SimApi::SIM_AbandonService(TThread& t) {
     }
 }
 
-SimApi::ServiceGuard::~ServiceGuard() {
+SimApi::ServiceGuard::~ServiceGuard() noexcept(false) {
     if (thread_ == nullptr) {
         return;
     }

@@ -25,6 +25,7 @@
 #include "sim/gantt.hpp"
 #include "sim/hashtb.hpp"
 #include "sim/intstack.hpp"
+#include "sim/observer.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/tthread.hpp"
 #include "sim/types.hpp"
@@ -66,19 +67,11 @@ public:
     };
 
     /// Context-explicit construction: every T-THREAD process, grant event
-    /// and time query of this instance lives on `kernel`. This is the one
-    /// constructor new code should use; several SimApi stacks may coexist
-    /// (one per sysc::Kernel), including on different host threads.
+    /// and time query of this instance lives on `kernel`. Several SimApi
+    /// stacks may coexist (one per sysc::Kernel), including on different
+    /// host threads.
     SimApi(sysc::Kernel& kernel, Scheduler& scheduler);
     SimApi(sysc::Kernel& kernel, Scheduler& scheduler, Config config);
-
-    /// Deprecated ambient-context shims: bind to the thread's current
-    /// kernel at construction time.
-    [[deprecated("pass the sysc::Kernel explicitly: SimApi(kernel, scheduler)")]]
-    explicit SimApi(Scheduler& scheduler);
-    [[deprecated(
-        "pass the sysc::Kernel explicitly: SimApi(kernel, scheduler, config)")]]
-    SimApi(Scheduler& scheduler, Config config);
     ~SimApi();
 
     SimApi(const SimApi&) = delete;
@@ -152,7 +145,11 @@ public:
                 api_.SIM_EnterService();
             }
         }
-        ~ServiceGuard();
+        /// noexcept(false): SIM_ExitService runs the deferred preemption
+        /// check, which may park this thread; a parked thread may be
+        /// killed (SIM_Terminate / teardown) and the CoroutineKilled
+        /// unwind must pass through this destructor.
+        ~ServiceGuard() noexcept(false);
         ServiceGuard(const ServiceGuard&) = delete;
         ServiceGuard& operator=(const ServiceGuard&) = delete;
 
@@ -203,6 +200,12 @@ public:
     const GanttRecorder& gantt() const { return gantt_; }
     const Config& config() const { return config_; }
 
+    /// Subscribe `obs` to the scheduling event stream (nullptr to
+    /// unsubscribe). One observer per instance; the caller keeps it alive
+    /// while registered. See sim/observer.hpp for the callback contract.
+    void set_observer(SimObserver* obs) { observer_ = obs; }
+    SimObserver* observer() const { return observer_; }
+
     std::uint64_t total_dispatches() const { return total_dispatches_; }
     std::uint64_t total_preemptions() const { return total_preemptions_; }
     std::uint64_t total_interrupt_deliveries() const { return total_interrupts_; }
@@ -238,6 +241,7 @@ private:
     SimHashTB hashtb_;
     SimStack stack_;
     GanttRecorder gantt_;
+    SimObserver* observer_ = nullptr;
 
     std::vector<std::unique_ptr<TThread>> owned_;
     std::unordered_map<const sysc::Process*, TThread*> by_process_;

@@ -22,18 +22,6 @@ constexpr sim::Priority external_int_priority_base = -1'000;
 constexpr sim::Priority time_event_priority = -100;
 }  // namespace
 
-// Deprecated ambient-context shims (kept for one migration PR).
-#if defined(__GNUC__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-TKernel::TKernel() : TKernel(sysc::Kernel::current(), Config{}) {}
-
-TKernel::TKernel(Config cfg) : TKernel(sysc::Kernel::current(), cfg) {}
-#if defined(__GNUC__)
-#pragma GCC diagnostic pop
-#endif
-
 TKernel::TKernel(sysc::Kernel& sysc_kernel) : TKernel(sysc_kernel, Config{}) {}
 
 TKernel::TKernel(sysc::Kernel& sysc_kernel, Config cfg)
@@ -46,7 +34,11 @@ TKernel::TKernel(sysc::Kernel& sysc_kernel, Config cfg)
     sc.delayed_dispatching = cfg_.delayed_dispatching;
     sc.nested_interrupts = cfg_.nested_interrupts;
     sc.record_gantt = cfg_.record_gantt;
-    sched_ = std::make_unique<sim::PriorityPreemptiveScheduler>();
+    if (cfg_.policy == SchedPolicy::round_robin) {
+        sched_ = std::make_unique<sim::RoundRobinScheduler>();
+    } else {
+        sched_ = std::make_unique<sim::PriorityPreemptiveScheduler>();
+    }
     api_ = std::make_unique<sim::SimApi>(*sysc_, *sched_, sc);
 
     // The tick handler T-THREAD: "Thread Dispatch activates the timer
@@ -155,7 +147,7 @@ TKernel::ServiceSection::ServiceSection(TKernel& k, std::uint64_t extra_units)
     }
 }
 
-TKernel::ServiceSection::~ServiceSection() {
+TKernel::ServiceSection::~ServiceSection() noexcept(false) {
     if (!active_) {
         return;
     }
@@ -257,6 +249,42 @@ void TKernel::flush_waiters(WaitQueue& queue) {
     }
 }
 
+void TKernel::reevaluate_waiters(WaitKind kind, ID obj) {
+    // An involuntary removal (timeout, tk_rel_wai, tk_ter_tsk, task
+    // exception) or a tk_chg_pri reposition may have changed the head of
+    // a wait queue whose release condition depends on queue order: the
+    // new head can be satisfiable right now, and no future signal would
+    // notice (signals only run their pass when resources arrive).
+    switch (kind) {
+        case WaitKind::semaphore:
+            if (Semaphore* s = sems_.find(obj)) {
+                sem_wake_pass(*s);
+            }
+            break;
+        case WaitKind::msgbuf_snd:
+        case WaitKind::msgbuf_rcv:
+            if (MessageBuffer* m = mbfs_.find(obj)) {
+                mbf_pump(*m);
+            }
+            break;
+        case WaitKind::mempool_fixed:
+            if (FixedPool* p = mpfs_.find(obj)) {
+                mpf_serve(*p);
+            }
+            break;
+        case WaitKind::mempool_var:
+            if (VariablePool* p = mpls_.find(obj)) {
+                mpl_serve(*p);
+            }
+            break;
+        default:
+            // Eventflags evaluate each waiter independently of queue
+            // order; mailbox receivers only wait while no message is
+            // queued; mutex hand-off happens at unlock only.
+            break;
+    }
+}
+
 // ---- timer machinery ---------------------------------------------------------------
 
 SYSTIM TKernel::otm_ms() const {
@@ -284,12 +312,15 @@ void TKernel::arm_task_timeout(TCB& tcb, TMO tmout) {
             return;  // stale entry
         }
         // A timed-out mutex waiter may deflate the owner's inherited
-        // priority; remember the mutex before clearing the wait.
-        Mutex* mtx = (t->wait_kind == WaitKind::mutex) ? mtxs_.find(t->wait_obj) : nullptr;
+        // priority; remember the wait factor before clearing it.
+        const WaitKind kind = t->wait_kind;
+        const ID obj = t->wait_obj;
+        Mutex* mtx = (kind == WaitKind::mutex) ? mtxs_.find(obj) : nullptr;
         release_wait(*t, t->timeout_result);
         if (mtx != nullptr && mtx->owner != nullptr) {
             recompute_priority(*mtx->owner);
         }
+        reevaluate_waiters(kind, obj);
     });
 }
 
@@ -308,6 +339,14 @@ void TKernel::timer_handler() {
     while (!timer_queue_.empty() && timer_queue_.next_at() <= now) {
         TimerEntry entry = timer_queue_.pop();
         entry.fire();
+    }
+    // Round robin: one system tick is one slice; the running task yields
+    // to the FIFO's head whenever a competitor is ready (RTK-Spec I).
+    if (cfg_.policy == SchedPolicy::round_robin) {
+        sim::TThread* run = api_->running_task();
+        if (run != nullptr && api_->scheduler().ready_count() > 0) {
+            api_->SIM_RequestPreempt(*run);
+        }
     }
     // Deferred deletion of tasks that called tk_exd_tsk.
     if (!exd_pending_.empty()) {

@@ -33,6 +33,15 @@ namespace rtk::tkernel {
 
 class TKernel {
 public:
+    /// Scheduling policy of the kernel's external scheduler (paper §4:
+    /// SIM_API "interacts directly with external schedulers"). The
+    /// T-Kernel default is priority-based preemptive; round robin gives
+    /// the RTK-Spec I style policy for differential testing.
+    enum class SchedPolicy : std::uint8_t {
+        priority_preemptive,
+        round_robin,
+    };
+
     struct Config {
         /// System tick driving the Thread Dispatch module; also the
         /// preemption quantum of SIM_API (paper: default resolution 1 ms).
@@ -52,20 +61,16 @@ public:
         bool delayed_dispatching = true;
         bool nested_interrupts = true;
         bool record_gantt = true;
+        /// External scheduler policy driving task dispatch.
+        SchedPolicy policy = SchedPolicy::priority_preemptive;
     };
 
-    /// Context-explicit construction: builds the kernel model on `sysc`.
-    /// Several TKernel stacks may coexist, one per sysc::Kernel, including
-    /// on different host threads (see rtk::Simulation in src/harness).
+    /// Context-explicit construction: builds the kernel model on
+    /// `sysc_kernel`. Several TKernel stacks may coexist, one per
+    /// sysc::Kernel, including on different host threads (see
+    /// rtk::Simulation in src/harness).
     explicit TKernel(sysc::Kernel& sysc_kernel);
     TKernel(sysc::Kernel& sysc_kernel, Config cfg);
-
-    /// Deprecated ambient-context shims: build on the thread's current
-    /// sysc::Kernel.
-    [[deprecated("pass the sysc::Kernel explicitly: TKernel(kernel)")]]
-    TKernel();
-    [[deprecated("pass the sysc::Kernel explicitly: TKernel(kernel, cfg)")]]
-    explicit TKernel(Config cfg);
     ~TKernel();
 
     TKernel(const TKernel&) = delete;
@@ -256,7 +261,12 @@ private:
         /// when destroyed during stack unwind -- running preemption
         /// checks while a thread is being killed or exiting would
         /// re-suspend a coroutine that is mid-unwind.
-        ~ServiceSection();
+        ///
+        /// noexcept(false): the end-of-section preemption check may park
+        /// the task (deferred preemption lands at the service boundary),
+        /// and a parked task may be killed by tk_ter_tsk -- the resulting
+        /// CoroutineKilled must unwind through this destructor.
+        ~ServiceSection() noexcept(false);
         /// Leave the atomic section early (before blocking).
         void end();
         ServiceSection(const ServiceSection&) = delete;
@@ -279,6 +289,11 @@ private:
     void release_wait(TCB& tcb, ER er);
     /// Release every waiter of a deleted object with E_DLT.
     void flush_waiters(WaitQueue& queue);
+    /// Re-run the wake-up pass of the object a waiter was involuntarily
+    /// removed from (timeout, tk_rel_wai, tk_ter_tsk, task exception) or
+    /// repositioned in (tk_chg_pri): the removal/reorder may expose a
+    /// now-satisfiable head waiter that no future signal would serve.
+    void reevaluate_waiters(WaitKind kind, ID obj);
 
     // ---- timer machinery (Thread Dispatch / timer handler, Fig 3) ----
     struct TimerEntry {
@@ -312,8 +327,13 @@ private:
     TCB* tcb_of(ID tskid) const;  ///< resolves TSK_SELF
     ER check_task_id(ID tskid, TCB*& out) const;
 
-    // ---- msgbuf helpers ----
+    // ---- sync-object wake passes ----
     void mbf_pump(MessageBuffer& m);
+    /// Wake satisfiable semaphore waiters per TA_FIRST/TA_CNT.
+    void sem_wake_pass(Semaphore& s);
+    /// Hand free blocks/extents to pool waiters strictly in queue order.
+    void mpf_serve(FixedPool& p);
+    void mpl_serve(VariablePool& p);
 
     sysc::Kernel* sysc_;
     Config cfg_;
@@ -354,7 +374,7 @@ private:
     // run task_cleanup, which touches the TCBs and the mutex registry
     // above. sched_ precedes api_ because the unwinding tasks still call
     // into the scheduler. Do not reorder.
-    std::unique_ptr<sim::PriorityPreemptiveScheduler> sched_;
+    std::unique_ptr<sim::Scheduler> sched_;
     std::unique_ptr<sim::SimApi> api_;
 };
 

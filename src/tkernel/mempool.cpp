@@ -60,7 +60,12 @@ ER TKernel::tk_get_mpf(ID mpfid, void** p_blf, TMO tmout) {
     if (p_blf == nullptr) {
         return E_PAR;
     }
-    if (p->queue.empty() && !p->free_list.empty()) {
+    TCB* me = current_tcb();
+    // Queued waiters have precedence, unless a TA_TPRI newcomer would
+    // head the queue anyway.
+    const bool may_take =
+        p->queue.empty() || (me != nullptr && p->queue.would_lead(*me));
+    if (may_take && !p->free_list.empty()) {
         *p_blf = p->free_list.back();
         p->free_list.pop_back();
         return E_OK;
@@ -68,7 +73,6 @@ ER TKernel::tk_get_mpf(ID mpfid, void** p_blf, TMO tmout) {
     if (tmout == TMO_POL) {
         return E_TMOUT;
     }
-    TCB* me = current_tcb();
     if (me == nullptr) {
         return E_CTX;
     }
@@ -79,6 +83,18 @@ ER TKernel::tk_get_mpf(ID mpfid, void** p_blf, TMO tmout) {
         *p_blf = me->blk;
     }
     return er;
+}
+
+void TKernel::mpf_serve(FixedPool& p) {
+    while (!p.free_list.empty()) {
+        TCB* w = p.queue.front();
+        if (w == nullptr) {
+            return;
+        }
+        w->blk = p.free_list.back();
+        p.free_list.pop_back();
+        release_wait(*w, E_OK);
+    }
 }
 
 ER TKernel::tk_rel_mpf(ID mpfid, void* blf) {
@@ -99,12 +115,8 @@ ER TKernel::tk_rel_mpf(ID mpfid, void* blf) {
             return E_PAR;  // double free
         }
     }
-    if (TCB* w = p->queue.front()) {
-        w->blk = blf;  // hand the block straight to the first waiter
-        release_wait(*w, E_OK);
-        return E_OK;
-    }
     p->free_list.push_back(blf);
+    mpf_serve(*p);
     return E_OK;
 }
 
@@ -181,7 +193,8 @@ ER TKernel::tk_get_mpl(ID mplid, INT blksz, void** p_blk, TMO tmout) {
         return E_PAR;
     }
     const INT size = align_up(blksz);
-    if (p->queue.empty()) {
+    TCB* me = current_tcb();
+    if (p->queue.empty() || (me != nullptr && p->queue.would_lead(*me))) {
         if (void* ptr = mpl_alloc(*p, size)) {
             *p_blk = ptr;
             return E_OK;
@@ -190,7 +203,6 @@ ER TKernel::tk_get_mpl(ID mplid, INT blksz, void** p_blk, TMO tmout) {
     if (tmout == TMO_POL) {
         return E_TMOUT;
     }
-    TCB* me = current_tcb();
     if (me == nullptr) {
         return E_CTX;
     }
@@ -231,17 +243,21 @@ ER TKernel::tk_rel_mpl(ID mplid, void* blk) {
         ins->second += next->second;
         p->free_map.erase(next);
     }
+    mpl_serve(*p);
+    return E_OK;
+}
+
+void TKernel::mpl_serve(VariablePool& p) {
     // Serve blocked allocators strictly in queue order.
-    while (TCB* w = p->queue.front()) {
-        void* ptr = mpl_alloc(*p, w->req_size);
+    while (TCB* w = p.queue.front()) {
+        void* ptr = mpl_alloc(p, w->req_size);
         if (ptr == nullptr) {
-            break;
+            return;
         }
-        p->queue.pop_front();
+        p.queue.pop_front();
         w->blk = ptr;
         release_wait(*w, E_OK);
     }
-    return E_OK;
 }
 
 ER TKernel::tk_ref_mpl(ID mplid, T_RMPL* pk) const {

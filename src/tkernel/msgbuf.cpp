@@ -85,16 +85,20 @@ ER TKernel::tk_snd_mbf(ID mbfid, const void* msg, INT msgsz, TMO tmout) {
     if (msg == nullptr || msgsz <= 0 || msgsz > m->maxmsz) {
         return E_PAR;
     }
-    // Direct handoff when a receiver is already waiting and no earlier
-    // sender is queued (preserves message order).
-    if (m->send_queue.empty() && m->messages.empty() && !m->recv_queue.empty()) {
+    TCB* me = current_tcb();
+    // Queued senders keep message order -- except a TA_TPRI newcomer
+    // that would head the send queue anyway sends first.
+    const bool may_send = m->send_queue.empty() ||
+                          (me != nullptr && m->send_queue.would_lead(*me));
+    // Direct handoff when a receiver is already waiting.
+    if (may_send && m->messages.empty() && !m->recv_queue.empty()) {
         TCB* r = m->recv_queue.pop_front();
         std::memcpy(r->rcv_buf, msg, static_cast<std::size_t>(msgsz));
         r->rcv_size = msgsz;
         release_wait(*r, E_OK);
         return E_OK;
     }
-    if (m->send_queue.empty() && m->fits(msgsz)) {
+    if (may_send && m->fits(msgsz)) {
         const auto* bytes = static_cast<const std::uint8_t*>(msg);
         m->messages.emplace_back(bytes, bytes + msgsz);
         m->used += msgsz + MessageBuffer::header_bytes;
@@ -103,7 +107,6 @@ ER TKernel::tk_snd_mbf(ID mbfid, const void* msg, INT msgsz, TMO tmout) {
     if (tmout == TMO_POL) {
         return E_TMOUT;
     }
-    TCB* me = current_tcb();
     if (me == nullptr) {
         return E_CTX;
     }

@@ -58,20 +58,45 @@ PRI TKernel::highest_waiter_priority(const Mutex& m) const {
 
 void TKernel::recompute_priority(TCB& tcb) {
     // Effective priority = base, boosted by every held ceiling mutex and by
-    // the highest-priority waiter of every held inheritance mutex.
-    PRI eff = tcb.thread->base_priority();
-    for (ID mid : tcb.held_mutexes) {
-        const Mutex* m = mtxs_.find(mid);
-        if (m == nullptr) {
-            continue;
+    // the highest-priority waiter of every held inheritance mutex. A
+    // waiting task is repositioned in its (possibly TA_TPRI) wait queue,
+    // and a deflation propagates down the inheritance chain the same way
+    // apply_inheritance propagates boosts: the recomputed task may itself
+    // be the highest waiter that was boosting the owner of the mutex it
+    // blocks on.
+    TCB* cur = &tcb;
+    for (int depth = 0; depth < max_objects_per_class && cur != nullptr; ++depth) {
+        PRI eff = cur->thread->base_priority();
+        for (ID mid : cur->held_mutexes) {
+            const Mutex* m = mtxs_.find(mid);
+            if (m == nullptr) {
+                continue;
+            }
+            if (protocol(*m) == TA_CEILING) {
+                eff = std::min(eff, m->ceilpri);
+            } else if (protocol(*m) == TA_INHERIT) {
+                eff = std::min(eff, highest_waiter_priority(*m));
+            }
         }
-        if (protocol(*m) == TA_CEILING) {
-            eff = std::min(eff, m->ceilpri);
-        } else if (protocol(*m) == TA_INHERIT) {
-            eff = std::min(eff, highest_waiter_priority(*m));
+        const bool changed = eff != cur->thread->priority();
+        api_->SIM_SetCurrentPriority(*cur->thread, eff);
+        if (cur->queue == nullptr) {
+            return;
         }
+        cur->queue->reposition(*cur);
+        if (cur->wait_kind != WaitKind::mutex) {
+            if (changed) {
+                // Reordering a resource queue may expose a servable head.
+                reevaluate_waiters(cur->wait_kind, cur->wait_obj);
+            }
+            return;
+        }
+        if (!changed) {
+            return;
+        }
+        const Mutex* waited = mtxs_.find(cur->wait_obj);
+        cur = waited != nullptr ? waited->owner : nullptr;
     }
-    api_->SIM_SetCurrentPriority(*tcb.thread, eff);
 }
 
 void TKernel::apply_inheritance(Mutex& m) {
@@ -90,6 +115,11 @@ void TKernel::apply_inheritance(Mutex& m) {
         api_->SIM_SetCurrentPriority(*owner->thread, boost);
         if (owner->queue != nullptr) {
             owner->queue->reposition(*owner);
+            if (owner->wait_kind != WaitKind::mutex) {
+                // The boosted owner may now head a resource queue whose
+                // head is servable (TA_TPRI semaphore/pool/msgbuf).
+                reevaluate_waiters(owner->wait_kind, owner->wait_obj);
+            }
         }
         cur = (owner->wait_kind == WaitKind::mutex) ? mtxs_.find(owner->wait_obj)
                                                     : nullptr;

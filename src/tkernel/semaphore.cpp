@@ -29,6 +29,34 @@ ER TKernel::tk_del_sem(ID semid) {
     return E_OK;
 }
 
+void TKernel::sem_wake_pass(Semaphore& s) {
+    // Wake waiters whose request is now satisfiable. TA_FIRST serves the
+    // queue head strictly in order; TA_CNT may satisfy a later (smaller)
+    // request when the head does not fit.
+    if ((s.atr & TA_CNT) != 0) {
+        // Single forward pass. Equivalent to rescanning from the head
+        // after every release: the count only shrinks, so a waiter that
+        // did not fit when passed cannot fit later in the same pass.
+        TCB* w = s.queue.front();
+        while (w != nullptr && s.count > 0) {
+            TCB* nxt = s.queue.next_of(*w);
+            if (w->req_count <= s.count) {
+                s.count -= w->req_count;
+                release_wait(*w, E_OK);
+            }
+            w = nxt;
+        }
+    } else {
+        while (TCB* w = s.queue.front()) {
+            if (w->req_count > s.count) {
+                break;
+            }
+            s.count -= w->req_count;
+            release_wait(*w, E_OK);
+        }
+    }
+}
+
 ER TKernel::tk_sig_sem(ID semid, INT cnt) {
     ServiceSection svc(*this);
     Semaphore* s = sems_.find(semid);
@@ -42,31 +70,7 @@ ER TKernel::tk_sig_sem(ID semid, INT cnt) {
         return E_QOVR;
     }
     s->count += cnt;
-    // Wake waiters whose request is now satisfiable. TA_FIRST serves the
-    // queue head strictly in order; TA_CNT may satisfy a later (smaller)
-    // request when the head does not fit.
-    if ((s->atr & TA_CNT) != 0) {
-        // Single forward pass. Equivalent to rescanning from the head
-        // after every release: the count only shrinks, so a waiter that
-        // did not fit when passed cannot fit later in the same signal.
-        TCB* w = s->queue.front();
-        while (w != nullptr && s->count > 0) {
-            TCB* nxt = s->queue.next_of(*w);
-            if (w->req_count <= s->count) {
-                s->count -= w->req_count;
-                release_wait(*w, E_OK);
-            }
-            w = nxt;
-        }
-    } else {
-        while (TCB* w = s->queue.front()) {
-            if (w->req_count > s->count) {
-                break;
-            }
-            s->count -= w->req_count;
-            release_wait(*w, E_OK);
-        }
-    }
+    sem_wake_pass(*s);
     return E_OK;
 }
 
@@ -79,15 +83,21 @@ ER TKernel::tk_wai_sem(ID semid, INT cnt, TMO tmout) {
     if (cnt <= 0 || cnt > s->maxsem) {
         return E_PAR;
     }
-    // The head of the queue has precedence over a newcomer.
-    if (s->queue.empty() && s->count >= cnt) {
+    TCB* me = current_tcb();
+    // TA_FIRST: the queue head has precedence over a newcomer -- but on a
+    // TA_TPRI queue a more urgent newcomer *becomes* the head, so it is
+    // served when the count suffices. TA_CNT: resources go to whoever
+    // they can satisfy, so a fitting request never queues.
+    const bool may_take =
+        (s->atr & TA_CNT) != 0 || s->queue.empty() ||
+        (me != nullptr && s->queue.would_lead(*me));
+    if (may_take && s->count >= cnt) {
         s->count -= cnt;
         return E_OK;
     }
     if (tmout == TMO_POL) {
         return E_TMOUT;
     }
-    TCB* me = current_tcb();
     if (me == nullptr) {
         return E_CTX;  // handlers must not block
     }

@@ -153,8 +153,10 @@ ER TKernel::tk_ter_tsk(ID tskid) {
         return E_OBJ;
     }
     cancel_task_timeout(*t);
+    const WaitKind kind = t->wait_kind;
+    const ID obj = t->wait_obj;
     if (t->queue != nullptr) {
-        Mutex* mtx = (t->wait_kind == WaitKind::mutex) ? mtxs_.find(t->wait_obj) : nullptr;
+        Mutex* mtx = (kind == WaitKind::mutex) ? mtxs_.find(obj) : nullptr;
         t->queue->remove(*t);
         if (mtx != nullptr && mtx->owner != nullptr) {
             recompute_priority(*mtx->owner);
@@ -164,6 +166,7 @@ ER TKernel::tk_ter_tsk(ID tskid) {
     // SIM_Terminate unwinds the task's coroutine; the ExitCleanup guard on
     // that stack releases held mutexes on the way out.
     api_->SIM_Terminate(*t->thread);
+    reevaluate_waiters(kind, obj);
     return E_OK;
 }
 
@@ -210,10 +213,12 @@ ER TKernel::tk_chg_pri(ID tskid, PRI tskpri) {
         }
     }
     api_->SIM_ChangePriority(*t->thread, newpri);
+    // recompute_priority repositions a waiting task in its (possibly
+    // TA_TPRI) wait queue; it skips its own re-evaluation here because
+    // SIM_ChangePriority already applied the new priority, so the
+    // follow-up passes below are this function's responsibility.
     recompute_priority(*t);
-    // Reposition in a priority-ordered wait queue.
     if (t->queue != nullptr) {
-        t->queue->reposition(*t);
         if (t->wait_kind == WaitKind::mutex) {
             Mutex* m = mtxs_.find(t->wait_obj);
             if (m != nullptr) {
@@ -222,6 +227,9 @@ ER TKernel::tk_chg_pri(ID tskid, PRI tskpri) {
                     recompute_priority(*m->owner);
                 }
             }
+        } else {
+            // The reorder can put a satisfiable waiter at the head.
+            reevaluate_waiters(t->wait_kind, t->wait_obj);
         }
     }
     return E_OK;
@@ -322,11 +330,14 @@ ER TKernel::tk_rel_wai(ID tskid) {
     if (t->wait_kind == WaitKind::none) {
         return E_OBJ;
     }
-    Mutex* mtx = (t->wait_kind == WaitKind::mutex) ? mtxs_.find(t->wait_obj) : nullptr;
+    const WaitKind kind = t->wait_kind;
+    const ID obj = t->wait_obj;
+    Mutex* mtx = (kind == WaitKind::mutex) ? mtxs_.find(obj) : nullptr;
     release_wait(*t, E_RLWAI);
     if (mtx != nullptr && mtx->owner != nullptr) {
         recompute_priority(*mtx->owner);
     }
+    reevaluate_waiters(kind, obj);
     return E_OK;
 }
 

@@ -44,11 +44,14 @@ ER TKernel::tk_ras_tex(ID tskid, UINT rasptn) {
     // A waiting target is released so the exception can be handled
     // promptly (its wait service returns E_DISWAI).
     if (t->wait_kind != WaitKind::none) {
-        Mutex* mtx = (t->wait_kind == WaitKind::mutex) ? mtxs_.find(t->wait_obj) : nullptr;
+        const WaitKind kind = t->wait_kind;
+        const ID obj = t->wait_obj;
+        Mutex* mtx = (kind == WaitKind::mutex) ? mtxs_.find(obj) : nullptr;
         release_wait(*t, E_DISWAI);
         if (mtx != nullptr && mtx->owner != nullptr) {
             recompute_priority(*mtx->owner);
         }
+        reevaluate_waiters(kind, obj);
     }
     // Self-raise delivers at this very service boundary.
     if (t == current_tcb()) {

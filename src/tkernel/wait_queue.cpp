@@ -105,6 +105,13 @@ bool WaitQueue::contains(const TCB& tcb) const {
     return tcb.queue == this;
 }
 
+bool WaitQueue::would_lead(const TCB& tcb) const {
+    if (head_ == nullptr) {
+        return true;
+    }
+    return priority_ordered_ && pri_of(tcb) < pri_of(*head_);
+}
+
 TCB* WaitQueue::next_of(const TCB& tcb) const {
     return tcb.queue == this ? tcb.wq_next : nullptr;
 }

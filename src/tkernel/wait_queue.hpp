@@ -40,6 +40,13 @@ public:
     TCB* front() const { return head_; }
     TCB* pop_front();
 
+    /// Would `tcb` land at the head if enqueued right now? True for an
+    /// empty queue; for a TA_TPRI queue also when tcb is strictly more
+    /// urgent than the current head (FIFO among equals queues behind).
+    /// The kernel's resource fast paths use this: head precedence
+    /// belongs to whoever *would* head the queue, not just to incumbents.
+    bool would_lead(const TCB& tcb) const;
+
     bool empty() const { return head_ == nullptr; }
     std::size_t size() const { return size_; }
     bool contains(const TCB& tcb) const;

@@ -1,0 +1,24 @@
+// Reduced fuzz block riding the `harness` ctest label: this is the slice
+// of the fuzz campaign that runs under the ASan/UBSan and TSan CI jobs,
+// where the whole 500-scenario block would be too slow. Fixed seeds,
+// both policies, oracle on, serial-vs-parallel differential on.
+#include <gtest/gtest.h>
+
+#include "harness/harness.hpp"
+
+namespace rtk::harness::fuzz {
+namespace {
+
+TEST(FuzzReduced, SanitizerBlockRunsClean) {
+    FuzzOptions opts;
+    opts.base_seed = 20260729;
+    opts.num_seeds = 12;  // x2 policies x2 legs = 48 oracle-checked runs
+    opts.both_policies = true;
+    opts.minimize = false;  // sanitizer jobs only need the detection
+    const FuzzReport report = run_fuzz_campaign(opts);
+    EXPECT_EQ(report.scenarios, 24u);
+    ASSERT_TRUE(report.ok()) << report.to_json();
+}
+
+}  // namespace
+}  // namespace rtk::harness::fuzz

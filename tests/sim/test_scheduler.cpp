@@ -164,7 +164,7 @@ protected:
         } else {
             sched_ = std::make_unique<RoundRobinScheduler>();
         }
-        api_ = std::make_unique<SimApi>(*sched_);
+        api_ = std::make_unique<SimApi>(k_, *sched_);
     }
 
     TThread& mk(const std::string& name, Priority p) {

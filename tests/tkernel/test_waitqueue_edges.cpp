@@ -1,0 +1,381 @@
+// Wait-queue edge cases the scenario fuzzer leans on, plus seed-pinned
+// regressions for the kernel bugs the first fuzz campaigns surfaced
+// (PR 4). Each regression names the generator seed that found it; the
+// deterministic recipe below reproduces the same schedule without the
+// generator.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "tkernel/tkernel.hpp"
+
+namespace rtk::tkernel {
+namespace {
+
+using sysc::Time;
+
+class WaitQueueEdgeTest : public ::testing::Test {
+protected:
+    sysc::Kernel k_;
+    TKernel os_{k_};
+
+    TKernel& tk() { return os_; }
+
+    /// Create-and-start a task at `pri` running `body` once.
+    ID task(const std::string& name, PRI pri, TaskEntry body) {
+        T_CTSK ct;
+        ct.name = name;
+        ct.itskpri = pri;
+        ct.task = std::move(body);
+        const ID id = tk().tk_cre_tsk(ct);
+        tk().tk_sta_tsk(id, 0);
+        return id;
+    }
+
+    void run_ms(std::uint64_t ms) {
+        if (!powered_) {
+            powered_ = true;
+            os_.power_on();
+        }
+        k_.run_until(Time::ms(ms));
+    }
+
+private:
+    bool powered_ = false;
+};
+
+// ---- TA_TPRI insertion ties: FIFO among equal priorities --------------------
+
+TEST_F(WaitQueueEdgeTest, TpriInsertionTiesAreFifoAmongEquals) {
+    std::vector<std::string> order;
+    tk().set_user_main([this, &order] {
+        T_CSEM cs;
+        cs.sematr = TA_TPRI | TA_FIRST;
+        const ID sem = tk().tk_cre_sem(cs);
+        // Block four waiters: equal priority 5 for a/b/d, 3 for c. The
+        // release order must be c (more urgent), then a, b, d FIFO.
+        for (const char* name : {"a", "b", "c", "d"}) {
+            const PRI pri = (name[0] == 'c') ? 3 : 5;
+            task(name, pri, [this, sem, name, &order](INT, void*) {
+                if (tk().tk_wai_sem(sem, 1, TMO_FEVR) == E_OK) {
+                    order.push_back(name);
+                }
+            });
+            // Let the new waiter reach its wait before the next starts
+            // (they all outrank the init task, so they run immediately;
+            // equal-priority ties would otherwise queue by start order
+            // anyway -- the delay makes the arrival order explicit).
+            tk().tk_dly_tsk(1);
+        }
+        for (int i = 0; i < 4; ++i) {
+            tk().tk_sig_sem(sem, 1);
+            tk().tk_dly_tsk(1);
+        }
+    });
+    run_ms(30);
+    ASSERT_EQ(order.size(), 4u);
+    EXPECT_EQ(order[0], "c");
+    EXPECT_EQ(order[1], "a");
+    EXPECT_EQ(order[2], "b");
+    EXPECT_EQ(order[3], "d");
+}
+
+// ---- re-queue after tk_chg_pri while waiting --------------------------------
+
+TEST_F(WaitQueueEdgeTest, ChgPriRequeuesAWaitingTask) {
+    std::vector<std::string> order;
+    tk().set_user_main([this, &order] {
+        T_CSEM cs;
+        cs.sematr = TA_TPRI | TA_FIRST;
+        const ID sem = tk().tk_cre_sem(cs);
+        const ID a = task("a", 5, [this, sem, &order](INT, void*) {
+            if (tk().tk_wai_sem(sem, 1, TMO_FEVR) == E_OK) {
+                order.push_back("a");
+            }
+        });
+        tk().tk_dly_tsk(1);
+        task("b", 6, [this, sem, &order](INT, void*) {
+            if (tk().tk_wai_sem(sem, 1, TMO_FEVR) == E_OK) {
+                order.push_back("b");
+            }
+        });
+        tk().tk_dly_tsk(1);
+        // Queue is [a(5), b(6)]. Demote a below b: the TA_TPRI queue must
+        // re-sort to [b, a] -- the head is recomputed, not frozen.
+        tk().tk_chg_pri(a, 9);
+        T_RSEM ref;
+        tk().tk_ref_sem(sem, &ref);
+        // b is now the first waiter.
+        tk().tk_sig_sem(sem, 1);
+        tk().tk_dly_tsk(1);
+        tk().tk_sig_sem(sem, 1);
+    });
+    run_ms(30);
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], "b");
+    EXPECT_EQ(order[1], "a");
+}
+
+// ---- timeout racing a release on the same tick ------------------------------
+
+TEST_F(WaitQueueEdgeTest, SameTickSignalAndTimeoutResolveToTimeoutNotLoss) {
+    // The cyclic handler's signal and the waiter's timeout land on the
+    // same tick. Model semantics are deterministic: task timeouts fire
+    // inline in the timer handler, while the cyclic signal is a deferred
+    // handler activation -- so the wait ends E_TMOUT regardless of which
+    // timer entry was armed first, and the signal must then land in the
+    // count (conserved, not lost on the departed waiter).
+    ER got = E_SYS;
+    INT count_after = -1;
+    tk().set_user_main([this, &got, &count_after] {
+        T_CSEM cs;
+        const ID sem = tk().tk_cre_sem(cs);
+        T_CCYC cc;
+        cc.cycatr = TA_STA;
+        cc.cyctim = 5;  // armed before the waiter blocks
+        cc.cychdr = [this, sem](void*) { tk().tk_sig_sem(sem, 1); };
+        const ID cyc = tk().tk_cre_cyc(cc);
+        task("w", 4, [this, sem, &got](INT, void*) {
+            got = tk().tk_wai_sem(sem, 1, 5);  // expires on the same tick
+        });
+        tk().tk_dly_tsk(7);  // past the race tick, before the next firing
+        tk().tk_stp_cyc(cyc);
+        T_RSEM ref;
+        tk().tk_ref_sem(sem, &ref);
+        count_after = ref.semcnt;
+    });
+    run_ms(20);
+    EXPECT_EQ(got, E_TMOUT);
+    EXPECT_EQ(count_after, 1);
+}
+
+TEST_F(WaitQueueEdgeTest, TimeoutArmedBeforeReleaseWinsTheTick) {
+    // Mirror image: the waiter blocks first, the alarm that would release
+    // it is armed afterwards for the same tick -- the timeout's earlier
+    // timer-queue entry fires first and the wait ends E_TMOUT.
+    ER got = E_SYS;
+    tk().set_user_main([this, &got] {
+        T_CSEM cs;
+        const ID sem = tk().tk_cre_sem(cs);
+        task("w", 4, [this, sem, &got](INT, void*) {
+            got = tk().tk_wai_sem(sem, 1, 5);
+        });
+        tk().tk_dly_tsk(1);  // let w block (w outranks init anyway)
+        T_CALM ca;
+        ca.almhdr = [this, sem](void*) { tk().tk_sig_sem(sem, 1); };
+        const ID alm = tk().tk_cre_alm(ca);
+        tk().tk_sta_alm(alm, 4);  // same absolute tick as w's timeout
+    });
+    run_ms(20);
+    EXPECT_EQ(got, E_TMOUT);
+}
+
+// ---- regressions: lost wakeups on involuntary head removal ------------------
+// Found by fuzz seed 18 (TA_TFIFO semaphore, campaign base_seed 1).
+
+TEST_F(WaitQueueEdgeTest, TimeoutOfUnsatisfiableHeadServesNextWaiter) {
+    ER got_b = E_SYS;
+    tk().set_user_main([this, &got_b] {
+        T_CSEM cs;
+        const ID sem = tk().tk_cre_sem(cs);
+        task("a", 4, [this, sem](INT, void*) {
+            tk().tk_wai_sem(sem, 2, 3);  // head, needs 2, times out
+        });
+        tk().tk_dly_tsk(1);
+        task("b", 5, [this, sem, &got_b](INT, void*) {
+            got_b = tk().tk_wai_sem(sem, 1, TMO_FEVR);  // queued behind a
+        });
+        tk().tk_dly_tsk(1);
+        // One unit available: head a cannot take it, b must not either
+        // (TA_FIRST order). Once a times out, b becomes the head and the
+        // stranded unit must be handed over.
+        tk().tk_sig_sem(sem, 1);
+    });
+    run_ms(20);
+    EXPECT_EQ(got_b, E_OK);
+}
+
+TEST_F(WaitQueueEdgeTest, RelWaiOfUnsatisfiableHeadServesNextWaiter) {
+    ER got_b = E_SYS;
+    tk().set_user_main([this, &got_b] {
+        T_CSEM cs;
+        const ID sem = tk().tk_cre_sem(cs);
+        const ID a = task("a", 4, [this, sem](INT, void*) {
+            tk().tk_wai_sem(sem, 2, TMO_FEVR);
+        });
+        tk().tk_dly_tsk(1);
+        task("b", 5, [this, sem, &got_b](INT, void*) {
+            got_b = tk().tk_wai_sem(sem, 1, TMO_FEVR);
+        });
+        tk().tk_dly_tsk(1);
+        tk().tk_sig_sem(sem, 1);
+        tk().tk_rel_wai(a);  // forcibly remove the head
+    });
+    run_ms(20);
+    EXPECT_EQ(got_b, E_OK);
+}
+
+TEST_F(WaitQueueEdgeTest, TerminatingTheHeadServesNextMsgbufSender) {
+    // Found by fuzz seed 15 (message buffer): removing a blocked sender
+    // must pump the freed capacity to the senders behind it.
+    INT sent_b = E_SYS;
+    tk().set_user_main([this, &sent_b] {
+        T_CMBF cm;
+        cm.bufsz = 8;  // fits one 4-byte message (+4 header)
+        cm.maxmsz = 8;
+        const ID mbf = tk().tk_cre_mbf(cm);
+        const char big[8] = "1234567";
+        const char small[4] = "xyz";
+        // Fill the buffer so both senders block.
+        tk().tk_snd_mbf(mbf, small, 4, TMO_POL);
+        const ID a = task("a", 4, [this, mbf, &big](INT, void*) {
+            tk().tk_snd_mbf(mbf, big, 8, TMO_FEVR);  // head: never fits 8+4>8-8
+        });
+        tk().tk_dly_tsk(1);
+        task("b", 5, [this, mbf, &small, &sent_b](INT, void*) {
+            sent_b = tk().tk_snd_mbf(mbf, small, 3, TMO_FEVR);
+        });
+        tk().tk_dly_tsk(1);
+        // Drain the buffered message: capacity frees, but the head still
+        // does not fit. Terminating it must let b's small send through.
+        char buf[8];
+        tk().tk_rcv_mbf(mbf, buf, TMO_POL);
+        tk().tk_ter_tsk(a);
+    });
+    run_ms(20);
+    EXPECT_EQ(sent_b, E_OK);
+}
+
+// ---- regression: TA_TPRI newcomer that would lead the queue -----------------
+// Found by fuzz seed 51 (campaign base_seed 1, round-robin leg).
+
+TEST_F(WaitQueueEdgeTest, TpriNewcomerAheadOfUnsatisfiableHeadIsServed) {
+    ER got_h = E_SYS;
+    tk().set_user_main([this, &got_h] {
+        T_CSEM cs;
+        cs.sematr = TA_TPRI | TA_FIRST;
+        cs.isemcnt = 1;
+        cs.maxsem = 2;
+        const ID sem = tk().tk_cre_sem(cs);
+        task("low", 9, [this, sem](INT, void*) {
+            tk().tk_wai_sem(sem, 2, TMO_FEVR);  // blocks: only 1 available
+        });
+        tk().tk_dly_tsk(1);
+        task("high", 2, [this, sem, &got_h](INT, void*) {
+            // Would head the TA_TPRI queue, and one unit is available:
+            // must be served immediately, not strand behind `low`.
+            got_h = tk().tk_wai_sem(sem, 1, TMO_POL);
+        });
+    });
+    run_ms(20);
+    EXPECT_EQ(got_h, E_OK);
+}
+
+// ---- regression: TA_CNT allocates in allocatable order ----------------------
+// Found by fuzz seed 23 (campaign base_seed 1).
+
+TEST_F(WaitQueueEdgeTest, TaCntServesAFittingNewcomerDespiteWaiters) {
+    ER got_b = E_SYS;
+    tk().set_user_main([this, &got_b] {
+        T_CSEM cs;
+        cs.sematr = TA_TFIFO | TA_CNT;
+        cs.isemcnt = 1;
+        cs.maxsem = 4;
+        const ID sem = tk().tk_cre_sem(cs);
+        task("a", 4, [this, sem](INT, void*) {
+            tk().tk_wai_sem(sem, 3, TMO_FEVR);  // needs more than available
+        });
+        tk().tk_dly_tsk(1);
+        task("b", 5, [this, sem, &got_b](INT, void*) {
+            got_b = tk().tk_wai_sem(sem, 1, TMO_POL);  // fits: TA_CNT serves it
+        });
+    });
+    run_ms(20);
+    EXPECT_EQ(got_b, E_OK);
+}
+
+// ---- regression: priority deflation repositions a queued owner --------------
+// Found by fuzz seed 6 (campaign base_seed 1, round-robin leg).
+
+TEST_F(WaitQueueEdgeTest, InheritanceDeflationRepositionsOwnerInItsWaitQueue) {
+    tk().set_user_main([this] {
+        T_CMTX cm;
+        cm.mtxatr = TA_INHERIT;
+        const ID mtx = tk().tk_cre_mtx(cm);
+        T_CSEM cs;
+        cs.sematr = TA_TPRI | TA_FIRST;
+        const ID sem = tk().tk_cre_sem(cs);
+        // owner (base 10) locks the mutex, then blocks on the semaphore.
+        const ID owner = task("owner", 10, [this, mtx, sem](INT, void*) {
+            tk().tk_loc_mtx(mtx, TMO_FEVR);
+            tk().tk_wai_sem(sem, 1, TMO_FEVR);
+            tk().tk_unl_mtx(mtx);
+        });
+        tk().tk_dly_tsk(1);
+        // A competing semaphore waiter at priority 5.
+        task("peer", 5, [this, sem](INT, void*) {
+            tk().tk_wai_sem(sem, 1, TMO_FEVR);
+        });
+        tk().tk_dly_tsk(1);
+        // Booster (pri 2) waits on the mutex with a timeout: the owner is
+        // boosted to 2 and re-sorted ahead of peer in the TA_TPRI queue.
+        task("booster", 2, [this, mtx](INT, void*) {
+            tk().tk_loc_mtx(mtx, 3);
+        });
+        tk().tk_dly_tsk(1);
+        T_RSEM ref;
+        tk().tk_ref_sem(sem, &ref);
+        TCB* owner_tcb = tk().find_task(owner);
+        ASSERT_NE(owner_tcb, nullptr);
+        EXPECT_EQ(ref.wtsk, owner) << "boost did not reposition the owner";
+        EXPECT_EQ(owner_tcb->thread->priority(), 2);
+        // The booster times out at +3ms: the owner deflates back to 10
+        // and MUST be re-sorted behind peer -- the seed-6 violation was
+        // exactly this stale position.
+        tk().tk_dly_tsk(6);
+        tk().tk_ref_sem(sem, &ref);
+        EXPECT_EQ(owner_tcb->thread->priority(), 10);
+        EXPECT_NE(ref.wtsk, owner) << "deflated owner still heads the queue";
+        tk().tk_sig_sem(sem, 2);  // release both; owner unlocks and exits
+    });
+    run_ms(30);
+}
+
+// ---- regression: kill of a task parked at the service-exit boundary ---------
+// Found by the very first fuzz campaign: every seed with ter_tsk crashed
+// with std::terminate (CoroutineKilled through a noexcept destructor).
+
+TEST_F(WaitQueueEdgeTest, TerminateTaskParkedAtServiceBoundaryPreemption) {
+    bool high_ran = false;
+    ID low_id = 0;
+    tk().set_user_main([this, &high_ran, &low_id] {
+        T_CSEM cs;
+        const ID sem = tk().tk_cre_sem(cs);
+        // high blocks on the semaphore first.
+        const ID low = task("low", 9, [this, sem](INT, void*) {
+            for (;;) {
+                // Releasing high preempts low exactly at this service
+                // call's exit boundary -- low parks inside the
+                // ServiceSection destructor's preemption check.
+                tk().tk_sig_sem(sem, 1);
+            }
+        });
+        low_id = low;
+        task("high", 2, [this, sem, low, &high_ran](INT, void*) {
+            tk().tk_wai_sem(sem, 1, TMO_FEVR);
+            // low is READY, parked at its service boundary. Killing it
+            // must unwind cleanly, not std::terminate the process.
+            tk().tk_ter_tsk(low);
+            high_ran = true;
+        });
+    });
+    run_ms(20);
+    EXPECT_TRUE(high_ran);
+    TCB* low_tcb = tk().find_task(low_id);
+    ASSERT_NE(low_tcb, nullptr);
+    EXPECT_EQ(low_tcb->thread->state(), sim::ThreadState::dormant);
+}
+
+}  // namespace
+}  // namespace rtk::tkernel
