@@ -15,11 +15,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <random>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "api/api.hpp"
 #include "bench_util.hpp"
 #include "harness/harness.hpp"
 #include "tkernel/tkernel.hpp"
@@ -33,165 +35,156 @@ namespace {
 
 // ---- workloads --------------------------------------------------------------
 //
-// Each builder wires a deterministic workload (all randomness from the
-// spec seed) into the Simulation's user main. Counters live in the
+// Each builder declares a deterministic workload (all randomness from
+// the spec seed) as an api::SystemSpec and instantiates it through the
+// facade inside the Simulation's user main. Counters live in the
 // T-Kernel objects and the SIM_API Gantt/stat recorders, which is what
 // the fingerprint digests.
 
+/// Install `b`'s graph as the Simulation's user main; the instantiated
+/// handles land in `h` (the per-run holder the task bodies captured).
+void install_system(Simulation& sim, api::SystemBuilder&& b,
+                    std::shared_ptr<api::SystemHandles> h) {
+    auto sys = std::make_shared<api::System>(sim.os());
+    sim.retain(sys);
+    sim.retain(h);
+    auto spec = std::make_shared<const api::SystemSpec>(std::move(b).take_spec());
+    sim.set_user_main([sys, h, spec] {
+        *h = std::move(api::instantiate(*sys, *spec)).value();
+        h->release_all();  // kernel teardown reclaims the graph
+    });
+}
+
 void pipeline_workload(Simulation& sim, const ScenarioSpec& spec) {
-    TKernel& tk = sim.os();
+    TKernel* tk = &sim.os();
     std::mt19937_64 rng(spec.seed);
     const int stages = 2 + static_cast<int>(rng() % 3);       // 2..4
     const int items = 60 + static_cast<int>(rng() % 40);      // 60..99
     const RELTIM produce_ms = 1 + static_cast<RELTIM>(rng() % 3);
     const std::uint64_t work_units = 40 + rng() % 200;
-    sim.set_user_main([&tk, stages, items, produce_ms, work_units] {
-        std::vector<ID> sems(static_cast<std::size_t>(stages));
-        for (auto& s : sems) {
-            T_CSEM cs;
-            cs.name = "stage";
-            s = tk.tk_cre_sem(cs);
-        }
-        // Producer feeds stage 0; stage i forwards to i+1.
-        T_CTSK prod;
-        prod.name = "producer";
-        prod.itskpri = 10;
-        prod.task = [&tk, sems, items, produce_ms](INT, void*) {
-            for (int i = 0; i < items; ++i) {
-                tk.tk_dly_tsk(produce_ms);
-                tk.tk_sig_sem(sems[0], 1);
-            }
-        };
-        tk.tk_sta_tsk(tk.tk_cre_tsk(prod), 0);
-        for (int s = 0; s < stages; ++s) {
-            T_CTSK st;
-            st.name = "stage" + std::to_string(s);
-            st.itskpri = static_cast<PRI>(5 + s);
-            st.task = [&tk, sems, s, stages, items, work_units](INT, void*) {
-                for (int i = 0; i < items; ++i) {
-                    if (tk.tk_wai_sem(sems[static_cast<std::size_t>(s)], 1,
-                                      TMO_FEVR) != E_OK) {
-                        return;
-                    }
-                    tk.sim().SIM_WaitUnits(work_units, sim::ExecContext::task);
-                    if (s + 1 < stages) {
-                        tk.tk_sig_sem(sems[static_cast<std::size_t>(s) + 1], 1);
-                    }
-                }
-            };
-            tk.tk_sta_tsk(tk.tk_cre_tsk(st), 0);
+
+    auto h = std::make_shared<api::SystemHandles>();
+    api::SystemBuilder b;
+    for (int s = 0; s < stages; ++s) {
+        b.semaphore("stage" + std::to_string(s));
+    }
+    // Producer feeds stage 0; stage i forwards to i+1.
+    b.task("producer").priority(10).autostart().body([tk, h, items, produce_ms] {
+        for (int i = 0; i < items; ++i) {
+            tk->tk_dly_tsk(produce_ms);
+            h->semaphores[0].signal().expect("stage 0 signal");
         }
     });
+    for (int s = 0; s < stages; ++s) {
+        b.task("stage" + std::to_string(s))
+            .priority(static_cast<PRI>(5 + s))
+            .autostart()
+            .body([tk, h, s, stages, items, work_units] {
+                for (int i = 0; i < items; ++i) {
+                    if (!h->semaphores[static_cast<std::size_t>(s)].wait().ok()) {
+                        return;
+                    }
+                    tk->sim().SIM_WaitUnits(work_units, sim::ExecContext::task);
+                    if (s + 1 < stages) {
+                        h->semaphores[static_cast<std::size_t>(s) + 1]
+                            .signal()
+                            .expect("stage forward");
+                    }
+                }
+            });
+    }
+    install_system(sim, std::move(b), h);
 }
 
 void eventflag_workload(Simulation& sim, const ScenarioSpec& spec) {
-    TKernel& tk = sim.os();
+    TKernel* tk = &sim.os();
     std::mt19937_64 rng(spec.seed);
     const int waiters = 2 + static_cast<int>(rng() % 4);  // 2..5
     const RELTIM period_ms = 2 + static_cast<RELTIM>(rng() % 5);
     const std::uint64_t work_units = 30 + rng() % 150;
-    sim.set_user_main([&tk, waiters, period_ms, work_units] {
-        T_CFLG cf;
-        cf.name = "burst";
-        const ID flg = tk.tk_cre_flg(cf);
-        for (int w = 0; w < waiters; ++w) {
-            T_CTSK wt;
-            wt.name = "waiter" + std::to_string(w);
-            wt.itskpri = static_cast<PRI>(4 + w);
-            const UINT bit = 1u << w;
-            wt.task = [&tk, flg, bit, work_units](INT, void*) {
-                for (;;) {
-                    UINT got = 0;
-                    if (tk.tk_wai_flg(flg, bit, TWF_ANDW | TWF_BITCLR, &got,
-                                      TMO_FEVR) != E_OK) {
-                        return;
-                    }
-                    tk.sim().SIM_WaitUnits(work_units, sim::ExecContext::task);
+
+    auto h = std::make_shared<api::SystemHandles>();
+    api::SystemBuilder b;
+    b.eventflag("burst");
+    for (int w = 0; w < waiters; ++w) {
+        const UINT bit = 1u << w;
+        b.task("waiter" + std::to_string(w))
+            .priority(static_cast<PRI>(4 + w))
+            .autostart()
+            .body([tk, h, bit, work_units] {
+                api::EventFlag& flg = h->eventflags[0];
+                while (flg.wait(bit, TWF_ANDW | TWF_BITCLR).ok()) {
+                    tk->sim().SIM_WaitUnits(work_units, sim::ExecContext::task);
                 }
-            };
-            tk.tk_sta_tsk(tk.tk_cre_tsk(wt), 0);
-        }
-        // Cyclic handler broadcasts one bit per activation, round robin.
-        T_CCYC cc;
-        cc.name = "burst_src";
-        cc.cyctim = period_ms;
-        cc.cycphs = period_ms;
-        cc.cycatr = TA_STA;
-        auto counter = std::make_shared<unsigned>(0);
-        cc.cychdr = [&tk, flg, waiters, counter](void*) {
-            tk.tk_set_flg(flg, 1u << (*counter % static_cast<unsigned>(waiters)));
+            });
+    }
+    // Cyclic handler broadcasts one bit per activation, round robin.
+    auto counter = std::make_shared<unsigned>(0);
+    b.cyclic("burst_src")
+        .period(period_ms)
+        .phase(period_ms)
+        .handler([h, waiters, counter](void*) {
+            h->eventflags[0]
+                .set(1u << (*counter % static_cast<unsigned>(waiters)))
+                .expect("burst set");
             ++*counter;
-        };
-        tk.tk_cre_cyc(cc);
-    });
+        });
+    install_system(sim, std::move(b), h);
 }
 
 void mutex_workload(Simulation& sim, const ScenarioSpec& spec) {
-    TKernel& tk = sim.os();
+    TKernel* tk = &sim.os();
     std::mt19937_64 rng(spec.seed);
     const int tasks = 3 + static_cast<int>(rng() % 3);  // 3..5
     const std::uint64_t hold_units = 80 + rng() % 300;
     const RELTIM think_ms = 1 + static_cast<RELTIM>(rng() % 4);
-    sim.set_user_main([&tk, tasks, hold_units, think_ms] {
-        T_CMTX cm;
-        cm.name = "bus";
-        cm.mtxatr = TA_INHERIT;
-        const ID mtx = tk.tk_cre_mtx(cm);
-        for (int t = 0; t < tasks; ++t) {
-            T_CTSK ct;
-            ct.name = "contender" + std::to_string(t);
-            ct.itskpri = static_cast<PRI>(3 + 2 * t);
-            ct.task = [&tk, mtx, hold_units, think_ms](INT, void*) {
+
+    auto h = std::make_shared<api::SystemHandles>();
+    api::SystemBuilder b;
+    b.mutex("bus").inherit();
+    for (int t = 0; t < tasks; ++t) {
+        b.task("contender" + std::to_string(t))
+            .priority(static_cast<PRI>(3 + 2 * t))
+            .autostart()
+            .body([tk, h, hold_units, think_ms] {
+                api::Mutex& bus = h->mutexes[0];
                 for (int round = 0; round < 60; ++round) {
-                    tk.tk_dly_tsk(think_ms);
-                    if (tk.tk_loc_mtx(mtx, TMO_FEVR) != E_OK) {
+                    tk->tk_dly_tsk(think_ms);
+                    if (!bus.lock().ok()) {
                         return;
                     }
-                    tk.sim().SIM_WaitUnits(hold_units, sim::ExecContext::task);
-                    tk.tk_unl_mtx(mtx);
+                    tk->sim().SIM_WaitUnits(hold_units, sim::ExecContext::task);
+                    bus.unlock().expect("bus unlock");
                 }
-            };
-            tk.tk_sta_tsk(tk.tk_cre_tsk(ct), 0);
-        }
-    });
+            });
+    }
+    install_system(sim, std::move(b), h);
 }
 
 void timer_workload(Simulation& sim, const ScenarioSpec& spec) {
-    TKernel& tk = sim.os();
+    TKernel* tk = &sim.os();
     std::mt19937_64 rng(spec.seed);
     const RELTIM cyc_ms = 3 + static_cast<RELTIM>(rng() % 6);
     const RELTIM alarm_ms = 20 + static_cast<RELTIM>(rng() % 40);
     const std::uint64_t work_units = 50 + rng() % 250;
-    sim.set_user_main([&tk, cyc_ms, alarm_ms, work_units] {
-        T_CSEM cs;
-        cs.name = "tick_work";
-        const ID sem = tk.tk_cre_sem(cs);
-        T_CTSK ct;
-        ct.name = "tick_worker";
-        ct.itskpri = 6;
-        ct.task = [&tk, sem, work_units](INT, void*) {
-            for (;;) {
-                if (tk.tk_wai_sem(sem, 1, TMO_FEVR) != E_OK) {
-                    return;
-                }
-                tk.sim().SIM_WaitUnits(work_units, sim::ExecContext::task);
-            }
-        };
-        const ID worker = tk.tk_cre_tsk(ct);
-        tk.tk_sta_tsk(worker, 0);
-        T_CCYC cc;
-        cc.name = "pacer";
-        cc.cyctim = cyc_ms;
-        cc.cycphs = cyc_ms;
-        cc.cycatr = TA_STA;
-        cc.cychdr = [&tk, sem](void*) { tk.tk_sig_sem(sem, 1); };
-        tk.tk_cre_cyc(cc);
-        T_CALM ca;
-        ca.name = "boost";
-        ca.almhdr = [&tk, worker](void*) { tk.tk_chg_pri(worker, 2); };
-        const ID alm = tk.tk_cre_alm(ca);
-        tk.tk_sta_alm(alm, alarm_ms);
+
+    auto h = std::make_shared<api::SystemHandles>();
+    api::SystemBuilder b;
+    b.semaphore("tick_work");
+    b.task("tick_worker").priority(6).autostart().body([tk, h, work_units] {
+        while (h->semaphores[0].wait().ok()) {
+            tk->sim().SIM_WaitUnits(work_units, sim::ExecContext::task);
+        }
     });
+    b.cyclic("pacer").period(cyc_ms).phase(cyc_ms).handler([h](void*) {
+        h->semaphores[0].signal().expect("pacer signal");
+    });
+    b.alarm("boost")
+        .handler([h](void*) {
+            h->tasks[0].change_priority(2).expect("priority boost");
+        })
+        .start_after(alarm_ms);
+    install_system(sim, std::move(b), h);
 }
 
 // ---- spec generation --------------------------------------------------------

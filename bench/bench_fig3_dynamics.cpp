@@ -5,7 +5,9 @@
 // system-clock quantum), interrupt delivery latency, nested-interrupt
 // entry, and the delayed-dispatching window.
 #include <cstdio>
+#include <memory>
 
+#include "api/api.hpp"
 #include "bench_util.hpp"
 #include "tkernel/tkernel.hpp"
 
@@ -42,91 +44,76 @@ int main() {
 
     sysc::Kernel k;
     TKernel tk{k};
+    api::System sys(tk);
     Latency wakeup_to_run;   // tk_wup_tsk -> task executing (same priority domain)
     Latency preempt_latency; // higher-pri ready -> running (quantum bound)
     Latency irq_latency;     // trigger_interrupt -> ISR body
     Latency delayed_window;  // wake inside ISR -> task dispatched after return
 
+    // Timestamps shared between the driver and the measured parties.
+    Time signal_at, hi_ready_at, irq_at, isr_done_at;
+
+    // The whole measurement rig as one declarative graph (the "hi" task
+    // is NOT autostarted: the driver re-starts it per sample).
+    auto h = std::make_shared<api::SystemHandles>();
+    api::SystemBuilder b;
+    b.semaphore("wake");
+    b.eventflag("irq_flg");
+
+    // --- wakeup-to-run: high-priority waiter woken by a lower task ---
+    b.task("waiter").priority(2).autostart().body([&] {
+        for (int i = 0; i < 10; ++i) {
+            if (!h->find_semaphore("wake")->wait().ok()) {
+                return;
+            }
+            wakeup_to_run.add(sysc::now() - signal_at);
+        }
+    });
+
+    // --- preemption latency: busy low-pri task vs periodic high-pri ---
+    b.task("busy").priority(30).autostart().body([&] {
+        tk.sim().SIM_Wait(Time::ms(200), sim::ExecContext::task);
+    });
+    b.task("hi").priority(1).body([&] {
+        preempt_latency.add(sysc::now() - hi_ready_at);
+    });
+
+    // --- interrupt latency + delayed dispatch window ---
+    b.task("irq_waiter").priority(3).autostart().body([&] {
+        while (h->find_eventflag("irq_flg")->wait(1, TWF_ORW | TWF_CLR).ok()) {
+            delayed_window.add(sysc::now() - isr_done_at);
+        }
+    });
+    b.interrupt(0).priority(2).handler([&](void*) {
+        irq_latency.add(sysc::now() - irq_at);
+        // dispatch postponed to handler return
+        h->find_eventflag("irq_flg")->set(1).expect("irq flag");
+        tk.sim().SIM_Wait(Time::us(150), sim::ExecContext::handler);
+        isr_done_at = sysc::now();
+    });
+
     tk.set_user_main([&] {
-        // --- wakeup-to-run: high-priority waiter woken by a lower task ---
-        T_CSEM cs;
-        const ID sem = tk.tk_cre_sem(cs);
-        Time signal_at;
-        T_CTSK waiter;
-        waiter.name = "waiter";
-        waiter.itskpri = 2;
-        waiter.task = [&](INT, void*) {
-            for (int i = 0; i < 10; ++i) {
-                if (tk.tk_wai_sem(sem, 1, TMO_FEVR) != E_OK) {
-                    return;
-                }
-                wakeup_to_run.add(sysc::now() - signal_at);
-            }
-        };
-        tk.tk_sta_tsk(tk.tk_cre_tsk(waiter), 0);
-
-        // --- preemption latency: busy low-pri task vs periodic high-pri ---
-        T_CTSK busy;
-        busy.name = "busy";
-        busy.itskpri = 30;
-        busy.task = [&](INT, void*) {
-            tk.sim().SIM_Wait(Time::ms(200), sim::ExecContext::task);
-        };
-        tk.tk_sta_tsk(tk.tk_cre_tsk(busy), 0);
-
-        Time hi_ready_at;
-        T_CTSK hi;
-        hi.name = "hi";
-        hi.itskpri = 1;
-        hi.task = [&](INT, void*) {
-            preempt_latency.add(sysc::now() - hi_ready_at);
-        };
-        const ID hi_id = tk.tk_cre_tsk(hi);
-
-        // --- interrupt latency + delayed dispatch window ---
-        Time irq_at, isr_done_at, woken_task_started;
-        T_CTSK irq_waiter;
-        irq_waiter.name = "irq_waiter";
-        irq_waiter.itskpri = 3;
-        T_CFLG cf;
-        const ID flg = tk.tk_cre_flg(cf);
-        irq_waiter.task = [&](INT, void*) {
-            for (;;) {
-                UINT p = 0;
-                if (tk.tk_wai_flg(flg, 1, TWF_ORW | TWF_CLR, &p, TMO_FEVR) != E_OK) {
-                    return;
-                }
-                delayed_window.add(sysc::now() - isr_done_at);
-            }
-        };
-        tk.tk_sta_tsk(tk.tk_cre_tsk(irq_waiter), 0);
-
-        T_DINT dint;
-        dint.intpri = 2;
-        dint.inthdr = [&](void*) {
-            irq_latency.add(sysc::now() - irq_at);
-            tk.tk_set_flg(flg, 1);  // dispatch postponed to handler return
-            tk.sim().SIM_Wait(Time::us(150), sim::ExecContext::handler);
-            isr_done_at = sysc::now();
-        };
-        tk.tk_def_int(0, dint);
+        *h = std::move(b.instantiate(sys)).value();
+        api::Semaphore& sem = *h->find_semaphore("wake");
+        api::Task& hi = *h->find_task("hi");
 
         // Driver sequence.
         for (int i = 0; i < 10; ++i) {
             tk.tk_dly_tsk(7);
             signal_at = sysc::now();
-            tk.tk_sig_sem(sem, 1);
+            sem.signal().expect("wake signal");
 
             tk.tk_dly_tsk(3);
             if (i < 5) {
                 hi_ready_at = sysc::now();
-                tk.tk_sta_tsk(hi_id, 0);
+                hi.start().expect("restart hi");
                 tk.tk_dly_tsk(2);
             }
             irq_at = sysc::now();
             tk.trigger_interrupt(0);
             tk.tk_dly_tsk(3);
         }
+        h->release_all();
     });
 
     tk.power_on();

@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "api/expected.hpp"
 #include "bench_util.hpp"
 #include "kernels/rtk_spec.hpp"
 #include "tkernel/tkernel.hpp"
@@ -64,7 +65,9 @@ Row run_tron() {
             ct.name = name;
             ct.itskpri = pri;
             ct.task = [fn = std::move(fn)](INT, void*) { fn(); };
-            tk.tk_sta_tsk(tk.tk_cre_tsk(ct), 0);
+            const ID tid = tk.tk_cre_tsk(ct);
+            api::Status::from_er(tid).expect("create bench task");
+            api::Status::from_er(tk.tk_sta_tsk(tid, 0)).expect("start bench task");
         };
         spawn("worker", 10, [&] {
             tk.sim().SIM_Wait(Time::ms(15), sim::ExecContext::task);

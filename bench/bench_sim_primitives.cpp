@@ -5,6 +5,7 @@
 // magnitude faster than ISS co-simulation.
 #include <benchmark/benchmark.h>
 
+#include "api/expected.hpp"
 #include "sim/sim.hpp"
 #include "sysc/sysc.hpp"
 #include "tkernel/tkernel.hpp"
@@ -80,8 +81,11 @@ void BM_ServiceCallOverhead(benchmark::State& state) {
         cs.isemcnt = 1 << 30;
         cs.maxsem = 1 << 30;
         sem = tk.tk_cre_sem(cs);
+        api::Status::from_er(sem).expect("create bench semaphore");
         for (;;) {
-            tk.tk_wai_sem(sem, 1, tkernel::TMO_POL);
+            // The measured operation itself: a polling wait per iteration
+            // (E_TMOUT once the huge initial count is drained is fine).
+            (void)tk.tk_wai_sem(sem, 1, tkernel::TMO_POL);
         }
     });
     tk.power_on();
@@ -106,7 +110,9 @@ void BM_FullKernelTick(benchmark::State& state) {
                 tk.sim().SIM_Wait(Time::ms(10), sim::ExecContext::task);
             }
         };
-        tk.tk_sta_tsk(tk.tk_cre_tsk(ct), 0);
+        const tkernel::ID tid = tk.tk_cre_tsk(ct);
+        api::Status::from_er(tid).expect("create idle task");
+        api::Status::from_er(tk.tk_sta_tsk(tid, 0)).expect("start idle task");
     });
     tk.power_on();
     k.run_until(Time::ms(2));

@@ -1,5 +1,7 @@
 // Interrupt handling demo: external IRQs, nested interrupts, delayed
-// dispatching -- the kernel dynamics of the paper's Fig 3.
+// dispatching -- the kernel dynamics of the paper's Fig 3, driven
+// through the rtk::api facade (interrupt vectors are part of the
+// declarative SystemBuilder graph).
 //
 //   $ ./interrupt_latency
 //
@@ -8,12 +10,12 @@
 // point, nesting of the high-priority ISR, and the postponed task switch
 // (delayed dispatching) at handler return.
 #include <cstdio>
+#include <memory>
 
+#include "api/api.hpp"
 #include "harness/simulation.hpp"
-#include "tkernel/tkernel.hpp"
 
 using namespace rtk;
-using namespace rtk::tkernel;
 using sysc::Time;
 
 namespace {
@@ -24,63 +26,47 @@ void stamp(const char* what) {
 
 int main() {
     Simulation sim;
-    TKernel& tk = sim.os();
+    tkernel::TKernel& tk = sim.os();
+    api::System sys(tk);
 
-    tk.set_user_main([&] {
-        T_CSEM cs;
-        cs.name = "work";
-        const ID sem = tk.tk_cre_sem(cs);
+    auto h = std::make_shared<api::SystemHandles>();
+    api::SystemBuilder b;
+    b.semaphore("work");
 
-        // A high-priority task woken from inside the ISR: its dispatch is
-        // delayed until the (outermost) handler returns.
-        T_CTSK hi;
-        hi.name = "urgent";
-        hi.itskpri = 1;
-        hi.task = [&](INT, void*) {
-            for (;;) {
-                if (tk.tk_wai_sem(sem, 1, TMO_FEVR) != E_OK) {
-                    return;
-                }
-                stamp("urgent task dispatched (delayed until ISR returned)");
-            }
-        };
-        tk.tk_sta_tsk(tk.tk_cre_tsk(hi), 0);
-
-        // Low-priority ISR: long handler, wakes the urgent task mid-way.
-        T_DINT lo_isr;
-        lo_isr.intpri = 5;
-        lo_isr.inthdr = [&](void*) {
-            stamp("ISR#0 (low prio) entered");
-            tk.sim().SIM_Wait(Time::ms(2), sim::ExecContext::handler);
-            tk.tk_sig_sem(sem, 1);
-            stamp("ISR#0 signalled urgent task (dispatch postponed)");
-            tk.sim().SIM_Wait(Time::ms(1), sim::ExecContext::handler);
-            stamp("ISR#0 returning");
-        };
-        tk.tk_def_int(0, lo_isr);
-
-        // High-priority ISR nests into the low one.
-        T_DINT hi_isr;
-        hi_isr.intpri = 1;
-        hi_isr.inthdr = [&](void*) {
-            stamp("  ISR#1 (high prio) nested in");
-            tk.sim().SIM_Wait(Time::us(300), sim::ExecContext::handler);
-            stamp("  ISR#1 done");
-        };
-        tk.tk_def_int(1, hi_isr);
-
-        // Background task that gets interrupted.
-        T_CTSK bg;
-        bg.name = "background";
-        bg.itskpri = 20;
-        bg.task = [&](INT, void*) {
-            stamp("background task starts 20 ms of work");
-            tk.sim().SIM_Wait(Time::ms(20), sim::ExecContext::task);
-            stamp("background task finished its work");
-        };
-        tk.tk_sta_tsk(tk.tk_cre_tsk(bg), 0);
+    // A high-priority task woken from inside the ISR: its dispatch is
+    // delayed until the (outermost) handler returns.
+    b.task("urgent").priority(1).autostart().body([h] {
+        api::Semaphore& sem = *h->find_semaphore("work");
+        while (sem.wait().ok()) {
+            stamp("urgent task dispatched (delayed until ISR returned)");
+        }
     });
 
+    // Low-priority ISR: long handler, wakes the urgent task mid-way.
+    b.interrupt(0).priority(5).handler([&tk, h](void*) {
+        stamp("ISR#0 (low prio) entered");
+        tk.sim().SIM_Wait(Time::ms(2), sim::ExecContext::handler);
+        h->find_semaphore("work")->signal().expect("signal from ISR#0");
+        stamp("ISR#0 signalled urgent task (dispatch postponed)");
+        tk.sim().SIM_Wait(Time::ms(1), sim::ExecContext::handler);
+        stamp("ISR#0 returning");
+    });
+
+    // High-priority ISR nests into the low one.
+    b.interrupt(1).priority(1).handler([&tk](void*) {
+        stamp("  ISR#1 (high prio) nested in");
+        tk.sim().SIM_Wait(Time::us(300), sim::ExecContext::handler);
+        stamp("  ISR#1 done");
+    });
+
+    // Background task that gets interrupted.
+    b.task("background").priority(20).autostart().body([&tk] {
+        stamp("background task starts 20 ms of work");
+        tk.sim().SIM_Wait(Time::ms(20), sim::ExecContext::task);
+        stamp("background task finished its work");
+    });
+
+    sim.set_user_main([&] { *h = std::move(b.instantiate(sys)).value(); });
     sim.power_on();
 
     // Fire interrupts from the "hardware" side.
@@ -107,5 +93,6 @@ int main() {
                    .render_ascii(Time::ms(4), Time::ms(14), Time::us(250))
                    .c_str(),
                stdout);
+    h->release_all();
     return 0;
 }

@@ -1,78 +1,80 @@
 // Quickstart: boot RTK-Spec TRON, run two communicating tasks, and print
-// the execution trace -- the smallest useful co-simulation.
+// the execution trace -- the smallest useful co-simulation, written
+// against the modern rtk::api facade (typed handles + Expected results +
+// declarative SystemBuilder). The paper-faithful tk_* surface is still
+// there underneath; examples/sync_showcase.cpp tours more of it.
 //
 //   $ ./quickstart
-//
-// Walks through the core API: the Simulation context handle, user main,
-// task creation, a semaphore, timed sleep, and the Gantt/statistics
-// output.
 #include <cstdio>
+#include <memory>
 
+#include "api/api.hpp"
 #include "harness/simulation.hpp"
 #include "tkds/tkds.hpp"
-#include "tkernel/tkernel.hpp"
 
 using namespace rtk;
-using namespace rtk::tkernel;
+using sysc::Time;
 
 int main() {
     // 1. One Simulation = one complete co-simulation context: the
     //    SystemC-equivalent kernel plus the RTOS kernel model on top.
-    //    Any number of these may coexist (even on worker threads).
+    //    api::System is the typed facade over that kernel.
     Simulation sim;
-    TKernel& tk = sim.os();
+    tkernel::TKernel& tk = sim.os();
+    api::System sys(tk);
 
-    ID sem = 0;
+    // 2. Declare the whole system up front. Handles land in `h` when the
+    //    graph is instantiated; task bodies reach their objects there.
+    auto h = std::make_shared<api::SystemHandles>();
+    api::SystemBuilder b;
+    b.semaphore("data_ready");
+    b.task("producer").priority(10).autostart().body([&tk, h] {
+        api::Semaphore& sem = *h->find_semaphore("data_ready");
+        for (int i = 1; i <= 3; ++i) {
+            tk.tk_dly_tsk(10);  // produce every 10 ms
+            std::printf("[%8s] producer: item %d ready\n",
+                        sysc::now().to_string().c_str(), i);
+            sem.signal().expect("signal data_ready");
+        }
+    });
+    b.task("consumer").priority(5).autostart().body([&tk, h] {  // more urgent
+        api::Semaphore& sem = *h->find_semaphore("data_ready");
+        for (int i = 1; i <= 3; ++i) {
+            // [[nodiscard]] Status: the 100 ms timeout cannot be
+            // silently dropped on the floor.
+            if (const api::Status st = sem.wait(1, 100); st.ok()) {
+                // Model 2 ms of processing (ETM annotation).
+                tk.sim().SIM_Wait(Time::ms(2), sim::ExecContext::task);
+                std::printf("[%8s] consumer: item %d processed\n",
+                            sysc::now().to_string().c_str(), i);
+            } else {
+                std::printf("[%8s] consumer: wait failed: %s\n",
+                            sysc::now().to_string().c_str(), st.name());
+            }
+        }
+    });
 
     // 3. The user main runs inside the initial task after boot, exactly
-    //    as on a real T-Kernel system: create resources and tasks here.
-    tk.set_user_main([&] {
-        T_CSEM csem;
-        csem.name = "data_ready";
-        sem = tk.tk_cre_sem(csem);
-
-        T_CTSK producer;
-        producer.name = "producer";
-        producer.itskpri = 10;
-        producer.task = [&](INT, void*) {
-            for (int i = 1; i <= 3; ++i) {
-                tk.tk_dly_tsk(10);  // produce every 10 ms
-                std::printf("[%8s] producer: item %d ready\n",
-                            sysc::now().to_string().c_str(), i);
-                tk.tk_sig_sem(sem, 1);
-            }
-        };
-        tk.tk_sta_tsk(tk.tk_cre_tsk(producer), 0);
-
-        T_CTSK consumer;
-        consumer.name = "consumer";
-        consumer.itskpri = 5;  // more urgent than the producer
-        consumer.task = [&](INT, void*) {
-            for (int i = 1; i <= 3; ++i) {
-                if (tk.tk_wai_sem(sem, 1, 100) == E_OK) {
-                    // Model 2 ms of processing (ETM annotation).
-                    tk.sim().SIM_Wait(sysc::Time::ms(2), sim::ExecContext::task);
-                    std::printf("[%8s] consumer: item %d processed\n",
-                                sysc::now().to_string().c_str(), i);
-                }
-            }
-        };
-        tk.tk_sta_tsk(tk.tk_cre_tsk(consumer), 0);
-    });
+    //    as on a real T-Kernel system: instantiate the graph there.
+    sim.set_user_main([&] { *h = std::move(b.instantiate(sys)).value(); });
 
     // 4. Release the reset and simulate 50 ms.
     sim.power_on();
-    sim.run_until(sysc::Time::ms(50));
+    sim.run_until(Time::ms(50));
 
     // 5. Inspect the run: Gantt chart and per-task statistics.
     std::puts("\nExecution trace (# task, o service call, '.' idle):");
     std::fputs(tk.sim()
                    .gantt()
-                   .render_ascii(sysc::Time::zero(), sysc::Time::ms(40),
-                                 sysc::Time::ms(1))
+                   .render_ascii(Time::zero(), Time::ms(40), Time::ms(1))
                    .c_str(),
                stdout);
     std::puts("\nTask table (T-Kernel/DS view):");
     std::fputs(tkds::render_task_table(tk).c_str(), stdout);
+
+    // 6. The handles in `h` still own the objects (RAII would delete
+    //    them through the facade); hand them to the kernel instead --
+    //    teardown reclaims everything when `sim` dies.
+    h->release_all();
     return 0;
 }

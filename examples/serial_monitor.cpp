@@ -7,6 +7,7 @@
 // monitor task answers through the UART using T-Kernel/DS functions.
 #include <cstdio>
 
+#include "api/api.hpp"
 #include "app/monitor.hpp"
 #include "app/videogame.hpp"
 #include "harness/simulation.hpp"
@@ -49,5 +50,13 @@ int main() {
                 static_cast<unsigned long long>(monitor.commands_executed()),
                 static_cast<unsigned long long>(monitor.unknown_commands()),
                 static_cast<unsigned long long>(game.frames_rendered()));
+
+    // The monitor task (built through api::SystemBuilder in
+    // SerialMonitor::setup) should be parked on its RX event flag.
+    tkernel::T_RTSK r{};
+    if (tk.tk_ref_tsk(monitor.task_id(), &r) == tkernel::E_OK) {
+        std::printf("monitor task state: %s\n",
+                    api::describe_task_state(r).c_str());
+    }
     return 0;
 }

@@ -1,14 +1,17 @@
-// Tour of every T-Kernel synchronisation & communication object class:
-// semaphore, event flags, mailbox, mutex (priority inheritance), message
-// buffer, fixed and variable memory pools.
+// Tour of every T-Kernel synchronisation & communication object class
+// through the rtk::api facade: semaphore, event flags, mailbox, mutex
+// (priority inheritance), message buffer, fixed and variable memory
+// pools -- one declarative SystemBuilder graph, typed handles in the
+// task bodies, every error path a [[nodiscard]] Status/Expected.
 //
 //   $ ./sync_showcase
 #include <cstdio>
 #include <cstring>
+#include <memory>
 
+#include "api/api.hpp"
 #include "harness/simulation.hpp"
 #include "tkds/tkds.hpp"
-#include "tkernel/tkernel.hpp"
 
 using namespace rtk;
 using namespace rtk::tkernel;
@@ -23,87 +26,65 @@ void stamp(const char* what) {
 int main() {
     Simulation sim;
     TKernel& tk = sim.os();
+    api::System sys(tk);
 
-    tk.set_user_main([&] {
-        // ---- event flags: split-phase start signal ----
-        T_CFLG cf;
-        cf.name = "go";
-        const ID flg = tk.tk_cre_flg(cf);
+    auto h = std::make_shared<api::SystemHandles>();
+    api::SystemBuilder b;
 
-        // ---- message buffer: by-value telemetry channel ----
-        T_CMBF cb;
-        cb.name = "telemetry";
-        cb.bufsz = 64;
-        cb.maxmsz = 16;
-        const ID mbf = tk.tk_cre_mbf(cb);
+    // ---- the object graph, declared in one place ----
+    b.eventflag("go");                                    // split-phase start signal
+    b.msgbuf("telemetry").buffer_size(64).max_message(16);  // by-value channel
+    b.mutex("shared_bus").inherit();                      // priority inheritance
+    b.fixed_pool("frames").blocks(4).block_size(32);      // message frames
+    b.var_pool("scratch").size(256);                      // variable-size scratch
 
-        // ---- mutex with priority inheritance guarding a "bus" ----
-        T_CMTX cm;
-        cm.name = "shared_bus";
-        cm.mtxatr = TA_INHERIT;
-        const ID mtx = tk.tk_cre_mtx(cm);
+    // low-priority task holds the bus; the high one inherits through it
+    b.task("logger").priority(30).autostart().body([&tk, h] {
+        h->find_eventflag("go")->wait(0x1, TWF_ORW).expect("go signal");
+        api::Mutex& bus = *h->find_mutex("shared_bus");
+        bus.lock().expect("bus lock");
+        stamp("logger grabbed the bus (priority 30)");
+        tk.sim().SIM_Wait(Time::ms(8), sim::ExecContext::task);
+        const T_RTSK self = h->find_task("logger")->ref().value();
+        std::printf("             ... logger now runs at priority %d "
+                    "(inherited from the controller)\n",
+                    self.tskpri);
+        bus.unlock().expect("bus unlock");
+        stamp("logger released the bus");
+    });
 
-        // ---- fixed pool for message frames ----
-        T_CMPF cp;
-        cp.name = "frames";
-        cp.mpfcnt = 4;
-        cp.blfsz = 32;
-        const ID mpf = tk.tk_cre_mpf(cp);
+    b.task("controller").priority(5).autostart().body([&tk, h] {
+        tk.tk_dly_tsk(3);
+        stamp("controller wants the bus (priority 5, blocks)");
+        api::Mutex& bus = *h->find_mutex("shared_bus");
+        bus.lock().expect("bus lock");
+        stamp("controller got the bus");
+        // ship a frame through pool + message buffer; scratch from the
+        // variable pool for composing it
+        void* scratch = h->find_var_pool("scratch")->get(64).value();
+        void* blk = h->find_fixed_pool("frames")->get().value();
+        std::snprintf(static_cast<char*>(scratch), 64, "frame@%llu",
+                      static_cast<unsigned long long>(sysc::now().to_ms()));
+        std::memcpy(blk, scratch, 16);
+        h->find_msgbuf("telemetry")->send(blk, 16).expect("telemetry send");
+        h->find_fixed_pool("frames")->put(blk).expect("frame release");
+        h->find_var_pool("scratch")->put(scratch).expect("scratch release");
+        bus.unlock().expect("bus unlock");
+    });
 
-        // low-priority task holds the bus; the high one inherits through it
-        T_CTSK lo;
-        lo.name = "logger";
-        lo.itskpri = 30;
-        lo.task = [&](INT, void*) {
-            UINT ptn = 0;
-            tk.tk_wai_flg(flg, 0x1, TWF_ORW, &ptn, TMO_FEVR);
-            tk.tk_loc_mtx(mtx, TMO_FEVR);
-            stamp("logger grabbed the bus (priority 30)");
-            tk.sim().SIM_Wait(Time::ms(8), sim::ExecContext::task);
-            T_RTSK self;
-            tk.tk_ref_tsk(TSK_SELF, &self);
-            std::printf("             ... logger now runs at priority %d "
-                        "(inherited from the controller)\n",
-                        self.tskpri);
-            tk.tk_unl_mtx(mtx);
-            stamp("logger released the bus");
-        };
-        tk.tk_sta_tsk(tk.tk_cre_tsk(lo), 0);
+    b.task("receiver").priority(8).autostart().body([h] {
+        char buf[16] = {};
+        const Expected<INT> n = h->find_msgbuf("telemetry")->receive(buf);
+        if (n.ok() && *n > 0) {
+            std::printf("[%10s] receiver got %d bytes: \"%s\"\n",
+                        sysc::now().to_string().c_str(), *n, buf);
+        }
+    });
 
-        T_CTSK hi;
-        hi.name = "controller";
-        hi.itskpri = 5;
-        hi.task = [&](INT, void*) {
-            tk.tk_dly_tsk(3);
-            stamp("controller wants the bus (priority 5, blocks)");
-            tk.tk_loc_mtx(mtx, TMO_FEVR);
-            stamp("controller got the bus");
-            // ship a frame through pool + message buffer
-            void* blk = nullptr;
-            tk.tk_get_mpf(mpf, &blk, TMO_FEVR);
-            std::snprintf(static_cast<char*>(blk), 32, "frame@%llu",
-                          static_cast<unsigned long long>(sysc::now().to_ms()));
-            tk.tk_snd_mbf(mbf, blk, 16, TMO_FEVR);
-            tk.tk_rel_mpf(mpf, blk);
-            tk.tk_unl_mtx(mtx);
-        };
-        tk.tk_sta_tsk(tk.tk_cre_tsk(hi), 0);
-
-        T_CTSK rx;
-        rx.name = "receiver";
-        rx.itskpri = 8;
-        rx.task = [&](INT, void*) {
-            char buf[16] = {};
-            const INT n = tk.tk_rcv_mbf(mbf, buf, TMO_FEVR);
-            if (n > 0) {
-                std::printf("[%10s] receiver got %d bytes: \"%s\"\n",
-                            sysc::now().to_string().c_str(), n, buf);
-            }
-        };
-        tk.tk_sta_tsk(tk.tk_cre_tsk(rx), 0);
-
+    sim.set_user_main([&] {
+        *h = std::move(b.instantiate(sys)).value();
         stamp("init: releasing everyone via the event flag");
-        tk.tk_set_flg(flg, 0x1);
+        h->find_eventflag("go")->set(0x1).expect("go");
     });
 
     sim.power_on();
@@ -111,5 +92,6 @@ int main() {
 
     std::puts("\nFinal kernel object state:");
     std::fputs(tkds::render_listing(tk).c_str(), stdout);
+    h->release_all();  // kernel teardown reclaims the graph
     return 0;
 }

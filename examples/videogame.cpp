@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "api/api.hpp"
 #include "app/videogame.hpp"
 #include "gui/gui.hpp"
 #include "harness/simulation.hpp"
@@ -68,5 +69,22 @@ int main(int argc, char** argv) {
 
     std::puts("\n=== T-Kernel/DS listing (Fig 8) ===");
     std::fputs(tkds::render_listing(tk).c_str(), stdout);
+
+    // Where did every game task end up? (api wait-cause pretty-printers;
+    // the game's object graph itself was built through api::SystemBuilder
+    // -- see app::VideoGame::setup.)
+    std::puts("\n=== final task states (rtk::api view) ===");
+    const tkernel::ID ids[] = {game.lcd_task(), game.keypad_task(),
+                               game.ssd_task(), game.idle_task()};
+    for (tkernel::ID id : ids) {
+        if (id == 0) {
+            continue;
+        }
+        tkernel::T_RTSK r{};
+        if (tk.tk_ref_tsk(id, &r) == tkernel::E_OK) {
+            std::printf("  task %-2d %s\n", id,
+                        api::describe_task_state(r).c_str());
+        }
+    }
     return 0;
 }

@@ -1,0 +1,11 @@
+// Umbrella header for rtk::api -- the modern, typed front door to the
+// RTK-Spec TRON simulator (the paper-faithful tk_*/SIM_* surface lives
+// underneath, untouched).
+#pragma once
+
+#include "api/builder.hpp"
+#include "api/error.hpp"
+#include "api/expected.hpp"
+#include "api/handles.hpp"
+#include "api/json.hpp"
+#include "api/system.hpp"

@@ -1,0 +1,511 @@
+#include "api/builder.hpp"
+
+#include <utility>
+
+namespace rtk::api {
+
+using namespace rtk::tkernel;
+
+// ---- SystemSpec -------------------------------------------------------------
+
+std::size_t SystemSpec::object_count() const {
+    return semaphores.size() + eventflags.size() + mutexes.size() +
+           mailboxes.size() + msgbufs.size() + fixed_pools.size() +
+           var_pools.size() + tasks.size() + cyclics.size() + alarms.size() +
+           interrupts.size();
+}
+
+// ---- SystemHandles ----------------------------------------------------------
+
+template <typename H>
+H* SystemHandles::find_in(std::vector<H>& vec, Kind kind, const std::string& name) {
+    const auto& names = names_[static_cast<std::size_t>(kind)];
+    auto it = names.find(name);
+    if (it == names.end() || it->second >= vec.size()) {
+        return nullptr;
+    }
+    return &vec[it->second];
+}
+
+Task* SystemHandles::find_task(const std::string& name) {
+    return find_in(tasks, Kind::task, name);
+}
+Semaphore* SystemHandles::find_semaphore(const std::string& name) {
+    return find_in(semaphores, Kind::semaphore, name);
+}
+EventFlag* SystemHandles::find_eventflag(const std::string& name) {
+    return find_in(eventflags, Kind::eventflag, name);
+}
+Mutex* SystemHandles::find_mutex(const std::string& name) {
+    return find_in(mutexes, Kind::mutex, name);
+}
+Mailbox* SystemHandles::find_mailbox(const std::string& name) {
+    return find_in(mailboxes, Kind::mailbox, name);
+}
+MsgBuf* SystemHandles::find_msgbuf(const std::string& name) {
+    return find_in(msgbufs, Kind::msgbuf, name);
+}
+FixedPool* SystemHandles::find_fixed_pool(const std::string& name) {
+    return find_in(fixed_pools, Kind::fixed_pool, name);
+}
+VarPool* SystemHandles::find_var_pool(const std::string& name) {
+    return find_in(var_pools, Kind::var_pool, name);
+}
+Cyclic* SystemHandles::find_cyclic(const std::string& name) {
+    return find_in(cyclics, Kind::cyclic, name);
+}
+Alarm* SystemHandles::find_alarm(const std::string& name) {
+    return find_in(alarms, Kind::alarm, name);
+}
+
+void SystemHandles::release_all() {
+    for (auto& h : semaphores) h.release();
+    for (auto& h : eventflags) h.release();
+    for (auto& h : mutexes) h.release();
+    for (auto& h : mailboxes) h.release();
+    for (auto& h : msgbufs) h.release();
+    for (auto& h : fixed_pools) h.release();
+    for (auto& h : var_pools) h.release();
+    for (auto& h : tasks) h.release();
+    for (auto& h : cyclics) h.release();
+    for (auto& h : alarms) h.release();
+}
+
+// ---- instantiation ----------------------------------------------------------
+
+Expected<SystemHandles> instantiate(System& sys, const SystemSpec& spec) {
+    SystemHandles out;
+
+    // One class at a time; failure returns the first error and the
+    // already-created handles roll the partial graph back via RAII.
+    const auto create_class = [&out](auto& dst, Kind kind, const auto& nodes,
+                                     auto&& create) -> ER {
+        auto& names = out.names_[static_cast<std::size_t>(kind)];
+        dst.reserve(nodes.size());
+        for (const auto& node : nodes) {
+            // Names key the handle lookup: a duplicate would silently
+            // shadow every later same-named object, so reject it.
+            if (!names.emplace(node.def.name, dst.size()).second) {
+                return E_PAR;
+            }
+            auto h = create(node);
+            if (!h.ok()) {
+                return h.er();
+            }
+            dst.push_back(std::move(h).value());
+        }
+        return E_OK;
+    };
+
+    ER er = create_class(out.semaphores, Kind::semaphore, spec.semaphores,
+                         [&](const SemNode& n) { return sys.create_semaphore(n.def); });
+    if (er == E_OK) {
+        er = create_class(out.eventflags, Kind::eventflag, spec.eventflags,
+                          [&](const FlgNode& n) { return sys.create_eventflag(n.def); });
+    }
+    if (er == E_OK) {
+        er = create_class(out.mutexes, Kind::mutex, spec.mutexes,
+                          [&](const MtxNode& n) { return sys.create_mutex(n.def); });
+    }
+    if (er == E_OK) {
+        er = create_class(out.mailboxes, Kind::mailbox, spec.mailboxes,
+                          [&](const MbxNode& n) { return sys.create_mailbox(n.def); });
+    }
+    if (er == E_OK) {
+        er = create_class(out.msgbufs, Kind::msgbuf, spec.msgbufs,
+                          [&](const MbfNode& n) { return sys.create_msgbuf(n.def); });
+    }
+    if (er == E_OK) {
+        er = create_class(out.fixed_pools, Kind::fixed_pool, spec.fixed_pools,
+                          [&](const MpfNode& n) { return sys.create_fixed_pool(n.def); });
+    }
+    if (er == E_OK) {
+        er = create_class(out.var_pools, Kind::var_pool, spec.var_pools,
+                          [&](const MplNode& n) { return sys.create_var_pool(n.def); });
+    }
+    if (er == E_OK) {
+        er = create_class(out.tasks, Kind::task, spec.tasks, [&](const TaskNode& n) {
+            auto t = sys.create_task(n.def);
+            if (t.ok() && n.tex.texhdr) {
+                if (const Status st = t.value().define_exception_handler(n.tex);
+                    !st.ok()) {
+                    return Expected<Task>::failure(st.er());
+                }
+            }
+            return t;
+        });
+    }
+    if (er == E_OK) {
+        // Start autostart tasks only after the whole task set exists, so
+        // early tasks can address late ones from their first instruction.
+        for (std::size_t i = 0; i < spec.tasks.size() && er == E_OK; ++i) {
+            if (spec.tasks[i].auto_start) {
+                er = out.tasks[i].start(spec.tasks[i].stacd).er();
+            }
+        }
+    }
+    if (er == E_OK) {
+        er = create_class(out.cyclics, Kind::cyclic, spec.cyclics,
+                          [&](const CycNode& n) { return sys.create_cyclic(n.def); });
+    }
+    if (er == E_OK) {
+        er = create_class(out.alarms, Kind::alarm, spec.alarms, [&](const AlmNode& n) {
+            auto a = sys.create_alarm(n.def);
+            if (a.ok() && n.start_after_ms > 0) {
+                if (const Status st = a.value().start(n.start_after_ms); !st.ok()) {
+                    return Expected<Alarm>::failure(st.er());
+                }
+            }
+            return a;
+        });
+    }
+    if (er == E_OK) {
+        for (const IntNode& n : spec.interrupts) {
+            T_DINT di;
+            di.intpri = n.pri;
+            di.inthdr = n.hdr;
+            er = sys.os().tk_def_int(n.intno, di);
+            if (er == E_OBJ && n.skip_if_claimed) {
+                er = E_OK;
+                continue;
+            }
+            if (er != E_OK) {
+                break;
+            }
+            out.interrupts.push_back(n.intno);
+        }
+    }
+
+    if (er != E_OK) {
+        // Handle RAII rolls the object graph back; interrupt vectors
+        // have no handle, so undo them here to honor the full-rollback
+        // contract (a leftover handler would capture freed state).
+        for (const UINT intno : out.interrupts) {
+            (void)sys.os().tk_undef_int(intno);
+        }
+        out.interrupts.clear();
+        return Expected<SystemHandles>::failure(er);
+    }
+    return out;
+}
+
+// ---- JSON round-trip (structural part only) ---------------------------------
+
+namespace {
+
+Json u(std::uint64_t v) { return Json::number(v); }
+Json i(std::int64_t v) { return Json::number_signed(v); }
+Json b(bool v) { return Json::boolean(v); }
+Json s(const std::string& v) { return Json::string(v); }
+
+}  // namespace
+
+Json SystemSpec::to_json() const {
+    Json j = Json::object();
+    j.set("rtk_system_spec", u(1));
+
+    Json jt = Json::array();
+    for (const TaskNode& n : tasks) {
+        Json o = Json::object();
+        o.set("name", s(n.def.name));
+        o.set("pri", i(n.def.priority));
+        o.set("stack", u(n.def.stack_size));
+        o.set("autostart", b(n.auto_start));
+        o.set("stacd", i(n.stacd));
+        o.set("tex", b(static_cast<bool>(n.tex.texhdr)));
+        jt.push(std::move(o));
+    }
+    j.set("tasks", std::move(jt));
+
+    Json js = Json::array();
+    for (const SemNode& n : semaphores) {
+        Json o = Json::object();
+        o.set("name", s(n.def.name));
+        o.set("initial", i(n.def.initial));
+        o.set("max", i(n.def.max));
+        o.set("tpri", b(n.def.priority_queue));
+        o.set("cnt", b(n.def.count_order));
+        js.push(std::move(o));
+    }
+    j.set("semaphores", std::move(js));
+
+    Json jf = Json::array();
+    for (const FlgNode& n : eventflags) {
+        Json o = Json::object();
+        o.set("name", s(n.def.name));
+        o.set("initial", u(n.def.initial));
+        o.set("tpri", b(n.def.priority_queue));
+        o.set("wmul", b(n.def.multi_waiter));
+        jf.push(std::move(o));
+    }
+    j.set("eventflags", std::move(jf));
+
+    Json jm = Json::array();
+    for (const MtxNode& n : mutexes) {
+        Json o = Json::object();
+        o.set("name", s(n.def.name));
+        o.set("protocol", u(static_cast<std::uint8_t>(n.def.protocol)));
+        o.set("ceiling", i(n.def.ceiling));
+        jm.push(std::move(o));
+    }
+    j.set("mutexes", std::move(jm));
+
+    Json jx = Json::array();
+    for (const MbxNode& n : mailboxes) {
+        Json o = Json::object();
+        o.set("name", s(n.def.name));
+        o.set("tpri", b(n.def.priority_queue));
+        o.set("mpri", b(n.def.priority_messages));
+        jx.push(std::move(o));
+    }
+    j.set("mailboxes", std::move(jx));
+
+    Json jb = Json::array();
+    for (const MbfNode& n : msgbufs) {
+        Json o = Json::object();
+        o.set("name", s(n.def.name));
+        o.set("bufsz", i(n.def.buffer_size));
+        o.set("maxmsz", i(n.def.max_message));
+        o.set("tpri", b(n.def.priority_queue));
+        jb.push(std::move(o));
+    }
+    j.set("msgbufs", std::move(jb));
+
+    Json jp = Json::array();
+    for (const MpfNode& n : fixed_pools) {
+        Json o = Json::object();
+        o.set("name", s(n.def.name));
+        o.set("blocks", i(n.def.blocks));
+        o.set("blksz", i(n.def.block_size));
+        o.set("tpri", b(n.def.priority_queue));
+        jp.push(std::move(o));
+    }
+    j.set("fixed_pools", std::move(jp));
+
+    Json jv = Json::array();
+    for (const MplNode& n : var_pools) {
+        Json o = Json::object();
+        o.set("name", s(n.def.name));
+        o.set("size", i(n.def.size));
+        o.set("tpri", b(n.def.priority_queue));
+        jv.push(std::move(o));
+    }
+    j.set("var_pools", std::move(jv));
+
+    Json jc = Json::array();
+    for (const CycNode& n : cyclics) {
+        Json o = Json::object();
+        o.set("name", s(n.def.name));
+        o.set("period", u(n.def.period_ms));
+        o.set("phase", u(n.def.phase_ms));
+        o.set("autostart", b(n.def.autostart));
+        o.set("phs", b(n.def.honor_phase));
+        jc.push(std::move(o));
+    }
+    j.set("cyclics", std::move(jc));
+
+    Json ja = Json::array();
+    for (const AlmNode& n : alarms) {
+        Json o = Json::object();
+        o.set("name", s(n.def.name));
+        o.set("start_after", u(n.start_after_ms));
+        ja.push(std::move(o));
+    }
+    j.set("alarms", std::move(ja));
+
+    Json ji = Json::array();
+    for (const IntNode& n : interrupts) {
+        Json o = Json::object();
+        o.set("intno", u(n.intno));
+        o.set("pri", i(n.pri));
+        o.set("if_free", b(n.skip_if_claimed));
+        ji.push(std::move(o));
+    }
+    j.set("interrupts", std::move(ji));
+    return j;
+}
+
+namespace {
+
+bool fail(std::string* error, const char* what) {
+    if (error != nullptr) {
+        *error = what;
+    }
+    return false;
+}
+
+}  // namespace
+
+bool SystemSpec::from_json(const Json& j, SystemSpec& out, std::string* error) {
+    if (!j.is_object() || !j.has("rtk_system_spec")) {
+        return fail(error, "not a rtk_system_spec document");
+    }
+    out = SystemSpec{};
+
+    for (const Json& o : j.at("tasks").items()) {
+        TaskNode n;
+        n.def.name = o.at("name").as_string();
+        n.def.priority = static_cast<PRI>(o.at("pri").as_i64(1));
+        n.def.stack_size = static_cast<std::size_t>(o.at("stack").as_u64(4096));
+        n.auto_start = o.at("autostart").as_bool();
+        n.stacd = static_cast<INT>(o.at("stacd").as_i64());
+        if (o.at("tex").as_bool()) {
+            // Structural placeholder; the real handler is code and must
+            // be reattached by the caller.
+            n.tex.texhdr = [](UINT) {};
+        }
+        out.tasks.push_back(std::move(n));
+    }
+    for (const Json& o : j.at("semaphores").items()) {
+        SemNode n;
+        n.def.name = o.at("name").as_string();
+        n.def.initial = static_cast<INT>(o.at("initial").as_i64());
+        n.def.max = static_cast<INT>(o.at("max").as_i64(65535));
+        n.def.priority_queue = o.at("tpri").as_bool();
+        n.def.count_order = o.at("cnt").as_bool();
+        out.semaphores.push_back(std::move(n));
+    }
+    for (const Json& o : j.at("eventflags").items()) {
+        FlgNode n;
+        n.def.name = o.at("name").as_string();
+        n.def.initial = static_cast<UINT>(o.at("initial").as_u64());
+        n.def.priority_queue = o.at("tpri").as_bool();
+        n.def.multi_waiter = o.at("wmul").as_bool(true);
+        out.eventflags.push_back(std::move(n));
+    }
+    for (const Json& o : j.at("mutexes").items()) {
+        MtxNode n;
+        n.def.name = o.at("name").as_string();
+        const std::uint64_t proto = o.at("protocol").as_u64();
+        if (proto > 3) {
+            return fail(error, "mutex protocol out of range");
+        }
+        n.def.protocol = static_cast<MutexDef::Protocol>(proto);
+        n.def.ceiling = static_cast<PRI>(o.at("ceiling").as_i64(min_priority));
+        out.mutexes.push_back(std::move(n));
+    }
+    for (const Json& o : j.at("mailboxes").items()) {
+        MbxNode n;
+        n.def.name = o.at("name").as_string();
+        n.def.priority_queue = o.at("tpri").as_bool();
+        n.def.priority_messages = o.at("mpri").as_bool();
+        out.mailboxes.push_back(std::move(n));
+    }
+    for (const Json& o : j.at("msgbufs").items()) {
+        MbfNode n;
+        n.def.name = o.at("name").as_string();
+        n.def.buffer_size = static_cast<INT>(o.at("bufsz").as_i64(1024));
+        n.def.max_message = static_cast<INT>(o.at("maxmsz").as_i64(128));
+        n.def.priority_queue = o.at("tpri").as_bool();
+        out.msgbufs.push_back(std::move(n));
+    }
+    for (const Json& o : j.at("fixed_pools").items()) {
+        MpfNode n;
+        n.def.name = o.at("name").as_string();
+        n.def.blocks = static_cast<INT>(o.at("blocks").as_i64(8));
+        n.def.block_size = static_cast<INT>(o.at("blksz").as_i64(64));
+        n.def.priority_queue = o.at("tpri").as_bool();
+        out.fixed_pools.push_back(std::move(n));
+    }
+    for (const Json& o : j.at("var_pools").items()) {
+        MplNode n;
+        n.def.name = o.at("name").as_string();
+        n.def.size = static_cast<INT>(o.at("size").as_i64(4096));
+        n.def.priority_queue = o.at("tpri").as_bool();
+        out.var_pools.push_back(std::move(n));
+    }
+    for (const Json& o : j.at("cyclics").items()) {
+        CycNode n;
+        n.def.name = o.at("name").as_string();
+        n.def.period_ms = o.at("period").as_u64(1);
+        n.def.phase_ms = o.at("phase").as_u64();
+        n.def.autostart = o.at("autostart").as_bool(true);
+        n.def.honor_phase = o.at("phs").as_bool();
+        out.cyclics.push_back(std::move(n));
+    }
+    for (const Json& o : j.at("alarms").items()) {
+        AlmNode n;
+        n.def.name = o.at("name").as_string();
+        n.start_after_ms = o.at("start_after").as_u64();
+        out.alarms.push_back(std::move(n));
+    }
+    for (const Json& o : j.at("interrupts").items()) {
+        IntNode n;
+        n.intno = static_cast<UINT>(o.at("intno").as_u64());
+        n.pri = static_cast<PRI>(o.at("pri").as_i64(1));
+        n.skip_if_claimed = o.at("if_free").as_bool();
+        out.interrupts.push_back(std::move(n));
+    }
+    return true;
+}
+
+// ---- SystemBuilder ----------------------------------------------------------
+
+TaskNode& SystemBuilder::task(std::string name) {
+    TaskNode n;
+    n.def.name = std::move(name);
+    spec_.tasks.push_back(std::move(n));
+    return spec_.tasks.back();
+}
+SemNode& SystemBuilder::semaphore(std::string name) {
+    SemNode n;
+    n.def.name = std::move(name);
+    spec_.semaphores.push_back(std::move(n));
+    return spec_.semaphores.back();
+}
+FlgNode& SystemBuilder::eventflag(std::string name) {
+    FlgNode n;
+    n.def.name = std::move(name);
+    spec_.eventflags.push_back(std::move(n));
+    return spec_.eventflags.back();
+}
+MtxNode& SystemBuilder::mutex(std::string name) {
+    MtxNode n;
+    n.def.name = std::move(name);
+    spec_.mutexes.push_back(std::move(n));
+    return spec_.mutexes.back();
+}
+MbxNode& SystemBuilder::mailbox(std::string name) {
+    MbxNode n;
+    n.def.name = std::move(name);
+    spec_.mailboxes.push_back(std::move(n));
+    return spec_.mailboxes.back();
+}
+MbfNode& SystemBuilder::msgbuf(std::string name) {
+    MbfNode n;
+    n.def.name = std::move(name);
+    spec_.msgbufs.push_back(std::move(n));
+    return spec_.msgbufs.back();
+}
+MpfNode& SystemBuilder::fixed_pool(std::string name) {
+    MpfNode n;
+    n.def.name = std::move(name);
+    spec_.fixed_pools.push_back(std::move(n));
+    return spec_.fixed_pools.back();
+}
+MplNode& SystemBuilder::var_pool(std::string name) {
+    MplNode n;
+    n.def.name = std::move(name);
+    spec_.var_pools.push_back(std::move(n));
+    return spec_.var_pools.back();
+}
+CycNode& SystemBuilder::cyclic(std::string name) {
+    CycNode n;
+    n.def.name = std::move(name);
+    spec_.cyclics.push_back(std::move(n));
+    return spec_.cyclics.back();
+}
+AlmNode& SystemBuilder::alarm(std::string name) {
+    AlmNode n;
+    n.def.name = std::move(name);
+    spec_.alarms.push_back(std::move(n));
+    return spec_.alarms.back();
+}
+IntNode& SystemBuilder::interrupt(UINT intno) {
+    IntNode n;
+    n.intno = intno;
+    spec_.interrupts.push_back(std::move(n));
+    return spec_.interrupts.back();
+}
+
+}  // namespace rtk::api

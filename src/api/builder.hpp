@@ -1,0 +1,349 @@
+// api::SystemBuilder / SystemSpec -- declarative construction of a whole
+// task-set + sync-object graph in one shot.
+//
+// SystemSpec is the shared IR of "scenario as data": the harness builds
+// ScenarioSpecs from it (harness/scenario.hpp), the fuzzer lowers its
+// generated FuzzSpecs onto it, and the structural part (names,
+// priorities, object parameters -- everything except the C++ behaviour
+// closures) round-trips through JSON (to_json/from_json).
+//
+// SystemBuilder is the fluent author:
+//
+//   api::SystemBuilder b;
+//   b.semaphore("data_ready").initial(0);
+//   b.task("producer").priority(10).body([...]).autostart();
+//   api::System sys(simulation.os());
+//   auto handles = b.instantiate(sys);          // Expected<SystemHandles>
+//   handles->find_semaphore("data_ready")->signal();
+//
+// Instantiation order (fixed, so runs are reproducible): semaphores,
+// eventflags, mutexes, mailboxes, msgbufs, fixed pools, var pools; then
+// tasks (each with its exception handler); then the autostart task
+// starts in declaration order; then cyclics, alarms (started immediately
+// when start_after_ms is set) and interrupt vectors.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "api/json.hpp"
+#include "api/system.hpp"
+
+namespace rtk::api {
+
+// ---- spec nodes (named-parameter chaining over the *Def packets) ------------
+
+struct TaskNode {
+    TaskDef def;
+    bool auto_start = false;
+    tkernel::INT stacd = 0;
+    tkernel::T_DTEX tex;  ///< installed when tex.texhdr is set
+
+    TaskNode& priority(tkernel::PRI p) {
+        def.priority = p;
+        return *this;
+    }
+    TaskNode& body(std::function<void()> fn) {
+        def.body = std::move(fn);
+        return *this;
+    }
+    TaskNode& entry(tkernel::TaskEntry fn) {
+        def.entry = std::move(fn);
+        return *this;
+    }
+    TaskNode& stack(std::size_t bytes) {
+        def.stack_size = bytes;
+        return *this;
+    }
+    TaskNode& exinf(void* p) {
+        def.exinf = p;
+        return *this;
+    }
+    TaskNode& autostart(tkernel::INT code = 0) {
+        auto_start = true;
+        stacd = code;
+        return *this;
+    }
+    TaskNode& exception_handler(tkernel::TexEntry fn) {
+        tex.texhdr = std::move(fn);
+        return *this;
+    }
+};
+
+struct SemNode {
+    SemaphoreDef def;
+    SemNode& initial(tkernel::INT n) {
+        def.initial = n;
+        return *this;
+    }
+    SemNode& max(tkernel::INT n) {
+        def.max = n;
+        return *this;
+    }
+    SemNode& priority_queue(bool on = true) {
+        def.priority_queue = on;
+        return *this;
+    }
+    SemNode& count_order(bool on = true) {
+        def.count_order = on;
+        return *this;
+    }
+};
+
+struct FlgNode {
+    EventFlagDef def;
+    FlgNode& initial(tkernel::UINT ptn) {
+        def.initial = ptn;
+        return *this;
+    }
+    FlgNode& priority_queue(bool on = true) {
+        def.priority_queue = on;
+        return *this;
+    }
+    FlgNode& multi_waiter(bool on = true) {
+        def.multi_waiter = on;
+        return *this;
+    }
+};
+
+struct MtxNode {
+    MutexDef def;
+    MtxNode& protocol(MutexDef::Protocol p) {
+        def.protocol = p;
+        return *this;
+    }
+    MtxNode& inherit() { return protocol(MutexDef::Protocol::inherit); }
+    MtxNode& ceiling(tkernel::PRI pri) {
+        def.protocol = MutexDef::Protocol::ceiling;
+        def.ceiling = pri;
+        return *this;
+    }
+    MtxNode& priority_queue() { return protocol(MutexDef::Protocol::priority); }
+};
+
+struct MbxNode {
+    MailboxDef def;
+    MbxNode& priority_queue(bool on = true) {
+        def.priority_queue = on;
+        return *this;
+    }
+    MbxNode& priority_messages(bool on = true) {
+        def.priority_messages = on;
+        return *this;
+    }
+};
+
+struct MbfNode {
+    MsgBufDef def;
+    MbfNode& buffer_size(tkernel::INT n) {
+        def.buffer_size = n;
+        return *this;
+    }
+    MbfNode& max_message(tkernel::INT n) {
+        def.max_message = n;
+        return *this;
+    }
+    MbfNode& priority_queue(bool on = true) {
+        def.priority_queue = on;
+        return *this;
+    }
+};
+
+struct MpfNode {
+    FixedPoolDef def;
+    MpfNode& blocks(tkernel::INT n) {
+        def.blocks = n;
+        return *this;
+    }
+    MpfNode& block_size(tkernel::INT n) {
+        def.block_size = n;
+        return *this;
+    }
+    MpfNode& priority_queue(bool on = true) {
+        def.priority_queue = on;
+        return *this;
+    }
+};
+
+struct MplNode {
+    VarPoolDef def;
+    MplNode& size(tkernel::INT n) {
+        def.size = n;
+        return *this;
+    }
+    MplNode& priority_queue(bool on = true) {
+        def.priority_queue = on;
+        return *this;
+    }
+};
+
+struct CycNode {
+    CyclicDef def;
+    CycNode& handler(tkernel::HandlerEntry fn) {
+        def.handler = std::move(fn);
+        return *this;
+    }
+    CycNode& period(tkernel::RELTIM ms) {
+        def.period_ms = ms;
+        return *this;
+    }
+    CycNode& phase(tkernel::RELTIM ms) {
+        def.phase_ms = ms;
+        return *this;
+    }
+    CycNode& autostart(bool on = true) {
+        def.autostart = on;
+        return *this;
+    }
+    CycNode& honor_phase(bool on = true) {
+        def.honor_phase = on;
+        return *this;
+    }
+};
+
+struct AlmNode {
+    AlarmDef def;
+    tkernel::RELTIM start_after_ms = 0;  ///< 0: created stopped
+    AlmNode& handler(tkernel::HandlerEntry fn) {
+        def.handler = std::move(fn);
+        return *this;
+    }
+    AlmNode& start_after(tkernel::RELTIM ms) {
+        start_after_ms = ms;
+        return *this;
+    }
+};
+
+struct IntNode {
+    tkernel::UINT intno = 0;
+    tkernel::PRI pri = 1;
+    tkernel::HandlerEntry hdr;
+    bool skip_if_claimed = false;
+    IntNode& priority(tkernel::PRI p) {
+        pri = p;
+        return *this;
+    }
+    IntNode& handler(tkernel::HandlerEntry fn) {
+        hdr = std::move(fn);
+        return *this;
+    }
+    /// Tolerate a vector already claimed by someone else (E_OBJ from
+    /// tk_def_int): skip the definition instead of failing instantiation.
+    IntNode& if_free(bool on = true) {
+        skip_if_claimed = on;
+        return *this;
+    }
+};
+
+// ---- the IR -----------------------------------------------------------------
+
+struct SystemSpec {
+    // Deques, not vectors: the builder hands out references to these
+    // nodes for named-parameter chaining, and deque growth never
+    // invalidates references to existing elements -- a node reference
+    // stays usable across later builder calls. Object names must be
+    // unique within their class (instantiate() fails E_PAR otherwise).
+    std::deque<SemNode> semaphores;
+    std::deque<FlgNode> eventflags;
+    std::deque<MtxNode> mutexes;
+    std::deque<MbxNode> mailboxes;
+    std::deque<MbfNode> msgbufs;
+    std::deque<MpfNode> fixed_pools;
+    std::deque<MplNode> var_pools;
+    std::deque<TaskNode> tasks;
+    std::deque<CycNode> cyclics;
+    std::deque<AlmNode> alarms;
+    std::deque<IntNode> interrupts;
+
+    std::size_t object_count() const;
+
+    /// Structural serialization; behaviour closures (task bodies,
+    /// handlers) are code and do not round-trip -- reattach them by name
+    /// after from_json.
+    Json to_json() const;
+    static bool from_json(const Json& j, SystemSpec& out,
+                          std::string* error = nullptr);
+};
+
+// ---- instantiation result ---------------------------------------------------
+
+/// The live object graph of one instantiated SystemSpec: per-class handle
+/// vectors in declaration order plus name lookup. Movable; destroying it
+/// with owned handles tears the graph down (RAII), or release_all()
+/// leaves the objects to the kernel.
+class SystemHandles {
+public:
+    std::vector<Semaphore> semaphores;
+    std::vector<EventFlag> eventflags;
+    std::vector<Mutex> mutexes;
+    std::vector<Mailbox> mailboxes;
+    std::vector<MsgBuf> msgbufs;
+    std::vector<FixedPool> fixed_pools;
+    std::vector<VarPool> var_pools;
+    std::vector<Task> tasks;
+    std::vector<Cyclic> cyclics;
+    std::vector<Alarm> alarms;
+    std::vector<tkernel::UINT> interrupts;  ///< defined vector numbers
+
+    Task* find_task(const std::string& name);
+    Semaphore* find_semaphore(const std::string& name);
+    EventFlag* find_eventflag(const std::string& name);
+    Mutex* find_mutex(const std::string& name);
+    Mailbox* find_mailbox(const std::string& name);
+    MsgBuf* find_msgbuf(const std::string& name);
+    FixedPool* find_fixed_pool(const std::string& name);
+    VarPool* find_var_pool(const std::string& name);
+    Cyclic* find_cyclic(const std::string& name);
+    Alarm* find_alarm(const std::string& name);
+
+    /// Relinquish RAII ownership of every handle (kernel teardown
+    /// reclaims the objects); the handles stay usable for calls.
+    void release_all();
+
+private:
+    friend Expected<SystemHandles> instantiate(System& sys, const SystemSpec& spec);
+    /// name -> index per kind, built at instantiation.
+    std::unordered_map<std::string, std::size_t> names_[kind_count];
+    template <typename H>
+    H* find_in(std::vector<H>& vec, Kind kind, const std::string& name);
+};
+
+/// Create the whole graph described by `spec` on `sys` (see the header
+/// comment for the fixed order). On failure the partial graph is rolled
+/// back by handle RAII and the first error code is returned.
+Expected<SystemHandles> instantiate(System& sys, const SystemSpec& spec);
+
+// ---- the fluent author ------------------------------------------------------
+
+class SystemBuilder {
+public:
+    SystemBuilder() = default;
+    explicit SystemBuilder(SystemSpec spec) : spec_(std::move(spec)) {}
+
+    TaskNode& task(std::string name);
+    SemNode& semaphore(std::string name);
+    FlgNode& eventflag(std::string name);
+    MtxNode& mutex(std::string name);
+    MbxNode& mailbox(std::string name);
+    MbfNode& msgbuf(std::string name);
+    MpfNode& fixed_pool(std::string name);
+    MplNode& var_pool(std::string name);
+    CycNode& cyclic(std::string name);
+    AlmNode& alarm(std::string name);
+    IntNode& interrupt(tkernel::UINT intno);
+
+    const SystemSpec& spec() const { return spec_; }
+    SystemSpec take_spec() { return std::move(spec_); }
+
+    Expected<SystemHandles> instantiate(System& sys) const {
+        return api::instantiate(sys, spec_);
+    }
+
+private:
+    SystemSpec spec_;
+};
+
+}  // namespace rtk::api

@@ -1,0 +1,78 @@
+#include "api/error.hpp"
+
+#include <cstdio>
+
+namespace rtk::api {
+
+using namespace rtk::tkernel;
+
+std::string er_describe(ER er) {
+    if (er > 0) {
+        return std::to_string(er);
+    }
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%s (%d)", rtk::er_to_string(er), er);
+    return buf;
+}
+
+std::string ttw_to_string(UINT ttw) {
+    static constexpr struct {
+        UINT bit;
+        const char* name;
+    } bits[] = {
+        {TTW_SLP, "TTW_SLP"},   {TTW_DLY, "TTW_DLY"},   {TTW_SEM, "TTW_SEM"},
+        {TTW_FLG, "TTW_FLG"},   {TTW_MBX, "TTW_MBX"},   {TTW_MTX, "TTW_MTX"},
+        {TTW_SMBF, "TTW_SMBF"}, {TTW_RMBF, "TTW_RMBF"}, {TTW_MPF, "TTW_MPF"},
+        {TTW_MPL, "TTW_MPL"},
+    };
+    if (ttw == 0) {
+        return "none";
+    }
+    std::string out;
+    UINT rest = ttw;
+    for (const auto& b : bits) {
+        if ((rest & b.bit) != 0) {
+            if (!out.empty()) {
+                out += '|';
+            }
+            out += b.name;
+            rest &= ~b.bit;
+        }
+    }
+    if (rest != 0) {
+        char buf[16];
+        std::snprintf(buf, sizeof(buf), "0x%x", rest);
+        if (!out.empty()) {
+            out += '|';
+        }
+        out += buf;
+    }
+    return out;
+}
+
+const char* tts_to_string(UINT tts) {
+    switch (tts) {
+        case TTS_RUN: return "TTS_RUN";
+        case TTS_RDY: return "TTS_RDY";
+        case TTS_WAI: return "TTS_WAI";
+        case TTS_SUS: return "TTS_SUS";
+        case TTS_WAS: return "TTS_WAS";
+        case TTS_DMT: return "TTS_DMT";
+        default: return "TTS_???";
+    }
+}
+
+std::string describe_task_state(const T_RTSK& ref) {
+    std::string out = tts_to_string(ref.tskstat);
+    if ((ref.tskstat & TTS_WAI) != 0) {
+        out += " (";
+        out += ttw_to_string(ref.tskwait);
+        if (ref.wid != 0) {
+            out += " id " + std::to_string(ref.wid);
+        }
+        out += ")";
+    }
+    return out;
+}
+
+}  // namespace rtk::api

@@ -1,0 +1,39 @@
+// Error-code and wait-cause pretty-printers of the rtk::api facade.
+//
+// The paper-faithful surface (tk_types.hpp) reports everything as signed
+// integers; diagnostics built on it tend to print those integers raw.
+// This header is the one place that turns kernel codes into names:
+// `rtk::er_to_string` for ER codes, plus the TTW_*/TTS_* decoders the
+// harness and oracle use when describing a blocked task.
+#pragma once
+
+#include <string>
+
+#include "tkernel/tk_types.hpp"
+
+namespace rtk {
+
+/// Mnemonic of a T-Kernel error code ("E_TMOUT", "E_OK", ...).
+inline const char* er_to_string(tkernel::ER er) { return tkernel::er_str(er); }
+
+}  // namespace rtk
+
+namespace rtk::api {
+
+/// Mnemonic plus numeric value: "E_TMOUT (-50)"; positive service-call
+/// results render as the bare number.
+std::string er_describe(tkernel::ER er);
+
+/// Decode a TTW_* wait-factor mask ("TTW_SEM", "TTW_SLP|TTW_DLY",
+/// "none" for 0). Unknown bits are kept as hex so nothing is silently
+/// dropped.
+std::string ttw_to_string(tkernel::UINT ttw);
+
+/// Name of a TTS_* task state as reported by tk_ref_tsk ("TTS_WAS", ...).
+const char* tts_to_string(tkernel::UINT tts);
+
+/// One-line human description of a task's scheduling state:
+/// "TTS_WAI (TTW_SEM id 3)" -- the harness failure-diagnostic format.
+std::string describe_task_state(const tkernel::T_RTSK& ref);
+
+}  // namespace rtk::api

@@ -1,0 +1,127 @@
+// Result types of the rtk::api facade: api::Status for calls that only
+// succeed or fail, rtk::Expected<T> for calls that produce a value.
+//
+// Both are [[nodiscard]] wrappers over the kernel's signed ER codes, so
+// an error path cannot be dropped on the floor the way a raw `ER` return
+// can. Accessing the value of a failed Expected is a fatal report
+// (sysc::SimError), never UB.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "api/error.hpp"
+#include "sysc/report.hpp"
+#include "tkernel/tk_types.hpp"
+
+namespace rtk::api {
+
+/// Outcome of a facade call with no payload. Wraps one ER code; >= 0 is
+/// success (some services return counts), < 0 is the failure code.
+class [[nodiscard]] Status {
+public:
+    /// Success (E_OK).
+    constexpr Status() = default;
+    static constexpr Status from_er(tkernel::ER er) { return Status(er); }
+
+    constexpr bool ok() const { return er_ >= 0; }
+    constexpr explicit operator bool() const { return ok(); }
+    constexpr tkernel::ER er() const { return er_; }
+    /// Mnemonic of the wrapped code ("E_OK", "E_TMOUT", ...).
+    const char* name() const { return rtk::er_to_string(er_); }
+    /// "E_TMOUT (-50)" -- for diagnostics.
+    std::string describe() const { return er_describe(er_); }
+
+    /// Assert success: fatal report (throws sysc::SimError) on failure.
+    /// For call sites where an error means the scenario itself is broken.
+    void expect(const char* what = "api call") const {
+        if (!ok()) {
+            sysc::report(sysc::Severity::fatal, "api",
+                         std::string(what) + " failed: " + describe());
+        }
+    }
+
+    friend constexpr bool operator==(Status a, Status b) { return a.er_ == b.er_; }
+    friend constexpr bool operator==(Status s, tkernel::ER er) { return s.er_ == er; }
+
+private:
+    constexpr explicit Status(tkernel::ER er) : er_(er) {}
+    tkernel::ER er_ = tkernel::E_OK;
+};
+
+}  // namespace rtk::api
+
+namespace rtk {
+
+/// Value-or-error result: holds a T on success, an ER code on failure.
+/// Implicitly constructible from a T (success) or from a failed
+/// api::Status (error propagation: `if (!st) return st;`).
+template <typename T>
+class [[nodiscard]] Expected {
+public:
+    Expected(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+    Expected(api::Status failed)                     // NOLINT(google-explicit-constructor)
+        : er_(failed.er()) {
+        if (failed.ok()) {
+            sysc::report(sysc::Severity::fatal, "api",
+                         "Expected constructed from a success Status without a value");
+        }
+    }
+    static Expected failure(tkernel::ER er) {
+        return Expected(api::Status::from_er(er < 0 ? er : tkernel::E_SYS));
+    }
+
+    bool ok() const { return value_.has_value(); }
+    explicit operator bool() const { return ok(); }
+    /// E_OK on success, the failure code otherwise.
+    tkernel::ER er() const { return er_; }
+    api::Status status() const { return api::Status::from_er(er_); }
+    const char* error_name() const { return rtk::er_to_string(er_); }
+
+    /// The value; fatal report (throws sysc::SimError) when failed.
+    T& value() & {
+        require();
+        return *value_;
+    }
+    const T& value() const& {
+        require();
+        return *value_;
+    }
+    T&& value() && {
+        require();
+        return std::move(*value_);
+    }
+    T value_or(T fallback) const {
+        return ok() ? *value_ : std::move(fallback);
+    }
+    /// Assert success: fatal report (throws sysc::SimError) on failure,
+    /// the value otherwise. `what` names the call site in diagnostics.
+    T expect(const char* what = "api call") const& {
+        require_for(what);
+        return *value_;
+    }
+    T expect(const char* what = "api call") && {
+        require_for(what);
+        return std::move(*value_);
+    }
+
+    T& operator*() & { return value(); }
+    const T& operator*() const& { return value(); }
+    T* operator->() { return &value(); }
+    const T* operator->() const { return &value(); }
+
+private:
+    void require() const { require_for("Expected::value()"); }
+    void require_for(const char* what) const {
+        if (!ok()) {
+            sysc::report(sysc::Severity::fatal, "api",
+                         std::string(what) + " failed: " + api::er_describe(er_));
+        }
+    }
+
+    std::optional<T> value_;
+    tkernel::ER er_ = tkernel::E_OK;
+};
+
+}  // namespace rtk

@@ -1,0 +1,325 @@
+#include "api/handles.hpp"
+
+#include <utility>
+
+#include "api/system.hpp"
+
+namespace rtk::api {
+
+using namespace rtk::tkernel;
+
+const char* to_string(Kind k) {
+    switch (k) {
+        case Kind::task: return "task";
+        case Kind::semaphore: return "semaphore";
+        case Kind::eventflag: return "eventflag";
+        case Kind::mutex: return "mutex";
+        case Kind::mailbox: return "mailbox";
+        case Kind::msgbuf: return "msgbuf";
+        case Kind::fixed_pool: return "fixed_pool";
+        case Kind::var_pool: return "var_pool";
+        case Kind::cyclic: return "cyclic";
+        case Kind::alarm: return "alarm";
+    }
+    return "?";
+}
+
+// ---- HandleBase -------------------------------------------------------------
+
+HandleBase::HandleBase(HandleBase&& other) noexcept
+    : sys_(other.sys_), kind_(other.kind_), raw_(other.raw_), owned_(other.owned_) {
+    other.sys_ = nullptr;
+    other.raw_ = RawHandle{};
+    other.owned_ = false;
+}
+
+HandleBase& HandleBase::operator=(HandleBase&& other) noexcept {
+    if (this != &other) {
+        if (owned_ && sys_ != nullptr) {
+            (void)sys_->destroy(kind_, raw_);
+        }
+        sys_ = std::exchange(other.sys_, nullptr);
+        kind_ = other.kind_;
+        raw_ = std::exchange(other.raw_, RawHandle{});
+        owned_ = std::exchange(other.owned_, false);
+    }
+    return *this;
+}
+
+HandleBase::~HandleBase() {
+    if (owned_ && sys_ != nullptr) {
+        // Best effort: a stale or already-deleted object is not an error
+        // on the RAII path.
+        (void)sys_->destroy(kind_, raw_);
+    }
+}
+
+bool HandleBase::valid() const {
+    return sys_ != nullptr && sys_->alive(kind_, raw_);
+}
+
+ID HandleBase::release() {
+    owned_ = false;
+    return raw_.id;
+}
+
+Status HandleBase::destroy() {
+    if (sys_ == nullptr) {
+        return Status::from_er(E_ID);
+    }
+    const Status st = sys_->destroy(kind_, raw_);
+    sys_ = nullptr;
+    raw_ = RawHandle{};
+    owned_ = false;
+    return st;
+}
+
+Status HandleBase::pre() const {
+    if (sys_ == nullptr) {
+        return Status::from_er(E_ID);
+    }
+    return sys_->validate(kind_, raw_);
+}
+
+TKernel& HandleBase::os() const { return sys_->os(); }
+
+namespace {
+
+/// Validate-then-call: the shape of every facade delegation.
+template <typename F>
+Status checked(const Status& pre, F&& call) {
+    if (!pre.ok()) {
+        return pre;
+    }
+    return Status::from_er(call());
+}
+
+template <typename T, typename F>
+Expected<T> checked_ref(const Status& pre, F&& call) {
+    if (!pre.ok()) {
+        return pre;
+    }
+    T out{};
+    const ER er = call(&out);
+    if (er < 0) {
+        return Expected<T>::failure(er);
+    }
+    return out;
+}
+
+}  // namespace
+
+// ---- Task -------------------------------------------------------------------
+
+Status Task::start(INT stacd) {
+    return checked(pre(), [&] { return os().tk_sta_tsk(raw_.id, stacd); });
+}
+Status Task::terminate() {
+    return checked(pre(), [&] { return os().tk_ter_tsk(raw_.id); });
+}
+Status Task::change_priority(PRI pri) {
+    return checked(pre(), [&] { return os().tk_chg_pri(raw_.id, pri); });
+}
+Status Task::rotate_ready_queue() const {
+    return checked(pre(), [&] {
+        T_RTSK r{};
+        if (const ER er = os().tk_ref_tsk(raw_.id, &r); er < 0) {
+            return er;
+        }
+        return os().tk_rot_rdq(r.tskpri);
+    });
+}
+Status Task::wakeup() {
+    return checked(pre(), [&] { return os().tk_wup_tsk(raw_.id); });
+}
+Expected<INT> Task::cancel_wakeups() {
+    if (const Status st = pre(); !st.ok()) {
+        return st;
+    }
+    const INT n = os().tk_can_wup(raw_.id);
+    if (n < 0) {
+        return Expected<INT>::failure(n);
+    }
+    return n;
+}
+Status Task::release_wait() {
+    return checked(pre(), [&] { return os().tk_rel_wai(raw_.id); });
+}
+Status Task::suspend() {
+    return checked(pre(), [&] { return os().tk_sus_tsk(raw_.id); });
+}
+Status Task::resume() {
+    return checked(pre(), [&] { return os().tk_rsm_tsk(raw_.id); });
+}
+Status Task::force_resume() {
+    return checked(pre(), [&] { return os().tk_frsm_tsk(raw_.id); });
+}
+Status Task::define_exception_handler(const T_DTEX& pk) {
+    return checked(pre(), [&] { return os().tk_def_tex(raw_.id, pk); });
+}
+Status Task::raise_exception(UINT texptn) {
+    return checked(pre(), [&] { return os().tk_ras_tex(raw_.id, texptn); });
+}
+Expected<T_RTSK> Task::ref() const {
+    return checked_ref<T_RTSK>(pre(),
+                               [&](T_RTSK* r) { return os().tk_ref_tsk(raw_.id, r); });
+}
+
+// ---- Semaphore --------------------------------------------------------------
+
+Status Semaphore::signal(INT cnt) {
+    return checked(pre(), [&] { return os().tk_sig_sem(raw_.id, cnt); });
+}
+Status Semaphore::wait(INT cnt, TMO tmout) {
+    return checked(pre(), [&] { return os().tk_wai_sem(raw_.id, cnt, tmout); });
+}
+Expected<T_RSEM> Semaphore::ref() const {
+    return checked_ref<T_RSEM>(pre(),
+                               [&](T_RSEM* r) { return os().tk_ref_sem(raw_.id, r); });
+}
+
+// ---- EventFlag --------------------------------------------------------------
+
+Status EventFlag::set(UINT setptn) {
+    return checked(pre(), [&] { return os().tk_set_flg(raw_.id, setptn); });
+}
+Status EventFlag::clear(UINT clrptn) {
+    return checked(pre(), [&] { return os().tk_clr_flg(raw_.id, clrptn); });
+}
+Expected<UINT> EventFlag::wait(UINT waiptn, UINT wfmode, TMO tmout) {
+    if (const Status st = pre(); !st.ok()) {
+        return st;
+    }
+    UINT got = 0;
+    const ER er = os().tk_wai_flg(raw_.id, waiptn, wfmode, &got, tmout);
+    if (er < 0) {
+        return Expected<UINT>::failure(er);
+    }
+    return got;
+}
+Expected<T_RFLG> EventFlag::ref() const {
+    return checked_ref<T_RFLG>(pre(),
+                               [&](T_RFLG* r) { return os().tk_ref_flg(raw_.id, r); });
+}
+
+// ---- Mutex ------------------------------------------------------------------
+
+Status Mutex::lock(TMO tmout) {
+    return checked(pre(), [&] { return os().tk_loc_mtx(raw_.id, tmout); });
+}
+Status Mutex::unlock() {
+    return checked(pre(), [&] { return os().tk_unl_mtx(raw_.id); });
+}
+Expected<T_RMTX> Mutex::ref() const {
+    return checked_ref<T_RMTX>(pre(),
+                               [&](T_RMTX* r) { return os().tk_ref_mtx(raw_.id, r); });
+}
+
+// ---- Mailbox ----------------------------------------------------------------
+
+Status Mailbox::send(T_MSG* msg) {
+    return checked(pre(), [&] { return os().tk_snd_mbx(raw_.id, msg); });
+}
+Expected<T_MSG*> Mailbox::receive(TMO tmout) {
+    if (const Status st = pre(); !st.ok()) {
+        return st;
+    }
+    T_MSG* msg = nullptr;
+    const ER er = os().tk_rcv_mbx(raw_.id, &msg, tmout);
+    if (er < 0) {
+        return Expected<T_MSG*>::failure(er);
+    }
+    return msg;
+}
+Expected<T_RMBX> Mailbox::ref() const {
+    return checked_ref<T_RMBX>(pre(),
+                               [&](T_RMBX* r) { return os().tk_ref_mbx(raw_.id, r); });
+}
+
+// ---- MsgBuf -----------------------------------------------------------------
+
+Status MsgBuf::send(const void* msg, INT msgsz, TMO tmout) {
+    return checked(pre(), [&] { return os().tk_snd_mbf(raw_.id, msg, msgsz, tmout); });
+}
+Expected<INT> MsgBuf::receive(void* msg, TMO tmout) {
+    if (const Status st = pre(); !st.ok()) {
+        return st;
+    }
+    const INT n = os().tk_rcv_mbf(raw_.id, msg, tmout);
+    if (n < 0) {
+        return Expected<INT>::failure(n);
+    }
+    return n;
+}
+Expected<T_RMBF> MsgBuf::ref() const {
+    return checked_ref<T_RMBF>(pre(),
+                               [&](T_RMBF* r) { return os().tk_ref_mbf(raw_.id, r); });
+}
+
+// ---- FixedPool --------------------------------------------------------------
+
+Expected<void*> FixedPool::get(TMO tmout) {
+    if (const Status st = pre(); !st.ok()) {
+        return st;
+    }
+    void* blf = nullptr;
+    const ER er = os().tk_get_mpf(raw_.id, &blf, tmout);
+    if (er < 0) {
+        return Expected<void*>::failure(er);
+    }
+    return blf;
+}
+Status FixedPool::put(void* blf) {
+    return checked(pre(), [&] { return os().tk_rel_mpf(raw_.id, blf); });
+}
+Expected<T_RMPF> FixedPool::ref() const {
+    return checked_ref<T_RMPF>(pre(),
+                               [&](T_RMPF* r) { return os().tk_ref_mpf(raw_.id, r); });
+}
+
+// ---- VarPool ----------------------------------------------------------------
+
+Expected<void*> VarPool::get(INT blksz, TMO tmout) {
+    if (const Status st = pre(); !st.ok()) {
+        return st;
+    }
+    void* blk = nullptr;
+    const ER er = os().tk_get_mpl(raw_.id, blksz, &blk, tmout);
+    if (er < 0) {
+        return Expected<void*>::failure(er);
+    }
+    return blk;
+}
+Status VarPool::put(void* blk) {
+    return checked(pre(), [&] { return os().tk_rel_mpl(raw_.id, blk); });
+}
+Expected<T_RMPL> VarPool::ref() const {
+    return checked_ref<T_RMPL>(pre(),
+                               [&](T_RMPL* r) { return os().tk_ref_mpl(raw_.id, r); });
+}
+
+// ---- Cyclic / Alarm ---------------------------------------------------------
+
+Status Cyclic::start() {
+    return checked(pre(), [&] { return os().tk_sta_cyc(raw_.id); });
+}
+Status Cyclic::stop() {
+    return checked(pre(), [&] { return os().tk_stp_cyc(raw_.id); });
+}
+Expected<T_RCYC> Cyclic::ref() const {
+    return checked_ref<T_RCYC>(pre(),
+                               [&](T_RCYC* r) { return os().tk_ref_cyc(raw_.id, r); });
+}
+
+Status Alarm::start(RELTIM almtim) {
+    return checked(pre(), [&] { return os().tk_sta_alm(raw_.id, almtim); });
+}
+Status Alarm::stop() {
+    return checked(pre(), [&] { return os().tk_stp_alm(raw_.id); });
+}
+Expected<T_RALM> Alarm::ref() const {
+    return checked_ref<T_RALM>(pre(),
+                               [&](T_RALM* r) { return os().tk_ref_alm(raw_.id, r); });
+}
+
+}  // namespace rtk::api

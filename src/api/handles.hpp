@@ -1,0 +1,234 @@
+// Typed, generation-counted handles over the µ-ITRON object classes --
+// the value types of the rtk::api facade.
+//
+// A handle pairs a raw kernel ID with the facade generation stamped on it
+// at creation time. Every call validates the stamp against the owning
+// api::System first, so a stale handle (object deleted, ID possibly
+// reused) fails fast with E_NOEXS at the facade instead of operating on
+// the wrong object; a default-constructed (null) handle fails with E_ID.
+//
+// Handles are move-only RAII owners: destroying an owned handle deletes
+// the kernel object (terminating a live task first). `release()` is the
+// escape hatch -- it relinquishes ownership to the kernel's registries
+// (which reclaim everything at simulation teardown) while the handle
+// stays usable for calls.
+#pragma once
+
+#include <cstdint>
+
+#include "api/expected.hpp"
+#include "tkernel/tk_types.hpp"
+
+namespace rtk::tkernel {
+class TKernel;
+}
+
+namespace rtk::api {
+
+class System;
+
+/// Object classes addressable through the facade.
+enum class Kind : std::uint8_t {
+    task,
+    semaphore,
+    eventflag,
+    mutex,
+    mailbox,
+    msgbuf,
+    fixed_pool,
+    var_pool,
+    cyclic,
+    alarm,
+};
+inline constexpr std::size_t kind_count = 10;
+const char* to_string(Kind k);
+
+/// The wire format of a handle: kernel ID plus facade generation.
+struct RawHandle {
+    tkernel::ID id = 0;
+    std::uint32_t gen = 0;
+};
+
+class HandleBase {
+public:
+    HandleBase() = default;
+    HandleBase(HandleBase&& other) noexcept;
+    HandleBase& operator=(HandleBase&& other) noexcept;
+    ~HandleBase();
+    HandleBase(const HandleBase&) = delete;
+    HandleBase& operator=(const HandleBase&) = delete;
+
+    /// Raw kernel ID for interop with the tk_* surface (0 when null).
+    tkernel::ID id() const { return raw_.id; }
+    std::uint32_t generation() const { return raw_.gen; }
+    Kind kind() const { return kind_; }
+    bool owns() const { return owned_; }
+
+    /// True when the handle refers to a live facade object.
+    bool valid() const;
+    explicit operator bool() const { return valid(); }
+
+    /// Relinquish RAII ownership (the object now lives until deleted
+    /// explicitly or reclaimed at kernel teardown); returns the raw ID.
+    /// The handle remains usable for calls.
+    tkernel::ID release();
+
+    /// Delete the kernel object now. The handle becomes null; stale
+    /// copies of the same RawHandle fail E_NOEXS from here on.
+    Status destroy();
+
+protected:
+    HandleBase(System* sys, Kind kind, RawHandle raw, bool owned)
+        : sys_(sys), kind_(kind), raw_(raw), owned_(owned) {}
+
+    /// Facade validation: E_ID for a null handle, E_NOEXS for a stale
+    /// generation, success otherwise.
+    Status pre() const;
+    tkernel::TKernel& os() const;
+
+    System* sys_ = nullptr;
+    Kind kind_ = Kind::task;
+    RawHandle raw_{};
+    bool owned_ = false;
+
+    friend class System;
+};
+
+// ---- object-class handles ---------------------------------------------------
+
+class Task final : public HandleBase {
+public:
+    Task() = default;
+    Status start(tkernel::INT stacd = 0);
+    Status terminate();
+    Status change_priority(tkernel::PRI pri);
+    Status rotate_ready_queue() const;  ///< tk_rot_rdq at this task's priority
+    Status wakeup();
+    Expected<tkernel::INT> cancel_wakeups();
+    Status release_wait();
+    Status suspend();
+    Status resume();
+    Status force_resume();
+    Status define_exception_handler(const tkernel::T_DTEX& pk);
+    Status raise_exception(tkernel::UINT texptn);
+    Expected<tkernel::T_RTSK> ref() const;
+
+private:
+    using HandleBase::HandleBase;
+    friend class System;
+};
+
+class Semaphore final : public HandleBase {
+public:
+    Semaphore() = default;
+    Status signal(tkernel::INT cnt = 1);
+    Status wait(tkernel::INT cnt = 1, tkernel::TMO tmout = tkernel::TMO_FEVR);
+    Expected<tkernel::T_RSEM> ref() const;
+
+private:
+    using HandleBase::HandleBase;
+    friend class System;
+};
+
+class EventFlag final : public HandleBase {
+public:
+    EventFlag() = default;
+    Status set(tkernel::UINT setptn);
+    Status clear(tkernel::UINT clrptn);  ///< pattern &= clrptn
+    /// Returns the release-time pattern.
+    Expected<tkernel::UINT> wait(tkernel::UINT waiptn, tkernel::UINT wfmode,
+                                 tkernel::TMO tmout = tkernel::TMO_FEVR);
+    Expected<tkernel::T_RFLG> ref() const;
+
+private:
+    using HandleBase::HandleBase;
+    friend class System;
+};
+
+class Mutex final : public HandleBase {
+public:
+    Mutex() = default;
+    Status lock(tkernel::TMO tmout = tkernel::TMO_FEVR);
+    Status unlock();
+    Expected<tkernel::T_RMTX> ref() const;
+
+private:
+    using HandleBase::HandleBase;
+    friend class System;
+};
+
+class Mailbox final : public HandleBase {
+public:
+    Mailbox() = default;
+    Status send(tkernel::T_MSG* msg);
+    Expected<tkernel::T_MSG*> receive(tkernel::TMO tmout = tkernel::TMO_FEVR);
+    Expected<tkernel::T_RMBX> ref() const;
+
+private:
+    using HandleBase::HandleBase;
+    friend class System;
+};
+
+class MsgBuf final : public HandleBase {
+public:
+    MsgBuf() = default;
+    Status send(const void* msg, tkernel::INT msgsz,
+                tkernel::TMO tmout = tkernel::TMO_FEVR);
+    /// Returns the received size.
+    Expected<tkernel::INT> receive(void* msg, tkernel::TMO tmout = tkernel::TMO_FEVR);
+    Expected<tkernel::T_RMBF> ref() const;
+
+private:
+    using HandleBase::HandleBase;
+    friend class System;
+};
+
+class FixedPool final : public HandleBase {
+public:
+    FixedPool() = default;
+    Expected<void*> get(tkernel::TMO tmout = tkernel::TMO_FEVR);
+    Status put(void* blf);
+    Expected<tkernel::T_RMPF> ref() const;
+
+private:
+    using HandleBase::HandleBase;
+    friend class System;
+};
+
+class VarPool final : public HandleBase {
+public:
+    VarPool() = default;
+    Expected<void*> get(tkernel::INT blksz, tkernel::TMO tmout = tkernel::TMO_FEVR);
+    Status put(void* blk);
+    Expected<tkernel::T_RMPL> ref() const;
+
+private:
+    using HandleBase::HandleBase;
+    friend class System;
+};
+
+class Cyclic final : public HandleBase {
+public:
+    Cyclic() = default;
+    Status start();
+    Status stop();
+    Expected<tkernel::T_RCYC> ref() const;
+
+private:
+    using HandleBase::HandleBase;
+    friend class System;
+};
+
+class Alarm final : public HandleBase {
+public:
+    Alarm() = default;
+    Status start(tkernel::RELTIM almtim);
+    Status stop();
+    Expected<tkernel::T_RALM> ref() const;
+
+private:
+    using HandleBase::HandleBase;
+    friend class System;
+};
+
+}  // namespace rtk::api

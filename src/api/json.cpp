@@ -1,9 +1,9 @@
-#include "harness/fuzz_json.hpp"
+#include "api/json.hpp"
 
 #include <cctype>
 #include <cstdio>
 
-namespace rtk::harness::fuzz {
+namespace rtk::api {
 
 namespace {
 const Json null_json{};
@@ -476,4 +476,4 @@ bool Json::parse(const std::string& text, Json& out, std::string* error) {
     return Parser(text, error).parse_document(out);
 }
 
-}  // namespace rtk::harness::fuzz
+}  // namespace rtk::api

@@ -1,0 +1,321 @@
+#include "api/system.hpp"
+
+#include <utility>
+
+namespace rtk::api {
+
+using namespace rtk::tkernel;
+
+// ---- creation ---------------------------------------------------------------
+
+namespace {
+
+ATR queue_atr(bool priority_queue) { return priority_queue ? TA_TPRI : TA_TFIFO; }
+
+}  // namespace
+
+Expected<Task> System::create_task(const TaskDef& def) {
+    T_CTSK pk;
+    pk.name = def.name;
+    pk.itskpri = def.priority;
+    pk.stksz = def.stack_size;
+    pk.exinf = def.exinf;
+    if (def.entry) {
+        pk.task = def.entry;
+    } else if (def.body) {
+        auto body = def.body;
+        pk.task = [body = std::move(body)](INT, void*) { body(); };
+    } else {
+        return Expected<Task>::failure(E_PAR);  // a task needs an entry
+    }
+    const ID id = os_->tk_cre_tsk(pk);
+    if (id < 0) {
+        return Expected<Task>::failure(id);
+    }
+    return Task(this, Kind::task, mint(Kind::task, id), /*owned=*/true);
+}
+
+Expected<Semaphore> System::create_semaphore(const SemaphoreDef& def) {
+    T_CSEM pk;
+    pk.name = def.name;
+    pk.isemcnt = def.initial;
+    pk.maxsem = def.max;
+    pk.sematr = queue_atr(def.priority_queue) | (def.count_order ? TA_CNT : TA_FIRST);
+    const ID id = os_->tk_cre_sem(pk);
+    if (id < 0) {
+        return Expected<Semaphore>::failure(id);
+    }
+    return Semaphore(this, Kind::semaphore, mint(Kind::semaphore, id), true);
+}
+
+Expected<EventFlag> System::create_eventflag(const EventFlagDef& def) {
+    T_CFLG pk;
+    pk.name = def.name;
+    pk.iflgptn = def.initial;
+    pk.flgatr = queue_atr(def.priority_queue) | (def.multi_waiter ? TA_WMUL : TA_WSGL);
+    const ID id = os_->tk_cre_flg(pk);
+    if (id < 0) {
+        return Expected<EventFlag>::failure(id);
+    }
+    return EventFlag(this, Kind::eventflag, mint(Kind::eventflag, id), true);
+}
+
+Expected<Mutex> System::create_mutex(const MutexDef& def) {
+    T_CMTX pk;
+    pk.name = def.name;
+    switch (def.protocol) {
+        case MutexDef::Protocol::fifo: pk.mtxatr = TA_TFIFO; break;
+        case MutexDef::Protocol::priority: pk.mtxatr = TA_TPRI; break;
+        case MutexDef::Protocol::inherit: pk.mtxatr = TA_INHERIT; break;
+        case MutexDef::Protocol::ceiling: pk.mtxatr = TA_CEILING; break;
+    }
+    pk.ceilpri = def.ceiling;
+    const ID id = os_->tk_cre_mtx(pk);
+    if (id < 0) {
+        return Expected<Mutex>::failure(id);
+    }
+    return Mutex(this, Kind::mutex, mint(Kind::mutex, id), true);
+}
+
+Expected<Mailbox> System::create_mailbox(const MailboxDef& def) {
+    T_CMBX pk;
+    pk.name = def.name;
+    pk.mbxatr = queue_atr(def.priority_queue) |
+                (def.priority_messages ? TA_MPRI : TA_MFIFO);
+    const ID id = os_->tk_cre_mbx(pk);
+    if (id < 0) {
+        return Expected<Mailbox>::failure(id);
+    }
+    return Mailbox(this, Kind::mailbox, mint(Kind::mailbox, id), true);
+}
+
+Expected<MsgBuf> System::create_msgbuf(const MsgBufDef& def) {
+    T_CMBF pk;
+    pk.name = def.name;
+    pk.bufsz = def.buffer_size;
+    pk.maxmsz = def.max_message;
+    pk.mbfatr = queue_atr(def.priority_queue);
+    const ID id = os_->tk_cre_mbf(pk);
+    if (id < 0) {
+        return Expected<MsgBuf>::failure(id);
+    }
+    return MsgBuf(this, Kind::msgbuf, mint(Kind::msgbuf, id), true);
+}
+
+Expected<FixedPool> System::create_fixed_pool(const FixedPoolDef& def) {
+    T_CMPF pk;
+    pk.name = def.name;
+    pk.mpfcnt = def.blocks;
+    pk.blfsz = def.block_size;
+    pk.mpfatr = queue_atr(def.priority_queue);
+    const ID id = os_->tk_cre_mpf(pk);
+    if (id < 0) {
+        return Expected<FixedPool>::failure(id);
+    }
+    return FixedPool(this, Kind::fixed_pool, mint(Kind::fixed_pool, id), true);
+}
+
+Expected<VarPool> System::create_var_pool(const VarPoolDef& def) {
+    T_CMPL pk;
+    pk.name = def.name;
+    pk.mplsz = def.size;
+    pk.mplatr = queue_atr(def.priority_queue);
+    const ID id = os_->tk_cre_mpl(pk);
+    if (id < 0) {
+        return Expected<VarPool>::failure(id);
+    }
+    return VarPool(this, Kind::var_pool, mint(Kind::var_pool, id), true);
+}
+
+Expected<Cyclic> System::create_cyclic(const CyclicDef& def) {
+    T_CCYC pk;
+    pk.name = def.name;
+    pk.cychdr = def.handler;
+    pk.cyctim = def.period_ms;
+    pk.cycphs = def.phase_ms;
+    pk.cycatr = TA_HLNG | (def.autostart ? TA_STA : 0u) |
+                (def.honor_phase ? TA_PHS : 0u);
+    const ID id = os_->tk_cre_cyc(pk);
+    if (id < 0) {
+        return Expected<Cyclic>::failure(id);
+    }
+    return Cyclic(this, Kind::cyclic, mint(Kind::cyclic, id), true);
+}
+
+Expected<Alarm> System::create_alarm(const AlarmDef& def) {
+    T_CALM pk;
+    pk.name = def.name;
+    pk.almhdr = def.handler;
+    const ID id = os_->tk_cre_alm(pk);
+    if (id < 0) {
+        return Expected<Alarm>::failure(id);
+    }
+    return Alarm(this, Kind::alarm, mint(Kind::alarm, id), true);
+}
+
+// ---- raw-ID interop ---------------------------------------------------------
+
+Expected<Task> System::adopt_task(ID id) {
+    if (id <= 0) {
+        return Expected<Task>::failure(E_ID);
+    }
+    if (os_->tasks().find(id) == nullptr) {
+        return Expected<Task>::failure(E_NOEXS);
+    }
+    return Task(this, Kind::task, mint(Kind::task, id), /*owned=*/false);
+}
+Expected<Semaphore> System::adopt_semaphore(ID id) {
+    if (id <= 0) {
+        return Expected<Semaphore>::failure(E_ID);
+    }
+    if (os_->semaphores().find(id) == nullptr) {
+        return Expected<Semaphore>::failure(E_NOEXS);
+    }
+    return Semaphore(this, Kind::semaphore, mint(Kind::semaphore, id), false);
+}
+Expected<EventFlag> System::adopt_eventflag(ID id) {
+    if (id <= 0) {
+        return Expected<EventFlag>::failure(E_ID);
+    }
+    if (os_->eventflags().find(id) == nullptr) {
+        return Expected<EventFlag>::failure(E_NOEXS);
+    }
+    return EventFlag(this, Kind::eventflag, mint(Kind::eventflag, id), false);
+}
+Expected<Mutex> System::adopt_mutex(ID id) {
+    if (id <= 0) {
+        return Expected<Mutex>::failure(E_ID);
+    }
+    if (os_->mutexes().find(id) == nullptr) {
+        return Expected<Mutex>::failure(E_NOEXS);
+    }
+    return Mutex(this, Kind::mutex, mint(Kind::mutex, id), false);
+}
+Expected<Mailbox> System::adopt_mailbox(ID id) {
+    if (id <= 0) {
+        return Expected<Mailbox>::failure(E_ID);
+    }
+    if (os_->mailboxes().find(id) == nullptr) {
+        return Expected<Mailbox>::failure(E_NOEXS);
+    }
+    return Mailbox(this, Kind::mailbox, mint(Kind::mailbox, id), false);
+}
+Expected<MsgBuf> System::adopt_msgbuf(ID id) {
+    if (id <= 0) {
+        return Expected<MsgBuf>::failure(E_ID);
+    }
+    if (os_->message_buffers().find(id) == nullptr) {
+        return Expected<MsgBuf>::failure(E_NOEXS);
+    }
+    return MsgBuf(this, Kind::msgbuf, mint(Kind::msgbuf, id), false);
+}
+Expected<FixedPool> System::adopt_fixed_pool(ID id) {
+    if (id <= 0) {
+        return Expected<FixedPool>::failure(E_ID);
+    }
+    if (os_->fixed_pools().find(id) == nullptr) {
+        return Expected<FixedPool>::failure(E_NOEXS);
+    }
+    return FixedPool(this, Kind::fixed_pool, mint(Kind::fixed_pool, id), false);
+}
+Expected<VarPool> System::adopt_var_pool(ID id) {
+    if (id <= 0) {
+        return Expected<VarPool>::failure(E_ID);
+    }
+    if (os_->variable_pools().find(id) == nullptr) {
+        return Expected<VarPool>::failure(E_NOEXS);
+    }
+    return VarPool(this, Kind::var_pool, mint(Kind::var_pool, id), false);
+}
+Expected<Cyclic> System::adopt_cyclic(ID id) {
+    if (id <= 0) {
+        return Expected<Cyclic>::failure(E_ID);
+    }
+    if (os_->cyclics().find(id) == nullptr) {
+        return Expected<Cyclic>::failure(E_NOEXS);
+    }
+    return Cyclic(this, Kind::cyclic, mint(Kind::cyclic, id), false);
+}
+Expected<Alarm> System::adopt_alarm(ID id) {
+    if (id <= 0) {
+        return Expected<Alarm>::failure(E_ID);
+    }
+    if (os_->alarms().find(id) == nullptr) {
+        return Expected<Alarm>::failure(E_NOEXS);
+    }
+    return Alarm(this, Kind::alarm, mint(Kind::alarm, id), false);
+}
+
+// ---- handle bookkeeping -----------------------------------------------------
+
+RawHandle System::mint(Kind kind, ID id) {
+    Table& t = table(kind);
+    const std::uint32_t gen = t.next_gen++;
+    t.live[id] = gen;
+    return RawHandle{id, gen};
+}
+
+void System::retire(Kind kind, RawHandle h) {
+    Table& t = table(kind);
+    auto it = t.live.find(h.id);
+    if (it != t.live.end() && it->second == h.gen) {
+        t.live.erase(it);
+    }
+}
+
+bool System::alive(Kind kind, RawHandle h) const {
+    if (h.id <= 0) {
+        return false;
+    }
+    const Table& t = table(kind);
+    auto it = t.live.find(h.id);
+    return it != t.live.end() && it->second == h.gen;
+}
+
+Status System::validate(Kind kind, RawHandle h) const {
+    if (h.id <= 0) {
+        return Status::from_er(E_ID);
+    }
+    return alive(kind, h) ? Status() : Status::from_er(E_NOEXS);
+}
+
+std::size_t System::live_count(Kind kind) const { return table(kind).live.size(); }
+
+Status System::destroy(Kind kind, RawHandle h) {
+    if (const Status st = validate(kind, h); !st.ok()) {
+        return st;
+    }
+    // Retire the generation first: even if the kernel delete fails (e.g.
+    // the object was deleted behind the facade's back) the handle must
+    // not keep addressing the ID.
+    retire(kind, h);
+    return delete_in_kernel(kind, h.id);
+}
+
+Status System::delete_in_kernel(Kind kind, ID id) {
+    switch (kind) {
+        case Kind::task: {
+            // A task must be DORMANT to be deleted; terminate a live one
+            // first (self-termination is E_ILUSE and simply fails).
+            T_RTSK r{};
+            if (os_->tk_ref_tsk(id, &r) == E_OK && (r.tskstat & TTS_DMT) == 0) {
+                if (const ER er = os_->tk_ter_tsk(id); er < 0) {
+                    return Status::from_er(er);
+                }
+            }
+            return Status::from_er(os_->tk_del_tsk(id));
+        }
+        case Kind::semaphore: return Status::from_er(os_->tk_del_sem(id));
+        case Kind::eventflag: return Status::from_er(os_->tk_del_flg(id));
+        case Kind::mutex: return Status::from_er(os_->tk_del_mtx(id));
+        case Kind::mailbox: return Status::from_er(os_->tk_del_mbx(id));
+        case Kind::msgbuf: return Status::from_er(os_->tk_del_mbf(id));
+        case Kind::fixed_pool: return Status::from_er(os_->tk_del_mpf(id));
+        case Kind::var_pool: return Status::from_er(os_->tk_del_mpl(id));
+        case Kind::cyclic: return Status::from_er(os_->tk_del_cyc(id));
+        case Kind::alarm: return Status::from_er(os_->tk_del_alm(id));
+    }
+    return Status::from_er(E_PAR);
+}
+
+}  // namespace rtk::api

@@ -1,0 +1,181 @@
+// api::System -- the modern front door to one RTK-Spec TRON kernel
+// instance.
+//
+// The paper-level tk_*/SIM_* surface underneath stays verbatim (raw IDs,
+// signed ER codes); System wraps one tkernel::TKernel with the facade's
+// three guarantees:
+//
+//   1. typed, generation-counted handles (api/handles.hpp) -- stale use
+//      is detected here, before the kernel ever sees the raw ID;
+//   2. [[nodiscard]] Status / Expected<T> results for every service;
+//   3. creation through declarative *Def packets with safe defaults
+//      (lowered onto the spec-faithful T_C* packets).
+//
+// System is a non-owning view: construct it over Simulation::os() (or any
+// TKernel) and keep it alive as long as handles minted from it are used.
+// One System per kernel instance; like the kernel itself it is not
+// thread-safe across host threads.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "api/handles.hpp"
+#include "tkernel/kernel.hpp"
+
+namespace rtk::api {
+
+// ---- declarative creation packets -------------------------------------------
+
+struct TaskDef {
+    std::string name = "task";
+    tkernel::PRI priority = 1;
+    /// Full spec-level entry (stacd, exinf) ...
+    tkernel::TaskEntry entry{};
+    /// ... or the common case: a plain body (used when `entry` is empty).
+    std::function<void()> body{};
+    std::size_t stack_size = 4096;
+    void* exinf = nullptr;
+};
+
+struct SemaphoreDef {
+    std::string name = "sem";
+    tkernel::INT initial = 0;
+    tkernel::INT max = 65535;
+    bool priority_queue = false;  ///< TA_TPRI wait queue
+    bool count_order = false;     ///< TA_CNT instead of TA_FIRST
+};
+
+struct EventFlagDef {
+    std::string name = "flg";
+    tkernel::UINT initial = 0;
+    bool priority_queue = false;
+    bool multi_waiter = true;  ///< TA_WMUL
+};
+
+struct MutexDef {
+    enum class Protocol : std::uint8_t { fifo, priority, inherit, ceiling };
+    std::string name = "mtx";
+    Protocol protocol = Protocol::fifo;
+    tkernel::PRI ceiling = tkernel::min_priority;
+};
+
+struct MailboxDef {
+    std::string name = "mbx";
+    bool priority_queue = false;
+    bool priority_messages = false;  ///< TA_MPRI
+};
+
+struct MsgBufDef {
+    std::string name = "mbf";
+    tkernel::INT buffer_size = 1024;  ///< 0 => fully synchronous
+    tkernel::INT max_message = 128;
+    bool priority_queue = false;
+};
+
+struct FixedPoolDef {
+    std::string name = "mpf";
+    tkernel::INT blocks = 8;
+    tkernel::INT block_size = 64;
+    bool priority_queue = false;
+};
+
+struct VarPoolDef {
+    std::string name = "mpl";
+    tkernel::INT size = 4096;
+    bool priority_queue = false;
+};
+
+struct CyclicDef {
+    std::string name = "cyc";
+    tkernel::HandlerEntry handler{};
+    tkernel::RELTIM period_ms = 1;
+    tkernel::RELTIM phase_ms = 0;
+    bool autostart = true;    ///< TA_STA
+    bool honor_phase = false; ///< TA_PHS
+};
+
+struct AlarmDef {
+    std::string name = "alm";
+    tkernel::HandlerEntry handler{};
+};
+
+// ---- the facade -------------------------------------------------------------
+
+class System {
+public:
+    explicit System(tkernel::TKernel& os) : os_(&os) {}
+    System(const System&) = delete;
+    System& operator=(const System&) = delete;
+
+    /// The wrapped kernel, for paper-level calls the facade does not cover.
+    tkernel::TKernel& os() { return *os_; }
+    const tkernel::TKernel& os() const { return *os_; }
+
+    // ---- creation (E_PAR and friends surface as failed Expected) ----
+    Expected<Task> create_task(const TaskDef& def);
+    Expected<Semaphore> create_semaphore(const SemaphoreDef& def = {});
+    Expected<EventFlag> create_eventflag(const EventFlagDef& def = {});
+    Expected<Mutex> create_mutex(const MutexDef& def = {});
+    Expected<Mailbox> create_mailbox(const MailboxDef& def = {});
+    Expected<MsgBuf> create_msgbuf(const MsgBufDef& def = {});
+    Expected<FixedPool> create_fixed_pool(const FixedPoolDef& def = {});
+    Expected<VarPool> create_var_pool(const VarPoolDef& def = {});
+    Expected<Cyclic> create_cyclic(const CyclicDef& def);
+    Expected<Alarm> create_alarm(const AlarmDef& def);
+
+    // ---- raw-ID interop ----
+    /// Wrap an ID created through the paper-level tk_cre_* surface in a
+    /// typed, non-owning handle (E_NOEXS when no such object). Adopting
+    /// re-stamps the ID with a fresh generation: handles minted earlier
+    /// for the same ID become stale (E_NOEXS at the facade) and lose
+    /// their RAII effect -- the newest binding wins.
+    Expected<Task> adopt_task(tkernel::ID id);
+    Expected<Semaphore> adopt_semaphore(tkernel::ID id);
+    Expected<EventFlag> adopt_eventflag(tkernel::ID id);
+    Expected<Mutex> adopt_mutex(tkernel::ID id);
+    Expected<Mailbox> adopt_mailbox(tkernel::ID id);
+    Expected<MsgBuf> adopt_msgbuf(tkernel::ID id);
+    Expected<FixedPool> adopt_fixed_pool(tkernel::ID id);
+    Expected<VarPool> adopt_var_pool(tkernel::ID id);
+    Expected<Cyclic> adopt_cyclic(tkernel::ID id);
+    Expected<Alarm> adopt_alarm(tkernel::ID id);
+
+    // ---- handle bookkeeping ----
+    /// Facade liveness: the (id, gen) pair was minted here and not yet
+    /// destroyed through the facade.
+    bool alive(Kind kind, RawHandle h) const;
+    /// E_ID for a null handle, E_NOEXS for a stale one, success otherwise.
+    Status validate(Kind kind, RawHandle h) const;
+    /// Live facade-minted objects of one class.
+    std::size_t live_count(Kind kind) const;
+
+    /// Checked delete: validates, deletes the kernel object (terminating
+    /// a live task first) and retires the generation.
+    Status destroy(Kind kind, RawHandle h);
+
+private:
+    friend class HandleBase;
+
+    /// Unchecked delete path used by RAII teardown and destroy().
+    Status delete_in_kernel(Kind kind, tkernel::ID id);
+    RawHandle mint(Kind kind, tkernel::ID id);
+    void retire(Kind kind, RawHandle h);
+
+    struct Table {
+        std::unordered_map<tkernel::ID, std::uint32_t> live;
+        std::uint32_t next_gen = 1;
+    };
+    Table& table(Kind kind) { return tables_[static_cast<std::size_t>(kind)]; }
+    const Table& table(Kind kind) const {
+        return tables_[static_cast<std::size_t>(kind)];
+    }
+
+    tkernel::TKernel* os_;
+    std::array<Table, kind_count> tables_;
+};
+
+}  // namespace rtk::api

@@ -33,27 +33,26 @@ SerialMonitor::SerialMonitor(TKernel& tk, bfm::Bfm8051& bfm, Config cfg)
     : tk_(tk), bfm_(bfm), cfg_(cfg) {}
 
 void SerialMonitor::setup() {
-    T_CFLG cf;
-    cf.name = "mon_rx";
-    rx_flag_ = tk_.tk_cre_flg(cf);
+    api::SystemBuilder b;
+    b.eventflag("mon_rx");
+    // Started explicitly below, after rx_flag_h_ is wired: the body
+    // reads the handle pointer from its first instruction.
+    b.task("T-Monitor").priority(cfg_.task_priority).body([this] { task_body(); });
+    // The serial ISR: byte arrived (or TX done) -> wake the monitor
+    // task. The line may already be claimed (e.g. re-setup): skip then.
+    b.interrupt(cfg_.irq_line)
+        .priority(cfg_.irq_priority)
+        .if_free()
+        .handler([this](void*) {
+            if (bfm_.serial().rx_ready() && rx_flag_h_ != nullptr) {
+                rx_flag_h_->set(rx_event_bit).expect("monitor rx flag");
+            }
+        });
 
-    // The serial ISR: byte arrived (or TX done) -> wake the monitor task.
-    T_DINT dint;
-    dint.intpri = cfg_.irq_priority;
-    dint.inthdr = [this](void*) {
-        if (bfm_.serial().rx_ready()) {
-            tk_.tk_set_flg(rx_flag_, rx_event_bit);
-        }
-    };
-    // The serial line may already be claimed (e.g. re-setup): ignore E_OBJ.
-    tk_.tk_def_int(cfg_.irq_line, dint);
-
-    T_CTSK ct;
-    ct.name = "T-Monitor";
-    ct.itskpri = cfg_.task_priority;
-    ct.task = [this](INT, void*) { task_body(); };
-    task_ = tk_.tk_cre_tsk(ct);
-    tk_.tk_sta_tsk(task_, 0);
+    h_ = std::move(b.instantiate(sys_)).value();  // fatal on failure
+    rx_flag_h_ = h_.find_eventflag("mon_rx");
+    task_h_ = h_.find_task("T-Monitor");
+    task_h_->start().expect("start T-Monitor");
     print("T-Monitor ready. Type 'help'.\r\n> ");
 }
 
@@ -70,9 +69,7 @@ const std::string& SerialMonitor::output() const {
 
 void SerialMonitor::task_body() {
     for (;;) {
-        UINT ptn = 0;
-        if (tk_.tk_wai_flg(rx_flag_, rx_event_bit, TWF_ORW | TWF_CLR, &ptn,
-                           TMO_FEVR) != E_OK) {
+        if (!rx_flag_h_->wait(rx_event_bit, TWF_ORW | TWF_CLR).ok()) {
             return;  // flag deleted: monitor shuts down
         }
         // Drain every byte that arrived (ISR coalescing).

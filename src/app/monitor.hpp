@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <string>
 
+#include "api/builder.hpp"
 #include "bfm/bfm8051.hpp"
 #include "tkernel/kernel.hpp"
 
@@ -45,7 +46,7 @@ public:
     /// Testbench helper: type a command line (appends '\r').
     void type_line(const std::string& line);
 
-    tkernel::ID task_id() const { return task_; }
+    tkernel::ID task_id() const { return task_h_ != nullptr ? task_h_->id() : 0; }
     std::uint64_t commands_executed() const { return commands_; }
     std::uint64_t unknown_commands() const { return unknown_; }
 
@@ -68,8 +69,13 @@ private:
     tkernel::TKernel& tk_;
     bfm::Bfm8051& bfm_;
     Config cfg_;
-    tkernel::ID task_ = 0;
-    tkernel::ID rx_flag_ = 0;
+    // api facade + the monitor's objects (owned RAII; sys_ must outlive
+    // h_ -- do not reorder). The typed handle pointers are the single
+    // source of object identity.
+    api::System sys_{tk_};
+    api::SystemHandles h_;
+    api::EventFlag* rx_flag_h_ = nullptr;
+    api::Task* task_h_ = nullptr;
     std::string line_buf_;
     std::uint64_t commands_ = 0;
     std::uint64_t unknown_ = 0;

@@ -23,85 +23,64 @@ void VideoGame::install() {
 }
 
 void VideoGame::setup() {
-    // ---- resources ----
-    T_CMBX cmbx;
-    cmbx.name = "render_mbx";
-    mbx_ = tk_.tk_cre_mbx(cmbx);
+    // The whole Fig 4 task set as one declarative graph; instantiation
+    // creates and starts everything through the api facade.
+    api::SystemBuilder b;
+    b.mailbox("render_mbx");
+    b.fixed_pool("msg_pool").blocks(4).block_size(sizeof(RenderMsg));
+    b.eventflag("key_flg");
+    b.semaphore("score_sem");
+    b.mutex("paddle_mtx").inherit();
 
-    T_CMPF cmpf;
-    cmpf.name = "msg_pool";
-    cmpf.mpfcnt = 4;
-    cmpf.blfsz = sizeof(RenderMsg);
-    mpf_ = tk_.tk_cre_mpf(cmpf);
-
-    T_CFLG cflg;
-    cflg.name = "key_flg";
-    flg_ = tk_.tk_cre_flg(cflg);
-
-    T_CSEM csem;
-    csem.name = "score_sem";
-    csem.isemcnt = 0;
-    sem_ = tk_.tk_cre_sem(csem);
-
-    T_CMTX cmtx;
-    cmtx.name = "paddle_mtx";
-    cmtx.mtxatr = TA_INHERIT;
-    mtx_ = tk_.tk_cre_mtx(cmtx);
-
-    // ---- tasks ----
-    T_CTSK ct;
-    ct.name = "LCD:T1";
-    ct.itskpri = cfg_.pri_lcd;
-    ct.task = [this](INT, void*) { lcd_task_body(); };
-    t1_ = tk_.tk_cre_tsk(ct);
-
-    ct.name = "Keypad:T2";
-    ct.itskpri = cfg_.pri_keypad;
-    ct.task = [this](INT, void*) { keypad_task_body(); };
-    t2_ = tk_.tk_cre_tsk(ct);
-
-    ct.name = "SSD:T3";
-    ct.itskpri = cfg_.pri_ssd;
-    ct.task = [this](INT, void*) { ssd_task_body(); };
-    t3_ = tk_.tk_cre_tsk(ct);
-
+    // Not autostarted: the bodies reach their objects through the typed
+    // handle pointers below, which exist only after instantiation -- the
+    // explicit starts at the end close that window (and keep the
+    // task-then-handler start order of a classic µ-ITRON user main).
+    b.task("LCD:T1").priority(cfg_.pri_lcd).body([this] { lcd_task_body(); });
+    b.task("Keypad:T2").priority(cfg_.pri_keypad).body(
+        [this] { keypad_task_body(); });
+    b.task("SSD:T3").priority(cfg_.pri_ssd).body([this] { ssd_task_body(); });
     if (cfg_.spawn_idle_task) {
-        ct.name = "IDLE:T4";
-        ct.itskpri = cfg_.pri_idle;
-        ct.task = [this](INT, void*) { idle_task_body(); };
-        t4_ = tk_.tk_cre_tsk(ct);
+        b.task("IDLE:T4").priority(cfg_.pri_idle).body(
+            [this] { idle_task_body(); });
     }
 
-    // ---- handlers ----
-    T_CCYC ccyc;
-    ccyc.name = "Cyclic:H1";
-    ccyc.cyctim = cfg_.physics_period_ms;
-    ccyc.cychdr = [this](void*) { physics_tick(); };
-    h1_ = tk_.tk_cre_cyc(ccyc);
+    b.cyclic("Cyclic:H1").period(cfg_.physics_period_ms).autostart(false).handler(
+        [this](void*) { physics_tick(); });
+    b.alarm("Alarm:H2").handler([this](void*) { round_over(); });
 
-    T_CALM calm;
-    calm.name = "Alarm:H2";
-    calm.almhdr = [this](void*) { round_over(); };
-    h2_ = tk_.tk_cre_alm(calm);
+    // Keypad interrupt: external /INT0 through the BFM intc.
+    b.interrupt(bfm::InterruptController::line_ext0).priority(2).handler(
+        [this](void*) {
+            ++key_events_;
+            if (flg_h_ != nullptr) {
+                flg_h_->set(key_event_bit).expect("key event flag");
+            }
+        });
 
-    // ---- keypad interrupt (external /INT0 through the BFM intc) ----
-    T_DINT dint;
-    dint.intpri = 2;
-    dint.inthdr = [this](void*) {
-        ++key_events_;
-        tk_.tk_set_flg(flg_, key_event_bit);
-    };
-    tk_.tk_def_int(bfm::InterruptController::line_ext0, dint);
+    h_ = std::move(b.instantiate(sys_)).value();  // fatal on failure
 
-    // ---- start everything ----
-    tk_.tk_sta_tsk(t1_, 0);
-    tk_.tk_sta_tsk(t2_, 0);
-    tk_.tk_sta_tsk(t3_, 0);
-    if (t4_ != 0) {
-        tk_.tk_sta_tsk(t4_, 0);
+    mbx_h_ = h_.find_mailbox("render_mbx");
+    mpf_h_ = h_.find_fixed_pool("msg_pool");
+    flg_h_ = h_.find_eventflag("key_flg");
+    sem_h_ = h_.find_semaphore("score_sem");
+    mtx_h_ = h_.find_mutex("paddle_mtx");
+    h1_h_ = h_.find_cyclic("Cyclic:H1");
+    h2_h_ = h_.find_alarm("Alarm:H2");
+    t1_h_ = h_.find_task("LCD:T1");
+    t2_h_ = h_.find_task("Keypad:T2");
+    t3_h_ = h_.find_task("SSD:T3");
+    t4_h_ = cfg_.spawn_idle_task ? h_.find_task("IDLE:T4") : nullptr;
+
+    // ---- start everything (handle pointers are wired now) ----
+    t1_h_->start().expect("start LCD:T1");
+    t2_h_->start().expect("start Keypad:T2");
+    t3_h_->start().expect("start SSD:T3");
+    if (t4_h_ != nullptr) {
+        t4_h_->start().expect("start IDLE:T4");
     }
-    tk_.tk_sta_cyc(h1_);
-    tk_.tk_sta_alm(h2_, cfg_.round_time_ms);
+    h1_h_->start().expect("start Cyclic:H1");
+    h2_h_->start(cfg_.round_time_ms).expect("start Alarm:H2");
 
     bfm_.lcd_clear();
     bfm_.ssd_show(0);
@@ -117,7 +96,7 @@ void VideoGame::physics_tick() {
         ball_x_ = 3;
         ball_row_ = 0;
         ball_dir_ = 1;
-        tk_.tk_sta_alm(h2_, cfg_.round_time_ms);  // next round
+        h2_h_->start(cfg_.round_time_ms).expect("restart round alarm");
     }
     ball_x_ += ball_dir_;
     if (ball_x_ <= 0) {
@@ -132,25 +111,25 @@ void VideoGame::physics_tick() {
         // Ball reaches the paddle row: hit or miss.
         if (ball_x_ >= paddle_x_ - 1 && ball_x_ <= paddle_x_ + 1) {
             ++score_;
-            tk_.tk_sig_sem(sem_, 1);
+            sem_h_->signal().expect("score semaphore");
         } else {
             ++misses_;
         }
     }
     // Produce a render message from the fixed pool (drop frame if the
     // pool is exhausted -- handlers must not block).
-    void* blk = nullptr;
-    if (tk_.tk_get_mpf(mpf_, &blk, TMO_POL) != E_OK) {
+    const Expected<void*> blk = mpf_h_->get(TMO_POL);
+    if (!blk.ok()) {
         ++dropped_;
         return;
     }
-    auto* msg = new (blk) RenderMsg{};
+    auto* msg = new (*blk) RenderMsg{};
     msg->ball_x = ball_x_;
     msg->ball_row = ball_row_;
     msg->paddle_x = paddle_x_;
     msg->score = score_;
     msg->round = rounds_;
-    tk_.tk_snd_mbx(mbx_, msg);
+    mbx_h_->send(msg).expect("render mailbox");
 }
 
 // ---- H2: round timer -------------------------------------------------------------
@@ -180,20 +159,20 @@ void VideoGame::draw_frame(const RenderMsg& m) {
 
 void VideoGame::lcd_task_body() {
     for (;;) {
-        T_MSG* raw = nullptr;
-        if (tk_.tk_rcv_mbx(mbx_, &raw, TMO_FEVR) != E_OK) {
+        const Expected<T_MSG*> raw = mbx_h_->receive();
+        if (!raw.ok()) {
             return;  // mailbox deleted: end task
         }
-        auto* msg = static_cast<RenderMsg*>(raw);
+        auto* msg = static_cast<RenderMsg*>(*raw);
         // Compose the frame (annotated computation), read the paddle
         // position consistently, then draw through the BFM.
-        tk_.tk_loc_mtx(mtx_, TMO_FEVR);
+        mtx_h_->lock().expect("paddle mutex");
         const RenderMsg local = *msg;
-        tk_.tk_unl_mtx(mtx_);
+        mtx_h_->unlock().expect("paddle mutex");
         tk_.sim().SIM_WaitUnits(cfg_.frame_compose_units, ExecContext::task);
         draw_frame(local);
         ++frames_;
-        tk_.tk_rel_mpf(mpf_, msg);
+        mpf_h_->put(msg).expect("render message pool");
     }
 }
 
@@ -201,9 +180,7 @@ void VideoGame::lcd_task_body() {
 
 void VideoGame::keypad_task_body() {
     for (;;) {
-        UINT ptn = 0;
-        if (tk_.tk_wai_flg(flg_, key_event_bit, TWF_ORW | TWF_CLR, &ptn, TMO_FEVR) !=
-            E_OK) {
+        if (!flg_h_->wait(key_event_bit, TWF_ORW | TWF_CLR).ok()) {
             return;
         }
         tk_.sim().SIM_WaitUnits(cfg_.input_units, ExecContext::task);
@@ -212,13 +189,13 @@ void VideoGame::keypad_task_body() {
             continue;
         }
         const unsigned col = static_cast<unsigned>(key) % 4;
-        tk_.tk_loc_mtx(mtx_, TMO_FEVR);
+        mtx_h_->lock().expect("paddle mutex");
         if (col == 0 && paddle_x_ > 1) {
             --paddle_x_;
         } else if (col == 3 && paddle_x_ < 14) {
             ++paddle_x_;
         }
-        tk_.tk_unl_mtx(mtx_);
+        mtx_h_->unlock().expect("paddle mutex");
     }
 }
 
@@ -226,7 +203,7 @@ void VideoGame::keypad_task_body() {
 
 void VideoGame::ssd_task_body() {
     for (;;) {
-        if (tk_.tk_wai_sem(sem_, 1, TMO_FEVR) != E_OK) {
+        if (!sem_h_->wait().ok()) {
             return;
         }
         tk_.sim().SIM_WaitUnits(cfg_.score_units, ExecContext::task);

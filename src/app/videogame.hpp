@@ -16,6 +16,7 @@
 
 #include <cstdint>
 
+#include "api/builder.hpp"
 #include "bfm/bfm8051.hpp"
 #include "tkernel/kernel.hpp"
 
@@ -66,18 +67,18 @@ public:
     std::uint64_t frames_dropped() const { return dropped_; }
     std::uint64_t key_events() const { return key_events_; }
 
-    // ---- object ids for the debugger / tests ----
-    tkernel::ID lcd_task() const { return t1_; }
-    tkernel::ID keypad_task() const { return t2_; }
-    tkernel::ID ssd_task() const { return t3_; }
-    tkernel::ID idle_task() const { return t4_; }
-    tkernel::ID cyclic_handler() const { return h1_; }
-    tkernel::ID alarm_handler() const { return h2_; }
-    tkernel::ID render_mailbox() const { return mbx_; }
-    tkernel::ID msg_pool() const { return mpf_; }
-    tkernel::ID key_flag() const { return flg_; }
-    tkernel::ID score_sem() const { return sem_; }
-    tkernel::ID paddle_mutex() const { return mtx_; }
+    // ---- object ids for the debugger / tests (derived from the handles) ----
+    tkernel::ID lcd_task() const { return id_of(t1_h_); }
+    tkernel::ID keypad_task() const { return id_of(t2_h_); }
+    tkernel::ID ssd_task() const { return id_of(t3_h_); }
+    tkernel::ID idle_task() const { return id_of(t4_h_); }
+    tkernel::ID cyclic_handler() const { return id_of(h1_h_); }
+    tkernel::ID alarm_handler() const { return id_of(h2_h_); }
+    tkernel::ID render_mailbox() const { return id_of(mbx_h_); }
+    tkernel::ID msg_pool() const { return id_of(mpf_h_); }
+    tkernel::ID key_flag() const { return id_of(flg_h_); }
+    tkernel::ID score_sem() const { return id_of(sem_h_); }
+    tkernel::ID paddle_mutex() const { return id_of(mtx_h_); }
 
     static constexpr unsigned key_left = 0;   ///< any key in column 0
     static constexpr unsigned key_right = 3;  ///< any key in column 3
@@ -104,6 +105,30 @@ private:
     bfm::Bfm8051& bfm_;
     GameConfig cfg_;
 
+    // The api facade over tk_ and the game's object graph (owned RAII:
+    // destroying the game tears its tasks and resources down). sys_ must
+    // outlive h_ -- do not reorder.
+    api::System sys_{tk_};
+    api::SystemHandles h_;
+    // Stable typed views into h_ (assigned once by setup()); the single
+    // source of object identity -- the ID accessors above derive from
+    // them.
+    api::Mailbox* mbx_h_ = nullptr;
+    api::FixedPool* mpf_h_ = nullptr;
+    api::EventFlag* flg_h_ = nullptr;
+    api::Semaphore* sem_h_ = nullptr;
+    api::Mutex* mtx_h_ = nullptr;
+    api::Cyclic* h1_h_ = nullptr;
+    api::Alarm* h2_h_ = nullptr;
+    api::Task* t1_h_ = nullptr;
+    api::Task* t2_h_ = nullptr;
+    api::Task* t3_h_ = nullptr;
+    api::Task* t4_h_ = nullptr;
+
+    static tkernel::ID id_of(const api::HandleBase* h) {
+        return h != nullptr ? h->id() : 0;
+    }
+
     // game state (updated at handler/task level; consistency across
     // SIM_Wait boundaries is guarded by mtx_ where tasks share it)
     int ball_x_ = 3;
@@ -118,10 +143,6 @@ private:
     std::uint64_t frames_ = 0;
     std::uint64_t dropped_ = 0;
     std::uint64_t key_events_ = 0;
-
-    tkernel::ID t1_ = 0, t2_ = 0, t3_ = 0, t4_ = 0;
-    tkernel::ID h1_ = 0, h2_ = 0;
-    tkernel::ID mbx_ = 0, mpf_ = 0, flg_ = 0, sem_ = 0, mtx_ = 0;
 };
 
 }  // namespace rtk::app

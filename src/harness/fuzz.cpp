@@ -8,8 +8,11 @@
 #include <thread>
 #include <utility>
 
+#include "api/builder.hpp"
+#include "api/error.hpp"
 #include "harness/runner.hpp"
 #include "harness/simulation.hpp"
+#include "sysc/report.hpp"
 #include "tkernel/tkernel.hpp"
 
 namespace rtk::harness::fuzz {
@@ -377,43 +380,132 @@ void run_program(const std::shared_ptr<Runtime>& rt, int self,
     }
 }
 
-/// The user main: builds the whole object population and starts every
-/// task. Runs inside the init task after boot.
+/// Lower the FuzzSpec's object population onto the shared IR: one
+/// api::SystemSpec describing the whole graph, op programs attached as
+/// behaviour closures over the per-run Runtime.
+api::SystemSpec build_system_spec(const std::shared_ptr<Runtime>& rt) {
+    const FuzzSpec& spec = *rt->spec;
+    api::SystemBuilder b;
+
+    for (std::size_t i = 0; i < spec.sems.size(); ++i) {
+        const SemSpec& s = spec.sems[i];
+        const INT init = std::clamp(s.init, 0, 1 << 16);
+        b.semaphore("fz_sem" + std::to_string(i))
+            .initial(init)
+            .max(std::clamp(s.max, std::max(1, init), 1 << 16))
+            .priority_queue(s.tpri)
+            .count_order(s.cnt_order);
+    }
+    for (std::size_t i = 0; i < spec.flgs.size(); ++i) {
+        const FlgSpec& f = spec.flgs[i];
+        b.eventflag("fz_flg" + std::to_string(i))
+            .initial(f.init)
+            .priority_queue(f.tpri)
+            .multi_waiter(f.wmul);
+    }
+    for (std::size_t i = 0; i < spec.mtxs.size(); ++i) {
+        const MtxSpec& m = spec.mtxs[i];
+        api::MtxNode& node = b.mutex("fz_mtx" + std::to_string(i));
+        node.protocol(static_cast<api::MutexDef::Protocol>(std::clamp(m.proto, 0, 3)));
+        node.def.ceiling = std::clamp(m.ceil, min_priority, max_priority);
+    }
+    for (std::size_t i = 0; i < spec.mbxs.size(); ++i) {
+        const MbxSpec& m = spec.mbxs[i];
+        b.mailbox("fz_mbx" + std::to_string(i))
+            .priority_queue(m.tpri)
+            .priority_messages(m.mpri);
+    }
+    for (std::size_t i = 0; i < spec.mbfs.size(); ++i) {
+        const MbfSpec& m = spec.mbfs[i];
+        b.msgbuf("fz_mbf" + std::to_string(i))
+            .buffer_size(std::clamp(m.bufsz, 0, 1 << 16))
+            .max_message(std::clamp(m.maxmsz, 1, 1 << 12))
+            .priority_queue(m.tpri);
+    }
+    for (std::size_t i = 0; i < spec.mpfs.size(); ++i) {
+        const MpfSpec& m = spec.mpfs[i];
+        b.fixed_pool("fz_mpf" + std::to_string(i))
+            .blocks(std::clamp(m.cnt, 1, 256))
+            .block_size(std::clamp(m.blksz, 1, 1 << 12))
+            .priority_queue(m.tpri);
+    }
+    for (std::size_t i = 0; i < spec.mpls.size(); ++i) {
+        const MplSpec& m = spec.mpls[i];
+        b.var_pool("fz_mpl" + std::to_string(i))
+            .size(std::clamp(m.size, 8, 1 << 16))
+            .priority_queue(m.tpri);
+    }
+
+    for (std::size_t i = 0; i < spec.tasks.size(); ++i) {
+        const TaskSpec& t = spec.tasks[i];
+        const int self = static_cast<int>(i);
+        api::TaskNode& node =
+            b.task("fz_task" + std::to_string(i))
+                .priority(std::clamp(t.pri, min_priority, max_priority))
+                .entry([rt, self](INT, void*) {
+                    for (;;) {
+                        rt->tk->sim().SIM_WaitUnits(
+                            static_cast<std::uint64_t>(
+                                std::clamp(rt->spec->iter_units, 1, 1000)),
+                            ExecContext::task);
+                        run_program(rt, self,
+                                    rt->spec->tasks[static_cast<std::size_t>(self)].ops,
+                                    /*handler=*/false);
+                    }
+                })
+                .autostart();
+        if (t.tex) {
+            node.exception_handler([rt](UINT) {
+                rt->tk->sim().SIM_WaitUnits(5, ExecContext::service_call);
+            });
+        }
+    }
+
+    for (std::size_t i = 0; i < spec.cycs.size(); ++i) {
+        const CycSpec& c = spec.cycs[i];
+        const std::size_t idx = i;
+        b.cyclic("fz_cyc" + std::to_string(i))
+            .period(static_cast<RELTIM>(std::clamp(c.period_ms, 1, 1000)))
+            .phase(static_cast<RELTIM>(std::clamp(c.phase_ms, 0, 1000)))
+            .autostart(c.autostart)
+            .honor_phase(c.phs)
+            .handler([rt, idx](void*) {
+                run_program(rt, -1, rt->spec->cycs[idx].ops, /*handler=*/true);
+            });
+    }
+    for (std::size_t i = 0; i < spec.alms.size(); ++i) {
+        const AlmSpec& a = spec.alms[i];
+        const std::size_t idx = i;
+        b.alarm("fz_alm" + std::to_string(i))
+            .handler([rt, idx](void*) {
+                run_program(rt, -1, rt->spec->alms[idx].ops, /*handler=*/true);
+            })
+            .start_after(a.start_ms > 0
+                             ? static_cast<RELTIM>(std::clamp(a.start_ms, 1, 1000))
+                             : 0);
+    }
+    for (std::size_t i = 0; i < spec.ints.size(); ++i) {
+        const IntSpec& v = spec.ints[i];
+        const std::size_t idx = i;
+        b.interrupt(100 + static_cast<UINT>(i))
+            .priority(std::clamp(v.pri, 1, 8))
+            .handler([rt, idx](void*) {
+                run_program(rt, -1, rt->spec->ints[idx].ops, /*handler=*/true);
+            });
+    }
+    return b.take_spec();
+}
+
+/// The user main: instantiates the whole object population through the
+/// api facade and seeds the interpreter's runtime tables. Runs inside
+/// the init task after boot.
 void setup_workload(const std::shared_ptr<Runtime>& rt) {
     TKernel& tk = *rt->tk;
     const FuzzSpec& spec = *rt->spec;
 
-    for (std::size_t i = 0; i < spec.sems.size(); ++i) {
-        const SemSpec& s = spec.sems[i];
-        T_CSEM cs;
-        cs.name = "fz_sem" + std::to_string(i);
-        cs.isemcnt = std::clamp(s.init, 0, 1 << 16);
-        cs.maxsem = std::clamp(s.max, std::max(1, cs.isemcnt), 1 << 16);
-        cs.sematr = (s.tpri ? TA_TPRI : TA_TFIFO) | (s.cnt_order ? TA_CNT : TA_FIRST);
-        rt->sems.push_back(tk.tk_cre_sem(cs));
-    }
-    for (std::size_t i = 0; i < spec.flgs.size(); ++i) {
-        const FlgSpec& f = spec.flgs[i];
-        T_CFLG cf;
-        cf.name = "fz_flg" + std::to_string(i);
-        cf.iflgptn = f.init;
-        cf.flgatr = (f.tpri ? TA_TPRI : TA_TFIFO) | (f.wmul ? TA_WMUL : TA_WSGL);
-        rt->flgs.push_back(tk.tk_cre_flg(cf));
-    }
-    for (std::size_t i = 0; i < spec.mtxs.size(); ++i) {
-        const MtxSpec& m = spec.mtxs[i];
-        T_CMTX cm;
-        cm.name = "fz_mtx" + std::to_string(i);
-        cm.mtxatr = static_cast<ATR>(std::clamp(m.proto, 0, 3));
-        cm.ceilpri = std::clamp(m.ceil, min_priority, max_priority);
-        rt->mtxs.push_back(tk.tk_cre_mtx(cm));
-    }
-    for (std::size_t i = 0; i < spec.mbxs.size(); ++i) {
-        const MbxSpec& m = spec.mbxs[i];
-        T_CMBX cm;
-        cm.name = "fz_mbx" + std::to_string(i);
-        cm.mbxatr = (m.tpri ? TA_TPRI : TA_TFIFO) | (m.mpri ? TA_MPRI : TA_MFIFO);
-        rt->mbxs.push_back(tk.tk_cre_mbx(cm));
+    // Workload-side runtime state the kernel does not manage: mailbox
+    // message-node pools and per-task message-buffer payload buffers.
+    for (const MbxSpec& m : spec.mbxs) {
         Runtime::MbxPool pool;
         const int nodes = std::clamp(m.nodes, 1, 64);
         for (int n = 0; n < nodes; ++n) {
@@ -422,34 +514,6 @@ void setup_workload(const std::shared_ptr<Runtime>& rt) {
         }
         rt->mbx_pools.push_back(std::move(pool));
     }
-    for (std::size_t i = 0; i < spec.mbfs.size(); ++i) {
-        const MbfSpec& m = spec.mbfs[i];
-        T_CMBF cm;
-        cm.name = "fz_mbf" + std::to_string(i);
-        cm.bufsz = std::clamp(m.bufsz, 0, 1 << 16);
-        cm.maxmsz = std::clamp(m.maxmsz, 1, 1 << 12);
-        cm.mbfatr = m.tpri ? TA_TPRI : TA_TFIFO;
-        rt->mbfs.push_back(tk.tk_cre_mbf(cm));
-    }
-    for (std::size_t i = 0; i < spec.mpfs.size(); ++i) {
-        const MpfSpec& m = spec.mpfs[i];
-        T_CMPF cm;
-        cm.name = "fz_mpf" + std::to_string(i);
-        cm.mpfcnt = std::clamp(m.cnt, 1, 256);
-        cm.blfsz = std::clamp(m.blksz, 1, 1 << 12);
-        cm.mpfatr = m.tpri ? TA_TPRI : TA_TFIFO;
-        rt->mpfs.push_back(tk.tk_cre_mpf(cm));
-    }
-    for (std::size_t i = 0; i < spec.mpls.size(); ++i) {
-        const MplSpec& m = spec.mpls[i];
-        T_CMPL cm;
-        cm.name = "fz_mpl" + std::to_string(i);
-        cm.mplsz = std::clamp(m.size, 8, 1 << 16);
-        cm.mplatr = m.tpri ? TA_TPRI : TA_TFIFO;
-        rt->mpls.push_back(tk.tk_cre_mpl(cm));
-    }
-
-    // Buffer capacity for message-buffer sends/receives.
     INT max_msz = 1;
     for (const MbfSpec& m : spec.mbfs) {
         max_msz = std::max(max_msz, std::clamp(m.maxmsz, 1, 1 << 12));
@@ -464,78 +528,27 @@ void setup_workload(const std::shared_ptr<Runtime>& rt) {
         trt.rcv_buf.assign(static_cast<std::size_t>(max_msz), 0);
     }
 
-    for (std::size_t i = 0; i < spec.tasks.size(); ++i) {
-        const TaskSpec& t = spec.tasks[i];
-        T_CTSK ct;
-        ct.name = "fz_task" + std::to_string(i);
-        ct.itskpri = std::clamp(t.pri, min_priority, max_priority);
-        const int self = static_cast<int>(i);
-        ct.task = [rt, self](INT, void*) {
-            for (;;) {
-                rt->tk->sim().SIM_WaitUnits(
-                    static_cast<std::uint64_t>(
-                        std::clamp(rt->spec->iter_units, 1, 1000)),
-                    ExecContext::task);
-                run_program(rt, self,
-                            rt->spec->tasks[static_cast<std::size_t>(self)].ops,
-                            /*handler=*/false);
-            }
-        };
-        const ID tid = tk.tk_cre_tsk(ct);
-        rt->tasks.push_back(tid);
-        if (t.tex && tid > 0) {
-            T_DTEX dt;
-            dt.texhdr = [rt](UINT) {
-                rt->tk->sim().SIM_WaitUnits(5, ExecContext::service_call);
-            };
-            tk.tk_def_tex(tid, dt);
-        }
+    // Instantiate the graph in one shot; the interpreter addresses
+    // objects by raw ID, so ownership goes straight back to the kernel.
+    api::System sys(tk);
+    auto handles = api::instantiate(sys, build_system_spec(rt));
+    if (!handles.ok()) {
+        sysc::report(sysc::Severity::fatal, "fuzz",
+                     std::string("FuzzSpec instantiation failed: ") +
+                         api::er_describe(handles.er()));
     }
-    for (ID tid : rt->tasks) {
-        if (tid > 0) {
-            tk.tk_sta_tsk(tid, 0);
-        }
-    }
-
-    for (std::size_t i = 0; i < spec.cycs.size(); ++i) {
-        const CycSpec& c = spec.cycs[i];
-        T_CCYC cc;
-        cc.name = "fz_cyc" + std::to_string(i);
-        cc.cyctim = static_cast<RELTIM>(std::clamp(c.period_ms, 1, 1000));
-        cc.cycphs = static_cast<RELTIM>(std::clamp(c.phase_ms, 0, 1000));
-        cc.cycatr = (c.autostart ? TA_STA : 0u) | (c.phs ? TA_PHS : 0u);
-        const std::size_t idx = i;
-        cc.cychdr = [rt, idx](void*) {
-            run_program(rt, -1, rt->spec->cycs[idx].ops, /*handler=*/true);
-        };
-        rt->cycs.push_back(tk.tk_cre_cyc(cc));
-    }
-    for (std::size_t i = 0; i < spec.alms.size(); ++i) {
-        const AlmSpec& a = spec.alms[i];
-        T_CALM ca;
-        ca.name = "fz_alm" + std::to_string(i);
-        const std::size_t idx = i;
-        ca.almhdr = [rt, idx](void*) {
-            run_program(rt, -1, rt->spec->alms[idx].ops, /*handler=*/true);
-        };
-        const ID aid = tk.tk_cre_alm(ca);
-        rt->alms.push_back(aid);
-        if (a.start_ms > 0 && aid > 0) {
-            tk.tk_sta_alm(aid, static_cast<RELTIM>(std::clamp(a.start_ms, 1, 1000)));
-        }
-    }
-    for (std::size_t i = 0; i < spec.ints.size(); ++i) {
-        const IntSpec& v = spec.ints[i];
-        const UINT intno = 100 + static_cast<UINT>(i);
-        T_DINT di;
-        di.intpri = std::clamp(v.pri, 1, 8);
-        const std::size_t idx = i;
-        di.inthdr = [rt, idx](void*) {
-            run_program(rt, -1, rt->spec->ints[idx].ops, /*handler=*/true);
-        };
-        tk.tk_def_int(intno, di);
-        rt->intvecs.push_back(intno);
-    }
+    handles->release_all();
+    for (const auto& h : handles->tasks) rt->tasks.push_back(h.id());
+    for (const auto& h : handles->semaphores) rt->sems.push_back(h.id());
+    for (const auto& h : handles->eventflags) rt->flgs.push_back(h.id());
+    for (const auto& h : handles->mutexes) rt->mtxs.push_back(h.id());
+    for (const auto& h : handles->mailboxes) rt->mbxs.push_back(h.id());
+    for (const auto& h : handles->msgbufs) rt->mbfs.push_back(h.id());
+    for (const auto& h : handles->fixed_pools) rt->mpfs.push_back(h.id());
+    for (const auto& h : handles->var_pools) rt->mpls.push_back(h.id());
+    for (const auto& h : handles->cyclics) rt->cycs.push_back(h.id());
+    for (const auto& h : handles->alarms) rt->alms.push_back(h.id());
+    rt->intvecs = handles->interrupts;
 }
 
 }  // namespace

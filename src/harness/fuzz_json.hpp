@@ -1,72 +1,13 @@
-// Minimal JSON document model for the fuzzer's repro files.
-//
-// The repro format (see README "Fuzzing the kernel") only needs objects,
-// arrays, strings, 64-bit integers and booleans, so this is a small
-// recursive-descent parser plus a deterministic writer -- not a general
-// JSON library. Kept dependency-free on purpose: repro files must parse
-// identically everywhere the simulator builds.
+// The fuzzer's JSON document model now lives in the api layer
+// (api/json.hpp) so api::SystemSpec can round-trip without depending on
+// the harness; this header keeps the historical rtk::harness::fuzz::Json
+// spelling working for the repro-file code and its tests.
 #pragma once
 
-#include <cstdint>
-#include <map>
-#include <memory>
-#include <string>
-#include <vector>
+#include "api/json.hpp"
 
 namespace rtk::harness::fuzz {
 
-class Json {
-public:
-    enum class Kind { null, boolean, number, string, array, object };
-
-    Json() = default;
-
-    static Json boolean(bool b);
-    static Json number(std::uint64_t v);
-    static Json number_signed(std::int64_t v);
-    static Json string(std::string s);
-    static Json array();
-    static Json object();
-
-    Kind kind() const { return kind_; }
-    bool is_object() const { return kind_ == Kind::object; }
-    bool is_array() const { return kind_ == Kind::array; }
-
-    // ---- readers (defaulted access: wrong kind returns the fallback) ----
-    bool as_bool(bool fallback = false) const;
-    std::uint64_t as_u64(std::uint64_t fallback = 0) const;
-    std::int64_t as_i64(std::int64_t fallback = 0) const;
-    const std::string& as_string() const;  ///< empty string when not a string
-
-    /// Object member lookup; returns a shared null instance when absent.
-    const Json& at(const std::string& key) const;
-    bool has(const std::string& key) const;
-    /// Array elements (empty when not an array).
-    const std::vector<Json>& items() const;
-    /// Object members in key order (empty when not an object).
-    const std::map<std::string, Json>& members() const;
-
-    // ---- writers ----
-    void set(const std::string& key, Json v);  ///< makes this an object
-    void push(Json v);                         ///< makes this an array
-
-    /// Serialize; objects emit members in key order so output is
-    /// deterministic. `indent` < 0 gives compact one-line output.
-    std::string dump(int indent = 2) const;
-
-    /// Parse `text`; returns false (and fills `error`) on malformed input.
-    static bool parse(const std::string& text, Json& out, std::string* error = nullptr);
-
-private:
-    Kind kind_ = Kind::null;
-    bool bool_ = false;
-    std::uint64_t num_ = 0;      ///< magnitude
-    bool negative_ = false;      ///< sign of the number
-    std::string str_;
-    std::vector<Json> items_;
-    std::map<std::string, Json> members_;
-
-    void dump_to(std::string& out, int indent, int depth) const;
-};
+using Json = rtk::api::Json;
 
 }  // namespace rtk::harness::fuzz

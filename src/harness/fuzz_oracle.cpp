@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "api/error.hpp"
+
 namespace rtk::harness::fuzz {
 
 using sim::ThreadKind;
@@ -11,6 +13,13 @@ using sim::TThread;
 using namespace rtk::tkernel;
 
 namespace {
+
+/// "semaphore (TTW_SEM)" -- the wait factor with its spec-level TTW_*
+/// mnemonic, so violation reports read like tk_ref_tsk output.
+std::string wait_cause(WaitKind k) {
+    return std::string(to_string(k)) + " (" +
+           api::ttw_to_string(wait_kind_to_ttw(k)) + ")";
+}
 
 ATR mutex_protocol(const Mutex& m) {
     return m.atr & 0x3;
@@ -273,7 +282,7 @@ void InvariantOracle::scan_tasks(sysc::Time at) {
         }
         if (!waiting_state && tcb->wait_kind != WaitKind::none) {
             violate("W2", "task " + tcb->name + " has wait factor " +
-                              to_string(tcb->wait_kind) + " in state " +
+                              wait_cause(tcb->wait_kind) + " in state " +
                               sim::to_string(st),
                     at);
         }
@@ -331,7 +340,7 @@ void InvariantOracle::scan_tasks(sysc::Time at) {
         if (queue_kind) {
             if (expected_queue == nullptr) {
                 violate("W2", "task " + tcb->name + " waits on " +
-                                  to_string(tcb->wait_kind) + " id " +
+                                  wait_cause(tcb->wait_kind) + " id " +
                                   std::to_string(tcb->wait_obj) +
                                   " which does not exist",
                         at);
@@ -343,7 +352,7 @@ void InvariantOracle::scan_tasks(sysc::Time at) {
             }
         } else if (tcb->queue != nullptr) {
             violate("W2", "task " + tcb->name + " linked in a wait queue with " +
-                              std::string(to_string(tcb->wait_kind)) +
+                              wait_cause(tcb->wait_kind) +
                               " wait factor",
                     at);
         }

@@ -81,6 +81,42 @@ std::uint64_t fingerprint_simulation(const Simulation& sim) {
     return h.value();
 }
 
+ScenarioSpec scenario_from_system(std::string name, api::SystemSpec system,
+                                  Simulation::Config config, sysc::Time duration,
+                                  SystemWire wire) {
+    ScenarioSpec sc;
+    sc.name = std::move(name);
+    sc.config = config;
+    sc.duration = duration;
+    auto spec_ptr = std::make_shared<const api::SystemSpec>(std::move(system));
+    sc.workload = [spec_ptr, wire](Simulation& sim, const ScenarioSpec&) {
+        // The facade and the handle graph live as long as the run:
+        // retained on the Simulation, the System outliving the handles
+        // minted from it (reverse retention order).
+        auto sys = std::make_shared<api::System>(sim.os());
+        sim.retain(sys);
+        auto holder = std::make_shared<api::SystemHandles>();
+        sim.retain(holder);
+        Simulation* simp = &sim;
+        sim.set_user_main([spec_ptr, sys, holder, wire, simp] {
+            auto handles = api::instantiate(*sys, *spec_ptr);
+            if (!handles.ok()) {
+                sysc::report(sysc::Severity::fatal, "harness",
+                             std::string("SystemSpec instantiation failed: ") +
+                                 api::er_describe(handles.er()));
+            }
+            *holder = std::move(handles).value();
+            if (wire) {
+                wire(*simp, *holder);
+            }
+            // Ownership goes to the kernel: teardown reclaims the graph
+            // wholesale, handles stay valid for calls during the run.
+            holder->release_all();
+        });
+    };
+    return sc;
+}
+
 ScenarioResult run_scenario(const ScenarioSpec& spec) {
     ScenarioResult r;
     r.name = spec.name;

@@ -14,6 +14,7 @@
 #include <functional>
 #include <string>
 
+#include "api/builder.hpp"
 #include "harness/simulation.hpp"
 #include "sim/stats.hpp"
 #include "sysc/time.hpp"
@@ -69,6 +70,24 @@ struct ScenarioResult {
 /// Run one scenario to completion in a fresh, isolated Simulation.
 /// Never throws: simulation errors are captured into the result.
 ScenarioResult run_scenario(const ScenarioSpec& spec);
+
+/// Per-run hook of scenario_from_system: runs inside the user main after
+/// the system graph is instantiated, with this run's live handles. Runs
+/// on whatever worker thread executes the scenario -- do not mutate
+/// state shared across concurrent runs from it.
+using SystemWire = std::function<void(Simulation&, api::SystemHandles&)>;
+
+/// Build a ScenarioSpec whose workload constructs `system` through
+/// api::SystemBuilder/instantiate inside the Simulation's user main --
+/// the declarative "scenario as data" path. Instantiation failure
+/// surfaces as a simulation error in the ScenarioResult. The handle
+/// graph is retained for the run (released to the kernel for teardown);
+/// `wire` can start tasks, attach extra behaviour or stash run-local
+/// state.
+ScenarioSpec scenario_from_system(std::string name, api::SystemSpec system,
+                                  Simulation::Config config = {},
+                                  sysc::Time duration = sysc::Time::ms(100),
+                                  SystemWire wire = nullptr);
 
 /// The behaviour digest used by ScenarioResult::fingerprint (exposed for
 /// tests that want to fingerprint a hand-driven Simulation).

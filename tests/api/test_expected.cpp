@@ -1,0 +1,143 @@
+// api::Status / rtk::Expected<T>: ER mapping, value access, fatal paths,
+// and the error/wait-cause pretty-printers.
+#include <gtest/gtest.h>
+
+#include "api/error.hpp"
+#include "api/expected.hpp"
+#include "sysc/report.hpp"
+
+using namespace rtk;
+using namespace rtk::tkernel;
+
+TEST(Status, DefaultIsOk) {
+    const api::Status st;
+    EXPECT_TRUE(st.ok());
+    EXPECT_TRUE(static_cast<bool>(st));
+    EXPECT_EQ(st.er(), E_OK);
+    EXPECT_STREQ(st.name(), "E_OK");
+}
+
+TEST(Status, WrapsEveryErrorCode) {
+    // Every code of the T-Kernel numbering must map to its mnemonic --
+    // the whole point of the facade is that nothing prints as a bare int.
+    const struct {
+        ER er;
+        const char* name;
+    } cases[] = {
+        {E_OK, "E_OK"},       {E_SYS, "E_SYS"},     {E_NOSPT, "E_NOSPT"},
+        {E_RSATR, "E_RSATR"}, {E_PAR, "E_PAR"},     {E_ID, "E_ID"},
+        {E_CTX, "E_CTX"},     {E_ILUSE, "E_ILUSE"}, {E_NOMEM, "E_NOMEM"},
+        {E_LIMIT, "E_LIMIT"}, {E_OBJ, "E_OBJ"},     {E_NOEXS, "E_NOEXS"},
+        {E_QOVR, "E_QOVR"},   {E_RLWAI, "E_RLWAI"}, {E_TMOUT, "E_TMOUT"},
+        {E_DLT, "E_DLT"},     {E_DISWAI, "E_DISWAI"},
+    };
+    for (const auto& c : cases) {
+        const api::Status st = api::Status::from_er(c.er);
+        EXPECT_EQ(st.ok(), c.er >= 0) << c.name;
+        EXPECT_STREQ(st.name(), c.name);
+        EXPECT_STREQ(rtk::er_to_string(c.er), c.name);
+        EXPECT_TRUE(st == c.er);
+    }
+}
+
+TEST(Status, DescribeIncludesMnemonicAndNumber) {
+    EXPECT_EQ(api::Status::from_er(E_TMOUT).describe(), "E_TMOUT (-50)");
+    EXPECT_EQ(api::Status::from_er(E_OK).describe(), "E_OK (0)");
+    EXPECT_EQ(api::er_describe(3), "3");  // positive service results stay bare
+}
+
+TEST(Status, PositiveReturnValuesAreSuccess) {
+    const api::Status st = api::Status::from_er(5);  // e.g. tk_can_wup count
+    EXPECT_TRUE(st.ok());
+    EXPECT_EQ(st.er(), 5);
+}
+
+TEST(Status, ExpectThrowsOnFailure) {
+    EXPECT_NO_THROW(api::Status().expect("fine"));
+    EXPECT_THROW(api::Status::from_er(E_NOEXS).expect("doomed"),
+                 sysc::SimError);
+}
+
+TEST(Expected, HoldsValueOnSuccess) {
+    const Expected<int> e = 42;
+    ASSERT_TRUE(e.ok());
+    EXPECT_EQ(e.er(), E_OK);
+    EXPECT_EQ(e.value(), 42);
+    EXPECT_EQ(*e, 42);
+    EXPECT_EQ(e.value_or(-1), 42);
+    EXPECT_EQ(e.expect("answer"), 42);
+}
+
+TEST(Expected, FailureCarriesTheCode) {
+    const Expected<int> e = Expected<int>::failure(E_TMOUT);
+    EXPECT_FALSE(e.ok());
+    EXPECT_FALSE(static_cast<bool>(e));
+    EXPECT_EQ(e.er(), E_TMOUT);
+    EXPECT_FALSE(e.status().ok());
+    EXPECT_STREQ(e.error_name(), "E_TMOUT");
+    EXPECT_EQ(e.value_or(-7), -7);
+}
+
+TEST(Expected, ValueOnFailureIsFatalNotUb) {
+    const Expected<int> e = Expected<int>::failure(E_ID);
+    EXPECT_THROW((void)e.value(), sysc::SimError);
+    EXPECT_THROW((void)e.expect("must have"), sysc::SimError);
+}
+
+TEST(Expected, PropagatesFromFailedStatus) {
+    const api::Status failed = api::Status::from_er(E_CTX);
+    const Expected<int> e = failed;  // the `if (!st) return st;` shape
+    EXPECT_FALSE(e.ok());
+    EXPECT_EQ(e.er(), E_CTX);
+}
+
+TEST(Expected, SuccessStatusWithoutValueIsFatal) {
+    EXPECT_THROW((void)Expected<int>(api::Status()), sysc::SimError);
+}
+
+// ---- wait-cause pretty-printers ---------------------------------------------
+
+TEST(WaitCause, TtwSingleBits) {
+    EXPECT_EQ(api::ttw_to_string(TTW_SLP), "TTW_SLP");
+    EXPECT_EQ(api::ttw_to_string(TTW_DLY), "TTW_DLY");
+    EXPECT_EQ(api::ttw_to_string(TTW_SEM), "TTW_SEM");
+    EXPECT_EQ(api::ttw_to_string(TTW_FLG), "TTW_FLG");
+    EXPECT_EQ(api::ttw_to_string(TTW_MBX), "TTW_MBX");
+    EXPECT_EQ(api::ttw_to_string(TTW_MTX), "TTW_MTX");
+    EXPECT_EQ(api::ttw_to_string(TTW_SMBF), "TTW_SMBF");
+    EXPECT_EQ(api::ttw_to_string(TTW_RMBF), "TTW_RMBF");
+    EXPECT_EQ(api::ttw_to_string(TTW_MPF), "TTW_MPF");
+    EXPECT_EQ(api::ttw_to_string(TTW_MPL), "TTW_MPL");
+}
+
+TEST(WaitCause, TtwCombinationsAndUnknownBits) {
+    EXPECT_EQ(api::ttw_to_string(0), "none");
+    EXPECT_EQ(api::ttw_to_string(TTW_SLP | TTW_DLY), "TTW_SLP|TTW_DLY");
+    EXPECT_EQ(api::ttw_to_string(TTW_SEM | 0x80000000u), "TTW_SEM|0x80000000");
+}
+
+TEST(WaitCause, TaskStates) {
+    EXPECT_STREQ(api::tts_to_string(TTS_RUN), "TTS_RUN");
+    EXPECT_STREQ(api::tts_to_string(TTS_RDY), "TTS_RDY");
+    EXPECT_STREQ(api::tts_to_string(TTS_WAI), "TTS_WAI");
+    EXPECT_STREQ(api::tts_to_string(TTS_SUS), "TTS_SUS");
+    EXPECT_STREQ(api::tts_to_string(TTS_WAS), "TTS_WAS");
+    EXPECT_STREQ(api::tts_to_string(TTS_DMT), "TTS_DMT");
+}
+
+TEST(WaitCause, DescribeTaskState) {
+    T_RTSK r;
+    r.tskstat = TTS_WAI;
+    r.tskwait = TTW_SEM;
+    r.wid = 3;
+    EXPECT_EQ(api::describe_task_state(r), "TTS_WAI (TTW_SEM id 3)");
+
+    r.tskstat = TTS_RUN;
+    r.tskwait = 0;
+    EXPECT_EQ(api::describe_task_state(r), "TTS_RUN");
+
+    r.tskstat = TTS_WAS;  // waiting-suspended includes TTS_WAI
+    r.tskwait = TTW_DLY;
+    r.wid = 0;
+    EXPECT_EQ(api::describe_task_state(r), "TTS_WAS (TTW_DLY)");
+}
