@@ -1,0 +1,99 @@
+// Fault-injection campaign: cross a generated workload corpus with the
+// six fault classes, run every injection through the batch runner and
+// classify each outcome with the invariant oracle -- the dependability
+// twin of the fuzz sweep: instead of asking "does the kernel ever break
+// on its own", it asks "what does it take to break it, and does the
+// oracle notice".
+//
+//   $ ./bench_fault_campaign [injections-per-workload] [corpus] [threads]
+//
+// Emits BENCH_fault_coverage.json: the service-call x fault-class
+// heat-map of masked / detected / invariant-violated / hung counts.
+// Exits non-zero when coverage falls short (all six fault classes and,
+// at full scale, at least 10 distinct service calls and 10k injections)
+// -- the bench doubles as the campaign's acceptance gate.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "bench_util.hpp"
+#include "harness/harness.hpp"
+
+using namespace rtk::harness::fault;
+namespace bench = rtk::bench;
+
+int main(int argc, char** argv) {
+    const std::size_t per_workload =
+        argc > 1 ? static_cast<std::size_t>(std::strtoul(argv[1], nullptr, 10))
+                 : 528;
+    const std::size_t corpus =
+        argc > 2 ? static_cast<std::size_t>(std::strtoul(argv[2], nullptr, 10))
+                 : 20;
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    const unsigned workers = argc > 3 ? static_cast<unsigned>(std::atoi(argv[3]))
+                                      : std::min(hw, 16u);
+
+    CampaignOptions opts;
+    opts.base_seed = 880001;  // disjoint from the fuzz bench/smoke blocks
+    opts.corpus = corpus;
+    opts.injections_per_workload = per_workload;
+    opts.threads = workers;
+    opts.repro_dir = ".";
+
+    std::printf("Fault campaign: %zu workloads x %zu injections, %u workers "
+                "(%u hardware threads)\n\n",
+                corpus, per_workload, workers, hw);
+    const CampaignReport report = run_fault_campaign(opts);
+
+    bench::Table table({"metric", "value"});
+    table.add_row({"workloads", std::to_string(report.workloads)});
+    table.add_row({"injections", std::to_string(report.injections)});
+    table.add_row({"injected", std::to_string(report.injected)});
+    table.add_row({"masked", std::to_string(report.count(Outcome::masked))});
+    table.add_row({"detected", std::to_string(report.count(Outcome::detected))});
+    table.add_row({"invariant_violated",
+                   std::to_string(report.count(Outcome::invariant_violated))});
+    table.add_row({"hung", std::to_string(report.count(Outcome::hung))});
+    table.add_row({"diverged", std::to_string(report.diverged)});
+    table.add_row(
+        {"service calls covered", std::to_string(report.service_calls_covered())});
+    table.add_row(
+        {"fault classes covered", std::to_string(report.fault_classes_covered())});
+    table.add_row({"wall [s]", bench::fmt(report.wall_seconds)});
+    table.add_row({"injections/s",
+                   bench::fmt(report.wall_seconds > 0.0
+                                  ? static_cast<double>(report.injections) /
+                                        report.wall_seconds
+                                  : 0.0)});
+    table.print();
+
+    const char* out_path = "BENCH_fault_coverage.json";
+    if (!report.write_json(out_path)) {
+        std::fprintf(stderr, "FAILED to write %s\n", out_path);
+        return 1;
+    }
+    std::printf("\nwrote %s (%zu repro files)\n", out_path,
+                report.repro_paths.size());
+
+    // Acceptance gates, scaled down for reduced (sanitizer/CI) runs.
+    const bool full_scale = argc <= 1;
+    bool ok = true;
+    if (report.fault_classes_covered() < fault_class_count) {
+        std::fprintf(stderr, "FAILED: only %zu/%zu fault classes covered\n",
+                     report.fault_classes_covered(), fault_class_count);
+        ok = false;
+    }
+    const std::size_t min_calls = full_scale ? 10 : 3;
+    if (report.service_calls_covered() < min_calls) {
+        std::fprintf(stderr, "FAILED: only %zu service calls covered (min %zu)\n",
+                     report.service_calls_covered(), min_calls);
+        ok = false;
+    }
+    if (full_scale && report.injections < 10000) {
+        std::fprintf(stderr, "FAILED: only %zu injections at full scale\n",
+                     report.injections);
+        ok = false;
+    }
+    return ok ? 0 : 1;
+}

@@ -1,7 +1,9 @@
 #include "api/json.hpp"
 
 #include <cctype>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace rtk::api {
 
@@ -35,6 +37,13 @@ Json Json::number_signed(std::int64_t v) {
     } else {
         j.num_ = static_cast<std::uint64_t>(v);
     }
+    return j;
+}
+
+Json Json::number_real(double v) {
+    Json j;
+    j.kind_ = Kind::real;
+    j.real_ = v;
     return j;
 }
 
@@ -76,6 +85,16 @@ std::int64_t Json::as_i64(std::int64_t fallback) const {
         return -static_cast<std::int64_t>(num_ - 1) - 1;
     }
     return static_cast<std::int64_t>(num_);
+}
+
+double Json::as_real(double fallback) const {
+    switch (kind_) {
+        case Kind::real: return real_;
+        case Kind::number:
+            return negative_ ? -static_cast<double>(num_)
+                             : static_cast<double>(num_);
+        default: return fallback;
+    }
 }
 
 const std::string& Json::as_string() const {
@@ -161,6 +180,17 @@ void Json::dump_to(std::string& out, int indent, int depth) const {
                 out += '-';
             }
             out += std::to_string(num_);
+            return;
+        case Kind::real:
+            if (std::isfinite(real_)) {
+                char buf[64];
+                std::snprintf(buf, sizeof(buf), "%.6f", real_);
+                out += buf;
+            } else if (std::isnan(real_)) {
+                out += "\"nan\"";
+            } else {
+                out += real_ > 0 ? "\"inf\"" : "\"-inf\"";
+            }
             return;
         case Kind::string:
             append_escaped(out, str_);
@@ -295,6 +325,7 @@ private:
     }
 
     bool parse_number(Json& out) {
+        const std::size_t start = pos_;
         bool neg = false;
         if (s_[pos_] == '-') {
             neg = true;
@@ -313,7 +344,24 @@ private:
             ++pos_;
         }
         if (pos_ < s_.size() && (s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E')) {
-            return fail("floating point numbers are not part of the repro format");
+            // Real literal (emitted by number_real for the bench/report
+            // documents). Reparse the whole token with strtod; spec and
+            // repro readers still see integers only, because as_u64 /
+            // as_i64 fall back on a real value.
+            while (pos_ < s_.size() &&
+                   (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+                    s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+                    s_[pos_] == '+' || s_[pos_] == '-')) {
+                ++pos_;
+            }
+            const std::string tok = s_.substr(start, pos_ - start);
+            char* end = nullptr;
+            const double v = std::strtod(tok.c_str(), &end);
+            if (end == nullptr || *end != '\0') {
+                return fail("malformed number");
+            }
+            out = Json::number_real(v);
+            return true;
         }
         if (neg) {
             if (mag > (1ull << 63)) {

@@ -18,13 +18,20 @@ namespace rtk::api {
 
 class Json {
 public:
-    enum class Kind { null, boolean, number, string, array, object };
+    enum class Kind { null, boolean, number, real, string, array, object };
 
     Json() = default;
 
     static Json boolean(bool b);
     static Json number(std::uint64_t v);
     static Json number_signed(std::int64_t v);
+    /// Real-valued metric (reports and heat-maps emit these; the parser
+    /// reads them back as Kind::real, and the integer readers as_u64 /
+    /// as_i64 fall back on them, so repro/spec fields stay
+    /// integer-exact). Finite values print as fixed-point %.6f; NaN and
+    /// +/-inf, which bare printf would emit as invalid JSON, serialize as
+    /// the strings "nan", "inf" and "-inf".
+    static Json number_real(double v);
     static Json string(std::string s);
     static Json array();
     static Json object();
@@ -37,6 +44,7 @@ public:
     bool as_bool(bool fallback = false) const;
     std::uint64_t as_u64(std::uint64_t fallback = 0) const;
     std::int64_t as_i64(std::int64_t fallback = 0) const;
+    double as_real(double fallback = 0.0) const;
     const std::string& as_string() const;  ///< empty string when not a string
 
     /// Object member lookup; returns a shared null instance when absent.
@@ -63,6 +71,7 @@ private:
     bool bool_ = false;
     std::uint64_t num_ = 0;      ///< magnitude
     bool negative_ = false;      ///< sign of the number
+    double real_ = 0.0;          ///< Kind::real payload
     std::string str_;
     std::vector<Json> items_;
     std::map<std::string, Json> members_;

@@ -36,6 +36,8 @@ TMO to_tmo(std::int32_t t) {
 struct Runtime {
     TKernel* tk = nullptr;
     std::shared_ptr<const FuzzSpec> spec;
+    WorkloadHooks hooks;
+    std::uint64_t op_index = 0;  ///< global op-execution counter
 
     std::vector<ID> tasks, sems, flgs, mtxs, mbxs, mbfs, mpfs, mpls, cycs, alms;
     std::vector<UINT> intvecs;
@@ -376,7 +378,14 @@ void exec_op(Runtime& rt, int self, const FuzzOp& op, bool handler) {
 void run_program(const std::shared_ptr<Runtime>& rt, int self,
                  const std::vector<FuzzOp>& ops, bool handler) {
     for (const FuzzOp& op : ops) {
-        exec_op(*rt, self, op, handler);
+        // Ops execute from a copy so a before_op rewrite (argument
+        // corruption) never leaks into later iterations of the program.
+        FuzzOp cur = op;
+        if (rt->hooks.before_op) {
+            rt->hooks.before_op(rt->op_index, cur, handler);
+        }
+        ++rt->op_index;
+        exec_op(*rt, self, cur, handler);
     }
 }
 
@@ -558,9 +567,16 @@ void setup_workload(const std::shared_ptr<Runtime>& rt) {
 // ============================================================================
 
 BuiltScenario build_scenario(const FuzzSpec& spec, bool with_oracle) {
+    return build_scenario(spec, with_oracle, WorkloadHooks{}, nullptr);
+}
+
+BuiltScenario build_scenario(const FuzzSpec& spec, bool with_oracle,
+                             WorkloadHooks hooks,
+                             std::function<void(Simulation&)> attach) {
     BuiltScenario built;
     built.oracle = std::make_shared<OracleReport>();
     auto spec_ptr = std::make_shared<const FuzzSpec>(spec);
+    auto hooks_ptr = std::make_shared<const WorkloadHooks>(std::move(hooks));
     // Slot shared between workload (which creates the oracle inside the
     // simulation) and the check predicate (which harvests it). Weak: the
     // Simulation's retain() is the owning reference, so the oracle dies
@@ -574,17 +590,21 @@ BuiltScenario build_scenario(const FuzzSpec& spec, bool with_oracle) {
     sc.config.tick = Time::us(spec.tick_us);
     sc.config.policy = spec.round_robin ? TKernel::SchedPolicy::round_robin
                                         : TKernel::SchedPolicy::priority_preemptive;
-    sc.workload = [spec_ptr, oracle_slot, with_oracle](Simulation& sim,
-                                                       const ScenarioSpec&) {
+    sc.workload = [spec_ptr, hooks_ptr, oracle_slot, with_oracle,
+                   attach](Simulation& sim, const ScenarioSpec&) {
         auto rt = std::make_shared<Runtime>();
         rt->tk = &sim.os();
         rt->spec = spec_ptr;
+        rt->hooks = *hooks_ptr;
         sim.set_user_main([rt] { setup_workload(rt); });
         sim.retain(rt);
         if (with_oracle) {
             auto oracle = std::make_shared<InvariantOracle>(sim.os());
             sim.retain(oracle);
             *oracle_slot = oracle;
+        }
+        if (attach) {
+            attach(sim);
         }
     };
     std::shared_ptr<OracleReport> report = built.oracle;

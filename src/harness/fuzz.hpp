@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -40,10 +41,28 @@ struct BuiltScenario {
     std::shared_ptr<OracleReport> oracle;
 };
 
+/// Per-op interception of the spec interpreter. `before_op` runs before
+/// every op executes -- `index` is the 0-based global op-execution count
+/// across all tasks and handlers of the run, `op` may be rewritten in
+/// place (the spec itself is never mutated). This is how the fault
+/// engine attributes injections to service calls and corrupts call
+/// arguments deterministically.
+struct WorkloadHooks {
+    std::function<void(std::uint64_t index, FuzzOp& op, bool handler)> before_op;
+};
+
 /// Turn a spec into a runnable ScenarioSpec. The workload interprets the
 /// spec's op programs; when `with_oracle` is set an InvariantOracle is
 /// attached for the whole run and its findings land in `oracle`.
 BuiltScenario build_scenario(const FuzzSpec& spec, bool with_oracle = true);
+
+/// As above with interpreter hooks and an extra workload-time callback:
+/// `attach` runs on the freshly built Simulation after the oracle is
+/// installed (the fault engine registers its injector and trace
+/// observers there, via sim.retain()).
+BuiltScenario build_scenario(const FuzzSpec& spec, bool with_oracle,
+                             WorkloadHooks hooks,
+                             std::function<void(Simulation&)> attach);
 
 /// Differential result of one spec: serial run vs. a run on a worker
 /// thread pool, both under the oracle.

@@ -76,7 +76,7 @@ InvariantOracle::InvariantOracle(TKernel& os, Options opts)
     if (os_->config().policy != TKernel::SchedPolicy::priority_preemptive) {
         opts_.priority_dispatch = false;  // D1 is a priority-policy law
     }
-    os_->sim().set_observer(this);
+    os_->sim().add_observer(this);
     attached_ = true;
 }
 
@@ -86,9 +86,7 @@ InvariantOracle::~InvariantOracle() {
 
 void InvariantOracle::detach() {
     if (attached_) {
-        if (os_->sim().observer() == this) {
-            os_->sim().set_observer(nullptr);
-        }
+        os_->sim().remove_observer(this);
         attached_ = false;
     }
 }

@@ -1,8 +1,10 @@
 // Umbrella header for the rtk harness layer: the context-explicit
-// Simulation handle, the declarative batch scenario runner and the
-// property-based scenario fuzzer.
+// Simulation handle, the declarative batch scenario runner, the
+// property-based scenario fuzzer and the fault-injection campaign
+// engine.
 #pragma once
 
+#include "harness/fault.hpp"      // IWYU pragma: export
 #include "harness/fuzz.hpp"       // IWYU pragma: export
 #include "harness/runner.hpp"      // IWYU pragma: export
 #include "harness/scenario.hpp"   // IWYU pragma: export

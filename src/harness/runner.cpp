@@ -4,9 +4,11 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <exception>
 #include <fstream>
-#include <sstream>
 #include <thread>
+
+#include "api/json.hpp"
 
 namespace rtk::harness {
 
@@ -39,75 +41,55 @@ double BatchReport::total_host_seconds() const {
 
 namespace {
 
-std::string json_escape(const std::string& s) {
-    std::string out;
-    out.reserve(s.size() + 2);
-    for (char c : s) {
-        switch (c) {
-            case '"': out += "\\\""; break;
-            case '\\': out += "\\\\"; break;
-            case '\n': out += "\\n"; break;
-            case '\r': out += "\\r"; break;
-            case '\t': out += "\\t"; break;
-            default:
-                if (static_cast<unsigned char>(c) < 0x20) {
-                    char buf[8];
-                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                    out += buf;
-                } else {
-                    out += c;
-                }
-        }
-    }
-    return out;
-}
-
-std::string fmt_double(double v) {
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.6f", v);
-    return buf;
-}
-
 std::string fmt_hex64(std::uint64_t v) {
     char buf[32];
     std::snprintf(buf, sizeof(buf), "0x%016llx", static_cast<unsigned long long>(v));
     return buf;
 }
 
+api::Json result_to_json(const ScenarioResult& r) {
+    using api::Json;
+    Json j = Json::object();
+    j.set("name", Json::string(r.name));
+    j.set("seed", Json::number(r.seed));
+    j.set("passed", Json::boolean(r.passed));
+    j.set("hung", Json::boolean(r.hung));
+    j.set("error", Json::string(r.error));
+    j.set("sim_time_ms", Json::number_real(r.sim_time.to_ms()));
+    j.set("host_seconds", Json::number_real(r.host_seconds));
+    j.set("dispatches", Json::number(r.stats.dispatches));
+    j.set("preemptions", Json::number(r.stats.preemptions));
+    j.set("interrupts", Json::number(r.stats.interrupts));
+    j.set("cpu_load", Json::number_real(r.stats.cpu_load));
+    j.set("total_cet_ms", Json::number_real(r.stats.total_cet.to_ms()));
+    j.set("total_cee_mj", Json::number_real(r.stats.total_cee_nj * 1e-6));
+    j.set("gantt_segments", Json::number(r.gantt_segments));
+    j.set("gantt_markers", Json::number(r.gantt_markers));
+    j.set("fingerprint", Json::string(fmt_hex64(r.fingerprint)));
+    return j;
+}
+
 }  // namespace
 
 std::string BatchReport::to_json() const {
-    std::ostringstream out;
-    out << "{\n  \"batch\": {\n"
-        << "    \"scenarios\": " << results.size() << ",\n"
-        << "    \"threads\": " << threads << ",\n"
-        << "    \"passed\": " << passed() << ",\n"
-        << "    \"failed\": " << failed() << ",\n"
-        << "    \"wall_seconds\": " << fmt_double(wall_seconds) << ",\n"
-        << "    \"total_host_seconds\": " << fmt_double(total_host_seconds()) << ",\n"
-        << "    \"scenarios_per_second\": " << fmt_double(scenarios_per_second())
-        << "\n  },\n  \"results\": [";
-    for (std::size_t i = 0; i < results.size(); ++i) {
-        const ScenarioResult& r = results[i];
-        out << (i == 0 ? "\n" : ",\n");
-        out << "    {\"name\": \"" << json_escape(r.name) << "\""
-            << ", \"seed\": " << r.seed
-            << ", \"passed\": " << (r.passed ? "true" : "false")
-            << ", \"error\": \"" << json_escape(r.error) << "\""
-            << ", \"sim_time_ms\": " << fmt_double(r.sim_time.to_ms())
-            << ", \"host_seconds\": " << fmt_double(r.host_seconds)
-            << ", \"dispatches\": " << r.stats.dispatches
-            << ", \"preemptions\": " << r.stats.preemptions
-            << ", \"interrupts\": " << r.stats.interrupts
-            << ", \"cpu_load\": " << fmt_double(r.stats.cpu_load)
-            << ", \"total_cet_ms\": " << fmt_double(r.stats.total_cet.to_ms())
-            << ", \"total_cee_mj\": " << fmt_double(r.stats.total_cee_nj * 1e-6)
-            << ", \"gantt_segments\": " << r.gantt_segments
-            << ", \"gantt_markers\": " << r.gantt_markers
-            << ", \"fingerprint\": \"" << fmt_hex64(r.fingerprint) << "\"}";
+    using api::Json;
+    Json batch = Json::object();
+    batch.set("scenarios", Json::number(results.size()));
+    batch.set("threads", Json::number(threads));
+    batch.set("passed", Json::number(passed()));
+    batch.set("failed", Json::number(failed()));
+    batch.set("error", Json::string(error));
+    batch.set("wall_seconds", Json::number_real(wall_seconds));
+    batch.set("total_host_seconds", Json::number_real(total_host_seconds()));
+    batch.set("scenarios_per_second", Json::number_real(scenarios_per_second()));
+    Json res = Json::array();
+    for (const ScenarioResult& r : results) {
+        res.push(result_to_json(r));
     }
-    out << "\n  ]\n}\n";
-    return out.str();
+    Json doc = Json::object();
+    doc.set("batch", std::move(batch));
+    doc.set("results", std::move(res));
+    return doc.dump(2) + "\n";
 }
 
 bool BatchReport::write_json(const std::string& path) const {
@@ -161,11 +143,24 @@ BatchReport ScenarioRunner::run(const std::vector<ScenarioSpec>& specs) const {
         };
         std::vector<std::thread> pool;
         pool.reserve(report.threads);
-        for (unsigned t = 0; t < report.threads; ++t) {
-            pool.emplace_back(worker);
+        try {
+            for (unsigned t = 0; t < report.threads; ++t) {
+                pool.emplace_back(worker);
+            }
+        } catch (const std::exception& e) {
+            // Thread creation failed mid-loop: joining the vector of
+            // already-started workers (instead of letting it unwind
+            // joinable) keeps the process alive, and work-stealing means
+            // they still drain the whole batch.
+            report.error = std::string("thread pool creation failed: ") + e.what();
+            report.threads =
+                pool.empty() ? 1 : static_cast<unsigned>(pool.size());
         }
         for (auto& t : pool) {
             t.join();
+        }
+        if (pool.empty()) {
+            worker();  // serial fallback on the calling thread
         }
     }
 

@@ -25,6 +25,10 @@ struct BatchReport {
     /// Worker threads used and wall-clock time of the whole batch.
     unsigned threads = 1;
     double wall_seconds = 0.0;
+    /// Batch-level infrastructure failure (e.g. thread-pool creation
+    /// threw); empty on a clean run. Scenarios still complete -- the
+    /// surviving workers (or the calling thread) drain the batch.
+    std::string error;
 
     std::size_t passed() const;
     std::size_t failed() const;

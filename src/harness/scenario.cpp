@@ -140,14 +140,22 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
         if (spec.workload) {
             spec.workload(sim, spec);
         }
+        if (spec.delta_budget != 0) {
+            sim.kernel().set_delta_budget(spec.delta_budget);
+        }
         sim.power_on();
         sim.run_until(spec.duration);
+        r.hung = sim.kernel().delta_budget_exhausted();
         r.sim_time = sim.now();
         r.stats = sim.stats();
         r.gantt_segments = sim.sim().gantt().segments().size();
         r.gantt_markers = sim.sim().gantt().markers().size();
         r.fingerprint = fingerprint_simulation(sim);
-        if (spec.check && !spec.check(sim, spec)) {
+        if (r.hung) {
+            // The run was truncated mid-delta-cycle; the check predicate
+            // would judge a half-finished state, so it is not consulted.
+            r.error = "delta budget exhausted (simulation hung)";
+        } else if (spec.check && !spec.check(sim, spec)) {
             r.error = check_failed_error;
         } else {
             r.passed = true;

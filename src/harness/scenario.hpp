@@ -45,6 +45,10 @@ struct ScenarioSpec {
     /// When non-empty, a VCD trace of kernel activity (system time, tick
     /// count, running task) is written here during the run.
     std::string vcd_path;
+    /// Hang guard: abort the run after this many simulation delta cycles
+    /// and mark the result hung (0 = unlimited). Used by fault-injection
+    /// campaigns to classify livelocked runs instead of spinning forever.
+    std::uint64_t delta_budget = 0;
 };
 
 struct ScenarioResult {
@@ -53,6 +57,9 @@ struct ScenarioResult {
     bool passed = false;
     /// Failure detail: check-predicate failure or the SimError message.
     std::string error;
+    /// True when the run blew through ScenarioSpec::delta_budget (the
+    /// simulation livelocked before reaching `duration`).
+    bool hung = false;
     /// Simulated time reached and host wall-clock cost of the run.
     sysc::Time sim_time{};
     double host_seconds = 0.0;

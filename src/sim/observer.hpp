@@ -8,10 +8,22 @@
 // subscribe to -- kernel laws are validated from the outside, the way
 // NISTT-style non-intrusive tracing observes a real target.
 //
+// Registration: any number of observers may subscribe to one SimApi via
+// SimApi::add_observer / remove_observer (the oracle, a tracer and a
+// fault injector can all watch the same instance at once). Each event is
+// fanned out in registration order; observers added during a fan-out see
+// only later events, observers removed during a fan-out receive nothing
+// further. SimApi::set_observer remains as a single-slot compatibility
+// shim over the same list.
+//
 // Callbacks run synchronously inside the simulation kernel, between two
 // deterministic simulation steps. Observers must treat the SimApi (and
 // any kernel model built on it) as read-only: calling a mutating SIM_*
-// or tk_* entry point from a callback is undefined behaviour.
+// or tk_* entry point from a callback is undefined behaviour. The only
+// sanctioned exceptions are the explicit fault-injection hooks
+// (SIM_FaultDropInterrupts / SIM_FaultDuplicateInterrupt and the
+// TKernel::fault_* entry points), which merely write plain latch state
+// and defer the corrupted behaviour to the regular machinery.
 #pragma once
 
 #include "sim/types.hpp"

@@ -61,14 +61,73 @@ void SimApi::SIM_DeleteThread(TThread& t) {
                  owned_.end());
 }
 
+// ---- observer registry -------------------------------------------------------
+
+void SimApi::add_observer(SimObserver* obs) {
+    if (obs == nullptr) {
+        return;
+    }
+    if (std::find(observers_.begin(), observers_.end(), obs) != observers_.end()) {
+        return;
+    }
+    observers_.push_back(obs);
+}
+
+void SimApi::remove_observer(SimObserver* obs) {
+    if (obs == nullptr) {
+        return;
+    }
+    auto it = std::find(observers_.begin(), observers_.end(), obs);
+    if (it == observers_.end()) {
+        return;
+    }
+    if (compat_observer_ == obs) {
+        compat_observer_ = nullptr;
+    }
+    // Null the slot rather than erasing: a removal from inside an observer
+    // callback must not shift the fan-out loop's indices.
+    *it = nullptr;
+    observers_need_compact_ = true;
+    if (observer_dispatch_depth_ == 0) {
+        compact_observers();
+    }
+}
+
+void SimApi::set_observer(SimObserver* obs) {
+    if (compat_observer_ == obs) {
+        return;
+    }
+    if (compat_observer_ != nullptr) {
+        remove_observer(compat_observer_);
+    }
+    compat_observer_ = obs;
+    add_observer(obs);
+}
+
+std::size_t SimApi::observer_count() const {
+    std::size_t n = 0;
+    for (const SimObserver* obs : observers_) {
+        if (obs != nullptr) {
+            ++n;
+        }
+    }
+    return n;
+}
+
+void SimApi::compact_observers() {
+    observers_.erase(std::remove(observers_.begin(), observers_.end(), nullptr),
+                     observers_.end());
+    observers_need_compact_ = false;
+}
+
 // ---- state helpers -----------------------------------------------------------
 
 void SimApi::set_state(TThread& t, ThreadState s) {
     const ThreadState from = t.state_;
     t.state_ = s;
     hashtb_.update(t.id_, s, now_());
-    if (observer_ != nullptr && from != s) {
-        observer_->on_state_change(t, from, s, now_());
+    if (from != s) {
+        emit([&](SimObserver& o) { o.on_state_change(t, from, s, now_()); });
     }
 }
 
@@ -132,9 +191,7 @@ void SimApi::dispatch() {
         if (!idle_) {
             idle_ = true;
             idle_since_ = now_();
-            if (observer_ != nullptr) {
-                observer_->on_idle(now_());
-            }
+            emit([&](SimObserver& o) { o.on_idle(now_()); });
         }
         return;
     }
@@ -144,9 +201,7 @@ void SimApi::dispatch() {
     ++next->dispatches_;
     gantt_.add_marker(GanttRecorder::MarkerKind::dispatch, next->id_, now_());
     set_state(*next, ThreadState::running);
-    if (observer_ != nullptr) {
-        observer_->on_dispatch(*next, now_());
-    }
+    emit([&](SimObserver& o) { o.on_dispatch(*next, now_()); });
     grant(*next, next->wake_reason_);
 }
 
@@ -184,9 +239,7 @@ void SimApi::yield_preempted(TThread& t) {
     ++t.preemptions_;
     ++total_preemptions_;
     gantt_.add_marker(GanttRecorder::MarkerKind::preemption, t.id_, now_());
-    if (observer_ != nullptr) {
-        observer_->on_preemption(t, now_());
-    }
+    emit([&](SimObserver& o) { o.on_preemption(t, now_()); });
     if (t.suspend_pending_) {
         t.suspend_pending_ = false;
         t.wake_reason_ = RunEvent::return_from_preemption;
@@ -264,9 +317,7 @@ void SimApi::launch_isr(TThread& isr) {
     ++total_interrupts_;
     ++isr.dispatches_;
     set_state(isr, ThreadState::running);
-    if (observer_ != nullptr) {
-        observer_->on_interrupt_enter(isr, now_());
-    }
+    emit([&](SimObserver& o) { o.on_interrupt_enter(isr, now_()); });
     grant(isr, RunEvent::startup);
 }
 
@@ -275,6 +326,24 @@ void SimApi::SIM_RaiseInterrupt(TThread& isr) {
         sysc::report(Severity::fatal, "sim_api",
                      "SIM_RaiseInterrupt('" + isr.name_ + "'): not a handler thread");
     }
+    // Fault latches (see SIM_FaultDropInterrupts / SIM_FaultDuplicateInterrupt):
+    // a dropped edge vanishes before the pending machinery ever sees it; a
+    // duplicated edge is processed as two back-to-back raises, so the second
+    // one latches through the normal pending-activation path.
+    if (fault_drop_irqs_ > 0) {
+        --fault_drop_irqs_;
+        ++fault_irqs_dropped_;
+        return;
+    }
+    if (fault_dup_irq_) {
+        fault_dup_irq_ = false;
+        ++fault_irqs_duplicated_;
+        raise_interrupt_edge(isr);
+    }
+    raise_interrupt_edge(isr);
+}
+
+void SimApi::raise_interrupt_edge(TThread& isr) {
     const bool already_queued =
         std::find(pending_isrs_.begin(), pending_isrs_.end(), &isr) !=
         pending_isrs_.end();
@@ -318,9 +387,7 @@ void SimApi::on_handler_exited(TThread& h) {
     set_state(h, ThreadState::dormant);
     h.token_.complete_cycle();
     gantt_.add_marker(GanttRecorder::MarkerKind::interrupt_return, h.id_, now_());
-    if (observer_ != nullptr) {
-        observer_->on_interrupt_return(h, now_());
-    }
+    emit([&](SimObserver& o) { o.on_interrupt_return(h, now_()); });
     executing_ = nullptr;
     if (h.pending_activation_) {
         h.pending_activation_ = false;
@@ -363,9 +430,7 @@ void SimApi::on_handler_exited(TThread& h) {
                 ++total_preemptions_;
                 gantt_.add_marker(GanttRecorder::MarkerKind::preemption, back.id_,
                                   now_());
-                if (observer_ != nullptr) {
-                    observer_->on_preemption(back, now_());
-                }
+                emit([&](SimObserver& o) { o.on_preemption(back, now_()); });
                 back.wake_reason_ = RunEvent::return_from_preemption;
                 set_state(back, ThreadState::ready);
                 scheduler_->make_ready(back);
@@ -387,9 +452,7 @@ void SimApi::on_handler_exited(TThread& h) {
     if (!idle_) {
         idle_ = true;
         idle_since_ = now_();
-        if (observer_ != nullptr) {
-            observer_->on_idle(now_());
-        }
+        emit([&](SimObserver& o) { o.on_idle(now_()); });
     }
 }
 
@@ -499,9 +562,7 @@ void SimApi::SIM_Sleep() {
 
 void SimApi::SIM_WakeUp(TThread& t) {
     gantt_.add_marker(GanttRecorder::MarkerKind::wakeup, t.id_, now_());
-    if (observer_ != nullptr) {
-        observer_->on_wakeup(t, now_());
-    }
+    emit([&](SimObserver& o) { o.on_wakeup(t, now_()); });
     // "The waiting task will be notified later, upon the arrival of its
     // event" (paper §4): expose the Ew arrival for observers/waveforms.
     t.sleep_ev_.notify();

@@ -177,6 +177,22 @@ public:
         return executing_ != nullptr && executing_ != running_task_;
     }
 
+    // ---- fault-injection latches (rtk::harness::fault) ---------------------
+    // Deterministic corruption of the interrupt machinery: a dropped edge
+    // models a masked/glitched controller line, a duplicated one a stuck
+    // pending bit. Arming only writes plain latch state, so these two
+    // calls are sanctioned even from observer callbacks; the corruption
+    // itself happens inside the next regular SIM_RaiseInterrupt.
+    /// Swallow the next `n` raised interrupt edges (handlers never see them).
+    void SIM_FaultDropInterrupts(std::uint32_t n) { fault_drop_irqs_ = n; }
+    /// Deliver the next raised edge twice (second delivery follows the
+    /// normal pending-activation path).
+    void SIM_FaultDuplicateInterrupt() { fault_dup_irq_ = true; }
+    std::uint64_t fault_interrupts_dropped() const { return fault_irqs_dropped_; }
+    std::uint64_t fault_interrupts_duplicated() const {
+        return fault_irqs_duplicated_;
+    }
+
     // ---- introspection --------------------------------------------------------
     /// Thread in the µ-ITRON RUNNING state (may be interrupted beneath
     /// handlers); nullptr when the CPU idles.
@@ -200,11 +216,26 @@ public:
     const GanttRecorder& gantt() const { return gantt_; }
     const Config& config() const { return config_; }
 
-    /// Subscribe `obs` to the scheduling event stream (nullptr to
-    /// unsubscribe). One observer per instance; the caller keeps it alive
-    /// while registered. See sim/observer.hpp for the callback contract.
-    void set_observer(SimObserver* obs) { observer_ = obs; }
-    SimObserver* observer() const { return observer_; }
+    /// Subscribe `obs` to the scheduling event stream. Any number of
+    /// observers may be attached to one instance (oracle + tracer + fault
+    /// injector all at once); each event is fanned out in registration
+    /// order. The caller keeps `obs` alive while registered. Duplicate or
+    /// null registrations are ignored. See sim/observer.hpp for the
+    /// callback contract.
+    void add_observer(SimObserver* obs);
+    /// Unsubscribe `obs` (no-op when not registered). Safe to call from
+    /// inside an observer callback: the slot is nulled immediately (the
+    /// observer sees no further events, including later callbacks of the
+    /// event being dispatched) and compacted after the fan-out returns.
+    void remove_observer(SimObserver* obs);
+
+    /// Compatibility shim over add/remove_observer: replaces the observer
+    /// previously registered through set_observer (nullptr just removes
+    /// it). Observers registered with add_observer are unaffected.
+    void set_observer(SimObserver* obs);
+    /// The observer registered via set_observer (nullptr when none).
+    SimObserver* observer() const { return compat_observer_; }
+    std::size_t observer_count() const;
 
     std::uint64_t total_dispatches() const { return total_dispatches_; }
     std::uint64_t total_preemptions() const { return total_preemptions_; }
@@ -224,11 +255,32 @@ private:
     bool interrupts_deliverable_to(const TThread& t) const;
     bool preemption_allowed_for(const TThread& t) const;
     void launch_isr(TThread& isr);
+    void raise_interrupt_edge(TThread& isr);
     void deliver_pending_interrupts();
     void on_thread_ready(TThread& t);
     void on_thread_exited(TThread& t);
     void on_handler_exited(TThread& t);
     void consume_slice(TThread& t, ExecContext ctx, sysc::Time dur, double energy_nj);
+    /// Fan one event out to every registered observer, in registration
+    /// order. Re-entrancy safe: observers added during dispatch see only
+    /// later events; observers removed during dispatch are skipped.
+    template <typename Fn>
+    void emit(Fn&& fn) {
+        if (observers_.empty()) {
+            return;
+        }
+        ++observer_dispatch_depth_;
+        const std::size_t n = observers_.size();  // additions start next event
+        for (std::size_t i = 0; i < n; ++i) {
+            if (observers_[i] != nullptr) {
+                fn(*observers_[i]);
+            }
+        }
+        if (--observer_dispatch_depth_ == 0 && observers_need_compact_) {
+            compact_observers();
+        }
+    }
+    void compact_observers();
     void account_idle_end();
     void set_state(TThread& t, ThreadState s);
     TThread* pop_best_pending_isr();
@@ -241,7 +293,19 @@ private:
     SimHashTB hashtb_;
     SimStack stack_;
     GanttRecorder gantt_;
-    SimObserver* observer_ = nullptr;
+    std::vector<SimObserver*> observers_;   ///< fan-out list (may hold nulls mid-dispatch)
+    SimObserver* compat_observer_ = nullptr;  ///< the set_observer() slot
+    unsigned observer_dispatch_depth_ = 0;
+    bool observers_need_compact_ = false;
+
+    // ---- fault-injection latches (armed by rtk::harness::fault) ----
+    // Arming a latch only sets plain state, so it is one of the few
+    // mutations that IS safe from an observer callback; the corrupted
+    // behaviour happens later, inside the normal interrupt machinery.
+    std::uint32_t fault_drop_irqs_ = 0;     ///< swallow the next N raises
+    bool fault_dup_irq_ = false;            ///< deliver the next raise twice
+    std::uint64_t fault_irqs_dropped_ = 0;
+    std::uint64_t fault_irqs_duplicated_ = 0;
 
     std::vector<std::unique_ptr<TThread>> owned_;
     std::unordered_map<const sysc::Process*, TThread*> by_process_;

@@ -401,9 +401,16 @@ void Kernel::advance_to(Time t) {
 void Kernel::run_loop(Time limit) {
     Bind bind(*this);  // model code inside processes resolves current() to us
     stop_requested_ = false;
+    if (delta_budget_exhausted_) {
+        return;
+    }
     for (;;) {
         while (crunch()) {
             if (stop_requested_) {
+                return;
+            }
+            if (delta_budget_ != 0 && --delta_budget_ == 0) {
+                delta_budget_exhausted_ = true;
                 return;
             }
         }
@@ -428,7 +435,7 @@ void Kernel::run_until(Time t) {
         report(Severity::fatal, "kernel", "run_until() into the past");
     }
     run_loop(t);
-    if (!stop_requested_ && t != Time::max()) {
+    if (!stop_requested_ && !delta_budget_exhausted_ && t != Time::max()) {
         now_ = t;  // step semantics: the clock always reaches the step end
     }
 }

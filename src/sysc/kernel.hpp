@@ -82,6 +82,18 @@ public:
     /// Request the run loop to return after the current delta cycle.
     void stop() { stop_requested_ = true; }
 
+    /// Livelock guard: allow at most `n` further delta cycles across all
+    /// subsequent run()/run_until()/run_for() calls (0 disables the
+    /// budget). When the budget runs out the run loop returns without
+    /// advancing the clock to the step end, delta_budget_exhausted()
+    /// turns true, and later run calls return immediately -- so a
+    /// harness can classify the simulation as hung instead of spinning.
+    void set_delta_budget(std::uint64_t n) {
+        delta_budget_ = n;
+        delta_budget_exhausted_ = false;
+    }
+    bool delta_budget_exhausted() const { return delta_budget_exhausted_; }
+
     Time now() const { return now_; }
     std::uint64_t delta_count() const { return delta_count_; }
     Process* running_process() const { return current_process_; }
@@ -144,6 +156,8 @@ private:
     std::uint64_t next_process_id_ = 1;
     std::uint64_t timed_order_ = 0;
     bool stop_requested_ = false;
+    std::uint64_t delta_budget_ = 0;  ///< remaining deltas; 0 = unlimited
+    bool delta_budget_exhausted_ = false;
 
     std::vector<std::unique_ptr<Process>> processes_;
     std::deque<Process*> runnable_;

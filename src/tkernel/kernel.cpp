@@ -362,4 +362,90 @@ void TKernel::timer_handler() {
     }
 }
 
+// ---- sanctioned fault-injection hooks ----------------------------------------
+
+namespace {
+// Bit flips stay inside the field's width; signed fields flip through
+// their unsigned image so no flip is UB, only nonsense the kernel's own
+// range checks then have to survive.
+std::uint32_t flip_u32(std::uint32_t v, unsigned bit) {
+    return v ^ (1u << (bit % 32));
+}
+INT flip_int(INT v, unsigned bit) {
+    return static_cast<INT>(flip_u32(static_cast<std::uint32_t>(v), bit));
+}
+}  // namespace
+
+bool TKernel::fault_flip_task_field(ID tskid, FaultTaskField field, unsigned bit) {
+    TCB* t = tasks_.find(tskid);
+    if (t == nullptr) {
+        return false;
+    }
+    switch (field) {
+        case FaultTaskField::wakeup_count:
+            t->wakeup_count ^= 1ull << (bit % 64);
+            return true;
+        case FaultTaskField::texptn_pending:
+            t->texptn_pending = flip_u32(t->texptn_pending, bit);
+            return true;
+        case FaultTaskField::wai_ptn:
+            t->wai_ptn = flip_u32(t->wai_ptn, bit);
+            return true;
+        case FaultTaskField::ret_ptn:
+            t->ret_ptn = flip_u32(t->ret_ptn, bit);
+            return true;
+        case FaultTaskField::req_count:
+            t->req_count = flip_int(t->req_count, bit);
+            return true;
+        case FaultTaskField::stacd:
+            t->stacd = flip_int(t->stacd, bit);
+            return true;
+    }
+    return false;
+}
+
+bool TKernel::fault_flip_object_field(FaultObjectField field, ID objid,
+                                      unsigned bit) {
+    switch (field) {
+        case FaultObjectField::sem_count: {
+            Semaphore* s = sems_.find(objid);
+            if (s == nullptr) {
+                return false;
+            }
+            s->count = flip_int(s->count, bit);
+            return true;
+        }
+        case FaultObjectField::sem_max: {
+            Semaphore* s = sems_.find(objid);
+            if (s == nullptr) {
+                return false;
+            }
+            s->maxsem = flip_int(s->maxsem, bit);
+            return true;
+        }
+        case FaultObjectField::flg_pattern: {
+            EventFlag* f = flgs_.find(objid);
+            if (f == nullptr) {
+                return false;
+            }
+            f->pattern = flip_u32(f->pattern, bit);
+            return true;
+        }
+    }
+    return false;
+}
+
+bool TKernel::fault_skew_next_timer(std::int32_t delta_ms) {
+    if (timer_queue_.empty()) {
+        return false;
+    }
+    const SYSTIM at = timer_queue_.next_at();
+    TimerEntry entry = timer_queue_.pop();
+    const std::int64_t skewed =
+        static_cast<std::int64_t>(at) + static_cast<std::int64_t>(delta_ms);
+    timer_queue_.schedule(skewed < 0 ? 0 : static_cast<SYSTIM>(skewed),
+                          std::move(entry));
+    return true;
+}
+
 }  // namespace rtk::tkernel

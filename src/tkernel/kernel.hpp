@@ -249,6 +249,44 @@ public:
     TCB* current_tcb() const;
     TCB* find_task(ID tskid) const { return tasks_.find(tskid); }
 
+    // ========================================================================
+    // Sanctioned fault-injection hooks (rtk::harness::fault)
+    // ========================================================================
+    // The observer contract (sim/observer.hpp) forbids calling service
+    // entry points from callbacks, so the fault injector gets these
+    // explicit mutation hooks instead: each one flips plain bookkeeping
+    // state and returns without scheduling, blocking or dispatching --
+    // the corrupted value takes effect when the regular machinery next
+    // reads it. Only fields whose corruption cannot index out of bounds
+    // are exposed (no priorities, no pointers, no buffer sizes).
+
+    /// Plain TCB bookkeeping fields safe to corrupt in place.
+    enum class FaultTaskField : std::uint8_t {
+        wakeup_count,    ///< queued tk_wup_tsk requests
+        texptn_pending,  ///< raised-but-undelivered exception bits
+        wai_ptn,         ///< eventflag: awaited pattern
+        ret_ptn,         ///< eventflag: pattern at release
+        req_count,       ///< semaphore: requested count
+        stacd,           ///< start code passed by tk_sta_tsk
+    };
+    /// Plain kernel-object fields safe to corrupt in place.
+    enum class FaultObjectField : std::uint8_t {
+        sem_count,    ///< Semaphore::count
+        sem_max,      ///< Semaphore::maxsem
+        flg_pattern,  ///< EventFlag::pattern
+    };
+
+    /// Flip bit `bit` (masked to the field width) of `field` in task
+    /// `tskid`. Returns false when the task does not exist.
+    bool fault_flip_task_field(ID tskid, FaultTaskField field, unsigned bit);
+    /// Flip bit `bit` of `field` in object `objid` of the matching class.
+    /// Returns false when the object does not exist.
+    bool fault_flip_object_field(FaultObjectField field, ID objid, unsigned bit);
+    /// Skew the earliest timer-queue entry (timeout / cyclic / alarm
+    /// firing) by `delta_ms`; an entry skewed into the past fires on the
+    /// next tick. Returns false when the queue is empty.
+    bool fault_skew_next_timer(std::int32_t delta_ms);
+
 private:
     friend class ServiceSection;
 

@@ -1,0 +1,171 @@
+// FaultSpec serialization, deterministic replay, and the outcome
+// classification rules of the fault-injection engine.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "harness/harness.hpp"
+
+namespace rtk::harness::fault {
+namespace {
+
+FaultSpec sample_fault(std::uint64_t seed) {
+    FaultSpec f;
+    f.workload = fuzz::generate_spec(seed);
+    f.cls = FaultClass::tcb_bitflip;
+    f.trigger = 17;
+    f.target = 3;
+    f.field = 1;
+    f.bit = 5;
+    f.param = -4;
+    return f;
+}
+
+TEST(FaultClassTest, NameRoundTrip) {
+    for (std::size_t i = 0; i < fault_class_count; ++i) {
+        const FaultClass c = all_fault_classes()[i];
+        FaultClass back = FaultClass::irq_dup;
+        ASSERT_TRUE(fault_class_from_string(to_string(c), back)) << to_string(c);
+        EXPECT_EQ(back, c);
+    }
+    FaultClass ignored;
+    EXPECT_FALSE(fault_class_from_string("gamma_ray", ignored));
+}
+
+TEST(FaultClassTest, OutcomeNameRoundTrip) {
+    for (std::size_t i = 0; i < outcome_count; ++i) {
+        const Outcome o = static_cast<Outcome>(i);
+        Outcome back = Outcome::masked;
+        ASSERT_TRUE(outcome_from_string(to_string(o), back)) << to_string(o);
+        EXPECT_EQ(back, o);
+    }
+    Outcome ignored;
+    EXPECT_FALSE(outcome_from_string("unknown", ignored));
+}
+
+TEST(FaultSpecTest, JsonRoundTripIsLossless) {
+    const FaultSpec f = sample_fault(11);
+    const std::string text = f.to_json().dump(2);
+
+    Json parsed;
+    std::string error;
+    ASSERT_TRUE(Json::parse(text, parsed, &error)) << error;
+    FaultSpec back;
+    ASSERT_TRUE(FaultSpec::from_json(parsed, back, &error)) << error;
+    EXPECT_EQ(back.to_json().dump(2), text);
+    EXPECT_EQ(back.cls, f.cls);
+    EXPECT_EQ(back.trigger, f.trigger);
+    EXPECT_EQ(back.param, f.param);
+    EXPECT_TRUE(back.workload == f.workload);
+}
+
+TEST(FaultSpecTest, FromJsonRejectsGarbage) {
+    FaultSpec out;
+    std::string error;
+    EXPECT_FALSE(FaultSpec::from_json(Json::number(7), out, &error));
+    EXPECT_FALSE(error.empty());
+
+    Json j = Json::object();
+    j.set("class", Json::string("not_a_class"));
+    EXPECT_FALSE(FaultSpec::from_json(j, out, &error));
+}
+
+TEST(FaultSpecTest, NameEncodesClassSeedAndTrigger) {
+    const FaultSpec f = sample_fault(11);
+    EXPECT_EQ(f.name(), "fault/tcb_bitflip/11/t17");
+}
+
+TEST(BaselineTest, ProfileIsDeterministicAndPopulated) {
+    const fuzz::FuzzSpec workload = fuzz::generate_spec(21);
+    const BaselineProfile a = profile_baseline(workload);
+    const BaselineProfile b = profile_baseline(workload);
+    EXPECT_TRUE(a.ok) << a.error;
+    EXPECT_EQ(a.fingerprint, b.fingerprint);
+    EXPECT_EQ(a.events, b.events);
+    EXPECT_EQ(a.ops, b.ops);
+    EXPECT_GT(a.events, 0u);
+    EXPECT_GT(a.ops, 0u);
+}
+
+TEST(ReplayTest, InjectionReplaysByteForByte) {
+    const fuzz::FuzzSpec workload = fuzz::generate_spec(33);
+    const BaselineProfile baseline = profile_baseline(workload);
+    ASSERT_GT(baseline.events, 4u);
+
+    FaultSpec f;
+    f.workload = workload;
+    f.cls = FaultClass::tcb_bitflip;
+    f.trigger = baseline.events / 2;
+    f.target = 2;
+    f.field = 0;
+    f.bit = 3;
+
+    const InjectionResult first = run_injection(f, baseline);
+    const InjectionResult second = run_injection(f, baseline);
+    EXPECT_TRUE(first.injected);
+    EXPECT_EQ(first.outcome, second.outcome);
+    EXPECT_EQ(first.fingerprint, second.fingerprint);
+    EXPECT_EQ(first.service_call, second.service_call);
+
+    // The repro document round-trips and replays to the identical bytes.
+    const std::string repro = make_repro_json(f, first);
+    FaultSpec replayed;
+    std::string error;
+    ASSERT_TRUE(parse_repro_json(repro, replayed, &error)) << error;
+    const InjectionResult third = run_injection(replayed, baseline);
+    EXPECT_EQ(make_repro_json(replayed, third), repro);
+}
+
+TEST(ClassifyTest, ExhaustedDeltaBudgetClassifiesAsHung) {
+    const fuzz::FuzzSpec workload = fuzz::generate_spec(21);
+    const BaselineProfile baseline = profile_baseline(workload);
+
+    FaultSpec f;
+    f.workload = workload;
+    f.cls = FaultClass::irq_dup;  // harmless; the budget is the fault here
+    f.trigger = 0;
+    f.delta_budget = 50;  // far below what the full run needs
+
+    const InjectionResult r = run_injection(f, baseline);
+    EXPECT_EQ(r.outcome, Outcome::hung);
+    EXPECT_FALSE(r.error.empty());
+}
+
+TEST(ClassifyTest, PrecedenceOverSyntheticResults) {
+    const FaultSpec f = sample_fault(21);
+    const BuiltInjection built = build_injection(f);
+
+    ScenarioResult run;
+    run.passed = false;
+    run.error = "simulated fatal check";
+    BaselineProfile baseline;
+    baseline.fingerprint = 0x1234;
+
+    // A sim error with a clean oracle is a detection...
+    EXPECT_EQ(harvest(built, run, baseline).outcome, Outcome::detected);
+
+    // ...an oracle violation outranks it...
+    built.oracle->violation_count = 3;
+    built.oracle->violations = {"T3: two tasks running"};
+    InjectionResult r = harvest(built, run, baseline);
+    EXPECT_EQ(r.outcome, Outcome::invariant_violated);
+    EXPECT_EQ(r.oracle_violations, 3u);
+    ASSERT_EQ(r.violations.size(), 1u);
+
+    // ...and a blown delta budget outranks everything.
+    run.hung = true;
+    EXPECT_EQ(harvest(built, run, baseline).outcome, Outcome::hung);
+
+    // A clean completed run is masked; fingerprint drift is orthogonal.
+    run.hung = false;
+    run.passed = true;
+    run.error.clear();
+    run.fingerprint = 0x9999;
+    built.oracle->violation_count = 0;
+    r = harvest(built, run, baseline);
+    EXPECT_EQ(r.outcome, Outcome::masked);
+    EXPECT_TRUE(r.diverged);
+}
+
+}  // namespace
+}  // namespace rtk::harness::fault

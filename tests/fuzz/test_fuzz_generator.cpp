@@ -105,10 +105,22 @@ TEST(FuzzJson, ParserRejectsMalformedInput) {
     Json out;
     for (const char* bad :
          {"", "{", "[1,", "{\"a\" 1}", "{\"a\": 01x}", "nul", "\"unterminated",
-          "{\"a\": 1} trailing", "1.5", "18446744073709551616",
+          "{\"a\": 1} trailing", ".5", "1e", "18446744073709551616",
           "-9223372036854775809", "-18446744073709551615"}) {
         EXPECT_FALSE(Json::parse(bad, out)) << "accepted: " << bad;
     }
+}
+
+TEST(FuzzJson, RealLiteralsParseButStayOutOfIntegerReaders) {
+    // Reals round-trip for the report documents (BatchReport, fault
+    // coverage); spec/repro integer fields never read them because the
+    // integer accessors fall back.
+    Json out;
+    ASSERT_TRUE(Json::parse("{\"r\": 1.5, \"e\": -2.25e2}", out));
+    EXPECT_EQ(out.at("r").as_real(), 1.5);
+    EXPECT_EQ(out.at("e").as_real(), -225.0);
+    EXPECT_EQ(out.at("r").as_u64(7), 7u);  // integer reader: fallback
+    EXPECT_EQ(out.at("r").dump(-1), "1.500000");
 }
 
 TEST(FuzzJson, NumbersKeepFullRange) {

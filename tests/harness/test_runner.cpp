@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -95,6 +96,66 @@ TEST(BatchReport, JsonContainsSchemaFields) {
     ScenarioSpec odd = trivial_spec("we\"ird\\name");
     const BatchReport r2 = ScenarioRunner().run({odd});
     EXPECT_NE(r2.to_json().find("we\\\"ird\\\\name"), std::string::npos);
+}
+
+TEST(BatchReport, EmptyBatchSerializesToValidJson) {
+    const BatchReport r = ScenarioRunner().run({});
+    const std::string json = r.to_json();
+    api::Json doc;
+    std::string error;
+    ASSERT_TRUE(api::Json::parse(json, doc, &error)) << error;
+    EXPECT_EQ(doc.at("batch").at("scenarios").as_u64(), 0u);
+    EXPECT_TRUE(doc.at("results").items().empty());
+}
+
+TEST(BatchReport, ControlCharactersInErrorsAreEscaped) {
+    BatchReport r;
+    r.error = "line1\nline2\ttab\x01" "end";
+    ScenarioResult bad;
+    bad.name = "ctrl";
+    bad.error = "bell\x07\x1f";
+    r.results.push_back(bad);
+    const std::string json = r.to_json();
+    // The document must survive a strict re-parse despite the control
+    // characters (the old hand-rolled writer is gone; api::Json escapes).
+    api::Json doc;
+    std::string error;
+    ASSERT_TRUE(api::Json::parse(json, doc, &error)) << error;
+    EXPECT_EQ(doc.at("batch").at("error").as_string(), r.error);
+    EXPECT_EQ(doc.at("results").items().at(0).at("error").as_string(),
+              bad.error);
+    EXPECT_NE(json.find("\\n"), std::string::npos);
+    EXPECT_NE(json.find("\\u0001"), std::string::npos);
+}
+
+TEST(BatchReport, ZeroWallTimeAndNonFiniteRatesStayValidJson) {
+    BatchReport r;
+    ScenarioResult res;
+    res.name = "nan";
+    res.stats.cpu_load = std::numeric_limits<double>::quiet_NaN();
+    res.host_seconds = std::numeric_limits<double>::infinity();
+    r.results.push_back(res);
+    r.wall_seconds = 0.0;  // scenarios_per_second degenerates to 0
+    const std::string json = r.to_json();
+    api::Json doc;
+    std::string error;
+    ASSERT_TRUE(api::Json::parse(json, doc, &error)) << error;
+    EXPECT_EQ(doc.at("batch").at("scenarios_per_second").as_real(-1.0), 0.0);
+    const api::Json& jr = doc.at("results").items().at(0);
+    EXPECT_EQ(jr.at("cpu_load").as_string(), "nan");
+    EXPECT_EQ(jr.at("host_seconds").as_string(), "inf");
+}
+
+TEST(BatchReport, HungScenariosAreReportedAsSuch) {
+    ScenarioSpec s = trivial_spec("livelock");
+    s.duration = Time::ms(50);
+    s.delta_budget = 5;  // a handful of delta cycles, then give up
+    const BatchReport r = ScenarioRunner().run({s});
+    ASSERT_EQ(r.results.size(), 1u);
+    EXPECT_TRUE(r.results[0].hung);
+    EXPECT_FALSE(r.results[0].passed);
+    EXPECT_NE(r.results[0].error.find("delta budget"), std::string::npos);
+    EXPECT_NE(r.to_json().find("\"hung\": true"), std::string::npos);
 }
 
 TEST(BatchReport, WriteJsonRoundTripsToDisk) {

@@ -1,0 +1,221 @@
+// Multi-observer fan-out: registration order, the set_observer compat
+// shim, and the re-entrancy rules (add/remove during dispatch) the
+// fault-injection engine depends on -- an oracle, an injector and a
+// trace consumer all watch one SimApi at once.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/sim.hpp"
+#include "sysc/sysc.hpp"
+
+namespace rtk::sim {
+namespace {
+
+using sysc::Time;
+
+/// Appends "<tag>:<event>" to a shared log on every callback.
+class LoggingObserver : public SimObserver {
+public:
+    LoggingObserver(std::string tag, std::vector<std::string>& log)
+        : tag_(std::move(tag)), log_(&log) {}
+
+    void on_state_change(const TThread&, ThreadState, ThreadState,
+                         Time) override {
+        note("state");
+    }
+    void on_dispatch(const TThread&, Time) override { note("dispatch"); }
+    void on_preemption(const TThread&, Time) override { note("preempt"); }
+    void on_interrupt_enter(const TThread&, Time) override { note("irq+"); }
+    void on_interrupt_return(const TThread&, Time) override { note("irq-"); }
+    void on_wakeup(const TThread&, Time) override { note("wakeup"); }
+    void on_idle(Time) override { note("idle"); }
+
+    int events = 0;
+
+protected:
+    virtual void note(const char* what) {
+        ++events;
+        log_->push_back(tag_ + ":" + what);
+    }
+
+    std::string tag_;
+    std::vector<std::string>* log_;
+};
+
+class ObserverTest : public ::testing::Test {
+protected:
+    /// One task that runs briefly, so every observer sees a dispatch and
+    /// the state changes around it.
+    void run_workload() {
+        TThread& t = api.SIM_CreateThread("t", ThreadKind::task, 5, [&] {
+            api.SIM_Wait(Time::ms(1), ExecContext::task);
+        });
+        api.SIM_StartThread(t);
+        k.run();
+    }
+
+    sysc::Kernel k;
+    PriorityPreemptiveScheduler sched;
+    SimApi api{k, sched};
+    std::vector<std::string> log;
+};
+
+TEST_F(ObserverTest, FanOutDeliversInRegistrationOrder) {
+    LoggingObserver a("a", log), b("b", log), c("c", log);
+    api.add_observer(&a);
+    api.add_observer(&b);
+    api.add_observer(&c);
+    EXPECT_EQ(api.observer_count(), 3u);
+
+    run_workload();
+
+    ASSERT_GT(a.events, 0);
+    EXPECT_EQ(a.events, b.events);
+    EXPECT_EQ(b.events, c.events);
+    // Every event reaches a, then b, then c before the next event starts.
+    ASSERT_EQ(log.size(), static_cast<std::size_t>(3 * a.events));
+    for (std::size_t i = 0; i < log.size(); i += 3) {
+        const std::string ev = log[i].substr(2);
+        EXPECT_EQ(log[i], "a:" + ev);
+        EXPECT_EQ(log[i + 1], "b:" + ev);
+        EXPECT_EQ(log[i + 2], "c:" + ev);
+    }
+}
+
+TEST_F(ObserverTest, DuplicateRegistrationIsIgnored) {
+    LoggingObserver a("a", log);
+    api.add_observer(&a);
+    api.add_observer(&a);
+    EXPECT_EQ(api.observer_count(), 1u);
+
+    run_workload();
+
+    const std::size_t once = log.size();
+    ASSERT_GT(once, 0u);
+    EXPECT_EQ(static_cast<std::size_t>(a.events), once);
+}
+
+TEST_F(ObserverTest, RemoveStopsDelivery) {
+    LoggingObserver a("a", log), b("b", log);
+    api.add_observer(&a);
+    api.add_observer(&b);
+    api.remove_observer(&a);
+    EXPECT_EQ(api.observer_count(), 1u);
+
+    run_workload();
+
+    EXPECT_EQ(a.events, 0);
+    EXPECT_GT(b.events, 0);
+}
+
+/// Unsubscribes itself (and optionally a peer) from inside a callback.
+class SelfRemovingObserver : public LoggingObserver {
+public:
+    SelfRemovingObserver(std::string tag, std::vector<std::string>& log,
+                         SimApi& api, int after)
+        : LoggingObserver(std::move(tag), log), api_(&api), after_(after) {}
+
+    SimObserver* also_remove = nullptr;
+
+protected:
+    void note(const char* what) override {
+        LoggingObserver::note(what);
+        if (events == after_) {
+            api_->remove_observer(this);
+            if (also_remove != nullptr) {
+                api_->remove_observer(also_remove);
+            }
+        }
+    }
+
+private:
+    SimApi* api_;
+    int after_;
+};
+
+TEST_F(ObserverTest, UnsubscribeDuringDispatchReceivesNothingFurther) {
+    SelfRemovingObserver a("a", log, api, /*after=*/2);
+    LoggingObserver b("b", log);
+    api.add_observer(&a);
+    api.add_observer(&b);
+
+    run_workload();
+
+    EXPECT_EQ(a.events, 2);       // exactly up to its own removal
+    EXPECT_GT(b.events, a.events);  // the survivor saw the whole run
+    EXPECT_EQ(api.observer_count(), 1u);
+}
+
+TEST_F(ObserverTest, RemovingALaterObserverMidDispatchSkipsItImmediately) {
+    SelfRemovingObserver a("a", log, api, /*after=*/1);
+    LoggingObserver b("b", log);
+    a.also_remove = &b;
+    api.add_observer(&a);
+    api.add_observer(&b);
+
+    run_workload();
+
+    // a removed b from inside the very first event's dispatch, before
+    // the fan-out loop reached b: b never hears anything.
+    EXPECT_EQ(a.events, 1);
+    EXPECT_EQ(b.events, 0);
+    EXPECT_EQ(api.observer_count(), 0u);
+}
+
+/// Registers a peer from inside a callback.
+class AddingObserver : public LoggingObserver {
+public:
+    AddingObserver(std::string tag, std::vector<std::string>& log, SimApi& api,
+                   SimObserver& peer)
+        : LoggingObserver(std::move(tag), log), api_(&api), peer_(&peer) {}
+
+protected:
+    void note(const char* what) override {
+        LoggingObserver::note(what);
+        if (events == 1) {
+            api_->add_observer(peer_);
+        }
+    }
+
+private:
+    SimApi* api_;
+    SimObserver* peer_;
+};
+
+TEST_F(ObserverTest, AddDuringDispatchStartsAtTheNextEvent) {
+    LoggingObserver late("l", log);
+    AddingObserver a("a", log, api, late);
+    api.add_observer(&a);
+
+    run_workload();
+
+    ASSERT_GT(a.events, 1);
+    // The late observer missed exactly the event that registered it.
+    EXPECT_EQ(late.events, a.events - 1);
+}
+
+TEST_F(ObserverTest, SetObserverCompatShimReplacesItsOwnSlot) {
+    LoggingObserver a("a", log), b("b", log), extra("x", log);
+    api.add_observer(&extra);  // multi-registered observers are untouched
+    api.set_observer(&a);
+    EXPECT_EQ(api.observer(), &a);
+    EXPECT_EQ(api.observer_count(), 2u);
+
+    api.set_observer(&b);  // replaces a, leaves extra alone
+    EXPECT_EQ(api.observer(), &b);
+    EXPECT_EQ(api.observer_count(), 2u);
+
+    run_workload();
+    EXPECT_EQ(a.events, 0);
+    EXPECT_GT(b.events, 0);
+    EXPECT_EQ(extra.events, b.events);
+
+    api.set_observer(nullptr);
+    EXPECT_EQ(api.observer(), nullptr);
+    EXPECT_EQ(api.observer_count(), 1u);
+}
+
+}  // namespace
+}  // namespace rtk::sim
