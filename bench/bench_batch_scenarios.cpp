@@ -280,6 +280,7 @@ int main(int argc, char** argv) {
     {
         std::ofstream out("BENCH_batch_throughput.json");
         out << "{\n  \"bench\": \"batch_scenarios\",\n"
+            << "  " << bench::meta_json() << ",\n"
             << "  \"scenarios\": " << specs.size() << ",\n"
             << "  \"hardware_concurrency\": " << hw << ",\n"
             << "  \"workers\": " << parallel_report.threads << ",\n"

@@ -1,0 +1,161 @@
+// Context-switch microbenchmark: the cost of one coroutine switch under
+// the engine this binary was built with (fcontext assembly by default,
+// ucontext with -DRTK_USE_UCONTEXT=ON), against an in-binary raw
+// swapcontext ping-pong reference -- so the engines are compared on the
+// same machine in the same run. Also measures the StackPool's effect on
+// spawn/terminate churn. Emits BENCH_context_switch.json.
+#include <cstdio>
+#include <string>
+
+#include "bench_util.hpp"
+#include "sysc/coroutine.hpp"
+#include "sysc/kernel.hpp"
+#include "sysc/stack_pool.hpp"
+
+// The raw-ucontext reference has no sanitizer fiber annotations, so it
+// is skipped (reported as 0) under ASan/TSan builds; the acceptance
+// numbers come from plain builds.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define RTK_BENCH_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define RTK_BENCH_SANITIZED 1
+#endif
+#endif
+
+#ifndef RTK_BENCH_SANITIZED
+#include <ucontext.h>
+#endif
+
+using namespace rtk;
+
+namespace {
+
+constexpr int switch_iters = 200000;
+
+/// Coroutine resume/yield ping-pong: ns per one-way switch under the
+/// built engine.
+double coroutine_switch_ns() {
+    sysc::StackPool pool;
+    sysc::Coroutine* cp = nullptr;
+    sysc::Coroutine c([&cp] {
+        for (;;) {
+            cp->yield();
+        }
+    }, sysc::Coroutine::default_stack_bytes, &pool);
+    cp = &c;
+    c.resume();  // warm up: stack acquisition + first entry
+    bench::WallClock clock;
+    for (int i = 0; i < switch_iters; ++i) {
+        c.resume();
+    }
+    // One resume = switch in + switch out.
+    return clock.seconds() * 1e9 / (2.0 * switch_iters);
+}
+
+#ifndef RTK_BENCH_SANITIZED
+ucontext_t uc_main, uc_co;
+
+void uc_body() {
+    for (;;) {
+        swapcontext(&uc_co, &uc_main);
+    }
+}
+
+/// Raw swapcontext ping-pong: the engine the coroutine layer used before
+/// the assembly switch, measured directly (swapcontext saves/restores the
+/// signal mask -- a syscall per switch).
+double raw_ucontext_switch_ns() {
+    static char stack[256 * 1024];
+    getcontext(&uc_co);
+    uc_co.uc_stack.ss_sp = stack;
+    uc_co.uc_stack.ss_size = sizeof(stack);
+    uc_co.uc_link = &uc_main;
+    makecontext(&uc_co, uc_body, 0);
+    swapcontext(&uc_main, &uc_co);  // warm up
+    bench::WallClock clock;
+    for (int i = 0; i < switch_iters; ++i) {
+        swapcontext(&uc_main, &uc_co);
+    }
+    return clock.seconds() * 1e9 / (2.0 * switch_iters);
+}
+#else
+double raw_ucontext_switch_ns() { return 0.0; }
+#endif
+
+struct PoolStats {
+    double spawn_cycle_us = 0;
+    std::uint64_t acquires = 0;
+    std::uint64_t reuses = 0;
+};
+
+/// Spawn/run-to-completion churn on one kernel: every cycle after the
+/// first should reuse the previous cycle's stack from the kernel pool.
+PoolStats pool_churn() {
+    constexpr int cycles = 2000;
+    sysc::Kernel k;
+    bench::WallClock clock;
+    for (int i = 0; i < cycles; ++i) {
+        k.spawn("churn" + std::to_string(i), [] {});
+        k.run();
+    }
+    PoolStats s;
+    s.spawn_cycle_us = clock.seconds() * 1e6 / cycles;
+    s.acquires = k.stack_pool().total_acquires();
+    s.reuses = k.stack_pool().total_reuses();
+    return s;
+}
+
+}  // namespace
+
+int main() {
+#if RTK_FCONTEXT
+    const char* engine = "fcontext";
+#else
+    const char* engine = "ucontext";
+#endif
+    std::printf("Context-switch microbenchmark (engine: %s)\n\n", engine);
+
+    const double coro_ns = coroutine_switch_ns();
+    const double raw_uc_ns = raw_ucontext_switch_ns();
+    const double speedup = raw_uc_ns > 0 ? raw_uc_ns / coro_ns : 0.0;
+    const PoolStats pool = pool_churn();
+    const double reuse_rate =
+        pool.acquires > 0
+            ? static_cast<double>(pool.reuses) / static_cast<double>(pool.acquires)
+            : 0.0;
+
+    bench::Table t({"measurement", "value"});
+    t.add_row({"coroutine switch (one-way)", bench::fmt(coro_ns, 1) + " ns"});
+    t.add_row({"raw swapcontext (one-way)",
+               raw_uc_ns > 0 ? bench::fmt(raw_uc_ns, 1) + " ns" : "skipped (sanitized)"});
+    t.add_row({"speedup vs ucontext", raw_uc_ns > 0 ? bench::fmt(speedup, 1) + "x" : "-"});
+    t.add_row({"spawn+run cycle", bench::fmt(pool.spawn_cycle_us, 1) + " us"});
+    t.add_row({"stack-pool reuse rate", bench::fmt(reuse_rate * 100, 1) + " %"});
+    t.print();
+
+    std::puts("\nexpected shape: the fcontext engine switches in tens of ns (callee-");
+    std::puts("saved registers only); swapcontext pays a sigprocmask syscall per");
+    std::puts("switch; the pool reuses every stack after the first churn cycle.");
+
+    std::FILE* f = std::fopen("BENCH_context_switch.json", "w");
+    if (f == nullptr) {
+        std::puts("warning: cannot write BENCH_context_switch.json");
+        return 0;
+    }
+    std::fprintf(f,
+                 "{\n  \"bench\": \"context_switch\",\n  %s,\n"
+                 "  \"engine\": \"%s\",\n"
+                 "  \"coroutine_switch_ns\": %.1f,\n"
+                 "  \"raw_ucontext_switch_ns\": %.1f,\n"
+                 "  \"speedup_vs_ucontext\": %.2f,\n"
+                 "  \"stack_pool\": {\"spawn_cycle_us\": %.2f, "
+                 "\"acquires\": %llu, \"reuses\": %llu, \"reuse_rate\": %.3f}\n}\n",
+                 bench::meta_json().c_str(), engine, coro_ns, raw_uc_ns, speedup,
+                 pool.spawn_cycle_us,
+                 static_cast<unsigned long long>(pool.acquires),
+                 static_cast<unsigned long long>(pool.reuses), reuse_rate);
+    std::fclose(f);
+    std::puts("\nwrote BENCH_context_switch.json");
+    return 0;
+}

@@ -69,7 +69,17 @@ int main(int argc, char** argv) {
     table.print();
 
     const char* out_path = "BENCH_fault_coverage.json";
-    if (!report.write_json(out_path)) {
+    // Splice the shared provenance block in as the first member of the
+    // report document (the report serializer itself is bench-agnostic).
+    std::string doc = report.to_json();
+    const auto brace = doc.find('{');
+    bool wrote = false;
+    if (brace != std::string::npos) {
+        doc.insert(brace + 1, "\n  " + bench::meta_json() + ",");
+        std::ofstream out(out_path);
+        wrote = static_cast<bool>(out << doc);
+    }
+    if (!wrote) {
         std::fprintf(stderr, "FAILED to write %s\n", out_path);
         return 1;
     }

@@ -55,6 +55,7 @@ int main(int argc, char** argv) {
     {
         std::ofstream out("BENCH_fuzz_throughput.json");
         out << "{\n  \"bench\": \"fuzz_throughput\",\n"
+            << "  " << bench::meta_json() << ",\n"
             << "  \"seeds\": " << seeds << ",\n"
             << "  \"hardware_concurrency\": " << hw << ",\n"
             << "  \"workers\": " << workers << ",\n"

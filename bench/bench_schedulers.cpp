@@ -167,7 +167,8 @@ void emit_scaling_json(const std::vector<ScalePoint>& points) {
         std::puts("warning: cannot write BENCH_scheduler_scaling.json");
         return;
     }
-    std::fputs("{\n  \"bench\": \"scheduler_scaling\",\n  \"points\": [\n", f);
+    std::fprintf(f, "{\n  \"bench\": \"scheduler_scaling\",\n  %s,\n  \"points\": [\n",
+                 bench::meta_json().c_str());
     for (std::size_t i = 0; i < points.size(); ++i) {
         const auto& p = points[i];
         std::fprintf(f,

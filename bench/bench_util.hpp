@@ -1,9 +1,12 @@
 // Shared helpers for the paper-reproduction bench binaries: wall-clock
-// timing and aligned table printing in the style of the paper's tables.
+// timing, aligned table printing in the style of the paper's tables, and
+// the provenance metadata block stamped into every BENCH_*.json so runs
+// from different machines/builds are comparable.
 #pragma once
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -67,6 +70,75 @@ inline std::string fmt(double v, int prec = 2) {
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
     return buf;
+}
+
+// ---- BENCH_*.json provenance metadata ---------------------------------------
+
+inline std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out.push_back('\\');
+        }
+        if (static_cast<unsigned char>(c) >= 0x20) {
+            out.push_back(c);
+        }
+    }
+    return out;
+}
+
+/// Compiler id + version, from predefined macros.
+inline std::string compiler_string() {
+#if defined(__clang__)
+    return "clang " + std::to_string(__clang_major__) + "." +
+           std::to_string(__clang_minor__) + "." +
+           std::to_string(__clang_patchlevel__);
+#elif defined(__GNUC__)
+    return "gcc " + std::to_string(__GNUC__) + "." +
+           std::to_string(__GNUC_MINOR__) + "." +
+           std::to_string(__GNUC_PATCHLEVEL__);
+#else
+    return "unknown";
+#endif
+}
+
+/// CPU model name, from /proc/cpuinfo (Linux); "unknown" elsewhere.
+inline std::string cpu_model() {
+    std::ifstream in("/proc/cpuinfo");
+    std::string line;
+    while (std::getline(in, line)) {
+        const auto pos = line.find("model name");
+        if (pos == 0) {
+            const auto colon = line.find(':');
+            if (colon != std::string::npos) {
+                auto start = line.find_first_not_of(" \t", colon + 1);
+                return start == std::string::npos ? "unknown" : line.substr(start);
+            }
+        }
+    }
+    return "unknown";
+}
+
+/// The shared metadata object (no surrounding braces key), e.g.
+///   "meta": {"compiler": "gcc 13.2.0", ...}
+/// Every BENCH_*.json emitter writes this as its first member so a run
+/// is attributable to a compiler / build type / CPU / revision.
+inline std::string meta_json() {
+#ifdef RTK_BENCH_BUILD_TYPE
+    const std::string build_type = RTK_BENCH_BUILD_TYPE;
+#else
+    const std::string build_type = "unknown";
+#endif
+#ifdef RTK_BENCH_GIT_REV
+    const std::string git_rev = RTK_BENCH_GIT_REV;
+#else
+    const std::string git_rev = "unknown";
+#endif
+    return "\"meta\": {\"compiler\": \"" + json_escape(compiler_string()) +
+           "\", \"build_type\": \"" + json_escape(build_type) +
+           "\", \"cpu\": \"" + json_escape(cpu_model()) +
+           "\", \"git_rev\": \"" + json_escape(git_rev) + "\"}";
 }
 
 }  // namespace rtk::bench

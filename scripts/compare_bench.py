@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Compare two directories of BENCH_*.json results and print the deltas.
+
+Usage: compare_bench.py OLD_DIR NEW_DIR
+
+Walks every BENCH_*.json in NEW_DIR, pairs it with the same-named file in
+OLD_DIR and prints a delta line for every shared numeric field (nested
+fields are flattened to dotted paths; list elements are indexed). Files
+or fields present on only one side are reported but never fatal.
+
+The script is informational and ALWAYS exits 0: bench numbers from CI
+runners are too noisy to gate a build on, the point is to make drifts
+visible in the job log next to the run that caused them.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+
+def flatten(value, prefix=""):
+    """Yield (dotted_path, leaf) pairs for every numeric leaf in a JSON tree."""
+    if isinstance(value, dict):
+        for key, sub in value.items():
+            yield from flatten(sub, f"{prefix}.{key}" if prefix else key)
+    elif isinstance(value, list):
+        for i, sub in enumerate(value):
+            yield from flatten(sub, f"{prefix}[{i}]")
+    elif isinstance(value, (int, float)) and not isinstance(value, bool):
+        yield prefix, float(value)
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"  (unreadable: {path}: {err})")
+        return None
+
+
+def compare_file(old_path, new_path):
+    old_doc, new_doc = load(old_path), load(new_path)
+    if old_doc is None or new_doc is None:
+        return
+    old_fields = dict(flatten(old_doc))
+    new_fields = dict(flatten(new_doc))
+    shared = sorted(set(old_fields) & set(new_fields))
+    if not shared:
+        print("  (no shared numeric fields)")
+        return
+    for path in shared:
+        if path.startswith("meta."):
+            continue
+        old_v, new_v = old_fields[path], new_fields[path]
+        delta = new_v - old_v
+        if old_v != 0:
+            rel = f"{delta / abs(old_v) * 100.0:+.1f}%"
+        else:
+            rel = "n/a" if delta else "+0.0%"
+        marker = ""
+        if old_v != 0 and abs(delta / old_v) >= 0.10:
+            marker = "  <-- >10% drift"
+        print(f"  {path}: {old_v:g} -> {new_v:g} ({rel}){marker}")
+    for path in sorted(set(new_fields) - set(old_fields)):
+        print(f"  {path}: (new field) {new_fields[path]:g}")
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__)
+        return 0
+    old_dir, new_dir = Path(argv[1]), Path(argv[2])
+    new_files = sorted(new_dir.glob("BENCH_*.json")) if new_dir.is_dir() else []
+    if not new_files:
+        print(f"no BENCH_*.json under {new_dir}; nothing to compare")
+        return 0
+    if not old_dir.is_dir():
+        print(f"no previous results under {old_dir}; first run?")
+        return 0
+    for new_path in new_files:
+        old_path = old_dir / new_path.name
+        print(f"\n== {new_path.name} ==")
+        if not old_path.is_file():
+            print("  (no previous version)")
+            continue
+        compare_file(old_path, new_path)
+    print("\n(informational only -- bench numbers never gate the build)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

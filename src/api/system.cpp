@@ -250,16 +250,23 @@ Expected<Alarm> System::adopt_alarm(ID id) {
 
 RawHandle System::mint(Kind kind, ID id) {
     Table& t = table(kind);
+    const auto idx = static_cast<std::size_t>(id) - 1;
+    if (idx >= t.gens.size()) {
+        t.gens.resize(idx + 1, 0);
+    }
+    if (t.gens[idx] == 0) {
+        ++t.live;  // re-stamping a live id (adopt) keeps the count
+    }
     const std::uint32_t gen = t.next_gen++;
-    t.live[id] = gen;
+    t.gens[idx] = gen;
     return RawHandle{id, gen};
 }
 
 void System::retire(Kind kind, RawHandle h) {
     Table& t = table(kind);
-    auto it = t.live.find(h.id);
-    if (it != t.live.end() && it->second == h.gen) {
-        t.live.erase(it);
+    if (t.gen_of(h.id) == h.gen) {
+        t.gens[static_cast<std::size_t>(h.id) - 1] = 0;
+        --t.live;
     }
 }
 
@@ -268,8 +275,7 @@ bool System::alive(Kind kind, RawHandle h) const {
         return false;
     }
     const Table& t = table(kind);
-    auto it = t.live.find(h.id);
-    return it != t.live.end() && it->second == h.gen;
+    return t.gen_of(h.id) == h.gen && h.gen != 0;
 }
 
 Status System::validate(Kind kind, RawHandle h) const {
@@ -279,7 +285,7 @@ Status System::validate(Kind kind, RawHandle h) const {
     return alive(kind, h) ? Status() : Status::from_er(E_NOEXS);
 }
 
-std::size_t System::live_count(Kind kind) const { return table(kind).live.size(); }
+std::size_t System::live_count(Kind kind) const { return table(kind).live; }
 
 Status System::destroy(Kind kind, RawHandle h) {
     if (const Status st = validate(kind, h); !st.ok()) {

@@ -21,7 +21,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
-#include <unordered_map>
+#include <vector>
 
 #include "api/handles.hpp"
 #include "tkernel/kernel.hpp"
@@ -165,9 +165,19 @@ private:
     RawHandle mint(Kind kind, tkernel::ID id);
     void retire(Kind kind, RawHandle h);
 
+    /// Per-kind generation table, indexed densely by kernel ID (slot
+    /// id-1, 0 = no live facade binding). The kernel's registries hand
+    /// out dense recycled ids, so the vector stays as small as the
+    /// class's high-water mark and validate() is a flat indexed load.
     struct Table {
-        std::unordered_map<tkernel::ID, std::uint32_t> live;
+        std::vector<std::uint32_t> gens;
         std::uint32_t next_gen = 1;
+        std::size_t live = 0;
+
+        std::uint32_t gen_of(tkernel::ID id) const {
+            const auto idx = static_cast<std::size_t>(id) - 1;
+            return (id >= 1 && idx < gens.size()) ? gens[idx] : 0;
+        }
     };
     Table& table(Kind kind) { return tables_[static_cast<std::size_t>(kind)]; }
     const Table& table(Kind kind) const {

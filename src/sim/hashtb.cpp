@@ -7,28 +7,48 @@
 
 namespace rtk::sim {
 
+SimHashTB::Record* SimHashTB::slot(ThreadId id) {
+    if (id < 1 || static_cast<std::size_t>(id) > table_.size()) {
+        return nullptr;
+    }
+    Record& r = table_[static_cast<std::size_t>(id) - 1];
+    return r.thread == nullptr ? nullptr : &r;
+}
+
+const SimHashTB::Record* SimHashTB::slot(ThreadId id) const {
+    return const_cast<SimHashTB*>(this)->slot(id);
+}
+
 void SimHashTB::insert(ThreadId id, TThread& thread) {
-    auto [it, inserted] = table_.emplace(id, Record{&thread, ThreadState::dormant, {}, 0});
-    if (!inserted) {
+    if (slot(id) != nullptr) {
         sysc::report(sysc::Severity::fatal, "hashtb",
                      "duplicate T-THREAD id " + std::to_string(id));
     }
+    if (static_cast<std::size_t>(id) > table_.size()) {
+        table_.resize(static_cast<std::size_t>(id));
+    }
+    table_[static_cast<std::size_t>(id) - 1] =
+        Record{&thread, ThreadState::dormant, {}, 0};
+    ++live_;
 }
 
 void SimHashTB::erase(ThreadId id) {
-    table_.erase(id);
+    if (slot(id) != nullptr) {
+        table_[static_cast<std::size_t>(id) - 1] = Record{};
+        --live_;
+    }
 }
 
 void SimHashTB::update(ThreadId id, ThreadState to, sysc::Time at) {
-    auto it = table_.find(id);
-    if (it == table_.end()) {
+    Record* rec = slot(id);
+    if (rec == nullptr) {
         sysc::report(sysc::Severity::fatal, "hashtb",
                      "state update for unknown T-THREAD id " + std::to_string(id));
     }
-    Transition tr{at, id, it->second.state, to};
-    it->second.state = to;
-    it->second.last_change = at;
-    ++it->second.change_count;
+    Transition tr{at, id, rec->state, to};
+    rec->state = to;
+    rec->last_change = at;
+    ++rec->change_count;
     ++total_transitions_;
     journal_.push_back(tr);
     if (journal_.size() > journal_limit_) {
@@ -37,13 +57,13 @@ void SimHashTB::update(ThreadId id, ThreadState to, sysc::Time at) {
 }
 
 TThread* SimHashTB::find(ThreadId id) const {
-    auto it = table_.find(id);
-    return it == table_.end() ? nullptr : it->second.thread;
+    const Record* rec = slot(id);
+    return rec == nullptr ? nullptr : rec->thread;
 }
 
 TThread* SimHashTB::find_by_name(const std::string& name) const {
-    for (const auto& [id, rec] : table_) {
-        if (rec.thread->name() == name) {
+    for (const Record& rec : table_) {
+        if (rec.thread != nullptr && rec.thread->name() == name) {
             return rec.thread;
         }
     }
@@ -51,15 +71,16 @@ TThread* SimHashTB::find_by_name(const std::string& name) const {
 }
 
 const SimHashTB::Record* SimHashTB::record(ThreadId id) const {
-    auto it = table_.find(id);
-    return it == table_.end() ? nullptr : &it->second;
+    return slot(id);
 }
 
 std::vector<TThread*> SimHashTB::threads() const {
     std::vector<TThread*> out;
-    out.reserve(table_.size());
-    for (const auto& [id, rec] : table_) {
-        out.push_back(rec.thread);
+    out.reserve(live_);
+    for (const Record& rec : table_) {
+        if (rec.thread != nullptr) {
+            out.push_back(rec.thread);
+        }
     }
     std::sort(out.begin(), out.end(),
               [](const TThread* a, const TThread* b) { return a->id() < b->id(); });

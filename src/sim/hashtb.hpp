@@ -1,14 +1,17 @@
-// SIM_HashTB -- the thread hash table of the SIM_API library (paper §4):
+// SIM_HashTB -- the thread table of the SIM_API library (paper §4):
 // "keeps a record on every T-THREAD created upon startup and gets updated
 // whenever a T-THREAD changes its state". Besides the live records it
 // keeps a bounded journal of state transitions for the debugger widgets
 // and the test suite.
+//
+// SimApi hands out dense, recycled ThreadIds, so the table is a flat
+// vector indexed by id (slot id-1): the per-state-change update() on the
+// simulation hot path is one indexed load instead of a hash lookup.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/types.hpp"
@@ -47,7 +50,7 @@ public:
     TThread* find_by_name(const std::string& name) const;
     const Record* record(ThreadId id) const;
 
-    std::size_t size() const { return table_.size(); }
+    std::size_t size() const { return live_; }
     std::vector<TThread*> threads() const;  ///< sorted by id
 
     /// Bounded journal of the most recent state transitions.
@@ -56,7 +59,14 @@ public:
     std::uint64_t total_transitions() const { return total_transitions_; }
 
 private:
-    std::unordered_map<ThreadId, Record> table_;
+    /// Slot id-1 (a slot with thread == nullptr is empty); grows to the
+    /// highest id ever inserted, which stays small because SimApi
+    /// recycles the ids of deleted threads.
+    Record* slot(ThreadId id);
+    const Record* slot(ThreadId id) const;
+
+    std::vector<Record> table_;
+    std::size_t live_ = 0;
     std::deque<Transition> journal_;
     std::size_t journal_limit_ = 4096;
     std::uint64_t total_transitions_ = 0;

@@ -5,62 +5,69 @@
 
 namespace rtk::sim {
 
-void ReadyList::push_back(TThread& t, Priority bucket) {
+void ReadyList::push_back(ReadyTable& tab, TThread& t, Priority bucket) {
     ReadyNode& n = t.ready_node();
     if (n.linked) {
         sysc::report(sysc::Severity::fatal, "scheduler",
                      "ready-queue corruption: '" + t.name() +
                          "' enqueued while already linked");
     }
-    n.prev = tail_;
-    n.next = nullptr;
+    const auto id = static_cast<std::int32_t>(t.id());
+    tab.ensure(t.id());
+    ReadyTable::Slot& s = tab[id];
+    s.thread = &t;
+    s.prev = tail_;
+    s.next = -1;
     n.bucket = bucket;
     n.linked = true;
-    if (tail_ != nullptr) {
-        tail_->ready_node().next = &t;
+    if (tail_ >= 0) {
+        tab[tail_].next = id;
     } else {
-        head_ = &t;
+        head_ = id;
     }
-    tail_ = &t;
+    tail_ = id;
     ++size_;
 }
 
-void ReadyList::unlink(TThread& t) {
-    ReadyNode& n = t.ready_node();
-    if (n.prev != nullptr) {
-        n.prev->ready_node().next = n.next;
+void ReadyList::unlink(ReadyTable& tab, TThread& t) {
+    const auto id = static_cast<std::int32_t>(t.id());
+    ReadyTable::Slot& s = tab[id];
+    if (s.prev >= 0) {
+        tab[s.prev].next = s.next;
     } else {
-        head_ = n.next;
+        head_ = s.next;
     }
-    if (n.next != nullptr) {
-        n.next->ready_node().prev = n.prev;
+    if (s.next >= 0) {
+        tab[s.next].prev = s.prev;
     } else {
-        tail_ = n.prev;
+        tail_ = s.prev;
     }
-    n.prev = nullptr;
-    n.next = nullptr;
-    n.linked = false;
+    s.prev = -1;
+    s.next = -1;
+    t.ready_node().linked = false;
     --size_;
 }
 
-TThread* ReadyList::pop_front() {
-    TThread* t = head_;
-    if (t != nullptr) {
-        unlink(*t);
+TThread* ReadyList::pop_front(ReadyTable& tab) {
+    if (head_ < 0) {
+        return nullptr;
     }
+    TThread* t = tab[head_].thread;
+    unlink(tab, *t);
     return t;
 }
 
-void ReadyList::rotate() {
+void ReadyList::rotate(ReadyTable& tab) {
     if (size_ < 2) {
         return;
     }
-    TThread* t = pop_front();
-    push_back(*t, t->ready_node().bucket);
+    TThread* t = pop_front(tab);
+    push_back(tab, *t, t->ready_node().bucket);
 }
 
-TThread* ReadyList::next(const TThread& t) {
-    return t.ready_node().next;
+TThread* ReadyList::next(const ReadyTable& tab, const TThread& t) {
+    const std::int32_t nxt = tab[static_cast<std::int32_t>(t.id())].next;
+    return nxt < 0 ? nullptr : tab[nxt].thread;
 }
 
 }  // namespace rtk::sim

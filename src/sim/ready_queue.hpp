@@ -1,10 +1,19 @@
-// Intrusive ready-queue machinery of the external schedulers.
+// Ready-queue machinery of the external schedulers.
 //
 // Real kernels keep the scheduling fast path allocation-free by threading
 // the ready lists through the task control blocks themselves (eChronos,
-// µC/OS-II); the same shape is used here: every TThread embeds one
-// ReadyNode, and a ReadyList is a FIFO of TThreads linked through that
-// node. All operations are O(1).
+// µC/OS-II). An earlier revision did exactly that -- and profiling the
+// scheduler bench showed the cost: at thousands of tasks every link/unlink
+// chases prev/next pointers through TThread objects scattered across the
+// heap, so each O(1) queue operation pays several cache misses. The
+// linkage now lives in a scheduler-owned ReadyTable: one dense vector of
+// 16-byte slots indexed by ThreadId (SIM_API recycles ids, so the table
+// stays as small as the thread high-water mark and hot in L1/L2). A
+// ReadyList is a FIFO of slot indices; all operations are O(1) and touch
+// only the table, never the TThreads.
+//
+// Each TThread still embeds a small ReadyNode mirror (bucket + linked)
+// so membership tests and bucket-keyed removal need no table lookup.
 //
 // Lifetime rules (enforced by SIM_API):
 //   - A TThread is linked into at most one ReadyList at a time -- the
@@ -12,11 +21,13 @@
 //   - The owning Scheduler must unlink the thread before it blocks,
 //     suspends or terminates; SIM_DeleteThread requires DORMANT, so a
 //     TThread is never destroyed while linked.
-//   - ReadyNode fields are owned by the Scheduler; no other layer may
-//     touch them.
+//   - ReadyNode fields and ReadyTable slots are owned by the Scheduler;
+//     no other layer may touch them.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <vector>
 
 #include "sim/types.hpp"
 
@@ -24,44 +35,72 @@ namespace rtk::sim {
 
 class TThread;
 
-/// Intrusive doubly-linked ready-queue hook embedded in every TThread.
+/// Per-thread ready-state mirror embedded in every TThread: the priority
+/// bucket the thread was enqueued under (the scheduler keys its removal
+/// on this, not on the thread's -- possibly already changed -- current
+/// priority) and the linked flag. Valid only while linked.
 struct ReadyNode {
-    TThread* prev = nullptr;
-    TThread* next = nullptr;
-    /// Priority bucket the thread was enqueued under (the scheduler keys
-    /// its removal on this, not on the thread's -- possibly already
-    /// changed -- current priority). Valid only while linked.
     Priority bucket = 0;
     bool linked = false;
 };
 
-/// Intrusive FIFO of TThreads threaded through TThread::ready_node().
-/// push/pop/unlink/rotate are O(1); no memory is allocated.
+/// Dense side table holding the FIFO linkage of every READY thread,
+/// indexed by ThreadId (slot 0 unused; ids start at 1). Grows lazily to
+/// the highest id seen and is bounded by SIM_API's id recycling.
+class ReadyTable {
+public:
+    struct Slot {
+        TThread* thread = nullptr;
+        std::int32_t prev = -1;
+        std::int32_t next = -1;
+    };
+
+    Slot& operator[](std::int32_t id) { return slots_[static_cast<std::size_t>(id)]; }
+    const Slot& operator[](std::int32_t id) const {
+        return slots_[static_cast<std::size_t>(id)];
+    }
+
+    /// Grow the table to cover `id` (called on enqueue).
+    void ensure(ThreadId id) {
+        if (static_cast<std::size_t>(id) >= slots_.size()) {
+            slots_.resize(static_cast<std::size_t>(id) + 1);
+        }
+    }
+
+private:
+    std::vector<Slot> slots_;
+};
+
+/// FIFO of READY threads linked through ReadyTable slots.
+/// push/pop/unlink/rotate are O(1); no memory is allocated (the table
+/// grows only when a new highest ThreadId first becomes ready).
 class ReadyList {
 public:
-    bool empty() const { return head_ == nullptr; }
+    bool empty() const { return head_ < 0; }
     std::size_t size() const { return size_; }
-    TThread* front() const { return head_; }
+    TThread* front(const ReadyTable& tab) const {
+        return head_ < 0 ? nullptr : tab[head_].thread;
+    }
 
     /// Append `t` and stamp its node with `bucket`. Fatal if `t` is
     /// already linked (single-list invariant violation).
-    void push_back(TThread& t, Priority bucket);
+    void push_back(ReadyTable& tab, TThread& t, Priority bucket);
 
     /// Unlink `t` from this list (caller checked membership via the node).
-    void unlink(TThread& t);
+    void unlink(ReadyTable& tab, TThread& t);
 
     /// Detach and return the head (nullptr when empty).
-    TThread* pop_front();
+    TThread* pop_front(ReadyTable& tab);
 
     /// Move the head to the tail (µ-ITRON tk_rot_rdq); no-op below 2.
-    void rotate();
+    void rotate(ReadyTable& tab);
 
     /// Successor of `t` in list order (iteration helper for snapshots).
-    static TThread* next(const TThread& t);
+    static TThread* next(const ReadyTable& tab, const TThread& t);
 
 private:
-    TThread* head_ = nullptr;
-    TThread* tail_ = nullptr;
+    std::int32_t head_ = -1;
+    std::int32_t tail_ = -1;
     std::size_t size_ = 0;
 };
 

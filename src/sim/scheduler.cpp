@@ -31,7 +31,7 @@ std::size_t PriorityPreemptiveScheduler::first_ready_bucket() const {
 
 void PriorityPreemptiveScheduler::make_ready(TThread& t) {
     const std::size_t b = bucket_of(t.priority());
-    queues_[b].push_back(t, static_cast<Priority>(b));
+    queues_[b].push_back(table_, t, static_cast<Priority>(b));
     bitmap_[b / 64] |= std::uint64_t{1} << (b % 64);
     ++count_;
 }
@@ -45,7 +45,7 @@ void PriorityPreemptiveScheduler::remove(TThread& t) {
     // current priority may already have changed (priority_changed()
     // relies on exactly this).
     const std::size_t b = static_cast<std::size_t>(n.bucket);
-    queues_[b].unlink(t);
+    queues_[b].unlink(table_, t);
     if (queues_[b].empty()) {
         bitmap_[b / 64] &= ~(std::uint64_t{1} << (b % 64));
     }
@@ -57,7 +57,7 @@ TThread* PriorityPreemptiveScheduler::pick() {
     if (b == priority_levels) {
         return nullptr;
     }
-    TThread* t = queues_[b].pop_front();
+    TThread* t = queues_[b].pop_front(table_);
     if (queues_[b].empty()) {
         bitmap_[b / 64] &= ~(std::uint64_t{1} << (b % 64));
     }
@@ -67,12 +67,15 @@ TThread* PriorityPreemptiveScheduler::pick() {
 
 TThread* PriorityPreemptiveScheduler::peek() const {
     const std::size_t b = first_ready_bucket();
-    return b == priority_levels ? nullptr : queues_[b].front();
+    return b == priority_levels ? nullptr : queues_[b].front(table_);
 }
 
 bool PriorityPreemptiveScheduler::should_preempt(const TThread& running) const {
-    const TThread* best = peek();
-    return best != nullptr && best->priority() < running.priority();
+    // Pure bitmap comparison: a linked thread always sits in the bucket
+    // of its current priority (priority_changed() repositions on every
+    // change), so the first occupied bucket IS the best ready priority --
+    // no need to touch the thread behind it.
+    return first_ready_bucket() < static_cast<std::size_t>(bucket_of(running.priority()));
 }
 
 void PriorityPreemptiveScheduler::priority_changed(TThread& t) {
@@ -86,7 +89,7 @@ void PriorityPreemptiveScheduler::rotate(Priority prio) {
     if (prio < 0 || prio >= priority_levels) {
         return;  // nothing schedulable at that priority
     }
-    queues_[static_cast<std::size_t>(prio)].rotate();
+    queues_[static_cast<std::size_t>(prio)].rotate(table_);
 }
 
 std::vector<TThread*> PriorityPreemptiveScheduler::ready_snapshot() const {
@@ -96,8 +99,8 @@ std::vector<TThread*> PriorityPreemptiveScheduler::ready_snapshot() const {
         for (std::uint64_t bits = bitmap_[w]; bits != 0; bits &= bits - 1) {
             const std::size_t b =
                 w * 64 + static_cast<std::size_t>(std::countr_zero(bits));
-            for (TThread* t = queues_[b].front(); t != nullptr;
-                 t = ReadyList::next(*t)) {
+            for (TThread* t = queues_[b].front(table_); t != nullptr;
+                 t = ReadyList::next(table_, *t)) {
                 out.push_back(t);
             }
         }
@@ -108,21 +111,21 @@ std::vector<TThread*> PriorityPreemptiveScheduler::ready_snapshot() const {
 // ---- RoundRobinScheduler ----------------------------------------------------
 
 void RoundRobinScheduler::make_ready(TThread& t) {
-    queue_.push_back(t, 0);
+    queue_.push_back(table_, t, 0);
 }
 
 void RoundRobinScheduler::remove(TThread& t) {
     if (t.ready_node().linked) {
-        queue_.unlink(t);
+        queue_.unlink(table_, t);
     }
 }
 
 TThread* RoundRobinScheduler::pick() {
-    return queue_.pop_front();
+    return queue_.pop_front(table_);
 }
 
 TThread* RoundRobinScheduler::peek() const {
-    return queue_.front();
+    return queue_.front(table_);
 }
 
 bool RoundRobinScheduler::should_preempt(const TThread&) const {
@@ -132,13 +135,14 @@ bool RoundRobinScheduler::should_preempt(const TThread&) const {
 void RoundRobinScheduler::rotate(Priority) {
     // The policy has a single FIFO across all priorities, so tk_rot_rdq
     // rotates the whole queue (the RTK-Spec I slice rotation).
-    queue_.rotate();
+    queue_.rotate(table_);
 }
 
 std::vector<TThread*> RoundRobinScheduler::ready_snapshot() const {
     std::vector<TThread*> out;
     out.reserve(queue_.size());
-    for (TThread* t = queue_.front(); t != nullptr; t = ReadyList::next(*t)) {
+    for (TThread* t = queue_.front(table_); t != nullptr;
+         t = ReadyList::next(table_, *t)) {
         out.push_back(t);
     }
     return out;

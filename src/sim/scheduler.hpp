@@ -7,11 +7,13 @@
 // kernels: RTK-Spec I (round robin), RTK-Spec II and TRON (priority-based
 // preemptive); both policies are provided here.
 //
-// Both implementations run on the intrusive ReadyList threaded through
-// TThread::ready_node() (sim/ready_queue.hpp): make_ready / remove /
-// pick / rotate are O(1) and allocation-free, and the priority policy
-// finds the highest ready priority with a find-first-set scan over a
-// fixed bitmap instead of walking per-priority containers.
+// Both implementations run on ReadyLists linked through a dense,
+// scheduler-owned ReadyTable indexed by ThreadId (sim/ready_queue.hpp):
+// make_ready / remove / pick / rotate are O(1), allocation-free and
+// touch only the table (cache-resident even at thousands of tasks),
+// and the priority policy finds the highest ready priority with a
+// find-first-set scan over a fixed bitmap instead of walking
+// per-priority containers.
 #pragma once
 
 #include <array>
@@ -95,6 +97,7 @@ private:
 
     std::array<ReadyList, priority_levels> queues_;
     std::array<std::uint64_t, words> bitmap_{};
+    ReadyTable table_;
     std::size_t count_ = 0;
 };
 
@@ -117,6 +120,7 @@ public:
 
 private:
     ReadyList queue_;
+    ReadyTable table_;
 };
 
 }  // namespace rtk::sim

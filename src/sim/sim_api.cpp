@@ -38,8 +38,19 @@ SimApi::~SimApi() {
 
 TThread& SimApi::SIM_CreateThread(std::string name, ThreadKind kind, Priority prio,
                                   TThread::Entry entry) {
+    // Reuse the id of the most recently deleted thread before extending
+    // the id space: the dense tables keyed by ThreadId (SIM_HashTB, the
+    // scheduler's ready table) stay bounded by the live-thread high-water
+    // mark under create/delete churn.
+    ThreadId id;
+    if (!free_ids_.empty()) {
+        id = free_ids_.back();
+        free_ids_.pop_back();
+    } else {
+        id = next_id_++;
+    }
     auto thread = std::unique_ptr<TThread>(
-        new TThread(*this, next_id_++, std::move(name), kind, prio, std::move(entry)));
+        new TThread(*this, id, std::move(name), kind, prio, std::move(entry)));
     TThread& ref = *thread;
     owned_.push_back(std::move(thread));
     hashtb_.insert(ref.id_, ref);
@@ -54,6 +65,7 @@ void SimApi::SIM_DeleteThread(TThread& t) {
                      "SIM_DeleteThread('" + t.name_ + "'): thread is not DORMANT");
     }
     hashtb_.erase(t.id_);
+    free_ids_.push_back(t.id_);
     by_process_.erase(t.proc_);
     const_cast<sysc::Process*>(t.proc_)->kill();
     owned_.erase(std::remove_if(owned_.begin(), owned_.end(),

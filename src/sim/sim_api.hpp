@@ -232,8 +232,10 @@ public:
     /// Compatibility shim over add/remove_observer: replaces the observer
     /// previously registered through set_observer (nullptr just removes
     /// it). Observers registered with add_observer are unaffected.
+    [[deprecated("single-slot compat shim; use add_observer/remove_observer")]]
     void set_observer(SimObserver* obs);
     /// The observer registered via set_observer (nullptr when none).
+    [[deprecated("single-slot compat shim; use observer_count()")]]
     SimObserver* observer() const { return compat_observer_; }
     std::size_t observer_count() const;
 
@@ -318,6 +320,7 @@ private:
     bool dispatch_pending_ = false;  ///< delayed dispatching flag
 
     ThreadId next_id_ = 1;
+    std::vector<ThreadId> free_ids_;  ///< ids of deleted threads, reused LIFO
     std::uint64_t total_dispatches_ = 0;
     std::uint64_t total_preemptions_ = 0;
     std::uint64_t total_interrupts_ = 0;

@@ -9,10 +9,10 @@ TThread::TThread(SimApi& api, ThreadId id, std::string name, ThreadKind kind,
                  Priority prio, Entry entry)
     : api_(api),
       id_(id),
-      name_(std::move(name)),
-      kind_(kind),
       base_priority_(prio),
       current_priority_(prio),
+      name_(std::move(name)),
+      kind_(kind),
       entry_(std::move(entry)),
       grant_ev_(api.kernel(), name_ + ".grant"),
       sleep_ev_(api.kernel(), name_ + ".sleep") {}

@@ -85,12 +85,18 @@ private:
     /// Block until SimApi grants the CPU; fires the enabling transition.
     RunEvent await_grant();
 
+    // Hot scheduling fields first: make_ready/pick touch id_,
+    // current_priority_ and ready_node_ on every ready-queue operation,
+    // and keeping them in the object's first cache line halves the
+    // memory traffic of a scheduling op at large thread counts
+    // (BENCH_scheduler_scaling.json).
     SimApi& api_;
     ThreadId id_;
-    std::string name_;
-    ThreadKind kind_;
     Priority base_priority_;
     Priority current_priority_;
+    ReadyNode ready_node_;
+    std::string name_;
+    ThreadKind kind_;
     Entry entry_;
     ThreadState state_ = ThreadState::dormant;
 
@@ -111,7 +117,6 @@ private:
     std::uint64_t suspend_count_ = 0;  ///< µ-ITRON nested suspend count
 
     void* user_data_ = nullptr;
-    ReadyNode ready_node_;
     Token token_;
     std::uint64_t dispatches_ = 0;
     std::uint64_t preemptions_ = 0;

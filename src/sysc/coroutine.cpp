@@ -4,10 +4,12 @@
 
 #include "sysc/report.hpp"
 
-// AddressSanitizer cannot follow ucontext stack switches on its own; the
-// fiber annotations below tell it when execution moves between the host
-// stack and a coroutine stack (otherwise every switch looks like a wild
-// stack access and the sanitizer CI job drowns in false positives).
+// AddressSanitizer cannot follow stack switches on its own; the fiber
+// annotations below tell it when execution moves between the host stack
+// and a coroutine stack (otherwise every switch looks like a wild stack
+// access and the sanitizer CI job drowns in false positives). The
+// annotations are engine-independent: they bracket the fcontext jump
+// exactly like they bracketed swapcontext.
 #if defined(__SANITIZE_ADDRESS__)
 #define RTK_ASAN_FIBERS 1
 #elif defined(__has_feature)
@@ -100,8 +102,9 @@ inline void tsan_switch_fiber(void* fiber) {
 
 }  // namespace
 
-Coroutine::Coroutine(std::function<void()> body, std::size_t stack_bytes)
-    : body_(std::move(body)), stack_bytes_(stack_bytes) {}
+Coroutine::Coroutine(std::function<void()> body, std::size_t stack_bytes,
+                     StackPool* pool)
+    : body_(std::move(body)), pool_(pool), stack_bytes_(stack_bytes) {}
 
 Coroutine::~Coroutine() {
     if (started_ && !finished_) {
@@ -113,8 +116,39 @@ Coroutine::~Coroutine() {
             // is intentionally dropped during teardown.
         }
     }
+    release_stack();  // no-op on the common path (released at finish)
     tsan_destroy_fiber(tsan_fiber_);
 }
+
+void Coroutine::release_stack() {
+    if (stack_.base == nullptr) {
+        return;
+    }
+    if (pool_ != nullptr) {
+        pool_->release(stack_);
+    } else {
+        delete[] stack_.base;
+    }
+    stack_ = StackPool::Stack{};
+}
+
+#if RTK_FCONTEXT
+
+void Coroutine::entry(rtk_fcontext_t from, void* data) {
+    auto* c = static_cast<Coroutine*>(data);
+    c->caller_fctx_ = from;
+    c->run_body();
+    // The coroutine stack dies here: a null fake-stack handle tells ASan
+    // to release it before the final jump back to the caller context.
+    // TSan stays on the coroutine's fiber across that jump -- the
+    // pending function-exit events of this frame must pop from the
+    // fiber's shadow stack where their entries were pushed; resume()
+    // switches the fiber back afterwards.
+    asan_start_switch(nullptr, c->asan_caller_bottom_, c->asan_caller_size_);
+    rtk_jump_fcontext(c->caller_fctx_, nullptr);  // never returns
+}
+
+#else  // ucontext fallback
 
 void Coroutine::trampoline(unsigned hi, unsigned lo) {
     auto ptr = (static_cast<std::uintptr_t>(hi) << 32) | static_cast<std::uintptr_t>(lo);
@@ -129,6 +163,8 @@ void Coroutine::trampoline(unsigned hi, unsigned lo) {
     asan_start_switch(nullptr, c->asan_caller_bottom_, c->asan_caller_size_);
     // Returning lets ucontext follow uc_link back to the caller context.
 }
+
+#endif
 
 void Coroutine::run_body() {
     // First instants on the coroutine stack: complete the switch ASan saw
@@ -156,30 +192,45 @@ void Coroutine::resume() {
     }
     if (!started_) {
         started_ = true;
-        // The stack is allocated on first entry, not at construction, so
+        // The stack is acquired on first entry, not at construction, so
         // processes that never run (mass-created tasks in large-N
         // scenarios) cost no stack memory.
-        stack_ = std::unique_ptr<char[]>(new char[stack_bytes_]);
+        stack_ = pool_ != nullptr ? pool_->acquire(stack_bytes_)
+                                  : StackPool::Stack{new char[stack_bytes_],
+                                                     stack_bytes_};
+#if RTK_FCONTEXT
+        fctx_ = rtk_make_fcontext(stack_.base + stack_.bytes, stack_.bytes,
+                                  &Coroutine::entry);
+#else
         getcontext(&ctx_);
-        ctx_.uc_stack.ss_sp = stack_.get();
-        ctx_.uc_stack.ss_size = stack_bytes_;
+        ctx_.uc_stack.ss_sp = stack_.base;
+        ctx_.uc_stack.ss_size = stack_.bytes;
         ctx_.uc_link = &caller_;
         auto ptr = reinterpret_cast<std::uintptr_t>(this);
         makecontext(&ctx_, reinterpret_cast<void (*)()>(&Coroutine::trampoline), 2,
                     static_cast<unsigned>(ptr >> 32),
                     static_cast<unsigned>(ptr & 0xffffffffu));
+#endif
         tsan_fiber_ = tsan_create_fiber();
     }
     inside_ = true;
-    asan_start_switch(&asan_caller_fake_, stack_.get(), stack_bytes_);
+    asan_start_switch(&asan_caller_fake_, stack_.base, stack_.bytes);
     tsan_caller_fiber_ = tsan_current_fiber();
     tsan_switch_fiber(tsan_fiber_);
+#if RTK_FCONTEXT
+    const rtk_transfer_t t = rtk_jump_fcontext(fctx_, this);
+    fctx_ = t.fctx;  // null after the final jump (finished_ set)
+#else
     swapcontext(&caller_, &ctx_);
+#endif
     asan_finish_switch(asan_caller_fake_, nullptr, nullptr);
     if (finished_) {
-        // Came back through uc_link (no annotation on that path): leave
-        // the dead coroutine's fiber now that its shadow stack is drained.
+        // Came back through the final jump (no annotation on that path):
+        // leave the dead coroutine's fiber now that its shadow stack is
+        // drained, and hand the stack straight back to the pool -- the
+        // coroutine can never run again.
         tsan_switch_fiber(tsan_caller_fiber_);
+        release_stack();
     }
     inside_ = false;
     if (finished_ && pending_exception_) {
@@ -195,7 +246,12 @@ void Coroutine::yield() {
     }
     asan_start_switch(&asan_coro_fake_, asan_caller_bottom_, asan_caller_size_);
     tsan_switch_fiber(tsan_caller_fiber_);
+#if RTK_FCONTEXT
+    const rtk_transfer_t t = rtk_jump_fcontext(caller_fctx_, nullptr);
+    caller_fctx_ = t.fctx;  // the resumer may differ between suspensions
+#else
     swapcontext(&ctx_, &caller_);
+#endif
     // Back on the coroutine stack; the resumer may be a different host
     // stack than last time, so refresh the recorded caller bounds.
     asan_finish_switch(asan_coro_fake_, &asan_caller_bottom_, &asan_caller_size_);

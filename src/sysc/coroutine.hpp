@@ -1,18 +1,33 @@
 // Stackful coroutine used to implement SC_THREAD-style processes.
 //
-// Built on POSIX ucontext (the same technique as SystemC's QuickThreads
-// package): a T-THREAD must be suspendable from arbitrarily deep call
-// stacks (T-Kernel service call -> SIM_Wait), which stackless C++20
-// coroutines cannot express. Each coroutine owns its stack; destruction
-// of a suspended coroutine unwinds the stack by resuming it with a kill
-// flag, so RAII destructors on the coroutine stack always run.
+// A T-THREAD must be suspendable from arbitrarily deep call stacks
+// (T-Kernel service call -> SIM_Wait), which stackless C++20 coroutines
+// cannot express. Two switch engines sit behind one class:
+//
+//   - fcontext (default on x86-64 ELF): a handwritten assembly switch
+//     that saves callee-saved registers + stack pointer only
+//     (sysc/fcontext.hpp) -- the QuickThreads/Boost.Context technique;
+//   - POSIX ucontext (RTK_USE_UCONTEXT / other platforms): portable but
+//     syscall-class per switch (swapcontext re-saves the signal mask).
+//
+// Each coroutine borrows its stack from a StackPool (or the heap when no
+// pool is given) at first resume and returns it the moment it finishes,
+// so terminate/restart churn recycles stacks instead of reallocating.
+// Destruction of a suspended coroutine unwinds the stack by resuming it
+// with a kill flag, so RAII destructors on the coroutine stack always
+// run.
 #pragma once
 
 #include <cstddef>
 #include <exception>
 #include <functional>
-#include <memory>
+
+#include "sysc/fcontext.hpp"
+#include "sysc/stack_pool.hpp"
+
+#if !RTK_FCONTEXT
 #include <ucontext.h>
+#endif
 
 namespace rtk::sysc {
 
@@ -24,9 +39,12 @@ class Coroutine {
 public:
     static constexpr std::size_t default_stack_bytes = 256 * 1024;
 
-    /// The stack is allocated and the body entered at the first resume();
-    /// a coroutine that is never resumed costs no stack memory.
-    Coroutine(std::function<void()> body, std::size_t stack_bytes = default_stack_bytes);
+    /// The stack is acquired (from `pool` when given) and the body
+    /// entered at the first resume(); a coroutine that is never resumed
+    /// costs no stack memory.
+    explicit Coroutine(std::function<void()> body,
+                       std::size_t stack_bytes = default_stack_bytes,
+                       StackPool* pool = nullptr);
 
     /// Unwinds the coroutine stack if still suspended.
     ~Coroutine();
@@ -51,11 +69,19 @@ public:
     bool started() const { return started_; }
 
 private:
+#if RTK_FCONTEXT
+    static void entry(rtk_fcontext_t from, void* data);
+#else
     static void trampoline(unsigned hi, unsigned lo);
+#endif
     void run_body();
+    /// Hand the stack back to the pool (or heap) once the coroutine can
+    /// never run again.
+    void release_stack();
 
     std::function<void()> body_;
-    std::unique_ptr<char[]> stack_;
+    StackPool* pool_;
+    StackPool::Stack stack_{};
     std::size_t stack_bytes_;
     // ASan fiber-annotation bookkeeping (idle in non-sanitized builds):
     // fake-stack handles for each side of a switch plus the bounds of the
@@ -70,8 +96,13 @@ private:
     // suspensions when kernels run on different host threads).
     void* tsan_fiber_ = nullptr;
     void* tsan_caller_fiber_ = nullptr;
+#if RTK_FCONTEXT
+    rtk_fcontext_t fctx_ = nullptr;         ///< suspended coroutine context
+    rtk_fcontext_t caller_fctx_ = nullptr;  ///< context to yield back into
+#else
     ucontext_t ctx_{};
     ucontext_t caller_{};
+#endif
     bool started_ = false;
     bool finished_ = false;
     bool inside_ = false;

@@ -1,0 +1,92 @@
+// x86-64 SysV implementation of the fcontext switch (see fcontext.hpp).
+//
+// Register/layout contract, identical to Boost.Context's
+// jump_x86_64_sysv_elf_gas.S: a suspended context is an rsp value whose
+// frame holds, from the bottom up, MXCSR (4), x87 CW (4), r12, r13, r14,
+// r15, rbx, rbp and the return address of the suspended jump. The switch
+// itself never executes `ret` across stacks -- it pops the target's
+// return address and jumps, so the two activations stay independent.
+//
+// This translation unit is compiled with -fcf-protection=none (see
+// src/CMakeLists.txt): the handwritten switch is not CET-clean (an
+// indirect jump resumes the target mid-function), and leaving the CET
+// property note off this object disables IBT/SHSTK enforcement for the
+// final link instead of faulting on hardware that has it.
+#include "sysc/fcontext.hpp"
+
+#if RTK_FCONTEXT
+
+#include "sysc/report.hpp"
+
+extern "C" void rtk_fcontext_on_return() {
+    // Entered through the finish thunk when a context entry function
+    // returns instead of jumping out -- a contract violation in
+    // sysc::Coroutine, never reachable from user code.
+    rtk::sysc::report(rtk::sysc::Severity::fatal, "fcontext",
+                      "context entry function returned instead of jumping out");
+}
+
+__asm__(
+    ".text\n"
+    ".align 16\n"
+    ".globl rtk_jump_fcontext\n"
+    ".type rtk_jump_fcontext,@function\n"
+    "rtk_jump_fcontext:\n"
+    /* Save the suspending side: FP control state + callee-saved GPRs.  */
+    "    leaq    -0x38(%rsp), %rsp\n"
+    "    stmxcsr 0x00(%rsp)\n"
+    "    fnstcw  0x04(%rsp)\n"
+    "    movq    %r12, 0x08(%rsp)\n"
+    "    movq    %r13, 0x10(%rsp)\n"
+    "    movq    %r14, 0x18(%rsp)\n"
+    "    movq    %r15, 0x20(%rsp)\n"
+    "    movq    %rbx, 0x28(%rsp)\n"
+    "    movq    %rbp, 0x30(%rsp)\n"
+    /* The old rsp IS the suspended context; hand it to the target.      */
+    "    movq    %rsp, %rax\n"
+    "    movq    %rdi, %rsp\n"
+    /* Restore the target: return address, FP control state, GPRs.       */
+    "    movq    0x38(%rsp), %r8\n"
+    "    ldmxcsr 0x00(%rsp)\n"
+    "    fldcw   0x04(%rsp)\n"
+    "    movq    0x08(%rsp), %r12\n"
+    "    movq    0x10(%rsp), %r13\n"
+    "    movq    0x18(%rsp), %r14\n"
+    "    movq    0x20(%rsp), %r15\n"
+    "    movq    0x28(%rsp), %rbx\n"
+    "    movq    0x30(%rsp), %rbp\n"
+    "    leaq    0x40(%rsp), %rsp\n"
+    /* rtk_transfer_t return value (rax:rdx) for a resumed jump, and the
+       same pair in rdi:rsi as arguments for a first-entry function.     */
+    "    movq    %rsi, %rdx\n"
+    "    movq    %rax, %rdi\n"
+    "    jmp     *%r8\n"
+    ".size rtk_jump_fcontext,.-rtk_jump_fcontext\n"
+    "\n"
+    ".align 16\n"
+    ".globl rtk_make_fcontext\n"
+    ".type rtk_make_fcontext,@function\n"
+    "rtk_make_fcontext:\n"
+    /* Context base: 16-byte-aligned stack top minus one switch frame.   */
+    "    movq    %rdi, %rax\n"
+    "    andq    $-16, %rax\n"
+    "    leaq    -0x40(%rax), %rax\n"
+    /* Entry function lands in rbx; trampoline is the 'return address'
+       the first jump pops, finish the frame the entry would return to.  */
+    "    movq    %rdx, 0x28(%rax)\n"
+    "    stmxcsr 0x00(%rax)\n"
+    "    fnstcw  0x04(%rax)\n"
+    "    leaq    1f(%rip), %rcx\n"
+    "    movq    %rcx, 0x38(%rax)\n"
+    "    leaq    2f(%rip), %rcx\n"
+    "    movq    %rcx, 0x30(%rax)\n"
+    "    ret\n"
+    "1:\n" /* trampoline: align the stack like a call would, enter fn */
+    "    push    %rbp\n"
+    "    jmp     *%rbx\n"
+    "2:\n" /* finish: the entry function returned -- fatal */
+    "    call    rtk_fcontext_on_return@PLT\n"
+    "    hlt\n"
+    ".size rtk_make_fcontext,.-rtk_make_fcontext\n");
+
+#endif  // RTK_FCONTEXT

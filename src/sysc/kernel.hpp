@@ -16,6 +16,7 @@
 
 #include "sysc/event.hpp"
 #include "sysc/process.hpp"
+#include "sysc/stack_pool.hpp"
 #include "sysc/time.hpp"
 
 namespace rtk::sysc {
@@ -115,6 +116,10 @@ public:
     /// Hook invoked after every completed delta cycle (trace writers).
     void add_timestep_hook(std::function<void(Time)> hook);
 
+    /// Recycling allocator for process coroutine stacks; every process
+    /// spawned on this kernel borrows its stack here.
+    StackPool& stack_pool() { return stack_pool_; }
+
     // ---- internal interface for Event / Process / wait() ----
     void schedule_delta(Event& e);
     void schedule_timed(Event& e, Time at);
@@ -159,6 +164,9 @@ private:
     std::uint64_t delta_budget_ = 0;  ///< remaining deltas; 0 = unlimited
     bool delta_budget_exhausted_ = false;
 
+    /// Declared before processes_: dying processes hand their coroutine
+    /// stacks back to the pool, so it must outlive them.
+    StackPool stack_pool_;
     std::vector<std::unique_ptr<Process>> processes_;
     std::deque<Process*> runnable_;
     std::vector<Event*> delta_queue_;

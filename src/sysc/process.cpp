@@ -14,7 +14,7 @@ Process::Process(Kernel& kernel, std::string name, std::function<void()> body,
     : kernel_(kernel),
       name_(std::move(name)),
       id_(id),
-      coro_(std::move(body), stack_bytes),
+      coro_(std::move(body), stack_bytes, &kernel.stack_pool()),
       timeout_ev_(name_ + ".timeout"),
       terminated_ev_(name_ + ".terminated") {}
 

@@ -1,0 +1,81 @@
+#include "sysc/stack_pool.hpp"
+
+// A recycled stack may carry stale ASan shadow state from the frames of
+// the coroutine that died on it (poisoned redzones survive a non-local
+// exit); unpoison the whole region before the next coroutine runs there.
+#if defined(__SANITIZE_ADDRESS__)
+#define RTK_STACKPOOL_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define RTK_STACKPOOL_ASAN 1
+#endif
+#endif
+
+#ifdef RTK_STACKPOOL_ASAN
+#include <sanitizer/asan_interface.h>
+#endif
+
+namespace rtk::sysc {
+
+namespace {
+
+inline void unpoison(const StackPool::Stack& s) {
+#ifdef RTK_STACKPOOL_ASAN
+    __asan_unpoison_memory_region(s.base, s.bytes);
+#else
+    (void)s;
+#endif
+}
+
+}  // namespace
+
+StackPool::~StackPool() {
+    for (const Stack& s : free_) {
+        delete[] s.base;
+    }
+}
+
+StackPool::Stack StackPool::acquire(std::size_t bytes) {
+    ++acquires_;
+    // LIFO scan for an exact-geometry match: the common case (all stacks
+    // share the default size) hits on the last element.
+    for (std::size_t i = free_.size(); i > 0; --i) {
+        if (free_[i - 1].bytes == bytes) {
+            Stack s = free_[i - 1];
+            free_.erase(free_.begin() + static_cast<std::ptrdiff_t>(i - 1));
+            ++reuses_;
+            return s;
+        }
+    }
+    return Stack{new char[bytes], bytes};
+}
+
+void StackPool::release(Stack s) {
+    if (s.base == nullptr) {
+        return;
+    }
+    if (free_.size() >= max_cached_) {
+        delete[] s.base;
+        return;
+    }
+    unpoison(s);
+    free_.push_back(s);
+}
+
+std::size_t StackPool::cached_bytes() const {
+    std::size_t n = 0;
+    for (const Stack& s : free_) {
+        n += s.bytes;
+    }
+    return n;
+}
+
+void StackPool::set_max_cached(std::size_t n) {
+    max_cached_ = n;
+    while (free_.size() > max_cached_) {
+        delete[] free_.back().base;
+        free_.pop_back();
+    }
+}
+
+}  // namespace rtk::sysc

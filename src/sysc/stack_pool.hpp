@@ -1,0 +1,64 @@
+// Recycling allocator for coroutine stacks.
+//
+// Every T-THREAD terminate/restart cycle (tk_ter_tsk, teardown between
+// fuzz scenarios) used to pay a fresh `new char[256K]` plus first-touch
+// page faults for the replacement coroutine stack. A StackPool keeps the
+// stacks of finished coroutines and hands them back for the next spawn:
+// the pool is LIFO (the hottest stack -- caches and TLB still warm -- is
+// reused first) and size-segregated (a request is only satisfied by a
+// stack of exactly the requested geometry, so mixed stack sizes never
+// alias).
+//
+// One pool per sysc::Kernel (Kernel::stack_pool()); coroutines without a
+// pool fall back to plain heap allocation. Not thread-safe -- like the
+// kernel that owns it, a pool is confined to one host thread.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rtk::sysc {
+
+class StackPool {
+public:
+    /// One coroutine stack: base (lowest address) + size in bytes.
+    struct Stack {
+        char* base = nullptr;
+        std::size_t bytes = 0;
+    };
+
+    /// `max_cached` bounds the number of idle stacks kept alive; with the
+    /// 256 KiB default coroutine stack the default cap holds 8 MiB.
+    explicit StackPool(std::size_t max_cached = 32) : max_cached_(max_cached) {}
+    ~StackPool();
+
+    StackPool(const StackPool&) = delete;
+    StackPool& operator=(const StackPool&) = delete;
+
+    /// A stack of exactly `bytes` bytes: recycled (LIFO) when one of that
+    /// geometry is idle in the pool, freshly allocated otherwise.
+    Stack acquire(std::size_t bytes);
+
+    /// Return a stack to the pool; freed immediately when the cache is
+    /// already at max_cached(). Accepts empty stacks as a no-op.
+    void release(Stack s);
+
+    std::size_t cached() const { return free_.size(); }
+    std::size_t cached_bytes() const;
+    std::size_t max_cached() const { return max_cached_; }
+    /// Shrinking the cap frees surplus idle stacks immediately.
+    void set_max_cached(std::size_t n);
+
+    // ---- statistics (tests / BENCH_context_switch) ----
+    std::uint64_t total_acquires() const { return acquires_; }
+    std::uint64_t total_reuses() const { return reuses_; }
+
+private:
+    std::vector<Stack> free_;  ///< idle stacks, LIFO
+    std::size_t max_cached_;
+    std::uint64_t acquires_ = 0;
+    std::uint64_t reuses_ = 0;
+};
+
+}  // namespace rtk::sysc

@@ -1,6 +1,13 @@
 // Kernel object classes of the T-Kernel/OS model and the id-indexed
 // registry that owns them. One Registry per object class gives each class
 // its own µ-ITRON id space starting at 1.
+//
+// The registry is a dense table: object id N lives in slot N-1 of a flat
+// vector, so every lookup on the service-call hot path is one bounds
+// check and one indexed load instead of a hash + chain walk. Ids of
+// deleted objects are recycled LIFO -- the id space stays dense no matter
+// how many create/delete cycles a scenario runs, and the table never
+// grows past the high-water mark of simultaneously live objects.
 #pragma once
 
 #include <algorithm>
@@ -25,38 +32,60 @@ template <typename T>
 class Registry {
 public:
     /// Returns the new object's id, or E_LIMIT when the class is full.
+    /// Ids of deleted objects are reused (most recently freed first)
+    /// before the id space is extended.
     ID add(std::unique_ptr<T> obj) {
-        if (map_.size() >= static_cast<std::size_t>(max_objects_per_class)) {
+        if (live_ >= static_cast<std::size_t>(max_objects_per_class)) {
             return E_LIMIT;
         }
-        const ID id = next_id_++;
+        ID id;
+        if (!free_.empty()) {
+            id = free_.back();
+            free_.pop_back();
+        } else {
+            id = static_cast<ID>(slots_.size()) + 1;
+            slots_.emplace_back();
+        }
         obj->id = id;
-        map_.emplace(id, std::move(obj));
+        slots_[static_cast<std::size_t>(id) - 1] = std::move(obj);
+        ++live_;
         return id;
     }
 
     T* find(ID id) const {
-        auto it = map_.find(id);
-        return it == map_.end() ? nullptr : it->second.get();
+        if (id < 1 || static_cast<std::size_t>(id) > slots_.size()) {
+            return nullptr;
+        }
+        return slots_[static_cast<std::size_t>(id) - 1].get();
     }
 
-    bool erase(ID id) { return map_.erase(id) != 0; }
+    bool erase(ID id) {
+        if (find(id) == nullptr) {
+            return false;
+        }
+        slots_[static_cast<std::size_t>(id) - 1].reset();
+        free_.push_back(id);
+        --live_;
+        return true;
+    }
 
-    std::size_t size() const { return map_.size(); }
+    std::size_t size() const { return live_; }
 
     std::vector<ID> ids() const {  // ascending
         std::vector<ID> out;
-        out.reserve(map_.size());
-        for (const auto& [id, obj] : map_) {
-            out.push_back(id);
+        out.reserve(live_);
+        for (std::size_t i = 0; i < slots_.size(); ++i) {
+            if (slots_[i] != nullptr) {
+                out.push_back(static_cast<ID>(i) + 1);
+            }
         }
-        std::sort(out.begin(), out.end());
         return out;
     }
 
 private:
-    std::unordered_map<ID, std::unique_ptr<T>> map_;
-    ID next_id_ = 1;
+    std::vector<std::unique_ptr<T>> slots_;  ///< slot i holds id i+1
+    std::vector<ID> free_;                   ///< recycled ids, LIFO
+    std::size_t live_ = 0;
 };
 
 // ---- synchronisation / communication objects -----------------------------------

@@ -2,6 +2,8 @@
 // stamping, stale detection at the facade, and raw-ID adoption.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 #include "api/system.hpp"
 #include "harness/simulation.hpp"
 
@@ -110,9 +112,72 @@ TEST_F(HandlesTest, DeletionBehindTheFacadeSurfacesAsNoexs) {
     // Deleted through the paper-level surface, behind the facade's back:
     ASSERT_EQ(sim.os().tk_del_sem(sem.id()), E_OK);
     // The facade table still lists it, so the call reaches the kernel
-    // and comes back E_NOEXS (IDs are never reused by the registry).
+    // and comes back E_NOEXS (the freed id sits on the registry's free
+    // list; nothing has reclaimed it yet).
     EXPECT_TRUE(sem.signal() == E_NOEXS);
     sem.release();  // avoid double delete on scope exit
+}
+
+// ---- dense-id recycling: stale handles stay dead ---------------------------
+//
+// The registry recycles deleted ids LIFO, so under churn the *same* raw
+// id is handed to object after object. The facade's per-id generation is
+// what keeps a handle from one incarnation off the next one's back.
+
+TEST_F(HandlesTest, DestroyedIdIsRecycledWithAFreshGeneration) {
+    api::Semaphore first = sys.create_semaphore({.name = "one"}).expect("create");
+    const ID raw = first.id();
+    const auto g1 = first.generation();
+    EXPECT_TRUE(first.destroy().ok());
+
+    // The dense registry reuses the freed id for the next create...
+    api::Semaphore second = sys.create_semaphore({.name = "two"}).expect("create");
+    EXPECT_EQ(second.id(), raw);
+    // ...but the facade stamps a strictly newer generation on it.
+    EXPECT_GT(second.generation(), g1);
+    EXPECT_TRUE(second.signal().ok());
+}
+
+TEST_F(HandlesTest, StaleHandleCannotTouchTheIdsNewOwner) {
+    api::Semaphore doomed = sys.create_semaphore({.name = "doomed"}).expect("create");
+    const ID raw = doomed.id();
+    // Kill the object behind the facade's back; the handle goes stale but
+    // still carries (raw id, old generation).
+    ASSERT_EQ(sim.os().tk_del_sem(raw), E_OK);
+
+    // A new object takes over the recycled id through the facade.
+    api::Semaphore owner = sys.create_semaphore({.name = "owner"}).expect("create");
+    ASSERT_EQ(owner.id(), raw);
+
+    // The stale handle must not operate on the id's new owner: every call
+    // fails closed with E_NOEXS at the generation check.
+    EXPECT_FALSE(doomed.valid());
+    EXPECT_TRUE(doomed.signal() == E_NOEXS);
+    EXPECT_EQ(doomed.ref().er(), E_NOEXS);
+    EXPECT_TRUE(doomed.destroy() == E_NOEXS);  // RAII can't double-delete
+    doomed.release();  // the object belongs to `owner` now
+
+    EXPECT_TRUE(owner.signal().ok());
+    EXPECT_EQ(owner.ref().expect("owner").semcnt, 1);
+}
+
+TEST_F(HandlesTest, ChurnOverRecycledIdsKeepsEveryGenerationDistinct) {
+    // 32 create/destroy cycles all land on the same dense slot; each
+    // incarnation must be distinguishable from every other one.
+    ID raw = 0;
+    std::uint32_t last_gen = 0;
+    for (int cycle = 0; cycle < 32; ++cycle) {
+        api::Semaphore sem = sys.create_semaphore({.name = "churn"}).expect("create");
+        if (cycle == 0) {
+            raw = sem.id();
+        }
+        EXPECT_EQ(sem.id(), raw) << "id not recycled at cycle " << cycle;
+        EXPECT_GT(sem.generation(), last_gen);
+        last_gen = sem.generation();
+        EXPECT_TRUE(sem.signal().ok());
+    }  // RAII destroy -> the id goes back on the free list each cycle
+    EXPECT_EQ(sys.live_count(api::Kind::semaphore), 0u);
+    EXPECT_EQ(sim.os().semaphores().size(), 0u);
 }
 
 TEST_F(HandlesTest, AdoptRejectsBadIds) {

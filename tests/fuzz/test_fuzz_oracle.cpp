@@ -115,7 +115,7 @@ TEST_F(OracleInjectionTest, FlagsIdleWithReadyWork) {
 
 TEST_F(OracleInjectionTest, DetachStopsObservation) {
     oracle_.detach();
-    EXPECT_EQ(sim_.sim().observer(), nullptr);
+    EXPECT_EQ(sim_.sim().observer_count(), 0u);
 }
 
 TEST(InvariantOracle, RoundRobinPolicySkipsPriorityDispatchLaw) {

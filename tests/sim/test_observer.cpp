@@ -196,6 +196,10 @@ TEST_F(ObserverTest, AddDuringDispatchStartsAtTheNextEvent) {
     EXPECT_EQ(late.events, a.events - 1);
 }
 
+// The compat shim is deprecated but must keep its replace-own-slot
+// semantics until it is removed; this test intentionally calls it.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 TEST_F(ObserverTest, SetObserverCompatShimReplacesItsOwnSlot) {
     LoggingObserver a("a", log), b("b", log), extra("x", log);
     api.add_observer(&extra);  // multi-registered observers are untouched
@@ -216,6 +220,7 @@ TEST_F(ObserverTest, SetObserverCompatShimReplacesItsOwnSlot) {
     EXPECT_EQ(api.observer(), nullptr);
     EXPECT_EQ(api.observer_count(), 1u);
 }
+#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace rtk::sim

@@ -1,6 +1,7 @@
 // Scheduler policy tests (external schedulers of SIM_API).
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -346,6 +347,79 @@ TEST_F(SchedulerPolicyTest, LargePopulationKeepsDeterministicOrder) {
         got.push_back(t);
     }
     EXPECT_EQ(got, expected);
+}
+
+// Seed-pinned ready-pick regression at the BENCH_scheduler_scaling peak
+// size. 4096 tasks with xorshift-assigned priorities go ready, a fifth
+// of them are removed again and the most crowded level is rotated; the
+// dense ReadyTable must then reproduce the exact (priority, FIFO within
+// priority) pick sequence of a reference model computed independently.
+TEST_F(SchedulerPolicyTest, ReadyPickOrderPinnedAt4096Tasks) {
+    PriorityPreemptiveScheduler s;
+    SimApi api{k, s};
+    constexpr int n = 4096;
+    std::uint32_t rng = 0x5eed0007u;  // pinned seed
+    auto next = [&rng] {
+        rng ^= rng << 13;
+        rng ^= rng >> 17;
+        rng ^= rng << 5;
+        return rng;
+    };
+
+    std::vector<TThread*> threads;
+    std::vector<Priority> prio;
+    threads.reserve(n);
+    prio.reserve(n);
+    for (int i = 0; i < n; ++i) {
+        const Priority p = static_cast<Priority>(1 + next() % 140);
+        prio.push_back(p);
+        threads.push_back(&api.SIM_CreateThread("t" + std::to_string(i),
+                                                ThreadKind::task, p, [] {}));
+    }
+    for (auto* t : threads) {
+        s.make_ready(*t);
+    }
+    // Deterministic churn: every fifth thread leaves the ready set again.
+    std::vector<bool> gone(n, false);
+    for (int i = 0; i < n; i += 5) {
+        s.remove(*threads[static_cast<std::size_t>(i)]);
+        gone[static_cast<std::size_t>(i)] = true;
+    }
+    // Rotate one surviving level (thread 1 is never removed: 1 % 5 != 0).
+    const Priority rotated = prio[1];
+    s.rotate(rotated);
+
+    // Reference model: per-priority FIFO in creation order, rotation as
+    // head-to-tail on the named level, concatenated by ascending priority.
+    std::vector<std::vector<TThread*>> levels(141);
+    for (int i = 0; i < n; ++i) {
+        if (!gone[static_cast<std::size_t>(i)]) {
+            levels[static_cast<std::size_t>(prio[static_cast<std::size_t>(i)])]
+                .push_back(threads[static_cast<std::size_t>(i)]);
+        }
+    }
+    auto& rot_level = levels[static_cast<std::size_t>(rotated)];
+    if (rot_level.size() > 1) {
+        rot_level.push_back(rot_level.front());
+        rot_level.erase(rot_level.begin());
+    }
+    std::vector<TThread*> expected;
+    for (const auto& level : levels) {
+        expected.insert(expected.end(), level.begin(), level.end());
+    }
+
+    ASSERT_EQ(s.ready_count(), expected.size());
+    std::vector<TThread*> got;
+    got.reserve(expected.size());
+    while (TThread* t = s.pick()) {
+        got.push_back(t);
+    }
+    ASSERT_EQ(got.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        ASSERT_EQ(got[i], expected[i])
+            << "pick diverged at position " << i << " ('" << got[i]->name()
+            << "' vs expected '" << expected[i]->name() << "')";
+    }
 }
 
 }  // namespace

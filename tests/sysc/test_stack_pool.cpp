@@ -1,0 +1,150 @@
+// StackPool: reuse (LIFO), exact-size segregation, cache boundedness,
+// and the kernel integration (terminate/respawn churn recycles stacks
+// instead of allocating).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sysc/coroutine.hpp"
+#include "sysc/kernel.hpp"
+#include "sysc/stack_pool.hpp"
+
+namespace rtk::sysc {
+namespace {
+
+TEST(StackPool, AcquireAllocatesReleaseRecycles) {
+    StackPool pool;
+    StackPool::Stack s = pool.acquire(4096);
+    ASSERT_NE(s.base, nullptr);
+    EXPECT_EQ(s.bytes, 4096u);
+    EXPECT_EQ(pool.total_acquires(), 1u);
+    EXPECT_EQ(pool.total_reuses(), 0u);
+
+    char* base = s.base;
+    pool.release(s);
+    EXPECT_EQ(pool.cached(), 1u);
+
+    StackPool::Stack again = pool.acquire(4096);
+    EXPECT_EQ(again.base, base);  // same stack came back
+    EXPECT_EQ(pool.total_reuses(), 1u);
+    EXPECT_EQ(pool.cached(), 0u);
+    pool.release(again);
+}
+
+TEST(StackPool, ReuseIsLifo) {
+    StackPool pool;
+    StackPool::Stack a = pool.acquire(4096);
+    StackPool::Stack b = pool.acquire(4096);
+    char* a_base = a.base;
+    char* b_base = b.base;
+    pool.release(a);
+    pool.release(b);  // released last -> hottest -> reused first
+    StackPool::Stack first = pool.acquire(4096);
+    StackPool::Stack second = pool.acquire(4096);
+    EXPECT_EQ(first.base, b_base);
+    EXPECT_EQ(second.base, a_base);
+    pool.release(first);
+    pool.release(second);
+}
+
+TEST(StackPool, ExactGeometryOnly) {
+    StackPool pool;
+    StackPool::Stack small = pool.acquire(4096);
+    pool.release(small);
+    ASSERT_EQ(pool.cached(), 1u);
+
+    // A different size must not be satisfied from the cached stack.
+    StackPool::Stack big = pool.acquire(8192);
+    EXPECT_EQ(pool.total_reuses(), 0u);
+    EXPECT_EQ(pool.cached(), 1u);  // the 4 KiB stack is still idle
+    EXPECT_EQ(big.bytes, 8192u);
+
+    // Same size is.
+    StackPool::Stack small2 = pool.acquire(4096);
+    EXPECT_EQ(pool.total_reuses(), 1u);
+    pool.release(big);
+    pool.release(small2);
+    EXPECT_EQ(pool.cached_bytes(), 4096u + 8192u);
+}
+
+TEST(StackPool, CacheIsBounded) {
+    StackPool pool(2);
+    StackPool::Stack a = pool.acquire(1024);
+    StackPool::Stack b = pool.acquire(1024);
+    StackPool::Stack c = pool.acquire(1024);
+    pool.release(a);
+    pool.release(b);
+    pool.release(c);  // over the cap: freed, not cached
+    EXPECT_EQ(pool.cached(), 2u);
+    EXPECT_EQ(pool.max_cached(), 2u);
+}
+
+TEST(StackPool, ShrinkingTheCapFreesSurplus) {
+    StackPool pool(8);
+    for (int i = 0; i < 4; ++i) {
+        pool.release(pool.acquire(1024));
+    }
+    // acquire/release pairs above reuse the same stack; force 4 distinct.
+    StackPool::Stack s0 = pool.acquire(1024);
+    StackPool::Stack s1 = pool.acquire(1024);
+    StackPool::Stack s2 = pool.acquire(1024);
+    StackPool::Stack s3 = pool.acquire(1024);
+    pool.release(s0);
+    pool.release(s1);
+    pool.release(s2);
+    pool.release(s3);
+    ASSERT_EQ(pool.cached(), 4u);
+    pool.set_max_cached(1);
+    EXPECT_EQ(pool.cached(), 1u);
+    pool.set_max_cached(0);
+    EXPECT_EQ(pool.cached(), 0u);
+}
+
+TEST(StackPool, ReleaseOfEmptyStackIsNoop) {
+    StackPool pool;
+    pool.release(StackPool::Stack{});
+    EXPECT_EQ(pool.cached(), 0u);
+}
+
+TEST(StackPool, CoroutineReturnsStackOnFinish) {
+    StackPool pool;
+    {
+        Coroutine c([] {}, 16 * 1024, &pool);
+        EXPECT_EQ(pool.total_acquires(), 0u);  // lazy: no stack before resume
+        c.resume();
+        EXPECT_TRUE(c.finished());
+        // The stack went back to the pool the moment the body finished,
+        // not at coroutine destruction.
+        EXPECT_EQ(pool.cached(), 1u);
+    }
+    EXPECT_EQ(pool.total_acquires(), 1u);
+    EXPECT_EQ(pool.total_reuses(), 0u);
+}
+
+TEST(StackPool, KilledCoroutineReturnsStackToo) {
+    StackPool pool;
+    {
+        Coroutine* cp = nullptr;
+        Coroutine c([&cp] { cp->yield(); }, 16 * 1024, &pool);
+        cp = &c;
+        c.resume();  // suspends at yield
+        EXPECT_EQ(pool.cached(), 0u);
+    }  // dtor kills + unwinds
+    EXPECT_EQ(pool.cached(), 1u);
+}
+
+TEST(StackPool, KernelChurnReusesStacks) {
+    Kernel k;
+    const int cycles = 10;
+    for (int i = 0; i < cycles; ++i) {
+        k.spawn("churn" + std::to_string(i), [] {});
+        k.run();
+    }
+    EXPECT_EQ(k.stack_pool().total_acquires(), static_cast<std::uint64_t>(cycles));
+    // Every cycle after the first ran on the first cycle's recycled stack.
+    EXPECT_EQ(k.stack_pool().total_reuses(), static_cast<std::uint64_t>(cycles - 1));
+    EXPECT_LE(k.stack_pool().cached(), k.stack_pool().max_cached());
+}
+
+}  // namespace
+}  // namespace rtk::sysc

@@ -1,0 +1,96 @@
+// Registry: the dense id-indexed table behind every kernel object class.
+// Pins slot placement (id N -> slot N-1), LIFO id recycling under
+// create/delete churn, the E_LIMIT class cap on *live* objects (not
+// lifetime creations), and ids() staying ascending and bounded by the
+// high-water mark.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "tkernel/objects.hpp"
+
+namespace rtk::tkernel {
+namespace {
+
+TEST(Registry, IdsStartAtOneAndAreDense) {
+    Registry<Semaphore> reg;
+    EXPECT_EQ(reg.add(std::make_unique<Semaphore>()), 1);
+    EXPECT_EQ(reg.add(std::make_unique<Semaphore>()), 2);
+    EXPECT_EQ(reg.add(std::make_unique<Semaphore>()), 3);
+    EXPECT_EQ(reg.size(), 3u);
+    EXPECT_EQ(reg.ids(), (std::vector<ID>{1, 2, 3}));
+}
+
+TEST(Registry, FindIsBoundsCheckedAndErasedSlotsReadNull) {
+    Registry<Semaphore> reg;
+    const ID id = reg.add(std::make_unique<Semaphore>());
+    EXPECT_NE(reg.find(id), nullptr);
+    EXPECT_EQ(reg.find(id)->id, id);
+    EXPECT_EQ(reg.find(0), nullptr);
+    EXPECT_EQ(reg.find(-7), nullptr);
+    EXPECT_EQ(reg.find(id + 100), nullptr);
+    EXPECT_TRUE(reg.erase(id));
+    EXPECT_EQ(reg.find(id), nullptr);   // slot exists but is empty
+    EXPECT_FALSE(reg.erase(id));        // double delete reports failure
+}
+
+TEST(Registry, RecyclesIdsLifo) {
+    Registry<Semaphore> reg;
+    const ID a = reg.add(std::make_unique<Semaphore>());
+    const ID b = reg.add(std::make_unique<Semaphore>());
+    const ID c = reg.add(std::make_unique<Semaphore>());
+    ASSERT_TRUE(reg.erase(b));
+    ASSERT_TRUE(reg.erase(c));
+    // Most recently freed comes back first...
+    EXPECT_EQ(reg.add(std::make_unique<Semaphore>()), c);
+    EXPECT_EQ(reg.add(std::make_unique<Semaphore>()), b);
+    // ...and only once the free list is drained does the space extend.
+    EXPECT_EQ(reg.add(std::make_unique<Semaphore>()), c + 1);
+    EXPECT_EQ(reg.find(a)->id, a);
+}
+
+TEST(Registry, ChurnStaysWithinTheHighWaterMark) {
+    Registry<Semaphore> reg;
+    // High-water mark: 8 simultaneously live objects.
+    std::vector<ID> ids;
+    for (int i = 0; i < 8; ++i) {
+        ids.push_back(reg.add(std::make_unique<Semaphore>()));
+    }
+    // 100 delete+create cycles over a rotating victim: every recycled id
+    // must come from the original dense range -- the table never grows.
+    for (int i = 0; i < 100; ++i) {
+        const std::size_t victim = static_cast<std::size_t>(i) % ids.size();
+        ASSERT_TRUE(reg.erase(ids[victim]));
+        const ID fresh = reg.add(std::make_unique<Semaphore>());
+        EXPECT_GE(fresh, 1);
+        EXPECT_LE(fresh, 8);
+        ids[victim] = fresh;
+    }
+    EXPECT_EQ(reg.size(), 8u);
+    const std::vector<ID> live = reg.ids();
+    EXPECT_EQ(live.size(), 8u);
+    EXPECT_EQ(std::set<ID>(live.begin(), live.end()),
+              (std::set<ID>{1, 2, 3, 4, 5, 6, 7, 8}));
+}
+
+TEST(Registry, ELimitCapsLiveObjectsNotLifetimeCreations) {
+    Registry<Semaphore> reg;
+    std::vector<ID> ids;
+    for (int i = 0; i < max_objects_per_class; ++i) {
+        const ID id = reg.add(std::make_unique<Semaphore>());
+        ASSERT_GT(id, 0) << "class filled early at " << i;
+        ids.push_back(id);
+    }
+    EXPECT_EQ(reg.add(std::make_unique<Semaphore>()), E_LIMIT);
+    // Deleting one frees exactly one slot, even at the cap.
+    ASSERT_TRUE(reg.erase(ids.back()));
+    const ID again = reg.add(std::make_unique<Semaphore>());
+    EXPECT_EQ(again, ids.back());  // recycled, not extended
+    EXPECT_EQ(reg.add(std::make_unique<Semaphore>()), E_LIMIT);
+    EXPECT_EQ(reg.size(), static_cast<std::size_t>(max_objects_per_class));
+}
+
+}  // namespace
+}  // namespace rtk::tkernel
