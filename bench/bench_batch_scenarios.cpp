@@ -5,12 +5,15 @@
 // is bit-identical to the serial one (per-scenario behaviour
 // fingerprints).
 //
-//   $ ./bench_batch_scenarios [scenarios] [threads]
+//   $ ./bench_batch_scenarios [scenarios] [threads] [trace-dir]
 //
 // Emits BENCH_batch_throughput.json: both batch reports plus the
 // speedup summary. Exits non-zero on any scenario failure or any
 // serial-vs-parallel fingerprint mismatch; the speedup itself is
 // reported, not asserted (it is bounded by the machine's core count).
+// With a trace-dir, every scenario runs under the trace::Recorder and
+// writes its .rtktrace there (the parallel leg overwrites the serial
+// leg's identical captures); the reports then carry trace aggregates.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -234,10 +237,21 @@ int main(int argc, char** argv) {
                                  ? static_cast<unsigned>(std::atoi(argv[2]))
                                  : std::max(4u, std::min(hw, 8u));
 
+    const char* trace_dir = argc > 3 ? argv[3] : nullptr;
+
     std::printf("Batch scenario throughput: %zu scenarios, %u worker threads "
-                "(%u hardware threads)\n\n",
-                scenarios, workers, hw);
-    const std::vector<ScenarioSpec> specs = make_specs(scenarios);
+                "(%u hardware threads)%s\n\n",
+                scenarios, workers, hw,
+                trace_dir != nullptr ? ", tracing on" : "");
+    std::vector<ScenarioSpec> specs = make_specs(scenarios);
+    if (trace_dir != nullptr) {
+        for (ScenarioSpec& s : specs) {
+            s.trace.enabled = true;
+            std::string fname = s.name + ".rtktrace";
+            std::replace(fname.begin(), fname.end(), '/', '_');
+            s.trace.path = std::string(trace_dir) + "/" + fname;
+        }
+    }
 
     ScenarioRunner serial(ScenarioRunner::Options{1});
     const BatchReport serial_report = serial.run(specs);

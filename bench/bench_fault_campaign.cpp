@@ -5,10 +5,13 @@
 // on its own", it asks "what does it take to break it, and does the
 // oracle notice".
 //
-//   $ ./bench_fault_campaign [injections-per-workload] [corpus] [threads]
+//   $ ./bench_fault_campaign [injections-per-workload] [corpus] [threads] \
+//                            [trace-dir]
 //
 // Emits BENCH_fault_coverage.json: the service-call x fault-class
 // heat-map of masked / detected / invariant-violated / hung counts.
+// With a trace-dir, every injection runs under the trace::Recorder and
+// the .rtktrace of each repro'd non-masked outcome lands there.
 // Exits non-zero when coverage falls short (all six fault classes and,
 // at full scale, at least 10 distinct service calls and 10k injections)
 // -- the bench doubles as the campaign's acceptance gate.
@@ -40,6 +43,9 @@ int main(int argc, char** argv) {
     opts.injections_per_workload = per_workload;
     opts.threads = workers;
     opts.repro_dir = ".";
+    if (argc > 4) {
+        opts.trace_dir = argv[4];
+    }
 
     std::printf("Fault campaign: %zu workloads x %zu injections, %u workers "
                 "(%u hardware threads)\n\n",
@@ -69,22 +75,17 @@ int main(int argc, char** argv) {
     table.print();
 
     const char* out_path = "BENCH_fault_coverage.json";
-    // Splice the shared provenance block in as the first member of the
-    // report document (the report serializer itself is bench-agnostic).
-    std::string doc = report.to_json();
-    const auto brace = doc.find('{');
-    bool wrote = false;
-    if (brace != std::string::npos) {
-        doc.insert(brace + 1, "\n  " + bench::meta_json() + ",");
-        std::ofstream out(out_path);
-        wrote = static_cast<bool>(out << doc);
-    }
-    if (!wrote) {
+    // The provenance block rides as a regular member of the report tree
+    // (the report serializer itself is bench-agnostic).
+    rtk::api::Json doc = report.to_json_doc();
+    doc.set("meta", bench::meta_json_doc());
+    std::ofstream out(out_path);
+    if (!(out << doc.dump(2) << "\n")) {
         std::fprintf(stderr, "FAILED to write %s\n", out_path);
         return 1;
     }
-    std::printf("\nwrote %s (%zu repro files)\n", out_path,
-                report.repro_paths.size());
+    std::printf("\nwrote %s (%zu repro files, %zu trace files)\n", out_path,
+                report.repro_paths.size(), report.trace_paths.size());
 
     // Acceptance gates, scaled down for reduced (sanitizer/CI) runs.
     const bool full_scale = argc <= 1;

@@ -1,0 +1,186 @@
+// Tracing overhead -- the cost of leaving trace::Recorder on in a
+// campaign. Runs the same fuzz-generated scenario batch twice through
+// the ScenarioRunner (untraced, then traced into in-memory rings, the
+// campaign configuration) and reports the wall-clock ratio and the
+// marginal cost per recorded event. Each leg is timed best-of-repeats
+// to squeeze out scheduler noise.
+//
+//   $ ./bench_trace_overhead [scenarios] [threads]
+//
+// Emits BENCH_trace_overhead.json. Acceptance (full scale, plain
+// build): traced wall <= 2x untraced, marginal cost <= ~100 ns per
+// event. Reduced or sanitized runs report the numbers without gating.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "harness/harness.hpp"
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define RTK_BENCH_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define RTK_BENCH_SANITIZED 1
+#endif
+#endif
+
+using namespace rtk;
+using namespace rtk::harness;
+
+namespace {
+
+constexpr std::uint64_t base_seed = 770001;
+constexpr int repeats = 3;
+
+std::vector<fuzz::FuzzSpec> make_workloads(std::size_t count) {
+    std::vector<fuzz::FuzzSpec> specs;
+    specs.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        specs.push_back(fuzz::generate_spec(base_seed + i));
+    }
+    return specs;
+}
+
+/// One timed leg: build every scenario fresh (BuiltScenario owns the
+/// oracle attachments), optionally switch on in-ring tracing, run the
+/// batch. Returns the best wall time over `repeats` runs plus the last
+/// report (the batches are deterministic, so any repeat's report does).
+BatchReport run_leg(const std::vector<fuzz::FuzzSpec>& workloads,
+                    unsigned threads, bool traced, double& best_wall) {
+    BatchReport report;
+    best_wall = 0.0;
+    for (int rep = 0; rep < repeats; ++rep) {
+        std::vector<fuzz::BuiltScenario> built;
+        built.reserve(workloads.size());
+        std::vector<ScenarioSpec> specs;
+        specs.reserve(workloads.size());
+        for (const fuzz::FuzzSpec& w : workloads) {
+            built.push_back(fuzz::build_scenario(w));
+            ScenarioSpec s = built.back().scenario;
+            if (traced) {
+                s.trace.enabled = true;
+                s.trace.keep_bytes = true;  // campaign config: ring only
+            }
+            specs.push_back(std::move(s));
+        }
+        ScenarioRunner runner(ScenarioRunner::Options{threads});
+        report = runner.run(specs);
+        if (rep == 0 || report.wall_seconds < best_wall) {
+            best_wall = report.wall_seconds;
+        }
+    }
+    return report;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const std::size_t scenarios =
+        argc > 1 ? static_cast<std::size_t>(std::strtoul(argv[1], nullptr, 10))
+                 : 48;
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    const unsigned threads = argc > 2
+                                 ? static_cast<unsigned>(std::atoi(argv[2]))
+                                 : std::max(2u, std::min(hw, 4u));
+
+    std::printf("Trace overhead: %zu fuzz scenarios, %u threads, "
+                "best of %d runs per leg\n\n",
+                scenarios, threads, repeats);
+
+    const std::vector<fuzz::FuzzSpec> workloads = make_workloads(scenarios);
+
+    double plain_wall = 0.0;
+    double traced_wall = 0.0;
+    const BatchReport plain = run_leg(workloads, threads, false, plain_wall);
+    const BatchReport traced = run_leg(workloads, threads, true, traced_wall);
+
+    if (!plain.all_passed() || !traced.all_passed()) {
+        std::fprintf(stderr, "FAILED: %zu/%zu untraced, %zu/%zu traced "
+                     "scenarios passed\n",
+                     plain.passed(), scenarios, traced.passed(), scenarios);
+        return 1;
+    }
+    if (traced.traced() != scenarios) {
+        std::fprintf(stderr, "FAILED: only %zu/%zu runs traced\n",
+                     traced.traced(), scenarios);
+        return 1;
+    }
+
+    const rtk::trace::Metrics agg = traced.aggregate_metrics();
+    const double ratio =
+        plain_wall > 0.0 ? traced_wall / plain_wall : 0.0;
+    const double marginal_s = std::max(0.0, traced_wall - plain_wall);
+    const double ns_per_event =
+        agg.events > 0
+            ? marginal_s * 1e9 / static_cast<double>(agg.events)
+            : 0.0;
+
+    bench::Table table({"leg", "wall [s]", "scn/s", "events"});
+    table.add_row({"untraced", bench::fmt(plain_wall),
+                   bench::fmt(static_cast<double>(scenarios) / plain_wall),
+                   "-"});
+    table.add_row({"traced", bench::fmt(traced_wall),
+                   bench::fmt(static_cast<double>(scenarios) / traced_wall),
+                   std::to_string(agg.events)});
+    table.print();
+    std::printf("\n  overhead: %.3fx wall, %.1f ns marginal per event "
+                "(%llu events)\n",
+                ratio, ns_per_event,
+                static_cast<unsigned long long>(agg.events));
+
+    std::uint64_t dropped = 0;
+    for (const ScenarioResult& r : traced.results) {
+        dropped += r.trace_dropped;
+    }
+
+    using rtk::api::Json;
+    Json doc = Json::object();
+    doc.set("bench", Json::string("trace_overhead"));
+    doc.set("meta", bench::meta_json_doc());
+    doc.set("scenarios", Json::number(std::uint64_t{scenarios}));
+    doc.set("threads", Json::number(std::uint64_t{threads}));
+    doc.set("repeats", Json::number(std::uint64_t{repeats}));
+    doc.set("untraced_wall_s", Json::number_real(plain_wall));
+    doc.set("traced_wall_s", Json::number_real(traced_wall));
+    doc.set("overhead_ratio", Json::number_real(ratio));
+    doc.set("events", Json::number(agg.events));
+    doc.set("ns_per_event", Json::number_real(ns_per_event));
+    doc.set("dropped_records", Json::number(dropped));
+    const char* out_path = "BENCH_trace_overhead.json";
+    std::ofstream out(out_path);
+    if (!(out << doc.dump(2) << "\n")) {
+        std::fprintf(stderr, "FAILED to write %s\n", out_path);
+        return 1;
+    }
+    std::printf("\n  wrote %s\n", out_path);
+
+    // Acceptance gates: only at full scale on plain builds (sanitizers
+    // distort both legs, and tiny batches are all noise).
+#ifndef RTK_BENCH_SANITIZED
+    const bool full_scale = argc <= 1;
+    if (full_scale) {
+        bool ok = true;
+        if (ratio > 2.0) {
+            std::fprintf(stderr, "FAILED: traced run %.2fx untraced "
+                         "(budget 2.0x)\n", ratio);
+            ok = false;
+        }
+        if (ns_per_event > 100.0) {
+            std::fprintf(stderr, "FAILED: %.1f ns per event "
+                         "(budget 100 ns)\n", ns_per_event);
+            ok = false;
+        }
+        if (agg.events == 0) {
+            std::fprintf(stderr, "FAILED: traced batch recorded no events\n");
+            ok = false;
+        }
+        return ok ? 0 : 1;
+    }
+#endif
+    return 0;
+}

@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "api/json.hpp"
+
 namespace rtk::bench {
 
 class WallClock {
@@ -120,11 +122,10 @@ inline std::string cpu_model() {
     return "unknown";
 }
 
-/// The shared metadata object (no surrounding braces key), e.g.
-///   "meta": {"compiler": "gcc 13.2.0", ...}
-/// Every BENCH_*.json emitter writes this as its first member so a run
-/// is attributable to a compiler / build type / CPU / revision.
-inline std::string meta_json() {
+/// The shared metadata object as a Json value. Emitters that assemble
+/// their whole document as an api::Json tree set this as the "meta"
+/// member instead of splicing serialized text.
+inline api::Json meta_json_doc() {
 #ifdef RTK_BENCH_BUILD_TYPE
     const std::string build_type = RTK_BENCH_BUILD_TYPE;
 #else
@@ -135,10 +136,22 @@ inline std::string meta_json() {
 #else
     const std::string git_rev = "unknown";
 #endif
-    return "\"meta\": {\"compiler\": \"" + json_escape(compiler_string()) +
-           "\", \"build_type\": \"" + json_escape(build_type) +
-           "\", \"cpu\": \"" + json_escape(cpu_model()) +
-           "\", \"git_rev\": \"" + json_escape(git_rev) + "\"}";
+    api::Json m = api::Json::object();
+    m.set("compiler", api::Json::string(compiler_string()));
+    m.set("build_type", api::Json::string(build_type));
+    m.set("cpu", api::Json::string(cpu_model()));
+    m.set("git_rev", api::Json::string(git_rev));
+    return m;
+}
+
+/// The shared metadata object rendered for streaming emitters (no
+/// surrounding braces), e.g.
+///   "meta": {"build_type": "Release", "compiler": "gcc 13.2.0", ...}
+/// Every BENCH_*.json emitter writes this as one of its top-level
+/// members so a run is attributable to a compiler / build type / CPU /
+/// revision.
+inline std::string meta_json() {
+    return "\"meta\": " + meta_json_doc().dump(-1);
 }
 
 }  // namespace rtk::bench

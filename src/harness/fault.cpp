@@ -8,6 +8,7 @@
 #include "harness/fuzz_rng.hpp"
 #include "sim/observer.hpp"
 #include "tkernel/kernel.hpp"
+#include "trace/recorder.hpp"
 
 namespace rtk::harness::fault {
 
@@ -151,12 +152,29 @@ struct InjectionProbe {
     std::string current_call = "(boot)";  ///< op in flight (attribution)
     std::string injected_call = "(none)";
     std::uint64_t trace_events = 0;  ///< counted by the trace consumer
+
+    /// The run's SimApi, set when the injection attaches. Lets the op
+    /// hooks (which see no Simulation) reach the run's trace::Recorder.
+    sim::SimApi* api = nullptr;
 };
 
 namespace {
 
 constexpr std::size_t task_field_count = 6;
 constexpr std::size_t object_field_count = 3;
+
+/// Stamp the injection instant into the run's trace, if one is being
+/// recorded. An annotation record never feeds the observer fan-out, so
+/// the trigger ordinal space is untouched.
+void mark_injection_in_trace(const InjectionProbe& p) {
+    if (p.api == nullptr) {
+        return;
+    }
+    if (trace::Recorder* rec = trace::Recorder::find(*p.api)) {
+        rec->annotate(std::string("fault:") + to_string(p.cls) + "@" +
+                      p.current_call);
+    }
+}
 
 /// The injector: counts observer events and, at the trigger ordinal,
 /// applies the fault through the sanctioned TKernel/SimApi mutation
@@ -182,8 +200,14 @@ public:
     void on_interrupt_return(const sim::TThread&, sysc::Time) override {
         step();
     }
-    void on_wakeup(const sim::TThread&, sysc::Time) override { step(); }
+    void on_wakeup(const sim::TThread&, const sim::TThread*,
+                   sysc::Time) override {
+        step();
+    }
     void on_idle(sysc::Time) override { step(); }
+    // on_service_enter/on_service_exit are deliberately NOT counted: the
+    // trigger ordinal space must stay stable across releases so archived
+    // repro JSONs keep replaying to the same outcome.
 
 private:
     void step() {
@@ -198,6 +222,7 @@ private:
         if (apply(p)) {
             p.injected = true;
             p.injected_call = p.current_call;
+            mark_injection_in_trace(p);
         }
     }
 
@@ -287,10 +312,13 @@ public:
     void on_interrupt_return(const sim::TThread&, sysc::Time) override {
         ++probe_->trace_events;
     }
-    void on_wakeup(const sim::TThread&, sysc::Time) override {
+    void on_wakeup(const sim::TThread&, const sim::TThread*,
+                   sysc::Time) override {
         ++probe_->trace_events;
     }
     void on_idle(sysc::Time) override { ++probe_->trace_events; }
+    // Service enter/exit are not counted, mirroring FaultInjector: the
+    // "trace_events == injector ordinals" fan-out invariant stays exact.
 
 private:
     sim::SimApi* api_;
@@ -324,6 +352,7 @@ fuzz::WorkloadHooks make_hooks(std::shared_ptr<InjectionProbe> probe) {
         }
         p.injected = true;
         p.injected_call = p.current_call;
+        mark_injection_in_trace(p);
     };
     return hooks;
 }
@@ -339,7 +368,8 @@ std::string fmt_hex64(std::uint64_t v) {
 
 // ---- single-injection execution ---------------------------------------------
 
-BuiltInjection build_injection(const FaultSpec& fault, bool with_fault) {
+BuiltInjection build_injection(const FaultSpec& fault, bool with_fault,
+                               const TraceConfig& trace) {
     auto probe = std::make_shared<InjectionProbe>();
     probe->cls = fault.cls;
     probe->trigger = fault.trigger;
@@ -350,6 +380,7 @@ BuiltInjection build_injection(const FaultSpec& fault, bool with_fault) {
     probe->with_fault = with_fault;
 
     auto attach = [probe, with_fault](Simulation& sim) {
+        probe->api = &sim.sim();
         if (with_fault) {
             sim.retain(std::make_shared<FaultInjector>(sim.os(), probe));
         }
@@ -367,6 +398,7 @@ BuiltInjection build_injection(const FaultSpec& fault, bool with_fault) {
         out.scenario.name = fault.name();
     }
     out.scenario.delta_budget = fault.delta_budget;
+    out.scenario.trace = trace;
     return out;
 }
 
@@ -427,7 +459,8 @@ InjectionResult run_injection(const FaultSpec& fault,
 // ---- repro files ------------------------------------------------------------
 
 std::string make_repro_json(const FaultSpec& fault,
-                            const InjectionResult& result) {
+                            const InjectionResult& result,
+                            const std::string& trace_path) {
     Json r = Json::object();
     r.set("outcome", Json::string(to_string(result.outcome)));
     r.set("injected", Json::boolean(result.injected));
@@ -443,6 +476,9 @@ std::string make_repro_json(const FaultSpec& fault,
     }
     r.set("violations", std::move(v));
     r.set("error", Json::string(result.error));
+    if (!trace_path.empty()) {
+        r.set("trace", Json::string(trace_path));
+    }
 
     Json doc = Json::object();
     doc.set("rtk_fault_repro", Json::number(1));
@@ -502,7 +538,7 @@ std::size_t CampaignReport::fault_classes_covered() const {
     return seen.size();
 }
 
-std::string CampaignReport::to_json() const {
+Json CampaignReport::to_json_doc() const {
     Json agg = Json::object();
     agg.set("workloads", Json::number(workloads));
     agg.set("injections", Json::number(injections));
@@ -540,7 +576,22 @@ std::string CampaignReport::to_json() const {
     doc.set("campaign", std::move(agg));
     doc.set("coverage", std::move(cov));
     doc.set("repros", std::move(repros));
-    return doc.dump(2) + "\n";
+    if (traced_runs > 0) {
+        Json t = Json::object();
+        t.set("traced_runs", Json::number(traced_runs));
+        t.set("metrics", trace_metrics.to_json(/*with_tasks=*/false));
+        Json tpaths = Json::array();
+        for (const std::string& p : trace_paths) {
+            tpaths.push(Json::string(p));
+        }
+        t.set("files", std::move(tpaths));
+        doc.set("trace", std::move(t));
+    }
+    return doc;
+}
+
+std::string CampaignReport::to_json() const {
+    return to_json_doc().dump(2) + "\n";
 }
 
 bool CampaignReport::write_json(const std::string& path) const {
@@ -619,12 +670,20 @@ CampaignReport run_fault_campaign(const CampaignOptions& opts) {
     }
 
     // 3. Build every injection and run the batch through the runner.
+    // With trace_dir set, every run records into an in-memory ring
+    // (keep_bytes) and the campaign writes only the interesting captures
+    // to disk after classification.
+    const bool tracing = !opts.trace_dir.empty();
+    TraceConfig tcfg;
+    tcfg.enabled = tracing;
+    tcfg.buffer_bytes = opts.trace_buffer_bytes;
+    tcfg.keep_bytes = true;
     std::vector<BuiltInjection> built;
     std::vector<ScenarioSpec> scenarios;
     built.reserve(faults.size());
     scenarios.reserve(faults.size());
     for (const FaultSpec& f : faults) {
-        built.push_back(build_injection(f));
+        built.push_back(build_injection(f, /*with_fault=*/true, tcfg));
         scenarios.push_back(built.back().scenario);
     }
     ScenarioRunner runner(ScenarioRunner::Options{opts.threads});
@@ -639,14 +698,34 @@ CampaignReport run_fault_campaign(const CampaignOptions& opts) {
         rep.diverged += r.diverged ? 1 : 0;
         ++rep.outcomes[static_cast<std::size_t>(r.outcome)];
         rep.heat[r.service_call][to_string(faults[i].cls)].add(r.outcome);
-        if (r.outcome != Outcome::masked && !opts.repro_dir.empty() &&
+        const ScenarioResult& run = batch.results[i];
+        if (run.traced) {
+            ++rep.traced_runs;
+            rep.trace_metrics.merge_counters(run.metrics);
+        }
+        const bool keep = r.outcome != Outcome::masked;
+        std::string trace_path;
+        if (keep && tracing && !run.trace_data.empty() &&
+            rep.trace_paths.size() < opts.max_repros) {
+            char tname[64];
+            std::snprintf(tname, sizeof(tname), "fault_repro_%03zu.rtktrace", i);
+            trace_path = opts.trace_dir + "/" + tname;
+            std::ofstream tout(trace_path, std::ios::binary);
+            if (tout.write(run.trace_data.data(),
+                           static_cast<std::streamsize>(run.trace_data.size()))) {
+                rep.trace_paths.push_back(trace_path);
+            } else {
+                trace_path.clear();
+            }
+        }
+        if (keep && !opts.repro_dir.empty() &&
             rep.repro_paths.size() < opts.max_repros) {
             char fname[64];
             std::snprintf(fname, sizeof(fname), "fault_repro_%03zu.json", i);
             const std::string path = opts.repro_dir + "/" + fname;
             std::ofstream out(path);
             if (out) {
-                out << make_repro_json(faults[i], r);
+                out << make_repro_json(faults[i], r, trace_path);
                 rep.repro_paths.push_back(path);
             }
         }

@@ -155,7 +155,11 @@ struct BuiltInjection {
 /// Turn a FaultSpec into a runnable ScenarioSpec (oracle + injector +
 /// trace consumer all attached to the one SimApi). `with_fault = false`
 /// builds the identical scenario minus the injection (baseline leg).
-BuiltInjection build_injection(const FaultSpec& fault, bool with_fault = true);
+/// `trace` opts the run into binary tracing (trace::Recorder rides the
+/// same observer fan-out; the injector stamps a "fault:" annotation at
+/// the injection instant).
+BuiltInjection build_injection(const FaultSpec& fault, bool with_fault = true,
+                               const TraceConfig& trace = {});
 
 /// Distill a finished run into an InjectionResult.
 InjectionResult harvest(const BuiltInjection& built, const ScenarioResult& run,
@@ -170,8 +174,11 @@ InjectionResult run_injection(const FaultSpec& fault,
 /// Self-contained repro document: the FaultSpec (workload embedded) plus
 /// the observed result. Deterministic, so replaying and re-serializing
 /// reproduces the document byte-for-byte.
+/// `trace_path`, when non-empty, is recorded as the result's "trace"
+/// member -- the .rtktrace capture of this very injection run.
 std::string make_repro_json(const FaultSpec& fault,
-                            const InjectionResult& result);
+                            const InjectionResult& result,
+                            const std::string& trace_path = std::string());
 /// Parse a repro document (or a bare FaultSpec object) back into a spec.
 bool parse_repro_json(const std::string& text, FaultSpec& out,
                       std::string* error = nullptr);
@@ -192,6 +199,14 @@ struct CampaignOptions {
     /// (at most max_repros files).
     std::string repro_dir;
     std::size_t max_repros = 8;
+    /// When non-empty, trace every injection run (trace::Recorder on the
+    /// same observer fan-out as oracle + injector) and write the
+    /// .rtktrace of each non-masked injection here (at most max_repros
+    /// files, referenced by the matching repro JSON's "trace" member).
+    std::string trace_dir;
+    /// Per-run ring budget for campaign traces (kept deliberately small:
+    /// every in-flight injection holds its capture until classification).
+    std::size_t trace_buffer_bytes = std::size_t{256} << 10;
     fuzz::GenParams params;
 };
 
@@ -217,6 +232,14 @@ struct CampaignReport {
     /// Heat-map: service call -> fault class -> outcome counts.
     std::map<std::string, std::map<std::string, CoverageCell>> heat;
     std::vector<std::string> repro_paths;
+    /// .rtktrace files written for non-masked injections (campaigns with
+    /// CampaignOptions::trace_dir set; parallel to repro_paths by index
+    /// only when both dirs were configured).
+    std::vector<std::string> trace_paths;
+    /// Traced injection runs and their summed scalar trace metrics
+    /// (zero / empty on untraced campaigns).
+    std::size_t traced_runs = 0;
+    trace::Metrics trace_metrics;
     double wall_seconds = 0.0;
 
     std::uint64_t count(Outcome o) const {
@@ -227,7 +250,11 @@ struct CampaignReport {
     /// Distinct fault-class columns present in the heat-map.
     std::size_t fault_classes_covered() const;
 
-    /// The BENCH_fault_coverage.json document.
+    /// The BENCH_fault_coverage.json document as a Json tree -- callers
+    /// that stamp extra members (e.g. the bench provenance block) edit
+    /// the tree instead of splicing text.
+    Json to_json_doc() const;
+    /// to_json_doc() rendered with 2-space indent + trailing newline.
     std::string to_json() const;
     bool write_json(const std::string& path) const;
 };

@@ -925,6 +925,7 @@ std::string FuzzReport::to_json() const {
         o.set("kind", Json::string(f.kind));
         o.set("detail", Json::string(f.detail));
         o.set("repro_path", Json::string(f.repro_path));
+        o.set("trace_path", Json::string(f.trace_path));
         fails.push(std::move(o));
     }
     j.set("failures", std::move(fails));
@@ -1014,14 +1015,25 @@ FuzzReport run_fuzz_campaign(const FuzzOptions& opts) {
         fail.repro_json = make_repro_json(repro_spec, fail.kind, fail.detail,
                                           minimized);
         if (!opts.repro_dir.empty()) {
-            fail.repro_path = opts.repro_dir + "/repro_seed" +
-                              std::to_string(specs[i].seed) +
-                              (specs[i].round_robin ? "_rr" : "_pp") + ".json";
+            const std::string stem = opts.repro_dir + "/repro_seed" +
+                                     std::to_string(specs[i].seed) +
+                                     (specs[i].round_robin ? "_rr" : "_pp");
+            fail.repro_path = stem + ".json";
             std::ofstream out(fail.repro_path);
             if (out) {
                 out << fail.repro_json;
             } else {
                 fail.repro_path.clear();
+            }
+            if (opts.trace_failures) {
+                // One serial traced re-run of the (minimized) failing
+                // spec: the .rtktrace that lands beside the repro JSON
+                // is what a developer opens first.
+                BuiltScenario rerun = build_scenario(repro_spec);
+                rerun.scenario.trace.enabled = true;
+                rerun.scenario.trace.path = stem + ".rtktrace";
+                const ScenarioResult rr = run_scenario(rerun.scenario);
+                fail.trace_path = rr.trace_path;
             }
         }
         report.failures.push_back(std::move(fail));

@@ -112,6 +112,11 @@ struct FuzzOptions {
     bool minimize = true;
     /// When non-empty, write one repro JSON per failing seed here.
     std::string repro_dir;
+    /// Re-run each failing (minimized) spec once serially under the
+    /// trace::Recorder and write the .rtktrace beside its repro JSON.
+    /// Needs repro_dir; off by default (failures are rare, the re-run
+    /// is one extra simulation per failure).
+    bool trace_failures = false;
     GenParams params;
 };
 
@@ -122,6 +127,7 @@ struct FuzzFailure {
     std::string detail;
     std::string repro_json;
     std::string repro_path;  ///< empty when repro_dir was not set
+    std::string trace_path;  ///< empty unless FuzzOptions::trace_failures
 };
 
 struct FuzzReport {

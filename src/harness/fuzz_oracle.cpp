@@ -191,7 +191,19 @@ void InvariantOracle::on_interrupt_return(const TThread& isr, sysc::Time at) {
     (void)isr;
 }
 
-void InvariantOracle::on_wakeup(const TThread& t, sysc::Time at) {
+void InvariantOracle::on_wakeup(const TThread& t, const TThread* by,
+                                sysc::Time at) {
+    note_time(at);
+    (void)t;
+    (void)by;
+}
+
+void InvariantOracle::on_service_enter(const TThread& t, sysc::Time at) {
+    note_time(at);
+    (void)t;
+}
+
+void InvariantOracle::on_service_exit(const TThread& t, sysc::Time at) {
     note_time(at);
     (void)t;
 }

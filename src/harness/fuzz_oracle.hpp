@@ -80,8 +80,11 @@ public:
     void on_preemption(const sim::TThread& t, sysc::Time at) override;
     void on_interrupt_enter(const sim::TThread& isr, sysc::Time at) override;
     void on_interrupt_return(const sim::TThread& isr, sysc::Time at) override;
-    void on_wakeup(const sim::TThread& t, sysc::Time at) override;
+    void on_wakeup(const sim::TThread& t, const sim::TThread* by,
+                   sysc::Time at) override;
     void on_idle(sysc::Time at) override;
+    void on_service_enter(const sim::TThread& t, sysc::Time at) override;
+    void on_service_exit(const sim::TThread& t, sysc::Time at) override;
 
 private:
     void violate(const char* rule, const std::string& detail, sysc::Time at);

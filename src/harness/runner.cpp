@@ -39,6 +39,24 @@ double BatchReport::total_host_seconds() const {
     return s;
 }
 
+std::size_t BatchReport::traced() const {
+    std::size_t n = 0;
+    for (const auto& r : results) {
+        n += r.traced ? 1 : 0;
+    }
+    return n;
+}
+
+trace::Metrics BatchReport::aggregate_metrics() const {
+    trace::Metrics agg;
+    for (const auto& r : results) {
+        if (r.traced) {
+            agg.merge_counters(r.metrics);
+        }
+    }
+    return agg;
+}
+
 namespace {
 
 std::string fmt_hex64(std::uint64_t v) {
@@ -66,6 +84,14 @@ api::Json result_to_json(const ScenarioResult& r) {
     j.set("gantt_segments", Json::number(r.gantt_segments));
     j.set("gantt_markers", Json::number(r.gantt_markers));
     j.set("fingerprint", Json::string(fmt_hex64(r.fingerprint)));
+    if (r.traced) {
+        Json t = Json::object();
+        t.set("path", Json::string(r.trace_path));
+        t.set("events", Json::number(r.trace_events));
+        t.set("dropped", Json::number(r.trace_dropped));
+        t.set("metrics", r.metrics.to_json(/*with_tasks=*/false));
+        j.set("trace", std::move(t));
+    }
     return j;
 }
 
@@ -82,6 +108,12 @@ std::string BatchReport::to_json() const {
     batch.set("wall_seconds", Json::number_real(wall_seconds));
     batch.set("total_host_seconds", Json::number_real(total_host_seconds()));
     batch.set("scenarios_per_second", Json::number_real(scenarios_per_second()));
+    if (traced() > 0) {
+        Json t = Json::object();
+        t.set("traced_runs", Json::number(traced()));
+        t.set("metrics", aggregate_metrics().to_json(/*with_tasks=*/false));
+        batch.set("trace", std::move(t));
+    }
     Json res = Json::array();
     for (const ScenarioResult& r : results) {
         res.push(result_to_json(r));

@@ -37,9 +37,15 @@ struct BatchReport {
     /// Sum of per-scenario host times; wall_seconds times the effective
     /// parallelism.
     double total_host_seconds() const;
+    /// Number of traced results (ScenarioSpec::trace.enabled runs).
+    std::size_t traced() const;
+    /// Scalar trace metrics summed over every traced result (per-task
+    /// breakdowns stay in the individual results).
+    trace::Metrics aggregate_metrics() const;
 
     /// Serialize to JSON (schema documented in README "Batch scenario
-    /// runner"): {"batch": {...aggregates...}, "results": [...]}.
+    /// runner"): {"batch": {...aggregates...}, "results": [...]}; traced
+    /// batches add a "trace" aggregate and per-result trace members.
     std::string to_json() const;
     /// Write to_json() to `path`; returns false on I/O failure.
     bool write_json(const std::string& path) const;

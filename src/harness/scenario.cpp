@@ -8,6 +8,7 @@
 #include "sim/sim_api.hpp"
 #include "sysc/report.hpp"
 #include "sysc/trace.hpp"
+#include "trace/recorder.hpp"
 
 namespace rtk::harness {
 
@@ -137,6 +138,16 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
             });
             sim.retain(std::move(trace));
         }
+        std::shared_ptr<trace::Recorder> recorder;
+        if (spec.trace.enabled) {
+            trace::RecorderOptions opts;
+            opts.buffer_bytes = spec.trace.buffer_bytes;
+            // Attached before the workload builder runs so task bodies
+            // (and fault injectors) can reach it via Recorder::find and
+            // no startup event escapes the capture.
+            recorder = std::make_shared<trace::Recorder>(sim.sim(), opts);
+            sim.retain(recorder);
+        }
         if (spec.workload) {
             spec.workload(sim, spec);
         }
@@ -145,6 +156,24 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
         }
         sim.power_on();
         sim.run_until(spec.duration);
+        if (recorder != nullptr) {
+            recorder->finish(sim.now());
+            r.traced = true;
+            r.trace_events = recorder->events_recorded();
+            r.trace_dropped = recorder->records_dropped();
+            r.metrics = recorder->metrics();
+            if (!spec.trace.path.empty()) {
+                std::string werr;
+                if (recorder->write_file(spec.trace.path, &werr)) {
+                    r.trace_path = spec.trace.path;
+                } else {
+                    r.error = werr;
+                }
+            }
+            if (spec.trace.keep_bytes) {
+                r.trace_data = recorder->serialize();
+            }
+        }
         r.hung = sim.kernel().delta_budget_exhausted();
         r.sim_time = sim.now();
         r.stats = sim.stats();
@@ -157,7 +186,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
             r.error = "delta budget exhausted (simulation hung)";
         } else if (spec.check && !spec.check(sim, spec)) {
             r.error = check_failed_error;
-        } else {
+        } else if (r.error.empty()) {  // a failed trace write fails the run
             r.passed = true;
         }
     } catch (const std::exception& e) {  // includes sysc::SimError

@@ -18,8 +18,23 @@
 #include "harness/simulation.hpp"
 #include "sim/stats.hpp"
 #include "sysc/time.hpp"
+#include "trace/metrics.hpp"
 
 namespace rtk::harness {
+
+/// Opt-in binary tracing of one scenario run (see src/trace). Off by
+/// default: with `enabled == false` no Recorder is attached and the run
+/// is byte-identical to an untraced one.
+struct TraceConfig {
+    bool enabled = false;
+    /// When non-empty, the .rtktrace image is written here after the run.
+    std::string path;
+    /// Ring budget handed to trace::RecorderOptions::buffer_bytes.
+    std::size_t buffer_bytes = std::size_t{4} << 20;
+    /// Keep the serialized .rtktrace bytes in ScenarioResult::trace_data
+    /// (campaigns write traces selectively after classification).
+    bool keep_bytes = false;
+};
 
 /// ScenarioResult::error value set when the check predicate returns
 /// false (as opposed to a simulation error's exception message).
@@ -49,6 +64,8 @@ struct ScenarioSpec {
     /// and mark the result hung (0 = unlimited). Used by fault-injection
     /// campaigns to classify livelocked runs instead of spinning forever.
     std::uint64_t delta_budget = 0;
+    /// Non-intrusive binary tracing of this run (off by default).
+    TraceConfig trace{};
 };
 
 struct ScenarioResult {
@@ -72,6 +89,16 @@ struct ScenarioResult {
     /// per-thread CET/CEE, full Gantt trace). Equal specs must yield
     /// equal fingerprints regardless of host threading.
     std::uint64_t fingerprint = 0;
+    // ---- filled only when ScenarioSpec::trace.enabled ----
+    bool traced = false;
+    /// Where the .rtktrace file landed (TraceConfig::path, when set).
+    std::string trace_path;
+    std::uint64_t trace_events = 0;
+    std::uint64_t trace_dropped = 0;
+    /// Derived per-run metrics (complete even if the raw stream dropped).
+    trace::Metrics metrics;
+    /// Raw .rtktrace image when TraceConfig::keep_bytes was set.
+    std::string trace_data;
 };
 
 /// Run one scenario to completion in a fresh, isolated Simulation.

@@ -1,11 +1,13 @@
 // Non-intrusive observation of the SIM_API event stream.
 //
 // A SimObserver receives every scheduling-relevant event of one SimApi
-// instance as it happens: state transitions of each T-THREAD, task
-// dispatches, preemptions, interrupt entry/return, and CPU-idle
-// transitions. The stream is a superset of the Gantt marker trace and is
+// instance as it happens -- nine event kinds: state transitions of each
+// T-THREAD, task dispatches, preemptions, interrupt entry/return,
+// wakeup delivery, CPU-idle transitions, and outermost service-section
+// enter/exit. The stream is a superset of the Gantt marker trace and is
 // what external checkers (the rtk::fuzz invariant oracle in src/harness)
-// subscribe to -- kernel laws are validated from the outside, the way
+// and the rtk::trace binary recorder subscribe to -- kernel laws are
+// validated and traces are captured from the outside, the way
 // NISTT-style non-intrusive tracing observes a real target.
 //
 // Registration: any number of observers may subscribe to one SimApi via
@@ -13,8 +15,7 @@
 // fault injector can all watch the same instance at once). Each event is
 // fanned out in registration order; observers added during a fan-out see
 // only later events, observers removed during a fan-out receive nothing
-// further. SimApi::set_observer remains as a single-slot compatibility
-// shim over the same list.
+// further.
 //
 // Callbacks run synchronously inside the simulation kernel, between two
 // deterministic simulation steps. Observers must treat the SimApi (and
@@ -59,11 +60,28 @@ public:
         (void)isr; (void)at;
     }
 
-    /// A wakeup (Ew) was delivered to `t`.
-    virtual void on_wakeup(const TThread& t, sysc::Time at) { (void)t; (void)at; }
+    /// A wakeup (Ew) was delivered to `t`. `by` is the thread executing
+    /// the delivery (the waker), or nullptr when the wakeup comes from a
+    /// non-thread context (timer wheel, test harness).
+    virtual void on_wakeup(const TThread& t, const TThread* by, sysc::Time at) {
+        (void)t; (void)by; (void)at;
+    }
 
     /// The CPU went idle: no task is runnable, no handler is pending.
     virtual void on_idle(sysc::Time at) { (void)at; }
+
+    /// Thread `t` entered an outermost atomic service section
+    /// (SIM_EnterService at nesting depth 0 -> 1). Nested re-entries are
+    /// not reported.
+    virtual void on_service_enter(const TThread& t, sysc::Time at) {
+        (void)t; (void)at;
+    }
+
+    /// Thread `t` left its outermost atomic service section (depth
+    /// 1 -> 0), via SIM_ExitService or SIM_AbandonService.
+    virtual void on_service_exit(const TThread& t, sysc::Time at) {
+        (void)t; (void)at;
+    }
 };
 
 }  // namespace rtk::sim

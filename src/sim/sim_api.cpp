@@ -93,9 +93,6 @@ void SimApi::remove_observer(SimObserver* obs) {
     if (it == observers_.end()) {
         return;
     }
-    if (compat_observer_ == obs) {
-        compat_observer_ = nullptr;
-    }
     // Null the slot rather than erasing: a removal from inside an observer
     // callback must not shift the fan-out loop's indices.
     *it = nullptr;
@@ -103,17 +100,6 @@ void SimApi::remove_observer(SimObserver* obs) {
     if (observer_dispatch_depth_ == 0) {
         compact_observers();
     }
-}
-
-void SimApi::set_observer(SimObserver* obs) {
-    if (compat_observer_ == obs) {
-        return;
-    }
-    if (compat_observer_ != nullptr) {
-        remove_observer(compat_observer_);
-    }
-    compat_observer_ = obs;
-    add_observer(obs);
 }
 
 std::size_t SimApi::observer_count() const {
@@ -574,7 +560,7 @@ void SimApi::SIM_Sleep() {
 
 void SimApi::SIM_WakeUp(TThread& t) {
     gantt_.add_marker(GanttRecorder::MarkerKind::wakeup, t.id_, now_());
-    emit([&](SimObserver& o) { o.on_wakeup(t, now_()); });
+    emit([&](SimObserver& o) { o.on_wakeup(t, executing_, now_()); });
     // "The waiting task will be notified later, upon the arrival of its
     // event" (paper §4): expose the Ew arrival for observers/waveforms.
     t.sleep_ev_.notify();
@@ -733,7 +719,11 @@ void SimApi::SIM_PreemptionPoint() {
 // ---- service-call atomicity ----------------------------------------------------------------
 
 void SimApi::SIM_EnterService() {
-    ++self().service_depth_;
+    TThread& t = self();
+    ++t.service_depth_;
+    if (t.service_depth_ == 1) {
+        emit([&](SimObserver& o) { o.on_service_enter(t, now_()); });
+    }
 }
 
 void SimApi::SIM_ExitService() {
@@ -744,6 +734,9 @@ void SimApi::SIM_ExitService() {
     }
     --t.service_depth_;
     if (t.service_depth_ == 0) {
+        // The atomic section is over before the deferred preemption check
+        // runs, so observers see exit -> preemption in causal order.
+        emit([&](SimObserver& o) { o.on_service_exit(t, now_()); });
         // Deferred preemptions/interrupts land at the service boundary.
         check_preemption_point(t);
     }
@@ -752,6 +745,9 @@ void SimApi::SIM_ExitService() {
 void SimApi::SIM_AbandonService(TThread& t) {
     if (t.service_depth_ > 0) {
         --t.service_depth_;
+        if (t.service_depth_ == 0) {
+            emit([&](SimObserver& o) { o.on_service_exit(t, now_()); });
+        }
     }
 }
 

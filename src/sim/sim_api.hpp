@@ -228,16 +228,11 @@ public:
     /// observer sees no further events, including later callbacks of the
     /// event being dispatched) and compacted after the fan-out returns.
     void remove_observer(SimObserver* obs);
-
-    /// Compatibility shim over add/remove_observer: replaces the observer
-    /// previously registered through set_observer (nullptr just removes
-    /// it). Observers registered with add_observer are unaffected.
-    [[deprecated("single-slot compat shim; use add_observer/remove_observer")]]
-    void set_observer(SimObserver* obs);
-    /// The observer registered via set_observer (nullptr when none).
-    [[deprecated("single-slot compat shim; use observer_count()")]]
-    SimObserver* observer() const { return compat_observer_; }
     std::size_t observer_count() const;
+    /// The registered observers in registration order (may hold nulls
+    /// while a fan-out that removed an observer is still unwinding).
+    /// Read-only introspection for tooling (e.g. trace::Recorder::find).
+    const std::vector<SimObserver*>& observers() const { return observers_; }
 
     std::uint64_t total_dispatches() const { return total_dispatches_; }
     std::uint64_t total_preemptions() const { return total_preemptions_; }
@@ -296,7 +291,6 @@ private:
     SimStack stack_;
     GanttRecorder gantt_;
     std::vector<SimObserver*> observers_;   ///< fan-out list (may hold nulls mid-dispatch)
-    SimObserver* compat_observer_ = nullptr;  ///< the set_observer() slot
     unsigned observer_dispatch_depth_ = 0;
     bool observers_need_compact_ = false;
 

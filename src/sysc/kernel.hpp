@@ -95,7 +95,12 @@ public:
     }
     bool delta_budget_exhausted() const { return delta_budget_exhausted_; }
 
+    /// Monotonic simulated time. Also the timestamp source for every
+    /// observer event, which `trace::Recorder` delta-encodes into
+    /// `.rtktrace` captures — it never goes backwards within a run.
     Time now() const { return now_; }
+    /// Total delta cycles executed; stamped into the trace footer as a
+    /// cheap whole-run progress fingerprint.
     std::uint64_t delta_count() const { return delta_count_; }
     Process* running_process() const { return current_process_; }
     std::size_t process_count() const { return processes_.size(); }

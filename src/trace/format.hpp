@@ -1,0 +1,140 @@
+// The .rtktrace binary format -- NISTT-style non-intrusive capture of
+// the SIM_API observer stream (see sim/observer.hpp), compact enough to
+// leave on across million-injection campaigns.
+//
+// Layout:
+//
+//   header   4-byte magic "RTKT", version byte, flags byte (reserved, 0)
+//   body     a sequence of tagged records
+//   footer   one footer record (always last; written outside the ring
+//            budget so drop accounting survives overflow)
+//
+// Every record is [tag u8][payload]; event records carry a varint
+// sim-time *delta* in picoseconds relative to the previously written
+// event (monotonic by the observer contract), so steady traffic costs
+// 3-5 bytes per event. Object names are interned: a define_thread record
+// is written once per ThreadId before its first event, and events refer
+// to threads by varint id only. Readers must tolerate events whose
+// define record was dropped on overflow (fall back to a synthetic
+// "t<id>" name).
+//
+// Record payloads (all varint unless marked u8; times in picoseconds):
+//
+//   define_thread    tid, kind u8, zigzag(priority), name_len, name bytes
+//   event(kind)      dt, then per kind:
+//     state_change     tid, from u8, to u8
+//     dispatch         tid
+//     preemption       tid
+//     interrupt_enter  tid
+//     interrupt_return tid
+//     wakeup           tid, by_tid+1 (0 = no waking thread)
+//     idle             (empty)
+//     service_enter    tid
+//     service_exit     tid
+//     annotation       tid+1 (0 = global), text_len, text bytes
+//   footer           events, dropped_records, dropped_bytes,
+//                    end_time_ps (absolute), delta_cycles
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace rtk::trace {
+
+inline constexpr char trace_magic[4] = {'R', 'T', 'K', 'T'};
+inline constexpr std::uint8_t trace_version = 1;
+inline constexpr std::size_t trace_header_size = 6;
+
+/// The event-record kinds. The first nine mirror the SimObserver
+/// callbacks one-to-one; `annotation` is recorder-side metadata (e.g.
+/// the fault injector marking the injection instant).
+enum class EventKind : std::uint8_t {
+    state_change = 0,
+    dispatch,
+    preemption,
+    interrupt_enter,
+    interrupt_return,
+    wakeup,
+    idle,
+    service_enter,
+    service_exit,
+    annotation,
+};
+inline constexpr std::size_t observer_event_kinds = 9;
+inline constexpr std::size_t event_kind_count = 10;
+
+const char* to_string(EventKind k);
+
+enum class RecordTag : std::uint8_t {
+    define_thread = 0x01,
+    footer = 0x7e,
+    event_base = 0x10,  ///< event_base + static_cast<u8>(EventKind)
+};
+
+inline std::uint8_t event_tag(EventKind k) {
+    return static_cast<std::uint8_t>(RecordTag::event_base) +
+           static_cast<std::uint8_t>(k);
+}
+
+// ---- varint primitives (LEB128, least-significant group first) ----
+
+inline void put_varint(std::string& out, std::uint64_t v) {
+    while (v >= 0x80) {
+        out.push_back(static_cast<char>(0x80u | (v & 0x7fu)));
+        v >>= 7;
+    }
+    out.push_back(static_cast<char>(v));
+}
+
+inline std::uint64_t zigzag(std::int64_t v) {
+    return (static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63);
+}
+
+inline std::int64_t unzigzag(std::uint64_t v) {
+    return static_cast<std::int64_t>(v >> 1) ^
+           -static_cast<std::int64_t>(v & 1u);
+}
+
+/// Bounded decode cursor over a byte range.
+struct Cursor {
+    const unsigned char* p = nullptr;
+    const unsigned char* end = nullptr;
+
+    bool done() const { return p >= end; }
+
+    bool get_u8(std::uint8_t& v) {
+        if (p >= end) {
+            return false;
+        }
+        v = *p++;
+        return true;
+    }
+
+    bool get_varint(std::uint64_t& v) {
+        v = 0;
+        for (unsigned shift = 0; shift < 64; shift += 7) {
+            if (p >= end) {
+                return false;
+            }
+            const std::uint8_t byte = *p++;
+            v |= static_cast<std::uint64_t>(byte & 0x7fu) << shift;
+            if ((byte & 0x80u) == 0) {
+                return true;
+            }
+        }
+        return false;  // > 10 continuation bytes: corrupt
+    }
+
+    bool get_bytes(std::string& out, std::size_t n) {
+        if (static_cast<std::size_t>(end - p) < n) {
+            return false;
+        }
+        out.assign(reinterpret_cast<const char*>(p), n);
+        p += n;
+        return true;
+    }
+};
+
+}  // namespace rtk::trace

@@ -1,0 +1,237 @@
+#include "trace/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace rtk::trace {
+
+using api::Json;
+
+const char* to_string(EventKind k) {
+    switch (k) {
+        case EventKind::state_change:     return "state_change";
+        case EventKind::dispatch:         return "dispatch";
+        case EventKind::preemption:       return "preemption";
+        case EventKind::interrupt_enter:  return "interrupt_enter";
+        case EventKind::interrupt_return: return "interrupt_return";
+        case EventKind::wakeup:           return "wakeup";
+        case EventKind::idle:             return "idle";
+        case EventKind::service_enter:    return "service_enter";
+        case EventKind::service_exit:     return "service_exit";
+        case EventKind::annotation:       return "annotation";
+    }
+    return "unknown";
+}
+
+// ---- LatencyHistogram -------------------------------------------------------
+
+void LatencyHistogram::add(std::uint64_t latency_ps) {
+    const std::uint64_t ns = latency_ps / 1000;
+    const unsigned idx =
+        ns == 0 ? 0u
+                : std::min<unsigned>(static_cast<unsigned>(std::bit_width(ns)),
+                                     static_cast<unsigned>(buckets.size() - 1));
+    ++buckets[idx];
+    ++count;
+    total_ps += latency_ps;
+    max_ps = std::max(max_ps, latency_ps);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        buckets[i] += other.buckets[i];
+    }
+    count += other.count;
+    total_ps += other.total_ps;
+    max_ps = std::max(max_ps, other.max_ps);
+}
+
+double LatencyHistogram::mean_us() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(total_ps) / 1e6 /
+                            static_cast<double>(count);
+}
+
+Json LatencyHistogram::to_json() const {
+    Json j = Json::object();
+    j.set("count", Json::number(count));
+    j.set("mean_us", Json::number_real(mean_us()));
+    j.set("max_us", Json::number_real(static_cast<double>(max_ps) / 1e6));
+    Json b = Json::array();
+    // Trailing empty buckets are elided; bucket i covers [2^(i-1), 2^i) ns.
+    std::size_t last = 0;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        if (buckets[i] != 0) {
+            last = i + 1;
+        }
+    }
+    for (std::size_t i = 0; i < last; ++i) {
+        b.push(Json::number(buckets[i]));
+    }
+    j.set("buckets_log2_ns", std::move(b));
+    return j;
+}
+
+// ---- TaskMetrics ------------------------------------------------------------
+
+Json TaskMetrics::to_json() const {
+    Json j = Json::object();
+    j.set("tid", Json::number_signed(tid));
+    j.set("name", Json::string(name));
+    j.set("kind", Json::string(sim::to_string(static_cast<sim::ThreadKind>(kind))));
+    j.set("dispatches", Json::number(dispatches));
+    j.set("preemptions", Json::number(preemptions));
+    j.set("wakeups", Json::number(wakeups));
+    j.set("service_calls", Json::number(service_calls));
+    j.set("run_us", Json::number_real(static_cast<double>(running_ps()) / 1e6));
+    j.set("ready_us", Json::number_real(static_cast<double>(ready_ps()) / 1e6));
+    j.set("wait_us", Json::number_real(static_cast<double>(waiting_ps()) / 1e6));
+    return j;
+}
+
+// ---- Metrics ----------------------------------------------------------------
+
+void Metrics::merge_counters(const Metrics& other) {
+    events += other.events;
+    context_switches += other.context_switches;
+    dispatches += other.dispatches;
+    preemptions += other.preemptions;
+    wakeups += other.wakeups;
+    interrupts += other.interrupts;
+    idle_transitions += other.idle_transitions;
+    service_calls += other.service_calls;
+    end_time_ps = std::max(end_time_ps, other.end_time_ps);
+    service_latency.merge(other.service_latency);
+}
+
+Json Metrics::to_json(bool with_tasks) const {
+    Json j = Json::object();
+    j.set("events", Json::number(events));
+    j.set("context_switches", Json::number(context_switches));
+    j.set("dispatches", Json::number(dispatches));
+    j.set("preemptions", Json::number(preemptions));
+    j.set("wakeups", Json::number(wakeups));
+    j.set("interrupts", Json::number(interrupts));
+    j.set("idle_transitions", Json::number(idle_transitions));
+    j.set("service_calls", Json::number(service_calls));
+    j.set("end_time_us", Json::number_real(static_cast<double>(end_time_ps) / 1e6));
+    j.set("service_latency", service_latency.to_json());
+    if (with_tasks) {
+        Json arr = Json::array();
+        for (const TaskMetrics& t : tasks) {
+            arr.push(t.to_json());
+        }
+        j.set("tasks", std::move(arr));
+    }
+    return j;
+}
+
+// ---- MetricsBuilder ---------------------------------------------------------
+
+MetricsBuilder::Slot& MetricsBuilder::slot(sim::ThreadId tid) {
+    const auto idx = static_cast<std::size_t>(tid < 0 ? 0 : tid);
+    if (idx >= slots_.size()) {
+        slots_.resize(idx + 1);
+    }
+    Slot& s = slots_[idx];
+    if (!s.seen) {
+        s.seen = true;
+        s.task.tid = tid;
+    }
+    return s;
+}
+
+void MetricsBuilder::define(sim::ThreadId tid, const std::string& name,
+                            std::uint8_t kind) {
+    Slot& s = slot(tid);
+    s.task.name = name;
+    s.task.kind = kind;
+}
+
+void MetricsBuilder::on_event(EventKind kind, sim::ThreadId tid,
+                              std::uint8_t from, std::uint8_t to,
+                              std::uint64_t at_ps) {
+    ++m_.events;
+    switch (kind) {
+        case EventKind::state_change: {
+            Slot& s = slot(tid);
+            // Trust the observed `from` when the slot has no history yet
+            // (events before this thread's first record were dropped).
+            if (s.task.dispatches == 0 && s.state_since_ps == 0 &&
+                s.state == static_cast<std::uint8_t>(sim::ThreadState::dormant)) {
+                s.state = from;
+            }
+            if (s.state < thread_state_count) {
+                s.task.residency_ps[s.state] += at_ps - s.state_since_ps;
+            }
+            s.state = to;
+            s.state_since_ps = at_ps;
+            break;
+        }
+        case EventKind::dispatch: {
+            Slot& s = slot(tid);
+            ++s.task.dispatches;
+            ++m_.dispatches;
+            if (last_dispatched_ != tid) {
+                ++m_.context_switches;
+            }
+            last_dispatched_ = tid;
+            break;
+        }
+        case EventKind::preemption:
+            ++slot(tid).task.preemptions;
+            ++m_.preemptions;
+            break;
+        case EventKind::interrupt_enter:
+            ++m_.interrupts;
+            break;
+        case EventKind::interrupt_return:
+            break;
+        case EventKind::wakeup:
+            ++slot(tid).task.wakeups;
+            ++m_.wakeups;
+            break;
+        case EventKind::idle:
+            ++m_.idle_transitions;
+            break;
+        case EventKind::service_enter: {
+            Slot& s = slot(tid);
+            s.in_service = true;
+            s.service_enter_ps = at_ps;
+            break;
+        }
+        case EventKind::service_exit: {
+            Slot& s = slot(tid);
+            ++s.task.service_calls;
+            ++m_.service_calls;
+            if (s.in_service) {
+                s.in_service = false;
+                m_.service_latency.add(at_ps - s.service_enter_ps);
+            }
+            break;
+        }
+        case EventKind::annotation:
+            break;
+    }
+}
+
+Metrics MetricsBuilder::finish(std::uint64_t end_ps) {
+    m_.end_time_ps = std::max(m_.end_time_ps, end_ps);
+    m_.tasks.clear();
+    for (Slot& s : slots_) {
+        if (!s.seen) {
+            continue;
+        }
+        if (s.state < thread_state_count && end_ps > s.state_since_ps) {
+            s.task.residency_ps[s.state] += end_ps - s.state_since_ps;
+            s.state_since_ps = end_ps;
+        }
+        if (s.task.name.empty()) {
+            s.task.name = "t" + std::to_string(s.task.tid);
+        }
+        m_.tasks.push_back(s.task);
+    }
+    return m_;
+}
+
+}  // namespace rtk::trace

@@ -1,0 +1,113 @@
+// Derived per-run trace metrics: the aggregate numbers a campaign keeps
+// even when the raw event stream is dropped or overflows. Maintained
+// online by trace::Recorder (one branchy update per event, no
+// allocation on the hot path once a task is known) and recomputable
+// offline from a parsed TraceDoc, so the two paths cross-check each
+// other in tests.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/json.hpp"
+#include "sim/types.hpp"
+#include "trace/format.hpp"
+
+namespace rtk::trace {
+
+inline constexpr std::size_t thread_state_count = 7;
+inline constexpr std::size_t thread_kind_count = 4;
+
+/// Log2-bucketed latency histogram: bucket i counts samples whose
+/// latency in nanoseconds has bit-width i (bucket 0 is < 1 ns).
+struct LatencyHistogram {
+    std::array<std::uint64_t, 32> buckets{};
+    std::uint64_t count = 0;
+    std::uint64_t total_ps = 0;
+    std::uint64_t max_ps = 0;
+
+    void add(std::uint64_t latency_ps);
+    void merge(const LatencyHistogram& other);
+    double mean_us() const;
+    api::Json to_json() const;
+};
+
+/// Per-task residency and event counters.
+struct TaskMetrics {
+    sim::ThreadId tid = 0;
+    std::string name;
+    std::uint8_t kind = 0;  ///< sim::ThreadKind
+    std::uint64_t dispatches = 0;
+    std::uint64_t preemptions = 0;
+    std::uint64_t wakeups = 0;
+    std::uint64_t service_calls = 0;
+    /// Time spent in each sim::ThreadState, indexed by the enum value.
+    std::array<std::uint64_t, thread_state_count> residency_ps{};
+
+    std::uint64_t running_ps() const {
+        return residency_ps[static_cast<std::size_t>(sim::ThreadState::running)];
+    }
+    std::uint64_t ready_ps() const {
+        return residency_ps[static_cast<std::size_t>(sim::ThreadState::ready)];
+    }
+    std::uint64_t waiting_ps() const {
+        return residency_ps[static_cast<std::size_t>(sim::ThreadState::waiting)] +
+               residency_ps[static_cast<std::size_t>(
+                   sim::ThreadState::waiting_suspended)];
+    }
+
+    api::Json to_json() const;
+};
+
+/// One run's derived metrics.
+struct Metrics {
+    std::uint64_t events = 0;            ///< observer events seen (incl. dropped)
+    std::uint64_t context_switches = 0;  ///< dispatches of a different thread
+    std::uint64_t dispatches = 0;
+    std::uint64_t preemptions = 0;
+    std::uint64_t wakeups = 0;
+    std::uint64_t interrupts = 0;
+    std::uint64_t idle_transitions = 0;
+    std::uint64_t service_calls = 0;
+    std::uint64_t end_time_ps = 0;
+    LatencyHistogram service_latency;
+    std::vector<TaskMetrics> tasks;  ///< ordered by tid
+
+    /// Scalar + histogram aggregation across runs (per-task vectors are
+    /// run-specific and deliberately not merged).
+    void merge_counters(const Metrics& other);
+
+    /// `with_tasks=false` drops the per-task array (batch aggregates).
+    api::Json to_json(bool with_tasks = true) const;
+};
+
+/// Shared event-to-metrics state machine: the Recorder feeds it live,
+/// `accumulate` (reader.hpp) feeds it from a parsed document.
+class MetricsBuilder {
+public:
+    void define(sim::ThreadId tid, const std::string& name, std::uint8_t kind);
+    void on_event(EventKind kind, sim::ThreadId tid, std::uint8_t from,
+                  std::uint8_t to, std::uint64_t at_ps);
+    /// Close open residency intervals at `end_ps` and return the result.
+    Metrics finish(std::uint64_t end_ps);
+
+private:
+    struct Slot {
+        TaskMetrics task;
+        std::uint8_t state = static_cast<std::uint8_t>(sim::ThreadState::dormant);
+        std::uint64_t state_since_ps = 0;
+        std::uint64_t service_enter_ps = 0;
+        bool in_service = false;
+        bool seen = false;
+    };
+
+    Slot& slot(sim::ThreadId tid);
+
+    std::vector<Slot> slots_;  // indexed by tid (ids are small and dense)
+    sim::ThreadId last_dispatched_ = -1;
+    Metrics m_;
+};
+
+}  // namespace rtk::trace

@@ -1,0 +1,215 @@
+#include "trace/perfetto.hpp"
+
+#include <map>
+
+#include "sim/types.hpp"
+
+namespace rtk::trace {
+
+using api::Json;
+
+namespace {
+
+constexpr int rtk_pid = 1;
+/// Virtual track for CPU-idle instants (real ThreadIds start at 1).
+constexpr int cpu_tid = 0;
+
+double to_us(std::uint64_t ps) { return static_cast<double>(ps) / 1e6; }
+
+Json event_base(const char* phase, int tid, std::uint64_t t_ps) {
+    Json e = Json::object();
+    e.set("ph", Json::string(phase));
+    e.set("pid", Json::number_signed(rtk_pid));
+    e.set("tid", Json::number_signed(tid));
+    e.set("ts", Json::number_real(to_us(t_ps)));
+    return e;
+}
+
+Json metadata(const char* what, int tid, Json args) {
+    Json e = Json::object();
+    e.set("ph", Json::string("M"));
+    e.set("pid", Json::number_signed(rtk_pid));
+    e.set("tid", Json::number_signed(tid));
+    e.set("name", Json::string(what));
+    e.set("args", std::move(args));
+    return e;
+}
+
+/// Per-thread slice-stack discipline. A service section can outlive one
+/// RUNNING interval (the thread may block inside the atomic section and
+/// resume later), but trace_event B/E events pair strictly LIFO per
+/// track -- so the exporter closes an open "service" slice whenever the
+/// thread leaves RUNNING and reopens it on the next dispatch, keeping
+/// every emitted slice truthful about when the section was actually on
+/// the CPU.
+struct TrackState {
+    bool running = false;
+    bool in_service = false;
+    long pending_flow = -1;  ///< flow id waiting for the next dispatch
+};
+
+}  // namespace
+
+Json PerfettoExporter::export_doc(const TraceDoc& doc) const {
+    Json events = Json::array();
+
+    {
+        Json args = Json::object();
+        args.set("name", Json::string("rtk-sim"));
+        events.push(metadata("process_name", cpu_tid, std::move(args)));
+    }
+    bool has_idle = false;
+    for (const TraceEvent& ev : doc.events) {
+        has_idle = has_idle || ev.kind == EventKind::idle;
+    }
+    if (has_idle) {
+        Json args = Json::object();
+        args.set("name", Json::string("(cpu)"));
+        events.push(metadata("thread_name", cpu_tid, std::move(args)));
+    }
+    for (const TraceThread& t : doc.threads) {
+        Json name_args = Json::object();
+        name_args.set("name", Json::string(t.name));
+        events.push(metadata("thread_name", t.tid, std::move(name_args)));
+        Json sort_args = Json::object();
+        sort_args.set("sort_index", Json::number_signed(t.priority));
+        events.push(metadata("thread_sort_index", t.tid, std::move(sort_args)));
+    }
+
+    std::map<int, TrackState> tracks;
+    long next_flow = 0;
+    const auto running_state =
+        static_cast<std::uint8_t>(sim::ThreadState::running);
+
+    for (const TraceEvent& ev : doc.events) {
+        switch (ev.kind) {
+            case EventKind::state_change: {
+                TrackState& ts = tracks[ev.tid];
+                if (ev.to == running_state && !ts.running) {
+                    ts.running = true;
+                    Json b = event_base("B", ev.tid, ev.t_ps);
+                    b.set("name", Json::string("running"));
+                    events.push(std::move(b));
+                    if (ts.in_service) {
+                        Json sb = event_base("B", ev.tid, ev.t_ps);
+                        sb.set("name", Json::string("service"));
+                        events.push(std::move(sb));
+                    }
+                } else if (ev.from == running_state &&
+                           ev.to != running_state && ts.running) {
+                    ts.running = false;
+                    if (ts.in_service) {
+                        events.push(event_base("E", ev.tid, ev.t_ps));
+                    }
+                    events.push(event_base("E", ev.tid, ev.t_ps));
+                }
+                break;
+            }
+            case EventKind::dispatch: {
+                TrackState& ts = tracks[ev.tid];
+                if (ts.pending_flow >= 0) {
+                    Json f = event_base("f", ev.tid, ev.t_ps);
+                    f.set("cat", Json::string("wakeup"));
+                    f.set("name", Json::string("wake"));
+                    f.set("id", Json::number_signed(ts.pending_flow));
+                    f.set("bp", Json::string("e"));
+                    events.push(std::move(f));
+                    ts.pending_flow = -1;
+                }
+                break;
+            }
+            case EventKind::preemption: {
+                Json i = event_base("i", ev.tid, ev.t_ps);
+                i.set("name", Json::string("preempted"));
+                i.set("s", Json::string("t"));
+                events.push(std::move(i));
+                break;
+            }
+            case EventKind::interrupt_enter: {
+                Json i = event_base("i", ev.tid, ev.t_ps);
+                i.set("name",
+                      Json::string("irq:" + doc.thread_name(ev.tid)));
+                i.set("s", Json::string("t"));
+                events.push(std::move(i));
+                break;
+            }
+            case EventKind::interrupt_return:
+                break;
+            case EventKind::wakeup: {
+                if (ev.by >= 0) {
+                    const long id = next_flow++;
+                    Json s = event_base("s", ev.by, ev.t_ps);
+                    s.set("cat", Json::string("wakeup"));
+                    s.set("name", Json::string("wake"));
+                    s.set("id", Json::number_signed(id));
+                    events.push(std::move(s));
+                    tracks[ev.tid].pending_flow = id;
+                }
+                break;
+            }
+            case EventKind::idle: {
+                Json i = event_base("i", cpu_tid, ev.t_ps);
+                i.set("name", Json::string("idle"));
+                i.set("s", Json::string("t"));
+                events.push(std::move(i));
+                break;
+            }
+            case EventKind::service_enter: {
+                TrackState& ts = tracks[ev.tid];
+                ts.in_service = true;
+                if (ts.running) {
+                    Json b = event_base("B", ev.tid, ev.t_ps);
+                    b.set("name", Json::string("service"));
+                    events.push(std::move(b));
+                }
+                break;
+            }
+            case EventKind::service_exit: {
+                TrackState& ts = tracks[ev.tid];
+                if (ts.in_service && ts.running) {
+                    events.push(event_base("E", ev.tid, ev.t_ps));
+                }
+                ts.in_service = false;
+                break;
+            }
+            case EventKind::annotation: {
+                Json i = event_base("i", ev.tid >= 0 ? ev.tid : cpu_tid,
+                                    ev.t_ps);
+                i.set("name", Json::string(ev.text));
+                i.set("s", Json::string(ev.tid >= 0 ? "t" : "g"));
+                events.push(std::move(i));
+                break;
+            }
+        }
+    }
+
+    // Close slices still open at end-of-trace so every B has its E.
+    const std::uint64_t end_ps =
+        doc.has_footer ? doc.end_time_ps
+                       : (doc.events.empty() ? 0 : doc.events.back().t_ps);
+    for (const auto& [tid, ts] : tracks) {
+        if (ts.running) {
+            if (ts.in_service) {
+                events.push(event_base("E", tid, end_ps));
+            }
+            events.push(event_base("E", tid, end_ps));
+        }
+    }
+
+    Json root = Json::object();
+    root.set("traceEvents", std::move(events));
+    root.set("displayTimeUnit", Json::string("ms"));
+    Json other = Json::object();
+    other.set("format", Json::string("rtktrace"));
+    other.set("dropped_records", Json::number(doc.dropped_records));
+    other.set("delta_cycles", Json::number(doc.delta_cycles));
+    root.set("otherData", std::move(other));
+    return root;
+}
+
+std::string PerfettoExporter::export_json(const TraceDoc& doc,
+                                          int indent) const {
+    return export_doc(doc).dump(indent) + "\n";
+}
+
+}  // namespace rtk::trace

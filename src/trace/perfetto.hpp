@@ -1,0 +1,33 @@
+// Chrome/Perfetto `trace_event` JSON export of a parsed .rtktrace
+// document. The output loads in https://ui.perfetto.dev and in
+// chrome://tracing:
+//
+//   - one track per T-THREAD (thread_name/thread_sort_index metadata;
+//     sort index follows base priority so high-priority tasks sit on
+//     top), with B/E duration slices for RUNNING time and nested
+//     "service" slices for atomic service sections,
+//   - instant events for interrupt deliveries and recorder annotations
+//     (the fault injector's injection mark renders as a global instant),
+//   - flow arrows from each wakeup's source thread to the woken
+//     thread's next dispatch.
+//
+// Times are exported in microseconds (the trace_event unit) at full
+// picosecond precision (%.6f).
+#pragma once
+
+#include <string>
+
+#include "api/json.hpp"
+#include "trace/reader.hpp"
+
+namespace rtk::trace {
+
+class PerfettoExporter {
+public:
+    /// The trace_event document: {"traceEvents": [...], ...}.
+    api::Json export_doc(const TraceDoc& doc) const;
+    /// Serialized with the given indent (<0 = compact).
+    std::string export_json(const TraceDoc& doc, int indent = 1) const;
+};
+
+}  // namespace rtk::trace

@@ -1,0 +1,209 @@
+#include "trace/reader.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace rtk::trace {
+
+namespace {
+
+bool fail(std::string* error, const std::string& what) {
+    if (error != nullptr) {
+        *error = what;
+    }
+    return false;
+}
+
+}  // namespace
+
+const TraceThread* TraceDoc::thread(sim::ThreadId tid) const {
+    for (const TraceThread& t : threads) {
+        if (t.tid == tid) {
+            return &t;
+        }
+    }
+    return nullptr;
+}
+
+std::string TraceDoc::thread_name(sim::ThreadId tid) const {
+    const TraceThread* t = thread(tid);
+    return t != nullptr ? t->name : "t" + std::to_string(tid);
+}
+
+bool parse_trace(std::string_view bytes, TraceDoc& out, std::string* error) {
+    out = TraceDoc{};
+    if (bytes.size() < trace_header_size ||
+        std::memcmp(bytes.data(), trace_magic, sizeof trace_magic) != 0) {
+        return fail(error, "not an .rtktrace file (bad magic)");
+    }
+    const auto version = static_cast<std::uint8_t>(bytes[4]);
+    if (version != trace_version) {
+        return fail(error,
+                    "unsupported trace version " + std::to_string(version));
+    }
+    Cursor c;
+    c.p = reinterpret_cast<const unsigned char*>(bytes.data()) +
+          trace_header_size;
+    c.end = reinterpret_cast<const unsigned char*>(bytes.data()) + bytes.size();
+
+    std::uint64_t now_ps = 0;
+    while (!c.done()) {
+        std::uint8_t tag = 0;
+        c.get_u8(tag);
+        if (tag == static_cast<std::uint8_t>(RecordTag::define_thread)) {
+            TraceThread t;
+            std::uint64_t tid = 0, len = 0, prio = 0;
+            std::uint8_t kind = 0;
+            if (!c.get_varint(tid) || !c.get_u8(kind) || !c.get_varint(prio) ||
+                !c.get_varint(len) || !c.get_bytes(t.name, len)) {
+                return fail(error, "truncated define_thread record");
+            }
+            t.tid = static_cast<sim::ThreadId>(tid);
+            t.kind = kind;
+            t.priority = static_cast<sim::Priority>(unzigzag(prio));
+            out.threads.push_back(std::move(t));
+        } else if (tag == static_cast<std::uint8_t>(RecordTag::footer)) {
+            if (!c.get_varint(out.recorded_events) ||
+                !c.get_varint(out.dropped_records) ||
+                !c.get_varint(out.dropped_bytes) ||
+                !c.get_varint(out.end_time_ps) ||
+                !c.get_varint(out.delta_cycles)) {
+                return fail(error, "truncated footer record");
+            }
+            out.has_footer = true;
+            if (!c.done()) {
+                return fail(error, "trailing bytes after footer");
+            }
+        } else if (tag >= static_cast<std::uint8_t>(RecordTag::event_base) &&
+                   tag < static_cast<std::uint8_t>(RecordTag::event_base) +
+                             event_kind_count) {
+            TraceEvent ev;
+            ev.kind = static_cast<EventKind>(
+                tag - static_cast<std::uint8_t>(RecordTag::event_base));
+            std::uint64_t dt = 0;
+            if (!c.get_varint(dt)) {
+                return fail(error, "truncated event record");
+            }
+            now_ps += dt;
+            ev.t_ps = now_ps;
+            std::uint64_t v = 0;
+            bool ok = true;
+            switch (ev.kind) {
+                case EventKind::state_change:
+                    ok = c.get_varint(v) && c.get_u8(ev.from) && c.get_u8(ev.to);
+                    ev.tid = static_cast<sim::ThreadId>(v);
+                    break;
+                case EventKind::dispatch:
+                case EventKind::preemption:
+                case EventKind::interrupt_enter:
+                case EventKind::interrupt_return:
+                case EventKind::service_enter:
+                case EventKind::service_exit:
+                    ok = c.get_varint(v);
+                    ev.tid = static_cast<sim::ThreadId>(v);
+                    break;
+                case EventKind::wakeup: {
+                    std::uint64_t by = 0;
+                    ok = c.get_varint(v) && c.get_varint(by);
+                    ev.tid = static_cast<sim::ThreadId>(v);
+                    ev.by = by == 0 ? -1 : static_cast<sim::ThreadId>(by - 1);
+                    break;
+                }
+                case EventKind::idle:
+                    break;
+                case EventKind::annotation: {
+                    std::uint64_t len = 0;
+                    ok = c.get_varint(v) && c.get_varint(len) &&
+                         c.get_bytes(ev.text, len);
+                    ev.tid = v == 0 ? -1 : static_cast<sim::ThreadId>(v - 1);
+                    break;
+                }
+            }
+            if (!ok) {
+                return fail(error, std::string("truncated ") +
+                                       to_string(ev.kind) + " record");
+            }
+            out.events.push_back(std::move(ev));
+        } else {
+            return fail(error, "unknown record tag " + std::to_string(tag));
+        }
+    }
+    return true;
+}
+
+bool read_trace_file(const std::string& path, TraceDoc& out,
+                     std::string* error) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        return fail(error, "cannot open " + path);
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return parse_trace(buf.str(), out, error);
+}
+
+std::string dump_text(const TraceDoc& doc) {
+    std::ostringstream os;
+    os << "threads: " << doc.threads.size() << "\n";
+    for (const TraceThread& t : doc.threads) {
+        os << "  #" << t.tid << " " << t.name << " ("
+           << sim::to_string(static_cast<sim::ThreadKind>(t.kind)) << ", prio "
+           << t.priority << ")\n";
+    }
+    os << "events: " << doc.events.size() << "\n";
+    for (const TraceEvent& ev : doc.events) {
+        os << "  [" << static_cast<double>(ev.t_ps) / 1e6 << " us] "
+           << to_string(ev.kind);
+        switch (ev.kind) {
+            case EventKind::state_change:
+                os << " " << doc.thread_name(ev.tid) << " "
+                   << sim::to_string(static_cast<sim::ThreadState>(ev.from))
+                   << " -> "
+                   << sim::to_string(static_cast<sim::ThreadState>(ev.to));
+                break;
+            case EventKind::wakeup:
+                os << " " << doc.thread_name(ev.tid);
+                if (ev.by >= 0) {
+                    os << " by " << doc.thread_name(ev.by);
+                }
+                break;
+            case EventKind::annotation:
+                os << " \"" << ev.text << "\"";
+                if (ev.tid >= 0) {
+                    os << " @ " << doc.thread_name(ev.tid);
+                }
+                break;
+            case EventKind::idle:
+                break;
+            default:
+                os << " " << doc.thread_name(ev.tid);
+                break;
+        }
+        os << "\n";
+    }
+    if (doc.has_footer) {
+        os << "footer: " << doc.recorded_events << " events seen, "
+           << doc.dropped_records << " records dropped (" << doc.dropped_bytes
+           << " bytes), end " << static_cast<double>(doc.end_time_ps) / 1e6
+           << " us, " << doc.delta_cycles << " delta cycles\n";
+    } else {
+        os << "footer: missing (truncated capture)\n";
+    }
+    return os.str();
+}
+
+Metrics accumulate(const TraceDoc& doc) {
+    MetricsBuilder b;
+    for (const TraceThread& t : doc.threads) {
+        b.define(t.tid, t.name, t.kind);
+    }
+    std::uint64_t last_ps = 0;
+    for (const TraceEvent& ev : doc.events) {
+        b.on_event(ev.kind, ev.tid, ev.from, ev.to, ev.t_ps);
+        last_ps = ev.t_ps;
+    }
+    return b.finish(doc.has_footer ? doc.end_time_ps : last_ps);
+}
+
+}  // namespace rtk::trace

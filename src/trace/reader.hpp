@@ -1,0 +1,71 @@
+// Offline side of the .rtktrace format: parse a byte image (or file)
+// back into a structured document, pretty-print it, and recompute the
+// derived metrics -- the foundation the Perfetto exporter and the
+// rtk-trace CLI build on.
+//
+// Parsing is tolerant by design: events referring to a thread whose
+// define_thread record was dropped on overflow still parse (the name
+// falls back to "t<id>"), and a missing footer (truncated file) is
+// reported through TraceDoc::has_footer rather than as an error.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/types.hpp"
+#include "trace/format.hpp"
+#include "trace/metrics.hpp"
+
+namespace rtk::trace {
+
+struct TraceThread {
+    sim::ThreadId tid = 0;
+    std::uint8_t kind = 0;  ///< sim::ThreadKind
+    sim::Priority priority = 0;
+    std::string name;
+};
+
+struct TraceEvent {
+    EventKind kind = EventKind::idle;
+    std::uint64_t t_ps = 0;
+    sim::ThreadId tid = -1;   ///< -1: no thread (idle / global annotation)
+    sim::ThreadId by = -1;    ///< wakeup: waking thread, -1 when none
+    std::uint8_t from = 0;    ///< state_change: previous ThreadState
+    std::uint8_t to = 0;      ///< state_change: new ThreadState
+    std::string text;         ///< annotation payload
+};
+
+struct TraceDoc {
+    std::vector<TraceThread> threads;  ///< in first-sighting order
+    std::vector<TraceEvent> events;    ///< in stream (= time) order
+
+    // footer
+    bool has_footer = false;
+    std::uint64_t recorded_events = 0;  ///< events seen by the recorder
+    std::uint64_t dropped_records = 0;
+    std::uint64_t dropped_bytes = 0;
+    std::uint64_t end_time_ps = 0;
+    std::uint64_t delta_cycles = 0;
+
+    const TraceThread* thread(sim::ThreadId tid) const;
+    /// Interned name, or the synthetic "t<id>" when the define record
+    /// was lost to overflow.
+    std::string thread_name(sim::ThreadId tid) const;
+};
+
+/// Parse a complete .rtktrace image. Returns false (with `*error` set)
+/// only on structural corruption: bad magic, unknown version or tag,
+/// truncated record payload.
+bool parse_trace(std::string_view bytes, TraceDoc& out, std::string* error);
+bool read_trace_file(const std::string& path, TraceDoc& out, std::string* error);
+
+/// One line per event, human-readable (`rtk-trace dump`).
+std::string dump_text(const TraceDoc& doc);
+
+/// Recompute Metrics from a parsed document. Bit-equal to the online
+/// numbers of the Recorder that produced it when nothing was dropped.
+Metrics accumulate(const TraceDoc& doc);
+
+}  // namespace rtk::trace

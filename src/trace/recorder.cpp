@@ -1,0 +1,258 @@
+#include "trace/recorder.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "sim/tthread.hpp"
+#include "sysc/kernel.hpp"
+
+namespace rtk::trace {
+
+Recorder::Recorder(sim::SimApi& api, RecorderOptions opts)
+    : api_(&api), budget_(opts.buffer_bytes) {
+    buf_.reserve(std::min(budget_, std::size_t{1} << 20));
+    scratch_.reserve(64);
+    api_->add_observer(this);
+}
+
+Recorder::~Recorder() { detach(); }
+
+void Recorder::detach() {
+    if (api_ != nullptr) {
+        api_->remove_observer(this);
+        api_ = nullptr;
+    }
+}
+
+Recorder* Recorder::find(const sim::SimApi& api) {
+    for (sim::SimObserver* obs : api.observers()) {
+        if (auto* rec = dynamic_cast<Recorder*>(obs)) {
+            return rec;
+        }
+    }
+    return nullptr;
+}
+
+void Recorder::begin(EventKind kind, sysc::Time at) {
+    scratch_.clear();
+    scratch_.push_back(static_cast<char>(event_tag(kind)));
+    const std::uint64_t ps = at.picoseconds();
+    put_varint(scratch_, ps >= last_ps_ ? ps - last_ps_ : 0);
+}
+
+void Recorder::commit(sysc::Time at) {
+    ++events_seen_;
+    last_event_ps_ = std::max(last_event_ps_, at.picoseconds());
+    if (buf_.size() + scratch_.size() <= budget_) {
+        buf_.append(scratch_);
+        last_ps_ = std::max(last_ps_, at.picoseconds());
+        ++events_recorded_;
+    } else {
+        ++records_dropped_;
+        bytes_dropped_ += scratch_.size();
+    }
+}
+
+void Recorder::ensure_defined(const sim::TThread& t) {
+    const auto idx = static_cast<std::size_t>(t.id() < 0 ? 0 : t.id());
+    if (idx >= defined_.size()) {
+        defined_.resize(idx + 1, false);
+    }
+    if (defined_[idx]) {
+        return;
+    }
+    builder_.define(t.id(), t.name(), static_cast<std::uint8_t>(t.kind()));
+    std::string rec;
+    rec.push_back(static_cast<char>(RecordTag::define_thread));
+    put_varint(rec, static_cast<std::uint64_t>(t.id()));
+    rec.push_back(static_cast<char>(t.kind()));
+    put_varint(rec, zigzag(t.base_priority()));
+    put_varint(rec, t.name().size());
+    rec.append(t.name());
+    if (buf_.size() + rec.size() <= budget_) {
+        buf_.append(rec);
+        defined_[idx] = true;  // dropped defines retry at the next event
+    } else {
+        ++records_dropped_;
+        bytes_dropped_ += rec.size();
+    }
+}
+
+void Recorder::annotate(std::string_view text, const sim::TThread* t) {
+    if (!recording_) {
+        return;
+    }
+    const sysc::Time at = api_ != nullptr ? api_->kernel().now() : sysc::Time::zero();
+    if (t != nullptr) {
+        ensure_defined(*t);
+    }
+    begin(EventKind::annotation, at);
+    put_varint(scratch_,
+               t != nullptr ? static_cast<std::uint64_t>(t->id()) + 1 : 0);
+    put_varint(scratch_, text.size());
+    scratch_.append(text);
+    builder_.on_event(EventKind::annotation, t != nullptr ? t->id() : -1, 0, 0,
+                      at.picoseconds());
+    commit(at);
+}
+
+void Recorder::finish(sysc::Time end) {
+    if (finished_) {
+        return;
+    }
+    finished_ = true;
+    recording_ = false;
+    metrics_ = builder_.finish(std::max(end.picoseconds(), last_event_ps_));
+}
+
+std::string Recorder::serialize() const {
+    std::string out;
+    out.reserve(trace_header_size + buf_.size() + 32);
+    out.append(trace_magic, sizeof trace_magic);
+    out.push_back(static_cast<char>(trace_version));
+    out.push_back('\0');  // flags
+    out.append(buf_);
+    out.push_back(static_cast<char>(RecordTag::footer));
+    put_varint(out, events_seen_);
+    put_varint(out, records_dropped_);
+    put_varint(out, bytes_dropped_);
+    put_varint(out, finished_ ? metrics_.end_time_ps : last_event_ps_);
+    put_varint(out, api_ != nullptr ? api_->kernel().delta_count() : 0);
+    return out;
+}
+
+bool Recorder::write_file(const std::string& path, std::string* error) const {
+    std::ofstream out(path, std::ios::binary);
+    const std::string bytes = serialize();
+    if (!out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()))) {
+        if (error != nullptr) {
+            *error = "cannot write " + path;
+        }
+        return false;
+    }
+    return true;
+}
+
+// ---- observer callbacks -----------------------------------------------------
+
+void Recorder::on_state_change(const sim::TThread& t, sim::ThreadState from,
+                               sim::ThreadState to, sysc::Time at) {
+    if (!recording_) {
+        return;
+    }
+    ensure_defined(t);
+    begin(EventKind::state_change, at);
+    put_varint(scratch_, static_cast<std::uint64_t>(t.id()));
+    scratch_.push_back(static_cast<char>(from));
+    scratch_.push_back(static_cast<char>(to));
+    builder_.on_event(EventKind::state_change, t.id(),
+                      static_cast<std::uint8_t>(from),
+                      static_cast<std::uint8_t>(to), at.picoseconds());
+    commit(at);
+}
+
+namespace {
+/// All the single-`tid` event kinds share one encode path.
+constexpr std::uint8_t from_unused = 0;
+}  // namespace
+
+void Recorder::on_dispatch(const sim::TThread& t, sysc::Time at) {
+    if (!recording_) {
+        return;
+    }
+    ensure_defined(t);
+    begin(EventKind::dispatch, at);
+    put_varint(scratch_, static_cast<std::uint64_t>(t.id()));
+    builder_.on_event(EventKind::dispatch, t.id(), from_unused, from_unused,
+                      at.picoseconds());
+    commit(at);
+}
+
+void Recorder::on_preemption(const sim::TThread& t, sysc::Time at) {
+    if (!recording_) {
+        return;
+    }
+    ensure_defined(t);
+    begin(EventKind::preemption, at);
+    put_varint(scratch_, static_cast<std::uint64_t>(t.id()));
+    builder_.on_event(EventKind::preemption, t.id(), from_unused, from_unused,
+                      at.picoseconds());
+    commit(at);
+}
+
+void Recorder::on_interrupt_enter(const sim::TThread& isr, sysc::Time at) {
+    if (!recording_) {
+        return;
+    }
+    ensure_defined(isr);
+    begin(EventKind::interrupt_enter, at);
+    put_varint(scratch_, static_cast<std::uint64_t>(isr.id()));
+    builder_.on_event(EventKind::interrupt_enter, isr.id(), from_unused,
+                      from_unused, at.picoseconds());
+    commit(at);
+}
+
+void Recorder::on_interrupt_return(const sim::TThread& isr, sysc::Time at) {
+    if (!recording_) {
+        return;
+    }
+    ensure_defined(isr);
+    begin(EventKind::interrupt_return, at);
+    put_varint(scratch_, static_cast<std::uint64_t>(isr.id()));
+    builder_.on_event(EventKind::interrupt_return, isr.id(), from_unused,
+                      from_unused, at.picoseconds());
+    commit(at);
+}
+
+void Recorder::on_wakeup(const sim::TThread& t, const sim::TThread* by,
+                         sysc::Time at) {
+    if (!recording_) {
+        return;
+    }
+    ensure_defined(t);
+    if (by != nullptr) {
+        ensure_defined(*by);
+    }
+    begin(EventKind::wakeup, at);
+    put_varint(scratch_, static_cast<std::uint64_t>(t.id()));
+    put_varint(scratch_,
+               by != nullptr ? static_cast<std::uint64_t>(by->id()) + 1 : 0);
+    builder_.on_event(EventKind::wakeup, t.id(), from_unused, from_unused,
+                      at.picoseconds());
+    commit(at);
+}
+
+void Recorder::on_idle(sysc::Time at) {
+    if (!recording_) {
+        return;
+    }
+    begin(EventKind::idle, at);
+    builder_.on_event(EventKind::idle, -1, from_unused, from_unused, at.picoseconds());
+    commit(at);
+}
+
+void Recorder::on_service_enter(const sim::TThread& t, sysc::Time at) {
+    if (!recording_) {
+        return;
+    }
+    ensure_defined(t);
+    begin(EventKind::service_enter, at);
+    put_varint(scratch_, static_cast<std::uint64_t>(t.id()));
+    builder_.on_event(EventKind::service_enter, t.id(), from_unused,
+                      from_unused, at.picoseconds());
+    commit(at);
+}
+
+void Recorder::on_service_exit(const sim::TThread& t, sysc::Time at) {
+    if (!recording_) {
+        return;
+    }
+    ensure_defined(t);
+    begin(EventKind::service_exit, at);
+    put_varint(scratch_, static_cast<std::uint64_t>(t.id()));
+    builder_.on_event(EventKind::service_exit, t.id(), from_unused,
+                      from_unused, at.picoseconds());
+    commit(at);
+}
+
+}  // namespace rtk::trace

@@ -1,0 +1,109 @@
+// trace::Recorder -- the binary tracer. One Recorder attaches to one
+// SimApi through the regular add_observer fan-out (alongside the fuzz
+// oracle and the fault injector, if any) and appends every observer
+// event to a bounded in-memory buffer in the .rtktrace format
+// (trace/format.hpp). Nothing in the simulation core knows it exists.
+//
+// Overflow policy: when the buffer budget is exhausted the newest
+// records are dropped (the captured prefix stays intact and parseable)
+// and per-record/byte drop counters are written into the file footer,
+// which lives outside the budget. Derived Metrics are maintained online
+// and keep counting through overflow, so a campaign always gets its
+// numbers even when the raw stream is truncated.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/observer.hpp"
+#include "sim/sim_api.hpp"
+#include "trace/format.hpp"
+#include "trace/metrics.hpp"
+
+namespace rtk::trace {
+
+struct RecorderOptions {
+    /// Event-buffer budget in bytes (header/footer not counted).
+    std::size_t buffer_bytes = std::size_t{4} << 20;
+};
+
+class Recorder final : public sim::SimObserver {
+public:
+    /// Attaches to `api` immediately; the caller keeps the Recorder
+    /// alive while registered (rtk::Simulation::retain is the usual
+    /// owner in harness code).
+    explicit Recorder(sim::SimApi& api, RecorderOptions opts = {});
+    ~Recorder() override;
+
+    Recorder(const Recorder&) = delete;
+    Recorder& operator=(const Recorder&) = delete;
+
+    void detach();
+
+    /// The Recorder registered on `api`, if any -- how out-of-band
+    /// writers (the fault injector marking its injection instant) reach
+    /// the tracer without threading a handle through every layer.
+    static Recorder* find(const sim::SimApi& api);
+
+    /// Write a free-form annotation record (rendered as an instant event
+    /// by the Perfetto exporter). `t` scopes it to a thread's track;
+    /// nullptr means global scope.
+    void annotate(std::string_view text, const sim::TThread* t = nullptr);
+
+    /// Stop recording, close residency accounting at `end` and stamp the
+    /// footer. Idempotent; implicit on the first serialize()/write_file()
+    /// using the last event time when never called explicitly.
+    void finish(sysc::Time end);
+
+    std::uint64_t events_recorded() const { return events_recorded_; }
+    std::uint64_t records_dropped() const { return records_dropped_; }
+    std::uint64_t bytes_used() const { return buf_.size(); }
+
+    /// Valid after finish(). Derived numbers are complete even when the
+    /// raw stream overflowed.
+    const Metrics& metrics() const { return metrics_; }
+
+    /// Complete .rtktrace image: header + captured records + footer.
+    std::string serialize() const;
+    bool write_file(const std::string& path, std::string* error = nullptr) const;
+
+    // ---- SimObserver ----
+    void on_state_change(const sim::TThread& t, sim::ThreadState from,
+                         sim::ThreadState to, sysc::Time at) override;
+    void on_dispatch(const sim::TThread& t, sysc::Time at) override;
+    void on_preemption(const sim::TThread& t, sysc::Time at) override;
+    void on_interrupt_enter(const sim::TThread& isr, sysc::Time at) override;
+    void on_interrupt_return(const sim::TThread& isr, sysc::Time at) override;
+    void on_wakeup(const sim::TThread& t, const sim::TThread* by,
+                   sysc::Time at) override;
+    void on_idle(sysc::Time at) override;
+    void on_service_enter(const sim::TThread& t, sysc::Time at) override;
+    void on_service_exit(const sim::TThread& t, sysc::Time at) override;
+
+private:
+    /// Start an event record in scratch_: tag + time delta.
+    void begin(EventKind kind, sysc::Time at);
+    /// Append scratch_ to the buffer or account the drop.
+    void commit(sysc::Time at);
+    void ensure_defined(const sim::TThread& t);
+
+    sim::SimApi* api_;
+    std::size_t budget_;
+    std::string buf_;
+    std::string scratch_;
+    std::vector<bool> defined_;  // per tid: define_thread already written
+    std::uint64_t last_ps_ = 0;  // time of the last *written* record
+    std::uint64_t events_recorded_ = 0;
+    std::uint64_t events_seen_ = 0;
+    std::uint64_t records_dropped_ = 0;
+    std::uint64_t bytes_dropped_ = 0;
+    std::uint64_t last_event_ps_ = 0;
+    bool recording_ = true;
+    bool finished_ = false;
+    MetricsBuilder builder_;
+    Metrics metrics_;
+};
+
+}  // namespace rtk::trace

@@ -1,0 +1,10 @@
+// Umbrella header for rtk::trace -- the non-intrusive observability
+// layer: binary .rtktrace recording of the SIM_API observer stream,
+// derived per-run metrics, offline parsing and Perfetto export.
+#pragma once
+
+#include "trace/format.hpp"    // IWYU pragma: export
+#include "trace/metrics.hpp"   // IWYU pragma: export
+#include "trace/perfetto.hpp"  // IWYU pragma: export
+#include "trace/reader.hpp"    // IWYU pragma: export
+#include "trace/recorder.hpp"  // IWYU pragma: export

@@ -84,8 +84,8 @@ TEST_F(OracleInjectionTest, FlagsInconsistentTransitionChain) {
 
 TEST_F(OracleInjectionTest, FlagsTimeGoingBackwards) {
     sim::TThread& t = make_task("t", 5);
-    oracle_.on_wakeup(t, Time::ms(5));
-    oracle_.on_wakeup(t, Time::ms(3));
+    oracle_.on_wakeup(t, nullptr, Time::ms(5));
+    oracle_.on_wakeup(t, nullptr, Time::ms(3));
     EXPECT_GT(oracle_.violation_count(), 0u);
     EXPECT_NE(oracle_.summary().find("[T1]"), std::string::npos);
 }

@@ -1,9 +1,10 @@
-// Multi-observer fan-out: registration order, the set_observer compat
-// shim, and the re-entrancy rules (add/remove during dispatch) the
-// fault-injection engine depends on -- an oracle, an injector and a
-// trace consumer all watch one SimApi at once.
+// Multi-observer fan-out: registration order and the re-entrancy rules
+// (add/remove during dispatch) the fault-injection engine depends on --
+// an oracle, an injector and a trace recorder all watch one SimApi at
+// once.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -29,8 +30,12 @@ public:
     void on_preemption(const TThread&, Time) override { note("preempt"); }
     void on_interrupt_enter(const TThread&, Time) override { note("irq+"); }
     void on_interrupt_return(const TThread&, Time) override { note("irq-"); }
-    void on_wakeup(const TThread&, Time) override { note("wakeup"); }
+    void on_wakeup(const TThread&, const TThread*, Time) override {
+        note("wakeup");
+    }
     void on_idle(Time) override { note("idle"); }
+    void on_service_enter(const TThread&, Time) override { note("svc+"); }
+    void on_service_exit(const TThread&, Time) override { note("svc-"); }
 
     int events = 0;
 
@@ -196,31 +201,67 @@ TEST_F(ObserverTest, AddDuringDispatchStartsAtTheNextEvent) {
     EXPECT_EQ(late.events, a.events - 1);
 }
 
-// The compat shim is deprecated but must keep its replace-own-slot
-// semantics until it is removed; this test intentionally calls it.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST_F(ObserverTest, SetObserverCompatShimReplacesItsOwnSlot) {
-    LoggingObserver a("a", log), b("b", log), extra("x", log);
-    api.add_observer(&extra);  // multi-registered observers are untouched
-    api.set_observer(&a);
-    EXPECT_EQ(api.observer(), &a);
-    EXPECT_EQ(api.observer_count(), 2u);
+TEST_F(ObserverTest, ServiceSectionEventsReportOutermostBoundariesOnly) {
+    LoggingObserver a("a", log);
+    api.add_observer(&a);
 
-    api.set_observer(&b);  // replaces a, leaves extra alone
-    EXPECT_EQ(api.observer(), &b);
-    EXPECT_EQ(api.observer_count(), 2u);
+    TThread& t = api.SIM_CreateThread("svc", ThreadKind::task, 5, [&] {
+        api.SIM_EnterService();
+        api.SIM_EnterService();  // nested: must not re-report
+        api.SIM_ExitService();
+        api.SIM_ExitService();
+        api.SIM_Wait(Time::ms(1), ExecContext::task);
+    });
+    api.SIM_StartThread(t);
+    k.run();
 
-    run_workload();
-    EXPECT_EQ(a.events, 0);
-    EXPECT_GT(b.events, 0);
-    EXPECT_EQ(extra.events, b.events);
-
-    api.set_observer(nullptr);
-    EXPECT_EQ(api.observer(), nullptr);
-    EXPECT_EQ(api.observer_count(), 1u);
+    std::size_t enters = 0, exits = 0;
+    for (const std::string& line : log) {
+        enters += line == "a:svc+";
+        exits += line == "a:svc-";
+    }
+    EXPECT_EQ(enters, 1u);
+    EXPECT_EQ(exits, 1u);
+    // The exit lands before any event the deferred preemption check emits.
+    const auto en = std::find(log.begin(), log.end(), "a:svc+");
+    const auto ex = std::find(log.begin(), log.end(), "a:svc-");
+    ASSERT_NE(en, log.end());
+    ASSERT_NE(ex, log.end());
+    EXPECT_LT(en, ex);
 }
-#pragma GCC diagnostic pop
+
+TEST_F(ObserverTest, WakeupReportsTheWakingThread) {
+    const TThread* woken = nullptr;
+    const TThread* waker = nullptr;
+
+    class WakeObserver final : public SimObserver {
+    public:
+        const TThread** woken;
+        const TThread** waker;
+        void on_wakeup(const TThread& t, const TThread* by, Time) override {
+            *woken = &t;
+            *waker = by;
+        }
+    } obs;
+    obs.woken = &woken;
+    obs.waker = &waker;
+    api.add_observer(&obs);
+
+    TThread& sleeper = api.SIM_CreateThread("sleeper", ThreadKind::task, 5, [&] {
+        api.SIM_Sleep();
+    });
+    TThread& poker = api.SIM_CreateThread("poker", ThreadKind::task, 6, [&] {
+        api.SIM_Wait(Time::ms(1), ExecContext::task);
+        api.SIM_WakeUp(sleeper);
+    });
+    api.SIM_StartThread(sleeper);
+    api.SIM_StartThread(poker);
+    k.run();
+
+    ASSERT_NE(woken, nullptr);
+    EXPECT_EQ(woken, &sleeper);
+    EXPECT_EQ(waker, &poker);
+}
 
 }  // namespace
 }  // namespace rtk::sim

@@ -1,0 +1,150 @@
+// .rtktrace building blocks: varint/zigzag coding, the tolerant Cursor,
+// structural parse errors and the latency histogram.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "trace/format.hpp"
+#include "trace/metrics.hpp"
+#include "trace/reader.hpp"
+
+namespace rtk::trace {
+namespace {
+
+Cursor cursor_over(const std::string& buf) {
+    const auto* begin = reinterpret_cast<const unsigned char*>(buf.data());
+    return Cursor{begin, begin + buf.size()};
+}
+
+TEST(Varint, RoundTripsBoundaryValues) {
+    const std::uint64_t values[] = {0,
+                                    1,
+                                    127,
+                                    128,
+                                    16383,
+                                    16384,
+                                    (std::uint64_t{1} << 32) - 1,
+                                    std::uint64_t{1} << 32,
+                                    std::numeric_limits<std::uint64_t>::max()};
+    for (std::uint64_t v : values) {
+        std::string buf;
+        put_varint(buf, v);
+        Cursor c = cursor_over(buf);
+        std::uint64_t out = 0;
+        ASSERT_TRUE(c.get_varint(out)) << v;
+        EXPECT_EQ(out, v);
+        EXPECT_TRUE(c.done());
+    }
+}
+
+TEST(Varint, TruncatedEncodingFails) {
+    std::string buf;
+    put_varint(buf, std::uint64_t{1} << 40);
+    buf.resize(buf.size() - 1);  // chop the terminating byte
+    Cursor c = cursor_over(buf);
+    std::uint64_t out = 0;
+    EXPECT_FALSE(c.get_varint(out));
+}
+
+TEST(Zigzag, RoundTripsSignedValues) {
+    const std::int64_t values[] = {0, -1, 1, -64, 63, -12345, 12345,
+                                   std::numeric_limits<std::int32_t>::min(),
+                                   std::numeric_limits<std::int32_t>::max()};
+    for (std::int64_t v : values) {
+        EXPECT_EQ(unzigzag(zigzag(v)), v);
+    }
+}
+
+TEST(EventKind, EveryKindHasATagAndAName) {
+    for (std::size_t k = 0; k < event_kind_count; ++k) {
+        const auto kind = static_cast<EventKind>(k);
+        EXPECT_EQ(event_tag(kind),
+                  static_cast<std::uint8_t>(RecordTag::event_base) + k);
+        EXPECT_STRNE(to_string(kind), "?");
+    }
+}
+
+TEST(ParseTrace, RejectsBadMagic) {
+    TraceDoc doc;
+    std::string error;
+    const std::string bad("NOPE\x01\x00", 6);
+    EXPECT_FALSE(parse_trace(bad, doc, &error));
+    EXPECT_NE(error.find("magic"), std::string::npos);
+}
+
+TEST(ParseTrace, RejectsUnknownVersion) {
+    std::string bytes = "RTKT";
+    bytes.push_back('\x7f');
+    bytes.push_back('\0');
+    TraceDoc doc;
+    std::string error;
+    EXPECT_FALSE(parse_trace(bytes, doc, &error));
+    EXPECT_NE(error.find("version"), std::string::npos);
+}
+
+TEST(ParseTrace, RejectsUnknownRecordTag) {
+    std::string bytes = "RTKT";
+    bytes.push_back(static_cast<char>(trace_version));
+    bytes.push_back('\0');
+    bytes.push_back('\x05');  // not a define / event / footer tag
+    TraceDoc doc;
+    std::string error;
+    EXPECT_FALSE(parse_trace(bytes, doc, &error));
+    EXPECT_NE(error.find("tag"), std::string::npos);
+}
+
+TEST(ParseTrace, EmptyCaptureWithoutFooterParses) {
+    std::string bytes = "RTKT";
+    bytes.push_back(static_cast<char>(trace_version));
+    bytes.push_back('\0');
+    TraceDoc doc;
+    std::string error;
+    ASSERT_TRUE(parse_trace(bytes, doc, &error)) << error;
+    EXPECT_FALSE(doc.has_footer);
+    EXPECT_TRUE(doc.events.empty());
+    EXPECT_TRUE(doc.threads.empty());
+}
+
+TEST(ParseTrace, UnknownThreadFallsBackToSyntheticName) {
+    TraceDoc doc;
+    EXPECT_EQ(doc.thread_name(42), "t42");
+    EXPECT_EQ(doc.thread(42), nullptr);
+}
+
+TEST(LatencyHistogram, BucketsByLog2Nanoseconds) {
+    LatencyHistogram h;
+    h.add(0);                  // < 1 ns -> bucket 0
+    h.add(1000);               // 1 ns -> bucket bit_width(1) = 1
+    h.add(1000 * 1000);        // 1000 ns -> bucket bit_width(1000) = 10
+    EXPECT_EQ(h.count, 3u);
+    EXPECT_EQ(h.buckets[0], 1u);
+    EXPECT_EQ(h.buckets[1], 1u);
+    EXPECT_EQ(h.buckets[10], 1u);
+    EXPECT_EQ(h.max_ps, 1000u * 1000u);
+
+    LatencyHistogram other;
+    other.add(2000);
+    h.merge(other);
+    EXPECT_EQ(h.count, 4u);
+    EXPECT_EQ(h.buckets[2], 1u);
+}
+
+TEST(Metrics, MergeCountersSumsScalars) {
+    Metrics a;
+    a.events = 10;
+    a.dispatches = 4;
+    a.end_time_ps = 100;
+    Metrics b;
+    b.events = 5;
+    b.dispatches = 1;
+    b.end_time_ps = 400;
+    a.merge_counters(b);
+    EXPECT_EQ(a.events, 15u);
+    EXPECT_EQ(a.dispatches, 5u);
+    EXPECT_EQ(a.end_time_ps, 400u);  // max, not sum
+}
+
+}  // namespace
+}  // namespace rtk::trace

@@ -1,0 +1,341 @@
+// trace::Recorder against real scenario runs: lossless round-trips vs a
+// reference observer, overflow accounting, serial-vs-parallel byte
+// identity, metrics cross-checks and the Perfetto export shape.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/json.hpp"
+#include "harness/harness.hpp"
+#include "sim/observer.hpp"
+#include "sim/tthread.hpp"
+#include "tkernel/tkernel.hpp"
+#include "trace/trace.hpp"
+
+namespace rtk::trace {
+namespace {
+
+using harness::BatchReport;
+using harness::ScenarioResult;
+using harness::ScenarioRunner;
+using harness::ScenarioSpec;
+using rtk::Simulation;
+using sysc::Time;
+using tkernel::ID;
+using tkernel::INT;
+using tkernel::T_CSEM;
+using tkernel::T_CTSK;
+using tkernel::TKernel;
+
+/// Ping-pong workload (producer delays + signals, consumer waits +
+/// burns units): touches tasks, the timer, wakeups and service calls.
+void pingpong(Simulation& sim, const ScenarioSpec& spec) {
+    TKernel& tk = sim.os();
+    const std::uint64_t units = 50 + spec.seed % 100;
+    sim.set_user_main([&tk, units] {
+        T_CSEM cs;
+        cs.name = "items";
+        const ID sem = tk.tk_cre_sem(cs);
+        T_CTSK prod;
+        prod.name = "prod";
+        prod.itskpri = 10;
+        prod.task = [&tk, sem](INT, void*) {
+            for (int i = 0; i < 10; ++i) {
+                tk.tk_dly_tsk(2);
+                tk.tk_sig_sem(sem, 1);
+            }
+        };
+        tk.tk_sta_tsk(tk.tk_cre_tsk(prod), 0);
+        T_CTSK cons;
+        cons.name = "cons";
+        cons.itskpri = 5;
+        cons.task = [&tk, sem, units](INT, void*) {
+            for (int i = 0; i < 10; ++i) {
+                if (tk.tk_wai_sem(sem, 1, tkernel::TMO_FEVR) != tkernel::E_OK) {
+                    return;
+                }
+                tk.sim().SIM_WaitUnits(units, sim::ExecContext::task);
+            }
+        };
+        tk.tk_sta_tsk(tk.tk_cre_tsk(cons), 0);
+    });
+}
+
+ScenarioSpec traced_spec(std::uint64_t seed) {
+    ScenarioSpec s;
+    s.name = "traced/" + std::to_string(seed);
+    s.seed = seed;
+    s.duration = Time::ms(40);
+    s.workload = &pingpong;
+    s.trace.enabled = true;
+    s.trace.keep_bytes = true;
+    return s;
+}
+
+/// Every observer event as the callbacks delivered it -- the ground
+/// truth the parsed trace must reproduce.
+struct RefEvent {
+    EventKind kind;
+    std::int64_t tid;
+    std::int64_t by;
+    std::uint8_t from;
+    std::uint8_t to;
+    std::uint64_t t_ps;
+};
+
+class ReferenceObserver final : public sim::SimObserver {
+public:
+    ReferenceObserver(sim::SimApi& api, std::shared_ptr<std::vector<RefEvent>> out)
+        : api_(&api), out_(std::move(out)) {
+        api_->add_observer(this);
+    }
+    ~ReferenceObserver() override { api_->remove_observer(this); }
+
+    void on_state_change(const sim::TThread& t, sim::ThreadState from,
+                         sim::ThreadState to, sysc::Time at) override {
+        out_->push_back({EventKind::state_change, t.id(), -1,
+                         static_cast<std::uint8_t>(from),
+                         static_cast<std::uint8_t>(to), at.picoseconds()});
+    }
+    void on_dispatch(const sim::TThread& t, sysc::Time at) override {
+        out_->push_back({EventKind::dispatch, t.id(), -1, 0, 0, at.picoseconds()});
+    }
+    void on_preemption(const sim::TThread& t, sysc::Time at) override {
+        out_->push_back(
+            {EventKind::preemption, t.id(), -1, 0, 0, at.picoseconds()});
+    }
+    void on_interrupt_enter(const sim::TThread& isr, sysc::Time at) override {
+        out_->push_back(
+            {EventKind::interrupt_enter, isr.id(), -1, 0, 0, at.picoseconds()});
+    }
+    void on_interrupt_return(const sim::TThread& isr, sysc::Time at) override {
+        out_->push_back(
+            {EventKind::interrupt_return, isr.id(), -1, 0, 0, at.picoseconds()});
+    }
+    void on_wakeup(const sim::TThread& t, const sim::TThread* by,
+                   sysc::Time at) override {
+        out_->push_back({EventKind::wakeup, t.id(),
+                         by != nullptr ? std::int64_t{by->id()} : -1, 0, 0,
+                         at.picoseconds()});
+    }
+    void on_idle(sysc::Time at) override {
+        out_->push_back({EventKind::idle, -1, -1, 0, 0, at.picoseconds()});
+    }
+    void on_service_enter(const sim::TThread& t, sysc::Time at) override {
+        out_->push_back(
+            {EventKind::service_enter, t.id(), -1, 0, 0, at.picoseconds()});
+    }
+    void on_service_exit(const sim::TThread& t, sysc::Time at) override {
+        out_->push_back(
+            {EventKind::service_exit, t.id(), -1, 0, 0, at.picoseconds()});
+    }
+
+private:
+    sim::SimApi* api_;
+    std::shared_ptr<std::vector<RefEvent>> out_;
+};
+
+TEST(Recorder, BinaryRoundTripIsLossless) {
+    auto ref = std::make_shared<std::vector<RefEvent>>();
+    ScenarioSpec spec = traced_spec(7);
+    auto inner = spec.workload;
+    spec.workload = [ref, inner](Simulation& sim, const ScenarioSpec& s) {
+        sim.retain(std::make_shared<ReferenceObserver>(sim.sim(), ref));
+        inner(sim, s);
+    };
+    const ScenarioResult run = harness::run_scenario(spec);
+    ASSERT_TRUE(run.passed) << run.error;
+    ASSERT_TRUE(run.traced);
+    EXPECT_EQ(run.trace_dropped, 0u);
+    EXPECT_GT(run.trace_events, 100u);
+    EXPECT_EQ(run.trace_events, ref->size());
+
+    TraceDoc doc;
+    std::string error;
+    ASSERT_TRUE(parse_trace(run.trace_data, doc, &error)) << error;
+    ASSERT_TRUE(doc.has_footer);
+    EXPECT_EQ(doc.recorded_events, run.trace_events);
+    EXPECT_EQ(doc.dropped_records, 0u);
+    ASSERT_EQ(doc.events.size(), ref->size());
+    for (std::size_t i = 0; i < ref->size(); ++i) {
+        const RefEvent& want = (*ref)[i];
+        const TraceEvent& got = doc.events[i];
+        ASSERT_EQ(got.kind, want.kind) << "event " << i;
+        EXPECT_EQ(got.tid, want.tid) << "event " << i;
+        EXPECT_EQ(got.by, want.by) << "event " << i;
+        EXPECT_EQ(got.t_ps, want.t_ps) << "event " << i;
+        if (want.kind == EventKind::state_change) {
+            EXPECT_EQ(got.from, want.from) << "event " << i;
+            EXPECT_EQ(got.to, want.to) << "event " << i;
+        }
+    }
+
+    // Thread defines survived (no synthetic-name fallback needed).
+    for (const TraceEvent& e : doc.events) {
+        if (e.tid >= 0) {
+            EXPECT_NE(doc.thread(e.tid), nullptr) << "undefined tid " << e.tid;
+        }
+    }
+}
+
+TEST(Recorder, OfflineMetricsReproduceOnlineMetrics) {
+    const ScenarioResult run = harness::run_scenario(traced_spec(11));
+    ASSERT_TRUE(run.passed) << run.error;
+    TraceDoc doc;
+    std::string error;
+    ASSERT_TRUE(parse_trace(run.trace_data, doc, &error)) << error;
+    const Metrics offline = accumulate(doc);
+    EXPECT_EQ(offline.to_json().dump(-1), run.metrics.to_json().dump(-1));
+    EXPECT_GT(offline.context_switches, 0u);
+    EXPECT_GT(offline.service_calls, 0u);
+    EXPECT_GT(offline.service_latency.count, 0u);
+}
+
+TEST(Recorder, OverflowDropsNewestButKeepsStreamParseable) {
+    ScenarioSpec spec = traced_spec(13);
+    spec.trace.buffer_bytes = 512;  // force overflow quickly
+    const ScenarioResult run = harness::run_scenario(spec);
+    ASSERT_TRUE(run.passed) << run.error;
+    ASSERT_TRUE(run.traced);
+    EXPECT_GT(run.trace_dropped, 0u);
+
+    TraceDoc doc;
+    std::string error;
+    ASSERT_TRUE(parse_trace(run.trace_data, doc, &error)) << error;
+    ASSERT_TRUE(doc.has_footer);
+    EXPECT_EQ(doc.dropped_records, run.trace_dropped);
+    EXPECT_GT(doc.dropped_bytes, 0u);
+    // The captured prefix (written events) is intact...
+    EXPECT_EQ(doc.events.size(), run.trace_events);
+    // ...and the footer still accounts for everything the run emitted.
+    EXPECT_GT(doc.recorded_events, doc.events.size());
+
+    // The derived metrics kept counting through the overflow: they see
+    // more events than the truncated raw stream holds.
+    EXPECT_EQ(run.metrics.events, doc.recorded_events);
+}
+
+TEST(Recorder, SerialAndParallelTracesAreByteIdentical) {
+    std::vector<ScenarioSpec> specs;
+    for (std::uint64_t s = 0; s < 8; ++s) {
+        specs.push_back(traced_spec(s));
+    }
+    const BatchReport serial = ScenarioRunner(ScenarioRunner::Options{1}).run(specs);
+    const BatchReport parallel =
+        ScenarioRunner(ScenarioRunner::Options{4}).run(specs);
+    ASSERT_TRUE(serial.all_passed());
+    ASSERT_TRUE(parallel.all_passed());
+    EXPECT_EQ(serial.traced(), specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        ASSERT_FALSE(serial.results[i].trace_data.empty());
+        EXPECT_EQ(serial.results[i].trace_data, parallel.results[i].trace_data)
+            << specs[i].name;
+        EXPECT_EQ(serial.results[i].fingerprint, parallel.results[i].fingerprint);
+    }
+}
+
+TEST(Recorder, UntracedRunStaysUntraced) {
+    ScenarioSpec spec = traced_spec(3);
+    spec.trace = harness::TraceConfig{};
+    const ScenarioResult run = harness::run_scenario(spec);
+    ASSERT_TRUE(run.passed) << run.error;
+    EXPECT_FALSE(run.traced);
+    EXPECT_TRUE(run.trace_data.empty());
+    EXPECT_EQ(run.trace_events, 0u);
+}
+
+TEST(Recorder, AnnotationsAreScopedAndCaptured) {
+    ScenarioSpec spec = traced_spec(17);
+    auto inner = spec.workload;
+    spec.workload = [inner](Simulation& sim, const ScenarioSpec& s) {
+        inner(sim, s);
+        // The recorder is attached before the workload builder runs, so
+        // Recorder::find already resolves here (global-scope note).
+        Recorder* rec = Recorder::find(sim.sim());
+        ASSERT_NE(rec, nullptr);
+        rec->annotate("before power-on");
+    };
+    const ScenarioResult run = harness::run_scenario(spec);
+    ASSERT_TRUE(run.passed) << run.error;
+    TraceDoc doc;
+    std::string error;
+    ASSERT_TRUE(parse_trace(run.trace_data, doc, &error)) << error;
+    bool found = false;
+    for (const TraceEvent& e : doc.events) {
+        if (e.kind == EventKind::annotation) {
+            EXPECT_EQ(e.text, "before power-on");
+            EXPECT_EQ(e.tid, -1);  // global scope
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(BatchReport, TracedBatchReportsAggregateMetrics) {
+    std::vector<ScenarioSpec> specs;
+    specs.push_back(traced_spec(1));
+    ScenarioSpec untraced = traced_spec(2);
+    untraced.trace = harness::TraceConfig{};
+    specs.push_back(untraced);
+    const BatchReport report = ScenarioRunner(ScenarioRunner::Options{1}).run(specs);
+    ASSERT_TRUE(report.all_passed());
+    EXPECT_EQ(report.traced(), 1u);
+    EXPECT_GT(report.aggregate_metrics().events, 0u);
+
+    api::Json doc;
+    std::string error;
+    ASSERT_TRUE(api::Json::parse(report.to_json(), doc, &error)) << error;
+    ASSERT_TRUE(doc.at("batch").has("trace"));
+    EXPECT_EQ(doc.at("batch").at("trace").at("traced_runs").as_u64(), 1u);
+    ASSERT_TRUE(doc.at("results").items()[0].has("trace"));
+    EXPECT_FALSE(doc.at("results").items()[1].has("trace"));
+}
+
+TEST(Perfetto, ExportIsValidAndBalanced) {
+    const ScenarioResult run = harness::run_scenario(traced_spec(23));
+    ASSERT_TRUE(run.passed) << run.error;
+    TraceDoc doc;
+    std::string error;
+    ASSERT_TRUE(parse_trace(run.trace_data, doc, &error)) << error;
+
+    PerfettoExporter exporter;
+    const std::string json = exporter.export_json(doc);
+    api::Json parsed;
+    ASSERT_TRUE(api::Json::parse(json, parsed, &error)) << error;
+    const auto& events = parsed.at("traceEvents").items();
+    ASSERT_FALSE(events.empty());
+
+    // One thread_name metadata record per defined thread, B/E balanced
+    // per track, and every flow start has a matching finish.
+    std::size_t names = 0;
+    std::size_t starts = 0;
+    std::size_t finishes = 0;
+    std::map<std::uint64_t, std::int64_t> depth;
+    for (const api::Json& e : events) {
+        const std::string ph = e.at("ph").as_string();
+        if (ph == "M" && e.at("name").as_string() == "thread_name") {
+            ++names;
+        } else if (ph == "B") {
+            ++depth[e.at("tid").as_u64()];
+        } else if (ph == "E") {
+            --depth[e.at("tid").as_u64()];
+        } else if (ph == "s") {
+            ++starts;
+        } else if (ph == "f") {
+            ++finishes;
+        }
+    }
+    EXPECT_GE(names, doc.threads.size());
+    EXPECT_EQ(starts, finishes);
+    EXPECT_GT(starts, 0u);
+    for (const auto& [tid, d] : depth) {
+        EXPECT_EQ(d, 0) << "unbalanced B/E on track " << tid;
+    }
+}
+
+}  // namespace
+}  // namespace rtk::trace

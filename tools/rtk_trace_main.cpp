@@ -1,0 +1,234 @@
+// rtk-trace -- the .rtktrace toolbox.
+//
+//   $ rtk-trace dump <trace.rtktrace>
+//       One line per event, human-readable.
+//   $ rtk-trace stats <trace.rtktrace>
+//       Recompute the derived metrics offline and print them as JSON.
+//   $ rtk-trace export --perfetto <trace.rtktrace> [-o out.json]
+//       Chrome/Perfetto trace_event JSON (open in ui.perfetto.dev or
+//       chrome://tracing); default output replaces the extension with
+//       .perfetto.json.
+//   $ rtk-trace selftest [dir]
+//       End-to-end smoke (the ctest `tool-smoke` entry): run a real
+//       traced scenario, write its capture under `dir` (default "."),
+//       then dump + stats + export it through the same code paths as
+//       the user-facing commands and cross-check the offline metrics
+//       against the recorder's online numbers.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "api/api.hpp"
+#include "harness/scenario.hpp"
+#include "tkernel/tkernel.hpp"
+#include "trace/trace.hpp"
+
+using namespace rtk;
+using sysc::Time;
+
+namespace {
+
+int usage() {
+    std::fputs(
+        "usage: rtk-trace <command> [args]\n"
+        "  dump <trace.rtktrace>                       text dump\n"
+        "  stats <trace.rtktrace>                      metrics as JSON\n"
+        "  export --perfetto <trace.rtktrace> [-o f]   Perfetto JSON\n"
+        "  selftest [dir]                              record + round-trip\n",
+        stderr);
+    return 2;
+}
+
+bool load(const std::string& path, trace::TraceDoc& doc) {
+    std::string error;
+    if (!trace::read_trace_file(path, doc, &error)) {
+        std::fprintf(stderr, "rtk-trace: %s: %s\n", path.c_str(), error.c_str());
+        return false;
+    }
+    return true;
+}
+
+int cmd_dump(const std::string& path) {
+    trace::TraceDoc doc;
+    if (!load(path, doc)) {
+        return 1;
+    }
+    std::fputs(trace::dump_text(doc).c_str(), stdout);
+    return 0;
+}
+
+int cmd_stats(const std::string& path) {
+    trace::TraceDoc doc;
+    if (!load(path, doc)) {
+        return 1;
+    }
+    std::fputs((trace::accumulate(doc).to_json().dump(2) + "\n").c_str(),
+               stdout);
+    return 0;
+}
+
+int cmd_export(const std::string& path, std::string out_path) {
+    trace::TraceDoc doc;
+    if (!load(path, doc)) {
+        return 1;
+    }
+    if (out_path.empty()) {
+        out_path = path;
+        const auto dot = out_path.rfind(".rtktrace");
+        if (dot != std::string::npos) {
+            out_path.resize(dot);
+        }
+        out_path += ".perfetto.json";
+    }
+    trace::PerfettoExporter exporter;
+    std::ofstream out(out_path);
+    if (!(out << exporter.export_json(doc))) {
+        std::fprintf(stderr, "rtk-trace: cannot write %s\n", out_path.c_str());
+        return 1;
+    }
+    std::printf("wrote %s (%zu events, %zu threads)\n", out_path.c_str(),
+                doc.events.size(), doc.threads.size());
+    return 0;
+}
+
+// ---- selftest ---------------------------------------------------------------
+
+/// A small producer/consumer workload with a timer and an in-run
+/// annotation: enough to exercise every record kind the recorder emits
+/// (defines, state changes, dispatches, wakeups, service sections, idle,
+/// interrupt-context timer handlers, annotation).
+void selftest_workload(Simulation& sim, const harness::ScenarioSpec&) {
+    tkernel::TKernel* tk = &sim.os();
+    auto h = std::make_shared<api::SystemHandles>();
+    api::SystemBuilder b;
+    b.semaphore("work");
+    b.task("producer").priority(10).autostart().body([tk, h] {
+        for (int i = 0; i < 20; ++i) {
+            tk->tk_dly_tsk(2);
+            h->semaphores[0].signal().expect("work signal");
+        }
+        if (trace::Recorder* rec = trace::Recorder::find(tk->sim())) {
+            rec->annotate("selftest: producer done");
+        }
+    });
+    b.task("consumer").priority(5).autostart().body([tk, h] {
+        while (h->semaphores[0].wait().ok()) {
+            tk->sim().SIM_WaitUnits(150, sim::ExecContext::task);
+        }
+    });
+    b.cyclic("pacer").period(7).phase(7).handler([h](void*) {
+        h->semaphores[0].signal().expect("pacer signal");
+    });
+
+    auto sys = std::make_shared<api::System>(sim.os());
+    sim.retain(sys);
+    sim.retain(h);
+    auto spec = std::make_shared<const api::SystemSpec>(std::move(b).take_spec());
+    sim.set_user_main([sys, h, spec] {
+        *h = std::move(api::instantiate(*sys, *spec)).value();
+        h->release_all();
+    });
+}
+
+int fail(const char* what) {
+    std::fprintf(stderr, "rtk-trace selftest: FAILED: %s\n", what);
+    return 1;
+}
+
+int cmd_selftest(const std::string& dir) {
+    const std::string path = dir + "/rtk_trace_selftest.rtktrace";
+
+    harness::ScenarioSpec spec;
+    spec.name = "rtk-trace/selftest";
+    spec.duration = Time::ms(120);
+    spec.workload = &selftest_workload;
+    spec.trace.enabled = true;
+    spec.trace.path = path;
+    const harness::ScenarioResult run = harness::run_scenario(spec);
+    if (!run.passed) {
+        std::fprintf(stderr, "  scenario error: %s\n", run.error.c_str());
+        return fail("traced scenario did not pass");
+    }
+    if (!run.traced || run.trace_events == 0 || run.trace_dropped != 0) {
+        return fail("capture empty or dropped records");
+    }
+
+    trace::TraceDoc doc;
+    if (!load(path, doc)) {
+        return fail("written capture does not parse");
+    }
+    if (!doc.has_footer || doc.recorded_events != run.trace_events) {
+        return fail("footer missing or event count mismatch");
+    }
+    if (doc.threads.size() < 3) {  // producer, consumer, pacer at least
+        return fail("thread defines missing");
+    }
+    bool annotated = false;
+    for (const trace::TraceEvent& e : doc.events) {
+        annotated |= e.kind == trace::EventKind::annotation;
+    }
+    if (!annotated) {
+        return fail("in-run annotation not captured");
+    }
+
+    // Offline metrics must reproduce the online ones (nothing dropped).
+    const trace::Metrics offline = trace::accumulate(doc);
+    if (offline.to_json().dump(-1) != run.metrics.to_json().dump(-1)) {
+        return fail("offline metrics differ from online metrics");
+    }
+
+    // The Perfetto export must be valid JSON with a traceEvents array.
+    trace::PerfettoExporter exporter;
+    const std::string json = exporter.export_json(doc);
+    api::Json parsed;
+    std::string error;
+    if (!api::Json::parse(json, parsed, &error)) {
+        std::fprintf(stderr, "  %s\n", error.c_str());
+        return fail("Perfetto export is not valid JSON");
+    }
+    if (!parsed.has("traceEvents") ||
+        parsed.at("traceEvents").items().empty()) {
+        return fail("Perfetto export has no traceEvents");
+    }
+
+    // And the user-facing commands must run on the capture.
+    if (cmd_dump(path) != 0 || cmd_stats(path) != 0 ||
+        cmd_export(path, dir + "/rtk_trace_selftest.perfetto.json") != 0) {
+        return fail("dump/stats/export on the capture failed");
+    }
+
+    std::printf("rtk-trace selftest: OK (%llu events, %zu threads, %s)\n",
+                static_cast<unsigned long long>(run.trace_events),
+                doc.threads.size(), path.c_str());
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) {
+        return usage();
+    }
+    const std::string cmd = argv[1];
+    if (cmd == "dump" && argc == 3) {
+        return cmd_dump(argv[2]);
+    }
+    if (cmd == "stats" && argc == 3) {
+        return cmd_stats(argv[2]);
+    }
+    if (cmd == "export" && argc >= 4 && std::strcmp(argv[2], "--perfetto") == 0) {
+        std::string out_path;
+        if (argc == 6 && std::strcmp(argv[4], "-o") == 0) {
+            out_path = argv[5];
+        } else if (argc != 4) {
+            return usage();
+        }
+        return cmd_export(argv[3], out_path);
+    }
+    if (cmd == "selftest" && argc <= 3) {
+        return cmd_selftest(argc == 3 ? argv[2] : ".");
+    }
+    return usage();
+}
