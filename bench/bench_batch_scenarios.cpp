@@ -231,11 +231,14 @@ std::vector<ScenarioSpec> make_specs(std::size_t count) {
 
 int main(int argc, char** argv) {
     const std::size_t scenarios =
-        argc > 1 ? static_cast<std::size_t>(std::strtoul(argv[1], nullptr, 10)) : 64;
+        argc > 1 ? static_cast<std::size_t>(
+                       bench::parse_count_or_die(argv[1], "scenarios"))
+                 : 64;
     const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
-    const unsigned workers = argc > 2
-                                 ? static_cast<unsigned>(std::atoi(argv[2]))
-                                 : std::max(4u, std::min(hw, 8u));
+    const unsigned workers =
+        argc > 2
+            ? static_cast<unsigned>(bench::parse_count_or_die(argv[2], "workers"))
+            : std::max(4u, std::min(hw, 8u));
 
     const char* trace_dir = argc > 3 ? argv[3] : nullptr;
 

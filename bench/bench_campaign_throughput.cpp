@@ -1,0 +1,159 @@
+// Campaign-engine throughput: oracle-checked fuzz scenarios per second
+// when the corpus is sharded across worker processes -- the number that
+// says what a wall-clock CI budget buys once campaigns outgrow one
+// process.
+//
+//   $ ./bench_campaign_throughput [seeds] [max_shards]
+//
+// Runs the same campaign at 1, 2 and max_shards shard processes (each
+// in a fresh directory; the workers are fork/exec'd rtk-campaign
+// `shard` verbs), cross-checks that every shard count merges to
+// byte-identical report bytes, and emits BENCH_campaign_throughput.json.
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "harness/campaign.hpp"
+#include "harness/campaign_engine.hpp"
+
+namespace fs = std::filesystem;
+namespace bench = rtk::bench;
+namespace campaign = rtk::harness::campaign;
+using rtk::api::Json;
+
+namespace {
+
+std::string slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string{std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const std::size_t seeds =
+        argc > 1
+            ? static_cast<std::size_t>(bench::parse_count_or_die(argv[1], "seeds"))
+            : 48;
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    const unsigned max_shards =
+        argc > 2 ? static_cast<unsigned>(
+                       bench::parse_count_or_die(argv[2], "max_shards"))
+                 : std::max(2u, std::min(hw, 8u));
+
+    campaign::Manifest m;
+    m.name = "bench-throughput";
+    m.kind = campaign::Kind::fuzz;
+    m.base_seed = 880001;  // disjoint from fuzz-smoke / fuzz-bench blocks
+    m.seeds = seeds;
+    m.both_policies = true;
+
+    std::vector<unsigned> shard_counts{1};
+    if (max_shards >= 2) {
+        shard_counts.push_back(2);
+    }
+    if (max_shards > 2) {
+        shard_counts.push_back(max_shards);
+    }
+
+#ifdef RTK_CAMPAIGN_TOOL
+    const std::string worker = RTK_CAMPAIGN_TOOL;
+#else
+    const std::string worker;  // in-process fallback, still measurable
+#endif
+
+    std::printf("Campaign throughput: %zu seeds x 2 policies (%zu jobs), "
+                "shard counts 1..%u, worker %s\n\n",
+                seeds, static_cast<std::size_t>(m.total_jobs()), max_shards,
+                worker.empty() ? "<in-process>" : worker.c_str());
+
+    const std::string base = "campaign_bench";
+    fs::remove_all(base);
+
+    bench::Table table({"shards", "wall [s]", "scenarios/s", "speedup"});
+    Json results = Json::array();
+    std::string reference_report;
+    double serial_rate = 0.0;
+    bool ok = true;
+
+    for (unsigned shards : shard_counts) {
+        const std::string dir = base + "/s" + std::to_string(shards);
+        std::string error;
+        if (!campaign::init_campaign(dir, m, &error)) {
+            std::fprintf(stderr, "init (%u shards): %s\n", shards,
+                         error.c_str());
+            return 1;
+        }
+
+        campaign::EngineOptions opts;
+        opts.shards = shards;
+        opts.worker_exe = worker;
+        opts.in_process = worker.empty();
+        const bench::WallClock clock;
+        const campaign::EngineResult res = campaign::run_campaign(dir, opts);
+        const double wall = clock.seconds();
+        if (!res.complete || res.shard_failures != 0) {
+            std::fprintf(stderr, "run (%u shards) incomplete: %s\n", shards,
+                         res.error.c_str());
+            ok = false;
+        }
+        if (!campaign::merge_campaign(dir, "", &error)) {
+            std::fprintf(stderr, "merge (%u shards): %s\n", shards,
+                         error.c_str());
+            return 1;
+        }
+
+        // Sharding must never change the result bytes, only the wall time.
+        const std::string report = slurp(campaign::report_path(dir));
+        if (reference_report.empty()) {
+            reference_report = report;
+        } else if (report != reference_report) {
+            std::fprintf(stderr,
+                         "report at %u shards differs from 1-shard bytes\n",
+                         shards);
+            ok = false;
+        }
+
+        const double rate =
+            wall > 0.0 ? static_cast<double>(res.done_jobs) / wall : 0.0;
+        if (shards == 1) {
+            serial_rate = rate;
+        }
+        const double speedup = serial_rate > 0.0 ? rate / serial_rate : 0.0;
+        table.add_row({std::to_string(shards), bench::fmt(wall, 3),
+                       bench::fmt(rate, 1), bench::fmt(speedup) + "x"});
+
+        Json row = Json::object();
+        row.set("shards", Json::number(shards));
+        row.set("jobs", Json::number(res.done_jobs));
+        row.set("wall_seconds", Json::number_real(wall));
+        row.set("scenarios_per_second", Json::number_real(rate));
+        row.set("speedup_vs_one_shard", Json::number_real(speedup));
+        results.push(std::move(row));
+    }
+    table.print();
+
+    Json doc = Json::object();
+    doc.set("bench", Json::string("campaign_throughput"));
+    doc.set("meta", bench::meta_json_doc());
+    doc.set("seeds", Json::number(seeds));
+    doc.set("jobs", Json::number(m.total_jobs()));
+    doc.set("hardware_concurrency", Json::number(hw));
+    doc.set("forked_workers", Json::boolean(!worker.empty()));
+    doc.set("reports_byte_identical", Json::boolean(ok));
+    doc.set("results", std::move(results));
+    {
+        std::ofstream out("BENCH_campaign_throughput.json");
+        out << doc.dump(2) << "\n";
+    }
+    std::puts("\n  wrote BENCH_campaign_throughput.json");
+
+    fs::remove_all(base);
+    return ok ? 0 : 1;
+}

@@ -28,14 +28,19 @@ namespace bench = rtk::bench;
 
 int main(int argc, char** argv) {
     const std::size_t per_workload =
-        argc > 1 ? static_cast<std::size_t>(std::strtoul(argv[1], nullptr, 10))
-                 : 528;
+        argc > 1
+            ? static_cast<std::size_t>(
+                  bench::parse_count_or_die(argv[1], "injections-per-workload"))
+            : 528;
     const std::size_t corpus =
-        argc > 2 ? static_cast<std::size_t>(std::strtoul(argv[2], nullptr, 10))
-                 : 20;
+        argc > 2
+            ? static_cast<std::size_t>(bench::parse_count_or_die(argv[2], "corpus"))
+            : 20;
     const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
-    const unsigned workers = argc > 3 ? static_cast<unsigned>(std::atoi(argv[3]))
-                                      : std::min(hw, 16u);
+    const unsigned workers =
+        argc > 3
+            ? static_cast<unsigned>(bench::parse_count_or_die(argv[3], "workers"))
+            : std::min(hw, 16u);
 
     CampaignOptions opts;
     opts.base_seed = 880001;  // disjoint from the fuzz bench/smoke blocks

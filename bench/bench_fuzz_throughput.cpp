@@ -22,11 +22,14 @@ namespace bench = rtk::bench;
 
 int main(int argc, char** argv) {
     const std::size_t seeds =
-        argc > 1 ? static_cast<std::size_t>(std::strtoul(argv[1], nullptr, 10))
-                 : 150;
+        argc > 1
+            ? static_cast<std::size_t>(bench::parse_count_or_die(argv[1], "seeds"))
+            : 150;
     const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
-    const unsigned workers = argc > 2 ? static_cast<unsigned>(std::atoi(argv[2]))
-                                      : std::max(4u, std::min(hw, 8u));
+    const unsigned workers =
+        argc > 2
+            ? static_cast<unsigned>(bench::parse_count_or_die(argv[2], "workers"))
+            : std::max(4u, std::min(hw, 8u));
 
     FuzzOptions opts;
     opts.base_seed = 970001;  // disjoint from the fuzz-smoke block

@@ -81,12 +81,14 @@ BatchReport run_leg(const std::vector<fuzz::FuzzSpec>& workloads,
 
 int main(int argc, char** argv) {
     const std::size_t scenarios =
-        argc > 1 ? static_cast<std::size_t>(std::strtoul(argv[1], nullptr, 10))
+        argc > 1 ? static_cast<std::size_t>(
+                       bench::parse_count_or_die(argv[1], "scenarios"))
                  : 48;
     const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
-    const unsigned threads = argc > 2
-                                 ? static_cast<unsigned>(std::atoi(argv[2]))
-                                 : std::max(2u, std::min(hw, 4u));
+    const unsigned threads =
+        argc > 2
+            ? static_cast<unsigned>(bench::parse_count_or_die(argv[2], "threads"))
+            : std::max(2u, std::min(hw, 4u));
 
     std::printf("Trace overhead: %zu fuzz scenarios, %u threads, "
                 "best of %d runs per leg\n\n",

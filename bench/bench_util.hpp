@@ -5,7 +5,9 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -72,6 +74,43 @@ inline std::string fmt(double v, int prec = 2) {
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
     return buf;
+}
+
+// ---- CLI argument parsing ---------------------------------------------------
+
+/// Parse a non-negative decimal count argument strictly: leading sign,
+/// trailing junk ("12x"), empty strings and overflow all fail instead of
+/// silently truncating the run (atoi("1e6") is 1, atoi("x") is 0 -- both
+/// have burnt real bench time before anyone noticed). On success `out`
+/// holds the value; on failure `out` is untouched.
+inline bool parse_count(const char* arg, std::uint64_t& out) {
+    if (arg == nullptr || *arg == '\0') {
+        return false;
+    }
+    std::uint64_t value = 0;
+    for (const char* p = arg; *p != '\0'; ++p) {
+        if (*p < '0' || *p > '9') {
+            return false;
+        }
+        const std::uint64_t digit = static_cast<std::uint64_t>(*p - '0');
+        if (value > (UINT64_MAX - digit) / 10) {
+            return false;  // overflow
+        }
+        value = value * 10 + digit;
+    }
+    out = value;
+    return true;
+}
+
+/// parse_count() or die with a usage message naming the flag.
+inline std::uint64_t parse_count_or_die(const char* arg, const char* what) {
+    std::uint64_t value = 0;
+    if (!parse_count(arg, value)) {
+        std::fprintf(stderr, "invalid %s: '%s' (expected a non-negative integer)\n",
+                     what, arg == nullptr ? "" : arg);
+        std::exit(2);
+    }
+    return value;
 }
 
 // ---- BENCH_*.json provenance metadata ---------------------------------------

@@ -39,10 +39,40 @@ def load(path):
         return None
 
 
+def campaign_speedup(doc):
+    """Best shard speedup in a BENCH_campaign_throughput.json, or None.
+
+    Derived here rather than trusted from the file so the comparison
+    works even across revisions that changed what the bench emits: the
+    1-shard row is the baseline, the best scenarios_per_second at >1
+    shards is the numerator.
+    """
+    rows = doc.get("results")
+    if not isinstance(rows, list):
+        return None
+    base = None
+    best = None
+    for row in rows:
+        rate = row.get("scenarios_per_second")
+        if not isinstance(rate, (int, float)) or isinstance(rate, bool):
+            continue
+        if row.get("shards") == 1:
+            base = rate
+        else:
+            best = rate if best is None else max(best, rate)
+    if not base or best is None:
+        return None
+    return best / base
+
+
 def compare_file(old_path, new_path):
     old_doc, new_doc = load(old_path), load(new_path)
     if old_doc is None or new_doc is None:
         return
+    if new_path.name == "BENCH_campaign_throughput.json":
+        old_s, new_s = campaign_speedup(old_doc), campaign_speedup(new_doc)
+        if old_s is not None and new_s is not None:
+            print(f"  derived shard speedup: {old_s:.2f}x -> {new_s:.2f}x")
     old_fields = dict(flatten(old_doc))
     new_fields = dict(flatten(new_doc))
     shared = sorted(set(old_fields) & set(new_fields))

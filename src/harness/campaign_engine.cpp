@@ -1,0 +1,349 @@
+#include "harness/campaign_engine.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <utility>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "harness/campaign_store.hpp"
+#include "sysc/fsio.hpp"
+
+namespace rtk::harness::campaign {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool fail(std::string* error, const std::string& what) {
+    if (error != nullptr) {
+        *error = what;
+    }
+    return false;
+}
+
+/// Parse a runlist: one decimal job id per line (whitespace tolerated,
+/// junk lines skipped -- the file is written atomically so junk means
+/// someone edited it by hand).
+std::vector<std::uint64_t> read_runlist(const std::string& path) {
+    std::vector<std::uint64_t> ids;
+    std::ifstream in(path, std::ios::binary);
+    std::string line;
+    while (std::getline(in, line)) {
+        char* end = nullptr;
+        const unsigned long long v = std::strtoull(line.c_str(), &end, 10);
+        if (end != line.c_str()) {
+            ids.push_back(v);
+        }
+    }
+    return ids;
+}
+
+/// Next unused round index: one past the highest round_NNN.list present.
+unsigned next_round_index(const std::string& dir) {
+    unsigned next = 0;
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(dir, ec)) {
+        const std::string name = entry.path().filename().string();
+        unsigned round = 0;
+        if (std::sscanf(name.c_str(), "round_%u.list", &round) == 1 &&
+            name.size() == std::string("round_000.list").size()) {
+            next = std::max(next, round + 1);
+        }
+    }
+    return next;
+}
+
+unsigned default_shards() {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 2 : hw;
+}
+
+}  // namespace
+
+// ---- shard worker -----------------------------------------------------------
+
+int run_shard(const std::string& dir, unsigned shard_id,
+              const std::string& runlist) {
+    Manifest m;
+    std::string error;
+    if (!load_manifest(dir, m, &error)) {
+        std::fprintf(stderr, "shard %u: %s\n", shard_id, error.c_str());
+        return 2;
+    }
+    std::vector<Job> jobs;
+    if (!load_jobs(dir, jobs, &error)) {
+        std::fprintf(stderr, "shard %u: %s\n", shard_id, error.c_str());
+        return 2;
+    }
+    const std::vector<std::uint64_t> ids = read_runlist(runlist);
+    if (ids.empty()) {
+        return 0;  // nothing to do is a clean exit
+    }
+
+    // The store file is derived from the runlist name so every (round,
+    // shard) pair gets a fresh file: resuming never appends to a file a
+    // crash may have torn.
+    const std::string stem = fs::path(runlist).stem().string();
+    const std::string store_file =
+        shards_dir(dir) + "/" + stem + "_s" + std::to_string(shard_id) +
+        ".jsonl";
+    JsonlAppender store;
+    if (!store.open(store_file, m.flush_every, &error)) {
+        std::fprintf(stderr, "shard %u: %s\n", shard_id, error.c_str());
+        return 2;
+    }
+    ClaimQueue queue;
+    if (!queue.open(cursor_path(runlist), &error)) {
+        std::fprintf(stderr, "shard %u: %s\n", shard_id, error.c_str());
+        return 2;
+    }
+
+    BaselineCache cache;
+    std::uint64_t begin = 0, end = 0;
+    while (queue.claim(ids.size(), m.claim_batch, begin, end)) {
+        for (std::uint64_t k = begin; k < end; ++k) {
+            const std::uint64_t id = ids[k];
+            if (id >= jobs.size()) {
+                std::fprintf(stderr, "shard %u: runlist id %llu out of range\n",
+                             shard_id,
+                             static_cast<unsigned long long>(id));
+                continue;
+            }
+            store.append(run_job(m, jobs[id], cache).dump(-1));
+        }
+    }
+    return store.close() ? 0 : 2;
+}
+
+// ---- round bookkeeping ------------------------------------------------------
+
+bool prepare_round(const std::string& dir, Round& out, std::string* error) {
+    std::vector<Job> jobs;
+    if (!load_jobs(dir, jobs, error)) {
+        return false;
+    }
+    StoreScan scan;
+    if (!scan_stores(dir, scan, error)) {
+        return false;
+    }
+    Round round;
+    for (const Job& job : jobs) {
+        if (scan.records.find(job.id) == scan.records.end()) {
+            round.pending.push_back(job.id);
+        }
+    }
+    if (round.pending.empty()) {
+        out = std::move(round);
+        return true;
+    }
+    round.index = next_round_index(dir);
+    round.runlist = runlist_path(dir, round.index);
+    std::string lines;
+    for (const std::uint64_t id : round.pending) {
+        lines += std::to_string(id);
+        lines += '\n';
+    }
+    // Durable: after a power cut mid-round, resume must see either this
+    // complete runlist or none -- a partial one would silently shrink
+    // the round.
+    if (!sysc::write_file_atomic(round.runlist, lines, error,
+                                 /*durable=*/true)) {
+        return false;
+    }
+    if (!sysc::write_file_atomic(cursor_path(round.runlist), "0\n", error)) {
+        return false;
+    }
+    out = std::move(round);
+    return true;
+}
+
+long spawn_shard(const std::string& exe, const std::string& dir,
+                 unsigned shard_id, const std::string& runlist,
+                 std::string* error) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        fail(error, std::string("fork: ") + std::strerror(errno));
+        return -1;
+    }
+    if (pid == 0) {
+        const std::string id = std::to_string(shard_id);
+        ::execl(exe.c_str(), exe.c_str(), "shard", dir.c_str(), "--id",
+                id.c_str(), "--runlist", runlist.c_str(),
+                static_cast<char*>(nullptr));
+        std::fprintf(stderr, "exec %s: %s\n", exe.c_str(),
+                     std::strerror(errno));
+        ::_exit(127);
+    }
+    return pid;
+}
+
+bool wait_shard(long pid, std::string* status) {
+    int st = 0;
+    while (::waitpid(static_cast<pid_t>(pid), &st, 0) < 0) {
+        if (errno != EINTR) {
+            if (status != nullptr) {
+                *status = std::string("waitpid: ") + std::strerror(errno);
+            }
+            return false;
+        }
+    }
+    if (WIFEXITED(st) && WEXITSTATUS(st) == 0) {
+        return true;
+    }
+    if (status != nullptr) {
+        *status = WIFSIGNALED(st)
+                      ? "signal " + std::to_string(WTERMSIG(st))
+                      : "exit " + std::to_string(WIFEXITED(st)
+                                                     ? WEXITSTATUS(st)
+                                                     : st);
+    }
+    return false;
+}
+
+std::string self_executable() {
+    char buf[4096];
+    const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+    if (n <= 0) {
+        return std::string();
+    }
+    buf[n] = '\0';
+    return std::string(buf);
+}
+
+// ---- engine -----------------------------------------------------------------
+
+EngineResult run_campaign(const std::string& dir, const EngineOptions& opts) {
+    EngineResult res;
+    std::vector<Job> jobs;
+    if (!load_jobs(dir, jobs, &res.error)) {
+        return res;
+    }
+    res.total_jobs = jobs.size();
+
+    std::string exe = opts.worker_exe;
+    if (!opts.in_process && exe.empty()) {
+        exe = self_executable();
+        if (exe.empty()) {
+            res.error = "cannot resolve /proc/self/exe; pass worker_exe or "
+                        "use in_process";
+            return res;
+        }
+    }
+    const unsigned shards = opts.shards == 0 ? default_shards() : opts.shards;
+
+    std::size_t last_pending = jobs.size() + 1;
+    for (std::size_t r = 0; r < opts.max_rounds; ++r) {
+        Round round;
+        if (!prepare_round(dir, round, &res.error)) {
+            return res;
+        }
+        res.done_jobs = res.total_jobs - round.pending.size();
+        if (round.pending.empty()) {
+            res.complete = true;
+            return res;
+        }
+        if (round.pending.size() >= last_pending) {
+            // A full round ran and not one job finished: the jobs
+            // themselves must be failing before they reach the store.
+            res.error = "round made no progress (" +
+                        std::to_string(round.pending.size()) +
+                        " jobs still pending)";
+            return res;
+        }
+        last_pending = round.pending.size();
+        ++res.rounds;
+
+        const unsigned workers = static_cast<unsigned>(
+            std::min<std::size_t>(shards, round.pending.size()));
+        if (opts.verbose) {
+            std::fprintf(stderr,
+                         "campaign: round %u, %zu pending, %u shard(s)\n",
+                         round.index, round.pending.size(), workers);
+        }
+        if (opts.in_process) {
+            for (unsigned s = 0; s < workers; ++s) {
+                if (run_shard(dir, s, round.runlist) != 0) {
+                    ++res.shard_failures;
+                }
+            }
+        } else {
+            std::vector<long> pids;
+            pids.reserve(workers);
+            for (unsigned s = 0; s < workers; ++s) {
+                std::string spawn_error;
+                const long pid =
+                    spawn_shard(exe, dir, s, round.runlist, &spawn_error);
+                if (pid < 0) {
+                    ++res.shard_failures;
+                    if (opts.verbose) {
+                        std::fprintf(stderr, "campaign: %s\n",
+                                     spawn_error.c_str());
+                    }
+                } else {
+                    pids.push_back(pid);
+                }
+            }
+            for (const long pid : pids) {
+                std::string status;
+                if (!wait_shard(pid, &status)) {
+                    ++res.shard_failures;
+                    if (opts.verbose) {
+                        std::fprintf(stderr, "campaign: shard died (%s)\n",
+                                     status.c_str());
+                    }
+                }
+            }
+        }
+    }
+
+    // Out of rounds: report how far we got.
+    Round final_round;
+    if (prepare_round(dir, final_round, &res.error)) {
+        res.done_jobs = res.total_jobs - final_round.pending.size();
+        res.complete = final_round.pending.empty();
+        if (!res.complete && res.error.empty()) {
+            res.error = "job budget exhausted after " +
+                        std::to_string(opts.max_rounds) + " rounds";
+        }
+    }
+    return res;
+}
+
+// ---- status -----------------------------------------------------------------
+
+CampaignStatus query_status(const std::string& dir) {
+    CampaignStatus st;
+    if (!load_manifest(dir, st.manifest, &st.error)) {
+        return st;
+    }
+    st.total_jobs = st.manifest.total_jobs();
+    StoreScan scan;
+    if (!scan_stores(dir, scan, &st.error)) {
+        return st;
+    }
+    st.done_jobs = scan.records.size();
+    st.store_files = scan.store_files;
+    st.skipped_lines = scan.skipped_lines;
+    st.duplicates = scan.duplicates;
+    for (const auto& [id, rec] : scan.records) {
+        if (rec.at("skipped").as_bool()) {
+            ++st.tallies["skipped"];
+        } else if (st.manifest.kind == Kind::fuzz) {
+            ++st.tallies[rec.at("verdict").as_string()];
+        } else {
+            ++st.tallies[rec.at("outcome").as_string()];
+        }
+    }
+    st.ok = true;
+    return st;
+}
+
+}  // namespace rtk::harness::campaign

@@ -1,0 +1,113 @@
+// The process-level half of the campaign engine: fan a campaign
+// directory's pending jobs out across shard *processes* and survive any
+// of them dying.
+//
+// One execution round:
+//
+//   1. scan the shard stores, diff against the job list -> pending ids
+//   2. write round_NNN.list (atomic+durable) + its zeroed cursor
+//   3. fork/exec `shards` workers:  <exe> shard <dir> --id K --runlist F
+//   4. each worker leases id batches from the shared ClaimQueue cursor
+//      and appends result records to its own fresh store file
+//   5. waitpid() all workers; a non-zero or signalled exit is counted,
+//      not fatal
+//
+// Rounds repeat until no job is pending (or a round makes no progress,
+// which means the corpus itself is broken). Because a killed worker
+// only loses records it never flushed, `resume` is the same loop: the
+// next round's runlist simply contains fewer ids. The merged report is
+// a pure function of the accumulated records (campaign.hpp), so an
+// interrupted-and-resumed campaign reports byte-identically to an
+// uninterrupted one.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/campaign.hpp"
+
+namespace rtk::harness::campaign {
+
+// ---- shard worker -----------------------------------------------------------
+
+/// Worker-process entry point (the `shard` verb of rtk-campaign): lease
+/// job-id batches from the round's shared cursor, run each job, stream
+/// records into this shard's store file. Returns a process exit code
+/// (0 = clean, including "queue already drained").
+int run_shard(const std::string& dir, unsigned shard_id,
+              const std::string& runlist);
+
+// ---- engine -----------------------------------------------------------------
+
+struct EngineOptions {
+    /// Shard processes per round (0 = hardware concurrency).
+    unsigned shards = 0;
+    /// Worker executable; must implement the `shard` verb above. Empty =
+    /// this very executable (self_executable()).
+    std::string worker_exe;
+    /// Safety valve: give up after this many rounds even if jobs remain.
+    std::size_t max_rounds = 8;
+    /// Run shard workers serially in-process instead of fork/exec --
+    /// for environments without /proc/self/exe or a worker binary.
+    bool in_process = false;
+    bool verbose = false;
+};
+
+struct EngineResult {
+    bool complete = false;       ///< every job has a record
+    std::size_t rounds = 0;      ///< rounds executed by this invocation
+    std::size_t total_jobs = 0;
+    std::size_t done_jobs = 0;   ///< jobs with a record after the last round
+    std::size_t shard_failures = 0;  ///< workers that exited dirty
+    std::string error;           ///< empty unless the engine itself failed
+};
+
+/// Run -- or resume, the two are the same loop -- the campaign in `dir`.
+EngineResult run_campaign(const std::string& dir, const EngineOptions& opts);
+
+// ---- round bookkeeping (exposed for the crash-recovery suite) --------------
+
+struct Round {
+    unsigned index = 0;
+    std::string runlist;            ///< round_NNN.list (written, durable)
+    std::vector<std::uint64_t> pending;  ///< job ids still missing records
+};
+
+/// Diff stores against the job list and write the next round's runlist +
+/// zeroed cursor. `out.pending` empty means the campaign is complete
+/// (no files are written then).
+bool prepare_round(const std::string& dir, Round& out,
+                   std::string* error = nullptr);
+
+/// fork/exec one shard worker; returns the pid, or -1 with `*error` set.
+long spawn_shard(const std::string& exe, const std::string& dir,
+                 unsigned shard_id, const std::string& runlist,
+                 std::string* error = nullptr);
+
+/// Block until `pid` exits. True for a clean exit 0; otherwise `*status`
+/// (when given) describes the death ("exit 3", "signal 9").
+bool wait_shard(long pid, std::string* status = nullptr);
+
+/// This process's executable path (/proc/self/exe), empty on failure.
+std::string self_executable();
+
+// ---- status -----------------------------------------------------------------
+
+struct CampaignStatus {
+    bool ok = false;
+    std::string error;
+    Manifest manifest;
+    std::size_t total_jobs = 0;
+    std::size_t done_jobs = 0;
+    std::size_t store_files = 0;
+    std::size_t skipped_lines = 0;
+    std::size_t duplicates = 0;
+    /// Outcome/verdict tallies ("masked", "ok", "mismatch", "skipped"...).
+    std::map<std::string, std::size_t> tallies;
+};
+
+CampaignStatus query_status(const std::string& dir);
+
+}  // namespace rtk::harness::campaign

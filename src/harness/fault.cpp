@@ -1,12 +1,15 @@
 #include "harness/fault.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
-#include <fstream>
 #include <utility>
 
+#include "harness/campaign.hpp"
+#include "harness/campaign_store.hpp"
 #include "harness/fuzz_rng.hpp"
 #include "sim/observer.hpp"
+#include "sysc/fsio.hpp"
 #include "tkernel/kernel.hpp"
 #include "trace/recorder.hpp"
 
@@ -595,12 +598,7 @@ std::string CampaignReport::to_json() const {
 }
 
 bool CampaignReport::write_json(const std::string& path) const {
-    std::ofstream out(path);
-    if (!out) {
-        return false;
-    }
-    out << to_json();
-    return static_cast<bool>(out);
+    return sysc::write_file_atomic(path, to_json());
 }
 
 CampaignReport run_fault_campaign(const CampaignOptions& opts) {
@@ -669,66 +667,94 @@ CampaignReport run_fault_campaign(const CampaignOptions& opts) {
         }
     }
 
-    // 3. Build every injection and run the batch through the runner.
-    // With trace_dir set, every run records into an in-memory ring
-    // (keep_bytes) and the campaign writes only the interesting captures
-    // to disk after classification.
+    // 3. Build, run and classify injections in bounded chunks: only one
+    // chunk's scenarios -- and their retained trace rings -- are alive
+    // at a time. With trace_dir set, every run records into an in-memory
+    // ring (keep_bytes) and the campaign writes only the interesting
+    // captures to disk after classification. With store_dir set, each
+    // classified injection streams into the append-only JSONL store
+    // before the next chunk starts, so a crash loses at most one chunk.
     const bool tracing = !opts.trace_dir.empty();
     TraceConfig tcfg;
     tcfg.enabled = tracing;
     tcfg.buffer_bytes = opts.trace_buffer_bytes;
     tcfg.keep_bytes = true;
-    std::vector<BuiltInjection> built;
-    std::vector<ScenarioSpec> scenarios;
-    built.reserve(faults.size());
-    scenarios.reserve(faults.size());
-    for (const FaultSpec& f : faults) {
-        built.push_back(build_injection(f, /*with_fault=*/true, tcfg));
-        scenarios.push_back(built.back().scenario);
-    }
     ScenarioRunner runner(ScenarioRunner::Options{opts.threads});
-    const BatchReport batch = runner.run(scenarios);
 
-    // 4. Classify and aggregate the heat-map.
-    for (std::size_t i = 0; i < faults.size(); ++i) {
-        const InjectionResult r =
-            harvest(built[i], batch.results[i], baselines[workload_of[i]]);
-        ++rep.injections;
-        rep.injected += r.injected ? 1 : 0;
-        rep.diverged += r.diverged ? 1 : 0;
-        ++rep.outcomes[static_cast<std::size_t>(r.outcome)];
-        rep.heat[r.service_call][to_string(faults[i].cls)].add(r.outcome);
-        const ScenarioResult& run = batch.results[i];
-        if (run.traced) {
-            ++rep.traced_runs;
-            rep.trace_metrics.merge_counters(run.metrics);
+    campaign::JsonlAppender store;
+    if (!opts.store_dir.empty()) {
+        std::string store_error;
+        if (!store.open(opts.store_dir + "/results.jsonl",
+                        /*flush_every=*/8, &store_error)) {
+            std::fprintf(stderr, "fault campaign: store disabled: %s\n",
+                         store_error.c_str());
         }
-        const bool keep = r.outcome != Outcome::masked;
-        std::string trace_path;
-        if (keep && tracing && !run.trace_data.empty() &&
-            rep.trace_paths.size() < opts.max_repros) {
-            char tname[64];
-            std::snprintf(tname, sizeof(tname), "fault_repro_%03zu.rtktrace", i);
-            trace_path = opts.trace_dir + "/" + tname;
-            std::ofstream tout(trace_path, std::ios::binary);
-            if (tout.write(run.trace_data.data(),
-                           static_cast<std::streamsize>(run.trace_data.size()))) {
-                rep.trace_paths.push_back(trace_path);
-            } else {
-                trace_path.clear();
+    }
+
+    const std::size_t chunk = opts.chunk == 0 ? faults.size() : opts.chunk;
+    for (std::size_t chunk_begin = 0; chunk_begin < faults.size();
+         chunk_begin += chunk) {
+        const std::size_t chunk_end =
+            std::min(faults.size(), chunk_begin + chunk);
+        std::vector<BuiltInjection> built;
+        std::vector<ScenarioSpec> scenarios;
+        built.reserve(chunk_end - chunk_begin);
+        scenarios.reserve(chunk_end - chunk_begin);
+        for (std::size_t i = chunk_begin; i < chunk_end; ++i) {
+            built.push_back(build_injection(faults[i], /*with_fault=*/true, tcfg));
+            scenarios.push_back(built.back().scenario);
+        }
+        const BatchReport batch = runner.run(scenarios);
+
+        // 4. Classify and aggregate the heat-map.
+        for (std::size_t i = chunk_begin; i < chunk_end; ++i) {
+            const std::size_t k = i - chunk_begin;
+            const InjectionResult r =
+                harvest(built[k], batch.results[k], baselines[workload_of[i]]);
+            ++rep.injections;
+            rep.injected += r.injected ? 1 : 0;
+            rep.diverged += r.diverged ? 1 : 0;
+            ++rep.outcomes[static_cast<std::size_t>(r.outcome)];
+            rep.heat[r.service_call][to_string(faults[i].cls)].add(r.outcome);
+            const ScenarioResult& run = batch.results[k];
+            if (run.traced) {
+                ++rep.traced_runs;
+                rep.trace_metrics.merge_counters(run.metrics);
+            }
+            const bool keep = r.outcome != Outcome::masked;
+            std::string trace_path;
+            if (keep && tracing && !run.trace_data.empty() &&
+                rep.trace_paths.size() < opts.max_repros) {
+                char tname[64];
+                std::snprintf(tname, sizeof(tname), "fault_repro_%03zu.rtktrace",
+                              i);
+                trace_path = opts.trace_dir + "/" + tname;
+                if (sysc::write_file_atomic(trace_path, run.trace_data)) {
+                    rep.trace_paths.push_back(trace_path);
+                } else {
+                    trace_path.clear();
+                }
+            }
+            if (keep && !opts.repro_dir.empty() &&
+                rep.repro_paths.size() < opts.max_repros) {
+                char fname[64];
+                std::snprintf(fname, sizeof(fname), "fault_repro_%03zu.json", i);
+                const std::string path = opts.repro_dir + "/" + fname;
+                if (sysc::write_file_atomic(path,
+                                            make_repro_json(faults[i], r,
+                                                            trace_path))) {
+                    rep.repro_paths.push_back(path);
+                }
+            }
+            if (store.is_open()) {
+                store.append(
+                    campaign::fault_result_record(i, faults[i], r).dump(-1));
             }
         }
-        if (keep && !opts.repro_dir.empty() &&
-            rep.repro_paths.size() < opts.max_repros) {
-            char fname[64];
-            std::snprintf(fname, sizeof(fname), "fault_repro_%03zu.json", i);
-            const std::string path = opts.repro_dir + "/" + fname;
-            std::ofstream out(path);
-            if (out) {
-                out << make_repro_json(faults[i], r, trace_path);
-                rep.repro_paths.push_back(path);
-            }
-        }
+    }
+    if (store.is_open() && !store.close()) {
+        std::fprintf(stderr, "fault campaign: store close failed: %s\n",
+                     store.path().c_str());
     }
 
     rep.wall_seconds =

@@ -207,6 +207,15 @@ struct CampaignOptions {
     /// Per-run ring budget for campaign traces (kept deliberately small:
     /// every in-flight injection holds its capture until classification).
     std::size_t trace_buffer_bytes = std::size_t{256} << 10;
+    /// When non-empty, stream one JSONL record per classified injection
+    /// into `<store_dir>/results.jsonl` (append-only, fsync'd in
+    /// batches) as the campaign runs -- a crash leaves every record
+    /// classified so far on disk instead of losing the whole report.
+    std::string store_dir;
+    /// Injections built/run/classified per ScenarioRunner batch. Bounds
+    /// how many scenarios (and retained trace rings) are in memory at
+    /// once and how much work a crash can lose. 0 = one batch.
+    std::size_t chunk = 256;
     fuzz::GenParams params;
 };
 

@@ -3,15 +3,17 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
-#include <fstream>
 #include <memory>
 #include <thread>
 #include <utility>
 
 #include "api/builder.hpp"
 #include "api/error.hpp"
+#include "harness/campaign.hpp"
+#include "harness/campaign_store.hpp"
 #include "harness/runner.hpp"
 #include "harness/simulation.hpp"
+#include "sysc/fsio.hpp"
 #include "sysc/report.hpp"
 #include "tkernel/tkernel.hpp"
 
@@ -981,6 +983,16 @@ FuzzReport run_fuzz_campaign(const FuzzOptions& opts) {
 
     report.runs = 2 * specs.size();
 
+    campaign::JsonlAppender store;
+    if (!opts.store_dir.empty()) {
+        std::string store_error;
+        if (!store.open(opts.store_dir + "/results.jsonl",
+                        /*flush_every=*/8, &store_error)) {
+            std::fprintf(stderr, "fuzz campaign: store disabled: %s\n",
+                         store_error.c_str());
+        }
+    }
+
     for (std::size_t i = 0; i < specs.size(); ++i) {
         SpecVerdict v;
         v.serial_fingerprint = serial_report.results[i].fingerprint;
@@ -989,6 +1001,10 @@ FuzzReport run_fuzz_campaign(const FuzzOptions& opts) {
         absorb_leg(v, parallel_report.results[i], *parallel[i].oracle);
         v.mismatch = v.serial_fingerprint != v.parallel_fingerprint;
         report.oracle_events += serial[i].oracle->events;
+        if (store.is_open()) {
+            store.append(
+                campaign::fuzz_result_record(i, specs[i], v).dump(-1));
+        }
         if (v.ok()) {
             continue;
         }
@@ -1019,10 +1035,7 @@ FuzzReport run_fuzz_campaign(const FuzzOptions& opts) {
                                      std::to_string(specs[i].seed) +
                                      (specs[i].round_robin ? "_rr" : "_pp");
             fail.repro_path = stem + ".json";
-            std::ofstream out(fail.repro_path);
-            if (out) {
-                out << fail.repro_json;
-            } else {
+            if (!sysc::write_file_atomic(fail.repro_path, fail.repro_json)) {
                 fail.repro_path.clear();
             }
             if (opts.trace_failures) {
@@ -1037,6 +1050,10 @@ FuzzReport run_fuzz_campaign(const FuzzOptions& opts) {
             }
         }
         report.failures.push_back(std::move(fail));
+    }
+    if (store.is_open() && !store.close()) {
+        std::fprintf(stderr, "fuzz campaign: store close failed: %s\n",
+                     store.path().c_str());
     }
 
     report.wall_seconds =

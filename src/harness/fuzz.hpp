@@ -117,6 +117,10 @@ struct FuzzOptions {
     /// Needs repro_dir; off by default (failures are rare, the re-run
     /// is one extra simulation per failure).
     bool trace_failures = false;
+    /// When non-empty, stream one JSONL record per classified spec into
+    /// `<store_dir>/results.jsonl` (append-only, fsync'd in batches) --
+    /// the same record schema the sharded campaign engine writes.
+    std::string store_dir;
     GenParams params;
 };
 

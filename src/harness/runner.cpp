@@ -5,10 +5,10 @@
 #include <cstdint>
 #include <cstdio>
 #include <exception>
-#include <fstream>
 #include <thread>
 
 #include "api/json.hpp"
+#include "sysc/fsio.hpp"
 
 namespace rtk::harness {
 
@@ -125,12 +125,7 @@ std::string BatchReport::to_json() const {
 }
 
 bool BatchReport::write_json(const std::string& path) const {
-    std::ofstream out(path);
-    if (!out) {
-        return false;
-    }
-    out << to_json();
-    return static_cast<bool>(out);
+    return sysc::write_file_atomic(path, to_json());
 }
 
 // ---- ScenarioRunner ---------------------------------------------------------

@@ -1,0 +1,86 @@
+#include "sysc/fsio.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace rtk::sysc {
+
+namespace {
+
+bool fail(std::string* error, const std::string& what) {
+    if (error != nullptr) {
+        *error = what;
+    }
+    return false;
+}
+
+/// fsync an already-written file by path. Separate open instead of
+/// threading a descriptor through std::ofstream keeps the writer
+/// portable C++ and the durability hook POSIX-local.
+bool sync_file(const std::string& path) {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+        return false;
+    }
+    const bool ok = ::fsync(fd) == 0;
+    ::close(fd);
+    return ok;
+}
+
+}  // namespace
+
+std::string parent_directory(const std::string& path) {
+    const auto slash = path.find_last_of('/');
+    if (slash == std::string::npos) {
+        return ".";
+    }
+    if (slash == 0) {
+        return "/";
+    }
+    return path.substr(0, slash);
+}
+
+bool sync_directory(const std::string& dir) {
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (fd < 0) {
+        return false;
+    }
+    const bool ok = ::fsync(fd) == 0;
+    ::close(fd);
+    return ok;
+}
+
+bool write_file_atomic(const std::string& path, std::string_view bytes,
+                       std::string* error, bool durable) {
+    const std::string tmp =
+        path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            return fail(error, "cannot open " + tmp + " for writing");
+        }
+        out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+        out.flush();
+        if (!out) {
+            std::remove(tmp.c_str());
+            return fail(error, "short write to " + tmp);
+        }
+    }
+    if (durable && !sync_file(tmp)) {
+        std::remove(tmp.c_str());
+        return fail(error, "cannot fsync " + tmp);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return fail(error, "cannot rename " + tmp + " over " + path);
+    }
+    if (durable) {
+        sync_directory(parent_directory(path));  // best effort
+    }
+    return true;
+}
+
+}  // namespace rtk::sysc

@@ -1,0 +1,35 @@
+// Crash-safe host filesystem helpers shared by every artifact writer in
+// the tree (batch/campaign reports, fuzz/fault repro dumps, .rtktrace
+// captures, campaign manifests).
+//
+// The core primitive is write-via-temp-then-rename: the payload lands in
+// `<path>.tmp.<pid>` first and is moved over `path` only after the
+// stream state has been checked, so a process killed mid-write never
+// leaves a torn artifact where a restart expects a complete one -- the
+// old file (if any) survives intact, or no file exists at all.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace rtk::sysc {
+
+/// Atomically replace `path` with `bytes` (binary-exact). Writes a
+/// sibling temp file, verifies the stream, then std::rename()s it into
+/// place; on any failure the temp file is removed, `*error` (when given)
+/// receives a description and `path` is left untouched. With `durable`
+/// the payload is fsync'd to stable storage before the rename (and the
+/// parent directory after it, best effort) -- use it for checkpoints a
+/// crashed process must find again, skip it for throwaway reports.
+bool write_file_atomic(const std::string& path, std::string_view bytes,
+                       std::string* error = nullptr, bool durable = false);
+
+/// fsync a directory so a just-renamed entry inside it survives power
+/// loss. Best effort: returns false when the platform or filesystem
+/// refuses, which callers may ignore.
+bool sync_directory(const std::string& dir);
+
+/// The directory component of `path` ("." when there is none).
+std::string parent_directory(const std::string& path);
+
+}  // namespace rtk::sysc

@@ -47,6 +47,13 @@ bool parse_trace(std::string_view bytes, TraceDoc& out, std::string* error) {
           trace_header_size;
     c.end = reinterpret_cast<const unsigned char*>(bytes.data()) + bytes.size();
 
+    // Truncation tolerance: a capture cut off mid-record -- a process
+    // killed before Recorder::write_file's atomic rename, or a copy that
+    // stopped short -- still yields every complete record; the torn last
+    // record is dropped and has_footer stays false. Only structural
+    // corruption (bad magic, unknown version or tag, bytes after the
+    // footer) is a hard error: those mean the bytes were never a valid
+    // prefix of a capture.
     std::uint64_t now_ps = 0;
     while (!c.done()) {
         std::uint8_t tag = 0;
@@ -57,20 +64,25 @@ bool parse_trace(std::string_view bytes, TraceDoc& out, std::string* error) {
             std::uint8_t kind = 0;
             if (!c.get_varint(tid) || !c.get_u8(kind) || !c.get_varint(prio) ||
                 !c.get_varint(len) || !c.get_bytes(t.name, len)) {
-                return fail(error, "truncated define_thread record");
+                return true;  // truncated mid-define: keep what we have
             }
             t.tid = static_cast<sim::ThreadId>(tid);
             t.kind = kind;
             t.priority = static_cast<sim::Priority>(unzigzag(prio));
             out.threads.push_back(std::move(t));
         } else if (tag == static_cast<std::uint8_t>(RecordTag::footer)) {
-            if (!c.get_varint(out.recorded_events) ||
-                !c.get_varint(out.dropped_records) ||
-                !c.get_varint(out.dropped_bytes) ||
-                !c.get_varint(out.end_time_ps) ||
-                !c.get_varint(out.delta_cycles)) {
-                return fail(error, "truncated footer record");
+            std::uint64_t recorded = 0, drop_recs = 0, drop_bytes = 0;
+            std::uint64_t end_ps = 0, deltas = 0;
+            if (!c.get_varint(recorded) || !c.get_varint(drop_recs) ||
+                !c.get_varint(drop_bytes) || !c.get_varint(end_ps) ||
+                !c.get_varint(deltas)) {
+                return true;  // truncated mid-footer: counts unusable
             }
+            out.recorded_events = recorded;
+            out.dropped_records = drop_recs;
+            out.dropped_bytes = drop_bytes;
+            out.end_time_ps = end_ps;
+            out.delta_cycles = deltas;
             out.has_footer = true;
             if (!c.done()) {
                 return fail(error, "trailing bytes after footer");
@@ -83,7 +95,7 @@ bool parse_trace(std::string_view bytes, TraceDoc& out, std::string* error) {
                 tag - static_cast<std::uint8_t>(RecordTag::event_base));
             std::uint64_t dt = 0;
             if (!c.get_varint(dt)) {
-                return fail(error, "truncated event record");
+                return true;  // truncated before the timestamp
             }
             now_ps += dt;
             ev.t_ps = now_ps;
@@ -121,8 +133,7 @@ bool parse_trace(std::string_view bytes, TraceDoc& out, std::string* error) {
                 }
             }
             if (!ok) {
-                return fail(error, std::string("truncated ") +
-                                       to_string(ev.kind) + " record");
+                return true;  // truncated mid-event: drop the torn record
             }
             out.events.push_back(std::move(ev));
         } else {

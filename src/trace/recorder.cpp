@@ -1,9 +1,9 @@
 #include "trace/recorder.hpp"
 
 #include <algorithm>
-#include <fstream>
 
 #include "sim/tthread.hpp"
+#include "sysc/fsio.hpp"
 #include "sysc/kernel.hpp"
 
 namespace rtk::trace {
@@ -122,15 +122,9 @@ std::string Recorder::serialize() const {
 }
 
 bool Recorder::write_file(const std::string& path, std::string* error) const {
-    std::ofstream out(path, std::ios::binary);
-    const std::string bytes = serialize();
-    if (!out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()))) {
-        if (error != nullptr) {
-            *error = "cannot write " + path;
-        }
-        return false;
-    }
-    return true;
+    // Temp-file + rename: a killed process leaves either no capture or a
+    // complete one, never a torn .rtktrace (see sysc::write_file_atomic).
+    return sysc::write_file_atomic(path, serialize(), error);
 }
 
 // ---- observer callbacks -----------------------------------------------------

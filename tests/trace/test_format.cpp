@@ -107,6 +107,111 @@ TEST(ParseTrace, EmptyCaptureWithoutFooterParses) {
     EXPECT_TRUE(doc.threads.empty());
 }
 
+namespace {
+
+/// A tiny hand-assembled capture: two threads, four events, a footer.
+std::string sample_capture() {
+    std::string b = "RTKT";
+    b.push_back(static_cast<char>(trace_version));
+    b.push_back('\0');
+
+    auto define = [&b](std::uint64_t tid, const std::string& name) {
+        b.push_back(static_cast<char>(RecordTag::define_thread));
+        put_varint(b, tid);
+        b.push_back('\0');  // kind
+        put_varint(b, zigzag(5));
+        put_varint(b, name.size());
+        b += name;
+    };
+    define(1, "main");
+    define(2, "worker");
+
+    b.push_back(static_cast<char>(event_tag(EventKind::dispatch)));
+    put_varint(b, 1000);  // dt
+    put_varint(b, 1);     // tid
+
+    b.push_back(static_cast<char>(event_tag(EventKind::state_change)));
+    put_varint(b, 500);
+    put_varint(b, 2);
+    b.push_back('\x01');  // from
+    b.push_back('\x02');  // to
+
+    b.push_back(static_cast<char>(event_tag(EventKind::wakeup)));
+    put_varint(b, 250);
+    put_varint(b, 1);
+    put_varint(b, 3);  // woken by tid 2 (stored +1)
+
+    b.push_back(static_cast<char>(event_tag(EventKind::annotation)));
+    put_varint(b, 100);
+    put_varint(b, 0);  // global
+    put_varint(b, 4);
+    b += "mark";
+
+    b.push_back(static_cast<char>(RecordTag::footer));
+    put_varint(b, 4);     // events
+    put_varint(b, 0);     // dropped records
+    put_varint(b, 0);     // dropped bytes
+    put_varint(b, 1850);  // end_time_ps
+    put_varint(b, 7);     // delta cycles
+    return b;
+}
+
+}  // namespace
+
+TEST(ParseTrace, TruncatedMidRecordKeepsCompleteRecords) {
+    const std::string full = sample_capture();
+    TraceDoc whole;
+    std::string error;
+    ASSERT_TRUE(parse_trace(full, whole, &error)) << error;
+    ASSERT_TRUE(whole.has_footer);
+    ASSERT_EQ(whole.events.size(), 4u);
+
+    // Chop inside the annotation's text: the torn record is dropped, the
+    // three complete events before it survive, and the absent footer is
+    // the truncation signal.
+    TraceDoc doc;
+    ASSERT_TRUE(parse_trace(
+        std::string_view(full).substr(0, full.size() - 10), doc, &error))
+        << error;
+    EXPECT_FALSE(doc.has_footer);
+    EXPECT_EQ(doc.threads.size(), 2u);
+    ASSERT_EQ(doc.events.size(), 3u);
+    EXPECT_EQ(doc.events[2].kind, EventKind::wakeup);
+    EXPECT_EQ(doc.events[2].t_ps, 1750u);
+}
+
+TEST(ParseTrace, TruncatedFooterKeepsAllEventsWithoutFooter) {
+    const std::string full = sample_capture();
+    TraceDoc doc;
+    std::string error;
+    ASSERT_TRUE(parse_trace(
+        std::string_view(full).substr(0, full.size() - 1), doc, &error))
+        << error;
+    EXPECT_FALSE(doc.has_footer);
+    EXPECT_EQ(doc.events.size(), 4u);
+    EXPECT_EQ(doc.recorded_events, 0u);  // half-read counts are discarded
+    EXPECT_EQ(doc.end_time_ps, 0u);
+}
+
+TEST(ParseTrace, EveryTruncationPointYieldsAValidPrefix) {
+    const std::string full = sample_capture();
+    TraceDoc whole;
+    ASSERT_TRUE(parse_trace(full, whole, nullptr));
+    for (std::size_t cut = trace_header_size; cut < full.size(); ++cut) {
+        TraceDoc doc;
+        std::string error;
+        ASSERT_TRUE(parse_trace(std::string_view(full).substr(0, cut), doc,
+                                &error))
+            << "cut at " << cut << ": " << error;
+        EXPECT_FALSE(doc.has_footer) << cut;
+        ASSERT_LE(doc.events.size(), whole.events.size()) << cut;
+        for (std::size_t i = 0; i < doc.events.size(); ++i) {
+            EXPECT_EQ(doc.events[i].kind, whole.events[i].kind) << cut;
+            EXPECT_EQ(doc.events[i].t_ps, whole.events[i].t_ps) << cut;
+        }
+    }
+}
+
 TEST(ParseTrace, UnknownThreadFallsBackToSyntheticName) {
     TraceDoc doc;
     EXPECT_EQ(doc.thread_name(42), "t42");

@@ -1,0 +1,353 @@
+// rtk-campaign -- the sharded, resumable campaign service CLI.
+//
+//   $ rtk-campaign submit <dir> --kind fuzz|fault [options]
+//       Create the campaign directory: manifest.json + jobs.jsonl
+//       (atomic + durable). A campaign is submitted exactly once.
+//   $ rtk-campaign run <dir> [--shards N] [--rounds N] [--in-process]
+//       Execute (or continue) the campaign: rounds of shard worker
+//       processes lease job batches from the shared cursor and stream
+//       records into per-shard JSONL stores.
+//   $ rtk-campaign resume <dir> [...]
+//       Alias of run -- resuming after a crash (even kill -9) is the
+//       same loop: only jobs without a stored record re-run.
+//   $ rtk-campaign status <dir>
+//       Progress + outcome tallies from a store scan.
+//   $ rtk-campaign merge <dir> [-o report.json]
+//       Write the merged report: byte-identical for any execution
+//       history (shard count, crashes, resumes) that covered all jobs.
+//   $ rtk-campaign shard <dir> --id K --runlist F
+//       Internal: one shard worker (what run fork/execs).
+//   $ rtk-campaign selftest [dir]
+//       End-to-end smoke (the ctest `tool-smoke` entry): submit a small
+//       fuzz campaign, run it with 2 forked shards, re-run it
+//       single-shard in-process in a second directory and assert the two
+//       merged reports are byte-identical.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "bench_util.hpp"
+#include "harness/campaign.hpp"
+#include "harness/campaign_engine.hpp"
+
+using namespace rtk;
+using namespace rtk::harness;
+
+namespace {
+
+int usage() {
+    std::fputs(
+        "usage: rtk-campaign <command> [args]\n"
+        "  submit <dir> --kind fuzz|fault [--name N] [--seed S]\n"
+        "         [--seeds N] [--single-policy]        (fuzz corpus)\n"
+        "         [--corpus N] [--per-workload N]      (fault corpus)\n"
+        "         [--claim-batch N] [--flush-every N]\n"
+        "  run <dir> [--shards N] [--rounds N] [--worker EXE]\n"
+        "            [--in-process] [--verbose]\n"
+        "  resume <dir> [...]                          alias of run\n"
+        "  status <dir>\n"
+        "  merge <dir> [-o report.json]\n"
+        "  shard <dir> --id K --runlist F              internal worker\n"
+        "  selftest [dir]\n",
+        stderr);
+    return 2;
+}
+
+std::uint64_t arg_count(const char* value, const char* flag) {
+    return bench::parse_count_or_die(value, flag);
+}
+
+int cmd_submit(int argc, char** argv) {
+    if (argc < 1) {
+        return usage();
+    }
+    const std::string dir = argv[0];
+    campaign::Manifest m;
+    bool have_kind = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string flag = argv[i];
+        auto next = [&]() -> const char* {
+            return ++i < argc ? argv[i] : nullptr;
+        };
+        if (flag == "--kind") {
+            const char* v = next();
+            if (v == nullptr || !campaign::kind_from_string(v, m.kind)) {
+                std::fputs("rtk-campaign: --kind must be fuzz or fault\n",
+                           stderr);
+                return 2;
+            }
+            have_kind = true;
+        } else if (flag == "--name") {
+            const char* v = next();
+            if (v == nullptr) {
+                return usage();
+            }
+            m.name = v;
+        } else if (flag == "--seed") {
+            m.base_seed = arg_count(next(), "--seed");
+        } else if (flag == "--seeds") {
+            m.seeds = static_cast<std::size_t>(arg_count(next(), "--seeds"));
+        } else if (flag == "--single-policy") {
+            m.both_policies = false;
+        } else if (flag == "--corpus") {
+            m.corpus = static_cast<std::size_t>(arg_count(next(), "--corpus"));
+        } else if (flag == "--per-workload") {
+            m.injections_per_workload =
+                static_cast<std::size_t>(arg_count(next(), "--per-workload"));
+        } else if (flag == "--claim-batch") {
+            m.claim_batch =
+                static_cast<std::size_t>(arg_count(next(), "--claim-batch"));
+        } else if (flag == "--flush-every") {
+            m.flush_every =
+                static_cast<std::size_t>(arg_count(next(), "--flush-every"));
+        } else {
+            std::fprintf(stderr, "rtk-campaign: unknown flag %s\n",
+                         flag.c_str());
+            return 2;
+        }
+    }
+    if (!have_kind) {
+        std::fputs("rtk-campaign: submit requires --kind\n", stderr);
+        return 2;
+    }
+    std::string error;
+    if (!campaign::init_campaign(dir, m, &error)) {
+        std::fprintf(stderr, "rtk-campaign: %s\n", error.c_str());
+        return 1;
+    }
+    std::printf("submitted %s campaign '%s': %zu jobs in %s\n",
+                campaign::to_string(m.kind), m.name.c_str(), m.total_jobs(),
+                dir.c_str());
+    return 0;
+}
+
+int cmd_run(int argc, char** argv) {
+    if (argc < 1) {
+        return usage();
+    }
+    const std::string dir = argv[0];
+    campaign::EngineOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string flag = argv[i];
+        auto next = [&]() -> const char* {
+            return ++i < argc ? argv[i] : nullptr;
+        };
+        if (flag == "--shards") {
+            opts.shards = static_cast<unsigned>(arg_count(next(), "--shards"));
+        } else if (flag == "--rounds") {
+            opts.max_rounds =
+                static_cast<std::size_t>(arg_count(next(), "--rounds"));
+        } else if (flag == "--worker") {
+            const char* v = next();
+            if (v == nullptr) {
+                return usage();
+            }
+            opts.worker_exe = v;
+        } else if (flag == "--in-process") {
+            opts.in_process = true;
+        } else if (flag == "--verbose") {
+            opts.verbose = true;
+        } else {
+            std::fprintf(stderr, "rtk-campaign: unknown flag %s\n",
+                         flag.c_str());
+            return 2;
+        }
+    }
+    const campaign::EngineResult res = campaign::run_campaign(dir, opts);
+    std::printf("%s: %zu/%zu jobs done, %zu round(s), %zu shard failure(s)\n",
+                res.complete ? "complete" : "incomplete", res.done_jobs,
+                res.total_jobs, res.rounds, res.shard_failures);
+    if (!res.error.empty()) {
+        std::fprintf(stderr, "rtk-campaign: %s\n", res.error.c_str());
+    }
+    return res.complete ? 0 : 1;
+}
+
+int cmd_status(const std::string& dir) {
+    const campaign::CampaignStatus st = campaign::query_status(dir);
+    if (!st.ok) {
+        std::fprintf(stderr, "rtk-campaign: %s\n", st.error.c_str());
+        return 1;
+    }
+    std::printf("campaign '%s' (%s): %zu/%zu jobs done\n",
+                st.manifest.name.c_str(),
+                campaign::to_string(st.manifest.kind), st.done_jobs,
+                st.total_jobs);
+    std::printf("  stores: %zu file(s), %zu torn line(s) skipped, "
+                "%zu duplicate record(s)\n",
+                st.store_files, st.skipped_lines, st.duplicates);
+    for (const auto& [name, count] : st.tallies) {
+        std::printf("  %-20s %zu\n", name.c_str(), count);
+    }
+    return st.done_jobs >= st.total_jobs ? 0 : 3;  // 3 = in progress
+}
+
+int cmd_merge(const std::string& dir, const std::string& out_path) {
+    std::string error;
+    bool complete = false;
+    if (!campaign::merge_campaign(dir, out_path, &error, &complete)) {
+        std::fprintf(stderr, "rtk-campaign: %s\n", error.c_str());
+        return 1;
+    }
+    const std::string path =
+        out_path.empty() ? campaign::report_path(dir) : out_path;
+    std::printf("wrote %s (%s)\n", path.c_str(),
+                complete ? "complete" : "INCOMPLETE");
+    return complete ? 0 : 3;
+}
+
+int cmd_shard(int argc, char** argv) {
+    if (argc < 1) {
+        return usage();
+    }
+    const std::string dir = argv[0];
+    unsigned shard_id = 0;
+    std::string runlist;
+    for (int i = 1; i < argc; ++i) {
+        const std::string flag = argv[i];
+        auto next = [&]() -> const char* {
+            return ++i < argc ? argv[i] : nullptr;
+        };
+        if (flag == "--id") {
+            shard_id = static_cast<unsigned>(arg_count(next(), "--id"));
+        } else if (flag == "--runlist") {
+            const char* v = next();
+            if (v == nullptr) {
+                return usage();
+            }
+            runlist = v;
+        } else {
+            return usage();
+        }
+    }
+    if (runlist.empty()) {
+        return usage();
+    }
+    return campaign::run_shard(dir, shard_id, runlist);
+}
+
+// ---- selftest ---------------------------------------------------------------
+
+int fail(const char* what) {
+    std::fprintf(stderr, "rtk-campaign selftest: FAILED: %s\n", what);
+    return 1;
+}
+
+std::string slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string{std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>()};
+}
+
+int cmd_selftest(const std::string& dir) {
+    const std::string sharded = dir + "/campaign_selftest_sharded";
+    const std::string serial = dir + "/campaign_selftest_serial";
+    // Fresh directories: submit refuses to overwrite an existing
+    // campaign, and a previous selftest (or a killed one) leaves these
+    // behind.
+    std::error_code ec;
+    std::filesystem::remove_all(sharded, ec);
+    std::filesystem::remove_all(serial, ec);
+
+    campaign::Manifest m;
+    m.name = "selftest";
+    m.kind = campaign::Kind::fuzz;
+    m.base_seed = 990001;  // disjoint from the fuzz-smoke/bench blocks
+    m.seeds = 4;
+    m.both_policies = true;
+    m.claim_batch = 2;
+    m.flush_every = 2;
+
+    std::string error;
+    if (!campaign::init_campaign(sharded, m, &error) ||
+        !campaign::init_campaign(serial, m, &error)) {
+        std::fprintf(stderr, "  %s\n", error.c_str());
+        return fail("submit");
+    }
+
+    // Leg 1: two forked shard processes (this very binary as worker).
+    campaign::EngineOptions forked;
+    forked.shards = 2;
+    const campaign::EngineResult r1 = campaign::run_campaign(sharded, forked);
+    if (!r1.complete || r1.shard_failures != 0) {
+        std::fprintf(stderr, "  %s\n", r1.error.c_str());
+        return fail("forked run incomplete");
+    }
+
+    // Leg 2: one in-process shard, no fork at all.
+    campaign::EngineOptions inproc;
+    inproc.shards = 1;
+    inproc.in_process = true;
+    const campaign::EngineResult r2 = campaign::run_campaign(serial, inproc);
+    if (!r2.complete) {
+        std::fprintf(stderr, "  %s\n", r2.error.c_str());
+        return fail("in-process run incomplete");
+    }
+
+    bool complete = false;
+    if (!campaign::merge_campaign(sharded, "", &error, &complete) ||
+        !complete ||
+        !campaign::merge_campaign(serial, "", &error, &complete) ||
+        !complete) {
+        std::fprintf(stderr, "  %s\n", error.c_str());
+        return fail("merge");
+    }
+
+    const std::string rep1 = slurp(campaign::report_path(sharded));
+    const std::string rep2 = slurp(campaign::report_path(serial));
+    if (rep1.empty() || rep1 != rep2) {
+        return fail("sharded and serial reports are not byte-identical");
+    }
+    api::Json doc;
+    if (!api::Json::parse(rep1, doc, &error) ||
+        doc.at("rtk_campaign_report").as_u64() != 1 ||
+        doc.at("campaign").at("jobs").as_u64() != m.total_jobs()) {
+        return fail("report does not parse back");
+    }
+
+    const campaign::CampaignStatus st = campaign::query_status(sharded);
+    if (!st.ok || st.done_jobs != m.total_jobs()) {
+        return fail("status scan disagrees with the run");
+    }
+
+    std::printf("rtk-campaign selftest: OK (%zu jobs, reports byte-identical "
+                "across 2 forked shards vs 1 in-process shard)\n",
+                m.total_jobs());
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) {
+        return usage();
+    }
+    const std::string cmd = argv[1];
+    if (cmd == "submit" && argc >= 3) {
+        return cmd_submit(argc - 2, argv + 2);
+    }
+    if ((cmd == "run" || cmd == "resume") && argc >= 3) {
+        return cmd_run(argc - 2, argv + 2);
+    }
+    if (cmd == "status" && argc == 3) {
+        return cmd_status(argv[2]);
+    }
+    if (cmd == "merge" && argc >= 3) {
+        std::string out_path;
+        if (argc == 5 && std::strcmp(argv[3], "-o") == 0) {
+            out_path = argv[4];
+        } else if (argc != 3) {
+            return usage();
+        }
+        return cmd_merge(argv[2], out_path);
+    }
+    if (cmd == "shard" && argc >= 3) {
+        return cmd_shard(argc - 2, argv + 2);
+    }
+    if (cmd == "selftest" && argc <= 3) {
+        return cmd_selftest(argc == 3 ? argv[2] : ".");
+    }
+    return usage();
+}
