@@ -1,0 +1,168 @@
+// Corpus replay throughput: how fast the checked-in scenario corpus
+// loads, validates and replays against its pinned fingerprints -- the
+// number that says what `rtk-corpus replay corpus/v1` costs in CI and
+// how much a parallel runner buys back.
+//
+//   $ ./bench_corpus_replay [sample] [max_threads]
+//
+// Samples `sample` scenarios evenly across the pinned index (0 = the
+// whole corpus), measures the parse stage and then the replay stage at
+// 1 and max_threads worker threads, cross-checks every fingerprint
+// against its pin, and emits BENCH_corpus_replay.json.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "corpus/index.hpp"
+#include "corpus/scenario_file.hpp"
+#include "harness/corpus_bridge.hpp"
+#include "harness/runner.hpp"
+
+namespace bench = rtk::bench;
+namespace corpus = rtk::corpus;
+namespace harness = rtk::harness;
+using rtk::api::Json;
+
+namespace {
+
+bool slurp(const std::string& path, std::string& out) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        return false;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+#ifdef RTK_CORPUS_V1_DIR
+    const std::string dir = RTK_CORPUS_V1_DIR;
+#else
+    const std::string dir = "corpus/v1";
+#endif
+    const std::size_t sample =
+        argc > 1
+            ? static_cast<std::size_t>(bench::parse_count_or_die(argv[1], "sample"))
+            : 0;  // 0 = whole corpus
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    const unsigned max_threads =
+        argc > 2 ? static_cast<unsigned>(
+                       bench::parse_count_or_die(argv[2], "max_threads"))
+                 : std::min(hw, 8u);
+
+    corpus::CorpusIndex index;
+    std::string error;
+    if (!corpus::CorpusIndex::load(dir, index, &error)) {
+        std::fprintf(stderr, "corpus index: %s\n", error.c_str());
+        return 1;
+    }
+    index.sort();
+    const std::size_t total = index.entries.size();
+    const std::size_t stride =
+        (sample == 0 || sample >= total) ? 1 : total / sample;
+
+    // Stage 1: load + digest-check + strict-parse the sampled scenarios.
+    std::vector<const corpus::IndexEntry*> picked;
+    std::vector<corpus::ScenarioFile> files;
+    const bench::WallClock parse_clock;
+    for (std::size_t i = 0; i < total; i += stride) {
+        const corpus::IndexEntry& e = index.entries[i];
+        std::string bytes;
+        if (!slurp(dir + "/" + e.file, bytes)) {
+            std::fprintf(stderr, "unreadable: %s\n", e.file.c_str());
+            return 1;
+        }
+        if (corpus::fnv1a64(bytes) != e.digest) {
+            std::fprintf(stderr, "digest mismatch: %s\n", e.file.c_str());
+            return 1;
+        }
+        corpus::ScenarioFile f;
+        if (!corpus::ScenarioFile::parse(bytes, f, &error)) {
+            std::fprintf(stderr, "%s: %s\n", e.file.c_str(), error.c_str());
+            return 1;
+        }
+        picked.push_back(&e);
+        files.push_back(std::move(f));
+    }
+    const double parse_wall = parse_clock.seconds();
+    const double parse_rate =
+        parse_wall > 0.0 ? static_cast<double>(files.size()) / parse_wall : 0.0;
+
+    std::printf("Corpus replay: %zu of %zu scenarios from %s\n\n", files.size(),
+                total, dir.c_str());
+
+    std::vector<harness::ScenarioSpec> specs;
+    specs.reserve(files.size());
+    for (const corpus::ScenarioFile& f : files) {
+        harness::ScenarioSpec spec = harness::scenario_from_corpus(f);
+        spec.trace.enabled = true;  // fingerprint-neutral, fills metrics
+        specs.push_back(std::move(spec));
+    }
+
+    std::vector<unsigned> thread_counts{1};
+    if (max_threads >= 2) {
+        thread_counts.push_back(max_threads);
+    }
+
+    bench::Table table({"threads", "wall [s]", "scenarios/s", "speedup"});
+    Json results = Json::array();
+    double serial_rate = 0.0;
+    bool pins_match = true;
+
+    for (unsigned threads : thread_counts) {
+        const bench::WallClock clock;
+        const harness::BatchReport report =
+            harness::ScenarioRunner({threads}).run(specs);
+        const double wall = clock.seconds();
+        for (std::size_t i = 0; i < picked.size(); ++i) {
+            if (report.results[i].fingerprint != picked[i]->fingerprint) {
+                std::fprintf(stderr, "fingerprint drift: %s (%u threads)\n",
+                             picked[i]->file.c_str(), threads);
+                pins_match = false;
+            }
+        }
+        const double rate =
+            wall > 0.0 ? static_cast<double>(files.size()) / wall : 0.0;
+        if (threads == 1) {
+            serial_rate = rate;
+        }
+        const double speedup = serial_rate > 0.0 ? rate / serial_rate : 0.0;
+        table.add_row({std::to_string(threads), bench::fmt(wall, 3),
+                       bench::fmt(rate, 1), bench::fmt(speedup) + "x"});
+
+        Json row = Json::object();
+        row.set("threads", Json::number(threads));
+        row.set("wall_seconds", Json::number_real(wall));
+        row.set("scenarios_per_second", Json::number_real(rate));
+        row.set("speedup_vs_serial", Json::number_real(speedup));
+        results.push(std::move(row));
+    }
+    table.print();
+
+    Json doc = Json::object();
+    doc.set("bench", Json::string("corpus_replay"));
+    doc.set("meta", bench::meta_json_doc());
+    doc.set("corpus_scenarios", Json::number(total));
+    doc.set("sampled", Json::number(files.size()));
+    doc.set("parse_wall_seconds", Json::number_real(parse_wall));
+    doc.set("parse_scenarios_per_second", Json::number_real(parse_rate));
+    doc.set("hardware_concurrency", Json::number(hw));
+    doc.set("fingerprints_match", Json::boolean(pins_match));
+    doc.set("results", std::move(results));
+    {
+        std::ofstream out("BENCH_corpus_replay.json");
+        out << doc.dump(2) << "\n";
+    }
+    std::puts("\n  wrote BENCH_corpus_replay.json");
+
+    return pins_match ? 0 : 1;
+}

@@ -65,6 +65,30 @@ def campaign_speedup(doc):
     return best / base
 
 
+def replay_speedup(doc):
+    """Best thread speedup in a BENCH_corpus_replay.json, or None.
+
+    Same derivation policy as campaign_speedup: the 1-thread row is the
+    baseline, the best scenarios_per_second at >1 threads the numerator.
+    """
+    rows = doc.get("results")
+    if not isinstance(rows, list):
+        return None
+    base = None
+    best = None
+    for row in rows:
+        rate = row.get("scenarios_per_second")
+        if not isinstance(rate, (int, float)) or isinstance(rate, bool):
+            continue
+        if row.get("threads") == 1:
+            base = rate
+        else:
+            best = rate if best is None else max(best, rate)
+    if not base or best is None:
+        return None
+    return best / base
+
+
 def compare_file(old_path, new_path):
     old_doc, new_doc = load(old_path), load(new_path)
     if old_doc is None or new_doc is None:
@@ -73,6 +97,10 @@ def compare_file(old_path, new_path):
         old_s, new_s = campaign_speedup(old_doc), campaign_speedup(new_doc)
         if old_s is not None and new_s is not None:
             print(f"  derived shard speedup: {old_s:.2f}x -> {new_s:.2f}x")
+    if new_path.name == "BENCH_corpus_replay.json":
+        old_s, new_s = replay_speedup(old_doc), replay_speedup(new_doc)
+        if old_s is not None and new_s is not None:
+            print(f"  derived replay speedup: {old_s:.2f}x -> {new_s:.2f}x")
     old_fields = dict(flatten(old_doc))
     new_fields = dict(flatten(new_doc))
     shared = sorted(set(old_fields) & set(new_fields))

@@ -1,5 +1,6 @@
 #include "api/builder.hpp"
 
+#include <unordered_set>
 #include <utility>
 
 namespace rtk::api {
@@ -327,11 +328,29 @@ Json SystemSpec::to_json() const {
 
 namespace {
 
-bool fail(std::string* error, const char* what) {
+bool fail(std::string* error, std::string what) {
     if (error != nullptr) {
-        *error = what;
+        *error = std::move(what);
     }
     return false;
+}
+
+/// Loader-side duplicate/empty name rejection: instantiate() would fail
+/// E_PAR on a duplicate anyway, but a from_json diagnostic names the
+/// offender instead of surfacing as a runtime instantiation error.
+template <typename Deque>
+bool unique_names(const Deque& nodes, const char* cls, std::string* error) {
+    std::unordered_set<std::string> seen;
+    for (const auto& n : nodes) {
+        if (n.def.name.empty()) {
+            return fail(error, std::string("unnamed ") + cls);
+        }
+        if (!seen.insert(n.def.name).second) {
+            return fail(error, std::string("duplicate ") + cls + " name '" +
+                                   n.def.name + "'");
+        }
+    }
+    return true;
 }
 
 }  // namespace
@@ -345,7 +364,14 @@ bool SystemSpec::from_json(const Json& j, SystemSpec& out, std::string* error) {
     for (const Json& o : j.at("tasks").items()) {
         TaskNode n;
         n.def.name = o.at("name").as_string();
-        n.def.priority = static_cast<PRI>(o.at("pri").as_i64(1));
+        const std::int64_t pri = o.at("pri").as_i64(1);
+        if (pri < min_priority || pri > max_priority) {
+            return fail(error, "task '" + n.def.name + "' priority " +
+                                   std::to_string(pri) + " out of range [" +
+                                   std::to_string(min_priority) + ", " +
+                                   std::to_string(max_priority) + "]");
+        }
+        n.def.priority = static_cast<PRI>(pri);
         n.def.stack_size = static_cast<std::size_t>(o.at("stack").as_u64(4096));
         n.auto_start = o.at("autostart").as_bool();
         n.stacd = static_cast<INT>(o.at("stacd").as_i64());
@@ -381,7 +407,14 @@ bool SystemSpec::from_json(const Json& j, SystemSpec& out, std::string* error) {
             return fail(error, "mutex protocol out of range");
         }
         n.def.protocol = static_cast<MutexDef::Protocol>(proto);
-        n.def.ceiling = static_cast<PRI>(o.at("ceiling").as_i64(min_priority));
+        const std::int64_t ceil = o.at("ceiling").as_i64(min_priority);
+        if (ceil < min_priority || ceil > max_priority) {
+            return fail(error, "mutex '" + n.def.name + "' ceiling " +
+                                   std::to_string(ceil) + " out of range [" +
+                                   std::to_string(min_priority) + ", " +
+                                   std::to_string(max_priority) + "]");
+        }
+        n.def.ceiling = static_cast<PRI>(ceil);
         out.mutexes.push_back(std::move(n));
     }
     for (const Json& o : j.at("mailboxes").items()) {
@@ -435,6 +468,27 @@ bool SystemSpec::from_json(const Json& j, SystemSpec& out, std::string* error) {
         n.pri = static_cast<PRI>(o.at("pri").as_i64(1));
         n.skip_if_claimed = o.at("if_free").as_bool();
         out.interrupts.push_back(std::move(n));
+    }
+    if (!unique_names(out.tasks, "task", error) ||
+        !unique_names(out.semaphores, "semaphore", error) ||
+        !unique_names(out.eventflags, "eventflag", error) ||
+        !unique_names(out.mutexes, "mutex", error) ||
+        !unique_names(out.mailboxes, "mailbox", error) ||
+        !unique_names(out.msgbufs, "msgbuf", error) ||
+        !unique_names(out.fixed_pools, "fixed_pool", error) ||
+        !unique_names(out.var_pools, "var_pool", error) ||
+        !unique_names(out.cyclics, "cyclic", error) ||
+        !unique_names(out.alarms, "alarm", error)) {
+        return false;
+    }
+    {
+        std::unordered_set<std::uint64_t> vecs;
+        for (const IntNode& n : out.interrupts) {
+            if (!vecs.insert(n.intno).second) {
+                return fail(error, "duplicate interrupt vector " +
+                                       std::to_string(n.intno));
+            }
+        }
     }
     return true;
 }

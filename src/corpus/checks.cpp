@@ -1,0 +1,97 @@
+#include "corpus/checks.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace rtk::corpus {
+
+namespace {
+
+const trace::TaskMetrics* find_task(const trace::Metrics& m,
+                                    const std::string& name) {
+    for (const trace::TaskMetrics& t : m.tasks) {
+        if (t.name == name) {
+            return &t;
+        }
+    }
+    return nullptr;
+}
+
+std::string format(const char* fmt, ...) {
+    char buf[256];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    return buf;
+}
+
+}  // namespace
+
+std::vector<CheckResult> evaluate_checks(const ScenarioFile& file,
+                                         const trace::Metrics& m) {
+    std::vector<CheckResult> out;
+    out.reserve(file.checks.size());
+    for (const RateCheck& c : file.checks) {
+        CheckResult r;
+        r.task = c.task;
+        const trace::TaskMetrics* t = find_task(m, c.task);
+        if (t == nullptr) {
+            r.ok = false;
+            r.detail = "task never appeared in the trace";
+            out.push_back(std::move(r));
+            continue;
+        }
+        // Completion floor: each program iteration begins with a fresh
+        // dispatch, so dispatches is the activation count. The expected
+        // number of activations over the run is duration / period;
+        // require at least min_percent of that (integer floor, so a
+        // 100% bound tolerates the final partial period).
+        const std::uint64_t expected = file.duration_ms / c.period_ms;
+        const std::uint64_t required = expected * c.min_percent / 100;
+        if (t->dispatches < required) {
+            r.ok = false;
+            r.detail = format(
+                "%llu dispatches, need %llu (%u%% of %llu expected at %u ms)",
+                static_cast<unsigned long long>(t->dispatches),
+                static_cast<unsigned long long>(required), c.min_percent,
+                static_cast<unsigned long long>(expected), c.period_ms);
+            out.push_back(std::move(r));
+            continue;
+        }
+        // Latency bound: mean time spent ready-but-preempted per
+        // activation must fit the deadline. A starved task piles up
+        // ready time; a schedulable one barely waits.
+        if (c.deadline_ms > 0 && t->dispatches > 0) {
+            const std::uint64_t mean_ready_ps = t->ready_ps() / t->dispatches;
+            const std::uint64_t bound_ps =
+                static_cast<std::uint64_t>(c.deadline_ms) * 1000000000ull;
+            if (mean_ready_ps > bound_ps) {
+                r.ok = false;
+                r.detail =
+                    format("mean ready latency %.3f ms exceeds %u ms deadline",
+                           static_cast<double>(mean_ready_ps) / 1e9,
+                           c.deadline_ms);
+                out.push_back(std::move(r));
+                continue;
+            }
+        }
+        r.ok = true;
+        r.detail = format("%llu dispatches (floor %llu)",
+                          static_cast<unsigned long long>(t->dispatches),
+                          static_cast<unsigned long long>(required));
+        out.push_back(std::move(r));
+    }
+    return out;
+}
+
+bool all_passed(const std::vector<CheckResult>& results) {
+    for (const CheckResult& r : results) {
+        if (!r.ok) {
+            return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace rtk::corpus

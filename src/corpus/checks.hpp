@@ -1,0 +1,32 @@
+// Schedulability-style verdicts: evaluate a scenario's RateChecks
+// against the trace::Metrics of one run. Pure arithmetic over derived
+// counters -- no simulation types -- so the corpus layer can classify
+// runs without depending on the harness.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "corpus/scenario_file.hpp"
+#include "trace/metrics.hpp"
+
+namespace rtk::corpus {
+
+/// One evaluated check. `ok` is the verdict; `detail` is a one-line
+/// human explanation either way.
+struct CheckResult {
+    std::string task;
+    bool ok = false;
+    std::string detail;
+};
+
+/// Evaluate every RateCheck in `file` against `m`. A task missing from
+/// the metrics (never traced) fails its check. Empty result means the
+/// scenario declared no checks.
+std::vector<CheckResult> evaluate_checks(const ScenarioFile& file,
+                                         const trace::Metrics& m);
+
+/// True when every result passed (vacuously true for no checks).
+bool all_passed(const std::vector<CheckResult>& results);
+
+}  // namespace rtk::corpus

@@ -1,0 +1,313 @@
+#include "corpus/families.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "corpus/rng.hpp"
+
+namespace rtk::corpus {
+
+namespace {
+
+Op op(OpKind k, std::int32_t a = 0, std::int32_t b = 0, std::int32_t c = 0,
+      std::int32_t d = 0) {
+    Op o;
+    o.kind = k;
+    o.a = a;
+    o.b = b;
+    o.c = c;
+    o.d = d;
+    return o;
+}
+
+/// Shared per-scenario knobs every family draws the same way, so seeds
+/// explore the same dimensions across families.
+struct Draws {
+    std::uint32_t duration_ms;
+    std::int32_t iter_units;
+    std::uint32_t period_ms;  ///< base activation period
+};
+
+Draws common_draws(Rng& rng) {
+    Draws d;
+    d.duration_ms = static_cast<std::uint32_t>(rng.range(30, 60));
+    d.iter_units = rng.irange(1, 5);
+    d.period_ms = static_cast<std::uint32_t>(rng.range(2, 8));
+    return d;
+}
+
+std::string scenario_name(const std::string& family, const FamilyParams& p) {
+    return family + "/s" + std::to_string(p.size) + "/" +
+           std::to_string(p.seed);
+}
+
+/// Optional low-rate heartbeat cyclic: exercises handler-context
+/// dispatch without perturbing the task-level schedule much.
+void maybe_add_heartbeat(ScenarioFile& sf, Rng& rng) {
+    if (!rng.chance(40)) {
+        return;
+    }
+    api::CycNode cyc;
+    cyc.def.name = "beat";
+    cyc.def.period_ms = static_cast<std::uint64_t>(rng.range(5, 15));
+    cyc.def.phase_ms = static_cast<std::uint64_t>(rng.range(0, 5));
+    cyc.def.autostart = true;
+    sf.system.cyclics.push_back(std::move(cyc));
+    sf.programs["p_beat"] = {op(OpKind::compute, rng.irange(2, 8))};
+    sf.cyclic_bindings["beat"] = "p_beat";
+}
+
+}  // namespace
+
+ScenarioFile generate_pipeline(const FamilyParams& p) {
+    Rng rng(p.seed ^ 0x70695065ull);  // family tag
+    ScenarioFile sf;
+    sf.family = "pipeline";
+    sf.seed = p.seed;
+    sf.name = scenario_name(sf.family, p);
+    const Draws d = common_draws(rng);
+    sf.duration_ms = d.duration_ms;
+    sf.config.iter_units = d.iter_units;
+
+    const int stages = std::clamp(p.size, 2, 8);
+    for (int i = 0; i + 1 < stages; ++i) {
+        api::SemNode sem;
+        sem.def.name = "q" + std::to_string(i);
+        sem.def.initial = 0;
+        sem.def.max = 1024;
+        sem.def.priority_queue = rng.chance(50);
+        sf.system.semaphores.push_back(std::move(sem));
+    }
+    for (int i = 0; i < stages; ++i) {
+        api::TaskNode t;
+        t.def.name = "stage" + std::to_string(i);
+        t.def.priority = static_cast<tkernel::PRI>(rng.range(5, 20));
+        t.auto_start = true;
+        sf.system.tasks.push_back(std::move(t));
+
+        const std::string prog = "p_stage" + std::to_string(i);
+        Program body;
+        if (i > 0) {
+            body.push_back(op(OpKind::sem_wait, i - 1, 1, -1));
+        }
+        body.push_back(op(OpKind::compute, rng.irange(3, 20)));
+        if (i + 1 < stages) {
+            body.push_back(op(OpKind::sem_signal, i, 1));
+        }
+        if (i == 0) {
+            // The source paces the whole chain.
+            body.push_back(
+                op(OpKind::delay, static_cast<std::int32_t>(d.period_ms)));
+        }
+        sf.programs[prog] = std::move(body);
+        sf.task_bindings["stage" + std::to_string(i)] = prog;
+    }
+    maybe_add_heartbeat(sf, rng);
+
+    RateCheck sink;
+    sink.task = "stage" + std::to_string(stages - 1);
+    sink.period_ms = d.period_ms;
+    sink.min_percent = 50;
+    sf.checks.push_back(std::move(sink));
+    return sf;
+}
+
+ScenarioFile generate_fork_join(const FamilyParams& p) {
+    Rng rng(p.seed ^ 0x666f726bull);
+    ScenarioFile sf;
+    sf.family = "fork_join";
+    sf.seed = p.seed;
+    sf.name = scenario_name(sf.family, p);
+    const Draws d = common_draws(rng);
+    sf.duration_ms = d.duration_ms;
+    sf.config.iter_units = d.iter_units;
+
+    const int workers = std::clamp(p.size, 2, 8);
+    for (const char* name : {"work", "done"}) {
+        api::SemNode sem;
+        sem.def.name = name;
+        sem.def.initial = 0;
+        sem.def.max = 1024;
+        sf.system.semaphores.push_back(std::move(sem));
+    }
+
+    api::TaskNode root;
+    root.def.name = "root";
+    root.def.priority = 8;
+    root.auto_start = true;
+    sf.system.tasks.push_back(std::move(root));
+    sf.programs["p_root"] = {
+        op(OpKind::sem_signal, 0, workers),
+        op(OpKind::sem_wait, 1, workers, -1),
+        op(OpKind::compute, rng.irange(3, 12)),
+        op(OpKind::delay, static_cast<std::int32_t>(d.period_ms)),
+    };
+    sf.task_bindings["root"] = "p_root";
+
+    for (int i = 0; i < workers; ++i) {
+        api::TaskNode t;
+        t.def.name = "w" + std::to_string(i);
+        t.def.priority = static_cast<tkernel::PRI>(rng.range(10, 14));
+        t.auto_start = true;
+        sf.system.tasks.push_back(std::move(t));
+        const std::string prog = "p_w" + std::to_string(i);
+        sf.programs[prog] = {
+            op(OpKind::sem_wait, 0, 1, -1),
+            op(OpKind::compute, rng.irange(2, 15)),
+            op(OpKind::sem_signal, 1, 1),
+        };
+        sf.task_bindings["w" + std::to_string(i)] = prog;
+    }
+    maybe_add_heartbeat(sf, rng);
+
+    RateCheck join;
+    join.task = "root";
+    join.period_ms = d.period_ms;
+    join.min_percent = 50;
+    sf.checks.push_back(std::move(join));
+    return sf;
+}
+
+ScenarioFile generate_priority_ladder(const FamilyParams& p) {
+    Rng rng(p.seed ^ 0x6c616464ull);
+    ScenarioFile sf;
+    sf.family = "priority_ladder";
+    sf.seed = p.seed;
+    sf.name = scenario_name(sf.family, p);
+    const Draws d = common_draws(rng);
+    sf.duration_ms = d.duration_ms;
+    sf.config.iter_units = d.iter_units;
+    // Equal-priority rungs only make progress together under time
+    // slicing; draw the policy so the family covers both schedulers.
+    sf.config.round_robin = rng.chance(25);
+
+    const int rungs = std::clamp(p.size, 3, 10);
+    for (int i = 0; i < rungs; ++i) {
+        api::TaskNode t;
+        t.def.name = "rung" + std::to_string(i);
+        // Rate-monotonic shape: shorter period, more urgent. An
+        // occasional shared priority level exercises FCFS/slicing
+        // within a level.
+        const int pri = 4 + 3 * i - (i > 0 && rng.chance(20) ? 3 : 0);
+        t.def.priority = static_cast<tkernel::PRI>(pri);
+        t.auto_start = true;
+        sf.system.tasks.push_back(std::move(t));
+
+        const std::uint32_t period =
+            d.period_ms + static_cast<std::uint32_t>(i) *
+                              static_cast<std::uint32_t>(rng.range(1, 3));
+        const std::string prog = "p_rung" + std::to_string(i);
+        sf.programs[prog] = {
+            op(OpKind::compute, rng.irange(3, 25)),
+            op(OpKind::delay, static_cast<std::int32_t>(period)),
+        };
+        sf.task_bindings["rung" + std::to_string(i)] = prog;
+
+        if (i < 2) {
+            // Only the most urgent rungs carry bounds: lower rungs are
+            // legitimately starved when the ladder is overloaded.
+            RateCheck c;
+            c.task = "rung" + std::to_string(i);
+            c.period_ms = period;
+            c.min_percent = i == 0 ? 70 : 50;
+            if (i == 0 && !sf.config.round_robin) {
+                c.deadline_ms = period;
+            }
+            sf.checks.push_back(std::move(c));
+        }
+    }
+    maybe_add_heartbeat(sf, rng);
+    return sf;
+}
+
+ScenarioFile generate_producer_consumer(const FamilyParams& p) {
+    Rng rng(p.seed ^ 0x70726f64ull);
+    ScenarioFile sf;
+    sf.family = "producer_consumer";
+    sf.seed = p.seed;
+    sf.name = scenario_name(sf.family, p);
+    const Draws d = common_draws(rng);
+    sf.duration_ms = d.duration_ms;
+    sf.config.iter_units = d.iter_units;
+    sf.config.mbx_nodes = rng.irange(8, 32);
+
+    const int total = std::clamp(p.size, 2, 8);
+    const int producers = std::max(1, total / 2);
+    const int consumers = std::max(1, total - producers);
+    const int mailboxes = rng.irange(1, 2);
+    for (int m = 0; m < mailboxes; ++m) {
+        api::MbxNode mbx;
+        mbx.def.name = "ch" + std::to_string(m);
+        mbx.def.priority_messages = rng.chance(50);
+        sf.system.mailboxes.push_back(std::move(mbx));
+    }
+
+    for (int i = 0; i < producers; ++i) {
+        api::TaskNode t;
+        t.def.name = "prod" + std::to_string(i);
+        t.def.priority = static_cast<tkernel::PRI>(rng.range(10, 16));
+        t.auto_start = true;
+        sf.system.tasks.push_back(std::move(t));
+        const std::string prog = "p_prod" + std::to_string(i);
+        sf.programs[prog] = {
+            op(OpKind::compute, rng.irange(2, 10)),
+            op(OpKind::mbx_send, i % mailboxes, rng.irange(1, 8)),
+            op(OpKind::delay, static_cast<std::int32_t>(d.period_ms)),
+        };
+        sf.task_bindings["prod" + std::to_string(i)] = prog;
+    }
+    for (int j = 0; j < consumers; ++j) {
+        api::TaskNode t;
+        t.def.name = "cons" + std::to_string(j);
+        t.def.priority = static_cast<tkernel::PRI>(rng.range(6, 9));
+        t.auto_start = true;
+        sf.system.tasks.push_back(std::move(t));
+        const std::string prog = "p_cons" + std::to_string(j);
+        sf.programs[prog] = {
+            op(OpKind::mbx_recv, j % mailboxes, -1),
+            op(OpKind::compute, rng.irange(2, 12)),
+        };
+        sf.task_bindings["cons" + std::to_string(j)] = prog;
+    }
+    maybe_add_heartbeat(sf, rng);
+
+    RateCheck pump;
+    pump.task = "prod0";
+    pump.period_ms = d.period_ms;
+    pump.min_percent = 50;
+    sf.checks.push_back(std::move(pump));
+    return sf;
+}
+
+const std::vector<std::string>& family_names() {
+    static const std::vector<std::string> names = {
+        "pipeline",
+        "fork_join",
+        "priority_ladder",
+        "producer_consumer",
+    };
+    return names;
+}
+
+bool generate_family(const std::string& family, const FamilyParams& p,
+                     ScenarioFile& out) {
+    if (family == "pipeline") {
+        out = generate_pipeline(p);
+        return true;
+    }
+    if (family == "fork_join") {
+        out = generate_fork_join(p);
+        return true;
+    }
+    if (family == "priority_ladder") {
+        out = generate_priority_ladder(p);
+        return true;
+    }
+    if (family == "producer_consumer") {
+        out = generate_producer_consumer(p);
+        return true;
+    }
+    return false;
+}
+
+}  // namespace rtk::corpus

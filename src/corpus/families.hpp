@@ -1,0 +1,34 @@
+// Workload family generators: each emits a structured ScenarioFile --
+// object graph, behaviour programs, bindings and rate checks -- from a
+// (family, size, seed) triple, deterministically (same triple, same
+// bytes). Families model the classic RTOS workload shapes: pipeline
+// (semaphore-chained stages), fork/join (dispatch/barrier), priority
+// ladder (rate-monotonic rungs) and producer/consumer (mailbox mesh).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "corpus/scenario_file.hpp"
+
+namespace rtk::corpus {
+
+struct FamilyParams {
+    int size = 4;  ///< family-specific scale knob (stages, workers, rungs)
+    std::uint64_t seed = 1;
+};
+
+ScenarioFile generate_pipeline(const FamilyParams& p);
+ScenarioFile generate_fork_join(const FamilyParams& p);
+ScenarioFile generate_priority_ladder(const FamilyParams& p);
+ScenarioFile generate_producer_consumer(const FamilyParams& p);
+
+/// Registered family names, in catalogue order.
+const std::vector<std::string>& family_names();
+
+/// Dispatch by name; returns false for an unknown family.
+bool generate_family(const std::string& family, const FamilyParams& p,
+                     ScenarioFile& out);
+
+}  // namespace rtk::corpus

@@ -1,0 +1,141 @@
+#include "corpus/index.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "sysc/fsio.hpp"
+
+namespace rtk::corpus {
+
+using api::Json;
+
+std::uint64_t fnv1a64(const std::string& bytes) {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const char c : bytes) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+namespace {
+
+bool fail(std::string* error, std::string what) {
+    if (error != nullptr) {
+        *error = std::move(what);
+    }
+    return false;
+}
+
+std::string hex64(std::uint64_t v) {
+    char buf[20];
+    std::snprintf(buf, sizeof(buf), "0x%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+bool parse_hex64(const Json& j, std::uint64_t& out) {
+    const std::string& s = j.as_string();
+    if (s.size() < 3 || s[0] != '0' || s[1] != 'x') {
+        return false;
+    }
+    char* end = nullptr;
+    out = std::strtoull(s.c_str() + 2, &end, 16);
+    return end != nullptr && *end == '\0';
+}
+
+}  // namespace
+
+void CorpusIndex::sort() {
+    std::sort(entries.begin(), entries.end(),
+              [](const IndexEntry& a, const IndexEntry& b) {
+                  return a.file < b.file;
+              });
+}
+
+const IndexEntry* CorpusIndex::find(const std::string& file) const {
+    const auto it = std::lower_bound(
+        entries.begin(), entries.end(), file,
+        [](const IndexEntry& e, const std::string& f) { return e.file < f; });
+    return it != entries.end() && it->file == file ? &*it : nullptr;
+}
+
+Json CorpusIndex::to_json() const {
+    Json j = Json::object();
+    j.set("rtk_corpus_index", Json::number(version));
+    Json arr = Json::array();
+    for (const IndexEntry& e : entries) {
+        Json o = Json::object();
+        o.set("file", Json::string(e.file));
+        o.set("family", Json::string(e.family));
+        o.set("digest", Json::string(hex64(e.digest)));
+        o.set("fingerprint", Json::string(hex64(e.fingerprint)));
+        o.set("passed", Json::boolean(e.passed));
+        arr.push(std::move(o));
+    }
+    j.set("entries", std::move(arr));
+    return j;
+}
+
+std::string CorpusIndex::dump() const {
+    CorpusIndex sorted = *this;
+    sorted.sort();
+    return sorted.to_json().dump(2) + "\n";
+}
+
+bool CorpusIndex::from_json(const Json& j, CorpusIndex& out,
+                            std::string* error) {
+    if (!j.is_object() || !j.has("rtk_corpus_index")) {
+        return fail(error, "not a rtk_corpus_index document");
+    }
+    out = CorpusIndex{};
+    out.version = static_cast<std::uint32_t>(j.at("rtk_corpus_index").as_u64());
+    if (out.version != 1) {
+        return fail(error,
+                    "unsupported index version " + std::to_string(out.version));
+    }
+    for (const Json& o : j.at("entries").items()) {
+        IndexEntry e;
+        e.file = o.at("file").as_string();
+        e.family = o.at("family").as_string();
+        if (e.file.empty()) {
+            return fail(error, "index entry with empty file path");
+        }
+        if (!parse_hex64(o.at("digest"), e.digest) ||
+            !parse_hex64(o.at("fingerprint"), e.fingerprint)) {
+            return fail(error, "bad digest/fingerprint for " + e.file);
+        }
+        e.passed = o.at("passed").as_bool();
+        out.entries.push_back(std::move(e));
+    }
+    out.sort();
+    return true;
+}
+
+std::string index_path(const std::string& dir) { return dir + "/index.json"; }
+
+bool CorpusIndex::load(const std::string& dir, CorpusIndex& out,
+                       std::string* error) {
+    std::ifstream in(index_path(dir), std::ios::binary);
+    if (!in) {
+        return fail(error, "cannot open " + index_path(dir));
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    Json j;
+    std::string perr;
+    if (!Json::parse(ss.str(), j, &perr)) {
+        return fail(error, index_path(dir) + ": " + perr);
+    }
+    return from_json(j, out, error);
+}
+
+bool CorpusIndex::save(const std::string& dir, std::string* error) const {
+    return sysc::write_file_atomic(index_path(dir), dump(), error);
+}
+
+}  // namespace rtk::corpus

@@ -1,0 +1,48 @@
+// The pinned corpus index: one entry per scenario file, carrying a
+// digest of the file bytes (did the text change?) and the behaviour
+// fingerprint of one run (did the kernel change?). The index is the
+// replay contract for a versioned corpus directory: validate compares
+// digests without simulating, replay re-runs and compares fingerprints.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/json.hpp"
+
+namespace rtk::corpus {
+
+/// FNV-1a over a byte string; the corpus digest primitive.
+std::uint64_t fnv1a64(const std::string& bytes);
+
+struct IndexEntry {
+    std::string file;  ///< path relative to the corpus root
+    std::string family;
+    std::uint64_t digest = 0;       ///< fnv1a64 over the file bytes
+    std::uint64_t fingerprint = 0;  ///< harness behaviour fingerprint
+    bool passed = false;            ///< run verdict incl. rate checks
+};
+
+struct CorpusIndex {
+    std::uint32_t version = 1;
+    std::vector<IndexEntry> entries;  ///< sorted by file path
+
+    void sort();
+    const IndexEntry* find(const std::string& file) const;
+
+    api::Json to_json() const;
+    std::string dump() const;  ///< canonical bytes (sorted, 2-indent, \n)
+    static bool from_json(const api::Json& j, CorpusIndex& out,
+                          std::string* error = nullptr);
+
+    /// Read/write `<dir>/index.json` (write is atomic).
+    static bool load(const std::string& dir, CorpusIndex& out,
+                     std::string* error = nullptr);
+    bool save(const std::string& dir, std::string* error = nullptr) const;
+};
+
+/// `<dir>/index.json`.
+std::string index_path(const std::string& dir);
+
+}  // namespace rtk::corpus

@@ -1,0 +1,144 @@
+#include "corpus/ops.hpp"
+
+#include <utility>
+
+namespace rtk::corpus {
+
+using api::Json;
+
+namespace {
+struct OpName {
+    OpKind kind;
+    const char* name;
+};
+constexpr OpName op_names[] = {
+    {OpKind::compute, "compute"},     {OpKind::delay, "delay"},
+    {OpKind::sleep, "sleep"},         {OpKind::wakeup, "wakeup"},
+    {OpKind::can_wup, "can_wup"},     {OpKind::rel_wai, "rel_wai"},
+    {OpKind::suspend, "suspend"},     {OpKind::resume, "resume"},
+    {OpKind::frsm, "frsm"},           {OpKind::chg_pri, "chg_pri"},
+    {OpKind::rot_rdq, "rot_rdq"},     {OpKind::sta_tsk, "sta_tsk"},
+    {OpKind::ter_tsk, "ter_tsk"},     {OpKind::ext_tsk, "ext_tsk"},
+    {OpKind::sem_wait, "sem_wait"},   {OpKind::sem_signal, "sem_signal"},
+    {OpKind::flg_set, "flg_set"},     {OpKind::flg_clr, "flg_clr"},
+    {OpKind::flg_wait, "flg_wait"},   {OpKind::mtx_lock, "mtx_lock"},
+    {OpKind::mtx_unlock, "mtx_unlock"}, {OpKind::mbx_send, "mbx_send"},
+    {OpKind::mbx_recv, "mbx_recv"},   {OpKind::mbf_send, "mbf_send"},
+    {OpKind::mbf_recv, "mbf_recv"},   {OpKind::mpf_get, "mpf_get"},
+    {OpKind::mpf_rel, "mpf_rel"},     {OpKind::mpl_get, "mpl_get"},
+    {OpKind::mpl_rel, "mpl_rel"},     {OpKind::cyc_start, "cyc_start"},
+    {OpKind::cyc_stop, "cyc_stop"},   {OpKind::alm_start, "alm_start"},
+    {OpKind::alm_stop, "alm_stop"},   {OpKind::raise_int, "raise_int"},
+    {OpKind::dsp_block, "dsp_block"}, {OpKind::ras_tex, "ras_tex"},
+    {OpKind::ref_poll, "ref_poll"},
+};
+}  // namespace
+
+const char* to_string(OpKind k) {
+    for (const OpName& n : op_names) {
+        if (n.kind == k) {
+            return n.name;
+        }
+    }
+    return "?";
+}
+
+bool op_kind_from_string(const std::string& name, OpKind& out) {
+    for (const OpName& n : op_names) {
+        if (name == n.name) {
+            out = n.kind;
+            return true;
+        }
+    }
+    return false;
+}
+
+OpRef op_ref(OpKind k) {
+    switch (k) {
+        case OpKind::wakeup:
+        case OpKind::can_wup:
+        case OpKind::rel_wai:
+        case OpKind::suspend:
+        case OpKind::resume:
+        case OpKind::frsm:
+        case OpKind::chg_pri:
+        case OpKind::sta_tsk:
+        case OpKind::ter_tsk:
+        case OpKind::ras_tex:
+            return OpRef::task;
+        case OpKind::sem_wait:
+        case OpKind::sem_signal:
+            return OpRef::sem;
+        case OpKind::flg_set:
+        case OpKind::flg_clr:
+        case OpKind::flg_wait:
+            return OpRef::flg;
+        case OpKind::mtx_lock:
+        case OpKind::mtx_unlock:
+            return OpRef::mtx;
+        case OpKind::mbx_send:
+        case OpKind::mbx_recv:
+            return OpRef::mbx;
+        case OpKind::mbf_send:
+        case OpKind::mbf_recv:
+            return OpRef::mbf;
+        case OpKind::mpf_get:
+        case OpKind::mpf_rel:
+            return OpRef::mpf;
+        case OpKind::mpl_get:
+        case OpKind::mpl_rel:
+            return OpRef::mpl;
+        case OpKind::cyc_start:
+        case OpKind::cyc_stop:
+            return OpRef::cyc;
+        case OpKind::alm_start:
+        case OpKind::alm_stop:
+            return OpRef::alm;
+        case OpKind::raise_int:
+            return OpRef::intv;
+        default:
+            return OpRef::none;
+    }
+}
+
+Json program_to_json(const Program& ops) {
+    Json arr = Json::array();
+    for (const Op& op : ops) {
+        Json o = Json::array();
+        o.push(Json::string(to_string(op.kind)));
+        o.push(Json::number_signed(op.a));
+        o.push(Json::number_signed(op.b));
+        o.push(Json::number_signed(op.c));
+        o.push(Json::number_signed(op.d));
+        arr.push(std::move(o));
+    }
+    return arr;
+}
+
+bool program_from_json(const Json& arr, Program& out, std::string* error) {
+    out.clear();
+    if (!arr.is_array()) {
+        if (error != nullptr) {
+            *error = "op list is not an array";
+        }
+        return false;
+    }
+    for (const Json& o : arr.items()) {
+        const auto& f = o.items();
+        Op op;
+        if (f.size() != 5 || !op_kind_from_string(f[0].as_string(), op.kind)) {
+            if (error != nullptr) {
+                *error = "malformed op entry";
+            }
+            return false;
+        }
+        op.a = static_cast<std::int32_t>(f[1].as_i64());
+        op.b = static_cast<std::int32_t>(f[2].as_i64());
+        op.c = static_cast<std::int32_t>(f[3].as_i64());
+        op.d = static_cast<std::int32_t>(f[4].as_i64());
+        out.push_back(op);
+    }
+    return true;
+}
+
+}  // namespace rtk::corpus

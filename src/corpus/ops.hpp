@@ -1,0 +1,103 @@
+// The op program data model: one Op is one interpreted kernel action
+// (a service call, a compute burst, a probe), a Program is a sequence of
+// them. Programs are pure data -- object operands are 0-based indices
+// into the declaration order of the referenced class -- so a behaviour
+// is serializable, diffable and replayable byte-for-byte. The harness
+// owns the interpreter (harness/fuzz_interp.hpp) that executes them
+// against a live kernel; this layer owns the encoding so corpus files
+// can carry behaviour without depending on the harness.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/json.hpp"
+
+namespace rtk::corpus {
+
+/// Timeout encoding used throughout op operands: -1 wait-forever
+/// (TMO_FEVR), 0 polling (TMO_POL), > 0 finite milliseconds.
+using SpecTmo = std::int32_t;
+
+enum class OpKind : std::uint8_t {
+    compute,     ///< a: work units
+    delay,       ///< a: ms                       (tk_dly_tsk)
+    sleep,       ///< a: tmo                      (tk_slp_tsk)
+    wakeup,      ///< a: task                     (tk_wup_tsk)
+    can_wup,     ///< a: task                     (tk_can_wup)
+    rel_wai,     ///< a: task                     (tk_rel_wai)
+    suspend,     ///< a: task                     (tk_sus_tsk)
+    resume,      ///< a: task                     (tk_rsm_tsk)
+    frsm,        ///< a: task                     (tk_frsm_tsk)
+    chg_pri,     ///< a: task, b: pri (0 = TPRI_INI)
+    rot_rdq,     ///< a: pri (0 = TPRI_RUN)
+    sta_tsk,     ///< a: task
+    ter_tsk,     ///< a: task
+    ext_tsk,     ///< end the invoking task's cycle
+    sem_wait,    ///< a: sem, b: cnt, c: tmo
+    sem_signal,  ///< a: sem, b: cnt
+    flg_set,     ///< a: flg, b: pattern
+    flg_clr,     ///< a: flg, b: keep-mask
+    flg_wait,    ///< a: flg, b: pattern, c: mode selector 0..5, d: tmo
+    mtx_lock,    ///< a: mtx, b: tmo
+    mtx_unlock,  ///< a: mtx
+    mbx_send,    ///< a: mbx, b: message priority
+    mbx_recv,    ///< a: mbx, b: tmo
+    mbf_send,    ///< a: mbf, b: bytes, c: tmo
+    mbf_recv,    ///< a: mbf, b: tmo
+    mpf_get,     ///< a: pool, b: tmo
+    mpf_rel,     ///< a: pool (oldest held block)
+    mpl_get,     ///< a: pool, b: bytes, c: tmo
+    mpl_rel,     ///< a: pool (oldest held block)
+    cyc_start,   ///< a: cyc
+    cyc_stop,    ///< a: cyc
+    alm_start,   ///< a: alm, b: ms
+    alm_stop,    ///< a: alm
+    raise_int,   ///< a: vector index
+    dsp_block,   ///< a: units -- tk_dis_dsp; compute; tk_ena_dsp
+    ras_tex,     ///< a: task, b: pattern
+    ref_poll,    ///< a: selector -- one read-only tk_ref_* probe
+};
+
+const char* to_string(OpKind k);
+/// Inverse of to_string(); returns false for unknown names.
+bool op_kind_from_string(const std::string& name, OpKind& out);
+
+/// Object class an op's `a` operand addresses (intv: 0-based index into
+/// the declared interrupt vectors). Used for operand-range validation;
+/// the interpreter itself no-ops on out-of-range indices.
+enum class OpRef : std::uint8_t {
+    none,
+    task,
+    sem,
+    flg,
+    mtx,
+    mbx,
+    mbf,
+    mpf,
+    mpl,
+    cyc,
+    alm,
+    intv,
+};
+OpRef op_ref(OpKind k);
+
+struct Op {
+    OpKind kind = OpKind::compute;
+    std::int32_t a = 0;
+    std::int32_t b = 0;
+    std::int32_t c = 0;
+    std::int32_t d = 0;
+};
+
+using Program = std::vector<Op>;
+
+/// One op as ["name", a, b, c, d]; a program as an array of those. The
+/// encoding is shared with the fuzzer's repro files, so it must stay
+/// byte-stable.
+api::Json program_to_json(const Program& ops);
+bool program_from_json(const api::Json& arr, Program& out,
+                       std::string* error = nullptr);
+
+}  // namespace rtk::corpus

@@ -1,0 +1,366 @@
+#include "corpus/scenario_file.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace rtk::corpus {
+
+using api::Json;
+
+namespace {
+
+bool is_null(const Json& j) { return j.kind() == Json::Kind::null; }
+bool is_string(const Json& j) { return j.kind() == Json::Kind::string; }
+
+bool fail(std::string* error, std::string what) {
+    if (error != nullptr) {
+        *error = std::move(what);
+    }
+    return false;
+}
+
+/// Count of declared objects in the class an op addresses, or -1 when
+/// the op takes no object operand.
+std::int64_t ref_population(const api::SystemSpec& sys, OpRef ref) {
+    switch (ref) {
+        case OpRef::task:
+            return static_cast<std::int64_t>(sys.tasks.size());
+        case OpRef::sem:
+            return static_cast<std::int64_t>(sys.semaphores.size());
+        case OpRef::flg:
+            return static_cast<std::int64_t>(sys.eventflags.size());
+        case OpRef::mtx:
+            return static_cast<std::int64_t>(sys.mutexes.size());
+        case OpRef::mbx:
+            return static_cast<std::int64_t>(sys.mailboxes.size());
+        case OpRef::mbf:
+            return static_cast<std::int64_t>(sys.msgbufs.size());
+        case OpRef::mpf:
+            return static_cast<std::int64_t>(sys.fixed_pools.size());
+        case OpRef::mpl:
+            return static_cast<std::int64_t>(sys.var_pools.size());
+        case OpRef::cyc:
+            return static_cast<std::int64_t>(sys.cyclics.size());
+        case OpRef::alm:
+            return static_cast<std::int64_t>(sys.alarms.size());
+        case OpRef::intv:
+            return static_cast<std::int64_t>(sys.interrupts.size());
+        case OpRef::none:
+            break;
+    }
+    return -1;
+}
+
+bool has_task(const api::SystemSpec& sys, const std::string& name) {
+    for (const api::TaskNode& n : sys.tasks) {
+        if (n.def.name == name) {
+            return true;
+        }
+    }
+    return false;
+}
+
+bool has_cyclic(const api::SystemSpec& sys, const std::string& name) {
+    for (const api::CycNode& n : sys.cyclics) {
+        if (n.def.name == name) {
+            return true;
+        }
+    }
+    return false;
+}
+
+bool has_alarm(const api::SystemSpec& sys, const std::string& name) {
+    for (const api::AlmNode& n : sys.alarms) {
+        if (n.def.name == name) {
+            return true;
+        }
+    }
+    return false;
+}
+
+bool has_intno(const api::SystemSpec& sys, std::uint32_t intno) {
+    for (const api::IntNode& n : sys.interrupts) {
+        if (n.intno == intno) {
+            return true;
+        }
+    }
+    return false;
+}
+
+bool read_bindings(const Json& bind, const char* key,
+                   std::map<std::string, std::string>& out,
+                   std::string* error) {
+    const Json& sect = bind.at(key);
+    if (is_null(sect)) {
+        return true;
+    }
+    if (!sect.is_object()) {
+        return fail(error, std::string("bind.") + key + " is not an object");
+    }
+    for (const auto& [obj, prog] : sect.members()) {
+        if (!is_string(prog) || prog.as_string().empty()) {
+            return fail(error, std::string("bind.") + key + "['" + obj +
+                                   "'] is not a program name");
+        }
+        out[obj] = prog.as_string();
+    }
+    return true;
+}
+
+}  // namespace
+
+const Program* ScenarioFile::find_program(const std::string& program) const {
+    const auto it = programs.find(program);
+    return it == programs.end() ? nullptr : &it->second;
+}
+
+const Program* ScenarioFile::task_program(const std::string& task) const {
+    const auto it = task_bindings.find(task);
+    return it == task_bindings.end() ? nullptr : find_program(it->second);
+}
+
+Json ScenarioFile::to_json() const {
+    Json j = Json::object();
+    j.set("rtk_scenario", Json::number(1));
+    j.set("name", Json::string(name));
+    j.set("family", Json::string(family));
+    j.set("seed", Json::number(seed));
+    j.set("duration_ms", Json::number(duration_ms));
+
+    Json cfg = Json::object();
+    cfg.set("tick_us", Json::number(config.tick_us));
+    cfg.set("round_robin", Json::boolean(config.round_robin));
+    cfg.set("delta_budget", Json::number(config.delta_budget));
+    cfg.set("iter_units", Json::number_signed(config.iter_units));
+    cfg.set("mbx_nodes", Json::number_signed(config.mbx_nodes));
+    j.set("config", std::move(cfg));
+
+    j.set("system", system.to_json());
+
+    Json progs = Json::object();
+    for (const auto& [pname, prog] : programs) {
+        progs.set(pname, program_to_json(prog));
+    }
+    j.set("programs", std::move(progs));
+
+    Json bind = Json::object();
+    Json bt = Json::object();
+    for (const auto& [obj, prog] : task_bindings) {
+        bt.set(obj, Json::string(prog));
+    }
+    bind.set("tasks", std::move(bt));
+    Json bc = Json::object();
+    for (const auto& [obj, prog] : cyclic_bindings) {
+        bc.set(obj, Json::string(prog));
+    }
+    bind.set("cyclics", std::move(bc));
+    Json ba = Json::object();
+    for (const auto& [obj, prog] : alarm_bindings) {
+        ba.set(obj, Json::string(prog));
+    }
+    bind.set("alarms", std::move(ba));
+    Json bi = Json::object();
+    for (const auto& [intno, prog] : interrupt_bindings) {
+        char key[16];
+        std::snprintf(key, sizeof(key), "%u", intno);
+        bi.set(key, Json::string(prog));
+    }
+    bind.set("interrupts", std::move(bi));
+    j.set("bind", std::move(bind));
+
+    Json jc = Json::array();
+    for (const RateCheck& c : checks) {
+        Json o = Json::object();
+        o.set("task", Json::string(c.task));
+        o.set("period_ms", Json::number(c.period_ms));
+        o.set("deadline_ms", Json::number(c.deadline_ms));
+        o.set("min_percent", Json::number(c.min_percent));
+        jc.push(std::move(o));
+    }
+    j.set("checks", std::move(jc));
+    return j;
+}
+
+std::string ScenarioFile::dump() const { return to_json().dump(2) + "\n"; }
+
+bool ScenarioFile::from_json(const Json& j, ScenarioFile& out,
+                             std::string* error) {
+    if (!j.is_object() || j.at("rtk_scenario").as_u64() != 1) {
+        return fail(error, "not a rtk_scenario v1 document");
+    }
+    out = ScenarioFile{};
+    out.name = j.at("name").as_string();
+    if (out.name.empty()) {
+        return fail(error, "missing scenario name");
+    }
+    out.family = j.at("family").as_string();
+    out.seed = j.at("seed").as_u64();
+    out.duration_ms = static_cast<std::uint32_t>(j.at("duration_ms").as_u64());
+    if (out.duration_ms == 0) {
+        return fail(error, "duration_ms must be positive");
+    }
+
+    const Json& cfg = j.at("config");
+    out.config.tick_us =
+        static_cast<std::uint32_t>(cfg.at("tick_us").as_u64(1000));
+    out.config.round_robin = cfg.at("round_robin").as_bool();
+    out.config.delta_budget = cfg.at("delta_budget").as_u64();
+    out.config.iter_units =
+        static_cast<std::int32_t>(cfg.at("iter_units").as_i64(10));
+    out.config.mbx_nodes =
+        static_cast<std::int32_t>(cfg.at("mbx_nodes").as_i64(8));
+    if (out.config.tick_us == 0) {
+        return fail(error, "config.tick_us must be positive");
+    }
+    if (out.config.iter_units <= 0) {
+        return fail(error, "config.iter_units must be positive");
+    }
+    if (out.config.mbx_nodes <= 0) {
+        return fail(error, "config.mbx_nodes must be positive");
+    }
+
+    std::string serr;
+    if (!api::SystemSpec::from_json(j.at("system"), out.system, &serr)) {
+        return fail(error, "system: " + serr);
+    }
+
+    const Json& progs = j.at("programs");
+    if (!is_null(progs)) {
+        if (!progs.is_object()) {
+            return fail(error, "programs is not an object");
+        }
+        for (const auto& [pname, body] : progs.members()) {
+            if (pname.empty()) {
+                return fail(error, "empty program name");
+            }
+            std::string perr;
+            Program prog;
+            if (!program_from_json(body, prog, &perr)) {
+                return fail(error, "program '" + pname + "': " + perr);
+            }
+            out.programs[pname] = std::move(prog);
+        }
+    }
+
+    // Every op operand must address a declared object: the interpreter
+    // would silently no-op, but a corpus entry that references nothing
+    // is a generator bug worth rejecting at load time.
+    for (const auto& [pname, prog] : out.programs) {
+        for (const Op& op : prog) {
+            const OpRef ref = op_ref(op.kind);
+            const std::int64_t population = ref_population(out.system, ref);
+            if (population >= 0 && (op.a < 0 || op.a >= population)) {
+                return fail(error, "program '" + pname + "': op '" +
+                                       to_string(op.kind) +
+                                       "' operand out of range");
+            }
+        }
+    }
+
+    const Json& bind = j.at("bind");
+    if (!is_null(bind)) {
+        if (!bind.is_object()) {
+            return fail(error, "bind is not an object");
+        }
+        if (!read_bindings(bind, "tasks", out.task_bindings, error) ||
+            !read_bindings(bind, "cyclics", out.cyclic_bindings, error) ||
+            !read_bindings(bind, "alarms", out.alarm_bindings, error)) {
+            return false;
+        }
+        const Json& bi = bind.at("interrupts");
+        if (bi.is_object()) {
+            for (const auto& [key, prog] : bi.members()) {
+                char* end = nullptr;
+                const unsigned long intno = std::strtoul(key.c_str(), &end, 10);
+                if (end == key.c_str() || *end != '\0') {
+                    return fail(error,
+                                "bind.interrupts key '" + key +
+                                    "' is not an interrupt number");
+                }
+                if (!is_string(prog) || prog.as_string().empty()) {
+                    return fail(error, "bind.interrupts['" + key +
+                                           "'] is not a program name");
+                }
+                out.interrupt_bindings[static_cast<std::uint32_t>(intno)] =
+                    prog.as_string();
+            }
+        } else if (!is_null(bi)) {
+            return fail(error, "bind.interrupts is not an object");
+        }
+    }
+
+    for (const auto& [task, prog] : out.task_bindings) {
+        if (!has_task(out.system, task)) {
+            return fail(error, "bind.tasks: unknown task '" + task + "'");
+        }
+        if (out.find_program(prog) == nullptr) {
+            return fail(error, "bind.tasks: unknown program '" + prog + "'");
+        }
+    }
+    for (const auto& [cyc, prog] : out.cyclic_bindings) {
+        if (!has_cyclic(out.system, cyc)) {
+            return fail(error, "bind.cyclics: unknown cyclic '" + cyc + "'");
+        }
+        if (out.find_program(prog) == nullptr) {
+            return fail(error, "bind.cyclics: unknown program '" + prog + "'");
+        }
+    }
+    for (const auto& [alm, prog] : out.alarm_bindings) {
+        if (!has_alarm(out.system, alm)) {
+            return fail(error, "bind.alarms: unknown alarm '" + alm + "'");
+        }
+        if (out.find_program(prog) == nullptr) {
+            return fail(error, "bind.alarms: unknown program '" + prog + "'");
+        }
+    }
+    for (const auto& [intno, prog] : out.interrupt_bindings) {
+        if (!has_intno(out.system, intno)) {
+            return fail(error, "bind.interrupts: no interrupt vector " +
+                                   std::to_string(intno));
+        }
+        if (out.find_program(prog) == nullptr) {
+            return fail(error,
+                        "bind.interrupts: unknown program '" + prog + "'");
+        }
+    }
+
+    const Json& jc = j.at("checks");
+    if (!is_null(jc)) {
+        if (!jc.is_array()) {
+            return fail(error, "checks is not an array");
+        }
+        for (const Json& o : jc.items()) {
+            RateCheck c;
+            c.task = o.at("task").as_string();
+            c.period_ms = static_cast<std::uint32_t>(o.at("period_ms").as_u64());
+            c.deadline_ms =
+                static_cast<std::uint32_t>(o.at("deadline_ms").as_u64());
+            c.min_percent =
+                static_cast<std::uint32_t>(o.at("min_percent").as_u64(50));
+            if (!has_task(out.system, c.task)) {
+                return fail(error, "checks: unknown task '" + c.task + "'");
+            }
+            if (c.period_ms == 0) {
+                return fail(error, "checks: period_ms must be positive");
+            }
+            if (c.min_percent > 100) {
+                return fail(error, "checks: min_percent above 100");
+            }
+            out.checks.push_back(std::move(c));
+        }
+    }
+    return true;
+}
+
+bool ScenarioFile::parse(const std::string& text, ScenarioFile& out,
+                         std::string* error) {
+    Json j;
+    std::string perr;
+    if (!Json::parse(text, j, &perr)) {
+        return fail(error, "json: " + perr);
+    }
+    return from_json(j, out, error);
+}
+
+}  // namespace rtk::corpus

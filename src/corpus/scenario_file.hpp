@@ -1,0 +1,81 @@
+// One ScenarioFile is one complete, replayable world: the structural
+// object graph (api::SystemSpec), the kernel configuration (policy,
+// tick, delta budget), a registry of named op programs, the bindings
+// that attach programs to tasks and handlers, and rate/deadline checks
+// evaluated from trace::Metrics after a run. Everything round-trips
+// through one JSON document with canonical bytes (dump()), so a corpus
+// entry can be diffed, fingerprint-pinned and replayed byte-for-byte.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "api/builder.hpp"
+#include "api/json.hpp"
+#include "corpus/ops.hpp"
+
+namespace rtk::corpus {
+
+/// Kernel + interpreter knobs folded into the scenario document. The
+/// harness maps these onto Simulation::Config when building the run.
+struct KernelConfig {
+    std::uint32_t tick_us = 1000;  ///< system timer period
+    bool round_robin = false;      ///< scheduler policy (false: pure priority)
+    std::uint64_t delta_budget = 0;   ///< 0: harness default hang budget
+    std::int32_t iter_units = 10;  ///< idle units between program iterations
+    std::int32_t mbx_nodes = 8;    ///< per-mailbox message-node pool size
+};
+
+/// Schedulability-style acceptance bound on one task, evaluated from
+/// trace::Metrics: the task must complete at least `min_percent`% of
+/// duration_ms / period_ms expected activations, and (when deadline_ms
+/// is set) its mean ready-to-running latency must stay under the
+/// deadline.
+struct RateCheck {
+    std::string task;
+    std::uint32_t period_ms = 10;
+    std::uint32_t deadline_ms = 0;   ///< 0: no latency bound
+    std::uint32_t min_percent = 50;  ///< completion floor in percent
+};
+
+struct ScenarioFile {
+    std::string name;    ///< scenario id, e.g. "pipeline/s4/17"
+    std::string family;  ///< generator family, "" for hand-written files
+    std::uint64_t seed = 0;
+    std::uint32_t duration_ms = 50;
+    KernelConfig config;
+    api::SystemSpec system;
+
+    /// Behaviour registry: named programs, attached to objects by name
+    /// (tasks/cyclics/alarms) or vector number (interrupts). Unbound
+    /// tasks idle; unbound handlers are no-ops.
+    std::map<std::string, Program> programs;
+    std::map<std::string, std::string> task_bindings;
+    std::map<std::string, std::string> cyclic_bindings;
+    std::map<std::string, std::string> alarm_bindings;
+    std::map<std::uint32_t, std::string> interrupt_bindings;
+
+    std::vector<RateCheck> checks;
+
+    /// Registry lookup; nullptr when absent.
+    const Program* find_program(const std::string& program) const;
+    /// Program bound to a task name; nullptr when unbound.
+    const Program* task_program(const std::string& task) const;
+
+    api::Json to_json() const;
+    /// Canonical bytes: 2-space indented JSON plus trailing newline.
+    /// parse(dump()) == *this, and dump() is byte-stable across runs.
+    std::string dump() const;
+
+    /// Strict load: malformed documents, unknown op names, bindings to
+    /// missing programs/objects, out-of-range op operands and bad
+    /// checks all fail with a diagnostic.
+    static bool from_json(const api::Json& j, ScenarioFile& out,
+                          std::string* error = nullptr);
+    static bool parse(const std::string& text, ScenarioFile& out,
+                      std::string* error = nullptr);
+};
+
+}  // namespace rtk::corpus

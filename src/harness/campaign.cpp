@@ -4,9 +4,13 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <utility>
 
+#include "corpus/index.hpp"
+#include "corpus/scenario_file.hpp"
 #include "harness/campaign_store.hpp"
+#include "harness/corpus_bridge.hpp"
 #include "harness/fuzz_rng.hpp"
 #include "sysc/fsio.hpp"
 
@@ -78,6 +82,7 @@ Json Manifest::to_json() const {
     j.set("corpus", Json::number(corpus));
     j.set("injections_per_workload", Json::number(injections_per_workload));
     j.set("delta_budget", Json::number(delta_budget));
+    j.set("corpus_dir", Json::string(corpus_dir));
     j.set("claim_batch", Json::number(claim_batch));
     j.set("flush_every", Json::number(flush_every));
     return j;
@@ -100,6 +105,7 @@ bool Manifest::from_json(const Json& j, Manifest& out, std::string* error) {
     m.injections_per_workload = static_cast<std::size_t>(
         j.at("injections_per_workload").as_u64(m.injections_per_workload));
     m.delta_budget = j.at("delta_budget").as_u64(m.delta_budget);
+    m.corpus_dir = j.at("corpus_dir").as_string();
     m.claim_batch = static_cast<std::size_t>(
         j.at("claim_batch").as_u64(m.claim_batch));
     m.flush_every = static_cast<std::size_t>(
@@ -147,16 +153,81 @@ std::vector<Job> make_jobs(const Manifest& m) {
 
 // ---- execution --------------------------------------------------------------
 
+namespace {
+
+/// Read and lower one corpus scenario file into a fault workload.
+bool corpus_workload_spec(const std::string& dir, const std::string& file,
+                          fuzz::FuzzSpec& out, std::string& error) {
+    const std::string path = dir + "/" + file;
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        error = "cannot open " + path;
+        return false;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    corpus::ScenarioFile scenario;
+    if (!corpus::ScenarioFile::parse(text.str(), scenario, &error)) {
+        error = file + ": " + error;
+        return false;
+    }
+    out = corpus_to_fuzz_spec(scenario);
+    return true;
+}
+
+}  // namespace
+
 const std::pair<fuzz::FuzzSpec, fault::BaselineProfile>& BaselineCache::get(
     const Manifest& m, std::uint64_t w) {
     auto it = cache_.find(w);
-    if (it == cache_.end()) {
-        fuzz::FuzzSpec spec = fuzz::generate_spec(m.base_seed + w);
-        fault::BaselineProfile base =
-            fault::profile_baseline(spec, m.delta_budget);
-        it = cache_.emplace(w, std::make_pair(std::move(spec), std::move(base)))
-                 .first;
+    if (it != cache_.end()) {
+        return it->second;
     }
+    fuzz::FuzzSpec spec;
+    fault::BaselineProfile base;
+    std::string error;
+    if (m.corpus_dir.empty()) {
+        spec = fuzz::generate_spec(m.base_seed + w);
+        base = fault::profile_baseline(spec, m.delta_budget);
+    } else {
+        if (!corpus_loaded_) {
+            corpus_loaded_ = true;
+            corpus::CorpusIndex index;
+            if (!corpus::CorpusIndex::load(m.corpus_dir, index,
+                                           &corpus_error_)) {
+                corpus_files_.clear();
+            } else {
+                // The index is the deterministic workload order: sorted
+                // by file path, independent of directory iteration.
+                index.sort();
+                for (const corpus::IndexEntry& e : index.entries) {
+                    corpus_files_.emplace_back(e.file, e.family);
+                }
+                if (corpus_files_.empty()) {
+                    corpus_error_ = "corpus index has no entries";
+                }
+            }
+        }
+        if (corpus_files_.empty()) {
+            base.ok = false;
+            base.error = "corpus: " + corpus_error_;
+        } else {
+            const auto& [file, family] =
+                corpus_files_[static_cast<std::size_t>(w) %
+                              corpus_files_.size()];
+            if (!corpus_workload_spec(m.corpus_dir, file, spec, error)) {
+                base.ok = false;
+                base.error = "corpus: " + error;
+            } else {
+                // Stamp a per-workload seed so result records and fault
+                // scenario names stay distinct across entries.
+                spec.seed = m.base_seed + w;
+                base = fault::profile_baseline(spec, m.delta_budget);
+            }
+        }
+    }
+    it = cache_.emplace(w, std::make_pair(std::move(spec), std::move(base)))
+             .first;
     return it->second;
 }
 

@@ -59,6 +59,12 @@ struct Manifest {
     std::size_t corpus = 8;
     std::size_t injections_per_workload = 32;
     std::uint64_t delta_budget = 2000000;
+    /// When non-empty, fault workloads are drawn from this checked-in
+    /// scenario corpus (rtk::corpus directory with a pinned index.json)
+    /// instead of being generated: workload w is the corpus entry at
+    /// index-sorted position w % entry-count, lowered through
+    /// corpus_to_fuzz_spec. Empty: generate_spec(base_seed + w).
+    std::string corpus_dir;
 
     // Engine knobs (affect scheduling only, never results).
     std::size_t claim_batch = 8;  ///< job leases per ClaimQueue claim
@@ -102,6 +108,12 @@ public:
 private:
     std::map<std::uint64_t, std::pair<fuzz::FuzzSpec, fault::BaselineProfile>>
         cache_;
+    /// Manifest::corpus_dir workloads: the pinned index, loaded once. A
+    /// load failure is sticky (every workload yields a failed baseline,
+    /// so every job records a deterministic skip).
+    bool corpus_loaded_ = false;
+    std::string corpus_error_;
+    std::vector<std::pair<std::string, std::string>> corpus_files_;  ///< {file, family}
 };
 
 /// Run one job to its deterministic result record: a pure function of

@@ -1,0 +1,57 @@
+// The execution bridge between rtk::corpus (pure data: scenario files,
+// programs, checks) and the harness (Simulation, ScenarioRunner). A
+// ScenarioFile becomes a runnable ScenarioSpec by copying its structural
+// api::SystemSpec and attaching behaviour closures per its bindings:
+// bound tasks interpret their program in the shared fuzz interpreter
+// loop, unbound tasks sleep, bound handlers run their program in handler
+// context, unbound handlers are no-ops. The same interpreter the fuzzer
+// uses (fuzz_interp) executes every op, so corpus scenarios and fuzz
+// specs exercise identical service-call paths.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "corpus/checks.hpp"
+#include "corpus/scenario_file.hpp"
+#include "harness/fuzz.hpp"
+#include "harness/scenario.hpp"
+
+namespace rtk::harness {
+
+/// Hang guard applied when KernelConfig::delta_budget is 0: generated
+/// corpus scenarios always advance time, but hand-written files get a
+/// bounded run instead of a wedged replay tool.
+inline constexpr std::uint64_t corpus_default_delta_budget = 20000000;
+
+/// Outcome of one corpus scenario run: the harness-level result plus the
+/// scenario's rate/deadline checks evaluated from the run's metrics.
+struct CorpusRunReport {
+    ScenarioResult result;
+    std::vector<corpus::CheckResult> checks;
+    bool checks_passed = true;
+
+    /// Clean run AND every declared check held.
+    bool passed() const { return result.passed && checks_passed; }
+};
+
+/// Build a runnable ScenarioSpec from a (validated) scenario file.
+/// Tracing is NOT enabled here -- callers that evaluate checks must set
+/// spec.trace.enabled (run_corpus_scenario does); tracing never changes
+/// the behaviour fingerprint. `hooks` intercepts every interpreted op,
+/// which is how fault campaigns inject into corpus workloads.
+ScenarioSpec scenario_from_corpus(const corpus::ScenarioFile& file,
+                                  fuzz::WorkloadHooks hooks = {});
+
+/// Run one scenario file to completion (traced) and evaluate its checks.
+CorpusRunReport run_corpus_scenario(const corpus::ScenarioFile& file);
+
+/// Lower a scenario file onto the fuzzer's spec model so the existing
+/// fault/differential pipelines can consume corpus workloads unchanged
+/// (campaign --corpus <dir>). Structural parameters and bound programs
+/// carry over exactly; object names do not (FuzzSpec objects are
+/// positional), so fingerprints of the two paths are not comparable --
+/// campaigns re-profile their own baselines.
+fuzz::FuzzSpec corpus_to_fuzz_spec(const corpus::ScenarioFile& file);
+
+}  // namespace rtk::harness

@@ -35,7 +35,7 @@
 
 namespace rtk::harness::fault {
 
-using fuzz::Json;
+using Json = api::Json;
 
 // ---- fault classes ----------------------------------------------------------
 

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/fuzz_interp.hpp"
 #include "harness/fuzz_oracle.hpp"
 #include "harness/fuzz_spec.hpp"
 #include "harness/scenario.hpp"
@@ -39,16 +40,6 @@ struct BuiltScenario {
     ScenarioSpec scenario;
     /// Filled when the scenario's check predicate runs (end of run).
     std::shared_ptr<OracleReport> oracle;
-};
-
-/// Per-op interception of the spec interpreter. `before_op` runs before
-/// every op executes -- `index` is the 0-based global op-execution count
-/// across all tasks and handlers of the run, `op` may be rewritten in
-/// place (the spec itself is never mutated). This is how the fault
-/// engine attributes injections to service calls and corrupts call
-/// arguments deterministically.
-struct WorkloadHooks {
-    std::function<void(std::uint64_t index, FuzzOp& op, bool handler)> before_op;
 };
 
 /// Turn a spec into a runnable ScenarioSpec. The workload interprets the

@@ -1,54 +1,12 @@
-// Deterministic, platform-independent random source for the scenario
-// fuzzer. std::mt19937_64 is portable but the std:: distributions are
-// not (their algorithms are implementation-defined), so the generator
-// rolls its own: SplitMix64 for the stream and explicit bounded draws.
-// Identical seeds must generate identical ScenarioSpecs on every
-// compiler/stdlib, or repro JSON files stop being portable.
+// Compat spelling: the deterministic generator moved to corpus/rng.hpp
+// so the corpus family generators and the fuzzer share one stream
+// implementation. Fuzz code keeps saying fuzz::Rng.
 #pragma once
 
-#include <cstdint>
+#include "corpus/rng.hpp"
 
 namespace rtk::harness::fuzz {
 
-class Rng {
-public:
-    explicit Rng(std::uint64_t seed) : state_(seed) {}
-
-    /// SplitMix64 step (public domain, Vigna 2015).
-    std::uint64_t next_u64() {
-        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
-        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-        return z ^ (z >> 31);
-    }
-
-    /// Uniform draw in [0, bound); bound 0 yields 0. Multiply-shift
-    /// mapping (Lemire): biased by at most 2^-64 per draw, identically on
-    /// every platform.
-    std::uint64_t below(std::uint64_t bound) {
-        if (bound == 0) {
-            return 0;
-        }
-        return static_cast<std::uint64_t>(
-            (static_cast<unsigned __int128>(next_u64()) * bound) >> 64);
-    }
-
-    /// Uniform draw in [lo, hi] (inclusive).
-    std::int64_t range(std::int64_t lo, std::int64_t hi) {
-        if (hi <= lo) {
-            return lo;
-        }
-        return lo + static_cast<std::int64_t>(
-                        below(static_cast<std::uint64_t>(hi - lo) + 1));
-    }
-
-    int irange(int lo, int hi) { return static_cast<int>(range(lo, hi)); }
-
-    /// True with probability `percent`/100.
-    bool chance(int percent) { return below(100) < static_cast<std::uint64_t>(percent); }
-
-private:
-    std::uint64_t state_;
-};
+using Rng = rtk::corpus::Rng;
 
 }  // namespace rtk::harness::fuzz

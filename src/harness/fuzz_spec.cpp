@@ -7,100 +7,9 @@
 
 namespace rtk::harness::fuzz {
 
-// ---- OpKind names -----------------------------------------------------------
-
-namespace {
-struct OpName {
-    OpKind kind;
-    const char* name;
-};
-constexpr OpName op_names[] = {
-    {OpKind::compute, "compute"},     {OpKind::delay, "delay"},
-    {OpKind::sleep, "sleep"},         {OpKind::wakeup, "wakeup"},
-    {OpKind::can_wup, "can_wup"},     {OpKind::rel_wai, "rel_wai"},
-    {OpKind::suspend, "suspend"},     {OpKind::resume, "resume"},
-    {OpKind::frsm, "frsm"},           {OpKind::chg_pri, "chg_pri"},
-    {OpKind::rot_rdq, "rot_rdq"},     {OpKind::sta_tsk, "sta_tsk"},
-    {OpKind::ter_tsk, "ter_tsk"},     {OpKind::ext_tsk, "ext_tsk"},
-    {OpKind::sem_wait, "sem_wait"},   {OpKind::sem_signal, "sem_signal"},
-    {OpKind::flg_set, "flg_set"},     {OpKind::flg_clr, "flg_clr"},
-    {OpKind::flg_wait, "flg_wait"},   {OpKind::mtx_lock, "mtx_lock"},
-    {OpKind::mtx_unlock, "mtx_unlock"}, {OpKind::mbx_send, "mbx_send"},
-    {OpKind::mbx_recv, "mbx_recv"},   {OpKind::mbf_send, "mbf_send"},
-    {OpKind::mbf_recv, "mbf_recv"},   {OpKind::mpf_get, "mpf_get"},
-    {OpKind::mpf_rel, "mpf_rel"},     {OpKind::mpl_get, "mpl_get"},
-    {OpKind::mpl_rel, "mpl_rel"},     {OpKind::cyc_start, "cyc_start"},
-    {OpKind::cyc_stop, "cyc_stop"},   {OpKind::alm_start, "alm_start"},
-    {OpKind::alm_stop, "alm_stop"},   {OpKind::raise_int, "raise_int"},
-    {OpKind::dsp_block, "dsp_block"}, {OpKind::ras_tex, "ras_tex"},
-    {OpKind::ref_poll, "ref_poll"},
-};
-}  // namespace
-
-const char* to_string(OpKind k) {
-    for (const OpName& n : op_names) {
-        if (n.kind == k) {
-            return n.name;
-        }
-    }
-    return "?";
-}
-
-bool op_kind_from_string(const std::string& name, OpKind& out) {
-    for (const OpName& n : op_names) {
-        if (name == n.name) {
-            out = n.kind;
-            return true;
-        }
-    }
-    return false;
-}
+using api::Json;
 
 // ---- JSON round trip --------------------------------------------------------
-
-namespace {
-
-Json ops_to_json(const std::vector<FuzzOp>& ops) {
-    Json arr = Json::array();
-    for (const FuzzOp& op : ops) {
-        Json o = Json::array();
-        o.push(Json::string(to_string(op.kind)));
-        o.push(Json::number_signed(op.a));
-        o.push(Json::number_signed(op.b));
-        o.push(Json::number_signed(op.c));
-        o.push(Json::number_signed(op.d));
-        arr.push(std::move(o));
-    }
-    return arr;
-}
-
-bool ops_from_json(const Json& arr, std::vector<FuzzOp>& out, std::string* error) {
-    out.clear();
-    if (!arr.is_array()) {
-        if (error != nullptr) {
-            *error = "op list is not an array";
-        }
-        return false;
-    }
-    for (const Json& o : arr.items()) {
-        const auto& f = o.items();
-        FuzzOp op;
-        if (f.size() != 5 || !op_kind_from_string(f[0].as_string(), op.kind)) {
-            if (error != nullptr) {
-                *error = "malformed op entry";
-            }
-            return false;
-        }
-        op.a = static_cast<std::int32_t>(f[1].as_i64());
-        op.b = static_cast<std::int32_t>(f[2].as_i64());
-        op.c = static_cast<std::int32_t>(f[3].as_i64());
-        op.d = static_cast<std::int32_t>(f[4].as_i64());
-        out.push_back(op);
-    }
-    return true;
-}
-
-}  // namespace
 
 std::string FuzzSpec::scenario_name() const {
     return "fuzz/" + std::to_string(seed) + "/" +
@@ -120,7 +29,7 @@ Json FuzzSpec::to_json() const {
         Json o = Json::object();
         o.set("pri", Json::number_signed(t.pri));
         o.set("tex", Json::boolean(t.tex));
-        o.set("ops", ops_to_json(t.ops));
+        o.set("ops", corpus::program_to_json(t.ops));
         jt.push(std::move(o));
     }
     j.set("tasks", std::move(jt));
@@ -201,7 +110,7 @@ Json FuzzSpec::to_json() const {
         o.set("phase_ms", Json::number_signed(c.phase_ms));
         o.set("autostart", Json::boolean(c.autostart));
         o.set("phs", Json::boolean(c.phs));
-        o.set("ops", ops_to_json(c.ops));
+        o.set("ops", corpus::program_to_json(c.ops));
         jc.push(std::move(o));
     }
     j.set("cycs", std::move(jc));
@@ -210,7 +119,7 @@ Json FuzzSpec::to_json() const {
     for (const AlmSpec& a : alms) {
         Json o = Json::object();
         o.set("start_ms", Json::number_signed(a.start_ms));
-        o.set("ops", ops_to_json(a.ops));
+        o.set("ops", corpus::program_to_json(a.ops));
         ja.push(std::move(o));
     }
     j.set("alms", std::move(ja));
@@ -219,7 +128,7 @@ Json FuzzSpec::to_json() const {
     for (const IntSpec& i : ints) {
         Json o = Json::object();
         o.set("pri", Json::number_signed(i.pri));
-        o.set("ops", ops_to_json(i.ops));
+        o.set("ops", corpus::program_to_json(i.ops));
         ji.push(std::move(o));
     }
     j.set("ints", std::move(ji));
@@ -250,7 +159,7 @@ bool FuzzSpec::from_json(const Json& j, FuzzSpec& out, std::string* error) {
         TaskSpec t;
         t.pri = static_cast<std::int32_t>(o.at("pri").as_i64(1));
         t.tex = o.at("tex").as_bool();
-        if (!ops_from_json(o.at("ops"), t.ops, error)) {
+        if (!corpus::program_from_json(o.at("ops"), t.ops, error)) {
             return false;
         }
         out.tasks.push_back(std::move(t));
@@ -309,7 +218,7 @@ bool FuzzSpec::from_json(const Json& j, FuzzSpec& out, std::string* error) {
         c.phase_ms = static_cast<std::int32_t>(o.at("phase_ms").as_i64());
         c.autostart = o.at("autostart").as_bool(true);
         c.phs = o.at("phs").as_bool();
-        if (!ops_from_json(o.at("ops"), c.ops, error)) {
+        if (!corpus::program_from_json(o.at("ops"), c.ops, error)) {
             return false;
         }
         out.cycs.push_back(std::move(c));
@@ -317,7 +226,7 @@ bool FuzzSpec::from_json(const Json& j, FuzzSpec& out, std::string* error) {
     for (const Json& o : j.at("alms").items()) {
         AlmSpec a;
         a.start_ms = static_cast<std::int32_t>(o.at("start_ms").as_i64());
-        if (!ops_from_json(o.at("ops"), a.ops, error)) {
+        if (!corpus::program_from_json(o.at("ops"), a.ops, error)) {
             return false;
         }
         out.alms.push_back(std::move(a));
@@ -325,7 +234,7 @@ bool FuzzSpec::from_json(const Json& j, FuzzSpec& out, std::string* error) {
     for (const Json& o : j.at("ints").items()) {
         IntSpec i;
         i.pri = static_cast<std::int32_t>(o.at("pri").as_i64(1));
-        if (!ops_from_json(o.at("ops"), i.ops, error)) {
+        if (!corpus::program_from_json(o.at("ops"), i.ops, error)) {
             return false;
         }
         out.ints.push_back(std::move(i));

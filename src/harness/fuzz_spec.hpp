@@ -17,65 +17,20 @@
 #include <string>
 #include <vector>
 
-#include "harness/fuzz_json.hpp"
+#include "api/json.hpp"
+#include "corpus/ops.hpp"
 
 namespace rtk::harness::fuzz {
 
-/// Timeout encoding used throughout the spec: -1 wait-forever (TMO_FEVR),
-/// 0 polling (TMO_POL), > 0 finite milliseconds.
-using SpecTmo = std::int32_t;
-
-enum class OpKind : std::uint8_t {
-    compute,     ///< a: work units
-    delay,       ///< a: ms                       (tk_dly_tsk)
-    sleep,       ///< a: tmo                      (tk_slp_tsk)
-    wakeup,      ///< a: task                     (tk_wup_tsk)
-    can_wup,     ///< a: task                     (tk_can_wup)
-    rel_wai,     ///< a: task                     (tk_rel_wai)
-    suspend,     ///< a: task                     (tk_sus_tsk)
-    resume,      ///< a: task                     (tk_rsm_tsk)
-    frsm,        ///< a: task                     (tk_frsm_tsk)
-    chg_pri,     ///< a: task, b: pri (0 = TPRI_INI)
-    rot_rdq,     ///< a: pri (0 = TPRI_RUN)
-    sta_tsk,     ///< a: task
-    ter_tsk,     ///< a: task
-    ext_tsk,     ///< end the invoking task's cycle
-    sem_wait,    ///< a: sem, b: cnt, c: tmo
-    sem_signal,  ///< a: sem, b: cnt
-    flg_set,     ///< a: flg, b: pattern
-    flg_clr,     ///< a: flg, b: keep-mask
-    flg_wait,    ///< a: flg, b: pattern, c: mode selector 0..5, d: tmo
-    mtx_lock,    ///< a: mtx, b: tmo
-    mtx_unlock,  ///< a: mtx
-    mbx_send,    ///< a: mbx, b: message priority
-    mbx_recv,    ///< a: mbx, b: tmo
-    mbf_send,    ///< a: mbf, b: bytes, c: tmo
-    mbf_recv,    ///< a: mbf, b: tmo
-    mpf_get,     ///< a: pool, b: tmo
-    mpf_rel,     ///< a: pool (oldest held block)
-    mpl_get,     ///< a: pool, b: bytes, c: tmo
-    mpl_rel,     ///< a: pool (oldest held block)
-    cyc_start,   ///< a: cyc
-    cyc_stop,    ///< a: cyc
-    alm_start,   ///< a: alm, b: ms
-    alm_stop,    ///< a: alm
-    raise_int,   ///< a: vector index
-    dsp_block,   ///< a: units -- tk_dis_dsp; compute; tk_ena_dsp
-    ras_tex,     ///< a: task, b: pattern
-    ref_poll,    ///< a: selector -- one read-only tk_ref_* probe
-};
-
-const char* to_string(OpKind k);
-/// Inverse of to_string(); returns false for unknown names.
-bool op_kind_from_string(const std::string& name, OpKind& out);
-
-struct FuzzOp {
-    OpKind kind = OpKind::compute;
-    std::int32_t a = 0;
-    std::int32_t b = 0;
-    std::int32_t c = 0;
-    std::int32_t d = 0;
-};
+// The op data model lives in rtk::corpus (corpus/ops.hpp) so corpus
+// scenario files and fuzz specs share one encoding and one
+// interpreter; these aliases keep the historical fuzz:: spellings
+// working.
+using SpecTmo = corpus::SpecTmo;
+using OpKind = corpus::OpKind;
+using FuzzOp = corpus::Op;
+using corpus::op_kind_from_string;
+using corpus::to_string;
 
 struct TaskSpec {
     std::int32_t pri = 1;
@@ -165,8 +120,9 @@ struct FuzzSpec {
     /// Scenario name used in reports: "fuzz/<seed>/<policy>".
     std::string scenario_name() const;
 
-    Json to_json() const;
-    static bool from_json(const Json& j, FuzzSpec& out, std::string* error = nullptr);
+    api::Json to_json() const;
+    static bool from_json(const api::Json& j, FuzzSpec& out,
+                          std::string* error = nullptr);
 
     bool operator==(const FuzzSpec& other) const {
         return to_json().dump(-1) == other.to_json().dump(-1);

@@ -1,0 +1,93 @@
+// Rate/deadline check evaluation over synthetic metrics: completion
+// floor, latency bound, missing tasks and the vacuous-pass case.
+#include <gtest/gtest.h>
+
+#include "corpus/checks.hpp"
+#include "corpus/families.hpp"
+
+using namespace rtk;
+using namespace rtk::corpus;
+
+namespace {
+
+ScenarioFile checked_scenario(std::uint32_t duration_ms, RateCheck check) {
+    ScenarioFile f;
+    EXPECT_TRUE(generate_family("pipeline", {3, 5}, f));
+    f.duration_ms = duration_ms;
+    f.checks.clear();
+    check.task = f.system.tasks.front().def.name;
+    f.checks.push_back(std::move(check));
+    return f;
+}
+
+trace::TaskMetrics task_metrics(const std::string& name,
+                                std::uint64_t dispatches,
+                                std::uint64_t ready_ps) {
+    trace::TaskMetrics t;
+    t.name = name;
+    t.dispatches = dispatches;
+    t.residency_ps[static_cast<std::size_t>(sim::ThreadState::ready)] =
+        ready_ps;
+    return t;
+}
+
+}  // namespace
+
+TEST(Checks, NoChecksPassVacuously) {
+    ScenarioFile f;
+    ASSERT_TRUE(generate_family("pipeline", {3, 5}, f));
+    f.checks.clear();
+    trace::Metrics m;
+    EXPECT_TRUE(evaluate_checks(f, m).empty());
+    EXPECT_TRUE(all_passed({}));
+}
+
+TEST(Checks, CompletionFloorSplitsOnDispatchCount) {
+    // 100 ms at a 10 ms period expects 10 activations; 50% floor = 5.
+    const ScenarioFile f = checked_scenario(100, {"", 10, 0, 50});
+    const std::string task = f.checks[0].task;
+
+    trace::Metrics ok;
+    ok.tasks.push_back(task_metrics(task, 5, 0));
+    auto results = evaluate_checks(f, ok);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_TRUE(results[0].ok) << results[0].detail;
+    EXPECT_TRUE(all_passed(results));
+
+    trace::Metrics starved;
+    starved.tasks.push_back(task_metrics(task, 4, 0));
+    results = evaluate_checks(f, starved);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_FALSE(results[0].ok);
+    EXPECT_NE(results[0].detail.find("dispatches"), std::string::npos);
+    EXPECT_FALSE(all_passed(results));
+}
+
+TEST(Checks, DeadlineBoundsMeanReadyLatency) {
+    // 2 ms deadline; 10 dispatches. 15 ms of summed ready time means a
+    // 1.5 ms mean -- fine; 30 ms means 3 ms -- violated.
+    const ScenarioFile f = checked_scenario(100, {"", 10, 2, 50});
+    const std::string task = f.checks[0].task;
+
+    trace::Metrics fine;
+    fine.tasks.push_back(task_metrics(task, 10, 15000000000ull));
+    auto results = evaluate_checks(f, fine);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_TRUE(results[0].ok) << results[0].detail;
+
+    trace::Metrics late;
+    late.tasks.push_back(task_metrics(task, 10, 30000000000ull));
+    results = evaluate_checks(f, late);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_FALSE(results[0].ok);
+    EXPECT_NE(results[0].detail.find("deadline"), std::string::npos);
+}
+
+TEST(Checks, MissingTaskFails) {
+    const ScenarioFile f = checked_scenario(100, {"", 10, 0, 50});
+    trace::Metrics m;  // empty: the task never appeared
+    const auto results = evaluate_checks(f, m);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_FALSE(results[0].ok);
+    EXPECT_NE(results[0].detail.find("never appeared"), std::string::npos);
+}

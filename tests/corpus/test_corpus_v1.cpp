@@ -1,0 +1,83 @@
+// The checked-in corpus/v1 contract: the pinned index covers >= 1000
+// scenarios across all four families, and an evenly-strided sample
+// replays byte- and fingerprint-identically against its pins.
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "corpus/families.hpp"
+#include "corpus/index.hpp"
+#include "corpus/scenario_file.hpp"
+#include "harness/corpus_bridge.hpp"
+
+using namespace rtk;
+using namespace rtk::corpus;
+using namespace rtk::harness;
+
+namespace {
+
+const std::string kDir = RTK_CORPUS_V1_DIR;
+
+bool slurp(const std::string& path, std::string& out) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        return false;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+}  // namespace
+
+TEST(CorpusV1, IndexCoversTheContract) {
+    CorpusIndex index;
+    std::string error;
+    ASSERT_TRUE(CorpusIndex::load(kDir, index, &error)) << error;
+    EXPECT_GE(index.entries.size(), 1000u);
+
+    std::set<std::string> families;
+    for (const IndexEntry& e : index.entries) {
+        families.insert(e.family);
+        EXPECT_TRUE(e.passed) << e.file;
+    }
+    for (const std::string& family : family_names()) {
+        EXPECT_TRUE(families.count(family)) << family;
+    }
+}
+
+TEST(CorpusV1, SampledEntriesReplayAgainstTheirPins) {
+    CorpusIndex index;
+    std::string error;
+    ASSERT_TRUE(CorpusIndex::load(kDir, index, &error)) << error;
+    ASSERT_FALSE(index.entries.empty());
+    index.sort();
+
+    // An even stride across the sorted index touches every family.
+    const std::size_t sample = 16;
+    const std::size_t stride =
+        index.entries.size() < sample ? 1 : index.entries.size() / sample;
+    std::size_t checked = 0;
+    for (std::size_t i = 0; i < index.entries.size(); i += stride) {
+        const IndexEntry& e = index.entries[i];
+        std::string bytes;
+        ASSERT_TRUE(slurp(kDir + "/" + e.file, bytes)) << e.file;
+        EXPECT_EQ(fnv1a64(bytes), e.digest) << e.file;
+
+        ScenarioFile f;
+        ASSERT_TRUE(ScenarioFile::parse(bytes, f, &error))
+            << e.file << ": " << error;
+        EXPECT_EQ(f.dump(), bytes) << e.file;  // canonical on disk
+        EXPECT_EQ(f.family, e.family) << e.file;
+
+        const CorpusRunReport report = run_corpus_scenario(f);
+        EXPECT_EQ(report.result.fingerprint, e.fingerprint) << e.file;
+        EXPECT_EQ(report.passed(), e.passed) << e.file;
+        ++checked;
+    }
+    EXPECT_GE(checked, sample);
+}

@@ -1,0 +1,86 @@
+// The shared op data model: name round-trips, program (de)serialization
+// strictness and the operand-class map the scenario validator uses.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "corpus/ops.hpp"
+
+using namespace rtk;
+using namespace rtk::corpus;
+
+TEST(Ops, EveryKindRoundTripsByName) {
+    for (int k = 0; k <= static_cast<int>(OpKind::ref_poll); ++k) {
+        const OpKind kind = static_cast<OpKind>(k);
+        OpKind back;
+        ASSERT_TRUE(op_kind_from_string(to_string(kind), back))
+            << to_string(kind);
+        EXPECT_EQ(kind, back);
+    }
+    OpKind out;
+    EXPECT_FALSE(op_kind_from_string("definitely_not_an_op", out));
+    EXPECT_FALSE(op_kind_from_string("", out));
+}
+
+TEST(Ops, ProgramRoundTripsThroughJson) {
+    Program prog = {
+        {OpKind::compute, 12, 0, 0, 0},
+        {OpKind::sem_wait, 1, 2, -1, 0},
+        {OpKind::flg_wait, 0, 0x5, 1, 10},
+        {OpKind::mbx_send, 0, 3, 0, 0},
+    };
+    Program back;
+    std::string error;
+    ASSERT_TRUE(program_from_json(program_to_json(prog), back, &error)) << error;
+    ASSERT_EQ(prog.size(), back.size());
+    for (std::size_t i = 0; i < prog.size(); ++i) {
+        EXPECT_EQ(prog[i].kind, back[i].kind);
+        EXPECT_EQ(prog[i].a, back[i].a);
+        EXPECT_EQ(prog[i].b, back[i].b);
+        EXPECT_EQ(prog[i].c, back[i].c);
+        EXPECT_EQ(prog[i].d, back[i].d);
+    }
+}
+
+TEST(Ops, MalformedEntriesAreRejected) {
+    Program out;
+    std::string error;
+
+    api::Json not_array = api::Json::string("compute");
+    EXPECT_FALSE(program_from_json(not_array, out, &error));
+
+    // An op entry must be exactly ["name", a, b, c, d].
+    api::Json short_entry = api::Json::array();
+    api::Json entry = api::Json::array();
+    entry.push(api::Json::string("compute"));
+    entry.push(api::Json::number(1));
+    short_entry.push(std::move(entry));
+    EXPECT_FALSE(program_from_json(short_entry, out, &error));
+    EXPECT_NE(error.find("malformed"), std::string::npos);
+
+    api::Json unknown = api::Json::array();
+    api::Json uentry = api::Json::array();
+    uentry.push(api::Json::string("warp_core_breach"));
+    for (int i = 0; i < 4; ++i) {
+        uentry.push(api::Json::number(0));
+    }
+    unknown.push(std::move(uentry));
+    EXPECT_FALSE(program_from_json(unknown, out, &error));
+}
+
+TEST(Ops, OperandClassMapCoversTheObviousCases) {
+    EXPECT_EQ(op_ref(OpKind::compute), OpRef::none);
+    EXPECT_EQ(op_ref(OpKind::sleep), OpRef::none);
+    EXPECT_EQ(op_ref(OpKind::wakeup), OpRef::task);
+    EXPECT_EQ(op_ref(OpKind::chg_pri), OpRef::task);
+    EXPECT_EQ(op_ref(OpKind::sem_wait), OpRef::sem);
+    EXPECT_EQ(op_ref(OpKind::flg_set), OpRef::flg);
+    EXPECT_EQ(op_ref(OpKind::mtx_lock), OpRef::mtx);
+    EXPECT_EQ(op_ref(OpKind::mbx_send), OpRef::mbx);
+    EXPECT_EQ(op_ref(OpKind::mbf_recv), OpRef::mbf);
+    EXPECT_EQ(op_ref(OpKind::mpf_get), OpRef::mpf);
+    EXPECT_EQ(op_ref(OpKind::mpl_rel), OpRef::mpl);
+    EXPECT_EQ(op_ref(OpKind::cyc_start), OpRef::cyc);
+    EXPECT_EQ(op_ref(OpKind::alm_start), OpRef::alm);
+    EXPECT_EQ(op_ref(OpKind::raise_int), OpRef::intv);
+}

@@ -1,0 +1,201 @@
+// ScenarioFile schema: canonical-byte round-trips, the behaviour
+// registry, and the strict-load rejection matrix (malformed documents,
+// dangling bindings, out-of-range operands, bad checks, and the
+// SystemSpec hardening underneath).
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "corpus/families.hpp"
+#include "corpus/scenario_file.hpp"
+
+using namespace rtk;
+using namespace rtk::corpus;
+
+namespace {
+
+ScenarioFile base_scenario() {
+    ScenarioFile f;
+    EXPECT_TRUE(generate_family("pipeline", {3, 42}, f));
+    return f;
+}
+
+/// from_json(to_json(broken)) must fail and mention `needle`.
+void expect_rejected(const ScenarioFile& broken, const std::string& needle) {
+    ScenarioFile out;
+    std::string error;
+    ASSERT_FALSE(ScenarioFile::from_json(broken.to_json(), out, &error));
+    EXPECT_NE(error.find(needle), std::string::npos)
+        << "error was: " << error << " (wanted: " << needle << ")";
+}
+
+}  // namespace
+
+TEST(ScenarioFile, CanonicalBytesRoundTrip) {
+    const ScenarioFile f = base_scenario();
+    const std::string text = f.dump();
+    ScenarioFile back;
+    std::string error;
+    ASSERT_TRUE(ScenarioFile::parse(text, back, &error)) << error;
+    EXPECT_EQ(text, back.dump());
+    EXPECT_EQ(f.name, back.name);
+    EXPECT_EQ(f.seed, back.seed);
+    EXPECT_EQ(f.duration_ms, back.duration_ms);
+    EXPECT_EQ(f.config.tick_us, back.config.tick_us);
+}
+
+TEST(ScenarioFile, BehaviourRegistryRoundTrips) {
+    const ScenarioFile f = base_scenario();
+    ScenarioFile back;
+    std::string error;
+    ASSERT_TRUE(ScenarioFile::parse(f.dump(), back, &error)) << error;
+    ASSERT_EQ(f.programs.size(), back.programs.size());
+    for (const auto& [name, prog] : f.programs) {
+        const Program* p = back.find_program(name);
+        ASSERT_NE(p, nullptr) << name;
+        ASSERT_EQ(prog.size(), p->size());
+        for (std::size_t i = 0; i < prog.size(); ++i) {
+            EXPECT_EQ(prog[i].kind, (*p)[i].kind);
+            EXPECT_EQ(prog[i].a, (*p)[i].a);
+        }
+    }
+    EXPECT_EQ(f.task_bindings, back.task_bindings);
+    EXPECT_EQ(f.cyclic_bindings, back.cyclic_bindings);
+    // Every bound task resolves to its program through the registry.
+    for (const auto& [task, prog] : back.task_bindings) {
+        EXPECT_NE(back.task_program(task), nullptr) << task;
+    }
+    EXPECT_EQ(back.task_program("no_such_task"), nullptr);
+}
+
+TEST(ScenarioFile, RejectsNonScenarioDocuments) {
+    ScenarioFile out;
+    std::string error;
+    EXPECT_FALSE(ScenarioFile::parse("{", out, &error));
+    EXPECT_NE(error.find("json:"), std::string::npos);
+    EXPECT_FALSE(ScenarioFile::parse("{\"foo\": 1}\n", out, &error));
+    EXPECT_NE(error.find("rtk_scenario"), std::string::npos);
+}
+
+TEST(ScenarioFile, RejectsBadTopLevelFields) {
+    ScenarioFile f = base_scenario();
+    f.name.clear();
+    expect_rejected(f, "missing scenario name");
+
+    f = base_scenario();
+    f.duration_ms = 0;
+    expect_rejected(f, "duration_ms");
+
+    f = base_scenario();
+    f.config.tick_us = 0;
+    expect_rejected(f, "tick_us");
+
+    f = base_scenario();
+    f.config.iter_units = 0;
+    expect_rejected(f, "iter_units");
+
+    f = base_scenario();
+    f.config.mbx_nodes = 0;
+    expect_rejected(f, "mbx_nodes");
+}
+
+TEST(ScenarioFile, RejectsDanglingBindings) {
+    ScenarioFile f = base_scenario();
+    f.task_bindings["ghost_task"] = f.task_bindings.begin()->second;
+    expect_rejected(f, "unknown task 'ghost_task'");
+
+    f = base_scenario();
+    f.task_bindings.begin()->second = "ghost_program";
+    expect_rejected(f, "unknown program 'ghost_program'");
+
+    f = base_scenario();
+    f.cyclic_bindings["ghost_cyc"] = f.programs.begin()->first;
+    expect_rejected(f, "unknown cyclic 'ghost_cyc'");
+
+    f = base_scenario();
+    f.alarm_bindings["ghost_alm"] = f.programs.begin()->first;
+    expect_rejected(f, "unknown alarm 'ghost_alm'");
+
+    f = base_scenario();
+    f.interrupt_bindings[999] = f.programs.begin()->first;
+    expect_rejected(f, "no interrupt vector 999");
+}
+
+TEST(ScenarioFile, RejectsOutOfRangeOperands) {
+    ScenarioFile f = base_scenario();
+    // pipeline declares a handful of semaphores; index 99 addresses none.
+    f.programs["rogue"] = {{OpKind::sem_wait, 99, 1, -1, 0}};
+    expect_rejected(f, "operand out of range");
+
+    f = base_scenario();
+    f.programs["rogue"] = {{OpKind::mtx_lock, 0, 0, 0, 0}};  // no mutexes
+    expect_rejected(f, "operand out of range");
+}
+
+TEST(ScenarioFile, RejectsBadChecks) {
+    ScenarioFile f = base_scenario();
+    f.checks.push_back({"ghost_task", 10, 0, 50});
+    expect_rejected(f, "unknown task 'ghost_task'");
+
+    f = base_scenario();
+    ASSERT_FALSE(f.checks.empty());
+    f.checks[0].period_ms = 0;
+    expect_rejected(f, "period_ms");
+
+    f = base_scenario();
+    f.checks[0].min_percent = 101;
+    expect_rejected(f, "min_percent");
+}
+
+TEST(ScenarioFile, RejectsMalformedPrograms) {
+    // Splice a malformed program entry directly into the document.
+    api::Json doc = base_scenario().to_json();
+    api::Json progs = api::Json::object();
+    api::Json entry = api::Json::array();
+    entry.push(api::Json::string("compute"));  // 1 element, not 5
+    api::Json body = api::Json::array();
+    body.push(std::move(entry));
+    progs.set("bad", std::move(body));
+    doc.set("programs", std::move(progs));
+    ScenarioFile out;
+    std::string error;
+    ASSERT_FALSE(ScenarioFile::from_json(doc, out, &error));
+    EXPECT_NE(error.find("program 'bad'"), std::string::npos) << error;
+}
+
+TEST(ScenarioFile, SystemHardeningSurfacesThroughTheLoader) {
+    // Duplicate object name within a class.
+    ScenarioFile f = base_scenario();
+    ASSERT_GE(f.system.tasks.size(), 2u);
+    f.system.tasks[1].def.name = f.system.tasks[0].def.name;
+    expect_rejected(f, "duplicate task name");
+
+    f = base_scenario();
+    ASSERT_FALSE(f.system.semaphores.empty());
+    f.system.semaphores.push_back(f.system.semaphores.front());
+    expect_rejected(f, "duplicate semaphore name");
+
+    // Out-of-range priorities.
+    f = base_scenario();
+    f.system.tasks[0].def.priority = 0;
+    expect_rejected(f, "priority 0 out of range");
+
+    f = base_scenario();
+    f.system.tasks[0].def.priority = 141;
+    expect_rejected(f, "priority 141 out of range");
+
+    f = base_scenario();
+    api::MtxNode mtx;
+    mtx.def.name = "m0";
+    mtx.def.protocol = api::MutexDef::Protocol::ceiling;
+    mtx.def.ceiling = 999;
+    f.system.mutexes.push_back(std::move(mtx));
+    expect_rejected(f, "ceiling 999 out of range");
+
+    f = base_scenario();
+    api::IntNode v;
+    v.intno = 7;
+    f.system.interrupts.push_back(v);
+    f.system.interrupts.push_back(v);
+    expect_rejected(f, "duplicate interrupt vector 7");
+}

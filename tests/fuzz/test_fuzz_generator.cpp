@@ -8,6 +8,8 @@
 #include "harness/fuzz.hpp"
 
 namespace rtk::harness::fuzz {
+
+using api::Json;
 namespace {
 
 TEST(FuzzGenerator, SameSeedSameSpec) {

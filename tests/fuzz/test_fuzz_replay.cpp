@@ -20,6 +20,8 @@
 #endif
 
 namespace rtk::harness::fuzz {
+
+using api::Json;
 namespace {
 
 std::vector<std::filesystem::path> corpus_files() {

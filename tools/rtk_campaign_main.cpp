@@ -42,7 +42,10 @@ int usage() {
         "usage: rtk-campaign <command> [args]\n"
         "  submit <dir> --kind fuzz|fault [--name N] [--seed S]\n"
         "         [--seeds N] [--single-policy]        (fuzz corpus)\n"
-        "         [--corpus N] [--per-workload N]      (fault corpus)\n"
+        "         [--corpus N|DIR] [--per-workload N]  (fault corpus;\n"
+        "          DIR draws workloads from a scenario corpus, --corpus\n"
+        "          then still bounds the count via --corpus-count)\n"
+        "         [--corpus-count N]                   (with --corpus DIR)\n"
         "         [--claim-batch N] [--flush-every N]\n"
         "  run <dir> [--shards N] [--rounds N] [--worker EXE]\n"
         "            [--in-process] [--verbose]\n"
@@ -92,7 +95,21 @@ int cmd_submit(int argc, char** argv) {
         } else if (flag == "--single-policy") {
             m.both_policies = false;
         } else if (flag == "--corpus") {
-            m.corpus = static_cast<std::size_t>(arg_count(next(), "--corpus"));
+            // All digits: the historical workload count. Anything else:
+            // a scenario-corpus directory to draw workloads from.
+            const char* v = next();
+            if (v == nullptr || *v == '\0') {
+                return usage();
+            }
+            if (std::string(v).find_first_not_of("0123456789") ==
+                std::string::npos) {
+                m.corpus = static_cast<std::size_t>(arg_count(v, "--corpus"));
+            } else {
+                m.corpus_dir = v;
+            }
+        } else if (flag == "--corpus-count") {
+            m.corpus =
+                static_cast<std::size_t>(arg_count(next(), "--corpus-count"));
         } else if (flag == "--per-workload") {
             m.injections_per_workload =
                 static_cast<std::size_t>(arg_count(next(), "--per-workload"));

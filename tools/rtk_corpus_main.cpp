@@ -1,0 +1,623 @@
+// rtk-corpus -- the scenario-corpus maintenance CLI.
+//
+//   $ rtk-corpus gen <dir> [--per-family N] [--seed S] [--families a,b]
+//                    [--size-min N] [--size-max N] [--threads N]
+//       Generate a versioned corpus: one JSON file per scenario, grouped
+//       by family, then run every scenario once (parallel batch) and
+//       write the pinned index.json (byte digest + behaviour
+//       fingerprint + check verdict per file).
+//   $ rtk-corpus validate <dir>
+//       No simulation: strict-parse every indexed file, compare byte
+//       digests against the index, flag stray/missing files.
+//   $ rtk-corpus replay <dir> [--threads N] [--sample N]
+//       Re-run (all or an evenly-spaced sample of) the corpus and
+//       compare behaviour fingerprints and check verdicts against the
+//       pinned index -- the kernel-regression gate.
+//   $ rtk-corpus run <file>
+//       Run one scenario file and print its result and check verdicts.
+//   $ rtk-corpus stats <dir>
+//       Per-family population and structural totals.
+//   $ rtk-corpus selftest [dir]
+//       End-to-end smoke (the ctest `tool-smoke` entry): gen a small
+//       corpus, validate it, replay it serially and in parallel
+//       (fingerprints must match the index both ways), assert generator
+//       determinism, then drive a fault campaign from it.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "corpus/checks.hpp"
+#include "corpus/families.hpp"
+#include "corpus/index.hpp"
+#include "corpus/scenario_file.hpp"
+#include "harness/campaign.hpp"
+#include "harness/campaign_engine.hpp"
+#include "harness/corpus_bridge.hpp"
+#include "harness/runner.hpp"
+#include "sysc/fsio.hpp"
+
+using namespace rtk;
+
+namespace {
+
+int usage() {
+    std::fputs(
+        "usage: rtk-corpus <command> [args]\n"
+        "  gen <dir> [--per-family N] [--seed S] [--families a,b]\n"
+        "            [--size-min N] [--size-max N] [--threads N]\n"
+        "  validate <dir>\n"
+        "  replay <dir> [--threads N] [--sample N]\n"
+        "  run <file>\n"
+        "  stats <dir>\n"
+        "  selftest [dir]\n",
+        stderr);
+    return 2;
+}
+
+std::uint64_t arg_count(const char* value, const char* flag) {
+    return bench::parse_count_or_die(value, flag);
+}
+
+std::string slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string{std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>()};
+}
+
+/// One loaded corpus entry: the pinned index row plus the parsed file.
+struct Loaded {
+    corpus::IndexEntry entry;
+    corpus::ScenarioFile scenario;
+};
+
+/// Load the index and strict-parse every (or every sampled) file,
+/// verifying byte digests on the way. Returns false with a message on
+/// the first broken entry.
+bool load_corpus(const std::string& dir, std::size_t sample,
+                 std::vector<Loaded>& out, std::string& error) {
+    corpus::CorpusIndex index;
+    if (!corpus::CorpusIndex::load(dir, index, &error)) {
+        return false;
+    }
+    index.sort();
+    if (index.entries.empty()) {
+        error = "index has no entries";
+        return false;
+    }
+    // Evenly-spaced deterministic sample (stride over the sorted index).
+    std::size_t stride = 1;
+    if (sample != 0 && sample < index.entries.size()) {
+        stride = index.entries.size() / sample;
+    }
+    for (std::size_t i = 0; i < index.entries.size(); i += stride) {
+        const corpus::IndexEntry& e = index.entries[i];
+        const std::string text = slurp(dir + "/" + e.file);
+        if (text.empty()) {
+            error = e.file + ": missing or empty";
+            return false;
+        }
+        if (corpus::fnv1a64(text) != e.digest) {
+            error = e.file + ": byte digest mismatch against index";
+            return false;
+        }
+        Loaded l;
+        l.entry = e;
+        if (!corpus::ScenarioFile::parse(text, l.scenario, &error)) {
+            error = e.file + ": " + error;
+            return false;
+        }
+        out.push_back(std::move(l));
+    }
+    return true;
+}
+
+/// Run a batch of loaded scenarios and return per-entry {fingerprint,
+/// passed (clean run + checks)} in input order.
+struct RunOutcome {
+    std::uint64_t fingerprint = 0;
+    bool passed = false;
+    std::string detail;
+};
+
+std::vector<RunOutcome> run_batch(const std::vector<Loaded>& loaded,
+                                  unsigned threads) {
+    std::vector<harness::ScenarioSpec> specs;
+    specs.reserve(loaded.size());
+    for (const Loaded& l : loaded) {
+        harness::ScenarioSpec sc = harness::scenario_from_corpus(l.scenario);
+        sc.trace.enabled = true;  // checks need metrics
+        specs.push_back(std::move(sc));
+    }
+    harness::ScenarioRunner runner({threads});
+    const harness::BatchReport batch = runner.run(specs);
+
+    std::vector<RunOutcome> out(loaded.size());
+    for (std::size_t i = 0; i < loaded.size(); ++i) {
+        const harness::ScenarioResult& r = batch.results[i];
+        RunOutcome& o = out[i];
+        o.fingerprint = r.fingerprint;
+        const auto checks =
+            corpus::evaluate_checks(loaded[i].scenario, r.metrics);
+        o.passed = r.passed && corpus::all_passed(checks);
+        if (!r.passed) {
+            o.detail = r.error;
+        } else {
+            for (const corpus::CheckResult& c : checks) {
+                if (!c.ok) {
+                    o.detail = c.task + ": " + c.detail;
+                    break;
+                }
+            }
+        }
+    }
+    return out;
+}
+
+// ---- gen --------------------------------------------------------------------
+
+std::vector<std::string> split_csv(const std::string& s) {
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= s.size()) {
+        const std::size_t comma = s.find(',', start);
+        const std::size_t end = comma == std::string::npos ? s.size() : comma;
+        if (end > start) {
+            out.push_back(s.substr(start, end - start));
+        }
+        if (comma == std::string::npos) {
+            break;
+        }
+        start = comma + 1;
+    }
+    return out;
+}
+
+int cmd_gen(int argc, char** argv) {
+    if (argc < 1) {
+        return usage();
+    }
+    const std::string dir = argv[0];
+    std::size_t per_family = 16;
+    std::uint64_t base_seed = 1;
+    int size_min = 2;
+    int size_max = 8;
+    unsigned threads = 0;
+    std::vector<std::string> families = corpus::family_names();
+    for (int i = 1; i < argc; ++i) {
+        const std::string flag = argv[i];
+        auto next = [&]() -> const char* {
+            return ++i < argc ? argv[i] : nullptr;
+        };
+        if (flag == "--per-family") {
+            per_family =
+                static_cast<std::size_t>(arg_count(next(), "--per-family"));
+        } else if (flag == "--seed") {
+            base_seed = arg_count(next(), "--seed");
+        } else if (flag == "--size-min") {
+            size_min = static_cast<int>(arg_count(next(), "--size-min"));
+        } else if (flag == "--size-max") {
+            size_max = static_cast<int>(arg_count(next(), "--size-max"));
+        } else if (flag == "--threads") {
+            threads = static_cast<unsigned>(arg_count(next(), "--threads"));
+        } else if (flag == "--families") {
+            const char* v = next();
+            if (v == nullptr) {
+                return usage();
+            }
+            families = split_csv(v);
+            for (const std::string& f : families) {
+                corpus::ScenarioFile probe;
+                if (!corpus::generate_family(f, {1, 1}, probe)) {
+                    std::fprintf(stderr, "rtk-corpus: unknown family '%s'\n",
+                                 f.c_str());
+                    return 2;
+                }
+            }
+        } else {
+            std::fprintf(stderr, "rtk-corpus: unknown flag %s\n", flag.c_str());
+            return 2;
+        }
+    }
+    if (per_family == 0 || families.empty() || size_max < size_min) {
+        return usage();
+    }
+
+    std::vector<Loaded> loaded;
+    std::string error;
+    for (const std::string& family : families) {
+        std::error_code ec;
+        std::filesystem::create_directories(dir + "/" + family, ec);
+        if (ec) {
+            std::fprintf(stderr, "rtk-corpus: cannot create %s/%s: %s\n",
+                         dir.c_str(), family.c_str(), ec.message().c_str());
+            return 1;
+        }
+        const int spread = size_max - size_min + 1;
+        for (std::size_t i = 0; i < per_family; ++i) {
+            corpus::FamilyParams p;
+            p.size = size_min + static_cast<int>(i % static_cast<std::size_t>(spread));
+            p.seed = base_seed + i;
+            Loaded l;
+            if (!corpus::generate_family(family, p, l.scenario)) {
+                std::fprintf(stderr, "rtk-corpus: generate %s failed\n",
+                             family.c_str());
+                return 1;
+            }
+            char leaf[64];
+            std::snprintf(leaf, sizeof leaf, "%s/%s_%04zu.json", family.c_str(),
+                          family.c_str(), i);
+            l.entry.file = leaf;
+            l.entry.family = family;
+            const std::string text = l.scenario.dump();
+            l.entry.digest = corpus::fnv1a64(text);
+            if (!sysc::write_file_atomic(dir + "/" + leaf, text, &error)) {
+                std::fprintf(stderr, "rtk-corpus: write %s: %s\n", leaf,
+                             error.c_str());
+                return 1;
+            }
+            loaded.push_back(std::move(l));
+        }
+    }
+
+    // Pin behaviour: one (parallel) run of the whole corpus.
+    const std::vector<RunOutcome> runs = run_batch(loaded, threads);
+    corpus::CorpusIndex index;
+    std::size_t passed = 0;
+    for (std::size_t i = 0; i < loaded.size(); ++i) {
+        corpus::IndexEntry e = loaded[i].entry;
+        e.fingerprint = runs[i].fingerprint;
+        e.passed = runs[i].passed;
+        passed += runs[i].passed ? 1 : 0;
+        index.entries.push_back(std::move(e));
+    }
+    index.sort();
+    if (!index.save(dir, &error)) {
+        std::fprintf(stderr, "rtk-corpus: write index: %s\n", error.c_str());
+        return 1;
+    }
+    std::printf("generated %zu scenarios (%zu families) in %s: %zu passed, %zu failed checks\n",
+                loaded.size(), families.size(), dir.c_str(), passed,
+                loaded.size() - passed);
+    return 0;
+}
+
+// ---- validate ---------------------------------------------------------------
+
+int cmd_validate(int argc, char** argv) {
+    if (argc < 1) {
+        return usage();
+    }
+    const std::string dir = argv[0];
+    std::vector<Loaded> loaded;
+    std::string error;
+    if (!load_corpus(dir, 0, loaded, error)) {
+        std::fprintf(stderr, "rtk-corpus: validate %s: %s\n", dir.c_str(),
+                     error.c_str());
+        return 1;
+    }
+    // Stray scan: every .json under the corpus root (except the index
+    // itself) must be pinned.
+    corpus::CorpusIndex index;
+    (void)corpus::CorpusIndex::load(dir, index, nullptr);
+    std::size_t strays = 0;
+    for (const auto& de : std::filesystem::recursive_directory_iterator(dir)) {
+        if (!de.is_regular_file() || de.path().extension() != ".json") {
+            continue;
+        }
+        const std::string rel =
+            std::filesystem::relative(de.path(), dir).generic_string();
+        if (rel == "index.json" || index.find(rel) != nullptr) {
+            continue;
+        }
+        std::fprintf(stderr, "rtk-corpus: stray file not in index: %s\n",
+                     rel.c_str());
+        ++strays;
+    }
+    if (strays != 0) {
+        return 1;
+    }
+    std::map<std::string, std::size_t> families;
+    for (const Loaded& l : loaded) {
+        ++families[l.entry.family];
+    }
+    std::printf("validated %zu scenarios (%zu families) in %s\n", loaded.size(),
+                families.size(), dir.c_str());
+    return 0;
+}
+
+// ---- replay -----------------------------------------------------------------
+
+int cmd_replay(int argc, char** argv) {
+    if (argc < 1) {
+        return usage();
+    }
+    const std::string dir = argv[0];
+    unsigned threads = 0;
+    std::size_t sample = 0;
+    for (int i = 1; i < argc; ++i) {
+        const std::string flag = argv[i];
+        auto next = [&]() -> const char* {
+            return ++i < argc ? argv[i] : nullptr;
+        };
+        if (flag == "--threads") {
+            threads = static_cast<unsigned>(arg_count(next(), "--threads"));
+        } else if (flag == "--sample") {
+            sample = static_cast<std::size_t>(arg_count(next(), "--sample"));
+        } else {
+            std::fprintf(stderr, "rtk-corpus: unknown flag %s\n", flag.c_str());
+            return 2;
+        }
+    }
+    std::vector<Loaded> loaded;
+    std::string error;
+    if (!load_corpus(dir, sample, loaded, error)) {
+        std::fprintf(stderr, "rtk-corpus: replay %s: %s\n", dir.c_str(),
+                     error.c_str());
+        return 1;
+    }
+    const std::vector<RunOutcome> runs = run_batch(loaded, threads);
+    std::size_t mismatches = 0;
+    for (std::size_t i = 0; i < loaded.size(); ++i) {
+        const corpus::IndexEntry& e = loaded[i].entry;
+        if (runs[i].fingerprint != e.fingerprint) {
+            std::fprintf(stderr,
+                         "rtk-corpus: %s: fingerprint 0x%016llx != pinned "
+                         "0x%016llx\n",
+                         e.file.c_str(),
+                         static_cast<unsigned long long>(runs[i].fingerprint),
+                         static_cast<unsigned long long>(e.fingerprint));
+            ++mismatches;
+        } else if (runs[i].passed != e.passed) {
+            std::fprintf(stderr, "rtk-corpus: %s: verdict %s != pinned %s (%s)\n",
+                         e.file.c_str(), runs[i].passed ? "pass" : "fail",
+                         e.passed ? "pass" : "fail", runs[i].detail.c_str());
+            ++mismatches;
+        }
+    }
+    if (mismatches != 0) {
+        std::fprintf(stderr, "rtk-corpus: replay %s: %zu of %zu diverged\n",
+                     dir.c_str(), mismatches, loaded.size());
+        return 1;
+    }
+    std::printf("replayed %zu scenarios in %s: all fingerprints match the index\n",
+                loaded.size(), dir.c_str());
+    return 0;
+}
+
+// ---- run --------------------------------------------------------------------
+
+int cmd_run(int argc, char** argv) {
+    if (argc < 1) {
+        return usage();
+    }
+    const std::string path = argv[0];
+    const std::string text = slurp(path);
+    std::string error;
+    corpus::ScenarioFile scenario;
+    if (text.empty() || !corpus::ScenarioFile::parse(text, scenario, &error)) {
+        std::fprintf(stderr, "rtk-corpus: %s: %s\n", path.c_str(),
+                     text.empty() ? "missing or empty" : error.c_str());
+        return 1;
+    }
+    const harness::CorpusRunReport report =
+        harness::run_corpus_scenario(scenario);
+    std::printf("%s: %s (fingerprint 0x%016llx, sim %s, %llu trace events)\n",
+                scenario.name.c_str(), report.passed() ? "PASS" : "FAIL",
+                static_cast<unsigned long long>(report.result.fingerprint),
+                report.result.sim_time.to_string().c_str(),
+                static_cast<unsigned long long>(report.result.trace_events));
+    if (!report.result.passed) {
+        std::printf("  run error: %s\n", report.result.error.c_str());
+    }
+    for (const corpus::CheckResult& c : report.checks) {
+        std::printf("  check %-12s %s: %s\n", c.task.c_str(),
+                    c.ok ? "ok" : "FAIL", c.detail.c_str());
+    }
+    return report.passed() ? 0 : 1;
+}
+
+// ---- stats ------------------------------------------------------------------
+
+int cmd_stats(int argc, char** argv) {
+    if (argc < 1) {
+        return usage();
+    }
+    const std::string dir = argv[0];
+    std::vector<Loaded> loaded;
+    std::string error;
+    if (!load_corpus(dir, 0, loaded, error)) {
+        std::fprintf(stderr, "rtk-corpus: stats %s: %s\n", dir.c_str(),
+                     error.c_str());
+        return 1;
+    }
+    struct FamilyStats {
+        std::size_t scenarios = 0;
+        std::size_t passed = 0;
+        std::size_t tasks = 0;
+        std::size_t objects = 0;
+        std::size_t programs = 0;
+        std::size_t ops = 0;
+        std::size_t checks = 0;
+    };
+    std::map<std::string, FamilyStats> families;
+    for (const Loaded& l : loaded) {
+        FamilyStats& f = families[l.entry.family];
+        ++f.scenarios;
+        f.passed += l.entry.passed ? 1 : 0;
+        f.tasks += l.scenario.system.tasks.size();
+        f.objects += l.scenario.system.object_count();
+        f.programs += l.scenario.programs.size();
+        for (const auto& [name, prog] : l.scenario.programs) {
+            f.ops += prog.size();
+        }
+        f.checks += l.scenario.checks.size();
+    }
+    std::printf("%-18s %9s %7s %7s %8s %9s %7s %7s\n", "family", "scenarios",
+                "passed", "tasks", "objects", "programs", "ops", "checks");
+    FamilyStats total;
+    for (const auto& [name, f] : families) {
+        std::printf("%-18s %9zu %7zu %7zu %8zu %9zu %7zu %7zu\n", name.c_str(),
+                    f.scenarios, f.passed, f.tasks, f.objects, f.programs,
+                    f.ops, f.checks);
+        total.scenarios += f.scenarios;
+        total.passed += f.passed;
+        total.tasks += f.tasks;
+        total.objects += f.objects;
+        total.programs += f.programs;
+        total.ops += f.ops;
+        total.checks += f.checks;
+    }
+    std::printf("%-18s %9zu %7zu %7zu %8zu %9zu %7zu %7zu\n", "total",
+                total.scenarios, total.passed, total.tasks, total.objects,
+                total.programs, total.ops, total.checks);
+    return 0;
+}
+
+// ---- selftest ---------------------------------------------------------------
+
+int fail(const char* what) {
+    std::fprintf(stderr, "rtk-corpus selftest: FAILED: %s\n", what);
+    return 1;
+}
+
+int cmd_selftest(const std::string& base) {
+    const std::string dir = base + "/corpus_selftest";
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+
+    // gen: 4 families x 3 scenarios, small sizes, a seed block disjoint
+    // from the checked-in corpus.
+    {
+        const char* argv_gen[] = {dir.c_str(),     "--per-family", "3",
+                                  "--seed",        "7700001",      "--size-min",
+                                  "2",             "--size-max",   "5",
+                                  "--threads",     "2"};
+        if (cmd_gen(static_cast<int>(std::size(argv_gen)),
+                    const_cast<char**>(argv_gen)) != 0) {
+            return fail("gen");
+        }
+    }
+    {
+        const char* argv_val[] = {dir.c_str()};
+        if (cmd_validate(1, const_cast<char**>(argv_val)) != 0) {
+            return fail("validate");
+        }
+    }
+
+    // Generator determinism: the same (family, size, seed) triple must
+    // reproduce the on-disk bytes exactly.
+    {
+        corpus::ScenarioFile again;
+        if (!corpus::generate_family("pipeline", {2, 7700001}, again)) {
+            return fail("re-generate");
+        }
+        const std::string pinned = slurp(dir + "/pipeline/pipeline_0000.json");
+        if (pinned.empty() || again.dump() != pinned) {
+            return fail("generator is not byte-deterministic");
+        }
+    }
+
+    // Replay: serial and parallel runs must both match the pinned index.
+    {
+        const char* argv_serial[] = {dir.c_str(), "--threads", "1"};
+        if (cmd_replay(3, const_cast<char**>(argv_serial)) != 0) {
+            return fail("serial replay diverged from the index");
+        }
+        const char* argv_par[] = {dir.c_str(), "--threads", "4"};
+        if (cmd_replay(3, const_cast<char**>(argv_par)) != 0) {
+            return fail("parallel replay diverged from the index");
+        }
+    }
+
+    // A fault campaign drawn from the corpus, end to end.
+    {
+        const std::string cdir = base + "/corpus_selftest_campaign";
+        std::filesystem::remove_all(cdir, ec);
+        harness::campaign::Manifest m;
+        m.name = "corpus-selftest";
+        m.kind = harness::campaign::Kind::fault;
+        m.base_seed = 7700501;
+        m.corpus = 2;
+        m.injections_per_workload = 3;
+        m.corpus_dir = dir;
+        std::string error;
+        if (!harness::campaign::init_campaign(cdir, m, &error)) {
+            std::fprintf(stderr, "  %s\n", error.c_str());
+            return fail("campaign submit");
+        }
+        harness::campaign::EngineOptions opts;
+        opts.shards = 1;
+        opts.in_process = true;
+        const harness::campaign::EngineResult r =
+            harness::campaign::run_campaign(cdir, opts);
+        if (!r.complete) {
+            std::fprintf(stderr, "  %s\n", r.error.c_str());
+            return fail("campaign run incomplete");
+        }
+        bool complete = false;
+        if (!harness::campaign::merge_campaign(cdir, "", &error, &complete) ||
+            !complete) {
+            std::fprintf(stderr, "  %s\n", error.c_str());
+            return fail("campaign merge");
+        }
+        api::Json doc;
+        if (!api::Json::parse(slurp(harness::campaign::report_path(cdir)), doc,
+                              &error) ||
+            doc.at("campaign").at("jobs").as_u64() != m.total_jobs()) {
+            return fail("campaign report does not parse back");
+        }
+        // The corpus workloads must actually have run: a skipped record
+        // means the corpus could not be loaded or profiled.
+        std::vector<harness::campaign::Job> jobs;
+        harness::campaign::StoreScan scan;
+        if (!harness::campaign::load_jobs(cdir, jobs, &error) ||
+            !harness::campaign::scan_stores(cdir, scan, &error)) {
+            return fail("campaign store scan");
+        }
+        for (const auto& [id, rec] : scan.records) {
+            if (rec.at("skipped").as_bool()) {
+                std::fprintf(stderr, "  job %llu skipped: %s\n",
+                             static_cast<unsigned long long>(id),
+                             rec.at("reason").as_string().c_str());
+                return fail("campaign skipped corpus workloads");
+            }
+        }
+    }
+
+    std::puts("rtk-corpus selftest: OK");
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) {
+        return usage();
+    }
+    const std::string cmd = argv[1];
+    if (cmd == "gen") {
+        return cmd_gen(argc - 2, argv + 2);
+    }
+    if (cmd == "validate") {
+        return cmd_validate(argc - 2, argv + 2);
+    }
+    if (cmd == "replay") {
+        return cmd_replay(argc - 2, argv + 2);
+    }
+    if (cmd == "run") {
+        return cmd_run(argc - 2, argv + 2);
+    }
+    if (cmd == "stats") {
+        return cmd_stats(argc - 2, argv + 2);
+    }
+    if (cmd == "selftest") {
+        return cmd_selftest(argc >= 3 ? argv[2] : ".");
+    }
+    return usage();
+}
